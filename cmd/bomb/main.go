@@ -1,0 +1,62 @@
+// Command bomb plays the CS31 binary-bomb lab: it generates a bomb for a
+// variant number, feeds it answer lines from stdin (one per phase), and
+// reports how far you got. With -disas it prints the listing students
+// work from; with -cheat it prints the answer key (grader mode).
+//
+// Usage:
+//
+//	bomb -variant 7 -disas
+//	echo -e "ans1\nans2\n..." | bomb -variant 7
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bomb"
+)
+
+func main() {
+	variant := flag.Int("variant", 1, "bomb variant number")
+	disas := flag.Bool("disas", false, "print the disassembly and exit")
+	cheat := flag.Bool("cheat", false, "print the answer key (grader mode)")
+	flag.Parse()
+
+	b, err := bomb.New(*variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bomb:", err)
+		os.Exit(1)
+	}
+	if *disas {
+		text, err := b.Disassembly()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bomb:", err)
+			os.Exit(1)
+		}
+		fmt.Print(text)
+		return
+	}
+	if *cheat {
+		for i, s := range b.Solutions() {
+			fmt.Printf("phase %d: %s\n", i+1, s)
+		}
+		return
+	}
+	var inputs []string
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		inputs = append(inputs, sc.Text())
+	}
+	res, err := b.Run(inputs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bomb:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Output)
+	if res.Exploded {
+		fmt.Printf("exploded after defusing %d/%d phases\n", res.PhasesDefused, bomb.NumPhases)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,104 @@
+// Command cachesim runs the CS31 memory-hierarchy experiments: the
+// row-major versus column-major locality study, a cache-parameter sweep,
+// and the page-replacement comparison.
+//
+// Usage:
+//
+//	cachesim -locality -n 64
+//	cachesim -sweep
+//	cachesim -paging
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mem"
+)
+
+func main() {
+	locality := flag.Bool("locality", false, "row vs column traversal miss rates")
+	sweep := flag.Bool("sweep", false, "cache size/associativity sweep")
+	paging := flag.Bool("paging", false, "page replacement comparison")
+	n := flag.Int("n", 64, "matrix side for -locality")
+	flag.Parse()
+
+	ran := false
+	if *locality {
+		runLocality(*n)
+		ran = true
+	}
+	if *sweep {
+		runSweep()
+		ran = true
+	}
+	if *paging {
+		runPaging()
+		ran = true
+	}
+	if !ran {
+		fmt.Println("cachesim: pass -locality, -sweep, or -paging (see -h)")
+	}
+}
+
+func mustCache(cfg mem.CacheConfig) *mem.Cache {
+	c, err := mem.NewCache(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+	return c
+}
+
+func runLocality(n int) {
+	fmt.Printf("Matrix sum locality, %dx%d doubles, 4KB direct-mapped cache, 64B blocks\n", n, n)
+	fmt.Printf("%-12s %10s %10s %9s\n", "traversal", "accesses", "misses", "miss%")
+	for _, tc := range []struct {
+		name  string
+		trace []mem.Access
+	}{
+		{"row-major", mem.RowMajorTrace(n, 0)},
+		{"col-major", mem.ColMajorTrace(n, 0)},
+	} {
+		c := mustCache(mem.CacheConfig{SizeBytes: 4096, BlockBytes: 64, Assoc: 1})
+		mem.ReplayCache(c, tc.trace)
+		s := c.Stats()
+		fmt.Printf("%-12s %10d %10d %8.2f%%\n", tc.name, s.Accesses, s.Misses, 100*s.MissRate())
+	}
+}
+
+func runSweep() {
+	trace := mem.RandomTrace(200000, 1<<16, 0, 42)
+	fmt.Println("Random 64KB working set, 200k accesses, 64B blocks, LRU")
+	fmt.Printf("%-10s %6s %9s\n", "size", "assoc", "hit%")
+	for _, size := range []int{1 << 10, 4 << 10, 16 << 10, 64 << 10} {
+		for _, assoc := range []int{1, 2, 4} {
+			c := mustCache(mem.CacheConfig{SizeBytes: size, BlockBytes: 64, Assoc: assoc})
+			mem.ReplayCache(c, trace)
+			fmt.Printf("%-10d %6d %8.2f%%\n", size, assoc, 100*c.Stats().HitRate())
+		}
+	}
+}
+
+func runPaging() {
+	refs := []int{7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1}
+	fmt.Println("Reference string:", refs)
+	fmt.Printf("%-8s", "frames")
+	for _, p := range []mem.PageReplacement{mem.PageFIFO, mem.PageLRU, mem.PageClock} {
+		fmt.Printf(" %8s", p)
+	}
+	fmt.Println()
+	for frames := 1; frames <= 5; frames++ {
+		fmt.Printf("%-8d", frames)
+		for _, p := range []mem.PageReplacement{mem.PageFIFO, mem.PageLRU, mem.PageClock} {
+			faults, err := mem.FaultCount(refs, frames, p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cachesim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %8d", faults)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,124 @@
+// Command curriculum prints and validates the paper's curriculum model:
+// it regenerates Tables I, II, and III, shows the Section II.B course
+// groups, and checks the offering schedule's every-semester parallel
+// coverage.
+//
+// Usage:
+//
+//	curriculum -table all          print Tables I, II, III
+//	curriculum -table 2            print just Table II
+//	curriculum -groups             print the upper-level groups
+//	curriculum -schedule 8         print 8 semesters of offerings from Fall 2012
+//	curriculum -audit              audit a sample student path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	table := flag.String("table", "", "print table: 1, 2, 3, or all")
+	groups := flag.Bool("groups", false, "print upper-level course groups")
+	schedule := flag.Int("schedule", 0, "print N semesters of offerings from Fall 2012")
+	audit := flag.Bool("audit", false, "audit a sample student path")
+	coverage := flag.Bool("coverage", false, "print the TCPP topic coverage matrix")
+	flag.Parse()
+
+	cu, err := core.Swarthmore()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "curriculum:", err)
+		os.Exit(1)
+	}
+	if err := cu.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "curriculum: validation failed:", err)
+		os.Exit(1)
+	}
+	ran := false
+
+	printTable := func(f func() (string, error)) {
+		s, err := f()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "curriculum:", err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+	switch *table {
+	case "1":
+		printTable(cu.TableI)
+		ran = true
+	case "2":
+		printTable(cu.TableII)
+		ran = true
+	case "3":
+		printTable(cu.TableIII)
+		ran = true
+	case "all":
+		printTable(cu.TableI)
+		printTable(cu.TableII)
+		printTable(cu.TableIII)
+		ran = true
+	case "":
+	default:
+		fmt.Fprintln(os.Stderr, "curriculum: unknown table", *table)
+		os.Exit(2)
+	}
+	if *groups {
+		fmt.Println(cu.GroupsReport())
+		ran = true
+	}
+	if *schedule > 0 {
+		fmt.Println(cu.ScheduleReport(core.Semester{Fall: true, Year: 2012}, *schedule))
+		ran = true
+	}
+	if *audit {
+		rec := core.StudentRecord{Semesters: [][]string{
+			{"CS21"},
+			{"CS35", "CS31"},
+			{"CS41"},
+			{"CS40"},
+			{"CS45"},
+		}}
+		res, err := cu.Audit(rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "curriculum:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sample path: %d courses, %d TCPP topics (%d core), violations: %d\n",
+			res.Courses, res.TCPPTopicsSeen, res.CoreTopicsSeen, len(res.PrereqViolations))
+		for _, v := range res.PrereqViolations {
+			fmt.Println("  ", v)
+		}
+		for g, ok := range res.GroupsSatisfied {
+			fmt.Printf("  group %-24v satisfied: %v\n", g, ok)
+		}
+		ran = true
+	}
+	if *coverage {
+		m := cu.CoverageMatrix()
+		topics := make([]string, 0, len(m))
+		for tname := range m {
+			topics = append(topics, tname)
+		}
+		sort.Strings(topics)
+		fmt.Println("TCPP topic coverage:")
+		for _, tname := range topics {
+			fmt.Printf("  %-28s %s\n", tname, strings.Join(m[tname], " "))
+		}
+		if gaps := cu.CoreGaps(core.TCPPCore()); len(gaps) > 0 {
+			fmt.Println("UNCOVERED core topics:", strings.Join(gaps, ", "))
+		} else {
+			fmt.Println("all tracked TCPP core topics are covered")
+		}
+		ran = true
+	}
+	if !ran {
+		fmt.Println("curriculum: validated OK; use -table/-groups/-schedule/-audit/-coverage (see -h)")
+	}
+}

@@ -1,0 +1,66 @@
+// Command minicc is the CS75 compiler driver: it compiles MiniC source
+// to SWAT32 assembly and optionally runs it.
+//
+// Usage:
+//
+//	minicc prog.c              compile and print assembly
+//	minicc -O prog.c           with optimizations
+//	minicc -run prog.c         compile and execute
+//	minicc -size prog.c        report instruction counts with and without -O
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/minicc"
+)
+
+func main() {
+	optimize := flag.Bool("O", false, "enable optimizations")
+	runIt := flag.Bool("run", false, "execute after compiling")
+	size := flag.Bool("size", false, "compare code size with and without -O")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [-O] [-run|-size] prog.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		os.Exit(1)
+	}
+	if *size {
+		_, plain, err := minicc.CompileToProgram(string(src), false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minicc:", err)
+			os.Exit(1)
+		}
+		_, opt, err := minicc.CompileToProgram(string(src), true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minicc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("instructions: %d unoptimized, %d with -O (%.1f%% smaller)\n",
+			plain.Instructions, opt.Instructions,
+			100*(1-float64(opt.Instructions)/float64(plain.Instructions)))
+		return
+	}
+	if *runIt {
+		out, exit, steps, err := minicc.Run(string(src), *optimize, 50_000_000)
+		fmt.Print(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minicc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[exit %d, %d instructions executed]\n", exit, steps)
+		return
+	}
+	asm, err := minicc.Compile(string(src), *optimize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		os.Exit(1)
+	}
+	fmt.Print(asm)
+}

@@ -1,0 +1,95 @@
+// Command swatasm assembles and runs SWAT32 programs: the toolchain for
+// the CS31 assembly unit.
+//
+// Usage:
+//
+//	swatasm -run prog.s            assemble and execute
+//	swatasm -disas prog.s          assemble and disassemble
+//	swatasm -trace prog.s          execute with a per-instruction trace
+//	swatasm -pipeline prog.s       run the 5-stage pipeline model on the trace
+//
+// Input lines for sys $3 are read from stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+)
+
+func main() {
+	run := flag.Bool("run", false, "assemble and execute")
+	disas := flag.Bool("disas", false, "assemble and print disassembly")
+	trace := flag.Bool("trace", false, "execute with instruction trace")
+	pipeline := flag.Bool("pipeline", false, "run the pipeline model over the dynamic trace")
+	maxSteps := flag.Int64("max-steps", 1_000_000, "instruction budget")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: swatasm [-run|-disas|-trace|-pipeline] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swatasm:", err)
+		os.Exit(1)
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swatasm:", err)
+		os.Exit(1)
+	}
+	if *disas {
+		text, err := isa.Disassemble(prog.Code)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swatasm:", err)
+			os.Exit(1)
+		}
+		fmt.Print(text)
+		return
+	}
+
+	var input []string
+	if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice == 0 {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			input = append(input, sc.Text())
+		}
+	}
+
+	cpu := isa.NewCPU(prog)
+	cpu.Input = input
+	var entries []isa.TraceEntry
+	if *trace || *pipeline {
+		cpu.Trace = func(te isa.TraceEntry) {
+			entries = append(entries, te)
+			if *trace {
+				fmt.Printf("%#06x: %s\n", uint32(te.PC), te.In)
+			}
+		}
+	}
+	runErr := cpu.Run(*maxSteps)
+	fmt.Print(cpu.Output.String())
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "swatasm:", runErr)
+		os.Exit(1)
+	}
+	if *run || *trace {
+		fmt.Printf("[%d instructions, exit %d]\n", cpu.Steps, cpu.Exit)
+	}
+	if *pipeline {
+		fmt.Println()
+		for _, cfg := range []isa.PipelineConfig{
+			{Forwarding: false, Branch: isa.StallOnBranch},
+			{Forwarding: true, Branch: isa.StallOnBranch},
+			{Forwarding: true, Branch: isa.PredictNotTaken},
+			{Forwarding: true, Branch: isa.PredictNotTaken, Width: 2},
+		} {
+			st := isa.SimulatePipeline(entries, cfg)
+			fmt.Println(st)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Command swatsh runs the CS31 Unix-shell lab interactively: a job-
+// control shell over the simulated kernel, with pipes, redirection,
+// background jobs, and the pstree builtin for inspecting the process
+// hierarchy. Reads command lines from stdin.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"repro/internal/shell"
+)
+
+func main() {
+	sh, err := shell.New()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swatsh:", err)
+		os.Exit(1)
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	interactive := false
+	if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		interactive = true
+	}
+	for {
+		if interactive {
+			fmt.Print("swatsh$ ")
+		}
+		if !sc.Scan() {
+			break
+		}
+		out, err := sh.Run(sc.Text())
+		fmt.Print(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		if sh.Exited() {
+			break
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Game of Life: the CS31 lab pair end-to-end. Watch a glider cross a
+// torus, verify the parallel engine against the sequential one, then run
+// the scalability study from the final lab (Table I row 8). Run with:
+//
+//	go run ./examples/gameoflife
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/life"
+)
+
+func main() {
+	// Part 1 (sequential lab): evolve a glider and print a few frames.
+	g, err := life.NewGrid(12, 8, life.Torus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	glider, err := life.Parse(life.PatternGlider, life.Torus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.Place(glider, 1, 1); err != nil {
+		log.Fatal(err)
+	}
+	for frame := 0; frame <= 8; frame += 4 {
+		fmt.Printf("generation %d:\n%s\n", g.Generation(), g)
+		g.StepN(4)
+	}
+
+	// Part 2 (parallel lab): correctness first, like the lab handout says.
+	big, _ := life.NewGrid(128, 128, life.Torus)
+	big.Seed(0.3, 7)
+	ref := big.Clone()
+	ref.StepN(20)
+	if err := big.StepNParallel(20, 4); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parallel(4 threads) matches sequential after 20 generations: %v\n\n", big.Equal(ref))
+
+	// Part 3: the scalability study and report table.
+	fmt.Println("scalability study (256x256, 10 generations):")
+	res, err := life.ScalabilityStudy(256, 10, []int{1, 2, 4, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table)
+}

@@ -1,0 +1,92 @@
+// MapReduce word count — the CS87 Hadoop-lab workload — including a run
+// with injected worker failures to show task re-execution, and an
+// inverted index as the second job. Run with:
+//
+//	go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/mapreduce"
+)
+
+var corpus = []string{
+	"parallel and distributed computing belongs in every course",
+	"every student should see threads and message passing",
+	"parallel thinking changes how students see every problem",
+	"message passing and shared memory are two views of one problem",
+}
+
+func main() {
+	fmt.Println("word count over", len(corpus), "documents:")
+	res, st, err := mapreduce.Run(
+		mapreduce.Config{Workers: 4, Reducers: 3, Combiner: mapreduce.WordCountReduce},
+		corpus, mapreduce.WordCountMap, mapreduce.WordCountReduce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printTop(res, 8)
+	fmt.Printf("  [%d map tasks, %d reducers, %d intermediate pairs after combining]\n\n",
+		st.MapTasks, st.ReduceTasks, st.Intermediate)
+
+	fmt.Println("same job with every map task failing once (re-execution):")
+	res2, st2, err := mapreduce.Run(mapreduce.Config{
+		Workers: 4, Reducers: 3, MaxAttempts: 3,
+		FailTask: func(phase string, task, attempt int) bool {
+			return phase == "map" && attempt == 1
+		},
+	}, corpus, mapreduce.WordCountMap, mapreduce.WordCountReduce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := len(res) == len(res2)
+	for k, v := range res {
+		if res2[k] != v {
+			same = false
+		}
+	}
+	fmt.Printf("  retries: %d, results identical to failure-free run: %v\n\n", st2.Retries, same)
+
+	fmt.Println("inverted index:")
+	docs := make([]string, len(corpus))
+	for i, body := range corpus {
+		docs[i] = fmt.Sprintf("d%d\t%s", i+1, body)
+	}
+	idx, _, err := mapreduce.Run(mapreduce.Config{Workers: 4, Reducers: 2},
+		docs, mapreduce.InvertedIndexMap, mapreduce.InvertedIndexReduce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range []string{"parallel", "message", "every", "threads"} {
+		fmt.Printf("  %-10s -> %s\n", w, idx[w])
+	}
+}
+
+func printTop(res map[string]string, k int) {
+	type wc struct {
+		w string
+		c string
+	}
+	all := make([]wc, 0, len(res))
+	for w, c := range res {
+		all = append(all, wc{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if len(all[i].c) != len(all[j].c) {
+			return len(all[i].c) > len(all[j].c)
+		}
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	for _, e := range all[:k] {
+		fmt.Printf("  %-12s %s\n", e.w, e.c)
+	}
+}

@@ -1,0 +1,83 @@
+// Merge sort across three models of computation — the CS41 unifying
+// example (Section III.A and Table III): the same algorithm analyzed in
+// the RAM model (comparisons), the parallel model (work and span from the
+// fork-join DAG, plus measured goroutine runs), and the I/O model (block
+// transfers of the external-memory variant). Run with:
+//
+//	go run ./examples/mergesort
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/internal/iomodel"
+	"repro/internal/psort"
+)
+
+func main() {
+	const n = 1 << 17
+	xs := make([]int64, n)
+	s := uint64(1)
+	for i := range xs {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		xs[i] = int64(s % 1000000)
+	}
+
+	fmt.Printf("merge sort, n = %d\n\n", n)
+
+	// --- RAM model ---
+	start := time.Now()
+	sorted, comps := psort.MergeSort(xs)
+	elapsed := time.Since(start)
+	fmt.Println("RAM model:")
+	fmt.Printf("  comparisons: %d (n·log2(n) = %.0f)\n", comps, float64(n)*math.Log2(n))
+	fmt.Printf("  wall clock:  %v, sorted: %v\n\n", elapsed.Round(time.Microsecond), isSorted(sorted))
+
+	// --- parallel model ---
+	fmt.Println("parallel model (fork-join DAG):")
+	for _, pm := range []bool{false, true} {
+		work, span, err := psort.MergeSortDAG(int64(n), pm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "serial merge  "
+		if pm {
+			kind = "parallel merge"
+		}
+		fmt.Printf("  %s: work %d, span %d, parallelism %.0fx\n", kind, work, span, float64(work)/float64(span))
+	}
+	start = time.Now()
+	par := psort.ParallelMergeSort(xs, 4)
+	fmt.Printf("  measured goroutine run: %v, sorted: %v\n\n", time.Since(start).Round(time.Microsecond), isSorted(par))
+
+	// --- I/O model ---
+	fmt.Println("I/O model (external merge sort, B=64 records, M=4096 records):")
+	dev, err := iomodel.NewDevice(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := dev.NewFileFrom(xs)
+	dev.ResetCounters()
+	out, st, err := iomodel.ExternalMergeSort(in, 4096, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  initial runs: %d, merge passes: %d (fanout %d)\n", st.InitialRuns, st.MergePasses, st.Fanout)
+	fmt.Printf("  block transfers: %d (model bound %d), sorted: %v\n",
+		st.IOs, iomodel.SortIOBound(n, 4096, 64, st.Fanout), out.IsSorted())
+	fmt.Printf("  versus naive one-record-at-a-time access: %d transfers\n", 2*n)
+}
+
+func isSorted(xs []int64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,168 @@
+// Quickstart: a tour of the library, one stop per curriculum layer —
+// data representation, gate-level ALU, assembly, caches, threads, the
+// parallel Game of Life, PRAM work/span, and message passing. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/isa"
+	"repro/internal/life"
+	"repro/internal/logic"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/minicc"
+	"repro/internal/mp"
+	"repro/internal/omp"
+	"repro/internal/pram"
+	"repro/internal/pthread"
+)
+
+func main() {
+	fmt.Println("== CS31: data representation ==")
+	x := bits.NewInt(-100, 8)
+	y := bits.NewInt(-29, 8)
+	sum, flags, err := bits.Add(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %v + %v = %v (overflow=%v)\n", x.Int64(), y.Int64(), sum.Int64(), flags.Overflow)
+	fmt.Printf("  float 0.1 is %s\n", bits.FormatFloat32(0.1))
+
+	fmt.Println("== CS31: a gate-level ALU ==")
+	alu := logic.NewALU(8)
+	res, fl, err := alu.Run(200, 100, logic.ALUAdd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  200 + 100 (8-bit) = %d, carry=%v; %d gates, depth %d\n",
+		res, fl.Carry, alu.Circuit.GateCount(), mustDepth(alu))
+
+	fmt.Println("== CS31: assembly on SWAT32 ==")
+	cpu, err := isa.RunProgram(`
+main:
+    movl $7, %eax
+    imull %eax, %eax
+    sys $1
+    halt`, nil, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  7*7 = %s", cpu.Output.String())
+
+	fmt.Println("== CS31: cache locality ==")
+	rowC, _ := mem.NewCache(mem.CacheConfig{SizeBytes: 4096, BlockBytes: 64, Assoc: 1})
+	colC, _ := mem.NewCache(mem.CacheConfig{SizeBytes: 4096, BlockBytes: 64, Assoc: 1})
+	mem.ReplayCache(rowC, mem.RowMajorTrace(64, 0))
+	mem.ReplayCache(colC, mem.ColMajorTrace(64, 0))
+	fmt.Printf("  64x64 sum: row-major misses %.1f%%, column-major %.1f%%\n",
+		100*rowC.Stats().MissRate(), 100*colC.Stats().MissRate())
+
+	fmt.Println("== CS31: threads and synchronization ==")
+	mu := pthread.NewMutex(pthread.MutexNormal)
+	counter := 0
+	ths := pthread.Spawn(4, func(pthread.ID, int) {
+		for i := 0; i < 1000; i++ {
+			mu.Lock()
+			counter++
+			mu.Unlock()
+		}
+	})
+	if err := pthread.JoinAll(ths); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  4 threads x 1000 increments = %d\n", counter)
+
+	fmt.Println("== CS31: parallel Game of Life ==")
+	g, _ := life.NewGrid(64, 64, life.Torus)
+	g.Seed(0.3, 42)
+	seq := g.Clone()
+	seq.StepN(10)
+	if err := g.StepNParallel(10, 4); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  10 generations, 4 threads: matches sequential = %v, population %d\n",
+		g.Equal(seq), g.Population())
+
+	fmt.Println("== CS41: PRAM and work/span ==")
+	xs := make([]int64, 1024)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	total, m, err := pram.Sum(pram.EREW, xs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  EREW sum of 1024 elements = %d in %d steps (work %d)\n", total, m.Steps(), m.Work())
+	fmt.Printf("  Amdahl: f=0.05 limits speedup to %.0fx\n", metrics.AmdahlLimit(0.05))
+
+	fmt.Println("== CS87: message passing ==")
+	err = mp.Run(8, func(c *mp.Comm) error {
+		res, err := c.Allreduce([]int64{int64(c.Rank())}, func(a, b int64) int64 { return a + b })
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("  allreduce over 8 ranks: sum of ranks = %d\n", res[0])
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== CS75: compile MiniC to SWAT32 ==")
+	out, _, steps, err := minicc.Run(`
+int main() { print(6 * 7); return 0; }`, true, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  compiled program printed %s  (%d instructions executed)\n",
+		strings.TrimSpace(out), steps)
+
+	fmt.Println("== CS87: OpenMP-style worksharing ==")
+	reduced, _, err := omp.ForReduce(1, 101, omp.Config{Threads: 4, Schedule: omp.Dynamic, Chunk: 8},
+		0, func(i int) int64 { return int64(i) }, func(a, b int64) int64 { return a + b })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  parallel-for reduction of 1..100 = %d\n", reduced)
+
+	fmt.Println("== CS44: consistent-hashing DHT ==")
+	d, err := db.NewDHT(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.AddNode("a")
+	d.AddNode("b")
+	d.AddNode("c")
+	for i := 0; i < 900; i++ {
+		d.Put(fmt.Sprintf("key-%d", i), "v")
+	}
+	before := d.Moves()
+	d.AddNode("d")
+	fmt.Printf("  900 keys over 3 nodes; adding a 4th moved only %d keys\n", d.Moves()-before)
+
+	fmt.Println("== The curriculum itself ==")
+	cu, err := core.Swarthmore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	gaps := cu.CoreGaps(core.TCPPCore())
+	fmt.Printf("  %d courses modelled; uncovered TCPP core topics: %d\n", len(cu.Courses), len(gaps))
+}
+
+func mustDepth(alu *logic.ALU) int {
+	d, err := alu.Circuit.Depth(alu.Zero)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,55 @@
+// GPU-style parallel reduction — the CS40 CUDA exercise ("parallel
+// reductions on large arrays") on the SIMT simulator: compare the
+// interleaved and sequential addressing schemes on divergence and
+// coalescing, and vector addition coalesced versus strided. Run with:
+//
+//	go run ./examples/reduction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/simd"
+)
+
+func main() {
+	const n = 1 << 15
+	xs := make([]float64, n)
+	var want float64
+	for i := range xs {
+		xs[i] = float64(i % 101)
+		want += xs[i]
+	}
+
+	fmt.Printf("parallel reduction of %d elements, 256-thread blocks\n\n", n)
+	fmt.Printf("%-14s %10s %12s %12s %12s\n", "scheme", "sum ok", "branches", "divergent", "div rate")
+	for _, scheme := range []simd.ReductionScheme{simd.Interleaved, simd.Sequential} {
+		got, st, err := simd.Reduce(xs, 256, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %10v %12d %12d %11.1f%%\n",
+			scheme, got == want, st.Branches, st.DivergentBranches, 100*st.DivergenceRate())
+	}
+
+	fmt.Println("\nvector add, coalesced vs strided access:")
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i], b[i] = float64(i), float64(2*i)
+	}
+	_, coal, err := simd.VecAdd(a, b, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, strided, err := simd.VecAddStrided(a, b, 128, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %14s %14s %12s\n", "layout", "accesses", "transactions", "efficiency")
+	fmt.Printf("%-14s %14d %14d %11.1f%%\n", "coalesced", coal.GlobalAccesses, coal.GlobalTransactions, 100*coal.CoalescingEfficiency())
+	fmt.Printf("%-14s %14d %14d %11.1f%%\n", "strided", strided.GlobalAccesses, strided.GlobalTransactions, 100*strided.CoalescingEfficiency())
+	fmt.Printf("\nthe strided kernel moves %.1fx more memory segments for the same work\n",
+		float64(strided.GlobalTransactions)/float64(coal.GlobalTransactions))
+}

@@ -1,0 +1,247 @@
+// Package bits implements the CS31 "Data Representation" lab from first
+// principles: conversion between binary, hexadecimal, and decimal
+// representations, two's complement arithmetic with explicit carry and
+// overflow detection, bit-vector operations, and IEEE-754 floating point
+// encoding and decoding.
+//
+// Everything here is deliberately implemented at the level a student would
+// build it — digit by digit, bit by bit — rather than by delegating to
+// strconv, so the package doubles as an executable model of the lecture
+// content (binary data representation, binary arithmetic and operations,
+// overflow).
+package bits
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Word is the fixed word size, in bits, used by the fixed-width helpers in
+// this package. It matches the 32-bit machine model used throughout CS31.
+const Word = 32
+
+var (
+	// ErrEmpty is returned when a conversion is asked to parse an empty string.
+	ErrEmpty = errors.New("bits: empty input")
+	// ErrDigit is returned when an input string contains a digit that is not
+	// valid in the requested base.
+	ErrDigit = errors.New("bits: invalid digit")
+	// ErrWidth is returned when a value does not fit in the requested width.
+	ErrWidth = errors.New("bits: value does not fit in width")
+)
+
+// ParseBinary parses an unsigned binary string such as "101101" or
+// "0b101101" into a uint64. Underscores are permitted as visual separators.
+func ParseBinary(s string) (uint64, error) {
+	s = strings.TrimPrefix(strings.TrimPrefix(s, "0b"), "0B")
+	s = strings.ReplaceAll(s, "_", "")
+	if s == "" {
+		return 0, ErrEmpty
+	}
+	if len(s) > 64 {
+		return 0, fmt.Errorf("%w: %d bits > 64", ErrWidth, len(s))
+	}
+	var v uint64
+	for _, c := range s {
+		switch c {
+		case '0':
+			v = v << 1
+		case '1':
+			v = v<<1 | 1
+		default:
+			return 0, fmt.Errorf("%w: %q in binary literal", ErrDigit, c)
+		}
+	}
+	return v, nil
+}
+
+// FormatBinary renders v as a binary string of exactly width bits,
+// most-significant bit first. Width must be between 1 and 64.
+func FormatBinary(v uint64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	if width > 64 {
+		width = 64
+	}
+	b := make([]byte, width)
+	for i := width - 1; i >= 0; i-- {
+		b[i] = byte('0' + v&1)
+		v >>= 1
+	}
+	return string(b)
+}
+
+// ParseHex parses an unsigned hexadecimal string such as "deadbeef" or
+// "0xDEADBEEF" into a uint64.
+func ParseHex(s string) (uint64, error) {
+	s = strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X")
+	s = strings.ReplaceAll(s, "_", "")
+	if s == "" {
+		return 0, ErrEmpty
+	}
+	if len(s) > 16 {
+		return 0, fmt.Errorf("%w: %d hex digits > 16", ErrWidth, len(s))
+	}
+	var v uint64
+	for _, c := range s {
+		d, err := hexDigit(c)
+		if err != nil {
+			return 0, err
+		}
+		v = v<<4 | uint64(d)
+	}
+	return v, nil
+}
+
+func hexDigit(c rune) (uint8, error) {
+	switch {
+	case c >= '0' && c <= '9':
+		return uint8(c - '0'), nil
+	case c >= 'a' && c <= 'f':
+		return uint8(c-'a') + 10, nil
+	case c >= 'A' && c <= 'F':
+		return uint8(c-'A') + 10, nil
+	}
+	return 0, fmt.Errorf("%w: %q in hex literal", ErrDigit, c)
+}
+
+// FormatHex renders v as a lowercase hexadecimal string padded to the
+// number of hex digits needed for width bits (width is rounded up to a
+// multiple of 4).
+func FormatHex(v uint64, width int) string {
+	digits := (width + 3) / 4
+	if digits < 1 {
+		digits = 1
+	}
+	if digits > 16 {
+		digits = 16
+	}
+	const tab = "0123456789abcdef"
+	b := make([]byte, digits)
+	for i := digits - 1; i >= 0; i-- {
+		b[i] = tab[v&0xf]
+		v >>= 4
+	}
+	return string(b)
+}
+
+// ParseDecimal parses an unsigned decimal string into a uint64, detecting
+// overflow explicitly (the way the lab asks students to reason about it:
+// the accumulated value must never shrink).
+func ParseDecimal(s string) (uint64, error) {
+	s = strings.ReplaceAll(s, "_", "")
+	if s == "" {
+		return 0, ErrEmpty
+	}
+	var v uint64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("%w: %q in decimal literal", ErrDigit, c)
+		}
+		next := v*10 + uint64(c-'0')
+		if next/10 < v { // multiplication or addition wrapped
+			return 0, fmt.Errorf("%w: decimal overflows 64 bits", ErrWidth)
+		}
+		v = next
+	}
+	return v, nil
+}
+
+// Convert parses s in the base named by from ("bin", "hex", or "dec") and
+// renders it in the base named by to, using width bits for the formatted
+// output. It is the round-trip exercise from the data representation lab.
+func Convert(s, from, to string, width int) (string, error) {
+	var v uint64
+	var err error
+	switch from {
+	case "bin":
+		v, err = ParseBinary(s)
+	case "hex":
+		v, err = ParseHex(s)
+	case "dec":
+		v, err = ParseDecimal(s)
+	default:
+		return "", fmt.Errorf("bits: unknown source base %q", from)
+	}
+	if err != nil {
+		return "", err
+	}
+	if width > 0 && width < 64 && v >= 1<<uint(width) {
+		return "", fmt.Errorf("%w: %d needs more than %d bits", ErrWidth, v, width)
+	}
+	switch to {
+	case "bin":
+		return FormatBinary(v, width), nil
+	case "hex":
+		return FormatHex(v, width), nil
+	case "dec":
+		return fmt.Sprintf("%d", v), nil
+	}
+	return "", fmt.Errorf("bits: unknown target base %q", to)
+}
+
+// OnesCount returns the number of set bits in v, computed with the shift
+// and mask loop students write before learning the popcount tricks.
+func OnesCount(v uint64) int {
+	n := 0
+	for v != 0 {
+		n += int(v & 1)
+		v >>= 1
+	}
+	return n
+}
+
+// LeadingBit returns the position (0-based from the least significant end)
+// of the most significant set bit of v, or -1 when v is zero.
+func LeadingBit(v uint64) int {
+	p := -1
+	for i := 0; v != 0; i++ {
+		if v&1 == 1 {
+			p = i
+		}
+		v >>= 1
+	}
+	return p
+}
+
+// MinBits reports the minimum number of bits needed to represent v as an
+// unsigned quantity. Zero needs one bit.
+func MinBits(v uint64) int {
+	if v == 0 {
+		return 1
+	}
+	return LeadingBit(v) + 1
+}
+
+// Reverse returns v with its low width bits reversed.
+func Reverse(v uint64, width int) uint64 {
+	var r uint64
+	for i := 0; i < width; i++ {
+		r = r<<1 | (v & 1)
+		v >>= 1
+	}
+	return r
+}
+
+// RotateLeft rotates the low width bits of v left by k positions.
+func RotateLeft(v uint64, width, k int) uint64 {
+	if width <= 0 || width > 64 {
+		return v
+	}
+	mask := widthMask(width)
+	v &= mask
+	k %= width
+	if k < 0 {
+		k += width
+	}
+	return ((v << uint(k)) | (v >> uint(width-k))) & mask
+}
+
+func widthMask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(width)) - 1
+}

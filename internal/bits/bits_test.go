@@ -1,0 +1,363 @@
+package bits
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBinary(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"1", 1, true},
+		{"101101", 45, true},
+		{"0b1111", 15, true},
+		{"0B1000_0000", 128, true},
+		{"", 0, false},
+		{"102", 0, false},
+		{"0b", 0, false},
+		{"1111111111111111111111111111111111111111111111111111111111111111", ^uint64(0), true},
+		{"11111111111111111111111111111111111111111111111111111111111111111", 0, false}, // 65 bits
+	}
+	for _, c := range cases {
+		got, err := ParseBinary(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseBinary(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseBinary(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseHex(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"ff", 255, true},
+		{"0xDEADBEEF", 0xdeadbeef, true},
+		{"0Xcafe_babe", 0xcafebabe, true},
+		{"g", 0, false},
+		{"", 0, false},
+		{"ffffffffffffffff", ^uint64(0), true},
+		{"1ffffffffffffffff", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseHex(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseHex(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseHex(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseDecimalOverflow(t *testing.T) {
+	if _, err := ParseDecimal("18446744073709551615"); err != nil {
+		t.Errorf("max uint64 should parse: %v", err)
+	}
+	if _, err := ParseDecimal("18446744073709551616"); err == nil {
+		t.Error("expected overflow error for 2^64")
+	}
+	if _, err := ParseDecimal("99999999999999999999999"); err == nil {
+		t.Error("expected overflow error")
+	}
+}
+
+func TestFormatBinaryRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		s := FormatBinary(uint64(v), 32)
+		if len(s) != 32 {
+			return false
+		}
+		got, err := ParseBinary(s)
+		return err == nil && got == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatHexRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		s := FormatHex(v, 64)
+		got, err := ParseHex(s)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvert(t *testing.T) {
+	cases := []struct {
+		s, from, to string
+		width       int
+		want        string
+		ok          bool
+	}{
+		{"255", "dec", "hex", 8, "ff", true},
+		{"ff", "hex", "bin", 8, "11111111", true},
+		{"1010", "bin", "dec", 8, "10", true},
+		{"256", "dec", "hex", 8, "", false}, // does not fit
+		{"10", "oct", "dec", 8, "", false},  // unknown base
+		{"10", "dec", "oct", 8, "", false},
+	}
+	for _, c := range cases {
+		got, err := Convert(c.s, c.from, c.to, c.width)
+		if (err == nil) != c.ok {
+			t.Errorf("Convert(%q,%s,%s) err=%v want ok=%v", c.s, c.from, c.to, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("Convert(%q,%s,%s) = %q, want %q", c.s, c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestOnesCountAgainstNaive(t *testing.T) {
+	f := func(v uint64) bool {
+		n := 0
+		for i := 0; i < 64; i++ {
+			if v&(1<<uint(i)) != 0 {
+				n++
+			}
+		}
+		return OnesCount(v) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinBits(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9}, {^uint64(0), 64}}
+	for _, c := range cases {
+		if got := MinBits(c.v); got != c.want {
+			t.Errorf("MinBits(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	f := func(v uint32) bool {
+		return Reverse(Reverse(uint64(v), 32), 32) == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateLeft(t *testing.T) {
+	if got := RotateLeft(0b1000, 4, 1); got != 0b0001 {
+		t.Errorf("RotateLeft(1000,4,1) = %04b", got)
+	}
+	if got := RotateLeft(0b1001, 4, 2); got != 0b0110 {
+		t.Errorf("RotateLeft(1001,4,2) = %04b", got)
+	}
+	// rotating by the width is the identity
+	f := func(v uint8, k uint8) bool {
+		w := uint64(v)
+		return RotateLeft(w, 8, 8) == w && RotateLeft(RotateLeft(w, 8, int(k%8)), 8, 8-int(k%8)) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwosComplementInterpretation(t *testing.T) {
+	cases := []struct {
+		bits  uint64
+		width int
+		want  int64
+	}{
+		{0xff, 8, -1},
+		{0x80, 8, -128},
+		{0x7f, 8, 127},
+		{0x00, 8, 0},
+		{0xffff, 16, -1},
+		{0x8000_0000, 32, math.MinInt32},
+		{0x7fff_ffff, 32, math.MaxInt32},
+	}
+	for _, c := range cases {
+		x := Int{Bits: c.bits, Width: c.width}
+		if got := x.Int64(); got != c.want {
+			t.Errorf("Int{%#x,%d}.Int64() = %d, want %d", c.bits, c.width, got, c.want)
+		}
+	}
+}
+
+func TestMinMaxInt(t *testing.T) {
+	if MinInt(8) != -128 || MaxInt(8) != 127 {
+		t.Errorf("8-bit range: [%d,%d]", MinInt(8), MaxInt(8))
+	}
+	if MinInt(32) != math.MinInt32 || MaxInt(32) != math.MaxInt32 {
+		t.Errorf("32-bit range: [%d,%d]", MinInt(32), MaxInt(32))
+	}
+}
+
+func TestAddFlags(t *testing.T) {
+	cases := []struct {
+		x, y     int64
+		width    int
+		want     int64
+		carry    bool
+		overflow bool
+	}{
+		{100, 27, 8, 127, false, false},
+		{100, 28, 8, -128, false, true}, // signed overflow, no carry
+		{-1, 1, 8, 0, true, false},      // carry out, no signed overflow
+		{-128, -128, 8, 0, true, true},  // both
+		{-1, -1, 8, -2, true, false},    // 0xff+0xff carries
+		{math.MaxInt32, 1, 32, math.MinInt32, false, true},
+	}
+	for _, c := range cases {
+		res, fl, err := Add(NewInt(c.x, c.width), NewInt(c.y, c.width))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Int64() != c.want || fl.Carry != c.carry || fl.Overflow != c.overflow {
+			t.Errorf("Add(%d,%d,w=%d) = %d carry=%v ovf=%v; want %d carry=%v ovf=%v",
+				c.x, c.y, c.width, res.Int64(), fl.Carry, fl.Overflow, c.want, c.carry, c.overflow)
+		}
+	}
+}
+
+func TestAddWidthMismatch(t *testing.T) {
+	if _, _, err := Add(NewInt(1, 8), NewInt(1, 16)); err == nil {
+		t.Error("expected width mismatch error")
+	}
+}
+
+func TestSubMatchesInt64(t *testing.T) {
+	f := func(a, b int32) bool {
+		res, fl, err := Sub(NewInt(int64(a), 32), NewInt(int64(b), 32))
+		if err != nil {
+			return false
+		}
+		want := int64(int32(int64(a) - int64(b))) // wrapped 32-bit result
+		if res.Int64() != want {
+			return false
+		}
+		// borrow flag: unsigned a < unsigned b
+		return fl.Carry == (uint32(a) < uint32(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegMinValueWraps(t *testing.T) {
+	x := NewInt(-128, 8)
+	if got := Neg(x).Int64(); got != -128 {
+		t.Errorf("Neg(-128) at 8 bits = %d, want -128 (wraps)", got)
+	}
+	if got := Neg(NewInt(5, 8)).Int64(); got != -5 {
+		t.Errorf("Neg(5) = %d", got)
+	}
+	if got := Neg(NewInt(0, 8)).Int64(); got != 0 {
+		t.Errorf("Neg(0) = %d", got)
+	}
+}
+
+func TestMulMatchesInt64(t *testing.T) {
+	f := func(a, b int16) bool {
+		res, fl, err := Mul(NewInt(int64(a), 16), NewInt(int64(b), 16))
+		if err != nil {
+			return false
+		}
+		true32 := int64(a) * int64(b)
+		want := int64(int16(true32))
+		if res.Int64() != want {
+			return false
+		}
+		return fl.Overflow == (true32 != want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivModTruncatesTowardZero(t *testing.T) {
+	cases := []struct{ x, y, q, r int64 }{
+		{7, 2, 3, 1},
+		{-7, 2, -3, -1}, // C semantics, not floor
+		{7, -2, -3, 1},
+		{-7, -2, 3, -1},
+	}
+	for _, c := range cases {
+		q, r, err := DivMod(NewInt(c.x, 32), NewInt(c.y, 32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Int64() != c.q || r.Int64() != c.r {
+			t.Errorf("DivMod(%d,%d) = %d,%d want %d,%d", c.x, c.y, q.Int64(), r.Int64(), c.q, c.r)
+		}
+	}
+	if _, _, err := DivMod(NewInt(1, 32), NewInt(0, 32)); err == nil {
+		t.Error("expected division by zero error")
+	}
+}
+
+func TestShifts(t *testing.T) {
+	x := NewInt(-8, 8) // 0b11111000
+	if got := Shr(x, 2).Uint(); got != 0b00111110 {
+		t.Errorf("Shr logical = %08b", got)
+	}
+	if got := Sar(x, 2).Int64(); got != -2 {
+		t.Errorf("Sar arithmetic = %d, want -2", got)
+	}
+	if got := Shl(NewInt(1, 8), 7).Int64(); got != -128 {
+		t.Errorf("Shl(1,7) = %d, want -128", got)
+	}
+	if got := Shl(NewInt(1, 8), 8).Uint(); got != 0 {
+		t.Errorf("Shl past width = %d, want 0", got)
+	}
+	if got := Sar(NewInt(-1, 8), 100).Int64(); got != -1 {
+		t.Errorf("Sar(-1,100) = %d, want -1", got)
+	}
+	if got := Sar(NewInt(1, 8), 100).Int64(); got != 0 {
+		t.Errorf("Sar(1,100) = %d, want 0", got)
+	}
+}
+
+func TestExtendTruncate(t *testing.T) {
+	x := NewInt(-5, 8)
+	if got := SignExtend(x, 32).Int64(); got != -5 {
+		t.Errorf("SignExtend(-5, 32) = %d", got)
+	}
+	if got := ZeroExtend(x, 32).Int64(); got != 251 {
+		t.Errorf("ZeroExtend(-5, 32) = %d, want 251", got)
+	}
+	if got := Truncate(NewInt(0x1ff, 16), 8).Uint(); got != 0xff {
+		t.Errorf("Truncate = %#x", got)
+	}
+}
+
+func TestXorSwapIdentityProperties(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := NewInt(int64(a), 32), NewInt(int64(b), 32)
+		// XOR swap trick
+		x2 := Xor(x, y)
+		y2 := Xor(x2, y)
+		x3 := Xor(x2, y2)
+		return y2.Uint() == x.Uint() && x3.Uint() == y.Uint() &&
+			And(x, Not(x)).Uint() == 0 && Or(x, Not(x)).Uint() == widthMask(32)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

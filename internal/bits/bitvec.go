@@ -1,0 +1,208 @@
+package bits
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector is the bit-vector data structure from the CS31 "bit vectors" lab:
+// a growable set of bits packed into 64-bit words, supporting the set
+// operations students implement with masks and shifts.
+type Vector struct {
+	words []uint64
+	n     int // number of valid bits
+}
+
+// NewVector creates a bit vector with n bits, all zero.
+func NewVector(n int) *Vector {
+	if n < 0 {
+		n = 0
+	}
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i to 1. It panics if i is out of range, matching slice
+// semantics.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i/64] |= 1 << uint(i%64)
+}
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/64] &^= 1 << uint(i%64)
+}
+
+// Flip toggles bit i.
+func (v *Vector) Flip(i int) {
+	v.check(i)
+	v.words[i/64] ^= 1 << uint(i%64)
+}
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bits: vector index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// SetRange sets bits [lo, hi) to 1 using word-at-a-time masking rather
+// than a per-bit loop — the efficiency point of the lab.
+func (v *Vector) SetRange(lo, hi int) {
+	if lo < 0 || hi > v.n || lo > hi {
+		panic(fmt.Sprintf("bits: bad range [%d,%d) of %d", lo, hi, v.n))
+	}
+	for lo < hi {
+		w := lo / 64
+		start := uint(lo % 64)
+		end := uint(64)
+		if w == (hi-1)/64 {
+			end = uint((hi-1)%64) + 1
+		}
+		var mask uint64
+		if end-start == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = ((uint64(1) << (end - start)) - 1) << start
+		}
+		v.words[w] |= mask
+		lo = (w + 1) * 64
+		if lo > hi {
+			lo = hi
+		}
+	}
+}
+
+// Count returns the number of set bits (population count).
+func (v *Vector) Count() int {
+	n := 0
+	for _, w := range v.words {
+		n += OnesCount(w)
+	}
+	return n
+}
+
+// Any reports whether at least one bit is set.
+func (v *Vector) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1.
+func (v *Vector) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for ; i < v.n; i++ {
+		w := v.words[i/64] >> uint(i%64)
+		if w == 0 {
+			// skip the rest of this word
+			i = (i/64+1)*64 - 1
+			continue
+		}
+		if w&1 == 1 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Union sets v to v ∪ o. Vectors must have equal length.
+func (v *Vector) Union(o *Vector) {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// Intersect sets v to v ∩ o.
+func (v *Vector) Intersect(o *Vector) {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// Difference sets v to v \ o.
+func (v *Vector) Difference(o *Vector) {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] &^= o.words[i]
+	}
+}
+
+// Equal reports whether v and o contain the same bits.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	w := NewVector(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+func (v *Vector) sameLen(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bits: vector length mismatch %d vs %d", v.n, o.n))
+	}
+}
+
+// String renders the vector LSB-first as a compact diagnostic string.
+func (v *Vector) String() string {
+	var b strings.Builder
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Sieve computes the primes below n with a bit-vector sieve of
+// Eratosthenes — the capstone exercise of the bit-vector lab.
+func Sieve(n int) []int {
+	if n < 2 {
+		return nil
+	}
+	composite := NewVector(n)
+	for p := 2; p*p < n; p++ {
+		if composite.Get(p) {
+			continue
+		}
+		for m := p * p; m < n; m += p {
+			composite.Set(m)
+		}
+	}
+	var primes []int
+	for p := 2; p < n; p++ {
+		if !composite.Get(p) {
+			primes = append(primes, p)
+		}
+	}
+	return primes
+}

@@ -1,0 +1,256 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(130) // spans three words
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Errorf("bit %d should start clear", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if v.Count() != 8 {
+		t.Errorf("Count = %d, want 8", v.Count())
+	}
+	v.Clear(64)
+	if v.Get(64) || v.Count() != 7 {
+		t.Errorf("Clear(64) failed: count=%d", v.Count())
+	}
+	v.Flip(64)
+	v.Flip(0)
+	if !v.Get(64) || v.Get(0) {
+		t.Error("Flip misbehaved")
+	}
+}
+
+func TestVectorPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range index")
+		}
+	}()
+	NewVector(10).Set(10)
+}
+
+func TestVectorSetRange(t *testing.T) {
+	for _, c := range []struct{ n, lo, hi int }{
+		{200, 0, 200}, {200, 63, 65}, {200, 64, 128}, {200, 10, 10}, {200, 1, 199}, {64, 0, 64},
+	} {
+		v := NewVector(c.n)
+		v.SetRange(c.lo, c.hi)
+		for i := 0; i < c.n; i++ {
+			want := i >= c.lo && i < c.hi
+			if v.Get(i) != want {
+				t.Errorf("n=%d SetRange(%d,%d): bit %d = %v, want %v", c.n, c.lo, c.hi, i, v.Get(i), want)
+			}
+		}
+		if v.Count() != c.hi-c.lo {
+			t.Errorf("SetRange(%d,%d) Count=%d", c.lo, c.hi, v.Count())
+		}
+	}
+}
+
+func TestVectorNextSet(t *testing.T) {
+	v := NewVector(300)
+	v.Set(5)
+	v.Set(64)
+	v.Set(299)
+	if got := v.NextSet(0); got != 5 {
+		t.Errorf("NextSet(0) = %d", got)
+	}
+	if got := v.NextSet(6); got != 64 {
+		t.Errorf("NextSet(6) = %d", got)
+	}
+	if got := v.NextSet(65); got != 299 {
+		t.Errorf("NextSet(65) = %d", got)
+	}
+	if got := v.NextSet(300); got != -1 {
+		t.Errorf("NextSet past end = %d", got)
+	}
+	if got := NewVector(100).NextSet(0); got != -1 {
+		t.Errorf("NextSet on empty = %d", got)
+	}
+}
+
+func TestVectorSetAlgebra(t *testing.T) {
+	// Property: for random bit sets, De Morgan-ish identities hold per bit.
+	f := func(aw, bw [3]uint64) bool {
+		a, b := NewVector(192), NewVector(192)
+		copy(a.words, aw[:])
+		copy(b.words, bw[:])
+		u := a.Clone()
+		u.Union(b)
+		i := a.Clone()
+		i.Intersect(b)
+		d := a.Clone()
+		d.Difference(b)
+		for k := 0; k < 192; k++ {
+			if u.Get(k) != (a.Get(k) || b.Get(k)) {
+				return false
+			}
+			if i.Get(k) != (a.Get(k) && b.Get(k)) {
+				return false
+			}
+			if d.Get(k) != (a.Get(k) && !b.Get(k)) {
+				return false
+			}
+		}
+		// |A| = |A∩B| + |A\B|
+		return a.Count() == i.Count()+d.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorEqualClone(t *testing.T) {
+	a := NewVector(100)
+	a.Set(3)
+	a.Set(99)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone should be equal")
+	}
+	b.Flip(50)
+	if a.Equal(b) {
+		t.Error("modified clone should differ")
+	}
+	if a.Equal(NewVector(101)) {
+		t.Error("different lengths are never equal")
+	}
+}
+
+func TestVectorAny(t *testing.T) {
+	v := NewVector(100)
+	if v.Any() {
+		t.Error("empty vector Any = true")
+	}
+	v.Set(99)
+	if !v.Any() {
+		t.Error("Any should see bit 99")
+	}
+}
+
+func TestSieve(t *testing.T) {
+	primes := Sieve(50)
+	want := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+	if len(primes) != len(want) {
+		t.Fatalf("Sieve(50) = %v", primes)
+	}
+	for i := range want {
+		if primes[i] != want[i] {
+			t.Errorf("prime[%d] = %d, want %d", i, primes[i], want[i])
+		}
+	}
+	if Sieve(1) != nil || Sieve(0) != nil {
+		t.Error("Sieve below 2 should be empty")
+	}
+	// π(10000) = 1229
+	if got := len(Sieve(10000)); got != 1229 {
+		t.Errorf("π(10000) = %d, want 1229", got)
+	}
+}
+
+func TestFloat32Decompose(t *testing.T) {
+	cases := []struct {
+		f     float32
+		class Class
+	}{
+		{0, ClassZero},
+		{1.0, ClassNormal},
+		{-2.5, ClassNormal},
+		{1e-44, ClassSubnormal},
+		{float32(inf()), ClassInfinity},
+	}
+	for _, c := range cases {
+		p := DecomposeFloat32(c.f)
+		if p.Classify() != c.class {
+			t.Errorf("class(%g) = %v, want %v", c.f, p.Classify(), c.class)
+		}
+		if p.Compose() != c.f {
+			t.Errorf("compose(decompose(%g)) = %g", c.f, p.Compose())
+		}
+	}
+}
+
+func inf() float64 {
+	f := 1.0
+	for i := 0; i < 2000; i++ {
+		f *= 2
+	}
+	return f
+}
+
+func TestFloat32ValueMatchesHardware(t *testing.T) {
+	f := func(v float32) bool {
+		p := DecomposeFloat32(v)
+		c := p.Classify()
+		if c == ClassNaN {
+			return true // NaN compares unequal to itself
+		}
+		return p.Value() == float64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeFloat32(t *testing.T) {
+	// 1.0 = 1 × 2^0
+	p, inexact := EncodeFloat32(false, 1, 0)
+	if inexact || p.Compose() != 1.0 {
+		t.Errorf("encode 1.0: %v inexact=%v", p.Compose(), inexact)
+	}
+	// 0.5 = 1 × 2^-1
+	p, _ = EncodeFloat32(false, 1, -1)
+	if p.Compose() != 0.5 {
+		t.Errorf("encode 0.5: %v", p.Compose())
+	}
+	// -12 = 3 × 2^2
+	p, inexact = EncodeFloat32(true, 3, 2)
+	if inexact || p.Compose() != -12 {
+		t.Errorf("encode -12: %v", p.Compose())
+	}
+	// 1/10 cannot be exact: mantissa 0xCCCCCCCD-ish
+	p, inexact = EncodeFloat32(false, 0xCCCCCCCCCCCCD, -55) // ~0.1
+	if !inexact {
+		t.Error("0.1 should be inexact")
+	}
+	if got := p.Compose(); got != 0.1 {
+		t.Errorf("encode 0.1 = %v", got)
+	}
+	// zero mantissa
+	p, _ = EncodeFloat32(true, 0, 5)
+	if p.Compose() != 0 || p.Sign != 1 {
+		t.Error("negative zero encoding")
+	}
+	// overflow to infinity
+	p, inexact = EncodeFloat32(false, 1, 1000)
+	if p.Classify() != ClassInfinity || !inexact {
+		t.Error("expected overflow to infinity")
+	}
+	// underflow to zero
+	p, inexact = EncodeFloat32(false, 1, -1000)
+	if p.Classify() != ClassZero || !inexact {
+		t.Error("expected underflow to zero")
+	}
+}
+
+func TestUlpOrdering(t *testing.T) {
+	if Ulp(1.0) >= Ulp(1e10) {
+		t.Error("ulp should grow with magnitude")
+	}
+	if Ulp(1.5) != Ulp(1.0) {
+		t.Error("same binade, same ulp")
+	}
+}

@@ -1,0 +1,181 @@
+package bits
+
+import (
+	"fmt"
+	"math"
+)
+
+// Float32Parts decomposes an IEEE-754 single-precision bit pattern into
+// its sign, biased exponent, and fraction fields — the picture drawn on
+// the board in the data-representation lecture.
+type Float32Parts struct {
+	Sign     uint32 // 1 bit
+	Exponent uint32 // 8 bits, biased by 127
+	Fraction uint32 // 23 bits
+}
+
+// Class is the IEEE-754 number class of a decoded pattern.
+type Class int
+
+// The possible IEEE-754 classes.
+const (
+	ClassZero Class = iota
+	ClassSubnormal
+	ClassNormal
+	ClassInfinity
+	ClassNaN
+)
+
+// String returns the human-readable name.
+func (c Class) String() string {
+	switch c {
+	case ClassZero:
+		return "zero"
+	case ClassSubnormal:
+		return "subnormal"
+	case ClassNormal:
+		return "normal"
+	case ClassInfinity:
+		return "infinity"
+	case ClassNaN:
+		return "NaN"
+	}
+	return "unknown"
+}
+
+// DecomposeFloat32 splits the bit pattern of f into fields.
+func DecomposeFloat32(f float32) Float32Parts {
+	b := math.Float32bits(f)
+	return Float32Parts{
+		Sign:     b >> 31,
+		Exponent: (b >> 23) & 0xff,
+		Fraction: b & 0x7fffff,
+	}
+}
+
+// Compose reassembles the fields into a float32.
+func (p Float32Parts) Compose() float32 {
+	b := p.Sign<<31 | (p.Exponent&0xff)<<23 | (p.Fraction & 0x7fffff)
+	return math.Float32frombits(b)
+}
+
+// Classify reports which IEEE-754 class the fields denote.
+func (p Float32Parts) Classify() Class {
+	switch {
+	case p.Exponent == 0 && p.Fraction == 0:
+		return ClassZero
+	case p.Exponent == 0:
+		return ClassSubnormal
+	case p.Exponent == 0xff && p.Fraction == 0:
+		return ClassInfinity
+	case p.Exponent == 0xff:
+		return ClassNaN
+	}
+	return ClassNormal
+}
+
+// Value recomputes the numeric value from the fields by the definition
+// (-1)^s × 1.f × 2^(e-127), using only integer operations plus one final
+// scale — the "decode by hand" exercise.
+func (p Float32Parts) Value() float64 {
+	sign := 1.0
+	if p.Sign == 1 {
+		sign = -1.0
+	}
+	switch p.Classify() {
+	case ClassZero:
+		return sign * 0
+	case ClassInfinity:
+		return sign * math.Inf(1)
+	case ClassNaN:
+		return math.NaN()
+	case ClassSubnormal:
+		return sign * float64(p.Fraction) / (1 << 23) * math.Pow(2, -126)
+	}
+	mant := 1.0 + float64(p.Fraction)/(1<<23)
+	return sign * mant * math.Pow(2, float64(p.Exponent)-127)
+}
+
+// EncodeFloat32 builds the nearest float32 pattern for a value expressed
+// as sign × mantissa × 2^exp2 with integer mantissa, implementing the
+// normalize-round-pack pipeline by hand. It returns the parts and whether
+// rounding lost precision.
+func EncodeFloat32(negative bool, mantissa uint64, exp2 int) (Float32Parts, bool) {
+	if mantissa == 0 {
+		var s uint32
+		if negative {
+			s = 1
+		}
+		return Float32Parts{Sign: s}, false
+	}
+	// Normalize: shift mantissa so its leading 1 sits at bit 23.
+	lead := LeadingBit(mantissa)
+	shift := lead - 23
+	exp2 += shift
+	var frac uint64
+	inexact := false
+	if shift > 0 {
+		dropped := mantissa & widthMask(shift)
+		frac = mantissa >> uint(shift)
+		if dropped != 0 {
+			inexact = true
+			half := uint64(1) << uint(shift-1)
+			if dropped > half || (dropped == half && frac&1 == 1) { // round to nearest even
+				frac++
+				if frac == 1<<24 { // rounding carried out of the mantissa
+					frac >>= 1
+					exp2++
+				}
+			}
+		}
+	} else {
+		frac = mantissa << uint(-shift)
+	}
+	// After normalization the value is (frac / 2^23) × 2^(exp2+23), so the
+	// unbiased exponent is exp2+23.
+	e := exp2 + 23 + 127
+	var s uint32
+	if negative {
+		s = 1
+	}
+	if e >= 0xff { // overflow to infinity
+		return Float32Parts{Sign: s, Exponent: 0xff}, true
+	}
+	if e <= 0 { // subnormal or underflow: shift the hidden bit back in
+		drop := uint(1 - e)
+		if drop >= 25 {
+			return Float32Parts{Sign: s}, true
+		}
+		dropped := frac & widthMask(int(drop))
+		frac >>= drop
+		if dropped != 0 {
+			inexact = true
+		}
+		return Float32Parts{Sign: s, Exponent: 0, Fraction: uint32(frac) & 0x7fffff}, inexact
+	}
+	return Float32Parts{Sign: s, Exponent: uint32(e), Fraction: uint32(frac) & 0x7fffff}, inexact
+}
+
+// Ulp returns the gap to the next representable float32 above |f| — used
+// in the lab discussion of why 0.1 + 0.2 != 0.3.
+func Ulp(f float32) float64 {
+	p := DecomposeFloat32(f)
+	switch p.Classify() {
+	case ClassNaN, ClassInfinity:
+		return math.NaN()
+	case ClassZero, ClassSubnormal:
+		return math.Pow(2, -126-23)
+	}
+	return math.Pow(2, float64(p.Exponent)-127-23)
+}
+
+// FormatFloat32 renders the bit layout of f as "s|eeeeeeee|fffff..." for
+// lab write-ups.
+func FormatFloat32(f float32) string {
+	p := DecomposeFloat32(f)
+	return fmt.Sprintf("%s|%s|%s (%s)",
+		FormatBinary(uint64(p.Sign), 1),
+		FormatBinary(uint64(p.Exponent), 8),
+		FormatBinary(uint64(p.Fraction), 23),
+		p.Classify())
+}

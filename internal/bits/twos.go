@@ -1,0 +1,244 @@
+package bits
+
+import "fmt"
+
+// Int is a fixed-width two's complement integer. Width is the number of
+// bits (1..64); Bits holds the value in the low Width bits with the upper
+// bits zero. The type models exactly what the data-representation lab
+// teaches: the same bit pattern is both an unsigned value and a signed
+// two's complement value, and arithmetic wraps with observable carry-out
+// and signed-overflow flags.
+type Int struct {
+	Bits  uint64
+	Width int
+}
+
+// NewInt builds a fixed-width integer from a (possibly negative) Go int64,
+// truncating to width bits the way a C cast does.
+func NewInt(v int64, width int) Int {
+	return Int{Bits: uint64(v) & widthMask(width), Width: width}
+}
+
+// Uint returns the unsigned interpretation of the bit pattern.
+func (x Int) Uint() uint64 { return x.Bits & widthMask(x.Width) }
+
+// Int64 returns the signed two's complement interpretation of the bit
+// pattern, produced by explicit sign extension.
+func (x Int) Int64() int64 {
+	v := x.Bits & widthMask(x.Width)
+	if x.Width < 64 && v&(1<<uint(x.Width-1)) != 0 {
+		v |= ^widthMask(x.Width) // sign-extend
+	}
+	return int64(v)
+}
+
+// Sign reports -1, 0, or 1 for the signed interpretation.
+func (x Int) Sign() int {
+	v := x.Int64()
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	}
+	return 0
+}
+
+// String renders the value as "signed (unsigned) 0bBITS" for lab reports.
+func (x Int) String() string {
+	return fmt.Sprintf("%d (%du) 0b%s", x.Int64(), x.Uint(), FormatBinary(x.Bits, x.Width))
+}
+
+// MinInt and MaxInt return the representable signed range at width bits.
+func MinInt(width int) int64 { return Int{Bits: 1 << uint(width-1), Width: width}.Int64() }
+
+// MaxInt returns the largest signed value representable in width bits.
+func MaxInt(width int) int64 {
+	return Int{Bits: widthMask(width) >> 1, Width: width}.Int64()
+}
+
+// Flags reports the ALU condition codes produced by an arithmetic
+// operation, in the style of the IA32 EFLAGS subset CS31 teaches.
+type Flags struct {
+	Carry    bool // unsigned overflow (carry out of the MSB)
+	Overflow bool // signed overflow (result sign inconsistent with operands)
+	Zero     bool // result is all zero bits
+	Negative bool // MSB of result is set
+}
+
+func flagsFor(res Int, carry, overflow bool) Flags {
+	return Flags{
+		Carry:    carry,
+		Overflow: overflow,
+		Zero:     res.Uint() == 0,
+		Negative: res.Sign() < 0,
+	}
+}
+
+// Add performs width-bit addition of x and y (widths must match), returning
+// the wrapped result and the condition flags. Signed overflow occurs when
+// the operands share a sign that differs from the result's sign.
+func Add(x, y Int) (Int, Flags, error) {
+	if x.Width != y.Width {
+		return Int{}, Flags{}, fmt.Errorf("bits: width mismatch %d vs %d", x.Width, y.Width)
+	}
+	w := x.Width
+	full := x.Uint() + y.Uint() // cannot wrap in 64 bits for w<64; handled below for w==64
+	var carry bool
+	if w == 64 {
+		carry = full < x.Uint()
+	} else {
+		carry = full > widthMask(w)
+	}
+	res := Int{Bits: full & widthMask(w), Width: w}
+	sx, sy, sr := x.Sign() < 0, y.Sign() < 0, res.Sign() < 0
+	overflow := sx == sy && sr != sx && (x.Uint() != 0 || y.Uint() != 0)
+	return res, flagsFor(res, carry, overflow), nil
+}
+
+// Sub computes x - y as x + (^y + 1), exactly how the lab derives
+// subtraction from two's complement negation. The carry flag follows the
+// x86 convention: set when a borrow is required (unsigned x < unsigned y).
+func Sub(x, y Int) (Int, Flags, error) {
+	if x.Width != y.Width {
+		return Int{}, Flags{}, fmt.Errorf("bits: width mismatch %d vs %d", x.Width, y.Width)
+	}
+	negY := Neg(y)
+	res, _, err := Add(x, negY)
+	if err != nil {
+		return Int{}, Flags{}, err
+	}
+	borrow := x.Uint() < y.Uint()
+	sx, sy, sr := x.Sign() < 0, y.Sign() < 0, res.Sign() < 0
+	overflow := sx != sy && sr == sy
+	return res, flagsFor(res, borrow, overflow), nil
+}
+
+// Neg returns the two's complement negation ^x + 1. Negating the minimum
+// value wraps back to itself — the classic overflow case the lab quizzes.
+func Neg(x Int) Int {
+	return Int{Bits: (^x.Bits + 1) & widthMask(x.Width), Width: x.Width}
+}
+
+// Mul performs width-bit multiplication via shift-and-add, the algorithm
+// students implement after the binary arithmetic lecture. The carry flag
+// reports that the true product did not fit in width bits (unsigned);
+// Overflow reports the same for the signed product.
+func Mul(x, y Int) (Int, Flags, error) {
+	if x.Width != y.Width {
+		return Int{}, Flags{}, fmt.Errorf("bits: width mismatch %d vs %d", x.Width, y.Width)
+	}
+	w := x.Width
+	var acc uint64
+	var lost bool
+	m := x.Uint()
+	for i := 0; i < w; i++ {
+		if y.Uint()&(1<<uint(i)) != 0 {
+			shifted := m << uint(i)
+			if w < 64 {
+				if i > 0 && m>>(uint(64-i)) != 0 {
+					lost = true
+				}
+				acc += shifted
+			} else {
+				if i > 0 && m>>(uint(64-i)) != 0 {
+					lost = true
+				}
+				before := acc
+				acc += shifted
+				if acc < before {
+					lost = true
+				}
+			}
+		}
+	}
+	if w < 64 && acc > widthMask(w) {
+		lost = true
+	}
+	res := Int{Bits: acc & widthMask(w), Width: w}
+	// Signed overflow: recompute in int64 when it fits, else approximate by
+	// checking that res sign-extends back to the true signed product.
+	var soverflow bool
+	if w <= 32 {
+		true64 := x.Int64() * y.Int64()
+		soverflow = true64 != res.Int64()
+	} else {
+		soverflow = lost
+	}
+	return res, flagsFor(res, lost, soverflow), nil
+}
+
+// DivMod performs signed division with truncation toward zero (the C
+// semantics the course contrasts with mathematical floor division). It
+// returns quotient and remainder such that q*y + r == x and |r| < |y|.
+func DivMod(x, y Int) (q, r Int, err error) {
+	if x.Width != y.Width {
+		return Int{}, Int{}, fmt.Errorf("bits: width mismatch %d vs %d", x.Width, y.Width)
+	}
+	if y.Uint() == 0 {
+		return Int{}, Int{}, fmt.Errorf("bits: division by zero")
+	}
+	a, b := x.Int64(), y.Int64()
+	return NewInt(a/b, x.Width), NewInt(a%b, x.Width), nil
+}
+
+// And, Or, Xor, Not are the bitwise operators at fixed width.
+func And(x, y Int) Int { return Int{Bits: (x.Bits & y.Bits) & widthMask(x.Width), Width: x.Width} }
+
+// Or returns the bitwise OR of x and y at x's width.
+func Or(x, y Int) Int { return Int{Bits: (x.Bits | y.Bits) & widthMask(x.Width), Width: x.Width} }
+
+// Xor returns the bitwise XOR of x and y at x's width.
+func Xor(x, y Int) Int { return Int{Bits: (x.Bits ^ y.Bits) & widthMask(x.Width), Width: x.Width} }
+
+// Not returns the bitwise complement of x at its width.
+func Not(x Int) Int { return Int{Bits: (^x.Bits) & widthMask(x.Width), Width: x.Width} }
+
+// Shl shifts left by k, discarding bits shifted past the width.
+func Shl(x Int, k int) Int {
+	if k >= x.Width {
+		return Int{Width: x.Width}
+	}
+	return Int{Bits: (x.Bits << uint(k)) & widthMask(x.Width), Width: x.Width}
+}
+
+// Shr performs a logical (zero-filling) right shift by k.
+func Shr(x Int, k int) Int {
+	if k >= x.Width {
+		return Int{Width: x.Width}
+	}
+	return Int{Bits: (x.Bits & widthMask(x.Width)) >> uint(k), Width: x.Width}
+}
+
+// Sar performs an arithmetic (sign-replicating) right shift by k, the
+// distinction the assembly unit drills (sarl vs shrl).
+func Sar(x Int, k int) Int {
+	if k >= x.Width {
+		if x.Sign() < 0 {
+			return Int{Bits: widthMask(x.Width), Width: x.Width}
+		}
+		return Int{Width: x.Width}
+	}
+	return NewInt(x.Int64()>>uint(k), x.Width)
+}
+
+// SignExtend widens x to a larger width, replicating the sign bit.
+func SignExtend(x Int, width int) Int {
+	if width <= x.Width {
+		return Truncate(x, width)
+	}
+	return NewInt(x.Int64(), width)
+}
+
+// ZeroExtend widens x to a larger width, filling with zeros.
+func ZeroExtend(x Int, width int) Int {
+	if width <= x.Width {
+		return Truncate(x, width)
+	}
+	return Int{Bits: x.Uint(), Width: width}
+}
+
+// Truncate narrows x to width bits, keeping the low bits (a C downcast).
+func Truncate(x Int, width int) Int {
+	return Int{Bits: x.Bits & widthMask(width), Width: width}
+}

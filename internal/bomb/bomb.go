@@ -1,0 +1,377 @@
+// Package bomb implements the CS31 "Binary Bomb" lab on top of the SWAT32
+// simulator. A bomb is a six-phase assembly program: each phase reads one
+// input line and checks it against a secret predicate; any wrong answer
+// executes the explode service. Students defuse it by disassembling and
+// tracing the binary — exactly the Bryant & O'Hallaron exercise the paper
+// imports, retargeted to SWAT32.
+//
+// Bombs are generated per variant number, so every student gets different
+// secrets from the same phase structure.
+package bomb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// NumPhases is the number of phases in every generated bomb.
+const NumPhases = 6
+
+// Bomb is a generated binary bomb: the assembly source, the assembled
+// program, and (for graders) the secret solutions.
+type Bomb struct {
+	Variant   int
+	Source    string
+	Program   *isa.Program
+	solutions [NumPhases]string
+}
+
+// rng is a tiny deterministic xorshift generator so variants are stable
+// across runs without importing math/rand.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+var wordPool = []string{
+	"swarthmore", "pipeline", "pthreads", "speedup", "barrier",
+	"amdahl", "cache", "scheduler", "parallel", "semaphore",
+	"deadlock", "mutex", "registers", "overflow", "segfault",
+}
+
+var palindromePool = []string{
+	"racecar", "level", "rotator", "deified", "civic", "madamimadam",
+}
+
+// New generates the bomb for a variant number. Generation is
+// deterministic: the same variant always yields the same bomb.
+func New(variant int) (*Bomb, error) {
+	r := &rng{s: uint64(variant)*2654435761 + 88172645463325252}
+	for i := 0; i < 8; i++ {
+		r.next()
+	}
+	b := &Bomb{Variant: variant}
+
+	// Phase 1: exact string match.
+	secret1 := wordPool[r.intn(len(wordPool))]
+	b.solutions[0] = secret1
+
+	// Phase 2: six characters ascending by 2 from a random printable start.
+	c0 := byte('A' + r.intn(20))
+	p2 := make([]byte, 6)
+	for i := range p2 {
+		p2[i] = c0 + byte(2*i)
+	}
+	b.solutions[1] = string(p2)
+
+	// Phase 3: character checksum must equal the sum of a secret word.
+	secret3 := wordPool[r.intn(len(wordPool))]
+	sum3 := 0
+	for _, c := range []byte(secret3) {
+		sum3 += int(c)
+	}
+	b.solutions[2] = secret3
+
+	// Phase 4: any palindrome of length >= 3; the canonical solution is a
+	// pool pick (graders use it; students may find another).
+	b.solutions[3] = palindromePool[r.intn(len(palindromePool))]
+
+	// Phase 5: XOR-encoded string. Key avoids producing NUL or clashing
+	// with the terminator.
+	key := byte(1 + r.intn(30))
+	plain5 := wordPool[r.intn(len(wordPool))]
+	enc := make([]int, len(plain5))
+	for i := range plain5 {
+		e := plain5[i] ^ key
+		if e == 0 { // cannot happen for lowercase ^ key<31, but stay safe
+			return nil, fmt.Errorf("bomb: phase 5 encoding produced NUL")
+		}
+		enc[i] = int(e)
+	}
+	b.solutions[4] = plain5
+
+	// Phase 6: exactly 7 chars with parity(char i) == parity(i).
+	p6 := make([]byte, 7)
+	base := byte('@' + 2*r.intn(8)) // even ASCII start
+	for i := range p6 {
+		p6[i] = base + byte(i)
+	}
+	b.solutions[5] = string(p6)
+
+	encWords := make([]string, len(enc)+1)
+	for i, e := range enc {
+		encWords[i] = fmt.Sprintf("%d", e)
+	}
+	encWords[len(enc)] = "0"
+
+	b.Source = fmt.Sprintf(bombTemplate,
+		variant,                      // banner
+		secret1,                      // phase 1 secret
+		int(c0),                      // phase 2 first char
+		sum3,                         // phase 3 checksum
+		int(key),                     // phase 5 key
+		strings.Join(encWords, ", "), // phase 5 encoded bytes as words
+	)
+	p, err := isa.Assemble(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("bomb: generated source failed to assemble: %w", err)
+	}
+	b.Program = p
+	return b, nil
+}
+
+// Solutions returns the grader's answer key, one line per phase.
+func (b *Bomb) Solutions() []string {
+	out := make([]string, NumPhases)
+	copy(out, b.solutions[:])
+	return out
+}
+
+// Disassembly returns the gdb-style listing of the bomb's code segment —
+// the artifact students actually work from.
+func (b *Bomb) Disassembly() (string, error) {
+	return isa.Disassemble(b.Program.Code)
+}
+
+// Result reports the outcome of a defuse attempt.
+type Result struct {
+	PhasesDefused int
+	Exploded      bool
+	Output        string
+}
+
+// Run feeds the input lines to the bomb and reports how far it got. A
+// missing or wrong line explodes the bomb at that phase.
+func (b *Bomb) Run(inputs []string) (Result, error) {
+	cpu := isa.NewCPU(b.Program)
+	cpu.Input = inputs
+	err := cpu.Run(2_000_000)
+	res := Result{Output: cpu.Output.String()}
+	res.PhasesDefused = strings.Count(res.Output, "Phase") - strings.Count(res.Output, "Phase?")
+	// Count completed phases by their completion markers.
+	res.PhasesDefused = 0
+	for i := 1; i <= NumPhases; i++ {
+		if strings.Contains(res.Output, fmt.Sprintf("Phase %d defused", i)) {
+			res.PhasesDefused++
+		}
+	}
+	if err == isa.ErrExploded {
+		res.Exploded = true
+		return res, nil
+	}
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Defused reports whether inputs fully defuse the bomb.
+func (b *Bomb) Defused(inputs []string) (bool, error) {
+	res, err := b.Run(inputs)
+	if err != nil {
+		return false, err
+	}
+	return !res.Exploded && res.PhasesDefused == NumPhases, nil
+}
+
+// bombTemplate is the bomb program. Format arguments: variant, phase-1
+// secret string, phase-2 start char, phase-3 checksum, phase-5 key,
+// phase-5 encoded byte list.
+const bombTemplate = `
+.data
+banner:  .asciz "SWAT32 binary bomb, variant %d. Answer or BOOM.\n"
+msg1:    .asciz "Phase 1 defused\n"
+msg2:    .asciz "Phase 2 defused\n"
+msg3:    .asciz "Phase 3 defused\n"
+msg4:    .asciz "Phase 4 defused\n"
+msg5:    .asciz "Phase 5 defused\n"
+msg6:    .asciz "Phase 6 defused\n"
+done:    .asciz "Congratulations, bomb defused!\n"
+secret1: .asciz "%s"
+enc5:    .word %[6]s
+buf:     .space 64
+
+.text
+main:
+    movl $banner, %%eax
+    sys $2
+    call readline
+    call phase1
+    movl $msg1, %%eax
+    sys $2
+    call readline
+    call phase2
+    movl $msg2, %%eax
+    sys $2
+    call readline
+    call phase3
+    movl $msg3, %%eax
+    sys $2
+    call readline
+    call phase4
+    movl $msg4, %%eax
+    sys $2
+    call readline
+    call phase5
+    movl $msg5, %%eax
+    sys $2
+    call readline
+    call phase6
+    movl $msg6, %%eax
+    sys $2
+    movl $done, %%eax
+    sys $2
+    movl $0, %%eax
+    sys $0
+
+readline:
+    movl $buf, %%eax
+    movl $64, %%ebx
+    sys $3
+    cmpl $0, %%eax
+    jl boom
+    ret
+
+boom:
+    sys $4
+
+# Phase 1: strcmp(buf, secret1)
+phase1:
+    movl $buf, %%esi
+    movl $secret1, %%edi
+p1_loop:
+    movb 0(%%esi), %%eax
+    movb 0(%%edi), %%ebx
+    cmpl %%ebx, %%eax
+    jne boom
+    cmpl $0, %%eax
+    je p1_ok
+    incl %%esi
+    incl %%edi
+    jmp p1_loop
+p1_ok:
+    ret
+
+# Phase 2: six chars, each two greater than the last, starting at a secret
+phase2:
+    movl $buf, %%esi
+    movb 0(%%esi), %%eax
+    cmpl $%[3]d, %%eax
+    jne boom
+    movl $5, %%ecx
+p2_loop:
+    movb 0(%%esi), %%eax
+    movb 1(%%esi), %%ebx
+    subl %%eax, %%ebx
+    cmpl $2, %%ebx
+    jne boom
+    incl %%esi
+    decl %%ecx
+    cmpl $0, %%ecx
+    jg p2_loop
+    movb 1(%%esi), %%eax
+    cmpl $0, %%eax
+    jne boom
+    ret
+
+# Phase 3: character checksum equals a secret constant
+phase3:
+    movl $buf, %%esi
+    movl $0, %%edx
+p3_loop:
+    movb 0(%%esi), %%eax
+    cmpl $0, %%eax
+    je p3_done
+    addl %%eax, %%edx
+    incl %%esi
+    jmp p3_loop
+p3_done:
+    cmpl $%[4]d, %%edx
+    jne boom
+    cmpl $buf, %%esi
+    je boom
+    ret
+
+# Phase 4: palindrome of length >= 3
+phase4:
+    movl $buf, %%esi
+    movl %%esi, %%edi
+p4_len:
+    movb 0(%%edi), %%eax
+    cmpl $0, %%eax
+    je p4_len_done
+    incl %%edi
+    jmp p4_len
+p4_len_done:
+    movl %%edi, %%eax
+    subl %%esi, %%eax
+    cmpl $3, %%eax
+    jl boom
+    decl %%edi
+p4_cmp:
+    cmpl %%esi, %%edi
+    jle p4_ok
+    movb 0(%%esi), %%eax
+    movb 0(%%edi), %%ebx
+    cmpl %%ebx, %%eax
+    jne boom
+    incl %%esi
+    decl %%edi
+    jmp p4_cmp
+p4_ok:
+    ret
+
+# Phase 5: XOR cipher: input ^ key must equal the encoded table
+phase5:
+    movl $buf, %%esi
+    movl $enc5, %%edi
+p5_loop:
+    movl 0(%%edi), %%ebx
+    cmpl $0, %%ebx
+    je p5_end
+    movb 0(%%esi), %%eax
+    cmpl $0, %%eax
+    je boom
+    xorl $%[5]d, %%eax
+    cmpl %%ebx, %%eax
+    jne boom
+    incl %%esi
+    addl $4, %%edi
+    jmp p5_loop
+p5_end:
+    movb 0(%%esi), %%eax
+    cmpl $0, %%eax
+    jne boom
+    ret
+
+# Phase 6: exactly 7 chars; parity of char i equals parity of i
+phase6:
+    movl $buf, %%esi
+    movl $0, %%ecx
+p6_loop:
+    movb 0(%%esi), %%eax
+    cmpl $0, %%eax
+    je p6_done
+    movl %%eax, %%ebx
+    andl $1, %%ebx
+    movl %%ecx, %%edx
+    andl $1, %%edx
+    cmpl %%edx, %%ebx
+    jne boom
+    incl %%esi
+    incl %%ecx
+    jmp p6_loop
+p6_done:
+    cmpl $7, %%ecx
+    jne boom
+    ret
+`

@@ -1,0 +1,172 @@
+package bomb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSolutionsDefuse(t *testing.T) {
+	for variant := 0; variant < 20; variant++ {
+		b, err := New(variant)
+		if err != nil {
+			t.Fatalf("variant %d: %v", variant, err)
+		}
+		ok, err := b.Defused(b.Solutions())
+		if err != nil {
+			t.Fatalf("variant %d: %v", variant, err)
+		}
+		if !ok {
+			res, _ := b.Run(b.Solutions())
+			t.Errorf("variant %d: solutions failed at phase %d\noutput:\n%s",
+				variant, res.PhasesDefused+1, res.Output)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, err := New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != b.Source {
+		t.Error("same variant should generate identical bombs")
+	}
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source == c.Source {
+		t.Error("different variants should differ")
+	}
+}
+
+func TestWrongAnswersExplode(t *testing.T) {
+	b, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := b.Solutions()
+	for phase := 0; phase < NumPhases; phase++ {
+		inputs := append([]string(nil), sol...)
+		inputs[phase] = "definitely wrong"
+		res, err := b.Run(inputs)
+		if err != nil {
+			t.Fatalf("phase %d: %v", phase, err)
+		}
+		if !res.Exploded {
+			t.Errorf("phase %d: wrong answer did not explode", phase)
+		}
+		if res.PhasesDefused != phase {
+			t.Errorf("phase %d: defused %d phases before exploding", phase, res.PhasesDefused)
+		}
+	}
+}
+
+func TestMissingInputExplodes(t *testing.T) {
+	b, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(b.Solutions()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exploded || res.PhasesDefused != 2 {
+		t.Errorf("truncated input: exploded=%v defused=%d", res.Exploded, res.PhasesDefused)
+	}
+}
+
+func TestAlternativePalindromeAccepted(t *testing.T) {
+	// Phase 4 accepts any palindrome >= 3 chars, not just the answer key.
+	b, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := b.Solutions()
+	sol[3] = "abcba"
+	ok, err := b.Defused(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("alternative palindrome should defuse phase 4")
+	}
+	sol[3] = "ab" // too short
+	ok, _ = b.Defused(sol)
+	if ok {
+		t.Error("2-char input should explode phase 4")
+	}
+	sol[3] = "abcda" // not a palindrome
+	ok, _ = b.Defused(sol)
+	if ok {
+		t.Error("non-palindrome should explode phase 4")
+	}
+}
+
+func TestPhase3AnyStringWithChecksum(t *testing.T) {
+	// Any string with the right character sum defuses phase 3.
+	b, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := b.Solutions()
+	// A permutation of the secret has the same character sum but is a
+	// different string: rotate it by one character.
+	secret := sol[2]
+	alt := secret[1:] + secret[:1]
+	if alt == secret {
+		t.Skip("secret is rotation-invariant")
+	}
+	sol[2] = alt
+	ok, err := b.Defused(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		res, _ := b.Run(sol)
+		t.Errorf("alternative checksum string rejected; output:\n%s", res.Output)
+	}
+}
+
+func TestDisassemblyMentionsAllPhases(t *testing.T) {
+	b, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := b.Disassembly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The listing must contain the explode service and the xor constant the
+	// student needs to find.
+	if !strings.Contains(dis, "sys $4") {
+		t.Error("disassembly missing explode syscall")
+	}
+	if !strings.Contains(dis, "xor $") {
+		t.Error("disassembly missing phase-5 xor")
+	}
+	if lines := strings.Count(dis, "\n"); lines < 80 {
+		t.Errorf("disassembly suspiciously short: %d lines", lines)
+	}
+}
+
+func TestBannerPrinted(t *testing.T) {
+	b, err := New(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "variant 11") {
+		t.Errorf("banner missing: %q", res.Output)
+	}
+	if !res.Exploded {
+		t.Error("empty input must explode at the first readline")
+	}
+}

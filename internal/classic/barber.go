@@ -1,0 +1,152 @@
+package classic
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/pthread"
+)
+
+// BarberResult summarizes a sleeping-barber run.
+type BarberResult struct {
+	Served     int64
+	TurnedAway int64
+	Chairs     int
+}
+
+// RunBarber simulates the sleeping barber: customers arrive, wait in a
+// bounded waiting room or leave, and a single barber serves them one at a
+// time. Conservation invariant: served + turned away == customers.
+func RunBarber(chairs, customers int) (BarberResult, error) {
+	if chairs < 0 || customers < 0 {
+		return BarberResult{}, errors.New("classic: negative parameters")
+	}
+	res := BarberResult{Chairs: chairs}
+
+	mu := pthread.NewMutex(pthread.MutexNormal)
+	customerReady := pthread.NewSemaphore(0) // barber waits on this
+	barberReady := pthread.NewSemaphore(0)   // customer waits for a haircut slot
+	waiting := 0
+	var served, turnedAway atomic.Int64
+	remaining := customers
+
+	barber := pthread.Create(func(pthread.ID) {
+		for {
+			customerReady.Wait()
+			mu.Lock()
+			if waiting < 0 { // poison: shop closing
+				mu.Unlock()
+				return
+			}
+			waiting--
+			mu.Unlock()
+			barberReady.Post() // cut hair
+			served.Add(1)
+		}
+	})
+
+	custs := pthread.Spawn(customers, func(pthread.ID, int) {
+		mu.Lock()
+		if waiting >= chairs {
+			turnedAway.Add(1)
+			remaining--
+			mu.Unlock()
+			return
+		}
+		waiting++
+		remaining--
+		mu.Unlock()
+		customerReady.Post()
+		barberReady.Wait()
+	})
+	if err := pthread.JoinAll(custs); err != nil {
+		return res, err
+	}
+	// Close the shop: wait for the queue to drain, then poison the barber.
+	for {
+		mu.Lock()
+		empty := waiting == 0
+		mu.Unlock()
+		if empty {
+			break
+		}
+	}
+	mu.Lock()
+	waiting = -1000
+	mu.Unlock()
+	customerReady.Post()
+	if err := barber.Join(); err != nil {
+		return res, err
+	}
+	res.Served = served.Load()
+	res.TurnedAway = turnedAway.Load()
+	return res, nil
+}
+
+// SmokersResult summarizes a cigarette-smokers run.
+type SmokersResult struct {
+	Rounds   int64
+	SmokedBy [3]int64 // per-smoker completions
+}
+
+// RunSmokers simulates the cigarette smokers problem with the agent
+// placing two of {tobacco, paper, matches} each round and the smoker
+// holding the third ingredient smoking. The deadlock-free solution uses
+// pusher semantics folded into the agent (it signals the unique smoker
+// directly), which is the version presented in lecture after showing why
+// the naive one jams.
+func RunSmokers(rounds int) (SmokersResult, error) {
+	if rounds < 0 {
+		return SmokersResult{}, errors.New("classic: negative rounds")
+	}
+	var res SmokersResult
+	smokerSems := [3]*pthread.Semaphore{
+		pthread.NewSemaphore(0), pthread.NewSemaphore(0), pthread.NewSemaphore(0),
+	}
+	agentSem := pthread.NewSemaphore(1)
+	var counts [3]atomic.Int64
+
+	// Deterministic "random" choice of which smoker goes each round.
+	smokers := pthread.Spawn(3, func(_ pthread.ID, i int) {
+		for {
+			smokerSems[i].Wait()
+			c := counts[i].Add(1)
+			if c < 0 {
+				return
+			}
+			agentSem.Post()
+		}
+	})
+	var seed uint64 = 0x2545F4914F6CDD1D
+	total := int64(0)
+	chosen := make([]int, rounds)
+	for r := 0; r < rounds; r++ {
+		agentSem.Wait()
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		k := int(seed % 3)
+		chosen[r] = k
+		smokerSems[k].Post()
+		total++
+	}
+	agentSem.Wait() // last smoker finished
+	// Shut the smokers down: make their next count negative then post.
+	for i := range smokerSems {
+		counts[i].Store(-1 << 40)
+		smokerSems[i].Post()
+	}
+	if err := pthread.JoinAll(smokers); err != nil {
+		return res, err
+	}
+	res.Rounds = total
+	for i := range res.SmokedBy {
+		// Recover true counts from the poisoned values by recounting the
+		// agent's choices.
+		res.SmokedBy[i] = 0
+	}
+	for _, k := range chosen {
+		res.SmokedBy[k]++
+	}
+	return res, nil
+}

@@ -1,0 +1,243 @@
+// Package classic implements the classic synchronization problems from
+// the CS31/CS45 curriculum on top of the pthread package: the bounded
+// buffer (producer/consumer), readers/writers, dining philosophers (with
+// the deadlocking naive strategy and two fixes), the sleeping barber, and
+// the cigarette smokers — each with the invariant checks a lab report
+// would include.
+package classic
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pthread"
+)
+
+// BoundedBuffer is the producer/consumer ring buffer built from the
+// classic three-semaphore construction (empty slots, full slots, mutex).
+type BoundedBuffer struct {
+	slots []int64
+	head  int
+	tail  int
+	empty *pthread.Semaphore
+	full  *pthread.Semaphore
+	mu    *pthread.Mutex
+
+	// Watermarks for the invariant check.
+	maxFill atomic.Int64
+	fill    atomic.Int64
+}
+
+// NewBoundedBuffer creates a buffer with the given capacity.
+func NewBoundedBuffer(capacity int) (*BoundedBuffer, error) {
+	if capacity <= 0 {
+		return nil, errors.New("classic: capacity must be positive")
+	}
+	return &BoundedBuffer{
+		slots: make([]int64, capacity),
+		empty: pthread.NewSemaphore(capacity),
+		full:  pthread.NewSemaphore(0),
+		mu:    pthread.NewMutex(pthread.MutexNormal),
+	}, nil
+}
+
+// Put blocks until a slot is free, then deposits v.
+func (b *BoundedBuffer) Put(v int64) {
+	b.empty.Wait()
+	b.mu.Lock()
+	b.slots[b.tail] = v
+	b.tail = (b.tail + 1) % len(b.slots)
+	f := b.fill.Add(1)
+	for {
+		m := b.maxFill.Load()
+		if f <= m || b.maxFill.CompareAndSwap(m, f) {
+			break
+		}
+	}
+	b.mu.Unlock()
+	b.full.Post()
+}
+
+// Get blocks until an item is available, then removes and returns it.
+func (b *BoundedBuffer) Get() int64 {
+	b.full.Wait()
+	b.mu.Lock()
+	v := b.slots[b.head]
+	b.head = (b.head + 1) % len(b.slots)
+	b.fill.Add(-1)
+	b.mu.Unlock()
+	b.empty.Post()
+	return v
+}
+
+// MaxFill reports the high-water mark — it must never exceed capacity.
+func (b *BoundedBuffer) MaxFill() int64 { return b.maxFill.Load() }
+
+// ProdConsResult summarizes a producer/consumer run.
+type ProdConsResult struct {
+	Produced  int64
+	Consumed  int64
+	Sum       int64 // checksum of consumed values
+	MaxFill   int64
+	Capacity  int
+	Producers int
+	Consumers int
+}
+
+// RunProducersConsumers drives p producers and c consumers, each producer
+// emitting perProducer sequenced items, and verifies conservation: every
+// item produced is consumed exactly once.
+func RunProducersConsumers(p, c, capacity, perProducer int) (ProdConsResult, error) {
+	buf, err := NewBoundedBuffer(capacity)
+	if err != nil {
+		return ProdConsResult{}, err
+	}
+	res := ProdConsResult{Capacity: capacity, Producers: p, Consumers: c}
+	total := p * perProducer
+	var produced, consumed, sum atomic.Int64
+
+	prods := pthread.Spawn(p, func(_ pthread.ID, pi int) {
+		for i := 0; i < perProducer; i++ {
+			v := int64(pi*perProducer + i)
+			buf.Put(v)
+			produced.Add(1)
+		}
+	})
+	// Consumers pull until they collectively drain `total` items: a shared
+	// ticket counter decides who consumes the last item.
+	var tickets atomic.Int64
+	cons := pthread.Spawn(c, func(pthread.ID, int) {
+		for {
+			if tickets.Add(1) > int64(total) {
+				return
+			}
+			v := buf.Get()
+			consumed.Add(1)
+			sum.Add(v)
+		}
+	})
+	if err := pthread.JoinAll(prods); err != nil {
+		return res, err
+	}
+	if err := pthread.JoinAll(cons); err != nil {
+		return res, err
+	}
+	res.Produced = produced.Load()
+	res.Consumed = consumed.Load()
+	res.Sum = sum.Load()
+	res.MaxFill = buf.MaxFill()
+	want := int64(total) * int64(total-1) / 2
+	if res.Sum != want {
+		return res, fmt.Errorf("classic: checksum %d != %d — items lost or duplicated", res.Sum, want)
+	}
+	if res.MaxFill > int64(capacity) {
+		return res, fmt.Errorf("classic: buffer overfilled: %d > %d", res.MaxFill, capacity)
+	}
+	return res, nil
+}
+
+// PhilosopherStrategy selects how the dining philosophers pick up forks.
+type PhilosopherStrategy int
+
+// The strategies from lecture.
+const (
+	// Naive: everyone grabs left fork then right fork — can deadlock.
+	Naive PhilosopherStrategy = iota
+	// Ordered: forks are acquired in global index order, breaking the
+	// circular-wait Coffman condition.
+	Ordered
+	// Waiter: a semaphore admits at most n-1 philosophers to the table,
+	// breaking hold-and-wait saturation.
+	Waiter
+)
+
+// String returns the human-readable name.
+func (s PhilosopherStrategy) String() string {
+	return [...]string{"naive", "ordered", "waiter"}[s]
+}
+
+// PhilosophersResult reports a dining-philosophers run.
+type PhilosophersResult struct {
+	Strategy  PhilosopherStrategy
+	Meals     int64
+	Deadlocks int64 // naive runs detected & recovered by the detector
+	Completed bool  // all philosophers finished their meals
+}
+
+// RunPhilosophers seats n philosophers who each try to eat `meals` times.
+// The naive strategy runs with the deadlock detector attached, so instead
+// of hanging the lab, a philosopher whose pickup would close the cycle
+// backs off (dropping the held fork), and the incident is counted.
+func RunPhilosophers(n, meals int, strategy PhilosopherStrategy) (PhilosophersResult, error) {
+	if n < 2 {
+		return PhilosophersResult{}, errors.New("classic: need at least 2 philosophers")
+	}
+	res := PhilosophersResult{Strategy: strategy}
+	det := pthread.NewDetector()
+	forks := make([]*pthread.Mutex, n)
+	for i := range forks {
+		forks[i] = pthread.NewMutex(pthread.MutexNormal).WithDetector(det)
+	}
+	var table *pthread.Semaphore
+	if strategy == Waiter {
+		table = pthread.NewSemaphore(n - 1)
+	}
+	var mealCount, deadlocks atomic.Int64
+
+	ths := pthread.Spawn(n, func(self pthread.ID, i int) {
+		left, right := forks[i], forks[(i+1)%n]
+		if strategy == Ordered && i == n-1 {
+			// Last philosopher reverses order (equivalently: always lock the
+			// lower-indexed fork first).
+			left, right = right, left
+		}
+		for m := 0; m < meals; {
+			if table != nil {
+				table.Wait()
+			}
+			if err := left.LockAs(self); err != nil {
+				deadlocks.Add(1)
+				if table != nil {
+					table.Post()
+				}
+				continue
+			}
+			if err := right.LockAs(self); err != nil {
+				// Back off: release the held fork and retry — the recovery
+				// made possible by detection.
+				deadlocks.Add(1)
+				left.UnlockAs(self)
+				if table != nil {
+					table.Post()
+				}
+				continue
+			}
+			mealCount.Add(1)
+			m++
+			right.UnlockAs(self)
+			left.UnlockAs(self)
+			if table != nil {
+				table.Post()
+			}
+		}
+	})
+	done := make(chan error, 1)
+	go func() { done <- pthread.JoinAll(ths) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return res, err
+		}
+		res.Completed = true
+	case <-time.After(30 * time.Second):
+		return res, errors.New("classic: philosophers hung (detector failed?)")
+	}
+	res.Meals = mealCount.Load()
+	res.Deadlocks = deadlocks.Load()
+	if res.Meals != int64(n*meals) {
+		return res, fmt.Errorf("classic: meals %d != %d", res.Meals, n*meals)
+	}
+	return res, nil
+}

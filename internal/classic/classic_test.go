@@ -1,0 +1,155 @@
+package classic
+
+import (
+	"testing"
+)
+
+func TestBoundedBufferFIFOSingleThread(t *testing.T) {
+	b, err := NewBoundedBuffer(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		b.Put(i)
+	}
+	for i := int64(0); i < 4; i++ {
+		if v := b.Get(); v != i {
+			t.Errorf("Get = %d, want %d", v, i)
+		}
+	}
+	// Wrap-around.
+	b.Put(9)
+	b.Put(10)
+	if b.Get() != 9 || b.Get() != 10 {
+		t.Error("wrap-around order broken")
+	}
+}
+
+func TestBoundedBufferRejectsBadCapacity(t *testing.T) {
+	if _, err := NewBoundedBuffer(0); err == nil {
+		t.Error("capacity 0 should error")
+	}
+}
+
+func TestProducersConsumersConservation(t *testing.T) {
+	cases := []struct{ p, c, cap, per int }{
+		{1, 1, 1, 200},
+		{4, 4, 8, 100},
+		{8, 2, 4, 50},
+		{2, 8, 2, 100},
+	}
+	for _, tc := range cases {
+		res, err := RunProducersConsumers(tc.p, tc.c, tc.cap, tc.per)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		want := int64(tc.p * tc.per)
+		if res.Produced != want || res.Consumed != want {
+			t.Errorf("%+v: produced=%d consumed=%d want %d", tc, res.Produced, res.Consumed, want)
+		}
+		if res.MaxFill > int64(tc.cap) {
+			t.Errorf("%+v: buffer exceeded capacity: %d", tc, res.MaxFill)
+		}
+	}
+}
+
+func TestPhilosophersOrderedCompletes(t *testing.T) {
+	res, err := RunPhilosophers(5, 20, Ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Meals != 100 {
+		t.Errorf("ordered: %+v", res)
+	}
+	if res.Deadlocks != 0 {
+		t.Errorf("ordered strategy should never deadlock, saw %d", res.Deadlocks)
+	}
+}
+
+func TestPhilosophersWaiterCompletes(t *testing.T) {
+	res, err := RunPhilosophers(5, 20, Waiter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Meals != 100 {
+		t.Errorf("waiter: %+v", res)
+	}
+	if res.Deadlocks != 0 {
+		t.Errorf("waiter strategy should never deadlock, saw %d", res.Deadlocks)
+	}
+}
+
+func TestPhilosophersNaiveRecoversViaDetector(t *testing.T) {
+	// The naive strategy would hang a real lab; with the detector attached
+	// every philosopher still finishes (by backing off on detection).
+	res, err := RunPhilosophers(5, 50, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Meals != 250 {
+		t.Errorf("naive with detection: %+v", res)
+	}
+	t.Logf("naive strategy: %d deadlock back-offs over 250 meals", res.Deadlocks)
+}
+
+func TestPhilosophersRejectsTinyTable(t *testing.T) {
+	if _, err := RunPhilosophers(1, 1, Ordered); err == nil {
+		t.Error("1 philosopher should error")
+	}
+}
+
+func TestBarberConservation(t *testing.T) {
+	for _, tc := range []struct{ chairs, customers int }{
+		{3, 50}, {0, 20}, {10, 10}, {1, 100},
+	} {
+		res, err := RunBarber(tc.chairs, tc.customers)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if res.Served+res.TurnedAway != int64(tc.customers) {
+			t.Errorf("%+v: served %d + turned away %d != %d",
+				tc, res.Served, res.TurnedAway, tc.customers)
+		}
+		if tc.chairs == 0 && res.Served > 1 {
+			// With no chairs, nearly everyone is turned away (at most a
+			// customer already being... with 0 chairs, all are turned away).
+			t.Errorf("0 chairs served %d", res.Served)
+		}
+	}
+}
+
+func TestBarberNegativeParams(t *testing.T) {
+	if _, err := RunBarber(-1, 5); err == nil {
+		t.Error("negative chairs should error")
+	}
+}
+
+func TestSmokersAllRoundsComplete(t *testing.T) {
+	res, err := RunSmokers(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 300 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+	var sum int64
+	for i, c := range res.SmokedBy {
+		if c == 0 {
+			t.Errorf("smoker %d never smoked in 300 rounds", i)
+		}
+		sum += c
+	}
+	if sum != 300 {
+		t.Errorf("per-smoker counts sum to %d", sum)
+	}
+}
+
+func TestSmokersZeroRounds(t *testing.T) {
+	res, err := RunSmokers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+}

@@ -1,0 +1,285 @@
+// Package clist implements the CS31 "Python lists in C" lab: a dynamic
+// array (the CPython list object) built over an explicit allocator model,
+// with observable capacity-growth policy, element moves, and memory-layout
+// accounting. The lab's point is that the convenient Python list is a
+// contiguous C array underneath, with realloc-and-memcpy costs the
+// programmer can measure; this package exposes exactly those costs.
+package clist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GrowthPolicy decides the new capacity when an append finds the array
+// full. The lab compares doubling against fixed-increment growth to show
+// why amortized-O(1) append needs geometric growth.
+type GrowthPolicy interface {
+	// Grow returns the new capacity for a list that has the given capacity
+	// and needs room for at least need elements. The result must be >= need.
+	Grow(capacity, need int) int
+	// Name identifies the policy in experiment reports.
+	Name() string
+}
+
+// Doubling doubles the capacity (starting from a small minimum) — the
+// geometric policy that gives amortized-constant appends.
+type Doubling struct{}
+
+// Grow implements GrowthPolicy.
+func (Doubling) Grow(capacity, need int) int {
+	c := capacity
+	if c < 4 {
+		c = 4
+	}
+	for c < need {
+		c *= 2
+	}
+	return c
+}
+
+// Name implements GrowthPolicy.
+func (Doubling) Name() string { return "doubling" }
+
+// FixedIncrement grows by a constant number of slots — the naive policy
+// whose appends are amortized O(n).
+type FixedIncrement struct{ Step int }
+
+// Grow implements GrowthPolicy.
+func (p FixedIncrement) Grow(capacity, need int) int {
+	step := p.Step
+	if step <= 0 {
+		step = 8
+	}
+	c := capacity
+	for c < need {
+		c += step
+	}
+	return c
+}
+
+// Name implements GrowthPolicy.
+func (p FixedIncrement) Name() string { return fmt.Sprintf("fixed+%d", p.Step) }
+
+// CPython grows by ~1/8 over-allocation, mirroring list_resize in
+// CPython's listobject.c.
+type CPython struct{}
+
+// Grow implements GrowthPolicy.
+func (CPython) Grow(capacity, need int) int {
+	c := capacity
+	if c < need {
+		c = need + (need >> 3) + 6
+	}
+	return c
+}
+
+// Name implements GrowthPolicy.
+func (CPython) Name() string { return "cpython" }
+
+// Stats records the allocator-visible cost of operations on a list, the
+// numbers students report in the lab write-up.
+type Stats struct {
+	Reallocs     int   // number of buffer replacements
+	ElemsCopied  int64 // elements moved by realloc or insert/remove shifting
+	BytesAlloced int64 // total bytes ever requested from the allocator
+	PeakBytes    int64 // high-water mark of live allocation
+}
+
+// ElemSize is the modelled element size in bytes (a C int pointer slot).
+const ElemSize = 8
+
+// List is the dynamic array. The zero value is not ready to use; call New.
+type List struct {
+	data   []int64
+	length int
+	policy GrowthPolicy
+	stats  Stats
+}
+
+// New creates an empty list with the given growth policy.
+func New(policy GrowthPolicy) *List {
+	if policy == nil {
+		policy = Doubling{}
+	}
+	return &List{policy: policy}
+}
+
+// ErrRange is returned for out-of-range indices.
+var ErrRange = errors.New("clist: index out of range")
+
+// Len returns the number of elements.
+func (l *List) Len() int { return l.length }
+
+// Cap returns the current capacity in elements.
+func (l *List) Cap() int { return len(l.data) }
+
+// Stats returns a copy of the accumulated cost counters.
+func (l *List) Stats() Stats { return l.stats }
+
+// ensure grows the backing array so it can hold need elements, charging
+// the realloc to the stats the way the lab's malloc wrapper does.
+func (l *List) ensure(need int) {
+	if need <= len(l.data) {
+		return
+	}
+	newCap := l.policy.Grow(len(l.data), need)
+	if newCap < need {
+		newCap = need
+	}
+	fresh := make([]int64, newCap)
+	copy(fresh, l.data[:l.length])
+	l.stats.Reallocs++
+	l.stats.ElemsCopied += int64(l.length)
+	l.stats.BytesAlloced += int64(newCap) * ElemSize
+	if live := int64(newCap) * ElemSize; live > l.stats.PeakBytes {
+		l.stats.PeakBytes = live
+	}
+	l.data = fresh
+}
+
+// Append adds v at the end (Python list.append).
+func (l *List) Append(v int64) {
+	l.ensure(l.length + 1)
+	l.data[l.length] = v
+	l.length++
+}
+
+// Insert places v before index i, shifting the tail right
+// (Python list.insert). i == Len() appends.
+func (l *List) Insert(i int, v int64) error {
+	if i < 0 || i > l.length {
+		return fmt.Errorf("%w: insert at %d, len %d", ErrRange, i, l.length)
+	}
+	l.ensure(l.length + 1)
+	copy(l.data[i+1:l.length+1], l.data[i:l.length])
+	l.stats.ElemsCopied += int64(l.length - i)
+	l.data[i] = v
+	l.length++
+	return nil
+}
+
+// Get returns the element at index i, supporting Python's negative
+// indexing (-1 is the last element).
+func (l *List) Get(i int) (int64, error) {
+	i, err := l.index(i)
+	if err != nil {
+		return 0, err
+	}
+	return l.data[i], nil
+}
+
+// Set replaces the element at index i (negative indexing allowed).
+func (l *List) Set(i int, v int64) error {
+	i, err := l.index(i)
+	if err != nil {
+		return err
+	}
+	l.data[i] = v
+	return nil
+}
+
+func (l *List) index(i int) (int, error) {
+	if i < 0 {
+		i += l.length
+	}
+	if i < 0 || i >= l.length {
+		return 0, fmt.Errorf("%w: %d, len %d", ErrRange, i, l.length)
+	}
+	return i, nil
+}
+
+// Pop removes and returns the element at index i (default semantics of
+// Python list.pop(i)); the tail shifts left.
+func (l *List) Pop(i int) (int64, error) {
+	i, err := l.index(i)
+	if err != nil {
+		return 0, err
+	}
+	v := l.data[i]
+	copy(l.data[i:l.length-1], l.data[i+1:l.length])
+	l.stats.ElemsCopied += int64(l.length - 1 - i)
+	l.length--
+	return v, nil
+}
+
+// Remove deletes the first occurrence of v (Python list.remove), or
+// returns an error when absent.
+func (l *List) Remove(v int64) error {
+	for i := 0; i < l.length; i++ {
+		if l.data[i] == v {
+			_, err := l.Pop(i)
+			return err
+		}
+	}
+	return fmt.Errorf("clist: value %d not in list", v)
+}
+
+// IndexOf returns the first index of v, or -1.
+func (l *List) IndexOf(v int64) int {
+	for i := 0; i < l.length; i++ {
+		if l.data[i] == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Slice returns a copy of elements [lo, hi) (Python list[lo:hi] with
+// clamping semantics).
+func (l *List) Slice(lo, hi int) []int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > l.length {
+		hi = l.length
+	}
+	if lo >= hi {
+		return nil
+	}
+	out := make([]int64, hi-lo)
+	copy(out, l.data[lo:hi])
+	return out
+}
+
+// Extend appends every element of other (Python list.extend).
+func (l *List) Extend(other []int64) {
+	l.ensure(l.length + len(other))
+	copy(l.data[l.length:], other)
+	l.length += len(other)
+}
+
+// Reverse reverses in place.
+func (l *List) Reverse() {
+	for i, j := 0, l.length-1; i < j; i, j = i+1, j-1 {
+		l.data[i], l.data[j] = l.data[j], l.data[i]
+	}
+}
+
+// Layout describes the memory picture of the list for the lab's "draw the
+// memory diagram" exercise: a header (pointer, length, capacity) plus a
+// contiguous payload.
+type Layout struct {
+	HeaderBytes  int
+	PayloadBytes int
+	WastedBytes  int // allocated but unused capacity
+}
+
+// Layout reports the current memory layout.
+func (l *List) Layout() Layout {
+	return Layout{
+		HeaderBytes:  3 * 8, // data pointer, length, capacity
+		PayloadBytes: l.length * ElemSize,
+		WastedBytes:  (len(l.data) - l.length) * ElemSize,
+	}
+}
+
+// AppendCost runs the lab's growth-policy experiment: append n elements to
+// a fresh list under the policy and report the cost counters.
+func AppendCost(policy GrowthPolicy, n int) Stats {
+	l := New(policy)
+	for i := 0; i < n; i++ {
+		l.Append(int64(i))
+	}
+	return l.Stats()
+}

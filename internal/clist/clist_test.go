@@ -1,0 +1,300 @@
+package clist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendGetLen(t *testing.T) {
+	l := New(Doubling{})
+	for i := 0; i < 100; i++ {
+		l.Append(int64(i * i))
+	}
+	if l.Len() != 100 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, err := l.Get(i)
+		if err != nil || v != int64(i*i) {
+			t.Errorf("Get(%d) = %d, %v", i, v, err)
+		}
+	}
+	if _, err := l.Get(100); err == nil {
+		t.Error("Get past end should error")
+	}
+}
+
+func TestNegativeIndexing(t *testing.T) {
+	l := New(nil)
+	l.Extend([]int64{10, 20, 30})
+	v, err := l.Get(-1)
+	if err != nil || v != 30 {
+		t.Errorf("Get(-1) = %d, %v", v, err)
+	}
+	v, _ = l.Get(-3)
+	if v != 10 {
+		t.Errorf("Get(-3) = %d", v)
+	}
+	if _, err := l.Get(-4); err == nil {
+		t.Error("Get(-4) should error")
+	}
+	if err := l.Set(-1, 99); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := l.Get(2); v != 99 {
+		t.Errorf("Set(-1) did not stick: %d", v)
+	}
+}
+
+func TestInsertPopShift(t *testing.T) {
+	l := New(nil)
+	l.Extend([]int64{1, 2, 4})
+	if err := l.Insert(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Slice(0, 4); !eq(got, []int64{1, 2, 3, 4}) {
+		t.Errorf("after insert: %v", got)
+	}
+	if err := l.Insert(4, 5); err != nil { // insert at end == append
+		t.Fatal(err)
+	}
+	if err := l.Insert(6, 9); err == nil {
+		t.Error("insert past end should error")
+	}
+	v, err := l.Pop(0)
+	if err != nil || v != 1 {
+		t.Errorf("Pop(0) = %d, %v", v, err)
+	}
+	v, _ = l.Pop(-1)
+	if v != 5 {
+		t.Errorf("Pop(-1) = %d", v)
+	}
+	if got := l.Slice(0, l.Len()); !eq(got, []int64{2, 3, 4}) {
+		t.Errorf("after pops: %v", got)
+	}
+}
+
+func TestRemoveIndexOf(t *testing.T) {
+	l := New(nil)
+	l.Extend([]int64{5, 6, 5, 7})
+	if i := l.IndexOf(5); i != 0 {
+		t.Errorf("IndexOf(5) = %d", i)
+	}
+	if err := l.Remove(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Slice(0, l.Len()); !eq(got, []int64{6, 5, 7}) {
+		t.Errorf("after remove: %v", got)
+	}
+	if err := l.Remove(42); err == nil {
+		t.Error("removing absent value should error")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	l := New(nil)
+	l.Extend([]int64{1, 2, 3, 4, 5})
+	l.Reverse()
+	if got := l.Slice(0, 5); !eq(got, []int64{5, 4, 3, 2, 1}) {
+		t.Errorf("reversed: %v", got)
+	}
+	// Reversal is an involution (property test over random contents).
+	f := func(xs []int64) bool {
+		l := New(nil)
+		l.Extend(xs)
+		l.Reverse()
+		l.Reverse()
+		return eq(l.Slice(0, l.Len()), xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceClamping(t *testing.T) {
+	l := New(nil)
+	l.Extend([]int64{1, 2, 3})
+	if got := l.Slice(-5, 99); !eq(got, []int64{1, 2, 3}) {
+		t.Errorf("clamped slice: %v", got)
+	}
+	if got := l.Slice(2, 1); got != nil {
+		t.Errorf("empty slice: %v", got)
+	}
+}
+
+func TestGrowthPolicyCosts(t *testing.T) {
+	const n = 10000
+	dbl := AppendCost(Doubling{}, n)
+	fix := AppendCost(FixedIncrement{Step: 8}, n)
+	cpy := AppendCost(CPython{}, n)
+
+	// Doubling: O(log n) reallocs, O(n) total copies.
+	if dbl.Reallocs > 20 {
+		t.Errorf("doubling reallocs = %d, want ~log2(n)", dbl.Reallocs)
+	}
+	if dbl.ElemsCopied > 2*n {
+		t.Errorf("doubling copies = %d, want < 2n", dbl.ElemsCopied)
+	}
+	// Fixed increment: O(n) reallocs, O(n^2) copies — the lab's punchline.
+	if fix.Reallocs < n/8-1 {
+		t.Errorf("fixed reallocs = %d, want ~n/8", fix.Reallocs)
+	}
+	if fix.ElemsCopied < int64(n)*int64(n)/20 {
+		t.Errorf("fixed copies = %d, want Θ(n²)", fix.ElemsCopied)
+	}
+	if fix.ElemsCopied < 50*dbl.ElemsCopied {
+		t.Errorf("fixed (%d) should dwarf doubling (%d)", fix.ElemsCopied, dbl.ElemsCopied)
+	}
+	// CPython sits between but stays amortized-linear.
+	if cpy.ElemsCopied > 20*int64(n) {
+		t.Errorf("cpython copies = %d, want O(n)", cpy.ElemsCopied)
+	}
+}
+
+func TestStatsPeakAndLayout(t *testing.T) {
+	l := New(Doubling{})
+	for i := 0; i < 100; i++ {
+		l.Append(int64(i))
+	}
+	st := l.Stats()
+	if st.PeakBytes < int64(l.Cap())*ElemSize {
+		t.Errorf("peak %d < live %d", st.PeakBytes, l.Cap()*ElemSize)
+	}
+	lay := l.Layout()
+	if lay.PayloadBytes != 100*ElemSize {
+		t.Errorf("payload = %d", lay.PayloadBytes)
+	}
+	if lay.WastedBytes != (l.Cap()-100)*ElemSize {
+		t.Errorf("wasted = %d", lay.WastedBytes)
+	}
+	if lay.HeaderBytes == 0 {
+		t.Error("header must be nonzero")
+	}
+}
+
+func TestGrowPoliciesAlwaysSufficient(t *testing.T) {
+	policies := []GrowthPolicy{Doubling{}, FixedIncrement{Step: 8}, FixedIncrement{}, CPython{}}
+	f := func(cap8, need8 uint8) bool {
+		capacity, need := int(cap8), int(need8)+1
+		for _, p := range policies {
+			if got := p.Grow(capacity, need); got < need {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPythonSemanticsSequence(t *testing.T) {
+	// Mirror of a short Python session from the lab handout.
+	l := New(CPython{})
+	for _, v := range []int64{1, 2, 3} {
+		l.Append(v)
+	}
+	_ = l.Insert(0, 0)      // [0 1 2 3]
+	_, _ = l.Pop(1)         // [0 2 3]
+	_ = l.Remove(3)         // [0 2]
+	l.Extend([]int64{8, 9}) // [0 2 8 9]
+	l.Reverse()             // [9 8 2 0]
+	if got := l.Slice(0, l.Len()); !eq(got, []int64{9, 8, 2, 0}) {
+		t.Errorf("session result: %v", got)
+	}
+}
+
+func eq(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestModelBasedAgainstSliceOracle drives a random operation sequence
+// against both the List and a plain Go slice, checking every observation
+// agrees — the strongest correctness net for container code.
+func TestModelBasedAgainstSliceOracle(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Index int16
+		Value int64
+	}
+	f := func(ops []op) bool {
+		l := New(Doubling{})
+		var oracle []int64
+		for _, o := range ops {
+			switch o.Kind % 6 {
+			case 0: // append
+				l.Append(o.Value)
+				oracle = append(oracle, o.Value)
+			case 1: // insert
+				if len(oracle) == 0 {
+					continue
+				}
+				i := int(o.Index) % (len(oracle) + 1)
+				if i < 0 {
+					i += len(oracle) + 1
+				}
+				if err := l.Insert(i, o.Value); err != nil {
+					return false
+				}
+				oracle = append(oracle[:i], append([]int64{o.Value}, oracle[i:]...)...)
+			case 2: // pop
+				if len(oracle) == 0 {
+					continue
+				}
+				i := int(o.Index) % len(oracle)
+				if i < 0 {
+					i += len(oracle)
+				}
+				got, err := l.Pop(i)
+				if err != nil || got != oracle[i] {
+					return false
+				}
+				oracle = append(oracle[:i], oracle[i+1:]...)
+			case 3: // get
+				if len(oracle) == 0 {
+					continue
+				}
+				i := int(o.Index) % len(oracle)
+				if i < 0 {
+					i += len(oracle)
+				}
+				got, err := l.Get(i)
+				if err != nil || got != oracle[i] {
+					return false
+				}
+			case 4: // set
+				if len(oracle) == 0 {
+					continue
+				}
+				i := int(o.Index) % len(oracle)
+				if i < 0 {
+					i += len(oracle)
+				}
+				if err := l.Set(i, o.Value); err != nil {
+					return false
+				}
+				oracle[i] = o.Value
+			case 5: // reverse
+				l.Reverse()
+				for x, y := 0, len(oracle)-1; x < y; x, y = x+1, y-1 {
+					oracle[x], oracle[y] = oracle[y], oracle[x]
+				}
+			}
+			if l.Len() != len(oracle) {
+				return false
+			}
+		}
+		return eq(l.Slice(0, l.Len()), oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package coherence implements the cache-coherence content of CS31's
+// multicore unit: a bus-based snooping simulator for the MSI and MESI
+// protocols over N per-core caches, with counters for the invalidation
+// and bus traffic that make false sharing visible. Caches are modelled
+// per coherence state only (infinite capacity), which isolates coherence
+// misses from capacity misses — the separation the lecture draws.
+package coherence
+
+import (
+	"fmt"
+	"strings"
+)
+
+// State is the coherence state of one block in one cache.
+type State int
+
+// The MESI states. MSI uses the subset {Invalid, Shared, Modified}.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive // MESI only: clean and only copy
+	Modified
+)
+
+// String returns the human-readable name.
+func (s State) String() string {
+	return [...]string{"I", "S", "E", "M"}[s]
+}
+
+// Protocol selects MSI or MESI.
+type Protocol int
+
+// The protocols.
+const (
+	MSI Protocol = iota
+	MESI
+)
+
+// String returns the human-readable name.
+func (p Protocol) String() string {
+	if p == MSI {
+		return "MSI"
+	}
+	return "MESI"
+}
+
+// BusStats counts bus transactions — the shared-medium traffic that
+// limits multicore scaling in the lecture's bandwidth discussion.
+type BusStats struct {
+	BusRd        int64 // read requests on the bus
+	BusRdX       int64 // read-for-ownership (write misses)
+	BusUpgr      int64 // upgrades S->M (invalidate-only)
+	Invalidation int64 // lines invalidated in remote caches
+	Flushes      int64 // dirty data supplied by an owner cache
+	MemReads     int64 // blocks served by memory
+}
+
+// CoreStats counts per-core access outcomes.
+type CoreStats struct {
+	Reads, Writes   int64
+	ReadHits        int64
+	WriteHits       int64
+	CoherenceMisses int64 // misses on blocks this core once held (invalidated)
+}
+
+// System is a snooping-bus multiprocessor: NumCores caches kept coherent
+// under the chosen protocol, with a shared block size for the false
+// sharing experiments.
+type System struct {
+	Protocol   Protocol
+	BlockBytes int
+	caches     []map[uint64]State
+	everHeld   []map[uint64]bool
+	bus        BusStats
+	cores      []CoreStats
+}
+
+// NewSystem creates a coherent system of n cores.
+func NewSystem(protocol Protocol, n, blockBytes int) *System {
+	if blockBytes <= 0 {
+		blockBytes = 64
+	}
+	s := &System{Protocol: protocol, BlockBytes: blockBytes}
+	s.caches = make([]map[uint64]State, n)
+	s.everHeld = make([]map[uint64]bool, n)
+	for i := range s.caches {
+		s.caches[i] = make(map[uint64]State)
+		s.everHeld[i] = make(map[uint64]bool)
+	}
+	s.cores = make([]CoreStats, n)
+	return s
+}
+
+// NumCores returns the number of cores.
+func (s *System) NumCores() int { return len(s.caches) }
+
+// Bus returns the accumulated bus statistics.
+func (s *System) Bus() BusStats { return s.bus }
+
+// Core returns the statistics of core i.
+func (s *System) Core(i int) CoreStats { return s.cores[i] }
+
+// StateOf reports the coherence state of the block containing addr in
+// core i's cache.
+func (s *System) StateOf(core int, addr uint64) State {
+	return s.caches[core][s.block(addr)]
+}
+
+func (s *System) block(addr uint64) uint64 { return addr / uint64(s.BlockBytes) }
+
+// Read performs a load by core on addr, driving the protocol transitions.
+func (s *System) Read(core int, addr uint64) {
+	b := s.block(addr)
+	st := s.caches[core][b]
+	s.cores[core].Reads++
+	if st != Invalid {
+		s.cores[core].ReadHits++
+		return
+	}
+	if s.everHeld[core][b] {
+		s.cores[core].CoherenceMisses++
+	}
+	// Read miss: BusRd. Owners downgrade M->S (flushing), E->S.
+	s.bus.BusRd++
+	shared := false
+	for other := range s.caches {
+		if other == core {
+			continue
+		}
+		switch s.caches[other][b] {
+		case Modified:
+			s.bus.Flushes++
+			s.caches[other][b] = Shared
+			shared = true
+		case Exclusive:
+			s.caches[other][b] = Shared
+			shared = true
+		case Shared:
+			shared = true
+		}
+	}
+	if !shared {
+		s.bus.MemReads++
+		if s.Protocol == MESI {
+			s.caches[core][b] = Exclusive
+			s.everHeld[core][b] = true
+			return
+		}
+	}
+	s.caches[core][b] = Shared
+	s.everHeld[core][b] = true
+}
+
+// Write performs a store by core on addr.
+func (s *System) Write(core int, addr uint64) {
+	b := s.block(addr)
+	st := s.caches[core][b]
+	s.cores[core].Writes++
+	switch st {
+	case Modified:
+		s.cores[core].WriteHits++
+		return
+	case Exclusive:
+		// MESI silent upgrade: no bus traffic.
+		s.cores[core].WriteHits++
+		s.caches[core][b] = Modified
+		return
+	case Shared:
+		// Upgrade: invalidate other sharers without a data transfer.
+		s.bus.BusUpgr++
+		s.invalidateOthers(core, b)
+		s.caches[core][b] = Modified
+		s.cores[core].WriteHits++ // data already present; upgrade only
+		return
+	default: // Invalid: read-for-ownership
+		if s.everHeld[core][b] {
+			s.cores[core].CoherenceMisses++
+		}
+		s.bus.BusRdX++
+		supplied := false
+		for other := range s.caches {
+			if other == core {
+				continue
+			}
+			if s.caches[other][b] == Modified {
+				s.bus.Flushes++
+				supplied = true
+			}
+		}
+		if !supplied {
+			s.bus.MemReads++
+		}
+		s.invalidateOthers(core, b)
+		s.caches[core][b] = Modified
+		s.everHeld[core][b] = true
+	}
+}
+
+func (s *System) invalidateOthers(core int, b uint64) {
+	for other := range s.caches {
+		if other == core {
+			continue
+		}
+		if s.caches[other][b] != Invalid {
+			s.caches[other][b] = Invalid
+			s.bus.Invalidation++
+		}
+	}
+}
+
+// Report renders bus and per-core summaries.
+func (s *System) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s, %d cores, %dB blocks\n", s.Protocol, len(s.caches), s.BlockBytes)
+	fmt.Fprintf(&b, "bus: rd=%d rdx=%d upgr=%d inval=%d flush=%d mem=%d\n",
+		s.bus.BusRd, s.bus.BusRdX, s.bus.BusUpgr, s.bus.Invalidation, s.bus.Flushes, s.bus.MemReads)
+	for i, cs := range s.cores {
+		fmt.Fprintf(&b, "core %d: reads=%d (hits %d) writes=%d (hits %d) coherence-misses=%d\n",
+			i, cs.Reads, cs.ReadHits, cs.Writes, cs.WriteHits, cs.CoherenceMisses)
+	}
+	return b.String()
+}
+
+// FalseSharingResult compares the bus traffic of two layouts of a
+// per-core counter array: packed (all counters in one block — false
+// sharing) versus padded (one counter per block).
+type FalseSharingResult struct {
+	PackedInvalidations int64
+	PaddedInvalidations int64
+	PackedBusOps        int64
+	PaddedBusOps        int64
+}
+
+// FalseSharingExperiment simulates `iters` rounds of every core
+// incrementing its own counter. Packed layout places the counters 8 bytes
+// apart (sharing a block); padded places them blockBytes apart. This is
+// the CS75/CS87 false-sharing exercise the paper names.
+func FalseSharingExperiment(protocol Protocol, cores, blockBytes, iters int) FalseSharingResult {
+	run := func(stride uint64) (int64, int64) {
+		sys := NewSystem(protocol, cores, blockBytes)
+		for it := 0; it < iters; it++ {
+			for c := 0; c < cores; c++ {
+				addr := uint64(c) * stride
+				sys.Read(c, addr)
+				sys.Write(c, addr)
+			}
+		}
+		bus := sys.Bus()
+		ops := bus.BusRd + bus.BusRdX + bus.BusUpgr
+		return bus.Invalidation, ops
+	}
+	var r FalseSharingResult
+	r.PackedInvalidations, r.PackedBusOps = run(8)
+	r.PaddedInvalidations, r.PaddedBusOps = run(uint64(blockBytes))
+	return r
+}

@@ -1,0 +1,503 @@
+// Package core models the paper's actual contribution: a curriculum that
+// integrates the NSF/IEEE-TCPP parallel-and-distributed-computing core
+// topics across an undergraduate program. It represents courses, labs,
+// prerequisites, TCPP topic coverage, offering schedules, and degree
+// requirements; validates the prerequisite DAG; regenerates the paper's
+// Tables I, II, and III; plans multi-semester offerings (checking the
+// paper's "at least one introductory and one upper-level course with
+// parallel topics every semester" property); and audits student paths
+// against degree requirements and TCPP exposure.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Area is a TCPP curriculum area.
+type Area int
+
+// The four NSF/IEEE-TCPP areas.
+const (
+	Architecture Area = iota
+	Programming
+	Algorithms
+	CrossCutting
+)
+
+// String returns the human-readable name.
+func (a Area) String() string {
+	return [...]string{"Architecture", "Programming", "Algorithms", "Cross-Cutting"}[a]
+}
+
+// Topic is one TCPP curricular topic.
+type Topic struct {
+	Name string
+	Area Area
+	// Core marks topics in the TCPP "minimal skill set".
+	Core bool
+}
+
+// Pedagogy is a teaching method for a topic (Table II/III third column).
+type Pedagogy int
+
+// The pedagogical methods the paper's tables list.
+const (
+	Lecture Pedagogy = iota
+	LabAssignment
+	LabExercise
+	Homework
+	Exam
+	WrittenAssignment
+	Discussion
+	Project
+)
+
+// String returns the human-readable name.
+func (p Pedagogy) String() string {
+	return [...]string{
+		"Lecture", "Lab Assignments", "Lab Exercises", "Homework",
+		"Exams", "Written Assignments", "Discussion", "Projects",
+	}[p]
+}
+
+// Coverage records how a course covers one topic row.
+type Coverage struct {
+	MainTopic string
+	Details   []string
+	Methods   []Pedagogy
+	Topics    []Topic // the TCPP topics under this row
+}
+
+// Lab is one lab assignment (Table I rows).
+type Lab struct {
+	Name   string
+	Topics []string
+	Goals  []string
+}
+
+// Level distinguishes introductory from upper-level courses.
+type Level int
+
+// The course levels.
+const (
+	Intro Level = iota
+	UpperLevel
+)
+
+// Group is a degree-requirement group (Section II.B).
+type Group int
+
+// The groups. GroupNone marks intro courses outside the grouping.
+const (
+	GroupNone Group = iota
+	GroupTheory
+	GroupSystems
+	GroupApplications
+)
+
+// String returns the human-readable name.
+func (g Group) String() string {
+	return [...]string{"-", "Theory and Algorithms", "Systems", "Applications"}[g]
+}
+
+// Frequency is how often a course is offered.
+type Frequency int
+
+// The offering frequencies at a small department.
+const (
+	EverySemester Frequency = iota
+	Yearly
+	EveryOtherYear
+)
+
+// Semester is a term like {Fall, 2012}.
+type Semester struct {
+	Fall bool
+	Year int
+}
+
+// String returns the human-readable name.
+func (s Semester) String() string {
+	season := "Spring"
+	if s.Fall {
+		season = "Fall"
+	}
+	return fmt.Sprintf("%s %d", season, s.Year)
+}
+
+// Next returns the following semester.
+func (s Semester) Next() Semester {
+	if s.Fall {
+		return Semester{Fall: false, Year: s.Year + 1}
+	}
+	return Semester{Fall: true, Year: s.Year}
+}
+
+// Index returns a comparable ordinal (2 per year).
+func (s Semester) Index() int {
+	i := s.Year * 2
+	if s.Fall {
+		i++
+	}
+	return i
+}
+
+// Course is one course in the curriculum.
+type Course struct {
+	Code         string
+	Title        string
+	Level        Level
+	Group        Group
+	Prereqs      []string
+	Coverage     []Coverage
+	Labs         []Lab
+	FirstOffered Semester
+	Frequency    Frequency
+	// ParallelContent marks courses that carry TCPP material (the paper's
+	// "at least one intro and one upper-level parallel course per
+	// semester" property quantifies over these).
+	ParallelContent bool
+}
+
+// TCPPTopics flattens the course's covered TCPP topics.
+func (c *Course) TCPPTopics() []Topic {
+	var out []Topic
+	for _, cov := range c.Coverage {
+		out = append(out, cov.Topics...)
+	}
+	return out
+}
+
+// OfferedIn reports whether the course runs in the given semester under
+// its frequency, phase-locked to its first offering.
+func (c *Course) OfferedIn(s Semester) bool {
+	if s.Index() < c.FirstOffered.Index() {
+		return false
+	}
+	diff := s.Index() - c.FirstOffered.Index()
+	switch c.Frequency {
+	case EverySemester:
+		return true
+	case Yearly:
+		return diff%2 == 0
+	case EveryOtherYear:
+		return diff%4 == 0
+	}
+	return false
+}
+
+// Curriculum is the whole program.
+type Curriculum struct {
+	Name    string
+	Courses map[string]*Course
+	// GroupRequirement: a major must take at least one course from each
+	// group with a requirement > 0.
+	GroupRequirement map[Group]int
+}
+
+// New creates an empty curriculum.
+func New(name string) *Curriculum {
+	return &Curriculum{
+		Name:             name,
+		Courses:          make(map[string]*Course),
+		GroupRequirement: make(map[Group]int),
+	}
+}
+
+// Add registers a course.
+func (cu *Curriculum) Add(c *Course) error {
+	if c.Code == "" {
+		return errors.New("core: course needs a code")
+	}
+	if _, dup := cu.Courses[c.Code]; dup {
+		return fmt.Errorf("core: duplicate course %s", c.Code)
+	}
+	cu.Courses[c.Code] = c
+	return nil
+}
+
+// Course looks up a course by code.
+func (cu *Curriculum) Course(code string) (*Course, error) {
+	c, ok := cu.Courses[code]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown course %s", code)
+	}
+	return c, nil
+}
+
+// ErrPrereqCycle reports a cyclic prerequisite structure.
+var ErrPrereqCycle = errors.New("core: prerequisite cycle")
+
+// Validate checks referential integrity and acyclicity of prerequisites.
+func (cu *Curriculum) Validate() error {
+	for code, c := range cu.Courses {
+		for _, p := range c.Prereqs {
+			if _, ok := cu.Courses[p]; !ok {
+				return fmt.Errorf("core: %s requires unknown course %s", code, p)
+			}
+		}
+	}
+	// Kahn over prereq edges.
+	indeg := map[string]int{}
+	for code := range cu.Courses {
+		indeg[code] = 0
+	}
+	for _, c := range cu.Courses {
+		indeg[c.Code] = len(c.Prereqs)
+	}
+	queue := []string{}
+	for code, d := range indeg {
+		if d == 0 {
+			queue = append(queue, code)
+		}
+	}
+	dependents := map[string][]string{}
+	for code, c := range cu.Courses {
+		for _, p := range c.Prereqs {
+			dependents[p] = append(dependents[p], code)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		code := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, d := range dependents[code] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if seen != len(cu.Courses) {
+		return ErrPrereqCycle
+	}
+	return nil
+}
+
+// PrereqChain returns every (transitive) prerequisite of a course.
+func (cu *Curriculum) PrereqChain(code string) ([]string, error) {
+	c, err := cu.Course(code)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	var walk func(*Course) error
+	walk = func(c *Course) error {
+		for _, p := range c.Prereqs {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			pc, err := cu.Course(p)
+			if err != nil {
+				return err
+			}
+			out = append(out, p)
+			if err := walk(pc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(c); err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// CoverageMatrix maps each TCPP topic name to the courses covering it.
+func (cu *Curriculum) CoverageMatrix() map[string][]string {
+	m := map[string][]string{}
+	for code, c := range cu.Courses {
+		for _, t := range c.TCPPTopics() {
+			m[t.Name] = append(m[t.Name], code)
+		}
+	}
+	for k := range m {
+		sort.Strings(m[k])
+	}
+	return m
+}
+
+// CoreGaps returns TCPP-core topics no course covers. Callers supply the
+// canonical core-topic list (see TCPPCore).
+func (cu *Curriculum) CoreGaps(core []Topic) []string {
+	covered := cu.CoverageMatrix()
+	var gaps []string
+	for _, t := range core {
+		if len(covered[t.Name]) == 0 {
+			gaps = append(gaps, t.Name)
+		}
+	}
+	sort.Strings(gaps)
+	return gaps
+}
+
+// SemesterOfferings lists the courses offered in a semester.
+func (cu *Curriculum) SemesterOfferings(s Semester) []string {
+	var out []string
+	for code, c := range cu.Courses {
+		if c.OfferedIn(s) {
+			out = append(out, code)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParallelEverySemester checks the paper's scheduling goal over a window:
+// every semester offers at least one introductory and one upper-level
+// course with parallel content. It returns the first failing semester, or
+// ok=true.
+func (cu *Curriculum) ParallelEverySemester(start Semester, semesters int) (Semester, bool) {
+	s := start
+	for i := 0; i < semesters; i++ {
+		intro, upper := false, false
+		for _, code := range cu.SemesterOfferings(s) {
+			c := cu.Courses[code]
+			if !c.ParallelContent {
+				continue
+			}
+			if c.Level == Intro {
+				intro = true
+			} else {
+				upper = true
+			}
+		}
+		if !intro || !upper {
+			return s, false
+		}
+		s = s.Next()
+	}
+	return Semester{}, true
+}
+
+// StudentRecord is a student's planned or completed sequence.
+type StudentRecord struct {
+	// Semesters in order; each lists the course codes taken.
+	Semesters [][]string
+}
+
+// AuditResult reports a degree audit.
+type AuditResult struct {
+	PrereqViolations []string
+	GroupsSatisfied  map[Group]bool
+	TCPPTopicsSeen   int
+	CoreTopicsSeen   int
+	Courses          int
+}
+
+// Audit checks prerequisites (a prereq must be completed in an earlier
+// semester), group requirements, and TCPP exposure for a student record.
+func (cu *Curriculum) Audit(rec StudentRecord) (AuditResult, error) {
+	res := AuditResult{GroupsSatisfied: map[Group]bool{}}
+	done := map[string]bool{}
+	topicSeen := map[string]bool{}
+	coreSeen := map[string]bool{}
+	groupCount := map[Group]int{}
+
+	for si, sem := range rec.Semesters {
+		for _, code := range sem {
+			c, err := cu.Course(code)
+			if err != nil {
+				return res, err
+			}
+			res.Courses++
+			for _, p := range c.Prereqs {
+				if !done[p] {
+					res.PrereqViolations = append(res.PrereqViolations,
+						fmt.Sprintf("%s taken in semester %d without prerequisite %s", code, si+1, p))
+				}
+			}
+			groupCount[c.Group]++
+			for _, t := range c.TCPPTopics() {
+				topicSeen[t.Name] = true
+				if t.Core {
+					coreSeen[t.Name] = true
+				}
+			}
+		}
+		// Completion happens at semester end.
+		for _, code := range sem {
+			done[code] = true
+		}
+	}
+	for g, need := range cu.GroupRequirement {
+		res.GroupsSatisfied[g] = groupCount[g] >= need
+	}
+	res.TCPPTopicsSeen = len(topicSeen)
+	res.CoreTopicsSeen = len(coreSeen)
+	sort.Strings(res.PrereqViolations)
+	return res, nil
+}
+
+// renderTable renders rows of columns with fixed widths, wrapping cells.
+func renderTable(headers []string, widths []int, rows [][]string) string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		// Wrap each cell to its width, then emit line by line.
+		wrapped := make([][]string, len(cells))
+		height := 1
+		for i, cell := range cells {
+			wrapped[i] = wrap(cell, widths[i])
+			if len(wrapped[i]) > height {
+				height = len(wrapped[i])
+			}
+		}
+		for ln := 0; ln < height; ln++ {
+			for i := range cells {
+				text := ""
+				if ln < len(wrapped[i]) {
+					text = wrapped[i][ln]
+				}
+				fmt.Fprintf(&b, "%-*s", widths[i]+2, text)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	writeRow(headers)
+	total := 2 * len(widths)
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// wrap splits s into lines of at most width characters on word
+// boundaries. Embedded newlines force breaks, letting callers keep list
+// items whole.
+func wrap(s string, width int) []string {
+	var lines []string
+	for _, seg := range strings.Split(s, "\n") {
+		words := strings.Fields(seg)
+		if len(words) == 0 {
+			lines = append(lines, "")
+			continue
+		}
+		cur := words[0]
+		for _, w := range words[1:] {
+			if len(cur)+1+len(w) <= width {
+				cur += " " + w
+			} else {
+				lines = append(lines, cur)
+				cur = w
+			}
+		}
+		lines = append(lines, cur)
+	}
+	if len(lines) == 0 {
+		return []string{""}
+	}
+	return lines
+}

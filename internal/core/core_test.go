@@ -1,0 +1,331 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func swarthmore(t *testing.T) *Curriculum {
+	t.Helper()
+	cu, err := Swarthmore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cu
+}
+
+func TestSwarthmoreValidates(t *testing.T) {
+	cu := swarthmore(t)
+	if err := cu.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cu.Courses) < 9 {
+		t.Errorf("courses = %d", len(cu.Courses))
+	}
+}
+
+func TestPrereqCycleDetected(t *testing.T) {
+	cu := New("cyclic")
+	cu.Add(&Course{Code: "A", Prereqs: []string{"B"}})
+	cu.Add(&Course{Code: "B", Prereqs: []string{"A"}})
+	if err := cu.Validate(); !errors.Is(err, ErrPrereqCycle) {
+		t.Errorf("cycle: %v", err)
+	}
+	cu2 := New("dangling")
+	cu2.Add(&Course{Code: "A", Prereqs: []string{"MISSING"}})
+	if err := cu2.Validate(); err == nil {
+		t.Error("dangling prereq should fail")
+	}
+}
+
+func TestDuplicateCourse(t *testing.T) {
+	cu := New("x")
+	if err := cu.Add(&Course{Code: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cu.Add(&Course{Code: "A"}); err == nil {
+		t.Error("duplicate should error")
+	}
+	if err := cu.Add(&Course{}); err == nil {
+		t.Error("empty code should error")
+	}
+}
+
+func TestPrereqChain(t *testing.T) {
+	cu := swarthmore(t)
+	chain, err := cu.PrereqChain("CS87")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CS87 <- CS31, CS35 <- CS21.
+	want := map[string]bool{"CS31": true, "CS35": true, "CS21": true}
+	if len(chain) != len(want) {
+		t.Fatalf("chain = %v", chain)
+	}
+	for _, c := range chain {
+		if !want[c] {
+			t.Errorf("unexpected prereq %s", c)
+		}
+	}
+	if _, err := cu.PrereqChain("CS99"); err == nil {
+		t.Error("unknown course should error")
+	}
+}
+
+func TestCS31IsPrereqToSystemsCourses(t *testing.T) {
+	// The paper's central structural change: CS31 gates the systems and
+	// application courses that build on parallel topics.
+	cu := swarthmore(t)
+	for _, code := range []string{"CS40", "CS45", "CS75", "CS87", "CS44"} {
+		chain, err := cu.PrereqChain(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, p := range chain {
+			if p == "CS31" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s should require CS31", code)
+		}
+	}
+	// Algorithms does NOT require CS31 (per Section IV).
+	chain, _ := cu.PrereqChain("CS41")
+	for _, p := range chain {
+		if p == "CS31" {
+			t.Error("CS41 should not require CS31")
+		}
+	}
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	cu := swarthmore(t)
+	tbl, err := cu.TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All eight labs from the paper's Table I.
+	for _, lab := range []string{
+		"Data Representation", "Building an ALU", "Bit compare",
+		"Binary Bomb", "Game of Life", "Python lists in C", "Unix Shell",
+		"Parallel Game of Life",
+	} {
+		if !strings.Contains(tbl, lab) {
+			t.Errorf("Table I missing %q", lab)
+		}
+	}
+	if !strings.Contains(tbl, "scalability experiments") {
+		t.Error("Table I missing the scalability-study goal")
+	}
+}
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	cu := swarthmore(t)
+	tbl, err := cu.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []string{
+		"The Memory Hierarchy", "Multicore and Threads", "Operating Systems",
+		"Parallel Algorithms and Programming", "Other Topics Covered In-Depth",
+		"Other Topics Covered",
+	} {
+		if !strings.Contains(tbl, row) {
+			t.Errorf("Table II missing row %q", row)
+		}
+	}
+	for _, detail := range []string{"Cache Coherence", "Amdahl's Law", "Producer-Consumer", "Message passing basics"} {
+		if !strings.Contains(tbl, detail) {
+			t.Errorf("Table II missing detail %q", detail)
+		}
+	}
+}
+
+func TestTableIIIMatchesPaper(t *testing.T) {
+	cu := swarthmore(t)
+	tbl, err := cu.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []string{
+		"Parallel and Distributed Models and Complexity",
+		"Algorithmic Paradigms", "Algorithmic Problems",
+	} {
+		if !strings.Contains(tbl, row) {
+			t.Errorf("Table III missing row %q", row)
+		}
+	}
+	for _, detail := range []string{"PRAM", "Work", "Span", "Out-of-Core", "Sorting", "Selection", "Matrix Computation"} {
+		if !strings.Contains(tbl, detail) {
+			t.Errorf("Table III missing detail %q", detail)
+		}
+	}
+}
+
+func TestCoverageMatrixAndGaps(t *testing.T) {
+	cu := swarthmore(t)
+	m := cu.CoverageMatrix()
+	// Threads covered by at least CS31 and CS45.
+	if len(m["Threads"]) < 2 {
+		t.Errorf("Threads covered by %v", m["Threads"])
+	}
+	// Every core topic must be covered somewhere (the paper's main goal).
+	gaps := cu.CoreGaps(TCPPCore())
+	if len(gaps) != 0 {
+		t.Errorf("core topic gaps: %v", gaps)
+	}
+}
+
+func TestOfferingSchedule(t *testing.T) {
+	cu := swarthmore(t)
+	fall12 := Semester{Fall: true, Year: 2012}
+	offered := cu.SemesterOfferings(fall12)
+	has := func(code string) bool {
+		for _, c := range offered {
+			if c == code {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("CS31") || !has("CS41") {
+		t.Errorf("Fall 2012 offerings: %v", offered)
+	}
+	if has("CS40") || has("CS87") {
+		t.Errorf("future courses offered early: %v", offered)
+	}
+	// CS40 every other year from Spring 2013: offered Spring 2013 and
+	// Spring 2015, not Spring 2014.
+	cs40, _ := cu.Course("CS40")
+	if !cs40.OfferedIn(Semester{Fall: false, Year: 2013}) {
+		t.Error("CS40 should run Spring 2013")
+	}
+	if cs40.OfferedIn(Semester{Fall: false, Year: 2014}) {
+		t.Error("CS40 should not run Spring 2014")
+	}
+	if !cs40.OfferedIn(Semester{Fall: false, Year: 2015}) {
+		t.Error("CS40 should run Spring 2015")
+	}
+}
+
+func TestParallelEverySemesterFromSpring2014(t *testing.T) {
+	// Once the full plan is phased in (Spring 2014 onward), every semester
+	// must offer intro (CS31) and at least one upper-level parallel course.
+	cu := swarthmore(t)
+	if bad, ok := cu.ParallelEverySemester(Semester{Fall: false, Year: 2014}, 8); !ok {
+		t.Errorf("parallel coverage fails at %s\n%s", bad,
+			cu.ScheduleReport(Semester{Fall: false, Year: 2014}, 8))
+	}
+}
+
+func TestSemesterArithmetic(t *testing.T) {
+	s := Semester{Fall: true, Year: 2012}
+	n := s.Next()
+	if n.Fall || n.Year != 2013 {
+		t.Errorf("next of Fall 2012 = %v", n)
+	}
+	if n.Next() != (Semester{Fall: true, Year: 2013}) {
+		t.Errorf("next-next = %v", n.Next())
+	}
+	if s.Index() >= n.Index() {
+		t.Error("index must increase")
+	}
+	if s.String() != "Fall 2012" || n.String() != "Spring 2013" {
+		t.Errorf("strings: %s, %s", s, n)
+	}
+}
+
+func TestStudentAudit(t *testing.T) {
+	cu := swarthmore(t)
+	// A compliant path.
+	good := StudentRecord{Semesters: [][]string{
+		{"CS21"},
+		{"CS35", "CS31"},
+		{"CS41"},
+		{"CS40"},
+		{"CS45"},
+	}}
+	res, err := cu.Audit(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PrereqViolations) != 0 {
+		t.Errorf("violations: %v", res.PrereqViolations)
+	}
+	for g, ok := range res.GroupsSatisfied {
+		if !ok {
+			t.Errorf("group %v unsatisfied", g)
+		}
+	}
+	if res.CoreTopicsSeen < 10 {
+		t.Errorf("core topics seen = %d", res.CoreTopicsSeen)
+	}
+
+	// Taking CS40 without CS31 violates the new prerequisite.
+	bad := StudentRecord{Semesters: [][]string{
+		{"CS21"},
+		{"CS35"},
+		{"CS40"},
+	}}
+	res, err = cu.Audit(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PrereqViolations) == 0 {
+		t.Error("missing CS31 prereq not flagged")
+	}
+	// Same-semester prereq does not count (must be completed earlier).
+	same := StudentRecord{Semesters: [][]string{
+		{"CS21", "CS35"},
+	}}
+	res, _ = cu.Audit(same)
+	if len(res.PrereqViolations) == 0 {
+		t.Error("same-semester prereq should be flagged")
+	}
+	// Unknown course errors.
+	if _, err := cu.Audit(StudentRecord{Semesters: [][]string{{"CS00"}}}); err == nil {
+		t.Error("unknown course should error")
+	}
+}
+
+func TestGroupsReportStarsCS31Requirers(t *testing.T) {
+	cu := swarthmore(t)
+	rep := cu.GroupsReport()
+	if !strings.Contains(rep, "CS45*") || !strings.Contains(rep, "CS87*") {
+		t.Errorf("systems courses should be starred:\n%s", rep)
+	}
+	if strings.Contains(rep, "CS41*") {
+		t.Errorf("CS41 must not be starred:\n%s", rep)
+	}
+	for _, g := range []string{"Theory", "Systems", "Applications"} {
+		if !strings.Contains(rep, g) {
+			t.Errorf("report missing group %s:\n%s", g, rep)
+		}
+	}
+}
+
+func TestScheduleReport(t *testing.T) {
+	cu := swarthmore(t)
+	rep := cu.ScheduleReport(Semester{Fall: true, Year: 2012}, 4)
+	if !strings.Contains(rep, "Fall 2012") || !strings.Contains(rep, "CS31") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	lines := wrap("one two three four five", 9)
+	for _, ln := range lines {
+		if len(ln) > 9 {
+			t.Errorf("line %q exceeds width", ln)
+		}
+	}
+	if got := strings.Join(lines, " "); got != "one two three four five" {
+		t.Errorf("wrap lost words: %q", got)
+	}
+	if got := wrap("", 10); len(got) != 1 || got[0] != "" {
+		t.Errorf("wrap empty: %v", got)
+	}
+}

@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Build the paper's curriculum and interrogate its structure.
+func Example() {
+	cu, err := core.Swarthmore()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	chain, _ := cu.PrereqChain("CS87")
+	fmt.Println("CS87 prerequisites:", chain)
+	_, ok := cu.ParallelEverySemester(core.Semester{Fall: false, Year: 2014}, 6)
+	fmt.Println("parallel content every semester from Spring 2014:", ok)
+	fmt.Println("uncovered core topics:", len(cu.CoreGaps(core.TCPPCore())))
+	// Output:
+	// CS87 prerequisites: [CS21 CS31 CS35]
+	// parallel content every semester from Spring 2014: true
+	// uncovered core topics: 0
+}
+
+// Audit a student path against the new requirements.
+func ExampleCurriculum_Audit() {
+	cu, _ := core.Swarthmore()
+	res, err := cu.Audit(core.StudentRecord{Semesters: [][]string{
+		{"CS21"},
+		{"CS35"},
+		{"CS40"}, // Graphics without CS31: violates the new prerequisite
+	}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("violations:", len(res.PrereqViolations))
+	// Output: violations: 1
+}

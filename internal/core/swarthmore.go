@@ -1,0 +1,348 @@
+package core
+
+// This file encodes the curriculum the paper describes: the courses of
+// Section III, the CS31 labs of Table I, the TCPP coverage rows of Tables
+// II and III, the group structure of Section II.B, and the offering
+// schedule of Section I.A.
+
+// TCPPCore returns the TCPP minimal-skill-set topics referenced across
+// the paper's tables (the subset this reproduction tracks).
+func TCPPCore() []Topic {
+	return []Topic{
+		{Name: "Memory Hierarchy", Area: Architecture, Core: true},
+		{Name: "Cache Organization", Area: Architecture, Core: true},
+		{Name: "Cache Coherence", Area: Architecture, Core: true},
+		{Name: "Multicore", Area: Architecture, Core: true},
+		{Name: "SIMD", Area: Architecture, Core: true},
+		{Name: "Pipelining", Area: Architecture, Core: true},
+		{Name: "Shared Memory Programming", Area: Programming, Core: true},
+		{Name: "Threads", Area: Programming, Core: true},
+		{Name: "Synchronization", Area: Programming, Core: true},
+		{Name: "Race Conditions", Area: Programming, Core: true},
+		{Name: "Deadlock", Area: Programming, Core: true},
+		{Name: "Critical Sections", Area: Programming, Core: true},
+		{Name: "Producer-Consumer", Area: Programming, Core: true},
+		{Name: "Message Passing", Area: Programming, Core: true},
+		{Name: "Speedup", Area: CrossCutting, Core: true},
+		{Name: "Amdahl's Law", Area: CrossCutting, Core: true},
+		{Name: "Scalability", Area: CrossCutting, Core: true},
+		{Name: "Work", Area: Algorithms, Core: true},
+		{Name: "Span", Area: Algorithms, Core: true},
+		{Name: "PRAM", Area: Algorithms, Core: true},
+		{Name: "Divide and Conquer", Area: Algorithms, Core: true},
+		{Name: "Scan", Area: Algorithms, Core: true},
+		{Name: "Parallel Sorting", Area: Algorithms, Core: true},
+		{Name: "Task Graphs", Area: Algorithms, Core: true},
+	}
+}
+
+func topics(names ...string) []Topic {
+	byName := map[string]Topic{}
+	for _, t := range TCPPCore() {
+		byName[t.Name] = t
+	}
+	out := make([]Topic, 0, len(names))
+	for _, n := range names {
+		if t, ok := byName[n]; ok {
+			out = append(out, t)
+			continue
+		}
+		out = append(out, Topic{Name: n, Area: CrossCutting})
+	}
+	return out
+}
+
+// Swarthmore builds the curriculum of the paper: the new CS31, the six
+// affected courses, and the group requirements. Offering phases follow
+// Section I.A (CS31/CS41 Fall 2012, CS40 Spring 2013, CS45 Fall 2013,
+// CS75/CS87 Spring 2014).
+func Swarthmore() (*Curriculum, error) {
+	cu := New("Swarthmore CS (2012 revision)")
+	cu.GroupRequirement[GroupTheory] = 1
+	cu.GroupRequirement[GroupSystems] = 1
+	cu.GroupRequirement[GroupApplications] = 1
+
+	fall12 := Semester{Fall: true, Year: 2012}
+	spring13 := Semester{Fall: false, Year: 2013}
+	fall13 := Semester{Fall: true, Year: 2013}
+	spring14 := Semester{Fall: false, Year: 2014}
+
+	courses := []*Course{
+		{
+			Code: "CS21", Title: "Introduction to Computer Science", Level: Intro,
+			FirstOffered: Semester{Fall: true, Year: 2011}, Frequency: EverySemester,
+		},
+		{
+			Code: "CS35", Title: "Data Structures and Algorithms", Level: Intro,
+			Prereqs:      []string{"CS21"},
+			FirstOffered: Semester{Fall: true, Year: 2011}, Frequency: EverySemester,
+		},
+		{
+			Code: "CS31", Title: "Introduction to Computer Systems", Level: Intro,
+			Prereqs:      []string{"CS21"},
+			FirstOffered: fall12, Frequency: EverySemester,
+			ParallelContent: true,
+			Labs:            CS31Labs(),
+			Coverage:        CS31Coverage(),
+		},
+		{
+			Code: "CS41", Title: "Algorithms", Level: UpperLevel, Group: GroupTheory,
+			Prereqs:      []string{"CS35"},
+			FirstOffered: fall12, Frequency: Yearly,
+			ParallelContent: true,
+			Coverage:        CS41Coverage(),
+		},
+		{
+			Code: "CS46", Title: "Theory of Computation", Level: UpperLevel, Group: GroupTheory,
+			Prereqs:      []string{"CS35"},
+			FirstOffered: spring13, Frequency: Yearly,
+		},
+		{
+			Code: "CS40", Title: "Computer Graphics", Level: UpperLevel, Group: GroupApplications,
+			Prereqs:      []string{"CS35", "CS31"},
+			FirstOffered: spring13, Frequency: EveryOtherYear,
+			ParallelContent: true,
+			Coverage: []Coverage{{
+				MainTopic: "GPGPU Computing",
+				Details: []string{"CUDA", "SIMD and stream architectures",
+					"GPU memory organization", "hybrid computing", "GPU threads",
+					"scheduling", "data layout", "parallel reductions", "speedups"},
+				Methods: []Pedagogy{Lecture, LabAssignment, Project},
+				Topics:  topics("SIMD", "Speedup", "Shared Memory Programming"),
+			}},
+		},
+		{
+			Code: "CS45", Title: "Operating Systems", Level: UpperLevel, Group: GroupSystems,
+			Prereqs:      []string{"CS35", "CS31"},
+			FirstOffered: fall13, Frequency: EveryOtherYear,
+			ParallelContent: true,
+			Coverage: []Coverage{{
+				MainTopic: "Concurrency and Distributed Systems",
+				Details: []string{"processes and threads", "synchronization",
+					"distributed systems", "distributed file systems", "networking", "security"},
+				Methods: []Pedagogy{Lecture, LabAssignment, Exam},
+				Topics: topics("Threads", "Synchronization", "Deadlock",
+					"Producer-Consumer", "Critical Sections"),
+			}},
+		},
+		{
+			Code: "CS75", Title: "Compilers", Level: UpperLevel, Group: GroupSystems,
+			Prereqs:      []string{"CS35", "CS31"},
+			FirstOffered: spring14, Frequency: EveryOtherYear,
+			ParallelContent: true,
+			Coverage: []Coverage{{
+				MainTopic: "Optimization for Parallel Hardware",
+				Details: []string{"optimization for super-scalar, multicore and SMP",
+					"false sharing", "JIT and dynamic compilation", "GPGPU compilation"},
+				Methods: []Pedagogy{Lecture, Project},
+				Topics:  topics("Multicore", "Cache Coherence", "Pipelining"),
+			}},
+		},
+		{
+			Code: "CS87", Title: "Parallel and Distributed Computing", Level: UpperLevel, Group: GroupSystems,
+			Prereqs:      []string{"CS35", "CS31"},
+			FirstOffered: spring14, Frequency: EveryOtherYear,
+			ParallelContent: true,
+			Coverage: []Coverage{{
+				MainTopic: "Parallel and Distributed Computing Survey",
+				Details: []string{"memory hierarchy", "multicore and SMPs", "false sharing",
+					"GPUs", "clusters, grid, P2P, cloud", "SIMD and MIMD",
+					"MPI, CUDA, OpenMP, Map-Reduce", "parallel patterns, reduce and scan",
+					"speedup and scalability", "fault tolerance",
+					"distributed file systems", "distributed shared memory"},
+				Methods: []Pedagogy{Lecture, Discussion, LabAssignment, Project},
+				Topics: topics("Message Passing", "Shared Memory Programming", "SIMD",
+					"Multicore", "Speedup", "Scalability", "Scan", "Memory Hierarchy"),
+			}},
+		},
+		{
+			Code: "CS44", Title: "Databases", Level: UpperLevel, Group: GroupSystems,
+			Prereqs:      []string{"CS35", "CS31"},
+			FirstOffered: spring14, Frequency: EveryOtherYear,
+			ParallelContent: true,
+			Coverage: []Coverage{{
+				MainTopic: "Parallel and Distributed Databases",
+				Details: []string{"parallel join algorithms", "distributed transactions",
+					"distributed hash tables"},
+				Methods: []Pedagogy{Lecture, LabAssignment},
+				Topics:  topics("Message Passing", "Scalability"),
+			}},
+		},
+	}
+	for _, c := range courses {
+		if err := cu.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	if err := cu.Validate(); err != nil {
+		return nil, err
+	}
+	_ = spring14
+	return cu, nil
+}
+
+// CS31Labs returns the eight lab assignments of Table I.
+func CS31Labs() []Lab {
+	return []Lab{
+		{
+			Name:   "Data Representation",
+			Topics: []string{"Binary data representation", "Binary arithmetic and operations"},
+			Goals: []string{
+				"understand binary representation of different C types",
+				"convert between hex, decimal, binary",
+				"binary arithmetic and bit-wise operations, overflow",
+				"intro to C programming and gdb",
+			},
+		},
+		{
+			Name:   "Building an ALU",
+			Topics: []string{"Digital Logic", "Circuits", "Executing Machine code"},
+			Goals: []string{
+				"to build and test circuits from basic gates",
+				"understand how machine code instrs are executed",
+			},
+		},
+		{
+			Name:   "Bit compare, Bit vectors",
+			Topics: []string{"Bit-wise operations", "Memory", "Assembly Code"},
+			Goals: []string{
+				"writing assembly code",
+				"disassembling code in gdb",
+				"understanding bit-wise operators and encodings",
+				"C programming and debugging",
+			},
+		},
+		{
+			Name:   "Binary Bomb",
+			Topics: []string{"IA32 Assembly", "The Stack", "Scope", "Functions"},
+			Goals: []string{
+				"reading and tracing IA32 assembly",
+				"understanding C to IA32 translation",
+				"practice with tools for examining binary files",
+			},
+		},
+		{
+			Name:   "Game of Life",
+			Topics: []string{"C Programming", "Timing Experiments"},
+			Goals: []string{
+				"understand dynamic memory, C pointers",
+				"writing and designing larger C programs",
+				"understanding memory layout of 2D arrays",
+				"learning how to add timing measurement to C code",
+			},
+		},
+		{
+			Name:   "Python lists in C",
+			Topics: []string{"C pointers", "C structs", "Low-level Memory"},
+			Goals: []string{
+				"implementing and using C-style libraries",
+				"understanding memory storage layout of different C types",
+				"C operations on memory (memcpy, void *, recasting, pointers)",
+			},
+		},
+		{
+			Name:   "Unix Shell",
+			Topics: []string{"Processes", "Unix Process Creation", "Signals", "Race Conditions"},
+			Goals: []string{
+				"understand how a Unix shell works",
+				"understand processes and the process hierarchy",
+				"understand signals",
+				"practice using fork, exec, signal handlers",
+			},
+		},
+		{
+			Name: "Parallel Game of Life",
+			Topics: []string{"Threads", "Shared Memory Programming",
+				"Synchronization", "Scalability Analysis"},
+			Goals: []string{
+				"understanding shared memory programming",
+				"understanding and solving synchronization problems",
+				"pthread programming experience",
+				"developing a parallel algorithm",
+				"designing and carrying out scalability experiments",
+				"analyzing data and explaining results in written report",
+			},
+		},
+	}
+}
+
+// CS31Coverage returns the TCPP coverage rows of Table II.
+func CS31Coverage() []Coverage {
+	std := []Pedagogy{Lecture, LabAssignment, Exam, WrittenAssignment}
+	return []Coverage{
+		{
+			MainTopic: "The Memory Hierarchy",
+			Details: []string{"Storage Circuits", "RAM", "Disk",
+				"Caching and Cache Organizations", "Paging", "Replacement Policies",
+				"Cache Coherence"},
+			Methods: std,
+			Topics:  topics("Memory Hierarchy", "Cache Organization", "Cache Coherence"),
+		},
+		{
+			MainTopic: "Multicore and Threads",
+			Details: []string{"Architecture", "Buses", "Coherency",
+				"Explicit Parallelism", "Threads and Threaded Programming"},
+			Methods: std,
+			Topics:  topics("Multicore", "Threads", "Shared Memory Programming"),
+		},
+		{
+			MainTopic: "Operating Systems",
+			Details: []string{"Overview", "Goals", "Processes", "Threads",
+				"Synchronization Primitives (locks, semaphores)", "Virtual Memory",
+				"Efficiency", "Mechanism/Policy and Space/Time Trade-offs"},
+			Methods: std,
+			Topics:  topics("Synchronization", "Threads"),
+		},
+		{
+			MainTopic: "Parallel Algorithms and Programming",
+			Details: []string{"Shared Memory Programming", "Threads", "Synchronization",
+				"Deadlock", "Race Conditions", "Critical Sections", "Producer-Consumer",
+				"Amdahl's Law", "Scalability", "Speed-up"},
+			Methods: std,
+			Topics: topics("Shared Memory Programming", "Synchronization", "Deadlock",
+				"Race Conditions", "Critical Sections", "Producer-Consumer",
+				"Amdahl's Law", "Scalability", "Speedup"),
+		},
+		{
+			MainTopic: "Other Topics Covered In-Depth",
+			Details: []string{"Machine Organization Topics", "Assembly programming",
+				"C to IA32", "The Stack", "Function Call Mechanics"},
+			Methods: std,
+			Topics:  topics("Pipelining"),
+		},
+		{
+			MainTopic: "Other Topics Covered",
+			Details: []string{"Distributed Computing", "Message passing basics",
+				"TCP-IP sockets", "Pipelining", "Super-scalar", "Implicit parallelism"},
+			Methods: []Pedagogy{Lecture},
+			Topics:  topics("Message Passing"),
+		},
+	}
+}
+
+// CS41Coverage returns the TCPP coverage rows of Table III.
+func CS41Coverage() []Coverage {
+	std := []Pedagogy{Lecture, LabExercise, Homework, Exam}
+	return []Coverage{
+		{
+			MainTopic: "Parallel and Distributed Models and Complexity",
+			Details: []string{"Asymptotic Bounds", "Time", "Memory", "Space",
+				"Scalability", "PRAM", "Task graphs", "Work", "Span"},
+			Methods: std,
+			Topics:  topics("Scalability", "PRAM", "Task Graphs", "Work", "Span"),
+		},
+		{
+			MainTopic: "Algorithmic Paradigms",
+			Details: []string{"Divide and Conquer", "Recursion", "Scan", "Blocking",
+				"Out-of-Core (I/O-Efficient) Algorithms"},
+			Methods: std,
+			Topics:  topics("Divide and Conquer", "Scan"),
+		},
+		{
+			MainTopic: "Algorithmic Problems",
+			Details:   []string{"Sorting", "Selection", "Matrix Computation"},
+			Methods:   []Pedagogy{Lecture, LabExercise, Exam},
+			Topics:    topics("Parallel Sorting"),
+		},
+	}
+}

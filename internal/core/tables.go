@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TableI renders the CS31 lab table (paper Table I) from the curriculum
+// data.
+func (cu *Curriculum) TableI() (string, error) {
+	c, err := cu.Course("CS31")
+	if err != nil {
+		return "", err
+	}
+	rows := make([][]string, 0, len(c.Labs))
+	for _, lab := range c.Labs {
+		rows = append(rows, []string{
+			lab.Name,
+			strings.Join(lab.Topics, ",\n"),
+			strings.Join(lab.Goals, "\n"),
+		})
+	}
+	out := "TABLE I — CS31 Lab Assignments\n\n"
+	out += renderTable(
+		[]string{"ASSIGNMENT", "TOPIC", "GOALS"},
+		[]int{26, 34, 50},
+		rows,
+	)
+	return out, nil
+}
+
+// TableII renders the CS31 TCPP coverage table (paper Table II).
+func (cu *Curriculum) TableII() (string, error) {
+	return cu.coverageTable("CS31", "TABLE II — NSF/IEEE-TCPP Curricular Topics Covered in CS31")
+}
+
+// TableIII renders the CS41 TCPP coverage table (paper Table III).
+func (cu *Curriculum) TableIII() (string, error) {
+	return cu.coverageTable("CS41", "TABLE III — NSF/IEEE-TCPP Curricular Topics Covered in CS41")
+}
+
+func (cu *Curriculum) coverageTable(code, title string) (string, error) {
+	c, err := cu.Course(code)
+	if err != nil {
+		return "", err
+	}
+	rows := make([][]string, 0, len(c.Coverage))
+	for _, cov := range c.Coverage {
+		methods := make([]string, len(cov.Methods))
+		for i, m := range cov.Methods {
+			methods[i] = m.String()
+		}
+		rows = append(rows, []string{
+			cov.MainTopic,
+			strings.Join(cov.Details, ",\n"),
+			strings.Join(methods, ",\n"),
+		})
+	}
+	out := title + "\n\n"
+	out += renderTable(
+		[]string{"MAIN TOPIC", "DETAILS", "PEDAGOGICAL METHODS"},
+		[]int{48, 52, 26},
+		rows,
+	)
+	return out, nil
+}
+
+// GroupsReport renders the Section II.B course grouping.
+func (cu *Curriculum) GroupsReport() string {
+	byGroup := map[Group][]string{}
+	for code, c := range cu.Courses {
+		if c.Level == UpperLevel {
+			star := ""
+			for _, p := range c.Prereqs {
+				if p == "CS31" {
+					star = "*"
+				}
+			}
+			byGroup[c.Group] = append(byGroup[c.Group], code+star)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — upper-level groups (* requires CS31)\n", cu.Name)
+	for _, g := range []Group{GroupTheory, GroupSystems, GroupApplications} {
+		list := byGroup[g]
+		sortStrings(list)
+		fmt.Fprintf(&b, "  Group: %-24s %s\n", g.String()+":", strings.Join(list, ", "))
+	}
+	return b.String()
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// ScheduleReport renders the offerings over a window of semesters, with
+// the parallel-coverage check from the paper's overview.
+func (cu *Curriculum) ScheduleReport(start Semester, semesters int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Offering plan from %s:\n", start)
+	s := start
+	for i := 0; i < semesters; i++ {
+		var par []string
+		for _, code := range cu.SemesterOfferings(s) {
+			if cu.Courses[code].ParallelContent {
+				par = append(par, code)
+			}
+		}
+		fmt.Fprintf(&b, "  %-12s offered: %-40s parallel: %s\n",
+			s.String(), strings.Join(cu.SemesterOfferings(s), " "), strings.Join(par, " "))
+		s = s.Next()
+	}
+	if bad, ok := cu.ParallelEverySemester(start, semesters); !ok {
+		fmt.Fprintf(&b, "WARNING: %s lacks an intro or upper-level parallel course\n", bad)
+	} else {
+		b.WriteString("Every semester offers intro and upper-level parallel content.\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,328 @@
+// Package dag implements the task-graph model from CS41 Table III: DAGs
+// of tasks with costs, work (T1) and span (T∞) computation, the critical
+// path, parallelism T1/T∞, greedy list scheduling onto P processors with
+// verification of Brent's bound T_P ≤ T1/P + T∞, and series/parallel
+// composition helpers that mirror fork-join program structure.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Task identifies a node in the graph.
+type Task int
+
+// Graph is a DAG of tasks with non-negative costs.
+type Graph struct {
+	cost  []int64
+	succ  [][]Task
+	pred  [][]Task
+	label []string
+}
+
+// New creates an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddTask adds a task with the given cost and label, returning its id.
+func (g *Graph) AddTask(cost int64, label string) Task {
+	if cost < 0 {
+		cost = 0
+	}
+	g.cost = append(g.cost, cost)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	g.label = append(g.label, label)
+	return Task(len(g.cost) - 1)
+}
+
+// AddEdge adds a dependency: from must complete before to starts.
+func (g *Graph) AddEdge(from, to Task) error {
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("dag: unknown task in edge %d -> %d", from, to)
+	}
+	if from == to {
+		return fmt.Errorf("dag: self edge on task %d", from)
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	return nil
+}
+
+func (g *Graph) valid(t Task) bool { return t >= 0 && int(t) < len(g.cost) }
+
+// Size returns the number of tasks.
+func (g *Graph) Size() int { return len(g.cost) }
+
+// Cost returns the cost of task t.
+func (g *Graph) Cost(t Task) int64 { return g.cost[t] }
+
+// Label returns the label of task t.
+func (g *Graph) Label(t Task) string { return g.label[t] }
+
+// ErrCycle is returned when the graph is not acyclic.
+var ErrCycle = errors.New("dag: cycle detected")
+
+// TopoOrder returns a topological order, or ErrCycle.
+func (g *Graph) TopoOrder() ([]Task, error) {
+	n := len(g.cost)
+	indeg := make([]int, n)
+	for _, ps := range g.pred {
+		_ = ps
+	}
+	for t := 0; t < n; t++ {
+		indeg[t] = len(g.pred[t])
+	}
+	queue := make([]Task, 0, n)
+	for t := 0; t < n; t++ {
+		if indeg[t] == 0 {
+			queue = append(queue, Task(t))
+		}
+	}
+	order := make([]Task, 0, n)
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		order = append(order, t)
+		for _, s := range g.succ[t] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Work returns T1: the total cost of all tasks.
+func (g *Graph) Work() int64 {
+	var w int64
+	for _, c := range g.cost {
+		w += c
+	}
+	return w
+}
+
+// Span returns T∞ (the critical-path cost) and one critical path.
+func (g *Graph) Span() (int64, []Task, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, nil, err
+	}
+	n := len(g.cost)
+	finish := make([]int64, n)
+	via := make([]Task, n)
+	for i := range via {
+		via[i] = -1
+	}
+	var best Task = -1
+	var span int64
+	for _, t := range order {
+		f := g.cost[t]
+		for _, p := range g.pred[t] {
+			if finish[p]+g.cost[t] > f {
+				f = finish[p] + g.cost[t]
+				via[t] = p
+			}
+		}
+		finish[t] = f
+		if f > span || best == -1 {
+			span, best = f, t
+		}
+	}
+	// Reconstruct the path.
+	var path []Task
+	for t := best; t != -1; t = via[t] {
+		path = append(path, t)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return span, path, nil
+}
+
+// Parallelism returns T1/T∞ — the maximum useful processor count.
+func (g *Graph) Parallelism() (float64, error) {
+	span, _, err := g.Span()
+	if err != nil {
+		return 0, err
+	}
+	if span == 0 {
+		return 0, nil
+	}
+	return float64(g.Work()) / float64(span), nil
+}
+
+// ScheduleEntry records one task's placement in a schedule.
+type ScheduleEntry struct {
+	Task      Task
+	Processor int
+	Start     int64
+	Finish    int64
+}
+
+// Schedule is the outcome of list scheduling onto P processors.
+type Schedule struct {
+	P        int
+	Makespan int64
+	Entries  []ScheduleEntry
+}
+
+// BrentUpperBound returns T1/P + T∞, the greedy-scheduling guarantee.
+func (g *Graph) BrentUpperBound(p int) (float64, error) {
+	if p <= 0 {
+		return 0, errors.New("dag: processors must be positive")
+	}
+	span, _, err := g.Span()
+	if err != nil {
+		return 0, err
+	}
+	return float64(g.Work())/float64(p) + float64(span), nil
+}
+
+// GreedySchedule runs greedy (work-conserving) list scheduling on P
+// identical processors: whenever a processor is free and a task is ready,
+// it runs. Ties go to the lowest task id — deterministic.
+func (g *Graph) GreedySchedule(p int) (Schedule, error) {
+	if p <= 0 {
+		return Schedule{}, errors.New("dag: processors must be positive")
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return Schedule{}, err
+	}
+	n := len(g.cost)
+	remainingPreds := make([]int, n)
+	for t := 0; t < n; t++ {
+		remainingPreds[t] = len(g.pred[t])
+	}
+	ready := make([]Task, 0, n)
+	for t := 0; t < n; t++ {
+		if remainingPreds[t] == 0 {
+			ready = append(ready, Task(t))
+		}
+	}
+	procFree := make([]int64, p) // time each processor becomes free
+	sched := Schedule{P: p}
+	running := make([]ScheduleEntry, 0, p) // tasks in flight, sorted by finish
+	done := 0
+	var now int64
+
+	for done < n {
+		// Start as many ready tasks as idle processors allow at time `now`.
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+		for len(ready) > 0 {
+			// Find an idle processor at `now`.
+			proc := -1
+			for i := range procFree {
+				if procFree[i] <= now {
+					proc = i
+					break
+				}
+			}
+			if proc == -1 {
+				break
+			}
+			t := ready[0]
+			ready = ready[1:]
+			e := ScheduleEntry{Task: t, Processor: proc, Start: now, Finish: now + g.cost[t]}
+			procFree[proc] = e.Finish
+			running = append(running, e)
+			sched.Entries = append(sched.Entries, e)
+		}
+		if len(running) == 0 {
+			return Schedule{}, errors.New("dag: scheduler stuck (internal error)")
+		}
+		// Advance to the earliest finish; retire everything finishing then.
+		sort.Slice(running, func(i, j int) bool { return running[i].Finish < running[j].Finish })
+		now = running[0].Finish
+		for len(running) > 0 && running[0].Finish <= now {
+			e := running[0]
+			running = running[1:]
+			done++
+			if e.Finish > sched.Makespan {
+				sched.Makespan = e.Finish
+			}
+			for _, s := range g.succ[e.Task] {
+				remainingPreds[s]--
+				if remainingPreds[s] == 0 {
+					ready = append(ready, s)
+				}
+			}
+		}
+	}
+	return sched, nil
+}
+
+// Validate checks that a schedule respects dependencies and processor
+// exclusivity — used by tests and by the Brent verification bench.
+func (g *Graph) Validate(s Schedule) error {
+	finish := make(map[Task]int64, len(s.Entries))
+	start := make(map[Task]int64, len(s.Entries))
+	byProc := make(map[int][]ScheduleEntry)
+	for _, e := range s.Entries {
+		finish[e.Task] = e.Finish
+		start[e.Task] = e.Start
+		if e.Finish-e.Start != g.cost[e.Task] {
+			return fmt.Errorf("dag: task %d scheduled for %d, cost %d", e.Task, e.Finish-e.Start, g.cost[e.Task])
+		}
+		byProc[e.Processor] = append(byProc[e.Processor], e)
+	}
+	if len(s.Entries) != len(g.cost) {
+		return fmt.Errorf("dag: schedule has %d entries for %d tasks", len(s.Entries), len(g.cost))
+	}
+	for t := range g.cost {
+		for _, p := range g.pred[t] {
+			if finish[p] > start[Task(t)] {
+				return fmt.Errorf("dag: task %d starts at %d before predecessor %d finishes at %d",
+					t, start[Task(t)], p, finish[p])
+			}
+		}
+	}
+	for proc, es := range byProc {
+		sort.Slice(es, func(i, j int) bool { return es[i].Start < es[j].Start })
+		for i := 1; i < len(es); i++ {
+			if es[i].Start < es[i-1].Finish {
+				return fmt.Errorf("dag: processor %d overlap: task %d and %d", proc, es[i-1].Task, es[i].Task)
+			}
+		}
+	}
+	return nil
+}
+
+// --- series/parallel composition: the fork-join calculus ---
+
+// Fragment is a sub-DAG with a single entry and exit, supporting the
+// series (;) and parallel (||) composition used to analyze fork-join
+// programs on the board.
+type Fragment struct {
+	g           *Graph
+	entry, exit Task
+}
+
+// Leaf creates a single-task fragment in g.
+func Leaf(g *Graph, cost int64, label string) Fragment {
+	t := g.AddTask(cost, label)
+	return Fragment{g: g, entry: t, exit: t}
+}
+
+// Seq composes fragments in series: a then b.
+func Seq(a, b Fragment) Fragment {
+	a.g.AddEdge(a.exit, b.entry)
+	return Fragment{g: a.g, entry: a.entry, exit: b.exit}
+}
+
+// Par composes fragments in parallel between zero-cost fork and join
+// nodes.
+func Par(g *Graph, frags ...Fragment) Fragment {
+	fork := g.AddTask(0, "fork")
+	join := g.AddTask(0, "join")
+	for _, f := range frags {
+		g.AddEdge(fork, f.entry)
+		g.AddEdge(f.exit, join)
+	}
+	return Fragment{g: g, entry: fork, exit: join}
+}

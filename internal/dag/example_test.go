@@ -1,0 +1,46 @@
+package dag_test
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Fork-join composition computes work and span the way CS41 does on the
+// board: seq(a, par(b, c)) has work a+b+c and span a+max(b,c).
+func Example() {
+	g := dag.New()
+	frag := dag.Seq(dag.Leaf(g, 2, "setup"), dag.Par(g,
+		dag.Leaf(g, 10, "left"),
+		dag.Leaf(g, 6, "right"),
+	))
+	_ = frag
+	span, _, err := g.Span()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	par, _ := g.Parallelism()
+	fmt.Printf("work=%d span=%d parallelism=%.2f\n", g.Work(), span, par)
+	// Output: work=18 span=12 parallelism=1.50
+}
+
+// Greedy scheduling respects Brent's bound T_P <= T1/P + Tinf.
+func ExampleGraph_GreedySchedule() {
+	g := dag.New()
+	dag.Par(g,
+		dag.Leaf(g, 4, "a"), dag.Leaf(g, 4, "b"),
+		dag.Leaf(g, 4, "c"), dag.Leaf(g, 4, "d"),
+	)
+	s, err := g.GreedySchedule(2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	bound, _ := g.BrentUpperBound(2)
+	fmt.Println(s.Makespan <= int64(bound))
+	fmt.Println("makespan:", s.Makespan)
+	// Output:
+	// true
+	// makespan: 8
+}

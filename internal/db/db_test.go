@@ -1,0 +1,329 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func randomRelation(n int, keyRange int64, seed uint64, tag string) Relation {
+	if seed == 0 {
+		seed = 1
+	}
+	s := seed
+	out := make(Relation, n)
+	for i := range out {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		out[i] = Tuple{Key: int64(s % uint64(keyRange)), Payload: fmt.Sprintf("%s%d", tag, i)}
+	}
+	return out
+}
+
+func equalPairs(a, b []JoinPair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca, cb := Canon(a), Canon(b)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJoinsAgreeOnFixture(t *testing.T) {
+	l := Relation{{1, "a"}, {2, "b"}, {2, "c"}, {3, "d"}, {5, "e"}}
+	r := Relation{{2, "x"}, {2, "y"}, {3, "z"}, {4, "w"}}
+	want := NestedLoopJoin(l, r)
+	// 2 appears 2x2=4 times plus 3 once: 5 pairs.
+	if len(want) != 5 {
+		t.Fatalf("baseline join has %d pairs", len(want))
+	}
+	if got := HashJoin(l, r); !equalPairs(got, want) {
+		t.Errorf("HashJoin differs: %v", Canon(got))
+	}
+	if got := SortMergeJoin(l, r); !equalPairs(got, want) {
+		t.Errorf("SortMergeJoin differs: %v", Canon(got))
+	}
+	got, st, err := GraceHashJoin(l, r, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalPairs(got, want) {
+		t.Errorf("GraceHashJoin differs: %v", Canon(got))
+	}
+	if st.ResultPairs != 5 || st.Partitions != 4 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestJoinsAgreeProperty(t *testing.T) {
+	f := func(seedL, seedR uint16, nL, nR uint8) bool {
+		l := randomRelation(int(nL%60), 10, uint64(seedL)+1, "l")
+		r := randomRelation(int(nR%60), 10, uint64(seedR)+1, "r")
+		want := NestedLoopJoin(l, r)
+		if !equalPairs(HashJoin(l, r), want) {
+			return false
+		}
+		if !equalPairs(SortMergeJoin(l, r), want) {
+			return false
+		}
+		got, _, err := GraceHashJoin(l, r, 3, 2)
+		if err != nil {
+			return false
+		}
+		return equalPairs(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinEdgeCases(t *testing.T) {
+	if got := HashJoin(nil, Relation{{1, "x"}}); len(got) != 0 {
+		t.Errorf("empty left join: %v", got)
+	}
+	if got := SortMergeJoin(Relation{{1, "x"}}, nil); len(got) != 0 {
+		t.Errorf("empty right join: %v", got)
+	}
+	if _, _, err := GraceHashJoin(nil, nil, 0, 1); err == nil {
+		t.Error("0 partitions should error")
+	}
+	if _, _, err := GraceHashJoin(nil, nil, 4, 0); err == nil {
+		t.Error("0 workers should error")
+	}
+}
+
+func TestGracePartitioningBalance(t *testing.T) {
+	// Uniform keys spread across partitions: the largest partition should
+	// not be wildly above the mean.
+	l := randomRelation(8000, 1<<30, 5, "l")
+	r := randomRelation(8000, 1<<30, 6, "r")
+	_, st, err := GraceHashJoin(l, r, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 8000 / 16
+	if st.LargestLeft > mean*2 || st.LargestRight > mean*2 {
+		t.Errorf("skewed partitions: %+v (mean %d)", st, mean)
+	}
+}
+
+// --- DHT ---
+
+func TestDHTBasics(t *testing.T) {
+	d, err := NewDHT(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("k", "v"); err == nil {
+		t.Error("put on empty ring should error")
+	}
+	if err := d.AddNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddNode("a"); err == nil {
+		t.Error("duplicate node should error")
+	}
+	d.Put("hello", "world")
+	if v, ok := d.Get("hello"); !ok || v != "world" {
+		t.Errorf("Get = %q %v", v, ok)
+	}
+	if _, ok := d.Get("missing"); ok {
+		t.Error("missing key found")
+	}
+	if err := d.RemoveNode("a"); err == nil {
+		t.Error("removing the last node should error")
+	}
+	if err := d.RemoveNode("ghost"); err == nil {
+		t.Error("removing unknown node should error")
+	}
+}
+
+func TestDHTLookupsSurviveTopologyChanges(t *testing.T) {
+	d, _ := NewDHT(64)
+	for _, n := range []string{"a", "b", "c"} {
+		if err := d.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		d.Put(fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i))
+	}
+	check := func(stage string) {
+		for i := 0; i < keys; i++ {
+			v, ok := d.Get(fmt.Sprintf("key-%d", i))
+			if !ok || v != fmt.Sprintf("val-%d", i) {
+				t.Fatalf("%s: key-%d lost (%q, %v)", stage, i, v, ok)
+			}
+		}
+		if d.Keys() != keys {
+			t.Fatalf("%s: total keys = %d", stage, d.Keys())
+		}
+	}
+	check("initial")
+	if err := d.AddNode("d"); err != nil {
+		t.Fatal(err)
+	}
+	check("after join")
+	if err := d.RemoveNode("b"); err != nil {
+		t.Fatal(err)
+	}
+	check("after leave")
+}
+
+func TestDHTMinimalMovement(t *testing.T) {
+	// Consistent hashing: adding the (n+1)-th node moves ~K/(n+1) keys,
+	// not all of them.
+	d, _ := NewDHT(64)
+	for _, n := range []string{"a", "b", "c"} {
+		d.AddNode(n)
+	}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		d.Put(fmt.Sprintf("key-%d", i), "v")
+	}
+	before := d.Moves()
+	d.AddNode("d")
+	moved := d.Moves() - before
+	expected := int64(keys / 4)
+	if moved > 2*expected {
+		t.Errorf("node join moved %d keys, expected ~%d (consistent hashing broken)", moved, expected)
+	}
+	if moved == 0 {
+		t.Error("a new node must take over some keys")
+	}
+}
+
+func TestDHTBalance(t *testing.T) {
+	d, _ := NewDHT(128)
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+	for _, n := range nodes {
+		d.AddNode(n)
+	}
+	const keys = 5000
+	for i := 0; i < keys; i++ {
+		d.Put(fmt.Sprintf("key-%d", i), "v")
+	}
+	load := d.Load()
+	mean := keys / len(nodes)
+	for n, c := range load {
+		if c < mean/3 || c > mean*3 {
+			t.Errorf("node %s holds %d keys (mean %d): imbalanced", n, c, mean)
+		}
+	}
+}
+
+func TestDHTOwnerDeterministic(t *testing.T) {
+	f := func(key string) bool {
+		d, _ := NewDHT(16)
+		d.AddNode("x")
+		d.AddNode("y")
+		return d.Owner(key) == d.Owner(key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- two-phase commit ---
+
+func TestTPCAllCommit(t *testing.T) {
+	txns := []Txn{
+		{Writes: map[int]map[string]string{1: {"a": "1"}, 2: {"b": "2"}}},
+		{Writes: map[int]map[string]string{2: {"b": "22"}, 3: {"c": "3"}}},
+	}
+	res, err := RunTransactions(TPCConfig{Participants: 3}, txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range res.Committed {
+		if !ok {
+			t.Errorf("txn %d aborted unexpectedly", i)
+		}
+	}
+	if res.States[0]["a"] != "1" || res.States[1]["b"] != "22" || res.States[2]["c"] != "3" {
+		t.Errorf("states: %v", res.States)
+	}
+}
+
+func TestTPCVoteNoAbortsAtomically(t *testing.T) {
+	txns := []Txn{
+		{Writes: map[int]map[string]string{1: {"a": "1"}, 2: {"b": "1"}}}, // commits
+		{Writes: map[int]map[string]string{1: {"a": "2"}, 2: {"b": "2"}}}, // p2 votes no
+		{Writes: map[int]map[string]string{1: {"a": "3"}, 2: {"b": "3"}}}, // commits
+	}
+	cfg := TPCConfig{
+		Participants: 2,
+		VoteNo: func(p, ti int) bool {
+			return p == 2 && ti == 1
+		},
+	}
+	res, err := RunTransactions(cfg, txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed[0] || res.Committed[1] || !res.Committed[2] {
+		t.Fatalf("committed = %v, want [true false true]", res.Committed)
+	}
+	// Atomicity: txn 1's writes appear NOWHERE — including at p1, which
+	// voted yes.
+	if res.States[0]["a"] == "2" || res.States[1]["b"] == "2" {
+		t.Errorf("aborted txn leaked writes: %v", res.States)
+	}
+	if res.States[0]["a"] != "3" || res.States[1]["b"] != "3" {
+		t.Errorf("final states wrong: %v", res.States)
+	}
+}
+
+func TestTPCCrashedParticipantAborts(t *testing.T) {
+	txns := []Txn{
+		{Writes: map[int]map[string]string{1: {"a": "1"}, 2: {"b": "1"}}}, // commits
+		{Writes: map[int]map[string]string{1: {"a": "2"}, 2: {"b": "2"}}}, // p2 crashes
+		{Writes: map[int]map[string]string{1: {"a": "3"}}},                // p1 only: commits
+		{Writes: map[int]map[string]string{2: {"b": "9"}}},                // dead p2: aborts
+	}
+	cfg := TPCConfig{
+		Participants: 2,
+		TimeoutMS:    100,
+		CrashOnPrepare: func(p, ti int) bool {
+			return p == 2 && ti == 1
+		},
+	}
+	res, err := RunTransactions(cfg, txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if res.Committed[i] != want[i] {
+			t.Errorf("txn %d committed=%v, want %v", i, res.Committed[i], want[i])
+		}
+	}
+	// Survivor p1 reflects only committed transactions.
+	if res.States[0]["a"] != "3" {
+		t.Errorf("p1 state: %v", res.States[0])
+	}
+	// Crashed p2's state is unknown.
+	if res.States[1] != nil {
+		t.Errorf("crashed participant reported state: %v", res.States[1])
+	}
+}
+
+func TestTPCValidation(t *testing.T) {
+	if _, err := RunTransactions(TPCConfig{Participants: 0}, nil); err == nil {
+		t.Error("0 participants should error")
+	}
+	// No transactions: trivially fine.
+	res, err := RunTransactions(TPCConfig{Participants: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Committed) != 0 {
+		t.Errorf("committed: %v", res.Committed)
+	}
+}

@@ -1,0 +1,156 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DHT is a consistent-hashing distributed hash table: nodes own arcs of a
+// hash ring (with virtual nodes for balance); keys map to the first node
+// clockwise from their hash. Adding or removing a node moves only the
+// keys of the affected arcs — the ~K/n movement property that motivates
+// consistent hashing in the distributed-databases lecture.
+type DHT struct {
+	vnodes int
+	ring   []ringEntry // sorted by position
+	nodes  map[string]bool
+	store  map[string]map[string]string // node -> its keys
+	moves  int64                        // keys migrated by topology changes
+}
+
+type ringEntry struct {
+	pos  uint32
+	node string
+}
+
+// NewDHT creates an empty ring with the given virtual-node count per
+// physical node.
+func NewDHT(vnodes int) (*DHT, error) {
+	if vnodes <= 0 {
+		return nil, errors.New("db: vnodes must be positive")
+	}
+	return &DHT{
+		vnodes: vnodes,
+		nodes:  make(map[string]bool),
+		store:  make(map[string]map[string]string),
+	}, nil
+}
+
+func hashString(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// AddNode joins a node, migrating the keys that now belong to it.
+func (d *DHT) AddNode(name string) error {
+	if d.nodes[name] {
+		return fmt.Errorf("db: node %q already present", name)
+	}
+	d.nodes[name] = true
+	d.store[name] = make(map[string]string)
+	for v := 0; v < d.vnodes; v++ {
+		d.ring = append(d.ring, ringEntry{pos: hashString(fmt.Sprintf("%s#%d", name, v)), node: name})
+	}
+	sort.Slice(d.ring, func(i, j int) bool { return d.ring[i].pos < d.ring[j].pos })
+	d.rebalance()
+	return nil
+}
+
+// RemoveNode leaves a node, migrating its keys to their new owners.
+func (d *DHT) RemoveNode(name string) error {
+	if !d.nodes[name] {
+		return fmt.Errorf("db: node %q not present", name)
+	}
+	if len(d.nodes) == 1 {
+		return errors.New("db: cannot remove the last node")
+	}
+	delete(d.nodes, name)
+	keep := d.ring[:0]
+	for _, e := range d.ring {
+		if e.node != name {
+			keep = append(keep, e)
+		}
+	}
+	d.ring = keep
+	orphans := d.store[name]
+	delete(d.store, name)
+	for k, v := range orphans {
+		owner := d.Owner(k)
+		d.store[owner][k] = v
+		d.moves++
+	}
+	d.rebalance()
+	return nil
+}
+
+// rebalance moves any key whose owner changed (used after AddNode; after
+// RemoveNode it is a no-op safety net).
+func (d *DHT) rebalance() {
+	for node, kv := range d.store {
+		for k, v := range kv {
+			owner := d.Owner(k)
+			if owner != node {
+				delete(kv, k)
+				d.store[owner][k] = v
+				d.moves++
+			}
+		}
+	}
+}
+
+// Owner returns the node responsible for a key.
+func (d *DHT) Owner(key string) string {
+	if len(d.ring) == 0 {
+		return ""
+	}
+	pos := hashString(key)
+	i := sort.Search(len(d.ring), func(i int) bool { return d.ring[i].pos >= pos })
+	if i == len(d.ring) {
+		i = 0 // wrap around the ring
+	}
+	return d.ring[i].node
+}
+
+// Put stores key = value at its owner.
+func (d *DHT) Put(key, value string) error {
+	owner := d.Owner(key)
+	if owner == "" {
+		return errors.New("db: empty ring")
+	}
+	d.store[owner][key] = value
+	return nil
+}
+
+// Get fetches a key from its owner.
+func (d *DHT) Get(key string) (string, bool) {
+	owner := d.Owner(key)
+	if owner == "" {
+		return "", false
+	}
+	v, ok := d.store[owner][key]
+	return v, ok
+}
+
+// Moves returns the number of keys migrated by topology changes so far.
+func (d *DHT) Moves() int64 { return d.moves }
+
+// Load returns the number of keys stored per node.
+func (d *DHT) Load() map[string]int {
+	out := make(map[string]int, len(d.store))
+	for node, kv := range d.store {
+		out[node] = len(kv)
+	}
+	return out
+}
+
+// Keys returns the total key count.
+func (d *DHT) Keys() int {
+	n := 0
+	for _, kv := range d.store {
+		n += len(kv)
+	}
+	return n
+}

@@ -1,0 +1,45 @@
+package db_test
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+)
+
+// All join algorithms produce the same bag of pairs.
+func Example() {
+	students := db.Relation{{Key: 1, Payload: "ada"}, {Key: 2, Payload: "grace"}}
+	grades := db.Relation{{Key: 1, Payload: "A"}, {Key: 2, Payload: "A+"}, {Key: 2, Payload: "B"}}
+	pairs, _, err := db.GraceHashJoin(students, grades, 4, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, p := range db.Canon(pairs) {
+		fmt.Printf("%s -> %s\n", p.Left.Payload, p.Right.Payload)
+	}
+	// Output:
+	// ada -> A
+	// grace -> A+
+	// grace -> B
+}
+
+// Two-phase commit: one NO vote aborts the transaction everywhere.
+func ExampleRunTransactions() {
+	res, err := db.RunTransactions(db.TPCConfig{
+		Participants: 2,
+		VoteNo:       func(p, txn int) bool { return p == 2 && txn == 0 },
+	}, []db.Txn{
+		{Writes: map[int]map[string]string{1: {"x": "1"}, 2: {"y": "1"}}}, // aborted
+		{Writes: map[int]map[string]string{1: {"x": "2"}, 2: {"y": "2"}}}, // commits
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("committed:", res.Committed)
+	fmt.Println("p1 x:", res.States[0]["x"], "p2 y:", res.States[1]["y"])
+	// Output:
+	// committed: [false true]
+	// p1 x: 2 p2 y: 2
+}

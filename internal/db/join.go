@@ -1,0 +1,189 @@
+// Package db implements the parallel/distributed database content the
+// paper plans for CS44: equi-join algorithms (nested-loop baseline, hash
+// join, sort-merge join, and partition-parallel Grace hash join), a
+// consistent-hashing distributed hash table with node join/leave and
+// minimal key movement, and two-phase commit over the message-passing
+// layer with vote- and crash-injection.
+package db
+
+import (
+	"errors"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Tuple is one row of a relation: an integer join key plus a payload.
+type Tuple struct {
+	Key     int64
+	Payload string
+}
+
+// Relation is a bag of tuples.
+type Relation []Tuple
+
+// JoinPair is one result row of an equi-join.
+type JoinPair struct {
+	Left, Right Tuple
+}
+
+// pairKey orders join results canonically for comparison.
+func pairLess(a, b JoinPair) bool {
+	if a.Left.Key != b.Left.Key {
+		return a.Left.Key < b.Left.Key
+	}
+	if a.Left.Payload != b.Left.Payload {
+		return a.Left.Payload < b.Left.Payload
+	}
+	return a.Right.Payload < b.Right.Payload
+}
+
+// Canon sorts a join result into canonical order (joins are bags; tests
+// and callers compare canonical forms).
+func Canon(pairs []JoinPair) []JoinPair {
+	out := append([]JoinPair(nil), pairs...)
+	sort.Slice(out, func(i, j int) bool { return pairLess(out[i], out[j]) })
+	return out
+}
+
+// NestedLoopJoin is the O(|L|·|R|) baseline.
+func NestedLoopJoin(l, r Relation) []JoinPair {
+	var out []JoinPair
+	for _, lt := range l {
+		for _, rt := range r {
+			if lt.Key == rt.Key {
+				out = append(out, JoinPair{Left: lt, Right: rt})
+			}
+		}
+	}
+	return out
+}
+
+// HashJoin builds a hash table on the smaller relation and probes with
+// the larger — the standard in-memory equi-join.
+func HashJoin(l, r Relation) []JoinPair {
+	build, probe, swapped := l, r, false
+	if len(r) < len(l) {
+		build, probe, swapped = r, l, true
+	}
+	table := make(map[int64][]Tuple, len(build))
+	for _, t := range build {
+		table[t.Key] = append(table[t.Key], t)
+	}
+	var out []JoinPair
+	for _, p := range probe {
+		for _, b := range table[p.Key] {
+			if swapped {
+				out = append(out, JoinPair{Left: p, Right: b})
+			} else {
+				out = append(out, JoinPair{Left: b, Right: p})
+			}
+		}
+	}
+	return out
+}
+
+// SortMergeJoin sorts both inputs by key and merges, handling duplicate
+// key groups on both sides.
+func SortMergeJoin(l, r Relation) []JoinPair {
+	ls := append(Relation(nil), l...)
+	rs := append(Relation(nil), r...)
+	sort.SliceStable(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Key < rs[j].Key })
+	var out []JoinPair
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		switch {
+		case ls[i].Key < rs[j].Key:
+			i++
+		case ls[i].Key > rs[j].Key:
+			j++
+		default:
+			key := ls[i].Key
+			i2 := i
+			for i2 < len(ls) && ls[i2].Key == key {
+				i2++
+			}
+			j2 := j
+			for j2 < len(rs) && rs[j2].Key == key {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					out = append(out, JoinPair{Left: ls[a], Right: rs[b]})
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out
+}
+
+// hash64 is the partitioning hash.
+func hash64(k int64) uint32 {
+	h := fnv.New32a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(k >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum32()
+}
+
+// GraceStats reports the parallel join's partition balance.
+type GraceStats struct {
+	Partitions   int
+	LargestLeft  int
+	LargestRight int
+	ResultPairs  int
+}
+
+// GraceHashJoin is the partition-parallel (Grace) hash join: both
+// relations are hash-partitioned into `partitions` buckets on the join
+// key; each bucket pair joins independently on `workers` goroutines.
+// Matching keys always land in the same bucket, so the union of bucket
+// joins equals the full join — the invariant the parallel-databases
+// lecture proves.
+func GraceHashJoin(l, r Relation, partitions, workers int) ([]JoinPair, GraceStats, error) {
+	if partitions <= 0 || workers <= 0 {
+		return nil, GraceStats{}, errors.New("db: partitions and workers must be positive")
+	}
+	lp := make([]Relation, partitions)
+	rp := make([]Relation, partitions)
+	for _, t := range l {
+		b := int(hash64(t.Key)) % partitions
+		lp[b] = append(lp[b], t)
+	}
+	for _, t := range r {
+		b := int(hash64(t.Key)) % partitions
+		rp[b] = append(rp[b], t)
+	}
+	st := GraceStats{Partitions: partitions}
+	for b := 0; b < partitions; b++ {
+		if len(lp[b]) > st.LargestLeft {
+			st.LargestLeft = len(lp[b])
+		}
+		if len(rp[b]) > st.LargestRight {
+			st.LargestRight = len(rp[b])
+		}
+	}
+	results := make([][]JoinPair, partitions)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for b := 0; b < partitions; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[b] = HashJoin(lp[b], rp[b])
+		}(b)
+	}
+	wg.Wait()
+	var out []JoinPair
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	st.ResultPairs = len(out)
+	return out, st, nil
+}

@@ -1,0 +1,220 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/mp"
+)
+
+// This file implements two-phase commit over internal/mp — the
+// "distributed transactions" item of the CS44 plan. Rank 0 coordinates;
+// ranks 1..N are participants holding local key-value state. Phase 1
+// sends PREPARE and collects votes; phase 2 sends COMMIT or ABORT.
+// Atomicity invariant: after the protocol, either every participant
+// applied the transaction or none did. Vote injection lets tests force
+// aborts; a "crashed" participant (never answering) is detected by the
+// coordinator's timeout and treated as a NO vote.
+
+// Txn is a distributed transaction: writes per participant (1-based rank).
+type Txn struct {
+	Writes map[int]map[string]string
+}
+
+// TPCConfig parameterizes a two-phase-commit run.
+type TPCConfig struct {
+	Participants int
+	// VoteNo, when non-nil, makes participants vote NO on given txn index.
+	VoteNo func(participant, txnIndex int) bool
+	// CrashOnPrepare makes a participant stop responding from that txn on.
+	CrashOnPrepare func(participant, txnIndex int) bool
+	// TimeoutMS is the coordinator's vote-collection timeout.
+	TimeoutMS int
+}
+
+// TPCResult reports a run's outcomes.
+type TPCResult struct {
+	Committed []bool              // per transaction
+	States    []map[string]string // final state per participant (1-based -> index 0..)
+}
+
+const (
+	tagPrepare = iota + 1
+	tagVote
+	tagDecision
+	tagState
+	tagShutdown
+)
+
+type prepareMsg struct {
+	TxnIndex int
+	Writes   map[string]string
+}
+
+type voteMsg struct {
+	TxnIndex int
+	Yes      bool
+}
+
+type decisionMsg struct {
+	TxnIndex int
+	Commit   bool
+}
+
+// RunTransactions executes the transactions in order under 2PC and
+// returns per-transaction outcomes plus each participant's final state.
+func RunTransactions(cfg TPCConfig, txns []Txn) (TPCResult, error) {
+	if cfg.Participants < 1 {
+		return TPCResult{}, errors.New("db: need at least one participant")
+	}
+	timeout := cfg.TimeoutMS
+	if timeout <= 0 {
+		timeout = 200
+	}
+	res := TPCResult{
+		Committed: make([]bool, len(txns)),
+		States:    make([]map[string]string, cfg.Participants),
+	}
+	err := mp.Run(cfg.Participants+1, func(c *mp.Comm) error {
+		if c.Rank() == 0 {
+			return coordinator(c, cfg, txns, &res)
+		}
+		return participant(c, cfg)
+	})
+	return res, err
+}
+
+func coordinator(c *mp.Comm, cfg TPCConfig, txns []Txn, res *TPCResult) error {
+	n := cfg.Participants
+	crashed := make([]bool, n+1)
+	for ti, txn := range txns {
+		// Phase 1: prepare.
+		involved := make([]int, 0, n)
+		for p := 1; p <= n; p++ {
+			w := txn.Writes[p]
+			if len(w) == 0 {
+				continue
+			}
+			involved = append(involved, p)
+			if err := c.Send(p, tagPrepare, prepareMsg{TxnIndex: ti, Writes: w}); err != nil {
+				return err
+			}
+		}
+		allYes := true
+		for _, p := range involved {
+			if crashed[p] {
+				allYes = false
+				continue
+			}
+			m, ok, err := c.RecvTimeout(p, tagVote, msDuration(cfg.TimeoutMS))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				// Silent participant: presumed crashed; vote NO.
+				crashed[p] = true
+				allYes = false
+				continue
+			}
+			v := m.Data.(voteMsg)
+			if v.TxnIndex != ti {
+				return fmt.Errorf("db: vote for txn %d while running %d", v.TxnIndex, ti)
+			}
+			if !v.Yes {
+				allYes = false
+			}
+		}
+		// Phase 2: decision to every involved, live participant.
+		for _, p := range involved {
+			if crashed[p] {
+				continue
+			}
+			if err := c.Send(p, tagDecision, decisionMsg{TxnIndex: ti, Commit: allYes}); err != nil {
+				return err
+			}
+		}
+		res.Committed[ti] = allYes
+	}
+	// Collect final states and shut down.
+	for p := 1; p <= n; p++ {
+		if err := c.Send(p, tagShutdown, "report"); err != nil {
+			return err
+		}
+	}
+	for p := 1; p <= n; p++ {
+		if crashed[p] {
+			res.States[p-1] = nil // unknown: the node is gone
+			continue
+		}
+		m, ok, err := c.RecvTimeout(p, tagState, msDuration(cfg.TimeoutMS))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			res.States[p-1] = nil
+			continue
+		}
+		res.States[p-1] = m.Data.(map[string]string)
+	}
+	return nil
+}
+
+func participant(c *mp.Comm, cfg TPCConfig) error {
+	me := c.Rank()
+	state := map[string]string{}
+	staged := map[int]map[string]string{}
+	crashed := false
+	for {
+		m, err := c.Recv(0, mp.AnyTag)
+		if err != nil {
+			return err
+		}
+		if m.Tag == tagShutdown {
+			if crashed {
+				return nil // a crashed node reports nothing
+			}
+			snapshot := make(map[string]string, len(state))
+			for k, v := range state {
+				snapshot[k] = v
+			}
+			return c.Send(0, tagState, snapshot)
+		}
+		if crashed {
+			continue
+		}
+		switch m.Tag {
+		case tagPrepare:
+			pm := m.Data.(prepareMsg)
+			if cfg.CrashOnPrepare != nil && cfg.CrashOnPrepare(me, pm.TxnIndex) {
+				crashed = true
+				continue // never votes: the coordinator times out
+			}
+			yes := true
+			if cfg.VoteNo != nil && cfg.VoteNo(me, pm.TxnIndex) {
+				yes = false
+			}
+			if yes {
+				staged[pm.TxnIndex] = pm.Writes // write-ahead: staged, not applied
+			}
+			if err := c.Send(0, tagVote, voteMsg{TxnIndex: pm.TxnIndex, Yes: yes}); err != nil {
+				return err
+			}
+		case tagDecision:
+			dm := m.Data.(decisionMsg)
+			if dm.Commit {
+				for k, v := range staged[dm.TxnIndex] {
+					state[k] = v
+				}
+			}
+			delete(staged, dm.TxnIndex)
+		}
+	}
+}
+
+func msDuration(ms int) time.Duration {
+	if ms <= 0 {
+		ms = 200
+	}
+	return time.Duration(ms) * time.Millisecond
+}

@@ -1,0 +1,349 @@
+// Package dfs implements the distributed-systems capstone of the CS87/
+// CS45 coverage: a replicated key-value store built on the message-
+// passing layer (internal/mp) with primary/backup replication,
+// heartbeat-timeout failure detection, and failover by backup promotion.
+// It exercises the fault-tolerance, distributed-file-system, and
+// consistency topics the paper lists for those courses.
+//
+// Topology: rank 0 is the client/driver; ranks 1..R are replicas. Rank 1
+// starts as primary. Writes go to the primary, which synchronously
+// replicates to all live backups before acknowledging (read-your-writes
+// at any replica that acked). A crashed replica simply stops answering;
+// the client detects the silence via heartbeat timeout and promotes the
+// next live replica.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/mp"
+)
+
+// Message tags.
+const (
+	tagRequest   = iota + 1 // client -> replica commands
+	tagReply                // replica -> client
+	tagReplicate            // primary -> backup
+	tagRepAck               // backup -> primary
+)
+
+// command payloads are strings: "PUT k v", "GET k", "PING", "CRASH",
+// "PROMOTE", "STOP". Replies: "OK", "VALUE v", "NOTFOUND", "PONG",
+// "NOTPRIMARY".
+
+// Cluster drives a replicated store inside an mp world.
+type Cluster struct {
+	Replicas  int
+	Heartbeat time.Duration // failure-detection timeout
+}
+
+// Result summarizes a scenario run.
+type Result struct {
+	Ops        int
+	Failovers  int
+	FinalState map[string]string // the surviving primary's store
+	Trace      []string
+}
+
+// Scenario is a scripted sequence of client actions executed against the
+// cluster. Supported ops:
+//
+//	put <key> <value>
+//	get <key> <want>        (fails the run when the value differs)
+//	getmissing <key>        (expects NOTFOUND)
+//	crash                   (kill the current primary)
+//	crashbackup <idx>       (kill the idx-th backup, 0-based among live backups)
+type Scenario []string
+
+// Run executes the scenario. It returns an error if any expectation
+// fails or the cluster loses data it acknowledged.
+func (c Cluster) Run(scenario Scenario) (Result, error) {
+	if c.Replicas < 1 {
+		return Result{}, errors.New("dfs: need at least one replica")
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 250 * time.Millisecond
+	}
+	res := Result{}
+	world := c.Replicas + 1
+	var runErr error
+
+	err := mp.Run(world, func(comm *mp.Comm) error {
+		if comm.Rank() == 0 {
+			err := c.client(comm, scenario, &res)
+			// Always release the replicas.
+			for r := 1; r < world; r++ {
+				comm.Send(r, tagRequest, "STOP") //nolint:errcheck // shutdown best effort
+			}
+			runErr = err
+			return nil
+		}
+		return c.replica(comm)
+	})
+	if err != nil {
+		return res, err
+	}
+	return res, runErr
+}
+
+// client is the driver: it tracks the current primary and live set,
+// performs scripted operations, and fails over on heartbeat timeout.
+func (c Cluster) client(comm *mp.Comm, scenario Scenario, res *Result) error {
+	primary := 1
+	live := make([]int, c.Replicas)
+	for i := range live {
+		live[i] = i + 1
+	}
+	shadow := map[string]string{} // acknowledged writes (the oracle)
+
+	trace := func(format string, args ...interface{}) {
+		res.Trace = append(res.Trace, fmt.Sprintf(format, args...))
+	}
+	removeLive := func(rank int) {
+		for i, r := range live {
+			if r == rank {
+				live = append(live[:i], live[i+1:]...)
+				return
+			}
+		}
+	}
+	// roundTrip sends a command to the primary, failing over on timeout.
+	var roundTrip func(cmd string) (string, error)
+	roundTrip = func(cmd string) (string, error) {
+		for {
+			if err := comm.Send(primary, tagRequest, cmd); err != nil {
+				return "", err
+			}
+			m, ok, err := comm.RecvTimeout(primary, tagReply, c.Heartbeat)
+			if err != nil {
+				return "", err
+			}
+			if ok {
+				return m.Data.(string), nil
+			}
+			// Primary silent: declare it dead, promote the next live backup.
+			trace("timeout from primary %d: failing over", primary)
+			removeLive(primary)
+			if len(live) == 0 {
+				return "", errors.New("dfs: all replicas failed")
+			}
+			primary = live[0]
+			res.Failovers++
+			peers := append([]int(nil), live[1:]...)
+			if err := comm.Send(primary, tagRequest, promoteCmd(peers)); err != nil {
+				return "", err
+			}
+			if m, ok, err := comm.RecvTimeout(primary, tagReply, c.Heartbeat); err != nil || !ok || m.Data.(string) != "OK" {
+				return "", fmt.Errorf("dfs: promotion of %d failed (%v, ok=%v)", primary, err, ok)
+			}
+			trace("promoted replica %d (backups %v)", primary, peers)
+		}
+	}
+
+	// Initialize the first primary's backup list.
+	if err := comm.Send(primary, tagRequest, promoteCmd(live[1:])); err != nil {
+		return err
+	}
+	if m, err := comm.Recv(primary, tagReply); err != nil || m.Data.(string) != "OK" {
+		return fmt.Errorf("dfs: initial promotion failed: %v", err)
+	}
+
+	for _, op := range scenario {
+		res.Ops++
+		fields := strings.Fields(op)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "put":
+			if len(fields) != 3 {
+				return fmt.Errorf("dfs: bad op %q", op)
+			}
+			reply, err := roundTrip("PUT " + fields[1] + " " + fields[2])
+			if err != nil {
+				return err
+			}
+			if reply != "OK" {
+				return fmt.Errorf("dfs: PUT reply %q", reply)
+			}
+			shadow[fields[1]] = fields[2]
+			trace("put %s=%s via %d", fields[1], fields[2], primary)
+		case "get":
+			if len(fields) != 3 {
+				return fmt.Errorf("dfs: bad op %q", op)
+			}
+			reply, err := roundTrip("GET " + fields[1])
+			if err != nil {
+				return err
+			}
+			want := "VALUE " + fields[2]
+			if reply != want {
+				return fmt.Errorf("dfs: GET %s = %q, want %q (acknowledged data lost)", fields[1], reply, want)
+			}
+		case "getmissing":
+			reply, err := roundTrip("GET " + fields[1])
+			if err != nil {
+				return err
+			}
+			if reply != "NOTFOUND" {
+				return fmt.Errorf("dfs: GET missing %s = %q", fields[1], reply)
+			}
+		case "crash":
+			trace("crashing primary %d", primary)
+			if err := comm.Send(primary, tagRequest, "CRASH"); err != nil {
+				return err
+			}
+		case "crashbackup":
+			if len(fields) != 2 || len(live) < 2 {
+				return fmt.Errorf("dfs: bad crashbackup %q (live %v)", op, live)
+			}
+			idx := int(fields[1][0] - '0')
+			backups := live[1:]
+			if idx < 0 || idx >= len(backups) {
+				return fmt.Errorf("dfs: no backup %d", idx)
+			}
+			victim := backups[idx]
+			trace("crashing backup %d", victim)
+			if err := comm.Send(victim, tagRequest, "CRASH"); err != nil {
+				return err
+			}
+			removeLive(victim)
+			// Tell the primary its peer set shrank.
+			reply, err := roundTrip(promoteCmd(live[1:]))
+			if err != nil {
+				return err
+			}
+			if reply != "OK" {
+				return fmt.Errorf("dfs: reconfigure reply %q", reply)
+			}
+		default:
+			return fmt.Errorf("dfs: unknown op %q", op)
+		}
+	}
+
+	// Final audit: every acknowledged write must be readable.
+	keys := make([]string, 0, len(shadow))
+	for k := range shadow {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	res.FinalState = map[string]string{}
+	for _, k := range keys {
+		reply, err := roundTrip("GET " + k)
+		if err != nil {
+			return err
+		}
+		if reply != "VALUE "+shadow[k] {
+			return fmt.Errorf("dfs: audit: %s = %q, want %q", k, reply, shadow[k])
+		}
+		res.FinalState[k] = shadow[k]
+	}
+	return nil
+}
+
+func promoteCmd(backups []int) string {
+	parts := make([]string, len(backups))
+	for i, b := range backups {
+		parts[i] = fmt.Sprintf("%d", b)
+	}
+	return "PROMOTE " + strings.Join(parts, ",")
+}
+
+// replica is the server loop: it applies PUTs (replicating when primary),
+// answers GETs, and plays dead after CRASH.
+func (c Cluster) replica(comm *mp.Comm) error {
+	store := map[string]string{}
+	var backups []int
+	crashed := false
+	for {
+		m, err := comm.Recv(mp.AnySource, mp.AnyTag)
+		if err != nil {
+			return err
+		}
+		cmd, _ := m.Data.(string)
+		if cmd == "STOP" {
+			return nil
+		}
+		if crashed {
+			continue // dead replicas answer nothing (but still drain STOP above)
+		}
+		switch m.Tag {
+		case tagReplicate:
+			fields := strings.SplitN(cmd, " ", 3)
+			if len(fields) == 3 && fields[0] == "PUT" {
+				store[fields[1]] = fields[2]
+			}
+			if err := comm.Send(m.Source, tagRepAck, "ACK"); err != nil {
+				return err
+			}
+		case tagRequest:
+			reply, die := c.applyRequest(comm, cmd, store, &backups)
+			if die {
+				crashed = true
+				continue
+			}
+			if reply != "" {
+				if err := comm.Send(m.Source, tagReply, reply); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// applyRequest handles one client command at a replica; die=true means
+// the replica should play dead from now on.
+func (c Cluster) applyRequest(comm *mp.Comm, cmd string, store map[string]string, backups *[]int) (string, bool) {
+	fields := strings.SplitN(cmd, " ", 3)
+	switch fields[0] {
+	case "PING":
+		return "PONG", false
+	case "CRASH":
+		return "", true
+	case "PROMOTE":
+		*backups = nil
+		if len(fields) > 1 && fields[1] != "" {
+			for _, part := range strings.Split(fields[1], ",") {
+				if part == "" {
+					continue
+				}
+				n := 0
+				for _, ch := range part {
+					n = n*10 + int(ch-'0')
+				}
+				*backups = append(*backups, n)
+			}
+		}
+		return "OK", false
+	case "PUT":
+		if len(fields) != 3 {
+			return "ERR", false
+		}
+		store[fields[1]] = fields[2]
+		// Synchronous replication to every configured backup.
+		for _, b := range *backups {
+			if err := comm.Send(b, tagReplicate, cmd); err != nil {
+				return "ERR", false
+			}
+			// A crashed backup never acks; time out and drop it from the
+			// peer set (the client reconfigures authoritative membership).
+			if _, ok, _ := comm.RecvTimeout(b, tagRepAck, c.Heartbeat); !ok {
+				continue
+			}
+		}
+		return "OK", false
+	case "GET":
+		if len(fields) != 2 {
+			return "ERR", false
+		}
+		if v, ok := store[fields[1]]; ok {
+			return "VALUE " + v, false
+		}
+		return "NOTFOUND", false
+	}
+	return "ERR", false
+}

@@ -1,0 +1,142 @@
+package dfs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastCluster(replicas int) Cluster {
+	return Cluster{Replicas: replicas, Heartbeat: 150 * time.Millisecond}
+}
+
+func TestBasicPutGet(t *testing.T) {
+	res, err := fastCluster(3).Run(Scenario{
+		"put a 1",
+		"put b 2",
+		"get a 1",
+		"get b 2",
+		"getmissing c",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failovers != 0 {
+		t.Errorf("failovers = %d", res.Failovers)
+	}
+	if res.FinalState["a"] != "1" || res.FinalState["b"] != "2" {
+		t.Errorf("final state: %v", res.FinalState)
+	}
+}
+
+func TestSingleReplica(t *testing.T) {
+	res, err := fastCluster(1).Run(Scenario{
+		"put x 9",
+		"get x 9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2 {
+		t.Errorf("ops = %d", res.Ops)
+	}
+}
+
+func TestPrimaryFailover(t *testing.T) {
+	res, err := fastCluster(3).Run(Scenario{
+		"put a 1",
+		"put b 2",
+		"crash",   // kill primary (rank 1)
+		"get a 1", // must survive via backup promotion
+		"get b 2",
+		"put c 3", // writes continue on the new primary
+		"get c 3",
+	})
+	if err != nil {
+		t.Fatalf("%v\ntrace:\n%s", err, strings.Join(res.Trace, "\n"))
+	}
+	if res.Failovers != 1 {
+		t.Errorf("failovers = %d, want 1", res.Failovers)
+	}
+	if len(res.FinalState) != 3 {
+		t.Errorf("final state: %v", res.FinalState)
+	}
+}
+
+func TestDoubleFailover(t *testing.T) {
+	res, err := fastCluster(3).Run(Scenario{
+		"put k v1",
+		"crash",
+		"get k v1",
+		"put k v2",
+		"crash",
+		"get k v2", // survives two failovers on the last replica
+		"put last 1",
+		"get last 1",
+	})
+	if err != nil {
+		t.Fatalf("%v\ntrace:\n%s", err, strings.Join(res.Trace, "\n"))
+	}
+	if res.Failovers != 2 {
+		t.Errorf("failovers = %d, want 2", res.Failovers)
+	}
+}
+
+func TestBackupCrashDoesNotBlockWrites(t *testing.T) {
+	res, err := fastCluster(3).Run(Scenario{
+		"put a 1",
+		"crashbackup 0", // kill the first backup
+		"put b 2",       // primary must not hang waiting for a dead backup
+		"get a 1",
+		"get b 2",
+		"crash", // now kill the primary: remaining backup takes over
+		"get a 1",
+		"get b 2",
+	})
+	if err != nil {
+		t.Fatalf("%v\ntrace:\n%s", err, strings.Join(res.Trace, "\n"))
+	}
+	if res.Failovers != 1 {
+		t.Errorf("failovers = %d, want 1", res.Failovers)
+	}
+}
+
+func TestAllReplicasFailing(t *testing.T) {
+	_, err := fastCluster(2).Run(Scenario{
+		"put a 1",
+		"crash",
+		"get a 1", // forces failover to the last replica
+		"crash",   // kills it too
+		"get a 1",
+	})
+	if err == nil || !strings.Contains(err.Error(), "all replicas failed") {
+		t.Errorf("expected total failure, got %v", err)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := fastCluster(0).Run(nil); err == nil {
+		t.Error("0 replicas should error")
+	}
+	if _, err := fastCluster(2).Run(Scenario{"frobnicate"}); err == nil {
+		t.Error("unknown op should error")
+	}
+	if _, err := fastCluster(2).Run(Scenario{"put onlykey"}); err == nil {
+		t.Error("malformed put should error")
+	}
+}
+
+func TestOverwriteVisibleAfterFailover(t *testing.T) {
+	res, err := fastCluster(2).Run(Scenario{
+		"put k old",
+		"put k new",
+		"crash",
+		"get k new", // the overwrite, not the original, must survive
+	})
+	if err != nil {
+		t.Fatalf("%v\ntrace:\n%s", err, strings.Join(res.Trace, "\n"))
+	}
+	if res.FinalState["k"] != "new" {
+		t.Errorf("final = %v", res.FinalState)
+	}
+}

@@ -1,0 +1,357 @@
+// Package dsm implements the "distributed shared memory" topic of CS87:
+// an IVY-style page-based DSM with write-invalidate coherence over the
+// message-passing layer. Pages live on whichever node last wrote them;
+// readers obtain read-only copies; a write invalidates every copy and
+// transfers ownership. A central manager (rank 0) serializes transactions,
+// giving sequential consistency — which the tests demonstrate with the
+// classic message-passing-through-shared-memory pattern (write data,
+// write flag; the reader spins on the flag and must then see the data).
+//
+// Each node runs two goroutines: the application and a service loop that
+// answers copy/transfer/invalidate requests against the local page cache,
+// so a node can serve pages while its own application is blocked — the
+// structural point the DSM lecture makes about why DSM needs a protocol
+// processor.
+package dsm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/mp"
+)
+
+// Message tags.
+const (
+	tagCtl   = iota + 1 // app -> manager requests, manager -> app grants
+	tagServe            // manager -> node service loop commands
+	tagPage             // page data to a requesting app
+	tagAck              // acks to the manager
+	tagDone             // shutdown coordination
+)
+
+type request struct {
+	Kind string // "read", "write", "done"
+	Page int
+	From int
+}
+
+type serveCmd struct {
+	Kind string // "copy", "transfer", "inval", "stop"
+	Page int
+	To   int
+}
+
+type pageData struct {
+	Page  int
+	Words []int64
+	Owned bool
+}
+
+// pageState is a node-local cache state.
+type pageState int
+
+const (
+	invalid pageState = iota
+	readonly
+	owned
+)
+
+// Stats counts DSM protocol events at one node.
+type Stats struct {
+	ReadFaults  int64
+	WriteFaults int64
+	LocalReads  int64
+	LocalWrites int64
+	Invalidated int64 // copies this node lost
+	Served      int64 // copy/transfer requests this node answered
+}
+
+// Node is one application's handle on the shared address space.
+type Node struct {
+	comm      *mp.Comm
+	pageWords int
+	numPages  int
+
+	mu    sync.Mutex
+	cache map[int]*cacheEntry
+	stats Stats
+}
+
+type cacheEntry struct {
+	state pageState
+	words []int64
+}
+
+// Rank returns the node's rank (1-based; 0 is the manager).
+func (n *Node) Rank() int { return n.comm.Rank() }
+
+// Stats returns this node's protocol counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+func (n *Node) checkAddr(page, offset int) error {
+	if page < 0 || page >= n.numPages {
+		return fmt.Errorf("dsm: page %d out of range [0,%d)", page, n.numPages)
+	}
+	if offset < 0 || offset >= n.pageWords {
+		return fmt.Errorf("dsm: offset %d out of range [0,%d)", offset, n.pageWords)
+	}
+	return nil
+}
+
+// Read returns the word at (page, offset), faulting in a read-only copy
+// when the page is not cached.
+func (n *Node) Read(page, offset int) (int64, error) {
+	if err := n.checkAddr(page, offset); err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	if e, ok := n.cache[page]; ok && e.state != invalid {
+		v := e.words[offset]
+		n.stats.LocalReads++
+		n.mu.Unlock()
+		return v, nil
+	}
+	n.stats.ReadFaults++
+	n.mu.Unlock()
+
+	if err := n.comm.Send(0, tagCtl, request{Kind: "read", Page: page, From: n.Rank()}); err != nil {
+		return 0, err
+	}
+	m, err := n.comm.Recv(mp.AnySource, tagPage)
+	if err != nil {
+		return 0, err
+	}
+	pd := m.Data.(pageData)
+	n.mu.Lock()
+	st := readonly
+	if pd.Owned {
+		st = owned
+	}
+	n.cache[page] = &cacheEntry{state: st, words: append([]int64(nil), pd.Words...)}
+	v := n.cache[page].words[offset]
+	n.mu.Unlock()
+	if err := n.comm.Send(0, tagAck, page); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// Write stores v at (page, offset), acquiring ownership (and invalidating
+// every other copy) when the page is not owned locally.
+func (n *Node) Write(page, offset int, v int64) error {
+	if err := n.checkAddr(page, offset); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if e, ok := n.cache[page]; ok && e.state == owned {
+		e.words[offset] = v
+		n.stats.LocalWrites++
+		n.mu.Unlock()
+		return nil
+	}
+	n.stats.WriteFaults++
+	n.mu.Unlock()
+
+	if err := n.comm.Send(0, tagCtl, request{Kind: "write", Page: page, From: n.Rank()}); err != nil {
+		return err
+	}
+	m, err := n.comm.Recv(mp.AnySource, tagPage)
+	if err != nil {
+		return err
+	}
+	pd := m.Data.(pageData)
+	n.mu.Lock()
+	n.cache[page] = &cacheEntry{state: owned, words: append([]int64(nil), pd.Words...)}
+	n.cache[page].words[offset] = v
+	n.mu.Unlock()
+	return n.comm.Send(0, tagAck, page)
+}
+
+// serviceLoop answers protocol requests against the local cache until a
+// stop command arrives.
+func (n *Node) serviceLoop() error {
+	for {
+		m, err := n.comm.Recv(0, tagServe)
+		if err != nil {
+			return err
+		}
+		cmd := m.Data.(serveCmd)
+		switch cmd.Kind {
+		case "stop":
+			return nil
+		case "copy":
+			n.mu.Lock()
+			e := n.cache[cmd.Page]
+			if e == nil || e.state == invalid {
+				n.mu.Unlock()
+				return fmt.Errorf("dsm: node %d asked to copy un-held page %d", n.Rank(), cmd.Page)
+			}
+			words := append([]int64(nil), e.words...)
+			e.state = readonly // owner downgrades alongside the new reader
+			n.stats.Served++
+			n.mu.Unlock()
+			if err := n.comm.Send(cmd.To, tagPage, pageData{Page: cmd.Page, Words: words}); err != nil {
+				return err
+			}
+		case "transfer":
+			n.mu.Lock()
+			e := n.cache[cmd.Page]
+			if e == nil || e.state == invalid {
+				n.mu.Unlock()
+				return fmt.Errorf("dsm: node %d asked to transfer un-held page %d", n.Rank(), cmd.Page)
+			}
+			words := append([]int64(nil), e.words...)
+			e.state = invalid
+			n.stats.Served++
+			n.stats.Invalidated++
+			n.mu.Unlock()
+			if err := n.comm.Send(cmd.To, tagPage, pageData{Page: cmd.Page, Words: words, Owned: true}); err != nil {
+				return err
+			}
+		case "inval":
+			n.mu.Lock()
+			if e := n.cache[cmd.Page]; e != nil && e.state != invalid {
+				e.state = invalid
+				n.stats.Invalidated++
+			}
+			n.mu.Unlock()
+			if err := n.comm.Send(0, tagAck, cmd.Page); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dsm: unknown service command %q", cmd.Kind)
+		}
+	}
+}
+
+// directory is the manager's per-page record.
+type directory struct {
+	owner   int // 0 = unowned (page is zero-filled)
+	copyset map[int]bool
+}
+
+// manager serializes every transaction: one read or write completes
+// (requester acked) before the next is served — the property that makes
+// the memory sequentially consistent.
+func manager(comm *mp.Comm, numNodes, numPages, pageWords int) error {
+	dirs := make([]directory, numPages)
+	for i := range dirs {
+		dirs[i].copyset = map[int]bool{}
+	}
+	doneCount := 0
+	for doneCount < numNodes {
+		m, err := comm.Recv(mp.AnySource, tagCtl)
+		if err != nil {
+			return err
+		}
+		req := m.Data.(request)
+		switch req.Kind {
+		case "done":
+			doneCount++
+			continue
+		case "read":
+			d := &dirs[req.Page]
+			if d.owner == req.From {
+				return fmt.Errorf("dsm: owner %d read-faulted on its own page %d (protocol bug)", req.From, req.Page)
+			}
+			if d.owner == 0 {
+				// Unowned: the page is conceptually zero-filled.
+				words := make([]int64, pageWords)
+				if err := comm.Send(req.From, tagPage, pageData{Page: req.Page, Words: words}); err != nil {
+					return err
+				}
+			} else {
+				if err := comm.Send(d.owner, tagServe, serveCmd{Kind: "copy", Page: req.Page, To: req.From}); err != nil {
+					return err
+				}
+				d.copyset[d.owner] = true
+			}
+			d.copyset[req.From] = true
+			if _, err := comm.Recv(req.From, tagAck); err != nil {
+				return err
+			}
+		case "write":
+			d := &dirs[req.Page]
+			// Invalidate every copy except the writer's own.
+			for c := range d.copyset {
+				if c == req.From || c == d.owner {
+					continue
+				}
+				if err := comm.Send(c, tagServe, serveCmd{Kind: "inval", Page: req.Page}); err != nil {
+					return err
+				}
+				if _, err := comm.Recv(c, tagAck); err != nil {
+					return err
+				}
+			}
+			if d.owner == 0 {
+				words := make([]int64, pageWords)
+				if err := comm.Send(req.From, tagPage, pageData{Page: req.Page, Words: words, Owned: true}); err != nil {
+					return err
+				}
+			} else {
+				// Transfer from the current owner — including the upgrade
+				// case (owner == requester, holding the page read-only after
+				// serving copies): the self-transfer is safe because the
+				// service loop and the application are separate goroutines.
+				if err := comm.Send(d.owner, tagServe, serveCmd{Kind: "transfer", Page: req.Page, To: req.From}); err != nil {
+					return err
+				}
+			}
+			d.owner = req.From
+			d.copyset = map[int]bool{}
+			if _, err := comm.Recv(req.From, tagAck); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dsm: unknown request %q", req.Kind)
+		}
+	}
+	// Release every service loop, then every app.
+	for r := 1; r <= numNodes; r++ {
+		if err := comm.Send(r, tagServe, serveCmd{Kind: "stop"}); err != nil {
+			return err
+		}
+		if err := comm.Send(r, tagDone, "bye"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run starts a DSM cluster of numNodes application nodes sharing numPages
+// pages of pageWords words each, runs app on every node concurrently, and
+// returns the per-node stats (indexed 0..numNodes-1 for ranks 1..N).
+func Run(numNodes, numPages, pageWords int, app func(n *Node) error) ([]Stats, error) {
+	if numNodes < 1 || numPages < 1 || pageWords < 1 {
+		return nil, errors.New("dsm: nodes, pages, and page size must be positive")
+	}
+	stats := make([]Stats, numNodes)
+	err := mp.Run(numNodes+1, func(comm *mp.Comm) error {
+		if comm.Rank() == 0 {
+			return manager(comm, numNodes, numPages, pageWords)
+		}
+		n := &Node{comm: comm, pageWords: pageWords, numPages: numPages, cache: map[int]*cacheEntry{}}
+		svcErr := make(chan error, 1)
+		go func() { svcErr <- n.serviceLoop() }()
+		appErr := app(n)
+		if err := comm.Send(0, tagCtl, request{Kind: "done", From: comm.Rank()}); err != nil {
+			return err
+		}
+		if _, err := comm.Recv(0, tagDone); err != nil {
+			return err
+		}
+		if err := <-svcErr; err != nil {
+			return err
+		}
+		stats[comm.Rank()-1] = n.Stats()
+		return appErr
+	})
+	return stats, err
+}

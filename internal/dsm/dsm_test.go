@@ -1,0 +1,288 @@
+package dsm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSingleNodeReadWrite(t *testing.T) {
+	stats, err := Run(1, 4, 8, func(n *Node) error {
+		if v, err := n.Read(0, 0); err != nil || v != 0 {
+			return fmt.Errorf("fresh page read = %d, %v", v, err)
+		}
+		if err := n.Write(1, 3, 42); err != nil {
+			return err
+		}
+		v, err := n.Read(1, 3)
+		if err != nil || v != 42 {
+			return fmt.Errorf("read back = %d, %v", v, err)
+		}
+		// Second write to an owned page is a local hit.
+		if err := n.Write(1, 4, 7); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats[0]
+	if s.WriteFaults != 1 || s.LocalWrites != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+	if s.ReadFaults != 1 || s.LocalReads != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestAddressValidation(t *testing.T) {
+	_, err := Run(1, 2, 4, func(n *Node) error {
+		if _, err := n.Read(5, 0); err == nil {
+			return fmt.Errorf("page out of range accepted")
+		}
+		if err := n.Write(0, 9, 1); err == nil {
+			return fmt.Errorf("offset out of range accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(0, 1, 1, nil); err == nil {
+		t.Error("0 nodes should error")
+	}
+}
+
+func TestWritePropagatesToReader(t *testing.T) {
+	// Node 1 writes; node 2 reads the value after a flag handshake.
+	_, err := Run(2, 2, 4, func(n *Node) error {
+		const dataPage, flagPage = 0, 1
+		if n.Rank() == 1 {
+			if err := n.Write(dataPage, 0, 1234); err != nil {
+				return err
+			}
+			return n.Write(flagPage, 0, 1)
+		}
+		// Node 2: spin on the flag, then read the data. Write-invalidate
+		// guarantees the spin sees the update.
+		for {
+			v, err := n.Read(flagPage, 0)
+			if err != nil {
+				return err
+			}
+			if v == 1 {
+				break
+			}
+		}
+		v, err := n.Read(dataPage, 0)
+		if err != nil {
+			return err
+		}
+		if v != 1234 {
+			return fmt.Errorf("SC violation: flag observed but data = %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialConsistencyMessagePattern(t *testing.T) {
+	// Repeated rounds of the flag pattern with alternating direction.
+	_, err := Run(2, 4, 2, func(n *Node) error {
+		const rounds = 15
+		me := n.Rank()
+		for r := 1; r <= rounds; r++ {
+			writer := 1 + (r % 2)
+			dataPage, flagPage := 0, 1
+			if me == writer {
+				if err := n.Write(dataPage, 0, int64(r*100)); err != nil {
+					return err
+				}
+				if err := n.Write(flagPage, 0, int64(r)); err != nil {
+					return err
+				}
+			} else {
+				for {
+					v, err := n.Read(flagPage, 0)
+					if err != nil {
+						return err
+					}
+					if v >= int64(r) {
+						break
+					}
+				}
+				v, err := n.Read(dataPage, 0)
+				if err != nil {
+					return err
+				}
+				if v < int64(r*100) {
+					return fmt.Errorf("round %d: data %d lags flag", r, v)
+				}
+			}
+			// Round barrier through a third page: both bump their slot.
+			if err := n.Write(2, me-1, int64(r)); err != nil {
+				return err
+			}
+			for {
+				other, err := n.Read(2, 2-me)
+				if err != nil {
+					return err
+				}
+				if other >= int64(r) {
+					break
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnershipMigration(t *testing.T) {
+	// Three nodes write the same page in turn; each sees the previous
+	// writer's value (single-writer invariant + transfer carries data).
+	_, err := Run(3, 1, 4, func(n *Node) error {
+		me := int64(n.Rank())
+		// Token passing: node r waits until cell 0 == r-1, then writes r.
+		for {
+			v, err := n.Read(0, 0)
+			if err != nil {
+				return err
+			}
+			if v == me-1 {
+				break
+			}
+			if v > me-1 {
+				return nil // our turn already passed (only for rank 1 edge)
+			}
+		}
+		prev, err := n.Read(0, 1)
+		if err != nil {
+			return err
+		}
+		if me > 1 && prev != (me-1)*10 {
+			return fmt.Errorf("node %d: prev marker = %d, want %d", me, prev, (me-1)*10)
+		}
+		if err := n.Write(0, 1, me*10); err != nil {
+			return err
+		}
+		return n.Write(0, 0, me)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	stats, err := Run(2, 1, 2, func(n *Node) error {
+		if n.Rank() == 1 {
+			if err := n.Write(0, 0, 5); err != nil { // write fault (cold)
+				return err
+			}
+			// Wait until node 2 has read (it bumps word 1 via its own write).
+			for {
+				v, err := n.Read(0, 1) // may fault after transfer
+				if err != nil {
+					return err
+				}
+				if v == 9 {
+					return nil
+				}
+			}
+		}
+		// Node 2: read node 1's page (read fault, copy), then write
+		// (ownership transfer).
+		for {
+			v, err := n.Read(0, 0)
+			if err != nil {
+				return err
+			}
+			if v == 5 {
+				break
+			}
+		}
+		return n.Write(0, 1, 9)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, n2 := stats[0], stats[1]
+	if n1.WriteFaults < 1 || n2.ReadFaults < 1 || n2.WriteFaults != 1 {
+		t.Errorf("stats: n1=%+v n2=%+v", n1, n2)
+	}
+	if n1.Served < 1 {
+		t.Errorf("node 1 should have served its page: %+v", n1)
+	}
+	if n1.Invalidated < 1 {
+		t.Errorf("node 1 should have lost its copy: %+v", n1)
+	}
+}
+
+func TestManyNodesDisjointPages(t *testing.T) {
+	// Nodes working on disjoint pages never interfere: all writes are one
+	// cold fault then local.
+	const nodes = 6
+	stats, err := Run(nodes, nodes, 8, func(n *Node) error {
+		page := n.Rank() - 1
+		for i := 0; i < 100; i++ {
+			if err := n.Write(page, i%8, int64(i)); err != nil {
+				return err
+			}
+		}
+		for off := 0; off < 8; off++ {
+			if _, err := n.Read(page, off); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range stats {
+		if s.WriteFaults != 1 {
+			t.Errorf("node %d write faults = %d, want 1 (cold only)", i+1, s.WriteFaults)
+		}
+		if s.LocalWrites != 99 {
+			t.Errorf("node %d local writes = %d", i+1, s.LocalWrites)
+		}
+		if s.Invalidated != 0 {
+			t.Errorf("node %d invalidations = %d on disjoint pages", i+1, s.Invalidated)
+		}
+	}
+}
+
+func TestContendedCounterNeedsNoLostInvalidations(t *testing.T) {
+	// Two nodes hammer the same page (not the same word). DSM guarantees
+	// coherence per write; the final state must contain both nodes' last
+	// values.
+	var done atomic.Int32
+	_, err := Run(2, 1, 4, func(n *Node) error {
+		me := n.Rank()
+		for i := 0; i < 50; i++ {
+			if err := n.Write(0, me-1, int64(i)); err != nil {
+				return err
+			}
+		}
+		// After both finish, each verifies the other's final value.
+		done.Add(1)
+		for done.Load() < 2 { //nolint:staticcheck // spin is fine in tests
+		}
+		v, err := n.Read(0, 2-me)
+		if err != nil {
+			return err
+		}
+		if v != 49 {
+			return fmt.Errorf("node %d sees other's counter = %d, want 49", me, v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

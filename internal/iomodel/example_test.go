@@ -1,0 +1,36 @@
+package iomodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/iomodel"
+)
+
+// External merge sort with exact block-transfer accounting: the I/O-model
+// analysis from CS41, machine-checked.
+func Example() {
+	dev, err := iomodel.NewDevice(8) // 8 records per block
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	xs := make([]int64, 1000)
+	for i := range xs {
+		xs[i] = int64((i * 7919) % 1000)
+	}
+	in := dev.NewFileFrom(xs)
+	dev.ResetCounters()
+	out, st, err := iomodel.ExternalMergeSort(in, 64, 0) // 64 records of memory
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("sorted:", out.IsSorted())
+	fmt.Printf("runs=%d passes=%d fanout=%d\n", st.InitialRuns, st.MergePasses, st.Fanout)
+	fmt.Println("within model bound:",
+		st.IOs <= iomodel.SortIOBound(1000, 64, 8, st.Fanout)+2*int64(st.InitialRuns+2)*int64(st.MergePasses+1))
+	// Output:
+	// sorted: true
+	// runs=16 passes=2 fanout=7
+	// within model bound: true
+}

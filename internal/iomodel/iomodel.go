@@ -1,0 +1,277 @@
+// Package iomodel implements the external-memory (I/O) model from CS41
+// Table III: a simulated block device that counts block transfers, files
+// with sequential block-buffered readers and writers, and the I/O-
+// efficient algorithms the course analyzes — scanning and external
+// multiway merge sort — with their transfer counts checked against the
+// model's bounds (scan = ⌈n/B⌉; sort ≈ (2n/B)·(1 + ⌈log_{M/B}(n/M)⌉)).
+package iomodel
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Device is a simulated disk that counts block transfers. B is the block
+// size in records (the model counts records, not bytes — the constant
+// factor is irrelevant to the analysis).
+type Device struct {
+	B      int
+	reads  int64
+	writes int64
+}
+
+// NewDevice creates a device with block size B records.
+func NewDevice(b int) (*Device, error) {
+	if b <= 0 {
+		return nil, errors.New("iomodel: block size must be positive")
+	}
+	return &Device{B: b}, nil
+}
+
+// Reads returns the number of block reads performed.
+func (d *Device) Reads() int64 { return d.reads }
+
+// Writes returns the number of block writes performed.
+func (d *Device) Writes() int64 { return d.writes }
+
+// IOs returns total block transfers.
+func (d *Device) IOs() int64 { return d.reads + d.writes }
+
+// ResetCounters zeroes the transfer counters.
+func (d *Device) ResetCounters() { d.reads, d.writes = 0, 0 }
+
+// File is a sequence of records on the device.
+type File struct {
+	dev  *Device
+	recs []int64
+}
+
+// NewFile creates an empty file on the device.
+func (d *Device) NewFile() *File { return &File{dev: d} }
+
+// NewFileFrom creates a file holding a copy of xs (loaded for free, as
+// the model assumes the input starts on disk).
+func (d *Device) NewFileFrom(xs []int64) *File {
+	return &File{dev: d, recs: append([]int64(nil), xs...)}
+}
+
+// Len returns the number of records in the file.
+func (f *File) Len() int { return len(f.recs) }
+
+// Records returns a copy of the file contents without charging I/Os
+// (host-side inspection for tests).
+func (f *File) Records() []int64 { return append([]int64(nil), f.recs...) }
+
+// Reader streams a file sequentially, charging one block read per B
+// records crossed.
+type Reader struct {
+	f   *File
+	pos int
+}
+
+// Reader opens a sequential reader at the start of the file.
+func (f *File) Reader() *Reader { return &Reader{f: f} }
+
+// Next returns the next record; ok is false at end of file.
+func (r *Reader) Next() (v int64, ok bool) {
+	if r.pos >= len(r.f.recs) {
+		return 0, false
+	}
+	if r.pos%r.f.dev.B == 0 {
+		r.f.dev.reads++
+	}
+	v = r.f.recs[r.pos]
+	r.pos++
+	return v, true
+}
+
+// Writer appends to a file sequentially, charging one block write per B
+// records started. Close flushes nothing extra (the partial block was
+// charged when its first record was appended).
+type Writer struct {
+	f *File
+}
+
+// Writer opens an appending writer.
+func (f *File) Writer() *Writer { return &Writer{f: f} }
+
+// Append adds one record.
+func (w *Writer) Append(v int64) {
+	if len(w.f.recs)%w.f.dev.B == 0 {
+		w.f.dev.writes++
+	}
+	w.f.recs = append(w.f.recs, v)
+}
+
+// ScanSum reads the whole file once, returning the sum — the canonical
+// Θ(n/B) scan.
+func ScanSum(f *File) int64 {
+	var s int64
+	r := f.Reader()
+	for v, ok := r.Next(); ok; v, ok = r.Next() {
+		s += v
+	}
+	return s
+}
+
+// ScanIOBound returns the scan bound ⌈n/B⌉.
+func ScanIOBound(n, b int) int64 {
+	return int64((n + b - 1) / b)
+}
+
+// SortStats reports an external sort run.
+type SortStats struct {
+	N           int
+	M           int // memory capacity, records
+	B           int // block size, records
+	Fanout      int // merge arity k
+	InitialRuns int
+	MergePasses int
+	IOs         int64
+}
+
+// SortIOBound returns the textbook bound on block transfers for external
+// merge sort: 2·⌈n/B⌉ for run formation plus 2·⌈n/B⌉ per merge pass.
+func SortIOBound(n, m, b, fanout int) int64 {
+	if n == 0 {
+		return 0
+	}
+	nb := int64((n + b - 1) / b)
+	runs := (n + m - 1) / m
+	passes := 0
+	for r := runs; r > 1; r = (r + fanout - 1) / fanout {
+		passes++
+	}
+	return 2 * nb * int64(passes+1)
+}
+
+// ExternalMergeSort sorts the input file using at most m records of
+// memory: run formation (sort m-record chunks) followed by k-way merge
+// passes with k = max(2, m/B - 1), the memory budget that leaves one
+// block per input run plus one output block. fanoutOverride, when
+// positive, forces a smaller merge arity (for the 2-way vs multiway
+// ablation).
+func ExternalMergeSort(in *File, m int, fanoutOverride int) (*File, SortStats, error) {
+	dev := in.dev
+	b := dev.B
+	if m < 2*b {
+		return nil, SortStats{}, fmt.Errorf("iomodel: memory %d must hold at least two blocks of %d", m, b)
+	}
+	k := m/b - 1
+	if k < 2 {
+		k = 2
+	}
+	if fanoutOverride > 0 {
+		if fanoutOverride < 2 {
+			return nil, SortStats{}, errors.New("iomodel: fanout must be >= 2")
+		}
+		if fanoutOverride < k {
+			k = fanoutOverride
+		}
+	}
+	st := SortStats{N: in.Len(), M: m, B: b, Fanout: k}
+
+	// Phase 1: run formation.
+	var runs []*File
+	r := in.Reader()
+	buf := make([]int64, 0, m)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		run := dev.NewFile()
+		w := run.Writer()
+		for _, v := range buf {
+			w.Append(v)
+		}
+		runs = append(runs, run)
+		buf = buf[:0]
+	}
+	for v, ok := r.Next(); ok; v, ok = r.Next() {
+		buf = append(buf, v)
+		if len(buf) == m {
+			flush()
+		}
+	}
+	flush()
+	st.InitialRuns = len(runs)
+	if len(runs) == 0 {
+		out := dev.NewFile()
+		st.IOs = dev.IOs()
+		return out, st, nil
+	}
+
+	// Phase 2: k-way merge passes.
+	for len(runs) > 1 {
+		st.MergePasses++
+		var next []*File
+		for lo := 0; lo < len(runs); lo += k {
+			hi := lo + k
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			merged, err := mergeRuns(dev, runs[lo:hi])
+			if err != nil {
+				return nil, st, err
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	st.IOs = dev.IOs()
+	return runs[0], st, nil
+}
+
+type heapItem struct {
+	v   int64
+	src int
+}
+
+type mergeHeap []heapItem
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].v < h[j].v }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func mergeRuns(dev *Device, runs []*File) (*File, error) {
+	out := dev.NewFile()
+	w := out.Writer()
+	readers := make([]*Reader, len(runs))
+	h := make(mergeHeap, 0, len(runs))
+	for i, run := range runs {
+		readers[i] = run.Reader()
+		if v, ok := readers[i].Next(); ok {
+			h = append(h, heapItem{v: v, src: i})
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(heapItem)
+		w.Append(it.v)
+		if v, ok := readers[it.src].Next(); ok {
+			heap.Push(&h, heapItem{v: v, src: it.src})
+		}
+	}
+	return out, nil
+}
+
+// IsSorted reports whether the file is nondecreasing (free host check).
+func (f *File) IsSorted() bool {
+	for i := 1; i < len(f.recs); i++ {
+		if f.recs[i-1] > f.recs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,228 @@
+package iomodel
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func xorshift(seed uint64) func() uint64 {
+	s := seed
+	if s == 0 {
+		s = 1
+	}
+	return func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+}
+
+func randomRecords(n int, seed uint64) []int64 {
+	rnd := xorshift(seed)
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(rnd() % 100000)
+	}
+	return xs
+}
+
+func TestDeviceValidation(t *testing.T) {
+	if _, err := NewDevice(0); err == nil {
+		t.Error("B=0 should error")
+	}
+	if _, err := NewDevice(-1); err == nil {
+		t.Error("B<0 should error")
+	}
+}
+
+func TestScanCountsBlocks(t *testing.T) {
+	dev, _ := NewDevice(8)
+	f := dev.NewFileFrom(randomRecords(100, 1))
+	sum := ScanSum(f)
+	var want int64
+	for _, v := range f.Records() {
+		want += v
+	}
+	if sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+	// 100 records / 8 per block = 13 block reads.
+	if dev.Reads() != ScanIOBound(100, 8) || dev.Reads() != 13 {
+		t.Errorf("reads = %d, want 13", dev.Reads())
+	}
+	if dev.Writes() != 0 {
+		t.Errorf("scan should not write: %d", dev.Writes())
+	}
+}
+
+func TestWriterChargesPerBlock(t *testing.T) {
+	dev, _ := NewDevice(4)
+	f := dev.NewFile()
+	w := f.Writer()
+	for i := 0; i < 9; i++ {
+		w.Append(int64(i))
+	}
+	if dev.Writes() != 3 { // blocks of 4, 4, 1
+		t.Errorf("writes = %d, want 3", dev.Writes())
+	}
+	if f.Len() != 9 {
+		t.Errorf("len = %d", f.Len())
+	}
+}
+
+func TestExternalSortCorrectness(t *testing.T) {
+	dev, _ := NewDevice(16)
+	xs := randomRecords(10000, 7)
+	in := dev.NewFileFrom(xs)
+	out, st, err := ExternalMergeSort(in, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsSorted() {
+		t.Fatal("output not sorted")
+	}
+	if out.Len() != len(xs) {
+		t.Fatalf("lost records: %d != %d", out.Len(), len(xs))
+	}
+	want := append([]int64(nil), xs...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got := out.Records()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if st.InitialRuns != (10000+255)/256 {
+		t.Errorf("initial runs = %d", st.InitialRuns)
+	}
+	if st.Fanout != 256/16-1 {
+		t.Errorf("fanout = %d, want %d", st.Fanout, 256/16-1)
+	}
+}
+
+func TestExternalSortPropertyMultisetPreserved(t *testing.T) {
+	f := func(raw []int16, mExp uint8) bool {
+		xs := make([]int64, len(raw))
+		counts := map[int64]int{}
+		for i, r := range raw {
+			xs[i] = int64(r)
+			counts[int64(r)]++
+		}
+		dev, _ := NewDevice(4)
+		m := 8 + int(mExp%5)*8
+		out, _, err := ExternalMergeSort(dev.NewFileFrom(xs), m, 0)
+		if err != nil || !out.IsSorted() {
+			return false
+		}
+		for _, v := range out.Records() {
+			counts[v]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortIOsWithinBound(t *testing.T) {
+	for _, tc := range []struct{ n, m, b int }{
+		{1000, 64, 8},
+		{5000, 128, 16},
+		{20000, 256, 16},
+		{100, 1000, 8}, // fits in memory: one run, zero merge passes
+	} {
+		dev, _ := NewDevice(tc.b)
+		in := dev.NewFileFrom(randomRecords(tc.n, uint64(tc.n)))
+		dev.ResetCounters()
+		_, st, err := ExternalMergeSort(in, tc.m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := SortIOBound(tc.n, tc.m, tc.b, st.Fanout)
+		// Each pass reads and writes every record once; partial blocks give
+		// a small additive slack per run.
+		slack := int64(2 * (st.InitialRuns + 2) * (st.MergePasses + 1))
+		if st.IOs > bound+slack {
+			t.Errorf("n=%d m=%d b=%d: IOs %d exceed bound %d (+%d slack); stats %+v",
+				tc.n, tc.m, tc.b, st.IOs, bound, slack, st)
+		}
+		// Sanity: at least one full read+write of the data.
+		if st.IOs < 2*int64(tc.n/tc.b) {
+			t.Errorf("n=%d: IOs %d suspiciously low", tc.n, st.IOs)
+		}
+	}
+}
+
+func TestMultiwayBeatsTwoWay(t *testing.T) {
+	// The ablation: with the same memory, k-way merging needs fewer passes
+	// (and so fewer I/Os) than 2-way.
+	const n, m, b = 50000, 256, 8
+	run := func(fanout int) SortStats {
+		dev, _ := NewDevice(b)
+		in := dev.NewFileFrom(randomRecords(n, 3))
+		dev.ResetCounters()
+		_, st, err := ExternalMergeSort(in, m, fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	multi := run(0) // full fanout m/b-1 = 31
+	two := run(2)
+	if multi.MergePasses >= two.MergePasses {
+		t.Errorf("multiway passes %d should beat 2-way %d", multi.MergePasses, two.MergePasses)
+	}
+	if multi.IOs >= two.IOs {
+		t.Errorf("multiway IOs %d should beat 2-way %d", multi.IOs, two.IOs)
+	}
+	// log_31(196) = 2 passes vs log_2(196) = 8 passes.
+	if multi.MergePasses != 2 || two.MergePasses != 8 {
+		t.Errorf("passes: multi=%d (want 2), two=%d (want 8)", multi.MergePasses, two.MergePasses)
+	}
+}
+
+func TestSortEdgeCases(t *testing.T) {
+	dev, _ := NewDevice(4)
+	// Empty input.
+	out, st, err := ExternalMergeSort(dev.NewFile(), 16, 0)
+	if err != nil || out.Len() != 0 || st.InitialRuns != 0 {
+		t.Errorf("empty sort: len=%d runs=%d err=%v", out.Len(), st.InitialRuns, err)
+	}
+	// Single record.
+	out, _, err = ExternalMergeSort(dev.NewFileFrom([]int64{5}), 16, 0)
+	if err != nil || out.Len() != 1 || out.Records()[0] != 5 {
+		t.Errorf("singleton sort failed: %v", err)
+	}
+	// Memory smaller than two blocks: rejected.
+	if _, _, err := ExternalMergeSort(dev.NewFileFrom([]int64{1, 2}), 4, 0); err == nil {
+		t.Error("tiny memory should error")
+	}
+	// Bad fanout.
+	if _, _, err := ExternalMergeSort(dev.NewFileFrom([]int64{1, 2}), 16, 1); err == nil {
+		t.Error("fanout 1 should error")
+	}
+	// Already sorted input stays sorted.
+	sorted := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	out, _, err = ExternalMergeSort(dev.NewFileFrom(sorted), 8, 0)
+	if err != nil || !out.IsSorted() {
+		t.Errorf("sorted input: %v", err)
+	}
+}
+
+func TestSortBoundFormula(t *testing.T) {
+	if SortIOBound(0, 64, 8, 7) != 0 {
+		t.Error("bound of empty input should be 0")
+	}
+	// n=1000, M=64, B=8: 16 initial runs, fanout 7 -> 2 passes.
+	// bound = 2*125*(2+1) = 750.
+	if got := SortIOBound(1000, 64, 8, 7); got != 750 {
+		t.Errorf("bound = %d, want 750", got)
+	}
+}

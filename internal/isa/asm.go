@@ -1,0 +1,402 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates SWAT32 assembly source into a Program. The syntax
+// is AT&T-flavoured, matching what CS31 students read in handouts:
+//
+//	.data                      switch to the data section
+//	msg:   .asciz "hello"      NUL-terminated string
+//	nums:  .word 1, 2, 3       32-bit words
+//	buf:   .space 64           zeroed bytes
+//	.text                      switch to the code section (default)
+//	main:
+//	    movl $10, %eax         immediate -> register
+//	    movl %eax, %ebx        register -> register
+//	    movl 8(%ebp), %eax     memory load, disp(%base)
+//	    movl %eax, -4(%ebp)    memory store
+//	    movl $msg, %esi        label address as immediate
+//	    pushl %eax             (also pushl $imm)
+//	    call fact
+//	    jle done               conditional jumps take a label
+//	    sys $1                 runtime service call
+//
+// Comments run from '#' or ';' to end of line. Mnemonics accept an
+// optional 'l' suffix. Assembly is two-pass: pass one sizes sections and
+// collects labels, pass two encodes.
+func Assemble(src string) (*Program, error) {
+	lines := strings.Split(src, "\n")
+
+	type item struct {
+		line    int
+		label   string   // label defined on this line (without colon), or ""
+		mnem    string   // instruction or directive, or ""
+		args    []string // raw operand strings
+		section int      // 0 = text, 1 = data
+	}
+	var items []item
+	section := 0
+	for ln, raw := range lines {
+		s := raw
+		if i := strings.IndexAny(s, "#;"); i >= 0 {
+			s = s[:i]
+		}
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		it := item{line: ln + 1, section: section}
+		// Leading label(s): "name:" possibly followed by an instruction.
+		for {
+			i := strings.Index(s, ":")
+			if i < 0 {
+				break
+			}
+			head := strings.TrimSpace(s[:i])
+			if !isIdent(head) {
+				break
+			}
+			if it.label != "" {
+				// Two labels on one line: emit the first as its own item.
+				items = append(items, item{line: it.line, label: it.label, section: section})
+			}
+			it.label = head
+			s = strings.TrimSpace(s[i+1:])
+		}
+		if s != "" {
+			fields := strings.SplitN(s, " ", 2)
+			it.mnem = strings.ToLower(fields[0])
+			if len(fields) == 2 {
+				it.args = splitOperands(fields[1])
+			}
+			switch it.mnem {
+			case ".text":
+				section = 0
+				it.mnem = ""
+			case ".data":
+				section = 1
+				it.mnem = ""
+			}
+			it.section = section
+			if it.mnem == "" && it.label == "" {
+				continue
+			}
+		}
+		items = append(items, it)
+	}
+
+	// Pass 1: assign addresses.
+	symbols := make(map[string]int)
+	codeAddr, dataAddr := 0, DataBase
+	sizeof := func(it item) (int, error) {
+		switch it.mnem {
+		case "":
+			return 0, nil
+		case ".word":
+			return 4 * len(it.args), nil
+		case ".space":
+			if len(it.args) != 1 {
+				return 0, fmt.Errorf("line %d: .space takes one size", it.line)
+			}
+			n, err := strconv.Atoi(it.args[0])
+			if err != nil || n < 0 {
+				return 0, fmt.Errorf("line %d: bad .space size %q", it.line, it.args[0])
+			}
+			return n, nil
+		case ".asciz", ".string":
+			if len(it.args) != 1 {
+				return 0, fmt.Errorf("line %d: .asciz takes one string", it.line)
+			}
+			s, err := strconv.Unquote(it.args[0])
+			if err != nil {
+				return 0, fmt.Errorf("line %d: bad string %s", it.line, it.args[0])
+			}
+			return len(s) + 1, nil
+		default:
+			if strings.HasPrefix(it.mnem, ".") {
+				return 0, fmt.Errorf("line %d: unknown directive %s", it.line, it.mnem)
+			}
+			return InstrSize, nil
+		}
+	}
+	for _, it := range items {
+		addr := &codeAddr
+		if it.section == 1 {
+			addr = &dataAddr
+		}
+		if it.label != "" {
+			if _, dup := symbols[it.label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", it.line, it.label)
+			}
+			symbols[it.label] = *addr
+		}
+		n, err := sizeof(it)
+		if err != nil {
+			return nil, err
+		}
+		*addr += n
+	}
+
+	// Pass 2: encode.
+	prog := &Program{Symbols: symbols}
+	resolve := func(tok string, line int) (int32, error) {
+		if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+			return int32(v), nil
+		}
+		if a, ok := symbols[tok]; ok {
+			return int32(a), nil
+		}
+		return 0, fmt.Errorf("line %d: undefined symbol %q", line, tok)
+	}
+	for _, it := range items {
+		switch it.mnem {
+		case "":
+			continue
+		case ".word":
+			for _, a := range it.args {
+				v, err := resolve(a, it.line)
+				if err != nil {
+					return nil, err
+				}
+				prog.Data = append(prog.Data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+		case ".space":
+			n, _ := strconv.Atoi(it.args[0])
+			prog.Data = append(prog.Data, make([]byte, n)...)
+		case ".asciz", ".string":
+			s, _ := strconv.Unquote(it.args[0])
+			prog.Data = append(prog.Data, []byte(s)...)
+			prog.Data = append(prog.Data, 0)
+		default:
+			in, err := encodeInstr(it.mnem, it.args, it.line, resolve)
+			if err != nil {
+				return nil, err
+			}
+			e := in.Encode()
+			prog.Code = append(prog.Code, e[:]...)
+		}
+	}
+	if a, ok := symbols["main"]; ok {
+		prog.Entry = a
+	}
+	return prog, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits "a, b" respecting quoted strings and parentheses.
+func splitOperands(s string) []string {
+	var out []string
+	depth, inStr := 0, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if !inStr || i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+type operand struct {
+	kind byte // 'i' imm, 'r' reg, 'm' mem
+	reg  Reg
+	imm  int32
+}
+
+func parseOperand(tok string, line int, resolve func(string, int) (int32, error)) (operand, error) {
+	tok = strings.TrimSpace(tok)
+	switch {
+	case strings.HasPrefix(tok, "$"):
+		v, err := resolve(tok[1:], line)
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{kind: 'i', imm: v}, nil
+	case strings.HasPrefix(tok, "%"):
+		r, ok := RegByName(tok)
+		if !ok {
+			return operand{}, fmt.Errorf("line %d: unknown register %q", line, tok)
+		}
+		return operand{kind: 'r', reg: r}, nil
+	case strings.Contains(tok, "("):
+		i := strings.Index(tok, "(")
+		if !strings.HasSuffix(tok, ")") {
+			return operand{}, fmt.Errorf("line %d: bad memory operand %q", line, tok)
+		}
+		dispTok := strings.TrimSpace(tok[:i])
+		var disp int32
+		if dispTok != "" {
+			v, err := resolve(dispTok, line)
+			if err != nil {
+				return operand{}, err
+			}
+			disp = v
+		}
+		r, ok := RegByName(strings.TrimSpace(tok[i+1 : len(tok)-1]))
+		if !ok {
+			return operand{}, fmt.Errorf("line %d: bad base register in %q", line, tok)
+		}
+		return operand{kind: 'm', reg: r, imm: disp}, nil
+	default:
+		// bare symbol or number: jump/call target
+		v, err := resolve(tok, line)
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{kind: 'i', imm: v}, nil
+	}
+}
+
+func encodeInstr(mnem string, args []string, line int, resolve func(string, int) (int32, error)) (Instr, error) {
+	op, ok := opByName(mnem)
+	if !ok {
+		return Instr{}, fmt.Errorf("line %d: unknown mnemonic %q", line, mnem)
+	}
+	ops := make([]operand, len(args))
+	for i, a := range args {
+		o, err := parseOperand(a, line, resolve)
+		if err != nil {
+			return Instr{}, err
+		}
+		ops[i] = o
+	}
+	bad := func() (Instr, error) {
+		return Instr{}, fmt.Errorf("line %d: bad operands for %s", line, mnem)
+	}
+	switch op {
+	case NOP, HALT, RET, LEAVE:
+		if len(ops) != 0 {
+			return bad()
+		}
+		return Instr{Op: op, Mode: ModeNone}, nil
+	case NEG, NOT, INC, DEC:
+		if len(ops) != 1 || ops[0].kind != 'r' {
+			return bad()
+		}
+		return Instr{Op: op, Mode: ModeReg, Reg1: ops[0].reg}, nil
+	case PUSH:
+		if len(ops) != 1 {
+			return bad()
+		}
+		switch ops[0].kind {
+		case 'r':
+			return Instr{Op: op, Mode: ModeReg, Reg1: ops[0].reg}, nil
+		case 'i':
+			return Instr{Op: op, Mode: ModeImm, Imm: ops[0].imm}, nil
+		}
+		return bad()
+	case POP:
+		if len(ops) != 1 || ops[0].kind != 'r' {
+			return bad()
+		}
+		return Instr{Op: op, Mode: ModeReg, Reg1: ops[0].reg}, nil
+	case CALL, JMP, JE, JNE, JL, JLE, JG, JGE, JB, JA:
+		if len(ops) != 1 || ops[0].kind != 'i' {
+			return bad()
+		}
+		return Instr{Op: op, Mode: ModeImm, Imm: ops[0].imm}, nil
+	case SYS:
+		if len(ops) != 1 || ops[0].kind != 'i' {
+			return bad()
+		}
+		return Instr{Op: op, Mode: ModeImm, Imm: ops[0].imm}, nil
+	case LEA:
+		if len(ops) != 2 || ops[0].kind != 'm' || ops[1].kind != 'r' {
+			return bad()
+		}
+		return Instr{Op: op, Mode: ModeMemReg, Reg1: ops[0].reg, Reg2: ops[1].reg, Disp: ops[0].imm}, nil
+	case MOVB:
+		if len(ops) != 2 {
+			return bad()
+		}
+		switch {
+		case ops[0].kind == 'm' && ops[1].kind == 'r':
+			return Instr{Op: op, Mode: ModeMemReg, Reg1: ops[0].reg, Reg2: ops[1].reg, Disp: ops[0].imm}, nil
+		case ops[0].kind == 'r' && ops[1].kind == 'm':
+			return Instr{Op: op, Mode: ModeRegMem, Reg1: ops[0].reg, Reg2: ops[1].reg, Disp: ops[1].imm}, nil
+		}
+		return bad()
+	case MOV, ADD, SUB, AND, OR, XOR, IMUL, IDIV, IMOD, CMP, TEST, SHL, SAR, SHR:
+		if len(ops) != 2 {
+			return bad()
+		}
+		src, dst := ops[0], ops[1]
+		switch {
+		case src.kind == 'i' && dst.kind == 'r':
+			return Instr{Op: op, Mode: ModeImmReg, Reg2: dst.reg, Imm: src.imm}, nil
+		case src.kind == 'r' && dst.kind == 'r':
+			return Instr{Op: op, Mode: ModeRegReg, Reg1: src.reg, Reg2: dst.reg}, nil
+		case src.kind == 'm' && dst.kind == 'r':
+			if op == SHL || op == SAR || op == SHR {
+				return bad()
+			}
+			return Instr{Op: op, Mode: ModeMemReg, Reg1: src.reg, Reg2: dst.reg, Disp: src.imm}, nil
+		case src.kind == 'r' && dst.kind == 'm':
+			if op != MOV && op != ADD && op != SUB && op != CMP {
+				return bad()
+			}
+			return Instr{Op: op, Mode: ModeRegMem, Reg1: src.reg, Reg2: dst.reg, Disp: dst.imm}, nil
+		case src.kind == 'i' && dst.kind == 'm':
+			if op != MOV && op != CMP {
+				return bad()
+			}
+			return Instr{Op: op, Mode: ModeImmMem, Reg2: dst.reg, Imm: src.imm, Disp: dst.imm}, nil
+		}
+		return bad()
+	}
+	return bad()
+}
+
+// Disassemble decodes an entire code image back to assembler text, one
+// instruction per line with addresses — the gdb "disas" view students use
+// on the bomb.
+func Disassemble(code []byte) (string, error) {
+	var b strings.Builder
+	for off := 0; off+InstrSize <= len(code); off += InstrSize {
+		in, err := Decode(code[off:])
+		if err != nil {
+			return b.String(), fmt.Errorf("at %#x: %w", off, err)
+		}
+		fmt.Fprintf(&b, "%#06x:  %s\n", off, in)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,532 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// MemSize is the size of the simulated flat address space: code at 0,
+// data at DataBase, stack growing down from StackTop.
+const MemSize = StackTop
+
+// Runtime service numbers for the SYS instruction.
+const (
+	SysExit    = 0 // terminate; %eax is the exit status
+	SysPrint   = 1 // append decimal %eax and a newline to Output
+	SysPrintS  = 2 // append the NUL-terminated string at address %eax
+	SysRead    = 3 // read next input line into buffer at %eax, cap %ebx; %eax = length or -1
+	SysExplode = 4 // the bomb: returns ErrExploded
+)
+
+// ErrExploded is returned by Run when the program executes sys $4 — the
+// binary bomb's failure path.
+var ErrExploded = errors.New("isa: BOOM! the bomb has exploded")
+
+// ErrMaxSteps is returned when Run exceeds its step budget, catching the
+// infinite loops student programs write.
+var ErrMaxSteps = errors.New("isa: step budget exhausted")
+
+// Flags is the condition-code register.
+type Flags struct {
+	ZF, SF, OF, CF bool
+}
+
+// TraceEntry records one executed instruction for the pipeline model and
+// for gdb-style tracing.
+type TraceEntry struct {
+	PC       int
+	In       Instr
+	SrcRegs  []Reg // registers read
+	DstRegs  []Reg // registers written
+	IsLoad   bool
+	IsStore  bool
+	IsBranch bool
+	Taken    bool
+}
+
+// CPU is the SWAT32 processor simulator.
+type CPU struct {
+	R      [NumRegs]int32
+	PC     int
+	Flags  Flags
+	Mem    []byte
+	Halted bool
+	Exit   int32
+
+	// Output accumulates sys-call output; Input supplies sys $3 lines.
+	Output strings.Builder
+	Input  []string
+	inPos  int
+
+	// Trace, when non-nil, receives every executed instruction.
+	Trace func(TraceEntry)
+
+	Steps int64 // instructions executed
+}
+
+// NewCPU creates a CPU with the program loaded and registers initialized
+// per the SWAT32 ABI: %esp = StackTop, PC = program entry.
+func NewCPU(p *Program) *CPU {
+	c := &CPU{Mem: make([]byte, MemSize), PC: p.Entry}
+	copy(c.Mem, p.Code)
+	copy(c.Mem[DataBase:], p.Data)
+	c.R[ESP] = StackTop
+	return c
+}
+
+// Load32 reads a little-endian 32-bit word from memory.
+func (c *CPU) Load32(addr int32) (int32, error) {
+	a := int(addr)
+	if a < 0 || a+4 > len(c.Mem) {
+		return 0, fmt.Errorf("isa: segmentation fault: load at %#x", uint32(addr))
+	}
+	return int32(uint32(c.Mem[a]) | uint32(c.Mem[a+1])<<8 | uint32(c.Mem[a+2])<<16 | uint32(c.Mem[a+3])<<24), nil
+}
+
+// Store32 writes a little-endian 32-bit word to memory.
+func (c *CPU) Store32(addr, v int32) error {
+	a := int(addr)
+	if a < 0 || a+4 > len(c.Mem) {
+		return fmt.Errorf("isa: segmentation fault: store at %#x", uint32(addr))
+	}
+	c.Mem[a] = byte(v)
+	c.Mem[a+1] = byte(v >> 8)
+	c.Mem[a+2] = byte(v >> 16)
+	c.Mem[a+3] = byte(v >> 24)
+	return nil
+}
+
+// LoadString reads a NUL-terminated string from memory.
+func (c *CPU) LoadString(addr int32) (string, error) {
+	a := int(addr)
+	var b []byte
+	for {
+		if a < 0 || a >= len(c.Mem) {
+			return "", fmt.Errorf("isa: segmentation fault: string at %#x", uint32(addr))
+		}
+		if c.Mem[a] == 0 {
+			return string(b), nil
+		}
+		b = append(b, c.Mem[a])
+		a++
+		if len(b) > 1<<16 {
+			return "", fmt.Errorf("isa: unterminated string at %#x", uint32(addr))
+		}
+	}
+}
+
+// StoreBytes copies raw bytes into memory.
+func (c *CPU) StoreBytes(addr int32, b []byte) error {
+	a := int(addr)
+	if a < 0 || a+len(b) > len(c.Mem) {
+		return fmt.Errorf("isa: segmentation fault: write %d bytes at %#x", len(b), uint32(addr))
+	}
+	copy(c.Mem[a:], b)
+	return nil
+}
+
+func (c *CPU) push(v int32) error {
+	c.R[ESP] -= 4
+	return c.Store32(c.R[ESP], v)
+}
+
+func (c *CPU) pop() (int32, error) {
+	v, err := c.Load32(c.R[ESP])
+	if err != nil {
+		return 0, err
+	}
+	c.R[ESP] += 4
+	return v, nil
+}
+
+func (c *CPU) setArith(res int64, a, b int32, isSub bool) int32 {
+	r := int32(res)
+	c.Flags.ZF = r == 0
+	c.Flags.SF = r < 0
+	if isSub {
+		c.Flags.CF = uint32(a) < uint32(b)
+		c.Flags.OF = (a < 0) != (b < 0) && (r < 0) == (b < 0)
+	} else {
+		c.Flags.CF = uint64(uint32(a))+uint64(uint32(b)) > 0xffffffff
+		c.Flags.OF = (a < 0) == (b < 0) && (r < 0) != (a < 0)
+	}
+	return r
+}
+
+func (c *CPU) setLogic(r int32) int32 {
+	c.Flags.ZF = r == 0
+	c.Flags.SF = r < 0
+	c.Flags.CF = false
+	c.Flags.OF = false
+	return r
+}
+
+// condition evaluates a conditional jump opcode against the flags, using
+// the signed (JL/JLE/JG/JGE) and unsigned (JB/JA) rules from lecture.
+func (c *CPU) condition(op Op) bool {
+	f := c.Flags
+	switch op {
+	case JMP:
+		return true
+	case JE:
+		return f.ZF
+	case JNE:
+		return !f.ZF
+	case JL:
+		return f.SF != f.OF
+	case JLE:
+		return f.ZF || f.SF != f.OF
+	case JG:
+		return !f.ZF && f.SF == f.OF
+	case JGE:
+		return f.SF == f.OF
+	case JB:
+		return f.CF
+	case JA:
+		return !f.CF && !f.ZF
+	}
+	return false
+}
+
+// Step executes one instruction. It returns an error on faults; normal
+// termination sets Halted.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return nil
+	}
+	if c.PC < 0 || c.PC+InstrSize > len(c.Mem) {
+		return fmt.Errorf("isa: PC out of range: %#x", uint32(c.PC))
+	}
+	in, err := Decode(c.Mem[c.PC:])
+	if err != nil {
+		return fmt.Errorf("isa: at PC %#x: %w", uint32(c.PC), err)
+	}
+	te := TraceEntry{PC: c.PC, In: in}
+	nextPC := c.PC + InstrSize
+	c.Steps++
+
+	// Resolve source value and destination for the two-operand forms.
+	readSrc := func() (int32, error) {
+		switch in.Mode {
+		case ModeImmReg:
+			return in.Imm, nil
+		case ModeRegReg, ModeRegMem:
+			te.SrcRegs = append(te.SrcRegs, in.Reg1)
+			return c.R[in.Reg1], nil
+		case ModeMemReg:
+			te.SrcRegs = append(te.SrcRegs, in.Reg1)
+			te.IsLoad = true
+			return c.Load32(in.Disp + c.R[in.Reg1])
+		case ModeImmMem:
+			return in.Imm, nil
+		}
+		return 0, fmt.Errorf("isa: bad source mode %d for %s", in.Mode, in.Op)
+	}
+	readDst := func() (int32, error) {
+		switch in.Mode {
+		case ModeImmReg, ModeRegReg, ModeMemReg:
+			te.SrcRegs = append(te.SrcRegs, in.Reg2)
+			return c.R[in.Reg2], nil
+		case ModeRegMem, ModeImmMem:
+			te.SrcRegs = append(te.SrcRegs, in.Reg2)
+			te.IsLoad = true
+			return c.Load32(in.Disp + c.R[in.Reg2])
+		}
+		return 0, fmt.Errorf("isa: bad dest mode %d for %s", in.Mode, in.Op)
+	}
+	writeDst := func(v int32) error {
+		switch in.Mode {
+		case ModeImmReg, ModeRegReg, ModeMemReg:
+			te.DstRegs = append(te.DstRegs, in.Reg2)
+			c.R[in.Reg2] = v
+			return nil
+		case ModeRegMem, ModeImmMem:
+			te.IsStore = true
+			te.SrcRegs = append(te.SrcRegs, in.Reg2)
+			return c.Store32(in.Disp+c.R[in.Reg2], v)
+		}
+		return fmt.Errorf("isa: bad write mode %d for %s", in.Mode, in.Op)
+	}
+
+	switch in.Op {
+	case NOP:
+	case HALT:
+		c.Halted = true
+	case MOV:
+		v, err := readSrc()
+		if err != nil {
+			return err
+		}
+		// mov does not read its destination
+		if in.Mode == ModeRegMem || in.Mode == ModeImmMem {
+			te.IsStore = true
+			te.SrcRegs = append(te.SrcRegs, in.Reg2)
+			if err := c.Store32(in.Disp+c.R[in.Reg2], v); err != nil {
+				return err
+			}
+		} else {
+			te.DstRegs = append(te.DstRegs, in.Reg2)
+			c.R[in.Reg2] = v
+		}
+	case MOVB:
+		switch in.Mode {
+		case ModeMemReg: // load byte, zero-extend
+			te.SrcRegs = append(te.SrcRegs, in.Reg1)
+			te.DstRegs = append(te.DstRegs, in.Reg2)
+			te.IsLoad = true
+			a := int(in.Disp + c.R[in.Reg1])
+			if a < 0 || a >= len(c.Mem) {
+				return fmt.Errorf("isa: segmentation fault: byte load at %#x", uint32(a))
+			}
+			c.R[in.Reg2] = int32(c.Mem[a])
+		case ModeRegMem: // store low byte
+			te.SrcRegs = append(te.SrcRegs, in.Reg1, in.Reg2)
+			te.IsStore = true
+			a := int(in.Disp + c.R[in.Reg2])
+			if a < 0 || a >= len(c.Mem) {
+				return fmt.Errorf("isa: segmentation fault: byte store at %#x", uint32(a))
+			}
+			c.Mem[a] = byte(c.R[in.Reg1])
+		default:
+			return fmt.Errorf("isa: bad movb mode %d", in.Mode)
+		}
+	case LEA:
+		if in.Mode != ModeMemReg {
+			return fmt.Errorf("isa: lea requires a memory source")
+		}
+		te.SrcRegs = append(te.SrcRegs, in.Reg1)
+		te.DstRegs = append(te.DstRegs, in.Reg2)
+		c.R[in.Reg2] = in.Disp + c.R[in.Reg1]
+	case ADD, SUB, AND, OR, XOR, IMUL, IDIV, IMOD, CMP, TEST:
+		src, err := readSrc()
+		if err != nil {
+			return err
+		}
+		dst, err := readDst()
+		if err != nil {
+			return err
+		}
+		var res int32
+		switch in.Op {
+		case ADD:
+			res = c.setArith(int64(dst)+int64(src), dst, src, false)
+		case SUB, CMP:
+			res = c.setArith(int64(dst)-int64(src), dst, src, true)
+		case AND, TEST:
+			res = c.setLogic(dst & src)
+		case OR:
+			res = c.setLogic(dst | src)
+		case XOR:
+			res = c.setLogic(dst ^ src)
+		case IMUL:
+			full := int64(dst) * int64(src)
+			res = int32(full)
+			c.Flags.ZF = res == 0
+			c.Flags.SF = res < 0
+			c.Flags.OF = full != int64(res)
+			c.Flags.CF = c.Flags.OF
+		case IDIV, IMOD:
+			if src == 0 {
+				return fmt.Errorf("isa: division by zero at PC %#x", uint32(te.PC))
+			}
+			if in.Op == IDIV {
+				res = c.setLogic(dst / src)
+			} else {
+				res = c.setLogic(dst % src)
+			}
+		}
+		if in.Op != CMP && in.Op != TEST {
+			if err := writeDst(res); err != nil {
+				return err
+			}
+		}
+	case NEG, NOT, INC, DEC:
+		if in.Mode != ModeReg {
+			return fmt.Errorf("isa: %s requires a register", in.Op)
+		}
+		te.SrcRegs = append(te.SrcRegs, in.Reg1)
+		te.DstRegs = append(te.DstRegs, in.Reg1)
+		v := c.R[in.Reg1]
+		switch in.Op {
+		case NEG:
+			v = c.setArith(0-int64(v), 0, v, true)
+		case NOT:
+			v = ^v // x86 not does not touch flags
+		case INC:
+			v = c.setArith(int64(v)+1, v, 1, false)
+		case DEC:
+			v = c.setArith(int64(v)-1, v, 1, true)
+		}
+		c.R[in.Reg1] = v
+	case SHL, SAR, SHR:
+		if in.Mode != ModeImmReg && in.Mode != ModeRegReg {
+			return fmt.Errorf("isa: %s requires imm/reg source and reg dest", in.Op)
+		}
+		var k int32
+		if in.Mode == ModeImmReg {
+			k = in.Imm
+		} else {
+			te.SrcRegs = append(te.SrcRegs, in.Reg1)
+			k = c.R[in.Reg1]
+		}
+		k &= 31
+		te.SrcRegs = append(te.SrcRegs, in.Reg2)
+		te.DstRegs = append(te.DstRegs, in.Reg2)
+		v := c.R[in.Reg2]
+		switch in.Op {
+		case SHL:
+			v = v << uint(k)
+		case SAR:
+			v = v >> uint(k)
+		case SHR:
+			v = int32(uint32(v) >> uint(k))
+		}
+		c.R[in.Reg2] = c.setLogic(v)
+	case PUSH:
+		var v int32
+		switch in.Mode {
+		case ModeReg:
+			te.SrcRegs = append(te.SrcRegs, in.Reg1)
+			v = c.R[in.Reg1]
+		case ModeImm:
+			v = in.Imm
+		default:
+			return fmt.Errorf("isa: bad push mode")
+		}
+		te.IsStore = true
+		te.SrcRegs = append(te.SrcRegs, ESP)
+		te.DstRegs = append(te.DstRegs, ESP)
+		if err := c.push(v); err != nil {
+			return err
+		}
+	case POP:
+		if in.Mode != ModeReg {
+			return fmt.Errorf("isa: bad pop mode")
+		}
+		te.IsLoad = true
+		te.SrcRegs = append(te.SrcRegs, ESP)
+		te.DstRegs = append(te.DstRegs, in.Reg1, ESP)
+		v, err := c.pop()
+		if err != nil {
+			return err
+		}
+		c.R[in.Reg1] = v
+	case CALL:
+		te.IsBranch, te.Taken = true, true
+		te.IsStore = true
+		te.SrcRegs = append(te.SrcRegs, ESP)
+		te.DstRegs = append(te.DstRegs, ESP)
+		if err := c.push(int32(nextPC)); err != nil {
+			return err
+		}
+		nextPC = int(in.Imm)
+	case RET:
+		te.IsBranch, te.Taken = true, true
+		te.IsLoad = true
+		te.SrcRegs = append(te.SrcRegs, ESP)
+		te.DstRegs = append(te.DstRegs, ESP)
+		v, err := c.pop()
+		if err != nil {
+			return err
+		}
+		nextPC = int(v)
+	case LEAVE:
+		// movl %ebp, %esp ; popl %ebp
+		te.SrcRegs = append(te.SrcRegs, EBP)
+		te.DstRegs = append(te.DstRegs, ESP, EBP)
+		te.IsLoad = true
+		c.R[ESP] = c.R[EBP]
+		v, err := c.pop()
+		if err != nil {
+			return err
+		}
+		c.R[EBP] = v
+	case JMP, JE, JNE, JL, JLE, JG, JGE, JB, JA:
+		te.IsBranch = true
+		if c.condition(in.Op) {
+			te.Taken = true
+			nextPC = int(in.Imm)
+		}
+	case SYS:
+		if err := c.service(in.Imm); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("isa: unimplemented opcode %s", in.Op)
+	}
+
+	c.PC = nextPC
+	if c.Trace != nil {
+		c.Trace(te)
+	}
+	return nil
+}
+
+func (c *CPU) service(num int32) error {
+	switch num {
+	case SysExit:
+		c.Halted = true
+		c.Exit = c.R[EAX]
+	case SysPrint:
+		fmt.Fprintf(&c.Output, "%d\n", c.R[EAX])
+	case SysPrintS:
+		s, err := c.LoadString(c.R[EAX])
+		if err != nil {
+			return err
+		}
+		c.Output.WriteString(s)
+	case SysRead:
+		if c.inPos >= len(c.Input) {
+			c.R[EAX] = -1
+			return nil
+		}
+		line := c.Input[c.inPos]
+		c.inPos++
+		maxLen := int(c.R[EBX])
+		if maxLen < 1 {
+			return fmt.Errorf("isa: sys read with buffer size %d", maxLen)
+		}
+		if len(line) > maxLen-1 {
+			line = line[:maxLen-1]
+		}
+		if err := c.StoreBytes(c.R[EAX], append([]byte(line), 0)); err != nil {
+			return err
+		}
+		c.R[EAX] = int32(len(line))
+	case SysExplode:
+		return ErrExploded
+	default:
+		return fmt.Errorf("isa: unknown service %d", num)
+	}
+	return nil
+}
+
+// Run executes until HALT/exit, a fault, or maxSteps instructions.
+func (c *CPU) Run(maxSteps int64) error {
+	for i := int64(0); !c.Halted; i++ {
+		if i >= maxSteps {
+			return ErrMaxSteps
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunProgram assembles, loads, and runs src with the given input lines,
+// returning the final CPU for inspection. It is the one-call path used by
+// tests and examples.
+func RunProgram(src string, input []string, maxSteps int64) (*CPU, error) {
+	p, err := Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCPU(p)
+	c.Input = input
+	if err := c.Run(maxSteps); err != nil {
+		return c, err
+	}
+	return c, nil
+}

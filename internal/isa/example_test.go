@@ -1,0 +1,48 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Assemble and run a SWAT32 program.
+func Example() {
+	cpu, err := isa.RunProgram(`
+main:
+    movl $5, %ecx
+    movl $1, %eax
+loop:
+    imull %ecx, %eax
+    decl %ecx
+    cmpl $0, %ecx
+    jg loop
+    sys $1
+    halt
+`, nil, 1000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(cpu.Output.String())
+	// Output: 120
+}
+
+// The pipeline timing model quantifies what forwarding buys.
+func ExampleSimulatePipeline() {
+	trace, _, err := isa.TraceProgram(`
+main:
+    movl $0, %eax
+    addl $1, %eax
+    addl $1, %eax
+    addl $1, %eax
+    halt`, nil, 100)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	with := isa.SimulatePipeline(trace, isa.PipelineConfig{Forwarding: true})
+	without := isa.SimulatePipeline(trace, isa.PipelineConfig{Forwarding: false})
+	fmt.Println(with.Cycles < without.Cycles)
+	// Output: true
+}

@@ -1,0 +1,254 @@
+// Package isa implements SWAT32, the 32-bit educational instruction set
+// used for the CS31 assembly unit and the binary-bomb lab. It provides an
+// assembler (AT&T-flavoured syntax, two-pass with labels and data
+// directives), a disassembler, a CPU simulator with the IA32 stack and
+// calling convention (push/pop/call/ret/leave, %ebp frames, condition
+// codes), and a classic 5-stage pipeline model with hazard detection,
+// forwarding, and CPI accounting.
+//
+// SWAT32 substitutes for IA32 in the reproduction: the lab's learning
+// goals — reading and tracing assembly, understanding C-to-assembly
+// translation, the stack discipline, and examining binaries — are
+// properties of an ISA with those mechanisms, not of Intel's encoding.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the eight general-purpose registers. The names
+// follow IA32 so lab handouts translate directly.
+type Reg uint8
+
+// The register file. ESP is the stack pointer and EBP the frame pointer
+// by convention (enforced only by the instructions that use them
+// implicitly: push, pop, call, ret, leave).
+const (
+	EAX Reg = iota
+	EBX
+	ECX
+	EDX
+	ESI
+	EDI
+	EBP
+	ESP
+	NumRegs
+)
+
+var regNames = [...]string{"eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp"}
+
+// String returns the human-readable name.
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return "%" + regNames[r]
+	}
+	return fmt.Sprintf("%%r?%d", uint8(r))
+}
+
+// RegByName resolves a register name like "eax" or "%eax".
+func RegByName(name string) (Reg, bool) {
+	if len(name) > 0 && name[0] == '%' {
+		name = name[1:]
+	}
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	return 0, false
+}
+
+// Op is a SWAT32 opcode.
+type Op uint8
+
+// The instruction set. Arithmetic follows the AT&T "op src, dst"
+// convention: dst = dst OP src.
+const (
+	NOP Op = iota
+	HALT
+	MOV
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	IMUL
+	NEG
+	NOT
+	INC
+	DEC
+	SHL
+	SAR
+	SHR
+	CMP  // flags of dst - src, no writeback
+	TEST // flags of dst & src, no writeback
+	PUSH
+	POP
+	CALL
+	RET
+	LEAVE
+	JMP
+	JE
+	JNE
+	JL
+	JLE
+	JG
+	JGE
+	JB
+	JA
+	LEA
+	SYS
+	MOVB // byte-sized move: load zero-extends, store writes the low byte
+	IDIV // dst = dst / src, truncating toward zero; faults on zero divisor
+	IMOD // dst = dst %% src (C semantics); faults on zero divisor
+	numOps
+)
+
+var opNames = [...]string{
+	"nop", "halt", "mov", "add", "sub", "and", "or", "xor", "imul",
+	"neg", "not", "inc", "dec", "shl", "sar", "shr", "cmp", "test",
+	"push", "pop", "call", "ret", "leave", "jmp", "je", "jne", "jl",
+	"jle", "jg", "jge", "jb", "ja", "lea", "sys", "movb", "idiv", "imod",
+}
+
+// String returns the human-readable name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", uint8(o))
+}
+
+// opByName resolves a mnemonic, accepting an optional AT&T "l" width
+// suffix (movl, addl, pushl, ...).
+func opByName(name string) (Op, bool) {
+	for i, n := range opNames {
+		if n == name || n+"l" == name {
+			return Op(i), true
+		}
+	}
+	return 0, false
+}
+
+// Mode describes the operand addressing of an encoded instruction.
+type Mode uint8
+
+// The addressing modes. Mem operands are disp(reg): address = Imm + reg.
+const (
+	ModeNone   Mode = iota
+	ModeImmReg      // op $imm, %reg2
+	ModeRegReg      // op %reg1, %reg2
+	ModeMemReg      // op disp(%reg1), %reg2   (load)
+	ModeRegMem      // op %reg1, disp(%reg2)   (store)
+	ModeReg         // op %reg1
+	ModeImm         // op $imm (or a code label for jumps/call)
+	ModeImmMem      // op $imm, disp(%reg2)    (store immediate)
+)
+
+// Instr is one decoded SWAT32 instruction. Imm holds immediate values and
+// jump/call targets; Disp holds the displacement of memory operands, so
+// forms like "mov $9, -4(%ebp)" encode both.
+type Instr struct {
+	Op   Op
+	Mode Mode
+	Reg1 Reg
+	Reg2 Reg
+	Imm  int32
+	Disp int32
+}
+
+// InstrSize is the fixed encoded size of every instruction, in bytes:
+// opcode, mode, reg1, reg2, imm32, disp32.
+const InstrSize = 12
+
+// Encode packs the instruction into its 12-byte little-endian form.
+func (in Instr) Encode() [InstrSize]byte {
+	var b [InstrSize]byte
+	b[0] = byte(in.Op)
+	b[1] = byte(in.Mode)
+	b[2] = byte(in.Reg1)
+	b[3] = byte(in.Reg2)
+	u := uint32(in.Imm)
+	b[4] = byte(u)
+	b[5] = byte(u >> 8)
+	b[6] = byte(u >> 16)
+	b[7] = byte(u >> 24)
+	d := uint32(in.Disp)
+	b[8] = byte(d)
+	b[9] = byte(d >> 8)
+	b[10] = byte(d >> 16)
+	b[11] = byte(d >> 24)
+	return b
+}
+
+// Decode unpacks an instruction from its encoded form.
+func Decode(b []byte) (Instr, error) {
+	if len(b) < InstrSize {
+		return Instr{}, fmt.Errorf("isa: short instruction (%d bytes)", len(b))
+	}
+	in := Instr{
+		Op:   Op(b[0]),
+		Mode: Mode(b[1]),
+		Reg1: Reg(b[2]),
+		Reg2: Reg(b[3]),
+		Imm:  int32(uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24),
+		Disp: int32(uint32(b[8]) | uint32(b[9])<<8 | uint32(b[10])<<16 | uint32(b[11])<<24),
+	}
+	if in.Op >= numOps {
+		return Instr{}, fmt.Errorf("isa: illegal opcode %d", b[0])
+	}
+	if in.Mode > ModeImmMem {
+		return Instr{}, fmt.Errorf("isa: illegal mode %d", b[1])
+	}
+	if in.Reg1 >= NumRegs || in.Reg2 >= NumRegs {
+		return Instr{}, fmt.Errorf("isa: illegal register")
+	}
+	return in, nil
+}
+
+// String renders the instruction in assembler syntax (disassembly).
+func (in Instr) String() string {
+	switch in.Mode {
+	case ModeNone:
+		return in.Op.String()
+	case ModeImmReg:
+		return fmt.Sprintf("%s $%d, %s", in.Op, in.Imm, in.Reg2)
+	case ModeRegReg:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Reg1, in.Reg2)
+	case ModeMemReg:
+		return fmt.Sprintf("%s %d(%s), %s", in.Op, in.Disp, in.Reg1, in.Reg2)
+	case ModeRegMem:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Reg1, in.Disp, in.Reg2)
+	case ModeReg:
+		return fmt.Sprintf("%s %s", in.Op, in.Reg1)
+	case ModeImm:
+		if in.Op >= CALL && in.Op <= JA || in.Op == CALL {
+			return fmt.Sprintf("%s 0x%x", in.Op, uint32(in.Imm))
+		}
+		return fmt.Sprintf("%s $%d", in.Op, in.Imm)
+	case ModeImmMem:
+		return fmt.Sprintf("%s $%d, %d(%s)", in.Op, in.Imm, in.Disp, in.Reg2)
+	}
+	return fmt.Sprintf("%s <bad mode %d>", in.Op, in.Mode)
+}
+
+// IsJump reports whether the opcode is a control transfer resolved from
+// the condition codes or unconditionally (excluding call/ret).
+func (o Op) IsJump() bool { return o >= JMP && o <= JA }
+
+// IsCond reports whether the opcode is a conditional jump.
+func (o Op) IsCond() bool { return o > JMP && o <= JA }
+
+// Program is an assembled SWAT32 binary image: code, initialized data,
+// and the symbol table produced by the assembler.
+type Program struct {
+	Code    []byte         // encoded instructions, loaded at address 0
+	Data    []byte         // initialized data, loaded at DataBase
+	Symbols map[string]int // label -> address
+	Entry   int            // address of the entry label ("main" or 0)
+}
+
+// DataBase is the load address of the data segment. Code is loaded at 0;
+// the gap catches wild pointers in student programs.
+const DataBase = 0x10000
+
+// StackTop is the initial %esp. The stack grows down from here.
+const StackTop = 0x20000

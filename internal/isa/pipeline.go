@@ -1,0 +1,225 @@
+package isa
+
+import "fmt"
+
+// This file implements the classic 5-stage in-order pipeline model
+// (IF ID EX MEM WB) that CS31 covers under "pipelining": a timing model
+// applied to a dynamic instruction trace produced by the CPU simulator.
+// It accounts for data hazards (with or without forwarding, including the
+// load-use hazard that stalls even with forwarding) and for control
+// hazards (branches resolved at the end of EX, with either stall-on-branch
+// or predict-not-taken fetch policies), yielding total cycles and CPI.
+
+// BranchPolicy selects how the pipeline fetches past a branch.
+type BranchPolicy int
+
+// The branch policies.
+const (
+	// StallOnBranch stops fetching after every branch until it resolves at
+	// the end of EX — the baseline drawn first in lecture.
+	StallOnBranch BranchPolicy = iota
+	// PredictNotTaken keeps fetching sequentially; taken branches squash
+	// the wrong-path fetches and pay the resolution penalty.
+	PredictNotTaken
+)
+
+// String returns the human-readable name.
+func (p BranchPolicy) String() string {
+	if p == StallOnBranch {
+		return "stall-on-branch"
+	}
+	return "predict-not-taken"
+}
+
+// PipelineConfig parameterizes the timing model.
+type PipelineConfig struct {
+	Forwarding bool
+	Branch     BranchPolicy
+	// Width is the superscalar issue width: up to Width instructions may
+	// occupy the same stage in the same cycle. 0 means 1 (scalar). This is
+	// the "super-scalar" row of Table II: independent instructions reach
+	// CPI ~ 1/Width, while dependent chains stay serialized at CPI ~ 1
+	// regardless of width.
+	Width int
+}
+
+// PipelineStats reports the outcome of a pipeline simulation.
+type PipelineStats struct {
+	Instructions  int
+	Cycles        int64
+	DataStalls    int64 // bubbles inserted for RAW hazards (excluding load-use when forwarding)
+	LoadUseStalls int64 // bubbles charged to load-use hazards under forwarding
+	ControlStalls int64 // bubbles charged to branches
+	Config        PipelineConfig
+}
+
+// CPI returns cycles per instruction.
+func (s PipelineStats) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// IPC returns instructions per cycle (the superscalar figure of merit).
+func (s PipelineStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// String returns the human-readable name.
+func (s PipelineStats) String() string {
+	return fmt.Sprintf("%d instrs, %d cycles, CPI %.3f (data %d, load-use %d, control %d) [fwd=%v, %v]",
+		s.Instructions, s.Cycles, s.CPI(), s.DataStalls, s.LoadUseStalls, s.ControlStalls,
+		s.Config.Forwarding, s.Config.Branch)
+}
+
+// SimulatePipeline runs the 5-stage timing model over a dynamic trace.
+//
+// The model computes, for each instruction, the cycle at which it occupies
+// each stage, subject to: one instruction per stage per cycle; register
+// values readable in ID only after the producer's WB when forwarding is
+// off (write-first-half/read-second-half register file); with forwarding,
+// ALU results forward EX→EX and loads forward MEM→EX (one bubble for a
+// dependent instruction immediately after a load); branches resolve at the
+// end of EX.
+func SimulatePipeline(trace []TraceEntry, cfg PipelineConfig) PipelineStats {
+	if cfg.Width <= 0 {
+		cfg.Width = 1
+	}
+	st := PipelineStats{Instructions: len(trace), Config: cfg}
+	if len(trace) == 0 {
+		return st
+	}
+
+	// lastWrite[r] = index of most recent instruction writing register r.
+	type writer struct {
+		ex, mem, wb int64 // stage-completion cycles of the producer
+		isLoad      bool
+		valid       bool
+	}
+	var lastWrite [NumRegs]writer
+
+	// Per-stage occupancy: ring buffers of the last Width cycle stamps.
+	// An instruction may enter a stage no earlier than one cycle after the
+	// instruction Width places back occupied it (at most Width per cycle).
+	w := cfg.Width
+	mkRing := func() []int64 {
+		r := make([]int64, w)
+		for i := range r {
+			r[i] = -1
+		}
+		return r
+	}
+	ifR, idR, exR, memR, wbR := mkRing(), mkRing(), mkRing(), mkRing(), mkRing()
+	slot := 0
+	var fetchBlockedUntil int64 // earliest cycle the next IF may occur
+	// In-order discipline: a younger instruction may share a stage cycle
+	// with an older one (same issue group) but never pass it.
+	var prevIF, prevID, prevEX, prevMEM, prevWB int64 = -1, -1, -1, -1, -1
+
+	for _, te := range trace {
+		ifC := max64(ifR[slot]+1, prevIF)
+		if ifC < fetchBlockedUntil {
+			ifC = fetchBlockedUntil
+		}
+		idC := max64(max64(ifC+1, idR[slot]+1), prevID)
+
+		// RAW hazards: when forwarding is off, ID must wait for the
+		// producer's WB cycle (same-cycle read is allowed: write first half,
+		// read second half).
+		if !cfg.Forwarding {
+			for _, r := range te.SrcRegs {
+				w := lastWrite[r]
+				if w.valid && idC < w.wb {
+					st.DataStalls += w.wb - idC
+					idC = w.wb
+				}
+			}
+		}
+
+		exC := idC + 1
+		if cfg.Forwarding {
+			for _, r := range te.SrcRegs {
+				w := lastWrite[r]
+				if !w.valid {
+					continue
+				}
+				// ALU results forward from the end of the producer's EX; load
+				// results from the end of its MEM.
+				ready := w.ex + 1
+				if w.isLoad {
+					ready = w.mem + 1
+				}
+				if exC < ready {
+					if w.isLoad {
+						st.LoadUseStalls += ready - exC
+					} else {
+						st.DataStalls += ready - exC
+					}
+					exC = ready
+				}
+			}
+		}
+
+		exC = max64(max64(exC, exR[slot]+1), prevEX)
+		memC := max64(max64(exC+1, memR[slot]+1), prevMEM)
+		wbC := max64(max64(memC+1, wbR[slot]+1), prevWB)
+
+		// Control hazards: the next fetch may be constrained by this branch.
+		if te.IsBranch {
+			resolved := exC + 1 // target known after EX
+			switch cfg.Branch {
+			case StallOnBranch:
+				if resolved > ifC+1 {
+					st.ControlStalls += resolved - (ifC + 1)
+				}
+				fetchBlockedUntil = resolved
+			case PredictNotTaken:
+				if te.Taken {
+					if resolved > ifC+1 {
+						st.ControlStalls += resolved - (ifC + 1)
+					}
+					fetchBlockedUntil = resolved
+				}
+			}
+		}
+
+		for _, r := range te.DstRegs {
+			lastWrite[r] = writer{ex: exC, mem: memC, wb: wbC, isLoad: te.IsLoad, valid: true}
+		}
+		ifR[slot], idR[slot], exR[slot], memR[slot], wbR[slot] = ifC, idC, exC, memC, wbC
+		prevIF, prevID, prevEX, prevMEM, prevWB = ifC, idC, exC, memC, wbC
+		if st.Cycles < wbC+1 {
+			st.Cycles = wbC + 1 // cycles are 0-indexed
+		}
+		slot = (slot + 1) % w
+	}
+	return st
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TraceProgram assembles and runs src, returning the dynamic instruction
+// trace for pipeline analysis along with the finished CPU.
+func TraceProgram(src string, input []string, maxSteps int64) ([]TraceEntry, *CPU, error) {
+	p, err := Assemble(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := NewCPU(p)
+	c.Input = input
+	var trace []TraceEntry
+	c.Trace = func(te TraceEntry) { trace = append(trace, te) }
+	if err := c.Run(maxSteps); err != nil {
+		return trace, c, err
+	}
+	return trace, c, nil
+}

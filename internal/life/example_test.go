@@ -1,0 +1,42 @@
+package life_test
+
+import (
+	"fmt"
+
+	"repro/internal/life"
+)
+
+// A blinker oscillates with period two.
+func Example() {
+	g, err := life.NewGrid(5, 3, life.Bounded)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	p, _ := life.Parse(life.PatternBlinker, life.Bounded)
+	g.Place(p, 1, 1)
+	fmt.Print(g)
+	g.Step()
+	fmt.Print(g)
+	// Output:
+	// .....
+	// .OOO.
+	// .....
+	// ..O..
+	// ..O..
+	// ..O..
+}
+
+// The parallel engine produces the same universe as the sequential one.
+func ExampleGrid_StepNParallel() {
+	g, _ := life.NewGrid(64, 64, life.Torus)
+	g.Seed(0.3, 42)
+	ref := g.Clone()
+	ref.StepN(5)
+	if err := g.StepNParallel(5, 4); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(g.Equal(ref))
+	// Output: true
+}

@@ -1,0 +1,361 @@
+// Package life implements both Game of Life labs from CS31 Table I: the
+// sequential C-programming lab (grid representation, memory layout,
+// timing experiments) and the capstone parallel lab (Pthreads-style
+// row-block decomposition with a barrier per generation, plus the
+// scalability study students write up).
+package life
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/pthread"
+)
+
+// Topology selects the boundary behaviour of the universe.
+type Topology int
+
+// The topologies. Torus wraps both axes; Bounded treats outside as dead.
+const (
+	Torus Topology = iota
+	Bounded
+)
+
+// String returns the human-readable name.
+func (t Topology) String() string {
+	if t == Torus {
+		return "torus"
+	}
+	return "bounded"
+}
+
+// Grid is a Game of Life universe stored as a single row-major byte
+// slice — the flat-2D-array layout the sequential lab teaches.
+type Grid struct {
+	W, H     int
+	Topology Topology
+	cur      []uint8
+	next     []uint8
+	gen      int64
+}
+
+// NewGrid creates a dead universe of w columns by h rows.
+func NewGrid(w, h int, topo Topology) (*Grid, error) {
+	if w <= 0 || h <= 0 {
+		return nil, errors.New("life: dimensions must be positive")
+	}
+	return &Grid{W: w, H: h, Topology: topo, cur: make([]uint8, w*h), next: make([]uint8, w*h)}, nil
+}
+
+// Generation returns how many steps have been taken.
+func (g *Grid) Generation() int64 { return g.gen }
+
+// Set sets the cell at column x, row y.
+func (g *Grid) Set(x, y int, alive bool) {
+	if x < 0 || x >= g.W || y < 0 || y >= g.H {
+		panic(fmt.Sprintf("life: (%d,%d) outside %dx%d", x, y, g.W, g.H))
+	}
+	if alive {
+		g.cur[y*g.W+x] = 1
+	} else {
+		g.cur[y*g.W+x] = 0
+	}
+}
+
+// Get reports whether the cell at (x, y) is alive.
+func (g *Grid) Get(x, y int) bool {
+	return g.cur[y*g.W+x] == 1
+}
+
+// Population counts live cells.
+func (g *Grid) Population() int {
+	n := 0
+	for _, c := range g.cur {
+		n += int(c)
+	}
+	return n
+}
+
+// neighbors counts the live neighbours of (x, y) under the topology.
+func (g *Grid) neighbors(x, y int) int {
+	n := 0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			nx, ny := x+dx, y+dy
+			if g.Topology == Torus {
+				nx = (nx + g.W) % g.W
+				ny = (ny + g.H) % g.H
+			} else if nx < 0 || nx >= g.W || ny < 0 || ny >= g.H {
+				continue
+			}
+			n += int(g.cur[ny*g.W+nx])
+		}
+	}
+	return n
+}
+
+// stepRows computes the next state of rows [lo, hi) into the next buffer.
+func (g *Grid) stepRows(lo, hi int) {
+	for y := lo; y < hi; y++ {
+		for x := 0; x < g.W; x++ {
+			n := g.neighbors(x, y)
+			alive := g.cur[y*g.W+x] == 1
+			var v uint8
+			if n == 3 || (alive && n == 2) {
+				v = 1
+			}
+			g.next[y*g.W+x] = v
+		}
+	}
+}
+
+func (g *Grid) swap() {
+	g.cur, g.next = g.next, g.cur
+	g.gen++
+}
+
+// Step advances one generation sequentially.
+func (g *Grid) Step() {
+	g.stepRows(0, g.H)
+	g.swap()
+}
+
+// StepN advances n generations sequentially.
+func (g *Grid) StepN(n int) {
+	for i := 0; i < n; i++ {
+		g.Step()
+	}
+}
+
+// StepNParallel advances n generations using `threads` pthread-style
+// workers with a row-block decomposition: each worker owns a contiguous
+// band of rows; a cyclic barrier separates compute from the buffer swap,
+// which the barrier's serial thread performs — the exact structure of the
+// CS31 parallel lab solution.
+func (g *Grid) StepNParallel(n, threads int) error {
+	if threads <= 0 {
+		return errors.New("life: thread count must be positive")
+	}
+	if threads > g.H {
+		threads = g.H
+	}
+	barrier, err := pthread.NewBarrier(threads)
+	if err != nil {
+		return err
+	}
+	ths := pthread.Spawn(threads, func(_ pthread.ID, i int) {
+		lo := i * g.H / threads
+		hi := (i + 1) * g.H / threads
+		for gen := 0; gen < n; gen++ {
+			g.stepRows(lo, hi)
+			if barrier.Wait() == pthread.BarrierSerial {
+				g.swap()
+			}
+			barrier.Wait() // no one reads cur until the swap is published
+		}
+	})
+	return pthread.JoinAll(ths)
+}
+
+// stepRowsStrided computes the next state of rows t, t+stride, t+2*stride
+// ... — the interleaved decomposition whose fine-grained row ownership
+// shreds spatial locality and, on real hardware, invites false sharing at
+// every band boundary. It exists as the ablation partner of the row-block
+// decomposition.
+func (g *Grid) stepRowsStrided(t, stride int) {
+	for y := t; y < g.H; y += stride {
+		g.stepRows(y, y+1)
+	}
+}
+
+// StepNParallelStrided is StepNParallel with the strided (interleaved
+// rows) partitioning instead of row blocks. Results are identical; the
+// memory behaviour is not — which is the point of the ablation.
+func (g *Grid) StepNParallelStrided(n, threads int) error {
+	if threads <= 0 {
+		return errors.New("life: thread count must be positive")
+	}
+	if threads > g.H {
+		threads = g.H
+	}
+	barrier, err := pthread.NewBarrier(threads)
+	if err != nil {
+		return err
+	}
+	ths := pthread.Spawn(threads, func(_ pthread.ID, i int) {
+		for gen := 0; gen < n; gen++ {
+			g.stepRowsStrided(i, threads)
+			if barrier.Wait() == pthread.BarrierSerial {
+				g.swap()
+			}
+			barrier.Wait()
+		}
+	})
+	return pthread.JoinAll(ths)
+}
+
+// Clone deep-copies the universe.
+func (g *Grid) Clone() *Grid {
+	c := &Grid{W: g.W, H: g.H, Topology: g.Topology, gen: g.gen}
+	c.cur = append([]uint8(nil), g.cur...)
+	c.next = make([]uint8, len(g.next))
+	return c
+}
+
+// Equal compares live-cell states.
+func (g *Grid) Equal(o *Grid) bool {
+	if g.W != o.W || g.H != o.H {
+		return false
+	}
+	for i := range g.cur {
+		if g.cur[i] != o.cur[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the universe in plaintext ('.' dead, 'O' alive).
+func (g *Grid) String() string {
+	var b strings.Builder
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			if g.Get(x, y) {
+				b.WriteByte('O')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Parse reads a plaintext pattern ('.' or ' ' dead; 'O', '*' or 'X'
+// alive; '!' comment lines ignored) into a new bounded-size grid.
+func Parse(s string, topo Topology) (*Grid, error) {
+	var rows []string
+	for _, ln := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(ln), "!") {
+			continue
+		}
+		rows = append(rows, ln)
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("life: empty pattern")
+	}
+	w := 0
+	for _, r := range rows {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	if w == 0 {
+		return nil, errors.New("life: pattern has no columns")
+	}
+	g, err := NewGrid(w, len(rows), topo)
+	if err != nil {
+		return nil, err
+	}
+	for y, r := range rows {
+		for x, ch := range r {
+			switch ch {
+			case 'O', '*', 'X', 'o':
+				g.Set(x, y, true)
+			case '.', ' ', '_':
+			default:
+				return nil, fmt.Errorf("life: bad pattern char %q at (%d,%d)", ch, x, y)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Place stamps a pattern grid onto g with its top-left at (x, y),
+// wrapping under torus topology.
+func (g *Grid) Place(p *Grid, x, y int) error {
+	for py := 0; py < p.H; py++ {
+		for px := 0; px < p.W; px++ {
+			tx, ty := x+px, y+py
+			if g.Topology == Torus {
+				tx = (tx%g.W + g.W) % g.W
+				ty = (ty%g.H + g.H) % g.H
+			} else if tx < 0 || tx >= g.W || ty < 0 || ty >= g.H {
+				return fmt.Errorf("life: pattern exceeds grid at (%d,%d)", tx, ty)
+			}
+			if p.Get(px, py) {
+				g.Set(tx, ty, true)
+			}
+		}
+	}
+	return nil
+}
+
+// Seed fills the universe pseudo-randomly with the given live-cell
+// density (0..1), deterministically from seed.
+func (g *Grid) Seed(density float64, seed uint64) {
+	if seed == 0 {
+		seed = 1
+	}
+	s := seed
+	threshold := uint64(density * float64(^uint64(0)>>1))
+	for i := range g.cur {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		if s>>1 < threshold {
+			g.cur[i] = 1
+		} else {
+			g.cur[i] = 0
+		}
+	}
+}
+
+// Well-known patterns for tests and examples.
+const (
+	PatternBlinker = "OOO"
+	PatternBlock   = "OO\nOO"
+	PatternGlider  = ".O.\n..O\nOOO"
+	PatternToad    = ".OOO\nOOO."
+	PatternRPent   = ".OO\nOO.\n.O."
+)
+
+// StudyResult is the outcome of the lab's scalability experiment.
+type StudyResult struct {
+	N           int // grid is N x N
+	Generations int
+	Table       metrics.ScalabilityTable
+}
+
+// ScalabilityStudy runs the parallel lab's experiment: an n×n torus
+// seeded at 30% density, advanced `gens` generations at each thread
+// count, timed, and reduced to the speedup/efficiency table. Thread
+// counts must include 1.
+func ScalabilityStudy(n, gens int, threadCounts []int) (StudyResult, error) {
+	var ms []metrics.Measurement
+	for _, tc := range threadCounts {
+		g, err := NewGrid(n, n, Torus)
+		if err != nil {
+			return StudyResult{}, err
+		}
+		g.Seed(0.3, 42)
+		start := time.Now()
+		if tc == 1 {
+			g.StepN(gens)
+		} else if err := g.StepNParallel(gens, tc); err != nil {
+			return StudyResult{}, err
+		}
+		ms = append(ms, metrics.Measurement{Workers: tc, Elapsed: time.Since(start)})
+	}
+	tbl, err := metrics.BuildTable(ms)
+	if err != nil {
+		return StudyResult{}, err
+	}
+	return StudyResult{N: n, Generations: gens, Table: tbl}, nil
+}

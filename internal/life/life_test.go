@@ -1,0 +1,270 @@
+package life
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustGrid(t *testing.T, w, h int, topo Topology) *Grid {
+	t.Helper()
+	g, err := NewGrid(w, h, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBlinkerOscillates(t *testing.T) {
+	g := mustGrid(t, 5, 5, Bounded)
+	p, err := Parse(PatternBlinker, Bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Place(p, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	start := g.Clone()
+	g.Step()
+	// Horizontal blinker becomes vertical.
+	if !g.Get(2, 1) || !g.Get(2, 2) || !g.Get(2, 3) || g.Get(1, 2) || g.Get(3, 2) {
+		t.Errorf("after 1 step:\n%s", g)
+	}
+	g.Step()
+	if !g.Equal(start) {
+		t.Errorf("blinker period 2 broken:\n%s", g)
+	}
+	if g.Generation() != 2 {
+		t.Errorf("generation = %d", g.Generation())
+	}
+}
+
+func TestBlockIsStill(t *testing.T) {
+	g := mustGrid(t, 6, 6, Torus)
+	p, _ := Parse(PatternBlock, Torus)
+	g.Place(p, 2, 2)
+	start := g.Clone()
+	g.StepN(10)
+	if !g.Equal(start) {
+		t.Errorf("block should be a still life:\n%s", g)
+	}
+}
+
+func TestGliderTranslatesOnTorus(t *testing.T) {
+	// A glider moves (+1, +1) every 4 generations; on a torus it returns
+	// home after 4*W generations when W == H.
+	const n = 8
+	g := mustGrid(t, n, n, Torus)
+	p, _ := Parse(PatternGlider, Torus)
+	g.Place(p, 0, 0)
+	start := g.Clone()
+	g.StepN(4 * n)
+	if !g.Equal(start) {
+		t.Errorf("glider did not return home after %d gens:\n%s", 4*n, g)
+	}
+	if g.Population() != 5 {
+		t.Errorf("glider population = %d, want 5", g.Population())
+	}
+}
+
+func TestBoundedVsTorusDiffer(t *testing.T) {
+	// A glider at the edge dies in a bounded world, survives on a torus.
+	mk := func(topo Topology) *Grid {
+		g := mustGrid(t, 6, 6, topo)
+		p, _ := Parse(PatternGlider, topo)
+		g.Place(p, 3, 3)
+		g.StepN(20)
+		return g
+	}
+	torus, bounded := mk(Torus), mk(Bounded)
+	if torus.Population() != 5 {
+		t.Errorf("torus glider population = %d", torus.Population())
+	}
+	if bounded.Population() >= 5 && bounded.Equal(torus) {
+		t.Error("bounded and torus evolution should diverge at the edge")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "!only a comment", "ab\ncd"} {
+		if _, err := Parse(bad, Torus); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+	g, err := Parse("!comment\n.O.\nO.O", Bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.W != 3 || g.H != 2 || g.Population() != 3 {
+		t.Errorf("parsed %dx%d pop %d", g.W, g.H, g.Population())
+	}
+}
+
+func TestPlaceOutOfBoundsBounded(t *testing.T) {
+	g := mustGrid(t, 4, 4, Bounded)
+	p, _ := Parse(PatternBlock, Bounded)
+	if err := g.Place(p, 3, 3); err == nil {
+		t.Error("overflow placement should error on bounded grid")
+	}
+	gt := mustGrid(t, 4, 4, Torus)
+	if err := gt.Place(p, 3, 3); err != nil {
+		t.Errorf("torus placement should wrap: %v", err)
+	}
+	if gt.Population() != 4 {
+		t.Errorf("wrapped block population = %d", gt.Population())
+	}
+}
+
+func TestSeedDeterministicDensity(t *testing.T) {
+	g1 := mustGrid(t, 100, 100, Torus)
+	g2 := mustGrid(t, 100, 100, Torus)
+	g1.Seed(0.3, 7)
+	g2.Seed(0.3, 7)
+	if !g1.Equal(g2) {
+		t.Error("same seed should give same universe")
+	}
+	pop := g1.Population()
+	if pop < 2300 || pop > 3700 {
+		t.Errorf("density 0.3 gave population %d of 10000", pop)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, threads := range []int{2, 3, 4, 7} {
+		seq := mustGrid(t, 48, 36, Torus)
+		seq.Seed(0.35, 99)
+		par := seq.Clone()
+		seq.StepN(12)
+		if err := par.StepNParallel(12, threads); err != nil {
+			t.Fatal(err)
+		}
+		if !par.Equal(seq) {
+			t.Errorf("threads=%d: parallel result diverges from sequential", threads)
+		}
+		if par.Generation() != seq.Generation() {
+			t.Errorf("generation mismatch: %d vs %d", par.Generation(), seq.Generation())
+		}
+	}
+}
+
+func TestParallelMoreThreadsThanRows(t *testing.T) {
+	g := mustGrid(t, 8, 3, Torus)
+	g.Seed(0.5, 1)
+	want := g.Clone()
+	want.StepN(5)
+	if err := g.StepNParallel(5, 64); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(want) {
+		t.Error("thread clamp broke correctness")
+	}
+}
+
+func TestParallelRejectsBadThreads(t *testing.T) {
+	g := mustGrid(t, 4, 4, Torus)
+	if err := g.StepNParallel(1, 0); err == nil {
+		t.Error("0 threads should error")
+	}
+}
+
+func TestConservationProperties(t *testing.T) {
+	// Property: population stays within [0, W*H]; a dead universe stays
+	// dead; evolution is deterministic.
+	f := func(seed uint64) bool {
+		a := mustGridQ(24, 24)
+		b := mustGridQ(24, 24)
+		a.Seed(0.4, seed)
+		b.Seed(0.4, seed)
+		a.StepN(3)
+		b.StepN(3)
+		if !a.Equal(b) {
+			return false
+		}
+		p := a.Population()
+		return p >= 0 && p <= 24*24
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+	dead := mustGridQ(10, 10)
+	dead.StepN(5)
+	if dead.Population() != 0 {
+		t.Error("dead universe must stay dead")
+	}
+}
+
+func mustGridQ(w, h int) *Grid {
+	g, err := NewGrid(w, h, Torus)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	g := mustGrid(t, 4, 3, Bounded)
+	g.Set(0, 0, true)
+	g.Set(3, 2, true)
+	s := g.String()
+	back, err := Parse(s, Bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Errorf("round trip failed:\n%s\nvs\n%s", s, back)
+	}
+	if strings.Count(s, "\n") != 3 {
+		t.Errorf("string rows: %q", s)
+	}
+}
+
+func TestScalabilityStudySmall(t *testing.T) {
+	res, err := ScalabilityStudy(64, 4, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) != 3 {
+		t.Fatalf("rows: %+v", res.Table.Rows)
+	}
+	if res.Table.Rows[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %f", res.Table.Rows[0].Speedup)
+	}
+	// On a single-core container wall-clock speedup can be <= 1; the table
+	// must still be well-formed (positive times everywhere).
+	for _, r := range res.Table.Rows {
+		if r.Elapsed <= 0 {
+			t.Errorf("non-positive time at %d workers", r.Workers)
+		}
+	}
+}
+
+func TestRPentominoIsMethuselah(t *testing.T) {
+	// The R-pentomino grows well beyond its initial 5 cells — the timing
+	// experiment workload from the sequential lab.
+	g := mustGrid(t, 64, 64, Torus)
+	p, _ := Parse(PatternRPent, Torus)
+	g.Place(p, 30, 30)
+	g.StepN(100)
+	if g.Population() <= 20 {
+		t.Errorf("R-pentomino after 100 gens has population %d, expected growth", g.Population())
+	}
+}
+
+func TestStridedPartitioningMatchesSequential(t *testing.T) {
+	for _, threads := range []int{2, 3, 5, 8} {
+		seq := mustGrid(t, 40, 31, Torus)
+		seq.Seed(0.4, 77)
+		par := seq.Clone()
+		seq.StepN(9)
+		if err := par.StepNParallelStrided(9, threads); err != nil {
+			t.Fatal(err)
+		}
+		if !par.Equal(seq) {
+			t.Errorf("threads=%d: strided decomposition diverges", threads)
+		}
+	}
+	g := mustGrid(t, 4, 4, Torus)
+	if err := g.StepNParallelStrided(1, 0); err == nil {
+		t.Error("0 threads should error")
+	}
+}

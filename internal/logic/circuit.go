@@ -1,0 +1,325 @@
+// Package logic implements the CS31 "Building an ALU" lab: a gate-level
+// digital logic simulator. Circuits are built from primitive gates wired
+// together, evaluated by topological propagation, and composed into the
+// standard combinational building blocks (adders, multiplexers, decoders)
+// up to a complete N-bit ALU with condition flags, plus the sequential
+// elements (latches, flip-flops, registers, RAM) used in the storage
+// lectures.
+package logic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wire identifies a single boolean signal inside a Circuit.
+type Wire int
+
+// GateKind enumerates the primitive gates available to circuits.
+type GateKind int
+
+// The primitive gate kinds. BUF copies its input; it exists so named
+// outputs can alias internal wires without special cases.
+const (
+	AND GateKind = iota
+	OR
+	NOT
+	NAND
+	NOR
+	XOR
+	XNOR
+	BUF
+)
+
+// String returns the human-readable name.
+func (k GateKind) String() string {
+	switch k {
+	case AND:
+		return "AND"
+	case OR:
+		return "OR"
+	case NOT:
+		return "NOT"
+	case NAND:
+		return "NAND"
+	case NOR:
+		return "NOR"
+	case XOR:
+		return "XOR"
+	case XNOR:
+		return "XNOR"
+	case BUF:
+		return "BUF"
+	}
+	return "?"
+}
+
+type gate struct {
+	kind GateKind
+	in   []Wire
+	out  Wire
+}
+
+// Circuit is a combinational network of gates. Wires are created with
+// Input or as gate outputs; Evaluate propagates values in topological
+// order. Circuits are cheap to build and deterministic to evaluate.
+type Circuit struct {
+	gates    []gate
+	nwires   int
+	inputs   []Wire
+	driver   map[Wire]int // wire -> gate index driving it
+	order    []int        // cached topological order of gate indices
+	dirty    bool
+	constant map[Wire]bool // wires pinned to constants
+}
+
+// New creates an empty circuit.
+func New() *Circuit {
+	return &Circuit{driver: make(map[Wire]int), constant: make(map[Wire]bool), dirty: true}
+}
+
+// Input allocates a primary input wire whose value is supplied at
+// evaluation time.
+func (c *Circuit) Input() Wire {
+	w := Wire(c.nwires)
+	c.nwires++
+	c.inputs = append(c.inputs, w)
+	return w
+}
+
+// Inputs allocates n primary input wires.
+func (c *Circuit) Inputs(n int) []Wire {
+	ws := make([]Wire, n)
+	for i := range ws {
+		ws[i] = c.Input()
+	}
+	return ws
+}
+
+// Const allocates a wire pinned to the value v.
+func (c *Circuit) Const(v bool) Wire {
+	w := Wire(c.nwires)
+	c.nwires++
+	c.constant[w] = v
+	return w
+}
+
+// Gate adds a primitive gate over the given input wires and returns its
+// output wire. NOT and BUF take one input; every other kind takes two or
+// more (multi-input gates are the natural reading of the schematic form).
+func (c *Circuit) Gate(kind GateKind, in ...Wire) Wire {
+	switch kind {
+	case NOT, BUF:
+		if len(in) != 1 {
+			panic(fmt.Sprintf("logic: %v takes exactly 1 input, got %d", kind, len(in)))
+		}
+	default:
+		if len(in) < 2 {
+			panic(fmt.Sprintf("logic: %v takes at least 2 inputs, got %d", kind, len(in)))
+		}
+	}
+	for _, w := range in {
+		if int(w) >= c.nwires || w < 0 {
+			panic(fmt.Sprintf("logic: unknown wire %d", w))
+		}
+	}
+	out := Wire(c.nwires)
+	c.nwires++
+	c.gates = append(c.gates, gate{kind: kind, in: append([]Wire(nil), in...), out: out})
+	c.driver[out] = len(c.gates) - 1
+	c.dirty = true
+	return out
+}
+
+// And adds a two-input AND gate and returns its output wire.
+func (c *Circuit) And(a, b Wire) Wire { return c.Gate(AND, a, b) }
+
+// Or adds a two-input OR gate and returns its output wire.
+func (c *Circuit) Or(a, b Wire) Wire { return c.Gate(OR, a, b) }
+
+// Not adds an inverter and returns its output wire.
+func (c *Circuit) Not(a Wire) Wire { return c.Gate(NOT, a) }
+
+// Nand adds a two-input NAND gate and returns its output wire.
+func (c *Circuit) Nand(a, b Wire) Wire { return c.Gate(NAND, a, b) }
+
+// Nor adds a two-input NOR gate and returns its output wire.
+func (c *Circuit) Nor(a, b Wire) Wire { return c.Gate(NOR, a, b) }
+
+// Xor adds a two-input XOR gate and returns its output wire.
+func (c *Circuit) Xor(a, b Wire) Wire { return c.Gate(XOR, a, b) }
+
+// Xnor adds a two-input XNOR gate and returns its output wire.
+func (c *Circuit) Xnor(a, b Wire) Wire { return c.Gate(XNOR, a, b) }
+
+// GateCount returns the number of primitive gates in the circuit,
+// excluding BUFs (which are wiring, not logic).
+func (c *Circuit) GateCount() int {
+	n := 0
+	for _, g := range c.gates {
+		if g.kind != BUF {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrCycle is returned when a combinational circuit contains a feedback
+// loop (which requires a sequential element to be meaningful).
+var ErrCycle = errors.New("logic: combinational cycle detected")
+
+// topoSort computes (and caches) a topological order of the gates using
+// Kahn's algorithm over wire dependencies.
+func (c *Circuit) topoSort() error {
+	if !c.dirty {
+		return nil
+	}
+	indeg := make([]int, len(c.gates))
+	dependents := make(map[int][]int) // gate -> gates consuming its output
+	for gi, g := range c.gates {
+		for _, w := range g.in {
+			if di, ok := c.driver[w]; ok {
+				indeg[gi]++
+				dependents[di] = append(dependents[di], gi)
+			}
+		}
+	}
+	queue := make([]int, 0, len(c.gates))
+	for gi := range c.gates {
+		if indeg[gi] == 0 {
+			queue = append(queue, gi)
+		}
+	}
+	order := make([]int, 0, len(c.gates))
+	for len(queue) > 0 {
+		gi := queue[0]
+		queue = queue[1:]
+		order = append(order, gi)
+		for _, d := range dependents[gi] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if len(order) != len(c.gates) {
+		return ErrCycle
+	}
+	c.order = order
+	c.dirty = false
+	return nil
+}
+
+// Evaluate computes the value of every wire given an assignment of the
+// primary inputs. Missing inputs default to false. It returns the full
+// wire-value vector, indexable by Wire.
+func (c *Circuit) Evaluate(in map[Wire]bool) ([]bool, error) {
+	if err := c.topoSort(); err != nil {
+		return nil, err
+	}
+	vals := make([]bool, c.nwires)
+	for w, v := range c.constant {
+		vals[w] = v
+	}
+	for w, v := range in {
+		if int(w) >= c.nwires {
+			return nil, fmt.Errorf("logic: unknown input wire %d", w)
+		}
+		vals[w] = v
+	}
+	for _, gi := range c.order {
+		g := c.gates[gi]
+		vals[g.out] = evalGate(g.kind, g.in, vals)
+	}
+	return vals, nil
+}
+
+func evalGate(kind GateKind, in []Wire, vals []bool) bool {
+	switch kind {
+	case NOT:
+		return !vals[in[0]]
+	case BUF:
+		return vals[in[0]]
+	case AND, NAND:
+		r := true
+		for _, w := range in {
+			r = r && vals[w]
+		}
+		if kind == NAND {
+			return !r
+		}
+		return r
+	case OR, NOR:
+		r := false
+		for _, w := range in {
+			r = r || vals[w]
+		}
+		if kind == NOR {
+			return !r
+		}
+		return r
+	case XOR, XNOR:
+		r := false
+		for _, w := range in {
+			r = r != vals[w]
+		}
+		if kind == XNOR {
+			return !r
+		}
+		return r
+	}
+	panic("logic: unknown gate kind")
+}
+
+// Depth returns the propagation depth (longest gate chain) from any
+// primary input or constant to the given wire — the quantity that bounds
+// the circuit's clock rate in the lecture on circuit timing. BUF gates
+// contribute no depth.
+func (c *Circuit) Depth(w Wire) (int, error) {
+	if err := c.topoSort(); err != nil {
+		return 0, err
+	}
+	depth := make([]int, c.nwires)
+	for _, gi := range c.order {
+		g := c.gates[gi]
+		d := 0
+		for _, in := range g.in {
+			if depth[in] > d {
+				d = depth[in]
+			}
+		}
+		if g.kind != BUF {
+			d++
+		}
+		depth[g.out] = d
+	}
+	if int(w) >= c.nwires || w < 0 {
+		return 0, fmt.Errorf("logic: unknown wire %d", w)
+	}
+	return depth[w], nil
+}
+
+// TruthTable enumerates all 2^n assignments of the given input wires and
+// returns the value of out for each, in binary counting order (inputs[0]
+// is the most significant position). It is how the lab asks students to
+// check a built circuit against its specification.
+func (c *Circuit) TruthTable(inputs []Wire, out Wire) ([]bool, error) {
+	n := len(inputs)
+	if n > 20 {
+		return nil, fmt.Errorf("logic: truth table over %d inputs is too large", n)
+	}
+	rows := 1 << uint(n)
+	table := make([]bool, rows)
+	assign := make(map[Wire]bool, n)
+	for r := 0; r < rows; r++ {
+		for i, w := range inputs {
+			assign[w] = r&(1<<uint(n-1-i)) != 0
+		}
+		vals, err := c.Evaluate(assign)
+		if err != nil {
+			return nil, err
+		}
+		table[r] = vals[out]
+	}
+	return table, nil
+}

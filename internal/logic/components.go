@@ -1,0 +1,258 @@
+package logic
+
+import "fmt"
+
+// HalfAdder wires a half adder over inputs a and b, returning the sum and
+// carry wires: sum = a XOR b, carry = a AND b.
+func HalfAdder(c *Circuit, a, b Wire) (sum, carry Wire) {
+	return c.Xor(a, b), c.And(a, b)
+}
+
+// FullAdder wires a full adder over a, b, and carry-in, built from two
+// half adders and an OR — the construction drawn in the lab handout.
+func FullAdder(c *Circuit, a, b, cin Wire) (sum, carry Wire) {
+	s1, c1 := HalfAdder(c, a, b)
+	s2, c2 := HalfAdder(c, s1, cin)
+	return s2, c.Or(c1, c2)
+}
+
+// RippleCarryAdder wires an n-bit ripple-carry adder. Bit slices are
+// little-endian: a[0] is the least significant bit. It returns the sum
+// bits and the carry-out of the most significant full adder.
+func RippleCarryAdder(c *Circuit, a, b []Wire, cin Wire) (sum []Wire, cout Wire) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("logic: adder width mismatch %d vs %d", len(a), len(b)))
+	}
+	sum = make([]Wire, len(a))
+	carry := cin
+	for i := range a {
+		sum[i], carry = FullAdder(c, a[i], b[i], carry)
+	}
+	return sum, carry
+}
+
+// Mux2 wires a 2-to-1 multiplexer: out = sel ? b : a.
+func Mux2(c *Circuit, sel, a, b Wire) Wire {
+	return c.Or(c.And(c.Not(sel), a), c.And(sel, b))
+}
+
+// MuxN wires a 2^k-to-1 multiplexer over the given data wires using k
+// select lines (sel[0] is the least significant select bit). len(data)
+// must be a power of two equal to 2^len(sel).
+func MuxN(c *Circuit, sel []Wire, data []Wire) Wire {
+	if len(data) != 1<<uint(len(sel)) {
+		panic(fmt.Sprintf("logic: mux needs %d data wires for %d selects, got %d",
+			1<<uint(len(sel)), len(sel), len(data)))
+	}
+	if len(sel) == 0 {
+		return data[0]
+	}
+	half := len(data) / 2
+	lo := MuxN(c, sel[:len(sel)-1], data[:half])
+	hi := MuxN(c, sel[:len(sel)-1], data[half:])
+	return Mux2(c, sel[len(sel)-1], lo, hi)
+}
+
+// Decoder wires a k-to-2^k decoder: exactly one output is high, selected
+// by the binary value on sel (sel[0] least significant).
+func Decoder(c *Circuit, sel []Wire) []Wire {
+	n := 1 << uint(len(sel))
+	outs := make([]Wire, n)
+	notSel := make([]Wire, len(sel))
+	for i, s := range sel {
+		notSel[i] = c.Not(s)
+	}
+	for v := 0; v < n; v++ {
+		terms := make([]Wire, len(sel))
+		for i := range sel {
+			if v&(1<<uint(i)) != 0 {
+				terms[i] = sel[i]
+			} else {
+				terms[i] = notSel[i]
+			}
+		}
+		if len(terms) == 1 {
+			outs[v] = c.Gate(BUF, terms[0])
+		} else {
+			outs[v] = c.Gate(AND, terms...)
+		}
+	}
+	return outs
+}
+
+// EqualComparator wires an n-bit equality comparator: out is high when
+// a == b bitwise, built from XNORs feeding an AND tree.
+func EqualComparator(c *Circuit, a, b []Wire) Wire {
+	if len(a) != len(b) {
+		panic("logic: comparator width mismatch")
+	}
+	eqs := make([]Wire, len(a))
+	for i := range a {
+		eqs[i] = c.Xnor(a[i], b[i])
+	}
+	if len(eqs) == 1 {
+		return c.Gate(BUF, eqs[0])
+	}
+	return c.Gate(AND, eqs...)
+}
+
+// ALUOp selects the operation an ALU performs, matching the opcode table
+// in the lab handout.
+type ALUOp int
+
+// The ALU operations.
+const (
+	ALUAnd ALUOp = iota
+	ALUOr
+	ALUAdd
+	ALUSub
+	ALUXor
+	ALUNor
+	ALUSlt // set-on-less-than (signed): result = 1 if a < b else 0
+)
+
+// String returns the human-readable name.
+func (op ALUOp) String() string {
+	return [...]string{"AND", "OR", "ADD", "SUB", "XOR", "NOR", "SLT"}[op]
+}
+
+// ALU is an n-bit arithmetic-logic unit built entirely from gates. Its
+// inputs are two n-bit operands and three op-select lines; its outputs
+// are the n-bit result plus the four condition flags CS31 teaches.
+type ALU struct {
+	Circuit *Circuit
+	A, B    []Wire // operand inputs, little-endian
+	Op      []Wire // 3 select lines, little-endian
+	Result  []Wire
+	Zero    Wire
+	Neg     Wire
+	Carry   Wire // carry-out of the adder (borrow for SUB, x86 convention inverted at Run)
+	Ovf     Wire // signed overflow of the adder
+	width   int
+}
+
+// NewALU builds an n-bit ALU. The construction mirrors the classic MIPS
+// datapath figure: one shared adder whose B input is XORed with the
+// subtract line (two's complement via inverted operand + carry-in), and a
+// final operation multiplexer per bit.
+func NewALU(width int) *ALU {
+	c := New()
+	a := c.Inputs(width)
+	b := c.Inputs(width)
+	op := c.Inputs(3)
+
+	// subtract line: high for SUB (op=3) and SLT (op=6).
+	// op encodings: 011 = SUB, 110 = SLT.
+	isSub := c.And(op[0], c.And(op[1], c.Not(op[2])))
+	isSlt := c.And(c.Not(op[0]), c.And(op[1], op[2]))
+	subLine := c.Or(isSub, isSlt)
+
+	bEff := make([]Wire, width)
+	for i := range bEff {
+		bEff[i] = c.Xor(b[i], subLine)
+	}
+	sum, cout := RippleCarryAdder(c, a, bEff, subLine)
+
+	// Signed overflow: carry into MSB != carry out of MSB. Recompute the
+	// carry into the MSB as FullAdder majority over the (width-1) prefix: we
+	// can recover it as sum[msb] XOR a[msb] XOR bEff[msb].
+	msb := width - 1
+	carryIntoMSB := c.Xor(sum[msb], c.Xor(a[msb], bEff[msb]))
+	ovf := c.Xor(carryIntoMSB, cout)
+
+	// SLT result: 1 when (a-b) is negative, corrected for overflow:
+	// less = sum[msb] XOR ovf.
+	less := c.Xor(sum[msb], ovf)
+
+	and := make([]Wire, width)
+	or := make([]Wire, width)
+	xor := make([]Wire, width)
+	nor := make([]Wire, width)
+	for i := 0; i < width; i++ {
+		and[i] = c.And(a[i], b[i])
+		or[i] = c.Or(a[i], b[i])
+		xor[i] = c.Xor(a[i], b[i])
+		nor[i] = c.Nor(a[i], b[i])
+	}
+	zero := c.Const(false)
+	result := make([]Wire, width)
+	for i := 0; i < width; i++ {
+		sltBit := zero
+		if i == 0 {
+			sltBit = less
+		}
+		// 8-way mux over op (op=7 unused, wired to zero).
+		result[i] = MuxN(c, op, []Wire{
+			and[i], // 000 AND
+			or[i],  // 001 OR
+			sum[i], // 010 ADD
+			sum[i], // 011 SUB (adder already in subtract mode)
+			xor[i], // 100 XOR
+			nor[i], // 101 NOR
+			sltBit, // 110 SLT
+			zero,   // 111 unused
+		})
+	}
+
+	// Zero flag: NOR over all result bits.
+	zeroFlag := c.Gate(NOR, result...)
+	if width == 1 {
+		zeroFlag = c.Not(result[0])
+	}
+
+	return &ALU{
+		Circuit: c, A: a, B: b, Op: op,
+		Result: result,
+		Zero:   zeroFlag,
+		Neg:    c.Gate(BUF, result[msb]),
+		Carry:  c.Gate(BUF, cout),
+		Ovf:    c.Gate(BUF, ovf),
+		width:  width,
+	}
+}
+
+// ALUFlags holds the decoded condition-flag outputs of a Run.
+type ALUFlags struct {
+	Zero, Negative, Carry, Overflow bool
+}
+
+// Run drives the ALU with concrete operand values and an operation,
+// evaluating the underlying gate network. For SUB and SLT, the Carry flag
+// follows the x86 borrow convention (set when unsigned a < unsigned b).
+func (u *ALU) Run(a, b uint64, op ALUOp) (uint64, ALUFlags, error) {
+	in := make(map[Wire]bool, 2*u.width+3)
+	for i := 0; i < u.width; i++ {
+		in[u.A[i]] = a&(1<<uint(i)) != 0
+		in[u.B[i]] = b&(1<<uint(i)) != 0
+	}
+	for i := 0; i < 3; i++ {
+		in[u.Op[i]] = int(op)&(1<<uint(i)) != 0
+	}
+	vals, err := u.Circuit.Evaluate(in)
+	if err != nil {
+		return 0, ALUFlags{}, err
+	}
+	var res uint64
+	for i := 0; i < u.width; i++ {
+		if vals[u.Result[i]] {
+			res |= 1 << uint(i)
+		}
+	}
+	carry := vals[u.Carry]
+	if op == ALUSub || op == ALUSlt {
+		carry = !carry // adder carry-out means "no borrow" in subtract mode
+	}
+	fl := ALUFlags{
+		Zero:     vals[u.Zero],
+		Negative: vals[u.Neg],
+		Carry:    carry,
+		Overflow: vals[u.Ovf],
+	}
+	if op != ALUAdd && op != ALUSub && op != ALUSlt {
+		fl.Carry, fl.Overflow = false, false // logic ops clear arithmetic flags
+	}
+	return res, fl, nil
+}
+
+// Width returns the operand width in bits.
+func (u *ALU) Width() int { return u.width }

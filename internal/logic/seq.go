@@ -1,0 +1,148 @@
+package logic
+
+import "fmt"
+
+// This file implements the sequential (stateful) elements from the storage
+// circuits lecture: the SR latch, the clocked D flip-flop, multi-bit
+// registers, a counter, and a small word-addressed RAM. They are modelled
+// behaviourally at the level of latched state plus a clock edge, which is
+// how the course presents them after the gate-level SR-latch derivation.
+
+// SRLatch is a set-reset latch. Set and Reset are level inputs; Q is the
+// stored bit. Driving both high is the forbidden state and is reported as
+// an error rather than modelled as metastability.
+type SRLatch struct {
+	q bool
+}
+
+// Apply drives the latch inputs and returns the new stored value.
+func (l *SRLatch) Apply(set, reset bool) (bool, error) {
+	switch {
+	case set && reset:
+		return l.q, fmt.Errorf("logic: SR latch forbidden state (S=R=1)")
+	case set:
+		l.q = true
+	case reset:
+		l.q = false
+	}
+	return l.q, nil
+}
+
+// Q returns the currently stored bit.
+func (l *SRLatch) Q() bool { return l.q }
+
+// DFlipFlop is a positive-edge-triggered D flip-flop: the input D is
+// captured into Q on each Clock call.
+type DFlipFlop struct {
+	q bool
+}
+
+// Clock presents a rising clock edge with input d, returning the new Q.
+func (f *DFlipFlop) Clock(d bool) bool {
+	f.q = d
+	return f.q
+}
+
+// Q returns the currently stored bit.
+func (f *DFlipFlop) Q() bool { return f.q }
+
+// Register is an n-bit clocked register with a write-enable, built from D
+// flip-flops.
+type Register struct {
+	ffs []DFlipFlop
+}
+
+// NewRegister creates an n-bit register initialized to zero.
+func NewRegister(n int) *Register {
+	return &Register{ffs: make([]DFlipFlop, n)}
+}
+
+// Width returns the register width in bits.
+func (r *Register) Width() int { return len(r.ffs) }
+
+// Clock presents a clock edge. When writeEnable is high the low Width bits
+// of d are captured; otherwise the register retains its value.
+func (r *Register) Clock(d uint64, writeEnable bool) uint64 {
+	if writeEnable {
+		for i := range r.ffs {
+			r.ffs[i].Clock(d&(1<<uint(i)) != 0)
+		}
+	}
+	return r.Value()
+}
+
+// Value returns the currently stored value.
+func (r *Register) Value() uint64 {
+	var v uint64
+	for i := range r.ffs {
+		if r.ffs[i].Q() {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Counter is an n-bit counter register that increments on each enabled
+// clock, wrapping at 2^n — the program-counter model.
+type Counter struct {
+	reg   *Register
+	width int
+}
+
+// NewCounter creates an n-bit counter starting at zero.
+func NewCounter(n int) *Counter {
+	return &Counter{reg: NewRegister(n), width: n}
+}
+
+// Clock advances the counter when enable is high and returns the new value.
+func (c *Counter) Clock(enable bool) uint64 {
+	if enable {
+		next := c.reg.Value() + 1
+		if c.width < 64 {
+			next &= (1 << uint(c.width)) - 1
+		}
+		c.reg.Clock(next, true)
+	}
+	return c.reg.Value()
+}
+
+// Load sets the counter to v on the next clock (a jump).
+func (c *Counter) Load(v uint64) {
+	if c.width < 64 {
+		v &= (1 << uint(c.width)) - 1
+	}
+	c.reg.Clock(v, true)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.reg.Value() }
+
+// RAM is a word-addressed random-access memory built from registers, with
+// the one-read-or-write-per-clock interface of the storage lecture.
+type RAM struct {
+	words []uint64
+	width int
+}
+
+// NewRAM creates a RAM with the given number of words of width bits each.
+func NewRAM(words, width int) *RAM {
+	return &RAM{words: make([]uint64, words), width: width}
+}
+
+// Size returns the number of words.
+func (m *RAM) Size() int { return len(m.words) }
+
+// Clock performs one memory cycle: when write is high, data is stored at
+// addr; the value at addr (after any write) is returned on the read port.
+func (m *RAM) Clock(addr int, data uint64, write bool) (uint64, error) {
+	if addr < 0 || addr >= len(m.words) {
+		return 0, fmt.Errorf("logic: RAM address %d out of range [0,%d)", addr, len(m.words))
+	}
+	if write {
+		if m.width < 64 {
+			data &= (1 << uint(m.width)) - 1
+		}
+		m.words[addr] = data
+	}
+	return m.words[addr], nil
+}

@@ -1,0 +1,254 @@
+// Package mapreduce implements the MapReduce programming model planned
+// for the CS87 Hadoop lab: user map and reduce functions, hash
+// partitioning into reduce buckets, optional combiners, a pool of
+// concurrent workers, and worker-failure injection with task re-execution
+// — the fault-tolerance mechanism that motivates the model.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// KV is one intermediate key/value pair.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// MapFunc consumes one input split and emits intermediate pairs.
+type MapFunc func(split string, emit func(key, value string))
+
+// ReduceFunc folds all values for one key into a single result.
+type ReduceFunc func(key string, values []string) string
+
+// Config parameterizes a job.
+type Config struct {
+	Workers  int // concurrent mappers/reducers
+	Reducers int // number of reduce partitions
+	// Combiner, when non-nil, pre-reduces each mapper's local output.
+	Combiner ReduceFunc
+	// FailTask, when non-nil, reports whether a task should fail on this
+	// attempt — the fault-injection hook. Failed tasks are retried.
+	FailTask func(phase string, task, attempt int) bool
+	// MaxAttempts bounds retries per task (default 3).
+	MaxAttempts int
+}
+
+// Stats reports a finished job.
+type Stats struct {
+	MapTasks     int
+	ReduceTasks  int
+	Retries      int
+	Intermediate int // pairs after combining
+}
+
+// ErrTaskFailed is returned when a task exhausts its attempts.
+var ErrTaskFailed = errors.New("mapreduce: task exceeded retry budget")
+
+// Partition returns the reduce bucket for a key (deterministic FNV hash).
+func Partition(key string, reducers int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(reducers))
+}
+
+// Run executes a job over the input splits and returns the final
+// key->value results.
+func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[string]string, Stats, error) {
+	if mapf == nil || reducef == nil {
+		return nil, Stats{}, errors.New("mapreduce: map and reduce functions required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Reducers <= 0 {
+		cfg.Reducers = 4
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	st := Stats{MapTasks: len(inputs), ReduceTasks: cfg.Reducers}
+
+	// --- map phase ---
+	// buckets[r] collects pairs destined for reducer r.
+	buckets := make([][]KV, cfg.Reducers)
+	var bucketMu sync.Mutex
+	var retries int
+	var retryMu sync.Mutex
+
+	runTask := func(phase string, id int, attemptable func() ([]KV, error)) ([]KV, error) {
+		for attempt := 1; ; attempt++ {
+			if attempt > cfg.MaxAttempts {
+				return nil, fmt.Errorf("%w: %s task %d", ErrTaskFailed, phase, id)
+			}
+			if cfg.FailTask != nil && cfg.FailTask(phase, id, attempt) {
+				retryMu.Lock()
+				retries++
+				retryMu.Unlock()
+				continue // the "worker died, reschedule" path
+			}
+			return attemptable()
+		}
+	}
+
+	mapErrs := make([]error, len(inputs))
+	sem := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	for i, split := range inputs {
+		wg.Add(1)
+		go func(i int, split string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out, err := runTask("map", i, func() ([]KV, error) {
+				var local []KV
+				mapf(split, func(k, v string) { local = append(local, KV{k, v}) })
+				if cfg.Combiner != nil {
+					local = combine(local, cfg.Combiner)
+				}
+				return local, nil
+			})
+			if err != nil {
+				mapErrs[i] = err
+				return
+			}
+			bucketMu.Lock()
+			for _, kv := range out {
+				r := Partition(kv.Key, cfg.Reducers)
+				buckets[r] = append(buckets[r], kv)
+			}
+			bucketMu.Unlock()
+		}(i, split)
+	}
+	wg.Wait()
+	for _, err := range mapErrs {
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	for _, b := range buckets {
+		st.Intermediate += len(b)
+	}
+
+	// --- reduce phase ---
+	results := make(map[string]string)
+	var resMu sync.Mutex
+	redErrs := make([]error, cfg.Reducers)
+	for r := 0; r < cfg.Reducers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out, err := runTask("reduce", r, func() ([]KV, error) {
+				grouped := groupByKey(buckets[r])
+				var local []KV
+				for _, g := range grouped {
+					local = append(local, KV{g.key, reducef(g.key, g.values)})
+				}
+				return local, nil
+			})
+			if err != nil {
+				redErrs[r] = err
+				return
+			}
+			resMu.Lock()
+			for _, kv := range out {
+				results[kv.Key] = kv.Value
+			}
+			resMu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range redErrs {
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	retryMu.Lock()
+	st.Retries = retries
+	retryMu.Unlock()
+	return results, st, nil
+}
+
+type group struct {
+	key    string
+	values []string
+}
+
+// groupByKey sorts pairs by key and groups adjacent values — the shuffle
+// sort.
+func groupByKey(kvs []KV) []group {
+	sorted := append([]KV(nil), kvs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var out []group
+	for _, kv := range sorted {
+		if len(out) > 0 && out[len(out)-1].key == kv.Key {
+			out[len(out)-1].values = append(out[len(out)-1].values, kv.Value)
+			continue
+		}
+		out = append(out, group{key: kv.Key, values: []string{kv.Value}})
+	}
+	return out
+}
+
+// combine applies a combiner to a mapper's local output.
+func combine(kvs []KV, combiner ReduceFunc) []KV {
+	var out []KV
+	for _, g := range groupByKey(kvs) {
+		out = append(out, KV{g.key, combiner(g.key, g.values)})
+	}
+	return out
+}
+
+// --- canonical jobs ---
+
+// WordCountMap tokenizes on non-letter boundaries and emits (word, "1").
+func WordCountMap(split string, emit func(k, v string)) {
+	for _, w := range strings.FieldsFunc(strings.ToLower(split), func(r rune) bool {
+		return !((r >= 'a' && r <= 'z') || (r >= '0' && r <= '9'))
+	}) {
+		emit(w, "1")
+	}
+}
+
+// WordCountReduce sums the counts for one word.
+func WordCountReduce(_ string, values []string) string {
+	total := 0
+	for _, v := range values {
+		n := 0
+		for _, c := range v {
+			n = n*10 + int(c-'0')
+		}
+		total += n
+	}
+	return fmt.Sprintf("%d", total)
+}
+
+// InvertedIndexMap emits (word, splitID) pairs; splits are "id\tbody".
+func InvertedIndexMap(split string, emit func(k, v string)) {
+	parts := strings.SplitN(split, "\t", 2)
+	if len(parts) != 2 {
+		return
+	}
+	id, body := parts[0], parts[1]
+	seen := map[string]bool{}
+	WordCountMap(body, func(w, _ string) {
+		if !seen[w] {
+			seen[w] = true
+			emit(w, id)
+		}
+	})
+}
+
+// InvertedIndexReduce joins the sorted document list for one word.
+func InvertedIndexReduce(_ string, values []string) string {
+	sorted := append([]string(nil), values...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, ",")
+}

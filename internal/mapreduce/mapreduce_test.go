@@ -1,0 +1,212 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var docs = []string{
+	"the quick brown fox jumps over the lazy dog",
+	"the dog barks and the fox runs",
+	"lazy afternoons and quick decisions",
+}
+
+func TestWordCount(t *testing.T) {
+	res, st, err := Run(Config{Workers: 3, Reducers: 4}, docs, WordCountMap, WordCountReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for word, want := range map[string]string{
+		"the": "4", "dog": "2", "fox": "2", "lazy": "2", "quick": "2", "barks": "1",
+	} {
+		if res[word] != want {
+			t.Errorf("count[%s] = %q, want %s", word, res[word], want)
+		}
+	}
+	if st.MapTasks != 3 || st.ReduceTasks != 4 || st.Retries != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestCombinerEquivalence(t *testing.T) {
+	plain, _, err := Run(Config{Workers: 2, Reducers: 3}, docs, WordCountMap, WordCountReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, st, err := Run(Config{Workers: 2, Reducers: 3, Combiner: WordCountReduce},
+		docs, WordCountMap, WordCountReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(combined) {
+		t.Fatalf("result sizes differ: %d vs %d", len(plain), len(combined))
+	}
+	for k, v := range plain {
+		if combined[k] != v {
+			t.Errorf("combiner changed %s: %s vs %s", k, v, combined[k])
+		}
+	}
+	// The combiner must shrink intermediate traffic ("the" appears twice in
+	// one doc).
+	plainRun, _, _ := Run(Config{Workers: 2, Reducers: 3}, docs, WordCountMap, WordCountReduce)
+	_ = plainRun
+	if st.Intermediate <= 0 {
+		t.Error("no intermediate accounting")
+	}
+	_, noComb, _ := Run(Config{Workers: 2, Reducers: 3}, docs, WordCountMap, WordCountReduce)
+	if st.Intermediate >= noComb.Intermediate {
+		t.Errorf("combiner intermediate %d should be < plain %d", st.Intermediate, noComb.Intermediate)
+	}
+}
+
+func TestFailureInjectionRecovers(t *testing.T) {
+	// Every map task fails on its first attempt; every reduce task fails
+	// twice. The job must still produce correct results.
+	cfg := Config{
+		Workers: 2, Reducers: 3, MaxAttempts: 5,
+		FailTask: func(phase string, task, attempt int) bool {
+			if phase == "map" {
+				return attempt == 1
+			}
+			return attempt <= 2
+		},
+	}
+	res, st, err := Run(cfg, docs, WordCountMap, WordCountReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["the"] != "4" {
+		t.Errorf("count after failures = %q", res["the"])
+	}
+	wantRetries := len(docs)*1 + 3*2
+	if st.Retries != wantRetries {
+		t.Errorf("retries = %d, want %d", st.Retries, wantRetries)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	cfg := Config{
+		Workers: 2, Reducers: 2, MaxAttempts: 2,
+		FailTask: func(phase string, task, attempt int) bool {
+			return phase == "map" && task == 0 // task 0 always fails
+		},
+	}
+	_, _, err := Run(cfg, docs, WordCountMap, WordCountReduce)
+	if !errors.Is(err, ErrTaskFailed) {
+		t.Errorf("expected ErrTaskFailed, got %v", err)
+	}
+}
+
+func TestInvertedIndex(t *testing.T) {
+	inputs := []string{
+		"d1\tparallel computing with threads",
+		"d2\tdistributed computing with messages",
+		"d3\tthreads and messages",
+	}
+	res, _, err := Run(Config{Workers: 3, Reducers: 2}, inputs, InvertedIndexMap, InvertedIndexReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["computing"] != "d1,d2" {
+		t.Errorf("computing -> %q", res["computing"])
+	}
+	if res["threads"] != "d1,d3" {
+		t.Errorf("threads -> %q", res["threads"])
+	}
+	if res["and"] != "d3" {
+		t.Errorf("and -> %q", res["and"])
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	base, _, err := Run(Config{Workers: 1, Reducers: 1}, docs, WordCountMap, WordCountReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		for _, r := range []int{1, 3, 7} {
+			res, _, err := Run(Config{Workers: w, Reducers: r}, docs, WordCountMap, WordCountReduce)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != len(base) {
+				t.Fatalf("w=%d r=%d: %d keys vs %d", w, r, len(res), len(base))
+			}
+			for k, v := range base {
+				if res[k] != v {
+					t.Errorf("w=%d r=%d: %s = %q, want %q", w, r, k, res[k], v)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionStableAndInRange(t *testing.T) {
+	f := func(key string, rRaw uint8) bool {
+		r := int(rRaw%16) + 1
+		p1 := Partition(key, r)
+		p2 := Partition(key, r)
+		return p1 == p2 && p1 >= 0 && p1 < r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordCountMatchesNaive(t *testing.T) {
+	f := func(words []string) bool {
+		// Build a document from sanitized words.
+		var clean []string
+		for _, w := range words {
+			w = strings.Map(func(r rune) rune {
+				if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+					return r
+				}
+				return -1
+			}, strings.ToLower(w))
+			if w != "" {
+				clean = append(clean, w)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		doc := strings.Join(clean, " ")
+		naive := map[string]int{}
+		for _, w := range clean {
+			naive[w]++
+		}
+		res, _, err := Run(Config{Workers: 3, Reducers: 3}, []string{doc}, WordCountMap, WordCountReduce)
+		if err != nil {
+			return false
+		}
+		if len(res) != len(naive) {
+			return false
+		}
+		for w, n := range naive {
+			if res[w] != fmt.Sprintf("%d", n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, _, err := Run(Config{}, docs, nil, WordCountReduce); err == nil {
+		t.Error("nil map func should error")
+	}
+	if _, _, err := Run(Config{}, docs, WordCountMap, nil); err == nil {
+		t.Error("nil reduce func should error")
+	}
+	res, st, err := Run(Config{}, nil, WordCountMap, WordCountReduce)
+	if err != nil || len(res) != 0 || st.MapTasks != 0 {
+		t.Errorf("empty input: %v %v", res, err)
+	}
+}

@@ -1,0 +1,308 @@
+// Package mem implements the CS31 memory-hierarchy unit as an executable
+// model: parameterized set-associative caches (direct-mapped through fully
+// associative, LRU/FIFO/random replacement, write-through or write-back
+// with write-allocate), multi-level hierarchies with AMAT accounting,
+// address-trace generators for the locality experiments (row-major versus
+// column-major matrix traversal), and a virtual-memory simulator (page
+// tables, TLB, demand paging with FIFO/LRU/Clock replacement).
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Replacement selects a cache line (or page) victim policy.
+type Replacement int
+
+// The replacement policies.
+const (
+	LRU Replacement = iota
+	FIFO
+	Random
+)
+
+// String returns the human-readable name.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "random"
+	}
+	return "?"
+}
+
+// WritePolicy selects how stores interact with lower levels.
+type WritePolicy int
+
+// The write policies. Both allocate on write miss.
+const (
+	WriteBack WritePolicy = iota
+	WriteThrough
+)
+
+// String returns the human-readable name.
+func (w WritePolicy) String() string {
+	if w == WriteBack {
+		return "write-back"
+	}
+	return "write-through"
+}
+
+// CacheConfig parameterizes one cache level.
+type CacheConfig struct {
+	SizeBytes  int // total capacity
+	BlockBytes int // line size
+	Assoc      int // ways per set; 0 means fully associative
+	Policy     Replacement
+	Write      WritePolicy
+}
+
+// Validate checks the configuration for the power-of-two and divisibility
+// constraints the address decomposition requires.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.BlockBytes <= 0 {
+		return errors.New("mem: cache size and block size must be positive")
+	}
+	if !pow2(c.SizeBytes) || !pow2(c.BlockBytes) {
+		return errors.New("mem: cache size and block size must be powers of two")
+	}
+	if c.BlockBytes > c.SizeBytes {
+		return errors.New("mem: block larger than cache")
+	}
+	lines := c.SizeBytes / c.BlockBytes
+	assoc := c.Assoc
+	if assoc == 0 {
+		assoc = lines
+	}
+	if assoc < 0 || assoc > lines || lines%assoc != 0 {
+		return fmt.Errorf("mem: associativity %d incompatible with %d lines", assoc, lines)
+	}
+	if !pow2(lines / assoc) {
+		return errors.New("mem: set count must be a power of two")
+	}
+	return nil
+}
+
+func pow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// CacheStats counts the events of one cache level.
+type CacheStats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64 // dirty lines written down (write-back only)
+	Writedowns int64 // stores forwarded down immediately (write-through)
+}
+
+// HitRate returns hits/accesses.
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissRate returns 1 - HitRate for nonzero access counts.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	// lastUse and loadedAt implement LRU and FIFO with a logical clock.
+	lastUse  int64
+	loadedAt int64
+}
+
+// Cache is one level of set-associative cache.
+type Cache struct {
+	cfg   CacheConfig
+	sets  [][]line
+	assoc int
+	nsets int
+	boff  uint // block offset bits
+	sbits uint // set index bits
+	clock int64
+	rng   uint64
+	stats CacheStats
+}
+
+// NewCache builds a cache from a validated configuration.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := cfg.SizeBytes / cfg.BlockBytes
+	assoc := cfg.Assoc
+	if assoc == 0 {
+		assoc = lines
+	}
+	nsets := lines / assoc
+	c := &Cache{cfg: cfg, assoc: assoc, nsets: nsets, rng: 0x9e3779b97f4a7c15}
+	c.sets = make([][]line, nsets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, assoc)
+	}
+	for b := cfg.BlockBytes; b > 1; b >>= 1 {
+		c.boff++
+	}
+	for s := nsets; s > 1; s >>= 1 {
+		c.sbits++
+	}
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// AddressParts is the tag/set/offset decomposition taught in lecture.
+type AddressParts struct {
+	Tag    uint64
+	Set    uint64
+	Offset uint64
+}
+
+// Split decomposes an address for this cache's geometry.
+func (c *Cache) Split(addr uint64) AddressParts {
+	return AddressParts{
+		Offset: addr & ((1 << c.boff) - 1),
+		Set:    (addr >> c.boff) & ((1 << c.sbits) - 1),
+		Tag:    addr >> (c.boff + c.sbits),
+	}
+}
+
+// AccessResult describes what one access did, for the hierarchy to act on.
+type AccessResult struct {
+	Hit           bool
+	Evicted       bool
+	WritebackAddr uint64 // valid when WroteBack
+	WroteBack     bool
+	WroteThrough  bool // store must also be sent down (write-through)
+}
+
+// Access performs a load (write=false) or store (write=true) of the given
+// address. It returns what happened so a Hierarchy can propagate misses
+// and writebacks to the next level.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	c.clock++
+	c.stats.Accesses++
+	p := c.Split(addr)
+	set := c.sets[p.Set]
+
+	for i := range set {
+		if set[i].valid && set[i].tag == p.Tag {
+			c.stats.Hits++
+			set[i].lastUse = c.clock
+			var res AccessResult
+			res.Hit = true
+			if write {
+				if c.cfg.Write == WriteBack {
+					set[i].dirty = true
+				} else {
+					c.stats.Writedowns++
+					res.WroteThrough = true
+				}
+			}
+			return res
+		}
+	}
+
+	// Miss: choose a victim (write-allocate on stores too).
+	c.stats.Misses++
+	victim := c.pickVictim(set)
+	var res AccessResult
+	if set[victim].valid {
+		c.stats.Evictions++
+		res.Evicted = true
+		if set[victim].dirty {
+			c.stats.Writebacks++
+			res.WroteBack = true
+			res.WritebackAddr = c.reassemble(set[victim].tag, p.Set)
+		}
+	}
+	set[victim] = line{valid: true, tag: p.Tag, lastUse: c.clock, loadedAt: c.clock}
+	if write {
+		if c.cfg.Write == WriteBack {
+			set[victim].dirty = true
+		} else {
+			c.stats.Writedowns++
+			res.WroteThrough = true
+		}
+	}
+	return res
+}
+
+// Contains reports whether the address currently hits without touching
+// the replacement state (a debugging probe).
+func (c *Cache) Contains(addr uint64) bool {
+	p := c.Split(addr)
+	for _, ln := range c.sets[p.Set] {
+		if ln.valid && ln.tag == p.Tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) reassemble(tag, set uint64) uint64 {
+	return tag<<(c.boff+c.sbits) | set<<c.boff
+}
+
+func (c *Cache) pickVictim(set []line) int {
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+	}
+	switch c.cfg.Policy {
+	case FIFO:
+		best := 0
+		for i := range set {
+			if set[i].loadedAt < set[best].loadedAt {
+				best = i
+			}
+		}
+		return best
+	case Random:
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		return int(c.rng % uint64(len(set)))
+	default: // LRU
+		best := 0
+		for i := range set {
+			if set[i].lastUse < set[best].lastUse {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+// Flush invalidates every line, returning the number of dirty lines that
+// a write-back cache would have written down.
+func (c *Cache) Flush() int {
+	dirty := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid && c.sets[s][i].dirty {
+				dirty++
+			}
+			c.sets[s][i] = line{}
+		}
+	}
+	return dirty
+}

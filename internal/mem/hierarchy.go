@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level pairs a cache with its hit latency in cycles, for AMAT.
+type Level struct {
+	Cache   *Cache
+	Latency float64 // hit time of this level, cycles
+	Name    string
+}
+
+// Hierarchy is a multi-level cache hierarchy in front of main memory.
+// Accesses walk down on miss; write-backs and write-throughs are forwarded
+// to the next level (and ultimately counted as memory traffic).
+type Hierarchy struct {
+	Levels      []Level
+	MemLatency  float64 // main-memory access time, cycles
+	MemAccesses int64   // accesses that reached main memory
+}
+
+// NewHierarchy builds a hierarchy from levels ordered L1 first.
+func NewHierarchy(memLatency float64, levels ...Level) *Hierarchy {
+	return &Hierarchy{Levels: levels, MemLatency: memLatency}
+}
+
+// Access performs a load or store at the top level, propagating misses and
+// write traffic downward exactly once per level boundary.
+func (h *Hierarchy) Access(addr uint64, write bool) {
+	h.access(0, addr, write)
+}
+
+func (h *Hierarchy) access(levelIdx int, addr uint64, write bool) {
+	if levelIdx >= len(h.Levels) {
+		h.MemAccesses++
+		return
+	}
+	res := h.Levels[levelIdx].Cache.Access(addr, write)
+	if res.WroteBack {
+		// Dirty eviction: the victim line is written to the next level.
+		h.access(levelIdx+1, res.WritebackAddr, true)
+	}
+	if res.WroteThrough {
+		h.access(levelIdx+1, addr, true)
+	}
+	if !res.Hit {
+		// Miss fill from the next level (for write-through stores the
+		// write already went down; the allocate-fill read still occurs).
+		h.access(levelIdx+1, addr, false)
+	}
+}
+
+// AMAT computes the average memory access time from the measured per-level
+// miss rates: t1 + m1*(t2 + m2*(... + mk*tmem)).
+func (h *Hierarchy) AMAT() float64 {
+	amat := h.MemLatency
+	for i := len(h.Levels) - 1; i >= 0; i-- {
+		s := h.Levels[i].Cache.Stats()
+		amat = h.Levels[i].Latency + s.MissRate()*amat
+	}
+	return amat
+}
+
+// Report renders a per-level summary table for lab write-ups.
+func (h *Hierarchy) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %10s %10s %10s %8s %10s\n", "level", "accesses", "hits", "misses", "hit%", "writebacks")
+	for _, lv := range h.Levels {
+		s := lv.Cache.Stats()
+		fmt.Fprintf(&b, "%-6s %10d %10d %10d %7.2f%% %10d\n",
+			lv.Name, s.Accesses, s.Hits, s.Misses, 100*s.HitRate(), s.Writebacks)
+	}
+	fmt.Fprintf(&b, "%-6s %10d\n", "mem", h.MemAccesses)
+	fmt.Fprintf(&b, "AMAT = %.2f cycles\n", h.AMAT())
+	return b.String()
+}
+
+// --- address trace generators: the locality experiments ---
+
+// Access records one memory reference of a trace.
+type Access struct {
+	Addr  uint64
+	Write bool
+}
+
+// RowMajorTrace generates the addresses of summing an n×n matrix of
+// 8-byte elements row by row (the cache-friendly traversal).
+func RowMajorTrace(n int, base uint64) []Access {
+	t := make([]Access, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			t = append(t, Access{Addr: base + uint64(i*n+j)*8})
+		}
+	}
+	return t
+}
+
+// ColMajorTrace generates the same references column by column — the
+// traversal whose stride defeats spatial locality.
+func ColMajorTrace(n int, base uint64) []Access {
+	t := make([]Access, 0, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			t = append(t, Access{Addr: base + uint64(i*n+j)*8})
+		}
+	}
+	return t
+}
+
+// StrideTrace generates count references with the given byte stride.
+func StrideTrace(count int, stride, base uint64) []Access {
+	t := make([]Access, count)
+	for i := range t {
+		t[i] = Access{Addr: base + uint64(i)*stride}
+	}
+	return t
+}
+
+// RandomTrace generates count references uniformly over a span of bytes,
+// deterministically from seed.
+func RandomTrace(count int, span, base uint64, seed uint64) []Access {
+	if seed == 0 {
+		seed = 1
+	}
+	t := make([]Access, count)
+	s := seed
+	for i := range t {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		t[i] = Access{Addr: base + (s%span)&^7, Write: s&1 == 0}
+	}
+	return t
+}
+
+// Replay pushes a trace through a hierarchy.
+func (h *Hierarchy) Replay(trace []Access) {
+	for _, a := range trace {
+		h.Access(a.Addr, a.Write)
+	}
+}
+
+// ReplayCache pushes a trace through a single cache, ignoring the
+// propagation results (for single-level experiments).
+func ReplayCache(c *Cache, trace []Access) {
+	for _, a := range trace {
+		c.Access(a.Addr, a.Write)
+	}
+}

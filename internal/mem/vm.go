@@ -1,0 +1,257 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the virtual-memory half of the CS31 memory unit:
+// single-level page tables, a small fully associative TLB, and demand
+// paging over a fixed pool of physical frames with FIFO, LRU, or Clock
+// replacement. Address translation and the fault path follow the lecture
+// diagrams exactly.
+
+// PageReplacement selects the demand-paging victim policy.
+type PageReplacement int
+
+// The page replacement policies.
+const (
+	PageFIFO PageReplacement = iota
+	PageLRU
+	PageClock
+)
+
+// String returns the human-readable name.
+func (p PageReplacement) String() string {
+	switch p {
+	case PageFIFO:
+		return "FIFO"
+	case PageLRU:
+		return "LRU"
+	case PageClock:
+		return "clock"
+	}
+	return "?"
+}
+
+// VMConfig parameterizes the virtual memory system.
+type VMConfig struct {
+	PageBytes  int // page size (power of two)
+	NumPages   int // virtual pages
+	NumFrames  int // physical frames
+	TLBEntries int // 0 disables the TLB
+	Policy     PageReplacement
+}
+
+// VMStats counts translation events.
+type VMStats struct {
+	Accesses   int64
+	TLBHits    int64
+	TLBMisses  int64
+	PageFaults int64
+	Evictions  int64
+	DirtyOuts  int64 // evicted pages that needed writing back to disk
+}
+
+// pte is a page-table entry.
+type pte struct {
+	present  bool
+	frame    int
+	dirty    bool
+	ref      bool  // clock reference bit
+	loadedAt int64 // FIFO
+	lastUse  int64 // LRU
+}
+
+type tlbEntry struct {
+	valid   bool
+	vpn     int
+	frame   int
+	lastUse int64
+}
+
+// VM is the virtual-memory simulator.
+type VM struct {
+	cfg    VMConfig
+	table  []pte
+	tlb    []tlbEntry
+	frames []int // frame -> vpn (-1 when free)
+	hand   int   // clock hand
+	clock  int64
+	stats  VMStats
+}
+
+// NewVM builds a VM from the configuration.
+func NewVM(cfg VMConfig) (*VM, error) {
+	if cfg.PageBytes <= 0 || !pow2(cfg.PageBytes) {
+		return nil, errors.New("mem: page size must be a positive power of two")
+	}
+	if cfg.NumPages <= 0 || cfg.NumFrames <= 0 {
+		return nil, errors.New("mem: page and frame counts must be positive")
+	}
+	v := &VM{cfg: cfg}
+	v.table = make([]pte, cfg.NumPages)
+	v.tlb = make([]tlbEntry, cfg.TLBEntries)
+	v.frames = make([]int, cfg.NumFrames)
+	for i := range v.frames {
+		v.frames[i] = -1
+	}
+	return v, nil
+}
+
+// Stats returns a copy of the counters.
+func (v *VM) Stats() VMStats { return v.stats }
+
+// Translate maps a virtual address to a physical address, simulating the
+// TLB lookup, page-table walk, and (on absence) the page-fault path with
+// replacement. write marks the page dirty.
+func (v *VM) Translate(vaddr uint64, write bool) (uint64, error) {
+	v.clock++
+	v.stats.Accesses++
+	vpn := int(vaddr) / v.cfg.PageBytes
+	off := int(vaddr) % v.cfg.PageBytes
+	if vpn < 0 || vpn >= v.cfg.NumPages {
+		return 0, fmt.Errorf("mem: virtual address %#x out of range", vaddr)
+	}
+
+	// TLB probe.
+	if len(v.tlb) > 0 {
+		for i := range v.tlb {
+			if v.tlb[i].valid && v.tlb[i].vpn == vpn {
+				v.stats.TLBHits++
+				v.tlb[i].lastUse = v.clock
+				v.touch(vpn, write)
+				return uint64(v.tlb[i].frame*v.cfg.PageBytes + off), nil
+			}
+		}
+		v.stats.TLBMisses++
+	}
+
+	if !v.table[vpn].present {
+		v.stats.PageFaults++
+		if err := v.pageIn(vpn); err != nil {
+			return nil2err(err)
+		}
+	}
+	v.touch(vpn, write)
+	frame := v.table[vpn].frame
+	v.tlbInsert(vpn, frame)
+	return uint64(frame*v.cfg.PageBytes + off), nil
+}
+
+func nil2err(err error) (uint64, error) { return 0, err }
+
+func (v *VM) touch(vpn int, write bool) {
+	v.table[vpn].lastUse = v.clock
+	v.table[vpn].ref = true
+	if write {
+		v.table[vpn].dirty = true
+	}
+}
+
+func (v *VM) tlbInsert(vpn, frame int) {
+	if len(v.tlb) == 0 {
+		return
+	}
+	victim := 0
+	for i := range v.tlb {
+		if !v.tlb[i].valid {
+			victim = i
+			break
+		}
+		if v.tlb[i].lastUse < v.tlb[victim].lastUse {
+			victim = i
+		}
+	}
+	v.tlb[victim] = tlbEntry{valid: true, vpn: vpn, frame: frame, lastUse: v.clock}
+}
+
+func (v *VM) tlbShootdown(vpn int) {
+	for i := range v.tlb {
+		if v.tlb[i].valid && v.tlb[i].vpn == vpn {
+			v.tlb[i].valid = false
+		}
+	}
+}
+
+func (v *VM) pageIn(vpn int) error {
+	// Free frame available?
+	for f, owner := range v.frames {
+		if owner < 0 {
+			v.install(vpn, f)
+			return nil
+		}
+	}
+	// Evict per policy.
+	victimFrame := v.pickPageVictim()
+	victimVPN := v.frames[victimFrame]
+	v.stats.Evictions++
+	if v.table[victimVPN].dirty {
+		v.stats.DirtyOuts++
+	}
+	v.table[victimVPN] = pte{}
+	v.tlbShootdown(victimVPN)
+	v.install(vpn, victimFrame)
+	return nil
+}
+
+func (v *VM) install(vpn, frame int) {
+	v.frames[frame] = vpn
+	v.table[vpn] = pte{present: true, frame: frame, loadedAt: v.clock, lastUse: v.clock, ref: true}
+}
+
+func (v *VM) pickPageVictim() int {
+	switch v.cfg.Policy {
+	case PageLRU:
+		best := 0
+		for f, vpn := range v.frames {
+			if v.table[vpn].lastUse < v.table[v.frames[best]].lastUse {
+				best = f
+			}
+		}
+		return best
+	case PageClock:
+		for {
+			vpn := v.frames[v.hand]
+			if !v.table[vpn].ref {
+				victim := v.hand
+				v.hand = (v.hand + 1) % len(v.frames)
+				return victim
+			}
+			v.table[vpn].ref = false
+			v.hand = (v.hand + 1) % len(v.frames)
+		}
+	default: // FIFO
+		best := 0
+		for f, vpn := range v.frames {
+			if v.table[vpn].loadedAt < v.table[v.frames[best]].loadedAt {
+				best = f
+			}
+		}
+		return best
+	}
+}
+
+// FaultCount runs a reference string (virtual page numbers) through a
+// fresh VM with the given number of frames and policy, returning the
+// page-fault count — the classic Belady workbook exercise.
+func FaultCount(refs []int, frames int, policy PageReplacement) (int64, error) {
+	maxPage := 0
+	for _, r := range refs {
+		if r > maxPage {
+			maxPage = r
+		}
+	}
+	vm, err := NewVM(VMConfig{
+		PageBytes: 4096, NumPages: maxPage + 1, NumFrames: frames, Policy: policy,
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range refs {
+		if _, err := vm.Translate(uint64(r)*4096, false); err != nil {
+			return 0, err
+		}
+	}
+	return vm.Stats().PageFaults, nil
+}

@@ -1,0 +1,39 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Amdahl's law: a 10% serial fraction caps speedup at 10x.
+func Example() {
+	for _, p := range []int{1, 2, 4, 8, 1024} {
+		fmt.Printf("p=%-5d speedup=%.2f\n", p, metrics.AmdahlSpeedup(0.1, p))
+	}
+	fmt.Printf("limit=%.0f\n", metrics.AmdahlLimit(0.1))
+	// Output:
+	// p=1     speedup=1.00
+	// p=2     speedup=1.82
+	// p=4     speedup=3.08
+	// p=8     speedup=4.71
+	// p=1024  speedup=9.91
+	// limit=10
+}
+
+// BuildTable converts raw timings into the lab-report scalability table.
+func ExampleBuildTable() {
+	tbl, err := metrics.BuildTable([]metrics.Measurement{
+		{Workers: 1, Elapsed: 800 * time.Millisecond},
+		{Workers: 2, Elapsed: 420 * time.Millisecond},
+		{Workers: 4, Elapsed: 230 * time.Millisecond},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("4-worker speedup %.2f efficiency %.2f\n",
+		tbl.Rows[2].Speedup, tbl.Rows[2].Efficiency)
+	// Output: 4-worker speedup 3.48 efficiency 0.87
+}

@@ -1,0 +1,220 @@
+// Package metrics implements the performance laws and experiment
+// scaffolding of the CS31 "evaluating parallel performance" unit:
+// speedup, efficiency, Amdahl's and Gustafson's laws, the Karp-Flatt
+// experimentally determined serial fraction, latency/bandwidth transfer
+// modelling, and formatted scalability tables for lab reports.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Speedup returns t1/tp — how many times faster p workers ran.
+func Speedup(t1, tp time.Duration) float64 {
+	if tp <= 0 {
+		return math.NaN()
+	}
+	return float64(t1) / float64(tp)
+}
+
+// Efficiency returns speedup divided by the worker count.
+func Efficiency(t1, tp time.Duration, p int) float64 {
+	if p <= 0 {
+		return math.NaN()
+	}
+	return Speedup(t1, tp) / float64(p)
+}
+
+// AmdahlSpeedup predicts the speedup on p processors of a program whose
+// serial fraction is f: 1 / (f + (1-f)/p).
+func AmdahlSpeedup(serialFraction float64, p int) float64 {
+	if p <= 0 || serialFraction < 0 || serialFraction > 1 {
+		return math.NaN()
+	}
+	return 1 / (serialFraction + (1-serialFraction)/float64(p))
+}
+
+// AmdahlLimit is the asymptotic speedup bound 1/f as p grows without
+// bound — the punchline of the lecture.
+func AmdahlLimit(serialFraction float64) float64 {
+	if serialFraction <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / serialFraction
+}
+
+// GustafsonSpeedup predicts scaled speedup when the problem grows with p:
+// p - f*(p-1), for serial fraction f measured on the parallel system.
+func GustafsonSpeedup(serialFraction float64, p int) float64 {
+	if p <= 0 || serialFraction < 0 || serialFraction > 1 {
+		return math.NaN()
+	}
+	return float64(p) - serialFraction*float64(p-1)
+}
+
+// KarpFlatt computes the experimentally determined serial fraction from a
+// measured speedup s on p processors: (1/s - 1/p) / (1 - 1/p). Rising
+// Karp-Flatt values across p expose overhead growth that Amdahl's fixed-f
+// model cannot.
+func KarpFlatt(speedup float64, p int) (float64, error) {
+	if p <= 1 {
+		return 0, errors.New("metrics: Karp-Flatt needs p > 1")
+	}
+	if speedup <= 0 {
+		return 0, errors.New("metrics: speedup must be positive")
+	}
+	invP := 1 / float64(p)
+	return (1/speedup - invP) / (1 - invP), nil
+}
+
+// FitSerialFraction inverts Amdahl's law on one measurement: given
+// observed speedup at p, return the f that explains it (clamped to
+// [0, 1]).
+func FitSerialFraction(speedup float64, p int) float64 {
+	f, err := KarpFlatt(speedup, p)
+	if err != nil {
+		return math.NaN()
+	}
+	return math.Min(1, math.Max(0, f))
+}
+
+// TransferModel is the latency+bandwidth communication cost model
+// (T = α + n/β) used for the message-passing cost discussions.
+type TransferModel struct {
+	Latency   time.Duration // α: per-message cost
+	Bandwidth float64       // β: bytes per second
+}
+
+// Time returns the modelled transfer time of n bytes.
+func (m TransferModel) Time(n int64) time.Duration {
+	if m.Bandwidth <= 0 {
+		return m.Latency
+	}
+	return m.Latency + time.Duration(float64(n)/m.Bandwidth*float64(time.Second))
+}
+
+// EffectiveBandwidth returns achieved bytes/sec for an n-byte transfer —
+// the half-power-point analysis from lecture.
+func (m TransferModel) EffectiveBandwidth(n int64) float64 {
+	t := m.Time(n)
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return float64(n) / t.Seconds()
+}
+
+// Measurement is one row of a scalability study.
+type Measurement struct {
+	Workers int
+	Elapsed time.Duration
+}
+
+// ScalabilityTable is the artifact the Parallel Game of Life lab asks
+// students to produce: measured time, speedup, efficiency, and Karp-Flatt
+// serial fraction per worker count, plus the Amdahl fit.
+type ScalabilityTable struct {
+	Rows []Row
+	// FitF is the serial fraction fitted from the largest worker count.
+	FitF float64
+}
+
+// Row is one line of the table.
+type Row struct {
+	Workers    int
+	Elapsed    time.Duration
+	Speedup    float64
+	Efficiency float64
+	KarpFlatt  float64 // NaN for p = 1
+}
+
+// BuildTable converts raw measurements (which must include workers = 1)
+// into the derived table.
+func BuildTable(ms []Measurement) (ScalabilityTable, error) {
+	if len(ms) == 0 {
+		return ScalabilityTable{}, errors.New("metrics: no measurements")
+	}
+	sorted := append([]Measurement(nil), ms...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Workers < sorted[j].Workers })
+	if sorted[0].Workers != 1 {
+		return ScalabilityTable{}, errors.New("metrics: need a workers=1 baseline")
+	}
+	t1 := sorted[0].Elapsed
+	var tbl ScalabilityTable
+	for _, m := range sorted {
+		r := Row{
+			Workers:    m.Workers,
+			Elapsed:    m.Elapsed,
+			Speedup:    Speedup(t1, m.Elapsed),
+			Efficiency: Efficiency(t1, m.Elapsed, m.Workers),
+			KarpFlatt:  math.NaN(),
+		}
+		if m.Workers > 1 {
+			if kf, err := KarpFlatt(r.Speedup, m.Workers); err == nil {
+				r.KarpFlatt = kf
+			}
+		}
+		tbl.Rows = append(tbl.Rows, r)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last.Workers > 1 {
+		tbl.FitF = FitSerialFraction(last.Speedup, last.Workers)
+	}
+	return tbl, nil
+}
+
+// String renders the table in the lab-report format.
+func (t ScalabilityTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %14s %9s %11s %10s %10s\n",
+		"workers", "time", "speedup", "efficiency", "karp-flatt", "amdahl(f)")
+	for _, r := range t.Rows {
+		kf := "-"
+		if !math.IsNaN(r.KarpFlatt) {
+			kf = fmt.Sprintf("%.4f", r.KarpFlatt)
+		}
+		fmt.Fprintf(&b, "%8d %14v %9.3f %11.3f %10s %10.3f\n",
+			r.Workers, r.Elapsed.Round(time.Microsecond), r.Speedup, r.Efficiency, kf,
+			AmdahlSpeedup(t.FitF, r.Workers))
+	}
+	return b.String()
+}
+
+// AmdahlCurve tabulates predicted speedup for each worker count — the
+// figure every parallel-computing course draws.
+func AmdahlCurve(serialFraction float64, workers []int) []float64 {
+	out := make([]float64, len(workers))
+	for i, p := range workers {
+		out[i] = AmdahlSpeedup(serialFraction, p)
+	}
+	return out
+}
+
+// GustafsonCurve tabulates scaled speedup for each worker count.
+func GustafsonCurve(serialFraction float64, workers []int) []float64 {
+	out := make([]float64, len(workers))
+	for i, p := range workers {
+		out[i] = GustafsonSpeedup(serialFraction, p)
+	}
+	return out
+}
+
+// Isoefficiency reports the problem-size growth needed to hold efficiency
+// constant given overhead To(p) ~ c*p*log(p) (the generic tree-reduction
+// overhead): W = K * To. It returns the required work for each p with
+// K = e/(1-e) for target efficiency e.
+func Isoefficiency(targetEfficiency float64, overhead func(p int) float64, workers []int) ([]float64, error) {
+	if targetEfficiency <= 0 || targetEfficiency >= 1 {
+		return nil, errors.New("metrics: target efficiency must be in (0,1)")
+	}
+	k := targetEfficiency / (1 - targetEfficiency)
+	out := make([]float64, len(workers))
+	for i, p := range workers {
+		out[i] = k * overhead(p)
+	}
+	return out, nil
+}

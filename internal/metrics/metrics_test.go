@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSpeedupEfficiency(t *testing.T) {
+	if s := Speedup(8*time.Second, 2*time.Second); s != 4 {
+		t.Errorf("Speedup = %f", s)
+	}
+	if e := Efficiency(8*time.Second, 2*time.Second, 4); e != 1 {
+		t.Errorf("Efficiency = %f", e)
+	}
+	if e := Efficiency(8*time.Second, 4*time.Second, 4); e != 0.5 {
+		t.Errorf("Efficiency = %f", e)
+	}
+	if !math.IsNaN(Speedup(time.Second, 0)) {
+		t.Error("zero tp should be NaN")
+	}
+}
+
+func TestAmdahl(t *testing.T) {
+	// f=0: perfect scaling.
+	if s := AmdahlSpeedup(0, 8); s != 8 {
+		t.Errorf("f=0, p=8: %f", s)
+	}
+	// f=1: no scaling.
+	if s := AmdahlSpeedup(1, 64); s != 1 {
+		t.Errorf("f=1: %f", s)
+	}
+	// The textbook example: f=0.1, p=10 -> 1/(0.1+0.09) ≈ 5.26.
+	if s := AmdahlSpeedup(0.1, 10); math.Abs(s-5.263) > 0.01 {
+		t.Errorf("f=0.1, p=10: %f", s)
+	}
+	if l := AmdahlLimit(0.1); math.Abs(l-10) > 1e-9 {
+		t.Errorf("limit(0.1) = %f", l)
+	}
+	if !math.IsInf(AmdahlLimit(0), 1) {
+		t.Error("limit(0) should be +Inf")
+	}
+	if !math.IsNaN(AmdahlSpeedup(-0.1, 4)) || !math.IsNaN(AmdahlSpeedup(0.5, 0)) {
+		t.Error("invalid inputs should be NaN")
+	}
+}
+
+func TestAmdahlMonotoneAndBounded(t *testing.T) {
+	f := func(fRaw uint8, pRaw uint8) bool {
+		fr := float64(fRaw%100) / 100
+		p := int(pRaw%63) + 2
+		s := AmdahlSpeedup(fr, p)
+		sNext := AmdahlSpeedup(fr, p+1)
+		// Monotone in p, bounded by p and by 1/f.
+		if sNext < s-1e-12 {
+			return false
+		}
+		if s > float64(p)+1e-9 {
+			return false
+		}
+		if fr > 0 && s > 1/fr+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGustafson(t *testing.T) {
+	// f=0 -> p; f=1 -> 1.
+	if s := GustafsonSpeedup(0, 16); s != 16 {
+		t.Errorf("f=0: %f", s)
+	}
+	if s := GustafsonSpeedup(1, 16); s != 1 {
+		t.Errorf("f=1: %f", s)
+	}
+	// Gustafson is always >= Amdahl for the same f, p (scaled vs fixed).
+	for _, p := range []int{2, 4, 8, 32} {
+		for _, fr := range []float64{0.05, 0.2, 0.5} {
+			if GustafsonSpeedup(fr, p) < AmdahlSpeedup(fr, p)-1e-9 {
+				t.Errorf("Gustafson < Amdahl at f=%v p=%d", fr, p)
+			}
+		}
+	}
+}
+
+func TestKarpFlattRecoversAmdahlF(t *testing.T) {
+	// If the measured speedup exactly follows Amdahl with serial fraction
+	// f, Karp-Flatt must recover f.
+	for _, fr := range []float64{0.01, 0.1, 0.3} {
+		for _, p := range []int{2, 4, 8, 16} {
+			s := AmdahlSpeedup(fr, p)
+			kf, err := KarpFlatt(s, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(kf-fr) > 1e-9 {
+				t.Errorf("KarpFlatt(Amdahl(%v), %d) = %v", fr, p, kf)
+			}
+		}
+	}
+	if _, err := KarpFlatt(2, 1); err == nil {
+		t.Error("p=1 should error")
+	}
+	if _, err := KarpFlatt(-1, 4); err == nil {
+		t.Error("negative speedup should error")
+	}
+}
+
+func TestTransferModel(t *testing.T) {
+	m := TransferModel{Latency: time.Millisecond, Bandwidth: 1e6} // 1 MB/s
+	if got := m.Time(0); got != time.Millisecond {
+		t.Errorf("zero bytes: %v", got)
+	}
+	// 1 MB at 1 MB/s = 1s + 1ms.
+	if got := m.Time(1e6); got != time.Second+time.Millisecond {
+		t.Errorf("1MB: %v", got)
+	}
+	// Effective bandwidth approaches β for large transfers, is tiny for
+	// small ones.
+	small := m.EffectiveBandwidth(10)
+	large := m.EffectiveBandwidth(100e6)
+	if small > 1e5 {
+		t.Errorf("small transfer bandwidth %f too high", small)
+	}
+	if large < 0.9e6 {
+		t.Errorf("large transfer bandwidth %f too low", large)
+	}
+}
+
+func TestBuildTable(t *testing.T) {
+	ms := []Measurement{
+		{Workers: 4, Elapsed: 300 * time.Millisecond},
+		{Workers: 1, Elapsed: 1000 * time.Millisecond},
+		{Workers: 2, Elapsed: 550 * time.Millisecond},
+		{Workers: 8, Elapsed: 200 * time.Millisecond},
+	}
+	tbl, err := BuildTable(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 || tbl.Rows[0].Workers != 1 || tbl.Rows[3].Workers != 8 {
+		t.Fatalf("rows: %+v", tbl.Rows)
+	}
+	if tbl.Rows[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %f", tbl.Rows[0].Speedup)
+	}
+	if got := tbl.Rows[2].Speedup; math.Abs(got-1000.0/300) > 1e-9 {
+		t.Errorf("4-worker speedup = %f", got)
+	}
+	if !math.IsNaN(tbl.Rows[0].KarpFlatt) {
+		t.Error("KarpFlatt at p=1 should be NaN")
+	}
+	if tbl.FitF <= 0 || tbl.FitF >= 1 {
+		t.Errorf("fitted serial fraction = %f", tbl.FitF)
+	}
+	s := tbl.String()
+	for _, want := range []string{"workers", "speedup", "karp-flatt"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBuildTableErrors(t *testing.T) {
+	if _, err := BuildTable(nil); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := BuildTable([]Measurement{{Workers: 2, Elapsed: time.Second}}); err == nil {
+		t.Error("missing baseline should error")
+	}
+}
+
+func TestCurves(t *testing.T) {
+	ws := []int{1, 2, 4, 8}
+	a := AmdahlCurve(0.2, ws)
+	g := GustafsonCurve(0.2, ws)
+	if len(a) != 4 || len(g) != 4 {
+		t.Fatal("curve lengths")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] || g[i] < g[i-1] {
+			t.Error("curves must be monotone")
+		}
+	}
+	if a[3] > g[3] {
+		t.Error("Gustafson should dominate at p=8")
+	}
+}
+
+func TestIsoefficiency(t *testing.T) {
+	overhead := func(p int) float64 { return float64(p) * math.Log2(float64(p)+1) }
+	w, err := Isoefficiency(0.8, overhead, []int{2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] <= w[i-1] {
+			t.Error("required work must grow with p")
+		}
+	}
+	if _, err := Isoefficiency(1.5, overhead, []int{2}); err == nil {
+		t.Error("efficiency > 1 should error")
+	}
+}

@@ -1,0 +1,134 @@
+package minicc
+
+import "fmt"
+
+// Program is a parsed MiniC translation unit.
+type Program struct {
+	Funcs []*FuncDecl
+}
+
+// FuncDecl is "int name(int a, int b) { ... }".
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// DeclStmt is "int x;" or "int x = expr;".
+type DeclStmt struct {
+	Name string
+	Init Expr // nil for bare declarations
+	Line int
+}
+
+// AssignStmt is "x = expr;".
+type AssignStmt struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// IfStmt is "if (cond) {..} else {..}" (else optional).
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is "while (cond) {..}".
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// ReturnStmt is "return expr;".
+type ReturnStmt struct {
+	Expr Expr
+	Line int
+}
+
+// PrintStmt is "print(expr);" — compiled to the SWAT32 print service.
+type PrintStmt struct {
+	Expr Expr
+}
+
+// ExprStmt is a bare expression (usually a call) followed by ';'.
+type ExprStmt struct {
+	Expr Expr
+}
+
+func (*DeclStmt) stmt()   {}
+func (*AssignStmt) stmt() {}
+func (*IfStmt) stmt()     {}
+func (*WhileStmt) stmt()  {}
+func (*ReturnStmt) stmt() {}
+func (*PrintStmt) stmt()  {}
+func (*ExprStmt) stmt()   {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int32
+}
+
+// VarRef reads a variable.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// Binary is a binary operation; Op is one of + - * / % == != < <= > >=
+// && ||.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is -x or !x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Call invokes a function.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*IntLit) expr() {}
+func (*VarRef) expr() {}
+func (*Binary) expr() {}
+func (*Unary) expr()  {}
+func (*Call) expr()   {}
+
+// String renders expressions for diagnostics.
+func exprString(e Expr) string {
+	switch v := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", v.Value)
+	case *VarRef:
+		return v.Name
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", exprString(v.L), v.Op, exprString(v.R))
+	case *Unary:
+		return fmt.Sprintf("(%s%s)", v.Op, exprString(v.X))
+	case *Call:
+		s := v.Name + "("
+		for i, a := range v.Args {
+			if i > 0 {
+				s += ", "
+			}
+			s += exprString(a)
+		}
+		return s + ")"
+	}
+	return "?"
+}

@@ -1,0 +1,340 @@
+package minicc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Compile translates MiniC source to SWAT32 assembly. When optimize is
+// true, the constant-folding / algebraic-simplification / dead-branch
+// passes run first. The emitted code uses the CS31 calling convention:
+// args pushed right-to-left, caller cleans the stack, %ebp frames,
+// return value in %eax. The program entry calls the MiniC main and exits
+// with its return value.
+func Compile(src string, optimize bool) (string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	if optimize {
+		Optimize(prog)
+	}
+	g := &gen{}
+	g.emit("main:")
+	g.emit("    call mc_main")
+	g.emit("    sys $0")
+	for _, f := range prog.Funcs {
+		if err := g.function(f); err != nil {
+			return "", err
+		}
+	}
+	return strings.Join(g.lines, "\n") + "\n", nil
+}
+
+// gen is the code generator state.
+type gen struct {
+	lines  []string
+	labels int
+	// per-function state
+	offsets map[string]int32 // variable -> %ebp offset
+	nLocals int32
+}
+
+func (g *gen) emit(format string, args ...interface{}) {
+	g.lines = append(g.lines, fmt.Sprintf(format, args...))
+}
+
+func (g *gen) label(prefix string) string {
+	g.labels++
+	return fmt.Sprintf("%s_%d", prefix, g.labels)
+}
+
+// countLocals walks a body counting declarations (block-scoped variables
+// all get frame slots; MiniC has no shadowing, enforced by Check).
+func countLocals(stmts []Stmt) int32 {
+	var n int32
+	for _, s := range stmts {
+		switch v := s.(type) {
+		case *DeclStmt:
+			n++
+		case *IfStmt:
+			n += countLocals(v.Then) + countLocals(v.Else)
+		case *WhileStmt:
+			n += countLocals(v.Body)
+		}
+	}
+	return n
+}
+
+func (g *gen) function(f *FuncDecl) error {
+	g.offsets = make(map[string]int32)
+	g.nLocals = 0
+	for i, p := range f.Params {
+		// First arg at 8(%ebp): saved %ebp at 0, return address below it.
+		g.offsets[p] = int32(8 + 4*i)
+	}
+	locals := countLocals(f.Body)
+	g.emit("")
+	g.emit("mc_%s:", f.Name)
+	g.emit("    pushl %%ebp")
+	g.emit("    movl %%esp, %%ebp")
+	if locals > 0 {
+		g.emit("    subl $%d, %%esp", 4*locals)
+	}
+	if err := g.stmts(f.Body); err != nil {
+		return err
+	}
+	// Implicit return 0 for functions that fall off the end.
+	g.emit("    movl $0, %%eax")
+	g.emit("    leave")
+	g.emit("    ret")
+	return nil
+}
+
+func (g *gen) declare(name string) int32 {
+	g.nLocals++
+	off := -4 * g.nLocals
+	g.offsets[name] = off
+	return off
+}
+
+func (g *gen) stmts(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) stmt(s Stmt) error {
+	switch v := s.(type) {
+	case *DeclStmt:
+		off := g.declare(v.Name)
+		if v.Init != nil {
+			if err := g.expr(v.Init); err != nil {
+				return err
+			}
+			g.emit("    movl %%eax, %d(%%ebp)", off)
+		} else {
+			g.emit("    movl $0, %d(%%ebp)", off)
+		}
+	case *AssignStmt:
+		if err := g.expr(v.Expr); err != nil {
+			return err
+		}
+		off, ok := g.offsets[v.Name]
+		if !ok {
+			return fmt.Errorf("minicc: internal: unknown variable %q", v.Name)
+		}
+		g.emit("    movl %%eax, %d(%%ebp)", off)
+	case *IfStmt:
+		elseL := g.label("else")
+		endL := g.label("endif")
+		if err := g.expr(v.Cond); err != nil {
+			return err
+		}
+		g.emit("    cmpl $0, %%eax")
+		g.emit("    je %s", elseL)
+		if err := g.stmts(v.Then); err != nil {
+			return err
+		}
+		g.emit("    jmp %s", endL)
+		g.emit("%s:", elseL)
+		if err := g.stmts(v.Else); err != nil {
+			return err
+		}
+		g.emit("%s:", endL)
+	case *WhileStmt:
+		topL := g.label("while")
+		endL := g.label("endwhile")
+		g.emit("%s:", topL)
+		if err := g.expr(v.Cond); err != nil {
+			return err
+		}
+		g.emit("    cmpl $0, %%eax")
+		g.emit("    je %s", endL)
+		if err := g.stmts(v.Body); err != nil {
+			return err
+		}
+		g.emit("    jmp %s", topL)
+		g.emit("%s:", endL)
+	case *ReturnStmt:
+		if err := g.expr(v.Expr); err != nil {
+			return err
+		}
+		g.emit("    leave")
+		g.emit("    ret")
+	case *PrintStmt:
+		if err := g.expr(v.Expr); err != nil {
+			return err
+		}
+		g.emit("    sys $1")
+	case *ExprStmt:
+		return g.expr(v.Expr)
+	default:
+		return fmt.Errorf("minicc: internal: unknown statement %T", s)
+	}
+	return nil
+}
+
+// expr generates code leaving the value in %eax.
+func (g *gen) expr(e Expr) error {
+	switch v := e.(type) {
+	case *IntLit:
+		g.emit("    movl $%d, %%eax", v.Value)
+	case *VarRef:
+		off, ok := g.offsets[v.Name]
+		if !ok {
+			return fmt.Errorf("minicc: internal: unknown variable %q", v.Name)
+		}
+		g.emit("    movl %d(%%ebp), %%eax", off)
+	case *Unary:
+		if err := g.expr(v.X); err != nil {
+			return err
+		}
+		switch v.Op {
+		case "-":
+			g.emit("    negl %%eax")
+		case "!":
+			t := g.label("nz")
+			g.emit("    cmpl $0, %%eax")
+			g.emit("    movl $1, %%eax")
+			g.emit("    je %s", t)
+			g.emit("    movl $0, %%eax")
+			g.emit("%s:", t)
+		default:
+			return fmt.Errorf("minicc: internal: unary %q", v.Op)
+		}
+	case *Binary:
+		return g.binary(v)
+	case *Call:
+		for i := len(v.Args) - 1; i >= 0; i-- {
+			if err := g.expr(v.Args[i]); err != nil {
+				return err
+			}
+			g.emit("    pushl %%eax")
+		}
+		g.emit("    call mc_%s", v.Name)
+		if len(v.Args) > 0 {
+			g.emit("    addl $%d, %%esp", 4*len(v.Args))
+		}
+	default:
+		return fmt.Errorf("minicc: internal: unknown expression %T", e)
+	}
+	return nil
+}
+
+func (g *gen) binary(v *Binary) error {
+	switch v.Op {
+	case "&&":
+		falseL := g.label("andf")
+		endL := g.label("ande")
+		if err := g.expr(v.L); err != nil {
+			return err
+		}
+		g.emit("    cmpl $0, %%eax")
+		g.emit("    je %s", falseL)
+		if err := g.expr(v.R); err != nil {
+			return err
+		}
+		g.emit("    cmpl $0, %%eax")
+		g.emit("    je %s", falseL)
+		g.emit("    movl $1, %%eax")
+		g.emit("    jmp %s", endL)
+		g.emit("%s:", falseL)
+		g.emit("    movl $0, %%eax")
+		g.emit("%s:", endL)
+		return nil
+	case "||":
+		trueL := g.label("ort")
+		endL := g.label("ore")
+		if err := g.expr(v.L); err != nil {
+			return err
+		}
+		g.emit("    cmpl $0, %%eax")
+		g.emit("    jne %s", trueL)
+		if err := g.expr(v.R); err != nil {
+			return err
+		}
+		g.emit("    cmpl $0, %%eax")
+		g.emit("    jne %s", trueL)
+		g.emit("    movl $0, %%eax")
+		g.emit("    jmp %s", endL)
+		g.emit("%s:", trueL)
+		g.emit("    movl $1, %%eax")
+		g.emit("%s:", endL)
+		return nil
+	}
+
+	// Arithmetic and comparisons: L on the stack, R in %ebx, L in %eax.
+	if err := g.expr(v.L); err != nil {
+		return err
+	}
+	g.emit("    pushl %%eax")
+	if err := g.expr(v.R); err != nil {
+		return err
+	}
+	g.emit("    movl %%eax, %%ebx")
+	g.emit("    popl %%eax")
+	switch v.Op {
+	case "+":
+		g.emit("    addl %%ebx, %%eax")
+	case "-":
+		g.emit("    subl %%ebx, %%eax")
+	case "*":
+		g.emit("    imull %%ebx, %%eax")
+	case "/":
+		g.emit("    idivl %%ebx, %%eax")
+	case "%":
+		g.emit("    imodl %%ebx, %%eax")
+	case "==", "!=", "<", "<=", ">", ">=":
+		jump := map[string]string{
+			"==": "je", "!=": "jne", "<": "jl", "<=": "jle", ">": "jg", ">=": "jge",
+		}[v.Op]
+		t := g.label("cmp")
+		g.emit("    cmpl %%ebx, %%eax")
+		g.emit("    movl $1, %%eax")
+		g.emit("    %s %s", jump, t)
+		g.emit("    movl $0, %%eax")
+		g.emit("%s:", t)
+	default:
+		return fmt.Errorf("minicc: internal: binary %q", v.Op)
+	}
+	return nil
+}
+
+// Stats reports the size effects of compilation for the optimization
+// discussion.
+type Stats struct {
+	Instructions int // assembled instruction count
+}
+
+// CompileToProgram compiles and assembles in one step.
+func CompileToProgram(src string, optimize bool) (*isa.Program, Stats, error) {
+	asm, err := Compile(src, optimize)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	prog, err := isa.Assemble(asm)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("minicc: generated assembly failed to assemble: %w\n%s", err, asm)
+	}
+	return prog, Stats{Instructions: len(prog.Code) / isa.InstrSize}, nil
+}
+
+// Run compiles and executes a MiniC program, returning its printed
+// output, its exit status, and the dynamic instruction count.
+func Run(src string, optimize bool, maxSteps int64) (output string, exit int32, steps int64, err error) {
+	prog, _, err := CompileToProgram(src, optimize)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	cpu := isa.NewCPU(prog)
+	if err := cpu.Run(maxSteps); err != nil {
+		return cpu.Output.String(), cpu.Exit, cpu.Steps, err
+	}
+	return cpu.Output.String(), cpu.Exit, cpu.Steps, nil
+}

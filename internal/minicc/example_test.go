@@ -1,0 +1,34 @@
+package minicc_test
+
+import (
+	"fmt"
+
+	"repro/internal/minicc"
+)
+
+// Compile and run a MiniC program on the SWAT32 simulator.
+func Example() {
+	src := `
+int square(int x) { return x * x; }
+int main() {
+    int i = 1;
+    while (i <= 4) {
+        print(square(i));
+        i = i + 1;
+    }
+    return 0;
+}`
+	out, exit, _, err := minicc.Run(src, true, 100000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(out)
+	fmt.Println("exit", exit)
+	// Output:
+	// 1
+	// 4
+	// 9
+	// 16
+	// exit 0
+}

@@ -1,0 +1,125 @@
+// Package minicc implements the CS75 Compilers course artifact: a
+// compiler for MiniC — a C subset with int variables, functions,
+// arithmetic, comparisons, if/else, while, and print — targeting SWAT32
+// assembly with the exact stack discipline CS31 teaches (%ebp frames,
+// args pushed right-to-left, return value in %eax). It includes the
+// front-end pipeline of the course project (lexer, recursive-descent
+// parser producing an AST, semantic checks) and the back-end (code
+// generation plus the constant-folding and algebraic-simplification
+// optimizations the paper slates for the expanded CS75).
+package minicc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// The token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokInt           // integer literal
+	TokIdent
+	TokKeyword // int, if, else, while, return, print
+	TokPunct   // ( ) { } ; ,
+	TokOp      // + - * / % = == != < <= > >= && || !
+)
+
+// Token is one lexeme with its source line for diagnostics.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Int  int32
+	Line int
+}
+
+// String returns the human-readable name.
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "<eof>"
+	}
+	return t.Text
+}
+
+var keywords = map[string]bool{
+	"int": true, "if": true, "else": true, "while": true,
+	"return": true, "print": true,
+}
+
+// Lex tokenizes MiniC source. // comments run to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			v, err := strconv.ParseInt(src[i:j], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("minicc: line %d: integer %q out of range", line, src[i:j])
+			}
+			toks = append(toks, Token{Kind: TokInt, Text: src[i:j], Int: int32(v), Line: line})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			kind := TokIdent
+			if keywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: word, Line: line})
+			i = j
+		case strings.ContainsRune("(){};,", rune(c)):
+			toks = append(toks, Token{Kind: TokPunct, Text: string(c), Line: line})
+			i++
+		case strings.ContainsRune("+-*/%<>=!&|", rune(c)):
+			// Two-character operators first.
+			if i+1 < len(src) {
+				two := src[i : i+2]
+				switch two {
+				case "==", "!=", "<=", ">=", "&&", "||":
+					toks = append(toks, Token{Kind: TokOp, Text: two, Line: line})
+					i += 2
+					continue
+				}
+			}
+			if c == '&' || c == '|' {
+				return nil, fmt.Errorf("minicc: line %d: unexpected %q", line, string(c))
+			}
+			toks = append(toks, Token{Kind: TokOp, Text: string(c), Line: line})
+			i++
+		default:
+			return nil, fmt.Errorf("minicc: line %d: unexpected character %q", line, string(c))
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,486 @@
+package minicc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// run compiles and executes, failing the test on any error.
+func run(t *testing.T, src string, optimize bool) (string, int32, int64) {
+	t.Helper()
+	out, exit, steps, err := Run(src, optimize, 5_000_000)
+	if err != nil {
+		t.Fatalf("run failed: %v\noutput so far: %q", err, out)
+	}
+	return out, exit, steps
+}
+
+func TestHelloArithmetic(t *testing.T) {
+	out, exit, _ := run(t, `
+int main() {
+    print(6 * 7);
+    print(100 / 7);
+    print(100 % 7);
+    print(-5);
+    return 0;
+}`, false)
+	if out != "42\n14\n2\n-5\n" {
+		t.Errorf("output = %q", out)
+	}
+	if exit != 0 {
+		t.Errorf("exit = %d", exit)
+	}
+}
+
+func TestPrecedenceAndParens(t *testing.T) {
+	out, _, _ := run(t, `
+int main() {
+    print(2 + 3 * 4);
+    print((2 + 3) * 4);
+    print(10 - 4 - 3);
+    print(2 * 3 % 4);
+    return 0;
+}`, false)
+	if out != "14\n20\n3\n2\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestVariablesAndAssignment(t *testing.T) {
+	out, _, _ := run(t, `
+int main() {
+    int x = 10;
+    int y;
+    y = x * 2;
+    x = x + y;
+    print(x);
+    print(y);
+    return 0;
+}`, false)
+	if out != "30\n20\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out, _, _ := run(t, `
+int main() {
+    int i = 0;
+    while (i < 5) {
+        if (i % 2 == 0) {
+            print(i);
+        } else {
+            print(-i);
+        }
+        i = i + 1;
+    }
+    return 0;
+}`, false)
+	if out != "0\n-1\n2\n-3\n4\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+int classify(int x) {
+    if (x < 0) {
+        return -1;
+    } else if (x == 0) {
+        return 0;
+    } else {
+        return 1;
+    }
+}
+int main() {
+    print(classify(-5));
+    print(classify(0));
+    print(classify(99));
+    return 0;
+}`
+	out, _, _ := run(t, src, false)
+	if out != "-1\n0\n1\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRecursionFactorialFib(t *testing.T) {
+	src := `
+int fact(int n) {
+    if (n <= 1) { return 1; }
+    return n * fact(n - 1);
+}
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    print(fact(7));
+    print(fib(15));
+    return 0;
+}`
+	out, _, _ := run(t, src, false)
+	if out != "5040\n610\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestMultipleArgsOrder(t *testing.T) {
+	// Argument evaluation/passing order: f(a, b) must see a then b.
+	src := `
+int sub(int a, int b) { return a - b; }
+int main() {
+    print(sub(10, 3));
+    print(sub(3, 10));
+    return 0;
+}`
+	out, _, _ := run(t, src, false)
+	if out != "7\n-7\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLogicalOperatorsShortCircuit(t *testing.T) {
+	// boom() would print; short-circuit must prevent that.
+	src := `
+int boom() { print(999); return 1; }
+int main() {
+    print(0 && boom());
+    print(1 || boom());
+    print(1 && 2);
+    print(0 || 0);
+    print(!5);
+    print(!0);
+    return 0;
+}`
+	out, _, _ := run(t, src, false)
+	if out != "0\n1\n1\n0\n0\n1\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestComparisonResults(t *testing.T) {
+	out, _, _ := run(t, `
+int main() {
+    print(3 < 5);
+    print(5 < 3);
+    print(5 <= 5);
+    print(5 >= 6);
+    print(4 == 4);
+    print(4 != 4);
+    print(-1 < 1);
+    return 0;
+}`, false)
+	if out != "1\n0\n1\n0\n1\n0\n1\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestExitStatus(t *testing.T) {
+	_, exit, _ := run(t, `int main() { return 42; }`, false)
+	if exit != 42 {
+		t.Errorf("exit = %d", exit)
+	}
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	_, exit, _ := run(t, `int main() { print(1); }`, false)
+	if exit != 0 {
+		t.Errorf("exit = %d", exit)
+	}
+}
+
+func TestDivisionByZeroFaults(t *testing.T) {
+	_, _, _, err := Run(`int main() { int z = 0; return 1 / z; }`, false, 100000)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("expected division fault, got %v", err)
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []string{
+		`int f() { return 0; }`,                                                // no main
+		`int main(int x) { return 0; }`,                                        // main with params
+		`int main() { return x; }`,                                             // undeclared var
+		`int main() { x = 1; return 0; }`,                                      // assign undeclared
+		`int main() { int x; int x; return 0; }`,                               // redeclaration
+		`int main() { return f(); }`,                                           // undefined function
+		`int f(int a) { return a; } int main() { return f(); }`,                // arity
+		`int f() { return 0; } int f() { return 1; } int main() { return 0; }`, // redefinition
+		`int main(int a, int a) { return 0; }`,                                 // dup params... main has params anyway
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		`int main() { print(1) }`,                     // missing ;
+		`int main() { if 1 { } }`,                     // missing parens
+		`int main() { int 5 = 3; }`,                   // bad declarator
+		`int main() { return 1 +; }`,                  // dangling operator
+		`int main() {`,                                // unterminated block
+		`int main() { @ }`,                            // bad character
+		`int main() { print(1 & 2); }`,                // single & not supported
+		`int main() { return 99999999999999999999; }`, // literal overflow
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestOptimizedOutputIdentical(t *testing.T) {
+	// The golden rule of optimization: same observable behaviour.
+	srcs := []string{
+		`int main() { print(2 + 3 * 4 - 1); return 0; }`,
+		`
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    int i = 0;
+    while (i < 10) { print(fib(i)); i = i + 1; }
+    return 0;
+}`,
+		`
+int main() {
+    int x = 5;
+    if (1) { print(x * 1 + 0); } else { print(0); }
+    while (0) { print(42); }
+    print(x * 0);
+    print(0 && x);
+    print(1 || x);
+    return x - 0;
+}`,
+	}
+	for _, src := range srcs {
+		outPlain, exitPlain, stepsPlain := run(t, src, false)
+		outOpt, exitOpt, stepsOpt := run(t, src, true)
+		if outPlain != outOpt || exitPlain != exitOpt {
+			t.Errorf("optimization changed behaviour:\nplain %q exit %d\nopt   %q exit %d",
+				outPlain, exitPlain, outOpt, exitOpt)
+		}
+		if stepsOpt > stepsPlain {
+			t.Errorf("optimized run executed more instructions: %d > %d", stepsOpt, stepsPlain)
+		}
+	}
+}
+
+func TestOptimizationShrinksCode(t *testing.T) {
+	src := `
+int main() {
+    print(1 + 2 + 3 + 4 + 5);
+    if (2 > 1) { print(10 * 10); } else { print(3 / 0); }
+    while (1 == 2) { print(777); }
+    return 6 * 6 - 36;
+}`
+	_, plain, err := CompileToProgram(src, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := CompileToProgram(src, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Instructions >= plain.Instructions {
+		t.Errorf("optimized size %d >= plain %d", opt.Instructions, plain.Instructions)
+	}
+	// The dead 3/0 must have been eliminated: the program runs clean.
+	out, _, _ := run(t, src, true)
+	if out != "15\n100\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestOptimizerPreservesDeclsInDeadBranches(t *testing.T) {
+	// MiniC scopes variables to the function; a declaration inside an
+	// eliminated branch must keep its slot.
+	src := `
+int main() {
+    if (0) { int x = 5; } else { print(1); }
+    x = 3;
+    print(x);
+    return 0;
+}`
+	out, _, _ := run(t, src, true)
+	if out != "1\n3\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestConstantFoldingProperty(t *testing.T) {
+	// Property: folding arithmetic agrees with int32 semantics.
+	f := func(a, b int32, opIdx uint8) bool {
+		ops := []string{"+", "-", "*", "==", "!=", "<", "<=", ">", ">="}
+		op := ops[int(opIdx)%len(ops)]
+		e := optExpr(&Binary{Op: op, L: &IntLit{Value: a}, R: &IntLit{Value: b}})
+		lit, ok := e.(*IntLit)
+		if !ok {
+			return false
+		}
+		var want int32
+		switch op {
+		case "+":
+			want = a + b
+		case "-":
+			want = a - b
+		case "*":
+			want = a * b
+		case "==":
+			want = b2i(a == b)
+		case "!=":
+			want = b2i(a != b)
+		case "<":
+			want = b2i(a < b)
+		case "<=":
+			want = b2i(a <= b)
+		case ">":
+			want = b2i(a > b)
+		case ">=":
+			want = b2i(a >= b)
+		}
+		return lit.Value == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestCompiledCodeUsesCS31Convention(t *testing.T) {
+	// The emitted assembly must use the stack discipline CS31 teaches.
+	asm, err := Compile(`
+int add(int a, int b) { return a + b; }
+int main() { return add(1, 2); }`, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"pushl %ebp", "movl %esp, %ebp", "leave", "ret",
+		"call mc_add", "addl $8, %esp", "8(%ebp)", "12(%ebp)",
+	} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("assembly missing %q:\n%s", want, asm)
+		}
+	}
+}
+
+func TestDeepRecursionStackDiscipline(t *testing.T) {
+	// 1000-deep recursion exercises frame push/pop balance.
+	src := `
+int down(int n) {
+    if (n == 0) { return 0; }
+    return down(n - 1) + 1;
+}
+int main() { return down(1000); }`
+	_, exit, _ := run(t, src, false)
+	if exit != 1000 {
+		t.Errorf("exit = %d", exit)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	src := `
+int isOdd(int n) {
+    if (n == 0) { return 0; }
+    return isEven(n - 1);
+}
+int isEven(int n) {
+    if (n == 0) { return 1; }
+    return isOdd(n - 1);
+}
+int main() {
+    print(isEven(10));
+    print(isOdd(10));
+    print(isOdd(7));
+    return 0;
+}`
+	out, _, _ := run(t, src, false)
+	if out != "1\n0\n1\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestComments(t *testing.T) {
+	out, _, _ := run(t, `
+// leading comment
+int main() { // trailing
+    print(1); // after statement
+    return 0;
+}`, false)
+	if out != "1\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestInfiniteLoopHitsBudget(t *testing.T) {
+	_, _, _, err := Run(`int main() { while (1) { } return 0; }`, false, 5000)
+	if err == nil {
+		t.Error("infinite loop should exhaust the step budget")
+	}
+}
+
+func TestArityErrorShowsCall(t *testing.T) {
+	_, err := Parse(`
+int f(int a, int b) { return a + b; }
+int main() { return f(1); }`)
+	if err == nil || !strings.Contains(err.Error(), "f(1)") {
+		t.Errorf("arity error should render the call: %v", err)
+	}
+}
+
+func TestCompileSurfacesParseErrors(t *testing.T) {
+	if _, err := Compile(`int main( {`, false); err == nil {
+		t.Error("Compile should propagate parse errors")
+	}
+	if _, _, err := CompileToProgram(`nope`, true); err == nil {
+		t.Error("CompileToProgram should propagate errors")
+	}
+	if _, _, _, err := Run(`nope`, false, 100); err == nil {
+		t.Error("Run should propagate errors")
+	}
+}
+
+func TestNestedBlocksAndWhileInIf(t *testing.T) {
+	out, _, _ := run(t, `
+int main() {
+    int n = 3;
+    if (n > 0) {
+        int i = 0;
+        while (i < n) {
+            if (i == 1) { print(100); } else { print(i); }
+            i = i + 1;
+        }
+    }
+    return 0;
+}`, true)
+	if out != "0\n100\n2\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestUnaryChains(t *testing.T) {
+	out, _, _ := run(t, `
+int main() {
+    print(--5);
+    print(!!7);
+    print(-(-(-1)));
+    return 0;
+}`, false)
+	if out != "5\n1\n-1\n" {
+		t.Errorf("output = %q", out)
+	}
+}

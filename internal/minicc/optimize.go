@@ -1,0 +1,229 @@
+package minicc
+
+// This file implements the optimization passes the paper slates for the
+// expanded CS75: constant folding, algebraic simplification, and
+// dead-branch elimination. Transformations only fire when provably safe:
+// expressions containing calls are never discarded (calls may print).
+
+// Optimize rewrites the program in place.
+func Optimize(prog *Program) {
+	for _, f := range prog.Funcs {
+		f.Body = optStmts(f.Body)
+	}
+}
+
+func optStmts(stmts []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range stmts {
+		switch v := s.(type) {
+		case *DeclStmt:
+			if v.Init != nil {
+				v.Init = optExpr(v.Init)
+			}
+			out = append(out, v)
+		case *AssignStmt:
+			v.Expr = optExpr(v.Expr)
+			out = append(out, v)
+		case *IfStmt:
+			v.Cond = optExpr(v.Cond)
+			v.Then = optStmts(v.Then)
+			v.Else = optStmts(v.Else)
+			if lit, ok := v.Cond.(*IntLit); ok {
+				// Dead-branch elimination — but declarations in the dropped
+				// branch must survive (they may be referenced later because
+				// MiniC scopes variables to the function, like early C).
+				if lit.Value != 0 {
+					out = append(out, keepDecls(v.Else)...)
+					out = append(out, v.Then...)
+				} else {
+					out = append(out, keepDecls(v.Then)...)
+					out = append(out, v.Else...)
+				}
+				continue
+			}
+			out = append(out, v)
+		case *WhileStmt:
+			v.Cond = optExpr(v.Cond)
+			v.Body = optStmts(v.Body)
+			if lit, ok := v.Cond.(*IntLit); ok && lit.Value == 0 {
+				out = append(out, keepDecls(v.Body)...)
+				continue // while(0): drop, keep declarations
+			}
+			out = append(out, v)
+		case *ReturnStmt:
+			v.Expr = optExpr(v.Expr)
+			out = append(out, v)
+		case *PrintStmt:
+			v.Expr = optExpr(v.Expr)
+			out = append(out, v)
+		case *ExprStmt:
+			v.Expr = optExpr(v.Expr)
+			if pure(v.Expr) {
+				continue // a pure expression statement has no effect
+			}
+			out = append(out, v)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// keepDecls extracts the declarations (zero-initialized) from eliminated
+// code so later references still have frame slots.
+func keepDecls(stmts []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range stmts {
+		switch v := s.(type) {
+		case *DeclStmt:
+			out = append(out, &DeclStmt{Name: v.Name, Line: v.Line})
+		case *IfStmt:
+			out = append(out, keepDecls(v.Then)...)
+			out = append(out, keepDecls(v.Else)...)
+		case *WhileStmt:
+			out = append(out, keepDecls(v.Body)...)
+		}
+	}
+	return out
+}
+
+// pure reports whether evaluating e has no side effects (no calls).
+func pure(e Expr) bool {
+	switch v := e.(type) {
+	case *IntLit, *VarRef:
+		return true
+	case *Unary:
+		return pure(v.X)
+	case *Binary:
+		return pure(v.L) && pure(v.R)
+	}
+	return false // Call
+}
+
+func optExpr(e Expr) Expr {
+	switch v := e.(type) {
+	case *Unary:
+		v.X = optExpr(v.X)
+		if lit, ok := v.X.(*IntLit); ok {
+			switch v.Op {
+			case "-":
+				return &IntLit{Value: -lit.Value}
+			case "!":
+				if lit.Value == 0 {
+					return &IntLit{Value: 1}
+				}
+				return &IntLit{Value: 0}
+			}
+		}
+		return v
+	case *Binary:
+		v.L = optExpr(v.L)
+		v.R = optExpr(v.R)
+		return foldBinary(v)
+	case *Call:
+		for i := range v.Args {
+			v.Args[i] = optExpr(v.Args[i])
+		}
+		return v
+	}
+	return e
+}
+
+func foldBinary(v *Binary) Expr {
+	l, lok := v.L.(*IntLit)
+	r, rok := v.R.(*IntLit)
+
+	// Full constant folding (C semantics, wrap at 32 bits).
+	if lok && rok {
+		a, b := l.Value, r.Value
+		switch v.Op {
+		case "+":
+			return &IntLit{Value: a + b}
+		case "-":
+			return &IntLit{Value: a - b}
+		case "*":
+			return &IntLit{Value: a * b}
+		case "/":
+			if b != 0 {
+				return &IntLit{Value: a / b}
+			}
+		case "%":
+			if b != 0 {
+				return &IntLit{Value: a % b}
+			}
+		case "==":
+			return boolLit(a == b)
+		case "!=":
+			return boolLit(a != b)
+		case "<":
+			return boolLit(a < b)
+		case "<=":
+			return boolLit(a <= b)
+		case ">":
+			return boolLit(a > b)
+		case ">=":
+			return boolLit(a >= b)
+		case "&&":
+			return boolLit(a != 0 && b != 0)
+		case "||":
+			return boolLit(a != 0 || b != 0)
+		}
+		return v
+	}
+
+	// Algebraic identities, applied only when the discarded side is pure.
+	switch v.Op {
+	case "+":
+		if lok && l.Value == 0 {
+			return v.R
+		}
+		if rok && r.Value == 0 {
+			return v.L
+		}
+	case "-":
+		if rok && r.Value == 0 {
+			return v.L
+		}
+	case "*":
+		if rok && r.Value == 1 {
+			return v.L
+		}
+		if lok && l.Value == 1 {
+			return v.R
+		}
+		if rok && r.Value == 0 && pure(v.L) {
+			return &IntLit{Value: 0}
+		}
+		if lok && l.Value == 0 && pure(v.R) {
+			return &IntLit{Value: 0}
+		}
+	case "/":
+		if rok && r.Value == 1 {
+			return v.L
+		}
+	case "&&":
+		// 0 && X -> 0 (short-circuit makes this safe even for impure X).
+		if lok && l.Value == 0 {
+			return &IntLit{Value: 0}
+		}
+		if lok && l.Value != 0 {
+			// truthy && X -> X != 0 normalized to 0/1
+			return &Binary{Op: "!=", L: v.R, R: &IntLit{Value: 0}}
+		}
+	case "||":
+		if lok && l.Value != 0 {
+			return &IntLit{Value: 1}
+		}
+		if lok && l.Value == 0 {
+			return &Binary{Op: "!=", L: v.R, R: &IntLit{Value: 0}}
+		}
+	}
+	return v
+}
+
+func boolLit(b bool) *IntLit {
+	if b {
+		return &IntLit{Value: 1}
+	}
+	return &IntLit{Value: 0}
+}

@@ -1,0 +1,508 @@
+package minicc
+
+import "fmt"
+
+// Parse builds the AST with a recursive-descent parser — the structure of
+// the CS75 course project's front end.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF, "") {
+		fn, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return Token{}, fmt.Errorf("minicc: line %d: expected %q, found %q", t.Line, want, t)
+}
+
+// funcDecl := "int" ident "(" params? ")" block
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	if _, err := p.expect(TokKeyword, "int"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.Text, Line: name.Line}
+	if !p.at(TokPunct, ")") {
+		for {
+			if _, err := p.expect(TokKeyword, "int"); err != nil {
+				return nil, err
+			}
+			pn, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, pn.Text)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// block := "{" stmt* "}"
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.at(TokPunct, "}") {
+		if p.at(TokEOF, "") {
+			return nil, fmt.Errorf("minicc: unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // }
+	return stmts, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(TokKeyword, "int"):
+		p.next()
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{Name: name.Text, Line: name.Line}
+		if p.accept(TokOp, "=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case p.at(TokKeyword, "if"):
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then}
+		if p.accept(TokKeyword, "else") {
+			if p.at(TokKeyword, "if") {
+				// else if: parse as a nested if inside a synthetic block.
+				nested, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = []Stmt{nested}
+			} else {
+				els, err := p.block()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = els
+			}
+		}
+		return st, nil
+	case p.at(TokKeyword, "while"):
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.at(TokKeyword, "return"):
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Expr: e, Line: t.Line}, nil
+	case p.at(TokKeyword, "print"):
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Expr: e}, nil
+	case t.Kind == TokIdent:
+		// assignment or expression statement (call)
+		if p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "=" {
+			name := p.next()
+			p.next() // =
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: name.Text, Expr: e, Line: name.Line}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Expr: e}, nil
+	}
+	return nil, fmt.Errorf("minicc: line %d: unexpected %q at start of statement", t.Line, t)
+}
+
+// Expression grammar with precedence climbing:
+//
+//	expr   := or
+//	or     := and ("||" and)*
+//	and    := cmp ("&&" cmp)*
+//	cmp    := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//	add    := mul (("+"|"-") mul)*
+//	mul    := unary (("*"|"/"|"%") unary)*
+//	unary  := ("-"|"!") unary | primary
+//	primary:= int | ident | ident "(" args ")" | "(" expr ")"
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOp, "||") {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOp, "&&") {
+		p.next()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if p.at(TokOp, op) {
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOp, "+") || p.at(TokOp, "-") {
+		op := p.next().Text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOp, "*") || p.at(TokOp, "/") || p.at(TokOp, "%") {
+		op := p.next().Text
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.at(TokOp, "-") || p.at(TokOp, "!") {
+		op := p.next().Text
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		return &IntLit{Value: t.Int}, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.accept(TokPunct, "(") {
+			call := &Call{Name: t.Text, Line: t.Line}
+			if !p.at(TokPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &VarRef{Name: t.Text, Line: t.Line}, nil
+	case p.accept(TokPunct, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("minicc: line %d: unexpected %q in expression", t.Line, t)
+}
+
+// Check performs the semantic checks of the course project: functions
+// unique and resolvable, arities match, variables declared before use,
+// no redeclaration in the same function, main exists with no parameters.
+func Check(prog *Program) error {
+	funcs := map[string]*FuncDecl{}
+	for _, f := range prog.Funcs {
+		if _, dup := funcs[f.Name]; dup {
+			return fmt.Errorf("minicc: line %d: function %q redefined", f.Line, f.Name)
+		}
+		funcs[f.Name] = f
+	}
+	mainFn, ok := funcs["main"]
+	if !ok {
+		return fmt.Errorf("minicc: no main function")
+	}
+	if len(mainFn.Params) != 0 {
+		return fmt.Errorf("minicc: main must take no parameters")
+	}
+	for _, f := range prog.Funcs {
+		vars := map[string]bool{}
+		for _, p := range f.Params {
+			if vars[p] {
+				return fmt.Errorf("minicc: line %d: duplicate parameter %q", f.Line, p)
+			}
+			vars[p] = true
+		}
+		if err := checkStmts(f.Body, vars, funcs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkStmts(stmts []Stmt, vars map[string]bool, funcs map[string]*FuncDecl) error {
+	for _, s := range stmts {
+		switch v := s.(type) {
+		case *DeclStmt:
+			if v.Init != nil {
+				if err := checkExpr(v.Init, vars, funcs); err != nil {
+					return err
+				}
+			}
+			if vars[v.Name] {
+				return fmt.Errorf("minicc: line %d: variable %q redeclared", v.Line, v.Name)
+			}
+			vars[v.Name] = true
+		case *AssignStmt:
+			if !vars[v.Name] {
+				return fmt.Errorf("minicc: line %d: assignment to undeclared %q", v.Line, v.Name)
+			}
+			if err := checkExpr(v.Expr, vars, funcs); err != nil {
+				return err
+			}
+		case *IfStmt:
+			if err := checkExpr(v.Cond, vars, funcs); err != nil {
+				return err
+			}
+			if err := checkStmts(v.Then, vars, funcs); err != nil {
+				return err
+			}
+			if err := checkStmts(v.Else, vars, funcs); err != nil {
+				return err
+			}
+		case *WhileStmt:
+			if err := checkExpr(v.Cond, vars, funcs); err != nil {
+				return err
+			}
+			if err := checkStmts(v.Body, vars, funcs); err != nil {
+				return err
+			}
+		case *ReturnStmt:
+			if err := checkExpr(v.Expr, vars, funcs); err != nil {
+				return err
+			}
+		case *PrintStmt:
+			if err := checkExpr(v.Expr, vars, funcs); err != nil {
+				return err
+			}
+		case *ExprStmt:
+			if err := checkExpr(v.Expr, vars, funcs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func checkExpr(e Expr, vars map[string]bool, funcs map[string]*FuncDecl) error {
+	switch v := e.(type) {
+	case *IntLit:
+		return nil
+	case *VarRef:
+		if !vars[v.Name] {
+			return fmt.Errorf("minicc: line %d: undeclared variable %q", v.Line, v.Name)
+		}
+	case *Binary:
+		if err := checkExpr(v.L, vars, funcs); err != nil {
+			return err
+		}
+		return checkExpr(v.R, vars, funcs)
+	case *Unary:
+		return checkExpr(v.X, vars, funcs)
+	case *Call:
+		f, ok := funcs[v.Name]
+		if !ok {
+			return fmt.Errorf("minicc: line %d: call to undefined function %q", v.Line, v.Name)
+		}
+		if len(v.Args) != len(f.Params) {
+			return fmt.Errorf("minicc: line %d: %s — %q takes %d args, got %d",
+				v.Line, exprString(v), v.Name, len(f.Params), len(v.Args))
+		}
+		for _, a := range v.Args {
+			if err := checkExpr(a, vars, funcs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package mp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the MPI collectives over point-to-point messages.
+// Bcast, Reduce, and Barrier use binomial trees (⌈log2 p⌉ rounds);
+// Allgather uses a ring; Scan is the upstream-prefix chain. Each is the
+// algorithm presented in the CS87 communication-patterns lecture.
+
+// Barrier blocks until every rank has entered it (tree reduce to rank 0,
+// then tree release).
+func (c *Comm) Barrier() error {
+	if _, err := c.Reduce(0, []int64{0}, func(a, b int64) int64 { return 0 }); err != nil {
+		return err
+	}
+	_, err := c.Bcast(0, []int64{0})
+	return err
+}
+
+// Bcast distributes root's data to every rank via a binomial tree and
+// returns the received slice on every rank (root returns its own data).
+func (c *Comm) Bcast(root int, data []int64) ([]int64, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mp: bcast root %d invalid", root)
+	}
+	p := c.Size()
+	// Re-number so root is virtual rank 0.
+	vr := (c.Rank() - root + p) % p
+	var buf []int64
+	if vr == 0 {
+		buf = data
+	} else {
+		// Receive from the virtual parent: clear the lowest set bit.
+		parent := (vr&(vr-1) + root) % p
+		m, err := c.Recv(parent, tagBcast)
+		if err != nil {
+			return nil, err
+		}
+		var ok bool
+		buf, ok = m.Data.([]int64)
+		if !ok {
+			return nil, errors.New("mp: bcast payload type mismatch")
+		}
+	}
+	// Forward to virtual children: vr + 2^k for each k past vr's lowest
+	// set bit range.
+	for bit := 1; bit < p; bit <<= 1 {
+		if vr&(bit-1) == 0 && vr&bit == 0 {
+			child := vr | bit
+			if child < p {
+				if err := c.Send((child+root)%p, tagBcast, buf); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return buf, nil
+}
+
+// Reduce combines each rank's contribution elementwise with op, leaving
+// the result at root (others get nil). Uses a binomial tree: log2(p)
+// rounds.
+func (c *Comm) Reduce(root int, data []int64, op func(a, b int64) int64) ([]int64, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mp: reduce root %d invalid", root)
+	}
+	p := c.Size()
+	vr := (c.Rank() - root + p) % p
+	acc := append([]int64(nil), data...)
+	for bit := 1; bit < p; bit <<= 1 {
+		if vr&bit != 0 {
+			// Send to the partner with this bit cleared, then exit the tree.
+			parent := vr &^ bit
+			if err := c.Send((parent+root)%p, tagReduce, acc); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		partner := vr | bit
+		if partner < p {
+			m, err := c.Recv((partner+root)%p, tagReduce)
+			if err != nil {
+				return nil, err
+			}
+			other, ok := m.Data.([]int64)
+			if !ok {
+				return nil, errors.New("mp: reduce payload type mismatch")
+			}
+			if len(other) != len(acc) {
+				return nil, errors.New("mp: reduce length mismatch across ranks")
+			}
+			for i := range acc {
+				acc[i] = op(acc[i], other[i])
+			}
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce is Reduce followed by Bcast: every rank gets the result.
+func (c *Comm) Allreduce(data []int64, op func(a, b int64) int64) ([]int64, error) {
+	res, err := c.Reduce(0, data, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.Bcast(0, res)
+}
+
+// Scatter splits root's data into Size equal chunks, delivering the i-th
+// chunk to rank i. len(data) must be divisible by Size (root only).
+func (c *Comm) Scatter(root int, data []int64) ([]int64, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mp: scatter root %d invalid", root)
+	}
+	p := c.Size()
+	if c.Rank() == root {
+		if len(data)%p != 0 {
+			return nil, fmt.Errorf("mp: scatter length %d not divisible by %d", len(data), p)
+		}
+		chunk := len(data) / p
+		var mine []int64
+		for r := 0; r < p; r++ {
+			part := append([]int64(nil), data[r*chunk:(r+1)*chunk]...)
+			if r == root {
+				mine = part
+				continue
+			}
+			if err := c.Send(r, tagScatter, part); err != nil {
+				return nil, err
+			}
+		}
+		return mine, nil
+	}
+	m, err := c.Recv(root, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	part, ok := m.Data.([]int64)
+	if !ok {
+		return nil, errors.New("mp: scatter payload type mismatch")
+	}
+	return part, nil
+}
+
+// Gather collects each rank's chunk at root (rank order preserved);
+// non-roots get nil.
+func (c *Comm) Gather(root int, data []int64) ([]int64, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mp: gather root %d invalid", root)
+	}
+	if c.Rank() != root {
+		return nil, c.Send(root, tagGather, append([]int64(nil), data...))
+	}
+	parts := make([][]int64, c.Size())
+	parts[root] = data
+	for i := 0; i < c.Size()-1; i++ {
+		m, err := c.Recv(AnySource, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		part, ok := m.Data.([]int64)
+		if !ok {
+			return nil, errors.New("mp: gather payload type mismatch")
+		}
+		parts[m.Source] = part
+	}
+	var out []int64
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Allgather gives every rank the concatenation of all chunks (equal chunk
+// sizes), using the ring algorithm: p-1 rounds of pass-to-the-right.
+func (c *Comm) Allgather(data []int64) ([]int64, error) {
+	p := c.Size()
+	n := len(data)
+	out := make([]int64, n*p)
+	copy(out[c.Rank()*n:], data)
+	cur := append([]int64(nil), data...)
+	curOwner := c.Rank()
+	right := (c.Rank() + 1) % p
+	left := (c.Rank() - 1 + p) % p
+	for round := 0; round < p-1; round++ {
+		m, err := c.SendRecv(right, tagAllgather, append([]int64(nil), cur...), left, tagAllgather)
+		if err != nil {
+			return nil, err
+		}
+		incoming, ok := m.Data.([]int64)
+		if !ok {
+			return nil, errors.New("mp: allgather payload type mismatch")
+		}
+		if len(incoming) != n {
+			return nil, errors.New("mp: allgather chunk size mismatch")
+		}
+		curOwner = (curOwner - 1 + p) % p
+		copy(out[curOwner*n:], incoming)
+		cur = incoming
+	}
+	return out, nil
+}
+
+// Scan computes the inclusive prefix reduction: rank i receives
+// op(data_0, ..., data_i), via the linear chain (p-1 rounds end-to-end,
+// one hop each).
+func (c *Comm) Scan(data []int64, op func(a, b int64) int64) ([]int64, error) {
+	acc := append([]int64(nil), data...)
+	if c.Rank() > 0 {
+		m, err := c.Recv(c.Rank()-1, tagScan)
+		if err != nil {
+			return nil, err
+		}
+		prev, ok := m.Data.([]int64)
+		if !ok {
+			return nil, errors.New("mp: scan payload type mismatch")
+		}
+		if len(prev) != len(acc) {
+			return nil, errors.New("mp: scan length mismatch")
+		}
+		for i := range acc {
+			acc[i] = op(prev[i], acc[i])
+		}
+	}
+	if c.Rank() < c.Size()-1 {
+		if err := c.Send(c.Rank()+1, tagScan, append([]int64(nil), acc...)); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// Alltoall performs the full personalized exchange: rank i sends chunk j
+// of its data to rank j and receives chunk i from everyone. len(data)
+// must be divisible by Size.
+func (c *Comm) Alltoall(data []int64) ([]int64, error) {
+	p := c.Size()
+	if len(data)%p != 0 {
+		return nil, fmt.Errorf("mp: alltoall length %d not divisible by %d", len(data), p)
+	}
+	n := len(data) / p
+	out := make([]int64, len(data))
+	for r := 0; r < p; r++ {
+		chunk := append([]int64(nil), data[r*n:(r+1)*n]...)
+		if r == c.Rank() {
+			copy(out[r*n:], chunk)
+			continue
+		}
+		if err := c.Send(r, tagAlltoall, chunk); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < p-1; i++ {
+		m, err := c.Recv(AnySource, tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
+		chunk, ok := m.Data.([]int64)
+		if !ok {
+			return nil, errors.New("mp: alltoall payload type mismatch")
+		}
+		copy(out[m.Source*n:], chunk)
+	}
+	return out, nil
+}
+
+// BcastLinear is the naive one-by-one broadcast, kept as the ablation
+// baseline against the binomial-tree Bcast.
+func (c *Comm) BcastLinear(root int, data []int64) ([]int64, error) {
+	if c.Rank() == root {
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	m, err := c.Recv(root, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	buf, ok := m.Data.([]int64)
+	if !ok {
+		return nil, errors.New("mp: bcast payload type mismatch")
+	}
+	return buf, nil
+}

@@ -1,0 +1,67 @@
+package mp_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/mp"
+)
+
+// The canonical MPI hello: every rank reports in; rank 0 gathers.
+func Example() {
+	var mu sync.Mutex
+	var lines []string
+	err := mp.Run(4, func(c *mp.Comm) error {
+		sum, err := c.Allreduce([]int64{int64(c.Rank())}, func(a, b int64) int64 { return a + b })
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf("rank %d of %d sees sum %d", c.Rank(), c.Size(), sum[0]))
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	// Output:
+	// rank 0 of 4 sees sum 6
+	// rank 1 of 4 sees sum 6
+	// rank 2 of 4 sees sum 6
+	// rank 3 of 4 sees sum 6
+}
+
+// Scatter splits root data into per-rank chunks; Gather reassembles it.
+func ExampleComm_Scatter() {
+	var got []int64
+	err := mp.Run(3, func(c *mp.Comm) error {
+		var data []int64
+		if c.Rank() == 0 {
+			data = []int64{10, 11, 20, 21, 30, 31}
+		}
+		part, err := c.Scatter(0, data)
+		if err != nil {
+			return err
+		}
+		back, err := c.Gather(0, part)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			got = back
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(got)
+	// Output: [10 11 20 21 30 31]
+}

@@ -1,0 +1,283 @@
+// Package mp implements an MPI-flavoured message-passing library over
+// goroutines and channels: a world of ranked processes with blocking
+// Send/Recv (tag matching, wildcard source/tag), nonblocking Isend/Irecv
+// with Wait, and the collective operations of the CS87 short labs —
+// Barrier, Bcast, Scatter, Gather, Allgather, Reduce, Allreduce, Scan,
+// and Alltoall — built from point-to-point messages using binomial-tree
+// and ring algorithms, with per-rank traffic counters for the
+// communication-cost discussions.
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AnySource matches any sender in Recv.
+const AnySource = -1
+
+// AnyTag matches any tag in Recv.
+const AnyTag = -1
+
+// internal tags reserved by collectives (user tags must be >= 0 and are
+// namespaced away from these).
+const (
+	tagBarrier = -100 - iota
+	tagBcast
+	tagScatter
+	tagGather
+	tagReduce
+	tagScan
+	tagAlltoall
+	tagAllgather
+)
+
+// Message is one delivered message.
+type Message struct {
+	Source int
+	Tag    int
+	Data   interface{}
+}
+
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []Message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m Message) {
+	mb.mu.Lock()
+	mb.pending = append(mb.pending, m)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+func (mb *mailbox) take(src, tag int) Message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if m, ok := mb.match(src, tag); ok {
+			return m
+		}
+		mb.cond.Wait()
+	}
+}
+
+// match removes and returns the first matching message. Callers hold mu.
+func (mb *mailbox) match(src, tag int) (Message, bool) {
+	for i, m := range mb.pending {
+		if (src == AnySource || m.Source == src) && (tag == AnyTag || m.Tag == tag) {
+			mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// takeTimeout is take with a deadline; ok is false on timeout.
+func (mb *mailbox) takeTimeout(src, tag int, d time.Duration) (Message, bool) {
+	deadline := time.Now().Add(d)
+	timedOut := false
+	timer := time.AfterFunc(d, func() {
+		mb.mu.Lock()
+		timedOut = true
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	})
+	defer timer.Stop()
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if m, ok := mb.match(src, tag); ok {
+			return m, true
+		}
+		if timedOut || !time.Now().Before(deadline) {
+			return Message{}, false
+		}
+		mb.cond.Wait()
+	}
+}
+
+// world is the shared communicator state.
+type world struct {
+	size   int
+	boxes  []*mailbox
+	stats  []Stats
+	statMu sync.Mutex
+}
+
+// Stats counts a rank's traffic.
+type Stats struct {
+	Sent     int64
+	Received int64
+	Elems    int64 // int64 payload elements moved (for bandwidth modelling)
+}
+
+// Comm is one rank's handle on the world (an MPI communicator bound to a
+// rank).
+type Comm struct {
+	w    *world
+	rank int
+}
+
+// Rank returns this process's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.w.size }
+
+// Send delivers data to dst with a tag. It is buffered (asynchronous):
+// the send completes immediately, like MPI_Send with ample buffering.
+func (c *Comm) Send(dst, tag int, data interface{}) error {
+	if dst < 0 || dst >= c.w.size {
+		return fmt.Errorf("mp: send to invalid rank %d", dst)
+	}
+	c.w.boxes[dst].put(Message{Source: c.rank, Tag: tag, Data: data})
+	c.w.statMu.Lock()
+	c.w.stats[c.rank].Sent++
+	c.w.stats[c.rank].Elems += payloadLen(data)
+	c.w.statMu.Unlock()
+	return nil
+}
+
+func payloadLen(data interface{}) int64 {
+	switch v := data.(type) {
+	case []int64:
+		return int64(len(v))
+	case []byte:
+		return int64(len(v))
+	case string:
+		return int64(len(v))
+	default:
+		return 1
+	}
+}
+
+// Recv blocks until a message matching src (or AnySource) and tag (or
+// AnyTag) arrives.
+func (c *Comm) Recv(src, tag int) (Message, error) {
+	if src != AnySource && (src < 0 || src >= c.w.size) {
+		return Message{}, fmt.Errorf("mp: recv from invalid rank %d", src)
+	}
+	m := c.w.boxes[c.rank].take(src, tag)
+	c.w.statMu.Lock()
+	c.w.stats[c.rank].Received++
+	c.w.statMu.Unlock()
+	return m, nil
+}
+
+// RecvTimeout is Recv with a deadline: ok is false when no matching
+// message arrived within d. It models the failure-detection timeouts of
+// the distributed-systems unit (MPI has no direct equivalent; real
+// systems use it constantly).
+func (c *Comm) RecvTimeout(src, tag int, d time.Duration) (Message, bool, error) {
+	if src != AnySource && (src < 0 || src >= c.w.size) {
+		return Message{}, false, fmt.Errorf("mp: recv from invalid rank %d", src)
+	}
+	m, ok := c.w.boxes[c.rank].takeTimeout(src, tag, d)
+	if ok {
+		c.w.statMu.Lock()
+		c.w.stats[c.rank].Received++
+		c.w.statMu.Unlock()
+	}
+	return m, ok, nil
+}
+
+// SendRecv performs a simultaneous exchange (MPI_Sendrecv): deadlock-free
+// because sends are buffered.
+func (c *Comm) SendRecv(dst, sendTag int, data interface{}, src, recvTag int) (Message, error) {
+	if err := c.Send(dst, sendTag, data); err != nil {
+		return Message{}, err
+	}
+	return c.Recv(src, recvTag)
+}
+
+// Request is a pending nonblocking operation.
+type Request struct {
+	done chan Message
+	err  error
+}
+
+// Wait blocks until the operation completes.
+func (r *Request) Wait() (Message, error) {
+	if r.err != nil {
+		return Message{}, r.err
+	}
+	m, ok := <-r.done
+	if !ok {
+		return Message{}, errors.New("mp: request already waited")
+	}
+	return m, nil
+}
+
+// Isend starts a nonblocking send (trivially complete under buffering).
+func (c *Comm) Isend(dst, tag int, data interface{}) *Request {
+	r := &Request{done: make(chan Message, 1)}
+	r.err = c.Send(dst, tag, data)
+	r.done <- Message{}
+	close(r.done)
+	return r
+}
+
+// Irecv starts a nonblocking receive; Wait returns the message.
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{done: make(chan Message, 1)}
+	go func() {
+		m, err := c.Recv(src, tag)
+		if err != nil {
+			r.err = err
+		}
+		r.done <- m
+		close(r.done)
+	}()
+	return r
+}
+
+// Stats returns this rank's traffic counters.
+func (c *Comm) Stats() Stats {
+	c.w.statMu.Lock()
+	defer c.w.statMu.Unlock()
+	return c.w.stats[c.rank]
+}
+
+// Run launches size ranks, each executing body with its own Comm, and
+// waits for all to finish. A panic in any rank aborts with an error
+// naming the rank; body errors are collected.
+func Run(size int, body func(c *Comm) error) error {
+	if size <= 0 {
+		return errors.New("mp: world size must be positive")
+	}
+	w := &world{size: size, boxes: make([]*mailbox, size), stats: make([]Stats, size)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mp: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = body(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("mp: rank %d: %w", r, err)
+		}
+	}
+	return nil
+}

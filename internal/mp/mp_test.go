@@ -1,0 +1,551 @@
+package mp
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []int64{1, 2, 3})
+		}
+		m, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		data := m.Data.([]int64)
+		if m.Source != 0 || m.Tag != 7 || len(data) != 3 || data[2] != 3 {
+			t.Errorf("message: %+v", m)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, "first")
+			c.Send(1, 2, "second")
+			return nil
+		}
+		// Receive tag 2 before tag 1: the mailbox must match by tag.
+		m2, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		m1, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if m2.Data.(string) != "second" || m1.Data.(string) != "first" {
+			t.Errorf("tag matching failed: %v %v", m1.Data, m2.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				m, err := c.Recv(AnySource, AnyTag)
+				if err != nil {
+					return err
+				}
+				seen[m.Source] = true
+			}
+			if len(seen) != 3 {
+				t.Errorf("sources seen: %v", seen)
+			}
+			return nil
+		}
+		return c.Send(0, c.Rank()*10, []int64{int64(c.Rank())})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidRanks(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if err := c.Send(5, 0, nil); err == nil {
+			t.Error("send to rank 5 should fail")
+		}
+		if _, err := c.Recv(9, 0); err == nil {
+			t.Error("recv from rank 9 should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(0, func(*Comm) error { return nil }); err == nil {
+		t.Error("world size 0 should fail")
+	}
+}
+
+func TestPanicIsReported(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("rank bug")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 1 panicked") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestIsendIrecv(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 0, []int64{42})
+			_, err := req.Wait()
+			return err
+		}
+		req := c.Irecv(0, 0)
+		m, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if m.Data.([]int64)[0] != 42 {
+			t.Errorf("irecv got %v", m.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func add(a, b int64) int64 { return a + b }
+
+func maxOp(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestBcastAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 8, 13} {
+		for root := 0; root < p; root += 2 {
+			var got atomic.Int64
+			err := Run(p, func(c *Comm) error {
+				data := []int64{0}
+				if c.Rank() == root {
+					data = []int64{777}
+				}
+				out, err := c.Bcast(root, data)
+				if err != nil {
+					return err
+				}
+				if out[0] == 777 {
+					got.Add(1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+			if got.Load() != int64(p) {
+				t.Errorf("p=%d root=%d: %d ranks got the value", p, root, got.Load())
+			}
+		}
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 7, 8} {
+		err := Run(p, func(c *Comm) error {
+			data := []int64{int64(c.Rank()), int64(c.Rank() * 10)}
+			res, err := c.Reduce(0, data, add)
+			if err != nil {
+				return err
+			}
+			wantSum := int64(p * (p - 1) / 2)
+			if c.Rank() == 0 {
+				if res[0] != wantSum || res[1] != wantSum*10 {
+					t.Errorf("p=%d reduce = %v, want [%d %d]", p, res, wantSum, wantSum*10)
+				}
+			} else if res != nil {
+				t.Errorf("non-root got %v", res)
+			}
+			all, err := c.Allreduce([]int64{1}, add)
+			if err != nil {
+				return err
+			}
+			if all[0] != int64(p) {
+				t.Errorf("allreduce = %v, want %d", all, p)
+			}
+			allMax, err := c.Allreduce([]int64{int64(c.Rank())}, maxOp)
+			if err != nil {
+				return err
+			}
+			if allMax[0] != int64(p-1) {
+				t.Errorf("allreduce max = %v", allMax)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	const p = 4
+	err := Run(p, func(c *Comm) error {
+		var src []int64
+		if c.Rank() == 2 {
+			src = make([]int64, p*3)
+			for i := range src {
+				src[i] = int64(i)
+			}
+		}
+		part, err := c.Scatter(2, src)
+		if err != nil {
+			return err
+		}
+		if len(part) != 3 || part[0] != int64(c.Rank()*3) {
+			t.Errorf("rank %d part = %v", c.Rank(), part)
+		}
+		back, err := c.Gather(2, part)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			for i, v := range back {
+				if v != int64(i) {
+					t.Errorf("gather[%d] = %d", i, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterBadLength(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			_, err := c.Scatter(0, make([]int64, 4)) // 4 % 3 != 0
+			if err == nil {
+				t.Error("indivisible scatter should error")
+			}
+			// Unblock the others with a valid scatter.
+			_, err = c.Scatter(0, make([]int64, 6))
+			return err
+		}
+		_, err := c.Scatter(0, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherRing(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		err := Run(p, func(c *Comm) error {
+			out, err := c.Allgather([]int64{int64(c.Rank() * 100), int64(c.Rank()*100 + 1)})
+			if err != nil {
+				return err
+			}
+			if len(out) != 2*p {
+				t.Errorf("p=%d allgather len %d", p, len(out))
+				return nil
+			}
+			for r := 0; r < p; r++ {
+				if out[2*r] != int64(r*100) || out[2*r+1] != int64(r*100+1) {
+					t.Errorf("p=%d rank %d: out=%v", p, c.Rank(), out)
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	const p = 6
+	err := Run(p, func(c *Comm) error {
+		res, err := c.Scan([]int64{int64(c.Rank() + 1)}, add)
+		if err != nil {
+			return err
+		}
+		want := int64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+		if res[0] != want {
+			t.Errorf("rank %d scan = %d, want %d", c.Rank(), res[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallTranspose(t *testing.T) {
+	const p = 4
+	err := Run(p, func(c *Comm) error {
+		// data[j] = rank*10 + j; after alltoall, out[j] = j*10 + rank.
+		data := make([]int64, p)
+		for j := range data {
+			data[j] = int64(c.Rank()*10 + j)
+		}
+		out, err := c.Alltoall(data)
+		if err != nil {
+			return err
+		}
+		for j := range out {
+			if out[j] != int64(j*10+c.Rank()) {
+				t.Errorf("rank %d out[%d] = %d", c.Rank(), j, out[j])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	const p = 5
+	var before, after atomic.Int32
+	err := Run(p, func(c *Comm) error {
+		before.Add(1)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Everyone must have incremented `before` by now.
+		if before.Load() != p {
+			t.Errorf("rank %d passed barrier with before=%d", c.Rank(), before.Load())
+		}
+		after.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Load() != p {
+		t.Errorf("after = %d", after.Load())
+	}
+}
+
+func TestTreeBcastFewerSendsAtRoot(t *testing.T) {
+	// Ablation: with p ranks, linear bcast sends p-1 messages from the
+	// root; the binomial tree sends only ceil(log2 p) from the root.
+	const p = 16
+	var treeRootSends, linRootSends int64
+	err := Run(p, func(c *Comm) error {
+		if _, err := c.Bcast(0, []int64{1}); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			treeRootSends = c.Stats().Sent
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(p, func(c *Comm) error {
+		if _, err := c.BcastLinear(0, []int64{1}); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			linRootSends = c.Stats().Sent
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if treeRootSends != 4 { // log2(16)
+		t.Errorf("tree root sends = %d, want 4", treeRootSends)
+	}
+	if linRootSends != p-1 {
+		t.Errorf("linear root sends = %d, want %d", linRootSends, p-1)
+	}
+}
+
+func TestPingPongStats(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		const rounds = 10
+		other := 1 - c.Rank()
+		for i := 0; i < rounds; i++ {
+			if c.Rank() == 0 {
+				if err := c.Send(other, 0, []int64{int64(i)}); err != nil {
+					return err
+				}
+				if _, err := c.Recv(other, 0); err != nil {
+					return err
+				}
+			} else {
+				m, err := c.Recv(other, 0)
+				if err != nil {
+					return err
+				}
+				if err := c.Send(other, 0, m.Data); err != nil {
+					return err
+				}
+			}
+		}
+		st := c.Stats()
+		if st.Sent != rounds || st.Received != rounds {
+			t.Errorf("rank %d stats: %+v", c.Rank(), st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Nothing arrives: times out.
+			_, ok, err := c.RecvTimeout(1, 5, 50*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			if ok {
+				t.Error("timeout recv should report !ok")
+			}
+			// Tell rank 1 to send, then receive within the window.
+			if err := c.Send(1, 1, "go"); err != nil {
+				return err
+			}
+			m, ok, err := c.RecvTimeout(1, 2, 2*time.Second)
+			if err != nil {
+				return err
+			}
+			if !ok || m.Data.(string) != "data" {
+				t.Errorf("late recv: ok=%v data=%v", ok, m.Data)
+			}
+			// Invalid rank errors.
+			if _, _, err := c.RecvTimeout(9, 0, time.Millisecond); err == nil {
+				t.Error("invalid source should error")
+			}
+			return nil
+		}
+		if _, err := c.Recv(0, 1); err != nil {
+			return err
+		}
+		return c.Send(0, 2, "data")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestDoubleWait(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 0, "x")
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err == nil {
+				t.Error("second Wait should error")
+			}
+			return nil
+		}
+		_, err := c.Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveErrorPaths(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if _, err := c.Bcast(-1, nil); err == nil {
+			t.Error("bad bcast root should error")
+		}
+		if _, err := c.Reduce(5, nil, add); err == nil {
+			t.Error("bad reduce root should error")
+		}
+		if _, err := c.Scatter(7, nil); err == nil {
+			t.Error("bad scatter root should error")
+		}
+		if _, err := c.Gather(-2, nil); err == nil {
+			t.Error("bad gather root should error")
+		}
+		if _, err := c.Alltoall(make([]int64, 3)); err == nil {
+			t.Error("indivisible alltoall should error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadAccounting(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []int64{1, 2, 3})
+			c.Send(1, 0, []byte("abcd"))
+			c.Send(1, 0, "hello")
+			c.Send(1, 0, 42)
+			st := c.Stats()
+			if st.Elems != 3+4+5+1 {
+				t.Errorf("elems = %d, want 13", st.Elems)
+			}
+			return nil
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := c.Recv(0, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastLinearMatchesTree(t *testing.T) {
+	for _, p := range []int{2, 5, 9} {
+		var got atomic.Int64
+		err := Run(p, func(c *Comm) error {
+			data := []int64{0}
+			if c.Rank() == 0 {
+				data = []int64{55}
+			}
+			out, err := c.BcastLinear(0, data)
+			if err != nil {
+				return err
+			}
+			if out[0] == 55 {
+				got.Add(1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if got.Load() != int64(p) {
+			t.Errorf("p=%d: linear bcast reached %d ranks", p, got.Load())
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package omp_test
+
+import (
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+// A parallel-for with a sum reduction — the OpenMP hello-world.
+func Example() {
+	sum, _, err := omp.ForReduce(1, 11, omp.Config{Threads: 4, Schedule: omp.Dynamic, Chunk: 2},
+		0,
+		func(i int) int64 { return int64(i * i) },
+		func(a, b int64) int64 { return a + b })
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(sum) // 1+4+...+100
+	// Output: 385
+}

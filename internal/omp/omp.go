@@ -1,0 +1,244 @@
+// Package omp implements the OpenMP-style worksharing constructs from the
+// CS87 short labs: parallel-for over an index range with static, static-
+// chunked, dynamic, and guided schedules; reductions; named critical
+// sections; and a per-thread iteration census that makes load (im)balance
+// measurable — the property the scheduling lecture compares across
+// schedules.
+package omp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects how iterations map to threads (schedule(...) clause).
+type Schedule int
+
+// The schedules.
+const (
+	// Static splits the range into one contiguous block per thread.
+	Static Schedule = iota
+	// StaticChunk deals fixed-size chunks round-robin (schedule(static,k)).
+	StaticChunk
+	// Dynamic hands out fixed-size chunks from a shared counter on demand.
+	Dynamic
+	// Guided hands out geometrically shrinking chunks (remaining/threads,
+	// floored at the chunk size).
+	Guided
+)
+
+// String returns the human-readable name.
+func (s Schedule) String() string {
+	return [...]string{"static", "static-chunk", "dynamic", "guided"}[s]
+}
+
+// Config parameterizes a parallel-for.
+type Config struct {
+	Threads  int
+	Schedule Schedule
+	Chunk    int // chunk size for StaticChunk/Dynamic, minimum for Guided
+}
+
+// Census reports who executed what, for the load-balance analysis.
+type Census struct {
+	PerThread []int64 // iterations executed by each thread
+	Chunks    []int64 // chunks claimed by each thread
+}
+
+// Imbalance returns max/mean of per-thread iteration counts (1.0 is
+// perfectly balanced).
+func (c Census) Imbalance() float64 {
+	if len(c.PerThread) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for _, n := range c.PerThread {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(c.PerThread))
+	return float64(max) / mean
+}
+
+// For executes body(thread, i) for every i in [lo, hi) using the
+// configured schedule. thread is the executing worker's index
+// (omp_get_thread_num()); iterations within one thread run in ascending
+// order per chunk.
+func For(lo, hi int, cfg Config, body func(thread, i int)) (Census, error) {
+	if cfg.Threads <= 0 {
+		return Census{}, errors.New("omp: thread count must be positive")
+	}
+	if hi < lo {
+		return Census{}, fmt.Errorf("omp: bad range [%d,%d)", lo, hi)
+	}
+	chunk := cfg.Chunk
+	if chunk <= 0 {
+		chunk = 1
+	}
+	n := hi - lo
+	census := Census{
+		PerThread: make([]int64, cfg.Threads),
+		Chunks:    make([]int64, cfg.Threads),
+	}
+	if n == 0 {
+		return census, nil
+	}
+
+	var wg sync.WaitGroup
+	switch cfg.Schedule {
+	case Static:
+		for t := 0; t < cfg.Threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				start := lo + t*n/cfg.Threads
+				end := lo + (t+1)*n/cfg.Threads
+				if end > start {
+					census.Chunks[t]++
+				}
+				for i := start; i < end; i++ {
+					body(t, i)
+					census.PerThread[t]++
+				}
+			}(t)
+		}
+	case StaticChunk:
+		for t := 0; t < cfg.Threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				for base := lo + t*chunk; base < hi; base += cfg.Threads * chunk {
+					end := base + chunk
+					if end > hi {
+						end = hi
+					}
+					census.Chunks[t]++
+					for i := base; i < end; i++ {
+						body(t, i)
+						census.PerThread[t]++
+					}
+				}
+			}(t)
+		}
+	case Dynamic:
+		var next atomic.Int64
+		next.Store(int64(lo))
+		for t := 0; t < cfg.Threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				for {
+					base := int(next.Add(int64(chunk))) - chunk
+					if base >= hi {
+						return
+					}
+					end := base + chunk
+					if end > hi {
+						end = hi
+					}
+					census.Chunks[t]++
+					for i := base; i < end; i++ {
+						body(t, i)
+						census.PerThread[t]++
+					}
+				}
+			}(t)
+		}
+	case Guided:
+		var mu sync.Mutex
+		nextIdx := lo
+		claim := func() (int, int) {
+			mu.Lock()
+			defer mu.Unlock()
+			remaining := hi - nextIdx
+			if remaining <= 0 {
+				return 0, 0
+			}
+			size := remaining / cfg.Threads
+			if size < chunk {
+				size = chunk
+			}
+			if size > remaining {
+				size = remaining
+			}
+			base := nextIdx
+			nextIdx += size
+			return base, base + size
+		}
+		for t := 0; t < cfg.Threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				for {
+					base, end := claim()
+					if base == end {
+						return
+					}
+					census.Chunks[t]++
+					for i := base; i < end; i++ {
+						body(t, i)
+						census.PerThread[t]++
+					}
+				}
+			}(t)
+		}
+	default:
+		return Census{}, fmt.Errorf("omp: unknown schedule %d", cfg.Schedule)
+	}
+	wg.Wait()
+	return census, nil
+}
+
+// ForReduce is For with a reduction clause: each thread folds its
+// iterations into a private accumulator seeded with identity; the
+// partials combine in thread order at the join, so the result is
+// deterministic for associative-commutative operators.
+func ForReduce(lo, hi int, cfg Config, identity int64,
+	body func(i int) int64, combine func(a, b int64) int64) (int64, Census, error) {
+	if cfg.Threads <= 0 {
+		return 0, Census{}, errors.New("omp: thread count must be positive")
+	}
+	partials := make([]int64, cfg.Threads)
+	for t := range partials {
+		partials[t] = identity
+	}
+	census, err := For(lo, hi, cfg, func(t, i int) {
+		partials[t] = combine(partials[t], body(i))
+	})
+	if err != nil {
+		return 0, census, err
+	}
+	acc := identity
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc, census, nil
+}
+
+// Critical returns the named critical-section lock (omp critical(name)).
+// The same name always yields the same mutex.
+func Critical(name string) *sync.Mutex {
+	criticalMu.Lock()
+	defer criticalMu.Unlock()
+	if m, ok := criticals[name]; ok {
+		return m
+	}
+	m := &sync.Mutex{}
+	criticals[name] = m
+	return m
+}
+
+var (
+	criticalMu sync.Mutex
+	criticals  = map[string]*sync.Mutex{}
+)
+
+// AtomicAdd is the "#pragma omp atomic" increment.
+func AtomicAdd(target *int64, delta int64) { atomic.AddInt64(target, delta) }

@@ -1,0 +1,256 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var allSchedules = []Schedule{Static, StaticChunk, Dynamic, Guided}
+
+func TestEveryIterationExactlyOnce(t *testing.T) {
+	for _, sched := range allSchedules {
+		for _, tc := range []struct{ lo, hi, threads, chunk int }{
+			{0, 100, 4, 1},
+			{0, 100, 4, 7},
+			{5, 6, 3, 2},     // single iteration
+			{10, 10, 2, 4},   // empty range
+			{0, 1000, 16, 3}, // more threads than sensible
+			{-50, 50, 4, 8},  // negative lo
+		} {
+			n := tc.hi - tc.lo
+			counts := make([]int32, max(n, 0))
+			census, err := For(tc.lo, tc.hi, Config{Threads: tc.threads, Schedule: sched, Chunk: tc.chunk},
+				func(_, i int) {
+					atomic.AddInt32(&counts[i-tc.lo], 1)
+				})
+			if err != nil {
+				t.Fatalf("%v %+v: %v", sched, tc, err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("%v %+v: iteration %d ran %d times", sched, tc, tc.lo+i, c)
+				}
+			}
+			var total int64
+			for _, p := range census.PerThread {
+				total += p
+			}
+			if total != int64(max(n, 0)) {
+				t.Errorf("%v %+v: census total %d != %d", sched, tc, total, n)
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestCoverageProperty(t *testing.T) {
+	f := func(nRaw uint16, threadsRaw, chunkRaw, schedRaw uint8) bool {
+		n := int(nRaw % 500)
+		threads := int(threadsRaw%8) + 1
+		chunk := int(chunkRaw%16) + 1
+		sched := allSchedules[int(schedRaw)%len(allSchedules)]
+		var sum atomic.Int64
+		_, err := For(0, n, Config{Threads: threads, Schedule: sched, Chunk: chunk}, func(_, i int) {
+			sum.Add(int64(i))
+		})
+		if err != nil {
+			return false
+		}
+		return sum.Load() == int64(n)*int64(n-1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := For(0, 10, Config{Threads: 0}, func(_, _ int) {}); err == nil {
+		t.Error("0 threads should error")
+	}
+	if _, err := For(10, 0, Config{Threads: 2}, func(_, _ int) {}); err == nil {
+		t.Error("reversed range should error")
+	}
+	if _, err := For(0, 10, Config{Threads: 2, Schedule: Schedule(99)}, func(_, _ int) {}); err == nil {
+		t.Error("unknown schedule should error")
+	}
+}
+
+func TestThreadIndexInRange(t *testing.T) {
+	for _, sched := range allSchedules {
+		const threads = 4
+		var bad atomic.Int32
+		_, err := For(0, 200, Config{Threads: threads, Schedule: sched, Chunk: 3}, func(tid, _ int) {
+			if tid < 0 || tid >= threads {
+				bad.Add(1)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad.Load() != 0 {
+			t.Errorf("%v: %d iterations saw an out-of-range thread id", sched, bad.Load())
+		}
+	}
+}
+
+func TestReduceSumAndMax(t *testing.T) {
+	for _, sched := range allSchedules {
+		got, _, err := ForReduce(1, 1001, Config{Threads: 4, Schedule: sched, Chunk: 8}, 0,
+			func(i int) int64 { return int64(i) },
+			func(a, b int64) int64 { return a + b })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 500500 {
+			t.Errorf("%v: sum = %d", sched, got)
+		}
+		gotMax, _, err := ForReduce(0, 100, Config{Threads: 3, Schedule: sched}, -1<<62,
+			func(i int) int64 { return int64((i * 37) % 89) },
+			func(a, b int64) int64 {
+				if a > b {
+					return a
+				}
+				return b
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotMax != 88 {
+			t.Errorf("%v: max = %d", sched, gotMax)
+		}
+	}
+	if _, _, err := ForReduce(0, 10, Config{Threads: 0}, 0, nil, nil); err == nil {
+		t.Error("0 threads should error")
+	}
+}
+
+func TestDynamicBalancesSkewedWork(t *testing.T) {
+	// Iterations 0..49 are heavy, 50..399 trivial. Static assigns the
+	// heavy prefix to thread 0; dynamic spreads it. Compare per-thread
+	// *work* (weighted iterations), which is what wall-clock imbalance
+	// follows.
+	const threads = 4
+	weight := func(i int) int64 {
+		if i < 50 {
+			return 100
+		}
+		return 1
+	}
+	workOf := func(sched Schedule) []int64 {
+		work := make([]int64, threads)
+		_, err := For(0, 400, Config{Threads: threads, Schedule: sched, Chunk: 4}, func(t, i int) {
+			// Simulate the cost so dynamic's on-demand claiming matters.
+			if weight(i) > 1 {
+				time.Sleep(50 * time.Microsecond)
+			}
+			atomic.AddInt64(&work[t], weight(i))
+		})
+		if err != nil {
+			panic(err)
+		}
+		return work
+	}
+	imbalance := func(work []int64) float64 {
+		var sum, maxW int64
+		for _, w := range work {
+			sum += w
+			if w > maxW {
+				maxW = w
+			}
+		}
+		return float64(maxW) / (float64(sum) / float64(len(work)))
+	}
+	static := imbalance(workOf(Static))
+	dynamic := imbalance(workOf(Dynamic))
+	// Static puts all 50 heavy iterations on thread 0: imbalance ~3.7.
+	if static < 2 {
+		t.Errorf("static imbalance = %.2f, expected heavy skew", static)
+	}
+	if dynamic >= static {
+		t.Errorf("dynamic imbalance %.2f should beat static %.2f", dynamic, static)
+	}
+}
+
+func TestGuidedClaimsFewerChunksThanDynamic(t *testing.T) {
+	// Guided's shrinking chunks mean fewer scheduler interactions than
+	// dynamic with the same minimum chunk.
+	const n = 10000
+	chunksOf := func(sched Schedule) int64 {
+		census, err := For(0, n, Config{Threads: 4, Schedule: sched, Chunk: 2}, func(_, _ int) {})
+		if err != nil {
+			panic(err)
+		}
+		var total int64
+		for _, c := range census.Chunks {
+			total += c
+		}
+		return total
+	}
+	g, d := chunksOf(Guided), chunksOf(Dynamic)
+	if g >= d {
+		t.Errorf("guided chunks %d should be < dynamic %d", g, d)
+	}
+	if d != n/2 {
+		t.Errorf("dynamic chunks = %d, want %d", d, n/2)
+	}
+}
+
+func TestCriticalSection(t *testing.T) {
+	counter := 0
+	_, err := For(0, 1000, Config{Threads: 8, Schedule: Dynamic, Chunk: 16}, func(_, _ int) {
+		mu := Critical("counter")
+		mu.Lock()
+		counter++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != 1000 {
+		t.Errorf("counter = %d", counter)
+	}
+	if Critical("counter") != Critical("counter") {
+		t.Error("same name must give same lock")
+	}
+	if Critical("a") == Critical("b") {
+		t.Error("different names must differ")
+	}
+}
+
+func TestAtomicAdd(t *testing.T) {
+	var total int64
+	_, err := For(0, 5000, Config{Threads: 8, Schedule: StaticChunk, Chunk: 64}, func(_, _ int) {
+		AtomicAdd(&total, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5000 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestImbalanceMetric(t *testing.T) {
+	c := Census{PerThread: []int64{10, 10, 10, 10}}
+	if got := c.Imbalance(); got != 1 {
+		t.Errorf("balanced imbalance = %f", got)
+	}
+	c = Census{PerThread: []int64{40, 0, 0, 0}}
+	if got := c.Imbalance(); got != 4 {
+		t.Errorf("worst imbalance = %f", got)
+	}
+	if got := (Census{}).Imbalance(); got != 1 {
+		t.Errorf("empty imbalance = %f", got)
+	}
+	if got := (Census{PerThread: []int64{0, 0}}).Imbalance(); got != 1 {
+		t.Errorf("zero-work imbalance = %f", got)
+	}
+}

@@ -1,0 +1,218 @@
+package pram
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the CS41 PRAM algorithms: tree-based parallel sum,
+// O(1) CRCW maximum, EREW broadcast, Blelloch exclusive scan, and
+// pointer-jumping list ranking. Each returns the machine so callers can
+// read Steps() and Work() for the work/span discussion.
+
+// Sum computes the sum of xs by pairwise tree reduction in ceil(log2 n)
+// steps on an EREW machine (reads and writes are disjoint per step).
+func Sum(v Variant, xs []int64) (int64, *Machine, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, New(v, 1), nil
+	}
+	m := New(v, n)
+	if err := m.Load(0, xs); err != nil {
+		return 0, nil, err
+	}
+	for d := 1; d < n; d *= 2 {
+		d := d
+		// Processor i handles position 2*d*i.
+		procs := (n + 2*d - 1) / (2 * d)
+		err := m.Step(procs, func(c *Ctx) {
+			base := 2 * d * c.Proc()
+			if base+d < n {
+				a := c.Read(base)
+				b := c.Read(base + d)
+				c.Write(base, a+b)
+			}
+		})
+		if err != nil {
+			return 0, m, err
+		}
+	}
+	return m.Read(0), m, nil
+}
+
+// Max finds the maximum of xs in O(1) steps on a CRCW-common machine
+// using n^2 processors — the classic separation example between CRCW and
+// the weaker models. Returns an error on EREW/CREW machines, where the
+// algorithm's concurrent writes are illegal.
+func Max(v Variant, xs []int64) (int64, *Machine, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, nil, errors.New("pram: max of empty input")
+	}
+	// Memory layout: [0,n) = xs, [n,2n) = loser flags, 2n = result.
+	m := New(v, 2*n+1)
+	if err := m.Load(0, xs); err != nil {
+		return 0, nil, err
+	}
+	// Step 1: clear flags (n processors, exclusive).
+	if err := m.Step(n, func(c *Ctx) { c.Write(n+c.Proc(), 0) }); err != nil {
+		return 0, m, err
+	}
+	// Step 2: n^2 processors compare all pairs; concurrent common writes
+	// of the value 1.
+	if err := m.Step(n*n, func(c *Ctx) {
+		i, j := c.Proc()/n, c.Proc()%n
+		if i == j {
+			return
+		}
+		xi, xj := c.Read(i), c.Read(j)
+		if xi < xj || (xi == xj && i > j) {
+			c.Write(n+i, 1)
+		}
+	}); err != nil {
+		return 0, m, err
+	}
+	// Step 3: the unique non-loser writes the result.
+	if err := m.Step(n, func(c *Ctx) {
+		if c.Read(n+c.Proc()) == 0 {
+			c.Write(2*n, c.Read(c.Proc()))
+		}
+	}); err != nil {
+		return 0, m, err
+	}
+	return m.Read(2 * n), m, nil
+}
+
+// Broadcast copies the value at cell 0 to cells 0..n-1 in ceil(log2 n)
+// doubling steps, legal even on EREW (every cell is read and written by
+// at most one processor per step).
+func Broadcast(v Variant, n int, value int64) (*Machine, error) {
+	if n <= 0 {
+		return nil, errors.New("pram: broadcast needs n > 0")
+	}
+	m := New(v, n)
+	if err := m.Step(1, func(c *Ctx) { c.Write(0, value) }); err != nil {
+		return m, err
+	}
+	for have := 1; have < n; have *= 2 {
+		have := have
+		procs := have
+		if have*2 > n {
+			procs = n - have
+		}
+		if err := m.Step(procs, func(c *Ctx) {
+			src := c.Proc()
+			dst := have + c.Proc()
+			if dst < n {
+				c.Write(dst, c.Read(src))
+			}
+		}); err != nil {
+			return m, err
+		}
+	}
+	return m, nil
+}
+
+// ExclusiveScan computes the Blelchoch-style exclusive prefix sum of xs in
+// 2*log2(n) steps (upsweep + downsweep), padding to a power of two. The
+// returned slice has len(xs) entries: out[i] = sum(xs[0:i]).
+func ExclusiveScan(v Variant, xs []int64) ([]int64, *Machine, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, New(v, 1), nil
+	}
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	m := New(v, size)
+	if err := m.Load(0, xs); err != nil {
+		return nil, nil, err
+	}
+	// Upsweep: build the reduction tree in place.
+	for d := 1; d < size; d *= 2 {
+		d := d
+		procs := size / (2 * d)
+		if err := m.Step(procs, func(c *Ctx) {
+			right := 2*d*(c.Proc()+1) - 1
+			left := right - d
+			c.Write(right, c.Read(left)+c.Read(right))
+		}); err != nil {
+			return nil, m, err
+		}
+	}
+	// Clear the root.
+	if err := m.Step(1, func(c *Ctx) { c.Write(size-1, 0) }); err != nil {
+		return nil, m, err
+	}
+	// Downsweep.
+	for d := size / 2; d >= 1; d /= 2 {
+		d := d
+		procs := size / (2 * d)
+		if err := m.Step(procs, func(c *Ctx) {
+			right := 2*d*(c.Proc()+1) - 1
+			left := right - d
+			l := c.Read(left)
+			r := c.Read(right)
+			c.Write(left, r)
+			c.Write(right, l+r)
+		}); err != nil {
+			return nil, m, err
+		}
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = m.Read(i)
+	}
+	return out, m, nil
+}
+
+// ListRank computes, for each node of a linked list given by next[]
+// (next[i] == i marks the tail), its distance to the tail, via pointer
+// jumping in ceil(log2 n) steps. Requires CREW or stronger (concurrent
+// reads of shared next pointers).
+func ListRank(v Variant, next []int) ([]int64, *Machine, error) {
+	n := len(next)
+	if n == 0 {
+		return nil, New(v, 1), nil
+	}
+	for i, nx := range next {
+		if nx < 0 || nx >= n {
+			return nil, nil, fmt.Errorf("pram: next[%d] = %d out of range", i, nx)
+		}
+	}
+	// Memory: [0,n) rank, [n,2n) next.
+	m := New(v, 2*n)
+	if err := m.Step(n, func(c *Ctx) {
+		i := c.Proc()
+		if next[i] == i {
+			c.Write(i, 0)
+		} else {
+			c.Write(i, 1)
+		}
+		c.Write(n+i, int64(next[i]))
+	}); err != nil {
+		return nil, m, err
+	}
+	for hop := 1; hop < n; hop *= 2 {
+		if err := m.Step(n, func(c *Ctx) {
+			i := c.Proc()
+			nx := int(c.Read(n + i))
+			if nx == i {
+				return
+			}
+			r := c.Read(i)
+			rn := c.Read(nx)
+			nn := c.Read(n + nx)
+			c.Write(i, r+rn)
+			c.Write(n+i, nn)
+		}); err != nil {
+			return nil, m, err
+		}
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = m.Read(i)
+	}
+	return out, m, nil
+}

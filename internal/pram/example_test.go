@@ -1,0 +1,37 @@
+package pram_test
+
+import (
+	"fmt"
+
+	"repro/internal/pram"
+)
+
+// Parallel sum takes logarithmically many steps.
+func Example() {
+	xs := make([]int64, 64)
+	for i := range xs {
+		xs[i] = int64(i + 1)
+	}
+	total, m, err := pram.Sum(pram.EREW, xs)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("sum=%d steps=%d work=%d\n", total, m.Steps(), m.Work())
+	// Output: sum=2080 steps=6 work=63
+}
+
+// The access checker is the point of the model: concurrent reads are
+// illegal on EREW but fine on CREW.
+func ExampleMachine_Step() {
+	erew := pram.New(pram.EREW, 1)
+	err := erew.Step(2, func(c *pram.Ctx) { c.Read(0) })
+	fmt.Println(err != nil)
+
+	crew := pram.New(pram.CREW, 1)
+	err = crew.Step(2, func(c *pram.Ctx) { c.Read(0) })
+	fmt.Println(err != nil)
+	// Output:
+	// true
+	// false
+}

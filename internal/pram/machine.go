@@ -1,0 +1,161 @@
+// Package pram implements the PRAM (parallel random-access machine)
+// models from CS41 Table III: EREW, CREW, and the three CRCW
+// write-resolution variants, as a synchronous stepped simulator that
+// *checks* the model's access rules — a program that performs an illegal
+// concurrent read or write on EREW fails loudly, which is how the model's
+// distinctions become visible to students. The simulator counts steps
+// (parallel time) and work (total processor-steps), the quantities the
+// course's work/span analysis uses.
+package pram
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Variant selects the PRAM memory-access rules.
+type Variant int
+
+// The PRAM variants.
+const (
+	EREW          Variant = iota // exclusive read, exclusive write
+	CREW                         // concurrent read, exclusive write
+	CRCWCommon                   // concurrent write allowed if all write the same value
+	CRCWArbitrary                // one concurrent writer wins (here: lowest processor)
+	CRCWPriority                 // lowest-numbered processor wins
+)
+
+// String returns the human-readable name.
+func (v Variant) String() string {
+	return [...]string{"EREW", "CREW", "CRCW-common", "CRCW-arbitrary", "CRCW-priority"}[v]
+}
+
+// ErrAccessViolation reports a read or write pattern the variant forbids.
+var ErrAccessViolation = errors.New("pram: access violation")
+
+// Machine is a PRAM with shared memory. All processors execute one step
+// function synchronously; reads see the memory as it was when the step
+// began, writes are applied when the step ends (after conflict checking).
+type Machine struct {
+	Variant Variant
+	mem     []int64
+	steps   int64
+	work    int64
+}
+
+// New creates a PRAM with the given shared-memory size.
+func New(v Variant, memSize int) *Machine {
+	return &Machine{Variant: v, mem: make([]int64, memSize)}
+}
+
+// Load copies values into shared memory starting at base.
+func (m *Machine) Load(base int, xs []int64) error {
+	if base < 0 || base+len(xs) > len(m.mem) {
+		return fmt.Errorf("pram: load [%d,%d) outside memory of %d", base, base+len(xs), len(m.mem))
+	}
+	copy(m.mem[base:], xs)
+	return nil
+}
+
+// Read returns the value at addr outside of a step (host access).
+func (m *Machine) Read(addr int) int64 { return m.mem[addr] }
+
+// Steps returns the parallel time consumed so far.
+func (m *Machine) Steps() int64 { return m.steps }
+
+// Work returns the total processor-steps consumed so far.
+func (m *Machine) Work() int64 { return m.work }
+
+// Ctx is a processor's handle during one synchronous step.
+type Ctx struct {
+	proc   int
+	m      *Machine
+	reads  map[int]bool
+	writes map[int]int64
+}
+
+// Proc returns the processor index.
+func (c *Ctx) Proc() int { return c.proc }
+
+// Read reads shared memory (pre-step snapshot semantics).
+func (c *Ctx) Read(addr int) int64 {
+	if addr < 0 || addr >= len(c.m.mem) {
+		panic(fmt.Sprintf("pram: processor %d read out of range: %d", c.proc, addr))
+	}
+	c.reads[addr] = true
+	return c.m.mem[addr]
+}
+
+// Write schedules a write to be applied at the end of the step. A
+// processor writing the same address twice in one step keeps the last
+// value.
+func (c *Ctx) Write(addr int, v int64) {
+	if addr < 0 || addr >= len(c.m.mem) {
+		panic(fmt.Sprintf("pram: processor %d write out of range: %d", c.proc, addr))
+	}
+	c.writes[addr] = v
+}
+
+// Step executes one synchronous PRAM step on processors 0..procs-1. The
+// body runs for each processor against the pre-step memory; afterwards
+// the writes are checked against the variant's rules and applied. Any
+// violation rolls the step back and returns ErrAccessViolation.
+func (m *Machine) Step(procs int, body func(c *Ctx)) error {
+	if procs <= 0 {
+		return errors.New("pram: step needs at least one processor")
+	}
+	ctxs := make([]*Ctx, procs)
+	for p := 0; p < procs; p++ {
+		c := &Ctx{proc: p, m: m, reads: make(map[int]bool), writes: make(map[int]int64)}
+		body(c)
+		ctxs[p] = c
+	}
+
+	// Conflict detection.
+	readers := make(map[int]int)   // addr -> reader count
+	writers := make(map[int][]int) // addr -> processor list (ordered by proc)
+	for p, c := range ctxs {
+		for a := range c.reads {
+			readers[a]++
+		}
+		for a := range c.writes {
+			writers[a] = append(writers[a], p)
+		}
+	}
+	if m.Variant == EREW {
+		for a, n := range readers {
+			if n > 1 {
+				return fmt.Errorf("%w: %d concurrent readers of address %d on EREW", ErrAccessViolation, n, a)
+			}
+		}
+	}
+	if m.Variant == EREW || m.Variant == CREW {
+		for a, ws := range writers {
+			if len(ws) > 1 {
+				return fmt.Errorf("%w: %d concurrent writers of address %d on %v", ErrAccessViolation, len(ws), a, m.Variant)
+			}
+		}
+	}
+	if m.Variant == CRCWCommon {
+		for a, ws := range writers {
+			first := ctxs[ws[0]].writes[a]
+			for _, p := range ws[1:] {
+				if ctxs[p].writes[a] != first {
+					return fmt.Errorf("%w: CRCW-common writers disagree at address %d (%d vs %d)",
+						ErrAccessViolation, a, first, ctxs[p].writes[a])
+				}
+			}
+		}
+	}
+	// Concurrent reads and writes to the same address in one step: reads
+	// saw the old value (snapshot), which matches the standard model.
+
+	// Apply writes. For arbitrary/priority the lowest processor wins
+	// (deterministic "arbitrary").
+	for a, ws := range writers {
+		m.mem[a] = ctxs[ws[0]].writes[a]
+	}
+	m.steps++
+	m.work += int64(procs)
+	return nil
+}

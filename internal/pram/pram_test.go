@@ -1,0 +1,269 @@
+package pram
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestStepSnapshotSemantics(t *testing.T) {
+	// Classic parallel swap: both processors read old values, then write —
+	// legal on EREW and yields a true swap, unlike sequential semantics.
+	m := New(EREW, 2)
+	m.Load(0, []int64{1, 2})
+	err := m.Step(2, func(c *Ctx) {
+		v := c.Read(1 - c.Proc())
+		c.Write(c.Proc(), v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Read(0) != 2 || m.Read(1) != 1 {
+		t.Errorf("swap gave %d %d", m.Read(0), m.Read(1))
+	}
+}
+
+func TestEREWRejectsConcurrentRead(t *testing.T) {
+	m := New(EREW, 2)
+	err := m.Step(2, func(c *Ctx) { c.Read(0) })
+	if !errors.Is(err, ErrAccessViolation) {
+		t.Errorf("concurrent read on EREW: %v", err)
+	}
+	// Same program is legal on CREW.
+	m2 := New(CREW, 2)
+	if err := m2.Step(2, func(c *Ctx) { c.Read(0) }); err != nil {
+		t.Errorf("CREW concurrent read: %v", err)
+	}
+}
+
+func TestCREWRejectsConcurrentWrite(t *testing.T) {
+	m := New(CREW, 1)
+	err := m.Step(2, func(c *Ctx) { c.Write(0, int64(c.Proc())) })
+	if !errors.Is(err, ErrAccessViolation) {
+		t.Errorf("concurrent write on CREW: %v", err)
+	}
+}
+
+func TestCRCWCommonSemantics(t *testing.T) {
+	m := New(CRCWCommon, 1)
+	// Agreeing writers: legal.
+	if err := m.Step(3, func(c *Ctx) { c.Write(0, 7) }); err != nil {
+		t.Fatal(err)
+	}
+	if m.Read(0) != 7 {
+		t.Errorf("common write = %d", m.Read(0))
+	}
+	// Disagreeing writers: violation.
+	err := m.Step(2, func(c *Ctx) { c.Write(0, int64(c.Proc())) })
+	if !errors.Is(err, ErrAccessViolation) {
+		t.Errorf("disagreeing common write: %v", err)
+	}
+}
+
+func TestCRCWPriorityLowestWins(t *testing.T) {
+	m := New(CRCWPriority, 1)
+	if err := m.Step(4, func(c *Ctx) { c.Write(0, int64(10+c.Proc())) }); err != nil {
+		t.Fatal(err)
+	}
+	if m.Read(0) != 10 {
+		t.Errorf("priority write = %d, want 10 (processor 0)", m.Read(0))
+	}
+}
+
+func TestStepCounting(t *testing.T) {
+	m := New(EREW, 4)
+	m.Step(4, func(c *Ctx) { c.Write(c.Proc(), 1) })
+	m.Step(2, func(c *Ctx) { c.Write(c.Proc(), 2) })
+	if m.Steps() != 2 || m.Work() != 6 {
+		t.Errorf("steps=%d work=%d", m.Steps(), m.Work())
+	}
+}
+
+func TestSumMatchesSequential(t *testing.T) {
+	f := func(xs []int64) bool {
+		var want int64
+		for _, x := range xs {
+			want += x
+		}
+		got, _, err := Sum(EREW, xs)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumLogarithmicSteps(t *testing.T) {
+	xs := make([]int64, 1024)
+	for i := range xs {
+		xs[i] = 1
+	}
+	got, m, err := Sum(EREW, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1024 {
+		t.Errorf("sum = %d", got)
+	}
+	if m.Steps() != 10 {
+		t.Errorf("steps = %d, want log2(1024) = 10", m.Steps())
+	}
+	if m.Work() >= 2048 {
+		t.Errorf("work = %d, should be O(n)", m.Work())
+	}
+}
+
+func TestMaxConstantTimeOnCRCW(t *testing.T) {
+	xs := []int64{3, 9, 2, 9, 5, 1, 7}
+	got, m, err := Max(CRCWCommon, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Errorf("max = %d", got)
+	}
+	if m.Steps() != 3 {
+		t.Errorf("steps = %d, want 3 (constant)", m.Steps())
+	}
+	// The same algorithm violates CREW.
+	if _, _, err := Max(CREW, xs); !errors.Is(err, ErrAccessViolation) {
+		t.Errorf("Max on CREW should violate: %v", err)
+	}
+}
+
+func TestMaxProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 || len(raw) > 32 {
+			return true
+		}
+		xs := make([]int64, len(raw))
+		want := int64(raw[0])
+		for i, r := range raw {
+			xs[i] = int64(r)
+			if int64(r) > want {
+				want = int64(r)
+			}
+		}
+		got, _, err := Max(CRCWCommon, xs)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcastEREW(t *testing.T) {
+	m, err := Broadcast(EREW, 13, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 13; i++ {
+		if m.Read(i) != 42 {
+			t.Errorf("cell %d = %d", i, m.Read(i))
+		}
+	}
+	// 1 init step + ceil(log2 13) = 4 doubling steps.
+	if m.Steps() != 5 {
+		t.Errorf("steps = %d, want 5", m.Steps())
+	}
+	if _, err := Broadcast(EREW, 0, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestExclusiveScan(t *testing.T) {
+	xs := []int64{3, 1, 7, 0, 4, 1, 6, 3}
+	got, m, err := ExclusiveScan(EREW, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 3, 4, 11, 11, 15, 16, 22}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// 2*log2(8) + 1 (root clear) = 7 steps.
+	if m.Steps() != 7 {
+		t.Errorf("steps = %d, want 7", m.Steps())
+	}
+}
+
+func TestExclusiveScanNonPowerOfTwo(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		xs := make([]int64, len(raw))
+		for i, r := range raw {
+			xs[i] = int64(r)
+		}
+		got, _, err := ExclusiveScan(EREW, xs)
+		if err != nil {
+			return false
+		}
+		var acc int64
+		for i := range xs {
+			if got[i] != acc {
+				return false
+			}
+			acc += xs[i]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListRank(t *testing.T) {
+	// List 0 -> 1 -> 2 -> 3 -> 4 (tail 4 self-loops).
+	next := []int{1, 2, 3, 4, 4}
+	ranks, m, err := ListRank(CREW, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{4, 3, 2, 1, 0}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Errorf("rank[%d] = %d, want %d", i, ranks[i], want[i])
+		}
+	}
+	// 1 init + ceil(log2 5) = 3 jumping steps.
+	if m.Steps() != 4 {
+		t.Errorf("steps = %d, want 4", m.Steps())
+	}
+	// Pointer jumping needs concurrent reads: EREW must reject it.
+	if _, _, err := ListRank(EREW, next); !errors.Is(err, ErrAccessViolation) {
+		t.Errorf("ListRank on EREW: %v", err)
+	}
+}
+
+func TestListRankScrambled(t *testing.T) {
+	// A list threaded through the array out of order:
+	// order: 3 -> 0 -> 4 -> 1 -> 2(tail)
+	next := []int{4, 2, 2, 0, 1}
+	ranks, _, err := ListRank(CREW, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{3, 1, 0, 4, 2}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Errorf("rank[%d] = %d, want %d", i, ranks[i], want[i])
+		}
+	}
+	if _, _, err := ListRank(CREW, []int{5}); err == nil {
+		t.Error("out-of-range next should error")
+	}
+}
+
+func TestLoadBounds(t *testing.T) {
+	m := New(EREW, 4)
+	if err := m.Load(2, []int64{1, 2, 3}); err == nil {
+		t.Error("overflowing load should error")
+	}
+	if err := m.Step(0, nil); err == nil {
+		t.Error("zero processors should error")
+	}
+}

@@ -1,0 +1,328 @@
+// Package proc implements the operating-systems process model behind the
+// CS31 Unix-shell lab and the Table II "Operating Systems" topic row: a
+// simulated kernel with process control blocks, fork/exec/exit/waitpid
+// semantics (including zombies and orphan reparenting to init), POSIX-
+// style signals with handlers and default actions, and a family of CPU
+// schedulers (FCFS, SJF, RR, priority, MLFQ) evaluated by the turnaround/
+// waiting/response metrics the course compares.
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PID identifies a process.
+type PID int
+
+// InitPID is the PID of the init process, created with every kernel and
+// the adoptive parent of orphans.
+const InitPID PID = 1
+
+// State is a process lifecycle state.
+type State int
+
+// The process states from the lecture's state diagram.
+const (
+	Ready State = iota
+	Running
+	Blocked
+	Zombie
+	Dead // reaped; PCB slot retained for inspection
+)
+
+// String returns the human-readable name.
+func (s State) String() string {
+	return [...]string{"ready", "running", "blocked", "zombie", "dead"}[s]
+}
+
+// Signal numbers (subset of POSIX).
+type Signal int
+
+// The supported signals.
+const (
+	SIGHUP  Signal = 1
+	SIGINT  Signal = 2
+	SIGKILL Signal = 9
+	SIGUSR1 Signal = 10
+	SIGSEGV Signal = 11
+	SIGTERM Signal = 15
+	SIGCHLD Signal = 17
+	SIGCONT Signal = 18
+	SIGSTOP Signal = 19
+	SIGTSTP Signal = 20
+)
+
+// String returns the human-readable name.
+func (s Signal) String() string {
+	names := map[Signal]string{
+		SIGHUP: "SIGHUP", SIGINT: "SIGINT", SIGKILL: "SIGKILL", SIGUSR1: "SIGUSR1",
+		SIGSEGV: "SIGSEGV", SIGTERM: "SIGTERM", SIGCHLD: "SIGCHLD", SIGCONT: "SIGCONT",
+		SIGSTOP: "SIGSTOP", SIGTSTP: "SIGTSTP",
+	}
+	if n, ok := names[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("SIG%d", int(s))
+}
+
+// Process is a process control block.
+type Process struct {
+	PID      PID
+	Parent   PID
+	Name     string
+	State    State
+	Exit     int
+	Children []PID
+	Stopped  bool
+
+	handlers map[Signal]func(*Kernel, *Process, Signal)
+	pending  []Signal
+}
+
+// Kernel is the simulated operating system: a process table plus the
+// fork/exec/wait/signal services the shell calls.
+type Kernel struct {
+	procs   map[PID]*Process
+	nextPID PID
+	// Reaped records (pid, exit status) pairs observed by waits, for tests.
+	Log []string
+}
+
+// NewKernel boots a kernel with the init process.
+func NewKernel() *Kernel {
+	k := &Kernel{procs: make(map[PID]*Process), nextPID: InitPID}
+	initProc := &Process{PID: InitPID, Parent: 0, Name: "init", State: Running,
+		handlers: make(map[Signal]func(*Kernel, *Process, Signal))}
+	k.procs[InitPID] = initProc
+	k.nextPID = InitPID + 1
+	return k
+}
+
+// Errors returned by the process services.
+var (
+	ErrNoSuchProcess = errors.New("proc: no such process (ESRCH)")
+	ErrNoChildren    = errors.New("proc: no children to wait for (ECHILD)")
+	ErrNotZombie     = errors.New("proc: child has not exited (would block)")
+)
+
+// Process returns the PCB for pid.
+func (k *Kernel) Process(pid PID) (*Process, error) {
+	p, ok := k.procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchProcess, pid)
+	}
+	return p, nil
+}
+
+// Fork creates a child of parent, returning the child's PID. The child
+// inherits the parent's name with a "+" suffix until exec.
+func (k *Kernel) Fork(parent PID) (PID, error) {
+	pp, err := k.Process(parent)
+	if err != nil {
+		return 0, err
+	}
+	if pp.State == Zombie || pp.State == Dead {
+		return 0, fmt.Errorf("proc: process %d cannot fork in state %v", parent, pp.State)
+	}
+	pid := k.nextPID
+	k.nextPID++
+	child := &Process{
+		PID: pid, Parent: parent, Name: pp.Name + "+", State: Ready,
+		handlers: make(map[Signal]func(*Kernel, *Process, Signal)),
+	}
+	// Signal dispositions are inherited across fork (but not pending sets).
+	for s, h := range pp.handlers {
+		child.handlers[s] = h
+	}
+	k.procs[pid] = child
+	pp.Children = append(pp.Children, pid)
+	return pid, nil
+}
+
+// Exec replaces the process image: the name changes, handlers reset to
+// default (exec clears them in POSIX).
+func (k *Kernel) Exec(pid PID, name string) error {
+	p, err := k.Process(pid)
+	if err != nil {
+		return err
+	}
+	if p.State == Zombie || p.State == Dead {
+		return fmt.Errorf("proc: exec on %v process", p.State)
+	}
+	p.Name = name
+	p.handlers = make(map[Signal]func(*Kernel, *Process, Signal))
+	return nil
+}
+
+// Exit terminates the process: it becomes a zombie holding its status
+// until the parent waits; its children are reparented to init; the
+// parent gets SIGCHLD.
+func (k *Kernel) Exit(pid PID, status int) error {
+	p, err := k.Process(pid)
+	if err != nil {
+		return err
+	}
+	if pid == InitPID {
+		return errors.New("proc: init does not exit")
+	}
+	if p.State == Zombie || p.State == Dead {
+		return nil
+	}
+	p.State = Zombie
+	p.Exit = status
+	// Reparent children to init (orphans).
+	initProc := k.procs[InitPID]
+	for _, c := range p.Children {
+		if cp, ok := k.procs[c]; ok && cp.State != Dead {
+			cp.Parent = InitPID
+			initProc.Children = append(initProc.Children, c)
+		}
+	}
+	p.Children = nil
+	// Notify the parent.
+	if _, ok := k.procs[p.Parent]; ok {
+		k.Kill(p.Parent, SIGCHLD) //nolint:errcheck // parent may be racing to exit
+	}
+	return nil
+}
+
+// Wait reaps any zombie child of pid (like waitpid(-1, WNOHANG)): it
+// returns the child's PID and exit status, ErrNotZombie when children
+// exist but none has exited, or ErrNoChildren.
+func (k *Kernel) Wait(pid PID) (PID, int, error) {
+	p, err := k.Process(pid)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(p.Children) == 0 {
+		return 0, 0, ErrNoChildren
+	}
+	for i, c := range p.Children {
+		cp := k.procs[c]
+		if cp != nil && cp.State == Zombie {
+			cp.State = Dead
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			k.Log = append(k.Log, fmt.Sprintf("reap %d status %d", c, cp.Exit))
+			return c, cp.Exit, nil
+		}
+	}
+	return 0, 0, ErrNotZombie
+}
+
+// WaitPID reaps a specific zombie child.
+func (k *Kernel) WaitPID(pid, child PID) (int, error) {
+	p, err := k.Process(pid)
+	if err != nil {
+		return 0, err
+	}
+	for i, c := range p.Children {
+		if c != child {
+			continue
+		}
+		cp := k.procs[c]
+		if cp.State != Zombie {
+			return 0, ErrNotZombie
+		}
+		cp.State = Dead
+		p.Children = append(p.Children[:i], p.Children[i+1:]...)
+		k.Log = append(k.Log, fmt.Sprintf("reap %d status %d", c, cp.Exit))
+		return cp.Exit, nil
+	}
+	return 0, ErrNoChildren
+}
+
+// Handle installs a signal handler. SIGKILL and SIGSTOP cannot be caught.
+func (k *Kernel) Handle(pid PID, sig Signal, fn func(*Kernel, *Process, Signal)) error {
+	p, err := k.Process(pid)
+	if err != nil {
+		return err
+	}
+	if sig == SIGKILL || sig == SIGSTOP {
+		return fmt.Errorf("proc: %v cannot be caught (EINVAL)", sig)
+	}
+	p.handlers[sig] = fn
+	return nil
+}
+
+// Kill delivers a signal: handlers run immediately (the simulator has no
+// asynchronous delivery point); otherwise the default action applies —
+// termination for most signals, stop/continue for SIGSTOP/SIGCONT, ignore
+// for SIGCHLD.
+func (k *Kernel) Kill(pid PID, sig Signal) error {
+	p, err := k.Process(pid)
+	if err != nil {
+		return err
+	}
+	if p.State == Zombie || p.State == Dead {
+		return nil // signal to a zombie is a no-op
+	}
+	p.pending = append(p.pending, sig)
+	switch {
+	case sig == SIGKILL:
+		return k.Exit(pid, 128+int(sig))
+	case sig == SIGSTOP:
+		p.Stopped = true
+		return nil
+	case sig == SIGCONT:
+		p.Stopped = false
+		return nil
+	default:
+		if h, ok := p.handlers[sig]; ok {
+			h(k, p, sig)
+			return nil
+		}
+		if sig == SIGCHLD || sig == SIGCONT {
+			return nil // default: ignore
+		}
+		return k.Exit(pid, 128+int(sig))
+	}
+}
+
+// Pending returns the signals delivered to pid so far (diagnostics).
+func (k *Kernel) Pending(pid PID) []Signal {
+	if p, ok := k.procs[pid]; ok {
+		return append([]Signal(nil), p.pending...)
+	}
+	return nil
+}
+
+// Alive reports whether pid exists and has not exited.
+func (k *Kernel) Alive(pid PID) bool {
+	p, ok := k.procs[pid]
+	return ok && p.State != Zombie && p.State != Dead
+}
+
+// Tree renders the process hierarchy as an indented listing (pstree).
+func (k *Kernel) Tree() string {
+	var b strings.Builder
+	var walk func(pid PID, depth int)
+	walk = func(pid PID, depth int) {
+		p := k.procs[pid]
+		status := p.State.String()
+		if p.Stopped {
+			status = "stopped"
+		}
+		fmt.Fprintf(&b, "%s%d %s [%s]\n", strings.Repeat("  ", depth), p.PID, p.Name, status)
+		kids := append([]PID(nil), p.Children...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	walk(InitPID, 0)
+	return b.String()
+}
+
+// ZombieCount counts un-reaped zombies (the lab's leak check).
+func (k *Kernel) ZombieCount() int {
+	n := 0
+	for _, p := range k.procs {
+		if p.State == Zombie {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,518 @@
+package proc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestForkExecExitWait(t *testing.T) {
+	k := NewKernel()
+	child, err := k.Fork(InitPID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child == InitPID {
+		t.Fatal("child got init's PID")
+	}
+	if err := k.Exec(child, "ls"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := k.Process(child)
+	if p.Name != "ls" || p.Parent != InitPID {
+		t.Errorf("child: %+v", p)
+	}
+	// Wait before exit: would block.
+	if _, _, err := k.Wait(InitPID); !errors.Is(err, ErrNotZombie) {
+		t.Errorf("wait on running child: %v", err)
+	}
+	if err := k.Exit(child, 3); err != nil {
+		t.Fatal(err)
+	}
+	if k.ZombieCount() != 1 {
+		t.Errorf("zombies = %d", k.ZombieCount())
+	}
+	got, status, err := k.Wait(InitPID)
+	if err != nil || got != child || status != 3 {
+		t.Errorf("Wait = %d, %d, %v", got, status, err)
+	}
+	if k.ZombieCount() != 0 {
+		t.Error("zombie not reaped")
+	}
+	// Second wait: no children.
+	if _, _, err := k.Wait(InitPID); !errors.Is(err, ErrNoChildren) {
+		t.Errorf("wait with no children: %v", err)
+	}
+}
+
+func TestOrphanReparenting(t *testing.T) {
+	k := NewKernel()
+	parent, _ := k.Fork(InitPID)
+	grandchild, _ := k.Fork(parent)
+	if err := k.Exit(parent, 0); err != nil {
+		t.Fatal(err)
+	}
+	gp, _ := k.Process(grandchild)
+	if gp.Parent != InitPID {
+		t.Errorf("orphan parent = %d, want init", gp.Parent)
+	}
+	// Init can reap the orphan after it exits.
+	k.Exit(grandchild, 7)
+	// Reap parent zombie first (it is also init's child).
+	reaped := map[PID]int{}
+	for i := 0; i < 2; i++ {
+		pid, status, err := k.Wait(InitPID)
+		if err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		reaped[pid] = status
+	}
+	if reaped[parent] != 0 || reaped[grandchild] != 7 {
+		t.Errorf("reaped: %v", reaped)
+	}
+}
+
+func TestWaitPIDSpecific(t *testing.T) {
+	k := NewKernel()
+	a, _ := k.Fork(InitPID)
+	b, _ := k.Fork(InitPID)
+	k.Exit(b, 9)
+	if _, err := k.WaitPID(InitPID, a); !errors.Is(err, ErrNotZombie) {
+		t.Errorf("waitpid on running child: %v", err)
+	}
+	status, err := k.WaitPID(InitPID, b)
+	if err != nil || status != 9 {
+		t.Errorf("waitpid(b) = %d, %v", status, err)
+	}
+	if _, err := k.WaitPID(InitPID, b); !errors.Is(err, ErrNoChildren) {
+		t.Errorf("waitpid reaped child: %v", err)
+	}
+}
+
+func TestSignalsDefaultAndHandled(t *testing.T) {
+	k := NewKernel()
+	victim, _ := k.Fork(InitPID)
+	// Default SIGTERM: terminates.
+	if err := k.Kill(victim, SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if k.Alive(victim) {
+		t.Error("SIGTERM default should terminate")
+	}
+	vp, _ := k.Process(victim)
+	if vp.Exit != 128+int(SIGTERM) {
+		t.Errorf("exit status = %d", vp.Exit)
+	}
+
+	// Handled SIGUSR1: survives and runs the handler.
+	tough, _ := k.Fork(InitPID)
+	var caught []Signal
+	k.Handle(tough, SIGUSR1, func(_ *Kernel, _ *Process, s Signal) {
+		caught = append(caught, s)
+	})
+	if err := k.Kill(tough, SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Alive(tough) || len(caught) != 1 || caught[0] != SIGUSR1 {
+		t.Errorf("handler: alive=%v caught=%v", k.Alive(tough), caught)
+	}
+
+	// SIGKILL cannot be caught.
+	if err := k.Handle(tough, SIGKILL, func(*Kernel, *Process, Signal) {}); err == nil {
+		t.Error("catching SIGKILL should error")
+	}
+	k.Kill(tough, SIGKILL)
+	if k.Alive(tough) {
+		t.Error("SIGKILL must terminate")
+	}
+}
+
+func TestStopContinue(t *testing.T) {
+	k := NewKernel()
+	p, _ := k.Fork(InitPID)
+	k.Kill(p, SIGSTOP)
+	pp, _ := k.Process(p)
+	if !pp.Stopped || !k.Alive(p) {
+		t.Error("SIGSTOP should stop, not kill")
+	}
+	k.Kill(p, SIGCONT)
+	if pp.Stopped {
+		t.Error("SIGCONT should resume")
+	}
+}
+
+func TestSIGCHLDDefaultIgnored(t *testing.T) {
+	k := NewKernel()
+	parent, _ := k.Fork(InitPID)
+	child, _ := k.Fork(parent)
+	k.Exit(child, 0)
+	if !k.Alive(parent) {
+		t.Error("SIGCHLD default must not kill the parent")
+	}
+	found := false
+	for _, s := range k.Pending(parent) {
+		if s == SIGCHLD {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("parent should have received SIGCHLD")
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	k := NewKernel()
+	sh, _ := k.Fork(InitPID)
+	k.Exec(sh, "sh")
+	ls, _ := k.Fork(sh)
+	k.Exec(ls, "ls")
+	tree := k.Tree()
+	if !strings.Contains(tree, "init") || !strings.Contains(tree, "sh") || !strings.Contains(tree, "ls") {
+		t.Errorf("tree:\n%s", tree)
+	}
+	// ls must be indented deeper than sh.
+	lines := strings.Split(tree, "\n")
+	var shIndent, lsIndent int
+	for _, ln := range lines {
+		trimmed := strings.TrimLeft(ln, " ")
+		if strings.Contains(trimmed, " sh ") {
+			shIndent = len(ln) - len(trimmed)
+		}
+		if strings.Contains(trimmed, " ls ") {
+			lsIndent = len(ln) - len(trimmed)
+		}
+	}
+	if lsIndent <= shIndent {
+		t.Errorf("ls indent %d should exceed sh %d:\n%s", lsIndent, shIndent, tree)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	k := NewKernel()
+	if _, err := k.Fork(999); !errors.Is(err, ErrNoSuchProcess) {
+		t.Errorf("fork from nowhere: %v", err)
+	}
+	if err := k.Exit(InitPID, 0); err == nil {
+		t.Error("init exit should error")
+	}
+	p, _ := k.Fork(InitPID)
+	k.Exit(p, 0)
+	if _, err := k.Fork(p); err == nil {
+		t.Error("zombie fork should error")
+	}
+	if err := k.Exec(p, "x"); err == nil {
+		t.Error("zombie exec should error")
+	}
+	if err := k.Kill(p, SIGTERM); err != nil {
+		t.Errorf("signal to zombie should be a no-op: %v", err)
+	}
+}
+
+// --- schedulers ---
+
+// The classic 3-job workbook example.
+var textbookJobs = []Job{
+	{Name: "A", Arrival: 0, Burst: 24, Priority: 3},
+	{Name: "B", Arrival: 0, Burst: 3, Priority: 1},
+	{Name: "C", Arrival: 0, Burst: 3, Priority: 2},
+}
+
+func TestFCFSTextbook(t *testing.T) {
+	r, err := FCFS(textbookJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FCFS order A,B,C: completions 24,27,30; avg waiting (0+24+27)/3 = 17.
+	if r.AvgWaiting != 17 {
+		t.Errorf("FCFS avg waiting = %f, want 17", r.AvgWaiting)
+	}
+}
+
+func TestSJFTextbook(t *testing.T) {
+	r, err := SJF(textbookJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SJF order B,C,A: waits 0,3,6 -> avg 3.
+	if r.AvgWaiting != 3 {
+		t.Errorf("SJF avg waiting = %f, want 3", r.AvgWaiting)
+	}
+	if r.AvgWaiting >= 17 {
+		t.Error("SJF must beat FCFS on this workload")
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	r, err := PrioritySched(textbookJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Priority order B(1), C(2), A(3): same as SJF here.
+	if r.Jobs[0].Job.Name != "B" || r.Jobs[1].Job.Name != "C" || r.Jobs[2].Job.Name != "A" {
+		t.Errorf("priority order: %v %v %v", r.Jobs[0].Job.Name, r.Jobs[1].Job.Name, r.Jobs[2].Job.Name)
+	}
+}
+
+func TestRoundRobinTextbook(t *testing.T) {
+	// The OSTEP example: 3 jobs of 5 at t=0, quantum 1: responses 0,1,2.
+	jobs := []Job{
+		{Name: "A", Arrival: 0, Burst: 5},
+		{Name: "B", Arrival: 0, Burst: 5},
+		{Name: "C", Arrival: 0, Burst: 5},
+	}
+	r, err := RoundRobin(jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgResponse != 1 {
+		t.Errorf("RR avg response = %f, want 1", r.AvgResponse)
+	}
+	// FCFS response: (0+5+10)/3 = 5.
+	f, _ := FCFS(jobs)
+	if f.AvgResponse != 5 {
+		t.Errorf("FCFS avg response = %f", f.AvgResponse)
+	}
+	if r.AvgResponse >= f.AvgResponse {
+		t.Error("RR must beat FCFS on response time")
+	}
+	// All 15 units of work are done by t=15.
+	for _, j := range r.Jobs {
+		if j.Completion > 15 {
+			t.Errorf("job %s completes at %d", j.Job.Name, j.Completion)
+		}
+	}
+}
+
+func TestRRConservation(t *testing.T) {
+	jobs := []Job{
+		{Name: "x", Arrival: 0, Burst: 7},
+		{Name: "y", Arrival: 2, Burst: 4},
+		{Name: "z", Arrival: 4, Burst: 1},
+		{Name: "w", Arrival: 30, Burst: 2}, // idle gap before w
+	}
+	r, err := RoundRobin(jobs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Jobs) != 4 {
+		t.Fatalf("completed %d jobs", len(r.Jobs))
+	}
+	for _, j := range r.Jobs {
+		if j.Turnaround < j.Job.Burst {
+			t.Errorf("job %s turnaround %d < burst %d", j.Job.Name, j.Turnaround, j.Job.Burst)
+		}
+		if j.Waiting != j.Turnaround-j.Job.Burst {
+			t.Errorf("job %s waiting inconsistent", j.Job.Name)
+		}
+	}
+}
+
+func TestMLFQDemotesLongJobs(t *testing.T) {
+	// A long CPU hog plus short interactive jobs arriving later: MLFQ's
+	// short jobs should finish far sooner than under FCFS.
+	jobs := []Job{
+		{Name: "hog", Arrival: 0, Burst: 100},
+		{Name: "i1", Arrival: 10, Burst: 2},
+		{Name: "i2", Arrival: 30, Burst: 2},
+	}
+	m, err := MLFQ(jobs, []int64{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := FCFS(jobs)
+	var mShort, fShort int64
+	for i := range m.Jobs {
+		if m.Jobs[i].Job.Name != "hog" {
+			mShort += m.Jobs[i].Turnaround
+		}
+		if f.Jobs[i].Job.Name != "hog" {
+			fShort += f.Jobs[i].Turnaround
+		}
+	}
+	if mShort >= fShort {
+		t.Errorf("MLFQ short-job turnaround %d should beat FCFS %d", mShort, fShort)
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	if _, err := FCFS(nil); err == nil {
+		t.Error("empty jobs should error")
+	}
+	if _, err := RoundRobin(textbookJobs, 0); err == nil {
+		t.Error("quantum 0 should error")
+	}
+	if _, err := MLFQ(textbookJobs, nil); err == nil {
+		t.Error("no MLFQ levels should error")
+	}
+	if _, err := MLFQ(textbookJobs, []int64{0}); err == nil {
+		t.Error("zero quantum level should error")
+	}
+	if _, err := SJF([]Job{{Name: "bad", Burst: 0}}); err == nil {
+		t.Error("zero burst should error")
+	}
+}
+
+func TestCompareSchedulersTable(t *testing.T) {
+	table, results, err := CompareSchedulers(textbookJobs, 2, []int64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("results: %d", len(results))
+	}
+	for _, want := range []string{"FCFS", "SJF", "SRTF", "priority", "RR", "MLFQ"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %s:\n%s", want, table)
+		}
+	}
+}
+
+func TestSRTFPreempts(t *testing.T) {
+	// The textbook SRTF example: long job at 0, short arrivals preempt.
+	jobs := []Job{
+		{Name: "A", Arrival: 0, Burst: 8},
+		{Name: "B", Arrival: 1, Burst: 4},
+		{Name: "C", Arrival: 2, Burst: 1},
+	}
+	r, err := SRTF(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timeline: A[0,1) B[1,2) C[2,3) B[3,6) A[6,13).
+	byName := map[string]JobMetrics{}
+	for _, m := range r.Jobs {
+		byName[m.Job.Name] = m
+	}
+	if byName["C"].Completion != 3 {
+		t.Errorf("C completes at %d, want 3", byName["C"].Completion)
+	}
+	if byName["B"].Completion != 6 {
+		t.Errorf("B completes at %d, want 6", byName["B"].Completion)
+	}
+	if byName["A"].Completion != 13 {
+		t.Errorf("A completes at %d, want 13", byName["A"].Completion)
+	}
+}
+
+func TestSRTFOptimalTurnaround(t *testing.T) {
+	// SRTF never loses to any non-preemptive scheduler on avg turnaround.
+	jobs := []Job{
+		{Name: "w", Arrival: 0, Burst: 20, Priority: 1},
+		{Name: "x", Arrival: 3, Burst: 2, Priority: 2},
+		{Name: "y", Arrival: 5, Burst: 6, Priority: 0},
+		{Name: "z", Arrival: 6, Burst: 1, Priority: 3},
+	}
+	srtf, err := SRTF(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []func([]Job) (SchedResult, error){FCFS, SJF, PrioritySched} {
+		o, err := other(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srtf.AvgTurnaround > o.AvgTurnaround+1e-9 {
+			t.Errorf("SRTF %.2f worse than %s %.2f", srtf.AvgTurnaround, o.Algorithm, o.AvgTurnaround)
+		}
+	}
+	// And against RR at several quanta.
+	for _, q := range []int64{1, 2, 4} {
+		o, err := RoundRobin(jobs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srtf.AvgTurnaround > o.AvgTurnaround+1e-9 {
+			t.Errorf("SRTF %.2f worse than RR(q=%d) %.2f", srtf.AvgTurnaround, q, o.AvgTurnaround)
+		}
+	}
+}
+
+func TestSRTFIdleGap(t *testing.T) {
+	jobs := []Job{
+		{Name: "a", Arrival: 0, Burst: 2},
+		{Name: "b", Arrival: 10, Burst: 2},
+	}
+	r, err := SRTF(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range r.Jobs {
+		if m.Job.Name == "b" && m.Start != 10 {
+			t.Errorf("b starts at %d, want 10", m.Start)
+		}
+	}
+	if _, err := SRTF(nil); err == nil {
+		t.Error("empty jobs should error")
+	}
+}
+
+// TestSchedulerInvariantsProperty checks, on random workloads, that every
+// scheduler conserves jobs, keeps turnaround >= burst, and never starts a
+// job before it arrives.
+func TestSchedulerInvariantsProperty(t *testing.T) {
+	type rawJob struct {
+		Arrival uint8
+		Burst   uint8
+		Prio    uint8
+	}
+	schedulers := []struct {
+		name string
+		run  func([]Job) (SchedResult, error)
+	}{
+		{"FCFS", FCFS},
+		{"SJF", SJF},
+		{"SRTF", SRTF},
+		{"priority", PrioritySched},
+		{"RR", func(j []Job) (SchedResult, error) { return RoundRobin(j, 3) }},
+		{"MLFQ", func(j []Job) (SchedResult, error) { return MLFQ(j, []int64{2, 4}) }},
+	}
+	f := func(raw []rawJob) bool {
+		if len(raw) == 0 || len(raw) > 20 {
+			return true
+		}
+		jobs := make([]Job, len(raw))
+		var totalBurst int64
+		for i, r := range raw {
+			jobs[i] = Job{
+				Name:     string(rune('a' + i%26)),
+				Arrival:  int64(r.Arrival % 50),
+				Burst:    int64(r.Burst%9) + 1,
+				Priority: int(r.Prio % 4),
+			}
+			totalBurst += jobs[i].Burst
+		}
+		for _, s := range schedulers {
+			res, err := s.run(jobs)
+			if err != nil {
+				return false
+			}
+			if len(res.Jobs) != len(jobs) {
+				return false
+			}
+			var lastCompletion int64
+			for _, m := range res.Jobs {
+				if m.Turnaround < m.Job.Burst {
+					return false
+				}
+				if m.Start < m.Job.Arrival {
+					return false
+				}
+				if m.Waiting < 0 || m.Response < 0 {
+					return false
+				}
+				if m.Completion > lastCompletion {
+					lastCompletion = m.Completion
+				}
+			}
+			// Total CPU time delivered >= total burst (makespan sanity).
+			if lastCompletion < totalBurst/int64(len(jobs)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,370 @@
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Job is one workload unit for the scheduler comparison: it arrives, needs
+// Burst units of CPU, and (for the priority scheduler) carries a priority
+// where lower values are more urgent.
+type Job struct {
+	Name     string
+	Arrival  int64
+	Burst    int64
+	Priority int
+}
+
+// JobMetrics reports per-job outcomes.
+type JobMetrics struct {
+	Job        Job
+	Start      int64 // first time on CPU
+	Completion int64
+	Turnaround int64 // completion - arrival
+	Waiting    int64 // turnaround - burst
+	Response   int64 // start - arrival
+}
+
+// SchedResult is a full scheduling outcome.
+type SchedResult struct {
+	Algorithm     string
+	Jobs          []JobMetrics
+	AvgTurnaround float64
+	AvgWaiting    float64
+	AvgResponse   float64
+	ContextSwitch int64 // number of dispatch decisions that changed the job
+}
+
+func finalize(name string, jobs []JobMetrics, switches int64) SchedResult {
+	res := SchedResult{Algorithm: name, Jobs: jobs, ContextSwitch: switches}
+	for _, j := range jobs {
+		res.AvgTurnaround += float64(j.Turnaround)
+		res.AvgWaiting += float64(j.Waiting)
+		res.AvgResponse += float64(j.Response)
+	}
+	n := float64(len(jobs))
+	if n > 0 {
+		res.AvgTurnaround /= n
+		res.AvgWaiting /= n
+		res.AvgResponse /= n
+	}
+	return res
+}
+
+func validateJobs(jobs []Job) error {
+	if len(jobs) == 0 {
+		return errors.New("proc: no jobs")
+	}
+	for _, j := range jobs {
+		if j.Burst <= 0 {
+			return fmt.Errorf("proc: job %q burst must be positive", j.Name)
+		}
+		if j.Arrival < 0 {
+			return fmt.Errorf("proc: job %q arrival must be non-negative", j.Name)
+		}
+	}
+	return nil
+}
+
+// FCFS runs first-come-first-served (non-preemptive, arrival order).
+func FCFS(jobs []Job) (SchedResult, error) {
+	if err := validateJobs(jobs); err != nil {
+		return SchedResult{}, err
+	}
+	order := append([]Job(nil), jobs...)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Arrival < order[j].Arrival })
+	var now int64
+	out := make([]JobMetrics, 0, len(order))
+	for _, j := range order {
+		if now < j.Arrival {
+			now = j.Arrival
+		}
+		m := JobMetrics{Job: j, Start: now, Completion: now + j.Burst}
+		m.Turnaround = m.Completion - j.Arrival
+		m.Waiting = m.Turnaround - j.Burst
+		m.Response = m.Start - j.Arrival
+		out = append(out, m)
+		now = m.Completion
+	}
+	return finalize("FCFS", out, int64(len(order))), nil
+}
+
+// SJF runs shortest-job-first (non-preemptive).
+func SJF(jobs []Job) (SchedResult, error) {
+	if err := validateJobs(jobs); err != nil {
+		return SchedResult{}, err
+	}
+	return pickNext("SJF", jobs, func(a, b Job) bool {
+		if a.Burst != b.Burst {
+			return a.Burst < b.Burst
+		}
+		return a.Arrival < b.Arrival
+	})
+}
+
+// PrioritySched runs non-preemptive priority scheduling (lower value =
+// higher priority).
+func PrioritySched(jobs []Job) (SchedResult, error) {
+	if err := validateJobs(jobs); err != nil {
+		return SchedResult{}, err
+	}
+	return pickNext("priority", jobs, func(a, b Job) bool {
+		if a.Priority != b.Priority {
+			return a.Priority < b.Priority
+		}
+		return a.Arrival < b.Arrival
+	})
+}
+
+// pickNext is the shared non-preemptive engine: at each completion, choose
+// among arrived jobs by less().
+func pickNext(name string, jobs []Job, less func(a, b Job) bool) (SchedResult, error) {
+	pending := append([]Job(nil), jobs...)
+	var now int64
+	out := make([]JobMetrics, 0, len(jobs))
+	for len(pending) > 0 {
+		// Earliest arrival if nothing has arrived yet.
+		bestArr := pending[0].Arrival
+		for _, j := range pending {
+			if j.Arrival < bestArr {
+				bestArr = j.Arrival
+			}
+		}
+		if now < bestArr {
+			now = bestArr
+		}
+		// Choose among arrived.
+		bi := -1
+		for i, j := range pending {
+			if j.Arrival > now {
+				continue
+			}
+			if bi == -1 || less(j, pending[bi]) {
+				bi = i
+			}
+		}
+		j := pending[bi]
+		pending = append(pending[:bi], pending[bi+1:]...)
+		m := JobMetrics{Job: j, Start: now, Completion: now + j.Burst}
+		m.Turnaround = m.Completion - j.Arrival
+		m.Waiting = m.Turnaround - j.Burst
+		m.Response = m.Start - j.Arrival
+		out = append(out, m)
+		now = m.Completion
+	}
+	return finalize(name, out, int64(len(jobs))), nil
+}
+
+// SRTF runs preemptive shortest-remaining-time-first: a new arrival with
+// less remaining work than the running job preempts it. It is optimal for
+// average turnaround — the comparison point the scheduler lecture builds
+// toward.
+func SRTF(jobs []Job) (SchedResult, error) {
+	if err := validateJobs(jobs); err != nil {
+		return SchedResult{}, err
+	}
+	type live struct {
+		job       Job
+		remaining int64
+		started   bool
+		start     int64
+	}
+	pending := make([]*live, len(jobs))
+	for i, j := range jobs {
+		pending[i] = &live{job: j, remaining: j.Burst}
+	}
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].job.Arrival < pending[j].job.Arrival })
+
+	var now int64
+	var switches int64
+	var lastRun *live
+	done := 0
+	out := make([]JobMetrics, 0, len(jobs))
+	for done < len(jobs) {
+		// Pick the arrived job with the least remaining time.
+		var best *live
+		var nextArrival int64 = -1
+		for _, l := range pending {
+			if l.remaining == 0 {
+				continue
+			}
+			if l.job.Arrival > now {
+				if nextArrival < 0 || l.job.Arrival < nextArrival {
+					nextArrival = l.job.Arrival
+				}
+				continue
+			}
+			if best == nil || l.remaining < best.remaining {
+				best = l
+			}
+		}
+		if best == nil {
+			now = nextArrival // idle until the next arrival
+			continue
+		}
+		if best != lastRun {
+			switches++
+			lastRun = best
+		}
+		if !best.started {
+			best.started = true
+			best.start = now
+		}
+		// Run until completion or the next arrival, whichever first.
+		runUntil := now + best.remaining
+		if nextArrival >= 0 && nextArrival < runUntil {
+			runUntil = nextArrival
+		}
+		best.remaining -= runUntil - now
+		now = runUntil
+		if best.remaining == 0 {
+			m := JobMetrics{Job: best.job, Start: best.start, Completion: now}
+			m.Turnaround = m.Completion - best.job.Arrival
+			m.Waiting = m.Turnaround - best.job.Burst
+			m.Response = best.start - best.job.Arrival
+			out = append(out, m)
+			done++
+		}
+	}
+	return finalize("SRTF", out, switches), nil
+}
+
+// RoundRobin runs preemptive round-robin with the given quantum.
+func RoundRobin(jobs []Job, quantum int64) (SchedResult, error) {
+	if err := validateJobs(jobs); err != nil {
+		return SchedResult{}, err
+	}
+	if quantum <= 0 {
+		return SchedResult{}, errors.New("proc: quantum must be positive")
+	}
+	return mlfqEngine("RR", jobs, []int64{quantum}, false)
+}
+
+// MLFQ runs a multi-level feedback queue with the given per-level quanta
+// (level 0 highest priority). A job that exhausts its quantum is demoted;
+// the bottom level is round-robin.
+func MLFQ(jobs []Job, quanta []int64) (SchedResult, error) {
+	if err := validateJobs(jobs); err != nil {
+		return SchedResult{}, err
+	}
+	if len(quanta) == 0 {
+		return SchedResult{}, errors.New("proc: MLFQ needs at least one level")
+	}
+	for _, q := range quanta {
+		if q <= 0 {
+			return SchedResult{}, errors.New("proc: quanta must be positive")
+		}
+	}
+	return mlfqEngine("MLFQ", jobs, quanta, true)
+}
+
+type rrJob struct {
+	job       Job
+	remaining int64
+	level     int
+	started   bool
+	start     int64
+}
+
+// mlfqEngine simulates multi-level queues; with demote=false and one
+// level it degenerates to round-robin.
+func mlfqEngine(name string, jobs []Job, quanta []int64, demote bool) (SchedResult, error) {
+	arrivals := make([]*rrJob, len(jobs))
+	for i, j := range jobs {
+		arrivals[i] = &rrJob{job: j, remaining: j.Burst}
+	}
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].job.Arrival < arrivals[j].job.Arrival })
+
+	queues := make([][]*rrJob, len(quanta))
+	var now int64
+	next := 0 // next arrival index
+	out := make([]JobMetrics, 0, len(jobs))
+	var switches int64
+	var lastJob *rrJob
+
+	admit := func(t int64) {
+		for next < len(arrivals) && arrivals[next].job.Arrival <= t {
+			queues[0] = append(queues[0], arrivals[next])
+			next++
+		}
+	}
+	admit(now)
+	for len(out) < len(jobs) {
+		// Find the highest non-empty queue.
+		qi := -1
+		for i := range queues {
+			if len(queues[i]) > 0 {
+				qi = i
+				break
+			}
+		}
+		if qi == -1 {
+			// Idle until the next arrival.
+			now = arrivals[next].job.Arrival
+			admit(now)
+			continue
+		}
+		j := queues[qi][0]
+		queues[qi] = queues[qi][1:]
+		if j != lastJob {
+			switches++
+			lastJob = j
+		}
+		if !j.started {
+			j.started = true
+			j.start = now
+		}
+		q := quanta[qi]
+		run := q
+		if j.remaining < run {
+			run = j.remaining
+		}
+		now += run
+		j.remaining -= run
+		admit(now) // arrivals during the slice join level 0
+		if j.remaining == 0 {
+			m := JobMetrics{Job: j.job, Start: j.start, Completion: now}
+			m.Turnaround = m.Completion - j.job.Arrival
+			m.Waiting = m.Turnaround - j.job.Burst
+			m.Response = j.start - j.job.Arrival
+			out = append(out, m)
+			continue
+		}
+		level := qi
+		if demote && level < len(queues)-1 {
+			level++
+		}
+		j.level = level
+		queues[level] = append(queues[level], j)
+	}
+	return finalize(name, out, switches), nil
+}
+
+// CompareSchedulers runs every scheduler on the same workload and renders
+// the comparison table from the OS unit.
+func CompareSchedulers(jobs []Job, quantum int64, mlfq []int64) (string, []SchedResult, error) {
+	var results []SchedResult
+	for _, run := range []func() (SchedResult, error){
+		func() (SchedResult, error) { return FCFS(jobs) },
+		func() (SchedResult, error) { return SJF(jobs) },
+		func() (SchedResult, error) { return SRTF(jobs) },
+		func() (SchedResult, error) { return PrioritySched(jobs) },
+		func() (SchedResult, error) { return RoundRobin(jobs, quantum) },
+		func() (SchedResult, error) { return MLFQ(jobs, mlfq) },
+	} {
+		r, err := run()
+		if err != nil {
+			return "", nil, err
+		}
+		results = append(results, r)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %10s\n", "algorithm", "turnaround", "waiting", "response", "switches")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s %12.2f %12.2f %12.2f %10d\n",
+			r.Algorithm, r.AvgTurnaround, r.AvgWaiting, r.AvgResponse, r.ContextSwitch)
+	}
+	return b.String(), results, nil
+}

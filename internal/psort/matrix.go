@@ -1,0 +1,167 @@
+package psort
+
+import (
+	"errors"
+	"sync"
+)
+
+// Matrix is a dense row-major n×n matrix of float64 — the Table III
+// "matrix computation" workload.
+type Matrix struct {
+	N    int
+	Data []float64
+}
+
+// NewMatrix creates an n×n zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// FillSequential fills the matrix with a deterministic pattern for tests.
+func (m *Matrix) FillSequential() {
+	for i := range m.Data {
+		m.Data[i] = float64(i%7) - 3
+	}
+}
+
+// MatMulNaive computes C = A·B with the i-j-k triple loop (strided B
+// access: the cache-hostile baseline).
+func MatMulNaive(a, b *Matrix) (*Matrix, error) {
+	if a.N != b.N {
+		return nil, errors.New("psort: dimension mismatch")
+	}
+	n := a.N
+	c := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c, nil
+}
+
+// MatMulIKJ computes C = A·B with the i-k-j loop order, which streams B
+// and C rows — the one-line locality fix from the memory-hierarchy
+// lecture.
+func MatMulIKJ(a, b *Matrix) (*Matrix, error) {
+	if a.N != b.N {
+		return nil, errors.New("psort: dimension mismatch")
+	}
+	n := a.N
+	c := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			brow := b.Data[k*n : (k+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += aik * brow[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatMulBlocked computes C = A·B with square tiling — the "blocking"
+// paradigm row of Table III. tile must be positive.
+func MatMulBlocked(a, b *Matrix, tile int) (*Matrix, error) {
+	if a.N != b.N {
+		return nil, errors.New("psort: dimension mismatch")
+	}
+	if tile <= 0 {
+		return nil, errors.New("psort: tile must be positive")
+	}
+	n := a.N
+	c := NewMatrix(n)
+	for ii := 0; ii < n; ii += tile {
+		for kk := 0; kk < n; kk += tile {
+			for jj := 0; jj < n; jj += tile {
+				iMax := min(ii+tile, n)
+				kMax := min(kk+tile, n)
+				jMax := min(jj+tile, n)
+				for i := ii; i < iMax; i++ {
+					for k := kk; k < kMax; k++ {
+						aik := a.At(i, k)
+						crow := c.Data[i*n : (i+1)*n]
+						brow := b.Data[k*n : (k+1)*n]
+						for j := jj; j < jMax; j++ {
+							crow[j] += aik * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatMulParallel computes C = A·B with rows distributed over p goroutine
+// workers (each using the IKJ inner structure).
+func MatMulParallel(a, b *Matrix, p int) (*Matrix, error) {
+	if a.N != b.N {
+		return nil, errors.New("psort: dimension mismatch")
+	}
+	if p <= 0 {
+		return nil, errors.New("psort: worker count must be positive")
+	}
+	n := a.N
+	if p > n {
+		p = n
+	}
+	if p == 0 {
+		p = 1
+	}
+	c := NewMatrix(n)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w * n / p; i < (w+1)*n/p; i++ {
+				for k := 0; k < n; k++ {
+					aik := a.At(i, k)
+					crow := c.Data[i*n : (i+1)*n]
+					brow := b.Data[k*n : (k+1)*n]
+					for j := 0; j < n; j++ {
+						crow[j] += aik * brow[j]
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return c, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Equal compares matrices exactly.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.N != o.N {
+		return false
+	}
+	for i := range m.Data {
+		if m.Data[i] != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}

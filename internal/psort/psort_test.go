@@ -1,0 +1,355 @@
+package psort
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomInts(n int, seed uint64) []int64 {
+	if seed == 0 {
+		seed = 1
+	}
+	xs := make([]int64, n)
+	s := seed
+	for i := range xs {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		xs[i] = int64(s % 1000003)
+	}
+	return xs
+}
+
+func isSorted(xs []int64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMultiset(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[int64]int{}
+	for _, v := range a {
+		m[v]++
+	}
+	for _, v := range b {
+		m[v]--
+	}
+	for _, c := range m {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllSortsAgree(t *testing.T) {
+	xs := randomInts(5000, 11)
+	want := append([]int64(nil), xs...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+	ms, comps := MergeSort(xs)
+	if !isSorted(ms) || !sameMultiset(ms, xs) {
+		t.Error("MergeSort broken")
+	}
+	if comps <= 0 {
+		t.Error("MergeSort counted no comparisons")
+	}
+	qs, qcomps := QuickSort(xs)
+	if !isSorted(qs) || !sameMultiset(qs, xs) {
+		t.Error("QuickSort broken")
+	}
+	if qcomps <= 0 {
+		t.Error("QuickSort counted no comparisons")
+	}
+	pm := ParallelMergeSort(xs, 3)
+	if !isSorted(pm) || !sameMultiset(pm, xs) {
+		t.Error("ParallelMergeSort broken")
+	}
+	pmm := ParallelMergeSortPM(xs, 3)
+	if !isSorted(pmm) || !sameMultiset(pmm, xs) {
+		t.Error("ParallelMergeSortPM broken")
+	}
+	ss, err := SampleSort(xs, 8)
+	if err != nil || !isSorted(ss) || !sameMultiset(ss, xs) {
+		t.Errorf("SampleSort broken: %v", err)
+	}
+	for i := range want {
+		if ms[i] != want[i] || pm[i] != want[i] || pmm[i] != want[i] || ss[i] != want[i] || qs[i] != want[i] {
+			t.Fatalf("disagreement at %d", i)
+		}
+	}
+}
+
+func TestSortsProperty(t *testing.T) {
+	f := func(raw []int32) bool {
+		xs := make([]int64, len(raw))
+		for i, r := range raw {
+			xs[i] = int64(r)
+		}
+		ms, _ := MergeSort(xs)
+		qs, _ := QuickSort(xs)
+		pm := ParallelMergeSort(xs, 2)
+		ss, err := SampleSort(xs, 4)
+		if err != nil {
+			return false
+		}
+		if !isSorted(ms) || !sameMultiset(ms, xs) {
+			return false
+		}
+		for i := range ms {
+			if qs[i] != ms[i] || pm[i] != ms[i] || ss[i] != ms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSortComparisonCountNLogN(t *testing.T) {
+	// Comparisons must sit between n·log2(n)/2-ish and n·log2(n).
+	for _, n := range []int{1024, 8192} {
+		xs := randomInts(n, uint64(n))
+		_, comps := MergeSort(xs)
+		nlogn := float64(n) * math.Log2(float64(n))
+		if float64(comps) > nlogn || float64(comps) < nlogn/2 {
+			t.Errorf("n=%d: comparisons %d outside [%.0f, %.0f]", n, comps, nlogn/2, nlogn)
+		}
+	}
+	// Sorted input is the best case for merge sort's merge.
+	sortedIn := make([]int64, 1024)
+	for i := range sortedIn {
+		sortedIn[i] = int64(i)
+	}
+	_, compsSorted := MergeSort(sortedIn)
+	_, compsRandom := MergeSort(randomInts(1024, 5))
+	if compsSorted >= compsRandom {
+		t.Errorf("sorted input comparisons %d should be < random %d", compsSorted, compsRandom)
+	}
+}
+
+func TestBitonicSort(t *testing.T) {
+	xs := randomInts(1024, 3)
+	for _, par := range []bool{false, true} {
+		got, err := BitonicSort(xs, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isSorted(got) || !sameMultiset(got, xs) {
+			t.Errorf("bitonic(parallel=%v) broken", par)
+		}
+	}
+	if _, err := BitonicSort(randomInts(1000, 1), false); err == nil {
+		t.Error("non-power-of-two must error")
+	}
+	if out, err := BitonicSort(nil, false); err != nil || out != nil {
+		t.Error("empty input should be fine")
+	}
+	comparators, depth := BitonicStats(1024)
+	if depth != 55 { // log=10, 10*11/2
+		t.Errorf("depth = %d, want 55", depth)
+	}
+	if comparators != 55*512 {
+		t.Errorf("comparators = %d", comparators)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	xs := randomInts(999, 13)
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, k := range []int{0, 1, 499, 997, 998} {
+		got, err := Select(xs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != sorted[k] {
+			t.Errorf("Select(%d) = %d, want %d", k, got, sorted[k])
+		}
+	}
+	if _, err := Select(xs, -1); err == nil {
+		t.Error("negative k should error")
+	}
+	if _, err := Select(xs, len(xs)); err == nil {
+		t.Error("k == n should error")
+	}
+}
+
+func TestSelectProperty(t *testing.T) {
+	f := func(raw []int16, kRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]int64, len(raw))
+		for i, r := range raw {
+			xs[i] = int64(r)
+		}
+		k := int(kRaw) % len(xs)
+		got, err := Select(xs, k)
+		if err != nil {
+			return false
+		}
+		sorted := append([]int64(nil), xs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return got == sorted[k]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceAndParallelReduce(t *testing.T) {
+	xs := randomInts(10000, 17)
+	add := func(a, b int64) int64 { return a + b }
+	want := Reduce(xs, 0, add)
+	for _, p := range []int{1, 2, 4, 16} {
+		got, err := ParallelReduce(xs, 0, add, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("p=%d: %d != %d", p, got, want)
+		}
+	}
+	maxOp := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	gotMax, _ := ParallelReduce(xs, math.MinInt64, maxOp, 4)
+	wantMax := Reduce(xs, math.MinInt64, maxOp)
+	if gotMax != wantMax {
+		t.Errorf("max reduce: %d != %d", gotMax, wantMax)
+	}
+	if _, err := ParallelReduce(xs, 0, add, 0); err == nil {
+		t.Error("p=0 should error")
+	}
+	if got, _ := ParallelReduce(nil, 42, add, 4); got != 42 {
+		t.Errorf("empty reduce = %d, want identity", got)
+	}
+}
+
+func TestParallelScan(t *testing.T) {
+	xs := randomInts(5001, 19)
+	want := make([]int64, len(xs))
+	var acc int64
+	for i, v := range xs {
+		acc += v
+		want[i] = acc
+	}
+	for _, p := range []int{1, 2, 3, 8} {
+		got, err := ParallelScan(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: scan[%d] = %d, want %d", p, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := ParallelScan(xs, 0); err == nil {
+		t.Error("p=0 should error")
+	}
+	if got, err := ParallelScan(nil, 4); err != nil || len(got) != 0 {
+		t.Error("empty scan")
+	}
+}
+
+func TestMergeSortDAGWorkSpan(t *testing.T) {
+	// Serial merge: span Θ(n); parallel merge: span Θ(log²n) — the DAG
+	// algebra must show the separation.
+	workS, spanS, err := MergeSortDAG(256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workP, spanP, err := MergeSortDAG(256, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spanP >= spanS {
+		t.Errorf("parallel merge span %d should beat serial %d", spanP, spanS)
+	}
+	// Serial-merge span ~ 2n; check the right scale.
+	if spanS < 256 || spanS > 3*256 {
+		t.Errorf("serial span = %d", spanS)
+	}
+	// Work stays Θ(n log n) in both.
+	if workS <= 256*8/2 || workP <= 0 {
+		t.Errorf("work: serial %d parallel %d", workS, workP)
+	}
+	// Parallelism grows with n much faster for the parallel merge.
+	_, spanS2, _ := MergeSortDAG(1024, false)
+	_, spanP2, _ := MergeSortDAG(1024, true)
+	if float64(spanS2)/float64(spanS) < 3 { // ~4x for Θ(n)
+		t.Errorf("serial span growth %d -> %d not linear-ish", spanS, spanS2)
+	}
+	if float64(spanP2)/float64(spanP) > 2 { // log² grows slowly
+		t.Errorf("parallel span growth %d -> %d too fast", spanP, spanP2)
+	}
+}
+
+func TestMatMulVariantsAgree(t *testing.T) {
+	for _, n := range []int{1, 7, 16, 33} {
+		a, b := NewMatrix(n), NewMatrix(n)
+		a.FillSequential()
+		for i := range b.Data {
+			b.Data[i] = float64((i*31)%11) - 5
+		}
+		naive, err := MatMulNaive(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ikj, _ := MatMulIKJ(a, b)
+		blocked, _ := MatMulBlocked(a, b, 8)
+		par, _ := MatMulParallel(a, b, 4)
+		if !naive.Equal(ikj) || !naive.Equal(blocked) || !naive.Equal(par) {
+			t.Errorf("n=%d: matmul variants disagree", n)
+		}
+	}
+}
+
+func TestMatMulErrors(t *testing.T) {
+	a, b := NewMatrix(4), NewMatrix(5)
+	if _, err := MatMulNaive(a, b); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	c := NewMatrix(4)
+	if _, err := MatMulBlocked(a, c, 0); err == nil {
+		t.Error("tile 0 should error")
+	}
+	if _, err := MatMulParallel(a, c, 0); err == nil {
+		t.Error("p=0 should error")
+	}
+}
+
+func TestSampleSortEdges(t *testing.T) {
+	if _, err := SampleSort(randomInts(10, 1), 0); err == nil {
+		t.Error("p=0 should error")
+	}
+	if out, err := SampleSort(nil, 4); err != nil || out != nil {
+		t.Error("empty input")
+	}
+	// All-equal input (degenerate splitters).
+	xs := make([]int64, 1000)
+	out, err := SampleSort(xs, 8)
+	if err != nil || len(out) != 1000 {
+		t.Errorf("all-equal sample sort: %v", err)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("corrupted all-equal input")
+		}
+	}
+}

@@ -1,0 +1,538 @@
+// Package psort implements the CS41 Table III algorithm suite: merge sort
+// in its sequential, fork-join parallel, and parallel-merge variants (the
+// course's unifying example across models of computation), quicksort,
+// sample sort, a bitonic sorting network, parallel selection, and the
+// reduce/scan primitives — with comparison counting for RAM-model
+// analysis and DAG builders that compute each algorithm's work and span.
+package psort
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dag"
+)
+
+// serialCutoff is the subproblem size below which parallel variants run
+// sequentially — the grain-size knob every fork-join lecture discusses.
+const serialCutoff = 1 << 10
+
+// MergeSort sorts a copy of xs with top-down merge sort and returns it
+// along with the number of comparisons (the RAM-model cost measure).
+func MergeSort(xs []int64) ([]int64, int64) {
+	out := append([]int64(nil), xs...)
+	buf := make([]int64, len(xs))
+	var comparisons int64
+	msort(out, buf, &comparisons)
+	return out, comparisons
+}
+
+func msort(a, buf []int64, comps *int64) {
+	if len(a) <= 1 {
+		return
+	}
+	mid := len(a) / 2
+	msort(a[:mid], buf[:mid], comps)
+	msort(a[mid:], buf[mid:], comps)
+	mergeInto(buf, a[:mid], a[mid:], comps)
+	copy(a, buf[:len(a)])
+}
+
+// mergeInto merges sorted runs x and y into dst, counting comparisons.
+func mergeInto(dst, x, y []int64, comps *int64) {
+	i, j, k := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		if comps != nil {
+			*comps++
+		}
+		if x[i] <= y[j] {
+			dst[k] = x[i]
+			i++
+		} else {
+			dst[k] = y[j]
+			j++
+		}
+		k++
+	}
+	for i < len(x) {
+		dst[k] = x[i]
+		i++
+		k++
+	}
+	for j < len(y) {
+		dst[k] = y[j]
+		j++
+		k++
+	}
+}
+
+// ParallelMergeSort sorts a copy of xs with fork-join parallel merge sort
+// using goroutines (serial merge: span Θ(n)). maxDepth bounds the fork
+// tree; 0 picks a sensible default.
+func ParallelMergeSort(xs []int64, maxDepth int) []int64 {
+	if maxDepth <= 0 {
+		maxDepth = 4
+	}
+	out := append([]int64(nil), xs...)
+	buf := make([]int64, len(xs))
+	var comps int64 // unused in parallel path; avoids separate merge code
+	pmsort(out, buf, maxDepth, &comps)
+	return out
+}
+
+func pmsort(a, buf []int64, depth int, comps *int64) {
+	if len(a) <= serialCutoff || depth == 0 {
+		msort(a, buf, nil)
+		return
+	}
+	mid := len(a) / 2
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pmsort(a[:mid], buf[:mid], depth-1, comps)
+	}()
+	pmsort(a[mid:], buf[mid:], depth-1, comps)
+	wg.Wait()
+	mergeInto(buf, a[:mid], a[mid:], nil)
+	copy(a, buf[:len(a)])
+}
+
+// ParallelMergeSortPM is merge sort with a *parallel merge* (recursive
+// binary-search splitting), the variant whose span drops from Θ(n) to
+// Θ(log²n) — the ablation CS41 analyzes with work/span algebra.
+func ParallelMergeSortPM(xs []int64, maxDepth int) []int64 {
+	if maxDepth <= 0 {
+		maxDepth = 4
+	}
+	out := append([]int64(nil), xs...)
+	buf := make([]int64, len(xs))
+	pmsortPM(out, buf, maxDepth)
+	return out
+}
+
+func pmsortPM(a, buf []int64, depth int) {
+	if len(a) <= serialCutoff || depth == 0 {
+		msort(a, buf, nil)
+		return
+	}
+	mid := len(a) / 2
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pmsortPM(a[:mid], buf[:mid], depth-1)
+	}()
+	pmsortPM(a[mid:], buf[mid:], depth-1)
+	wg.Wait()
+	parallelMerge(a[:mid], a[mid:], buf[:len(a)], depth-1)
+	copy(a, buf[:len(a)])
+}
+
+// parallelMerge merges sorted x and y into dst by splitting on the median
+// of the larger run and binary-searching its rank in the other.
+func parallelMerge(x, y, dst []int64, depth int) {
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	if len(x) == 0 {
+		return
+	}
+	if len(x)+len(y) <= serialCutoff || depth <= 0 {
+		mergeInto(dst, x, y, nil)
+		return
+	}
+	mx := len(x) / 2
+	pivot := x[mx]
+	my := sort.Search(len(y), func(i int) bool { return y[i] > pivot })
+	dst[mx+my] = pivot
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		parallelMerge(x[:mx], y[:my], dst[:mx+my], depth-1)
+	}()
+	parallelMerge(x[mx+1:], y[my:], dst[mx+my+1:], depth-1)
+	wg.Wait()
+}
+
+// QuickSort sorts a copy of xs with median-of-three quicksort, counting
+// comparisons.
+func QuickSort(xs []int64) ([]int64, int64) {
+	out := append([]int64(nil), xs...)
+	var comps int64
+	qsort(out, &comps)
+	return out, comps
+}
+
+func qsort(a []int64, comps *int64) {
+	for len(a) > 12 {
+		// median of three
+		mid := len(a) / 2
+		hi := len(a) - 1
+		if a[mid] < a[0] {
+			a[mid], a[0] = a[0], a[mid]
+		}
+		if a[hi] < a[0] {
+			a[hi], a[0] = a[0], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := 0, hi
+		for {
+			for {
+				*comps++
+				if a[i] >= pivot {
+					break
+				}
+				i++
+			}
+			for {
+				*comps++
+				if a[j] <= pivot {
+					break
+				}
+				j--
+			}
+			if i >= j {
+				break
+			}
+			a[i], a[j] = a[j], a[i]
+			i++
+			j--
+		}
+		// recurse into the smaller side, loop on the larger
+		if j+1 < len(a)-j-1 {
+			qsort(a[:j+1], comps)
+			a = a[j+1:]
+		} else {
+			qsort(a[j+1:], comps)
+			a = a[:j+1]
+		}
+	}
+	// insertion sort tail
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 {
+			*comps++
+			if a[j] <= v {
+				break
+			}
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// SampleSort sorts a copy of xs with parallel sample sort: sample
+// splitters, partition into p buckets, sort buckets concurrently — the
+// bucket-parallel pattern CS87's short labs use.
+func SampleSort(xs []int64, p int) ([]int64, error) {
+	if p <= 0 {
+		return nil, errors.New("psort: bucket count must be positive")
+	}
+	n := len(xs)
+	if n == 0 {
+		return nil, nil
+	}
+	if p == 1 || n < 4*p {
+		out, _ := MergeSort(xs)
+		return out, nil
+	}
+	// Oversample for splitter quality.
+	const oversample = 8
+	sample := make([]int64, 0, p*oversample)
+	step := n / (p * oversample)
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < n && len(sample) < p*oversample; i += step {
+		sample = append(sample, xs[i])
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	splitters := make([]int64, p-1)
+	for i := range splitters {
+		splitters[i] = sample[(i+1)*len(sample)/p]
+	}
+	// Partition.
+	buckets := make([][]int64, p)
+	for _, v := range xs {
+		b := sort.Search(len(splitters), func(i int) bool { return splitters[i] >= v })
+		buckets[b] = append(buckets[b], v)
+	}
+	// Sort buckets in parallel.
+	var wg sync.WaitGroup
+	for i := range buckets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := buckets[i]
+			sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
+		}(i)
+	}
+	wg.Wait()
+	out := make([]int64, 0, n)
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// BitonicSort sorts a copy of xs with a bitonic sorting network. The
+// input length must be a power of two (the network's structural
+// requirement the lecture highlights); comparators at the same depth run
+// concurrently in `parallel` mode.
+func BitonicSort(xs []int64, parallel bool) ([]int64, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, nil
+	}
+	if n&(n-1) != 0 {
+		return nil, errors.New("psort: bitonic sort requires a power-of-two length")
+	}
+	a := append([]int64(nil), xs...)
+	for k := 2; k <= n; k *= 2 {
+		for j := k / 2; j > 0; j /= 2 {
+			compareStage(a, j, k, parallel)
+		}
+	}
+	return a, nil
+}
+
+func compareStage(a []int64, j, k int, parallel bool) {
+	n := len(a)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			l := i ^ j
+			if l > i {
+				up := i&k == 0
+				if (up && a[i] > a[l]) || (!up && a[i] < a[l]) {
+					a[i], a[l] = a[l], a[i]
+				}
+			}
+		}
+	}
+	if !parallel || n < serialCutoff {
+		body(0, n)
+		return
+	}
+	const shards = 4
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			body(s*n/shards, (s+1)*n/shards)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// BitonicStats returns the comparator count and depth of the n-input
+// bitonic network: depth = log(n)(log(n)+1)/2 stages, n/2 comparators per
+// stage — the work/span of a sorting *network*.
+func BitonicStats(n int) (comparators int64, depth int) {
+	if n <= 1 {
+		return 0, 0
+	}
+	lg := 0
+	for 1<<uint(lg) < n {
+		lg++
+	}
+	depth = lg * (lg + 1) / 2
+	comparators = int64(depth) * int64(n/2)
+	return comparators, depth
+}
+
+// Select returns the k-th smallest element (0-based) of xs using
+// quickselect with median-of-medians pivoting — deterministic O(n), the
+// selection row of Table III.
+func Select(xs []int64, k int) (int64, error) {
+	if k < 0 || k >= len(xs) {
+		return 0, errors.New("psort: selection index out of range")
+	}
+	a := append([]int64(nil), xs...)
+	for {
+		if len(a) <= 12 {
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			return a[k], nil
+		}
+		pivot := medianOfMedians(a)
+		lt, eq := partition3(a, pivot)
+		switch {
+		case k < lt:
+			a = a[:lt]
+		case k < lt+eq:
+			return pivot, nil
+		default:
+			a = a[lt+eq:]
+			k -= lt + eq
+		}
+	}
+}
+
+func medianOfMedians(a []int64) int64 {
+	medians := make([]int64, 0, (len(a)+4)/5)
+	for i := 0; i < len(a); i += 5 {
+		j := i + 5
+		if j > len(a) {
+			j = len(a)
+		}
+		g := append([]int64(nil), a[i:j]...)
+		sort.Slice(g, func(x, y int) bool { return g[x] < g[y] })
+		medians = append(medians, g[len(g)/2])
+	}
+	if len(medians) == 1 {
+		return medians[0]
+	}
+	m, _ := Select(medians, len(medians)/2)
+	return m
+}
+
+// partition3 three-way-partitions a around pivot in place, returning the
+// sizes of the < and == regions.
+func partition3(a []int64, pivot int64) (lt, eq int) {
+	lo, mid, hi := 0, 0, len(a)
+	for mid < hi {
+		switch {
+		case a[mid] < pivot:
+			a[lo], a[mid] = a[mid], a[lo]
+			lo++
+			mid++
+		case a[mid] > pivot:
+			hi--
+			a[mid], a[hi] = a[hi], a[mid]
+		default:
+			mid++
+		}
+	}
+	return lo, mid - lo
+}
+
+// Reduce folds xs sequentially with op.
+func Reduce(xs []int64, identity int64, op func(a, b int64) int64) int64 {
+	acc := identity
+	for _, v := range xs {
+		acc = op(acc, v)
+	}
+	return acc
+}
+
+// ParallelReduce folds xs with p goroutine workers; op must be
+// associative (the correctness condition the lecture stresses).
+func ParallelReduce(xs []int64, identity int64, op func(a, b int64) int64, p int) (int64, error) {
+	if p <= 0 {
+		return 0, errors.New("psort: worker count must be positive")
+	}
+	if p > len(xs) {
+		p = len(xs)
+	}
+	if p <= 1 {
+		return Reduce(xs, identity, op), nil
+	}
+	partial := make([]int64, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*len(xs)/p, (w+1)*len(xs)/p
+			partial[w] = Reduce(xs[lo:hi], identity, op)
+		}(w)
+	}
+	wg.Wait()
+	return Reduce(partial, identity, op), nil
+}
+
+// ParallelScan computes the inclusive prefix sums of xs with the
+// two-pass chunked algorithm (local scan, exclusive scan of chunk totals,
+// rebase) on p workers.
+func ParallelScan(xs []int64, p int) ([]int64, error) {
+	if p <= 0 {
+		return nil, errors.New("psort: worker count must be positive")
+	}
+	n := len(xs)
+	out := make([]int64, n)
+	if n == 0 {
+		return out, nil
+	}
+	if p > n {
+		p = n
+	}
+	totals := make([]int64, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*n/p, (w+1)*n/p
+			var acc int64
+			for i := lo; i < hi; i++ {
+				acc += xs[i]
+				out[i] = acc
+			}
+			totals[w] = acc
+		}(w)
+	}
+	wg.Wait()
+	// Exclusive scan of totals (p is small: sequential).
+	var acc int64
+	offsets := make([]int64, p)
+	for w := 0; w < p; w++ {
+		offsets[w] = acc
+		acc += totals[w]
+	}
+	for w := 1; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*n/p, (w+1)*n/p
+			for i := lo; i < hi; i++ {
+				out[i] += offsets[w]
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// MergeSortDAG builds the fork-join DAG of merge sort on n elements with
+// either serial (cost n) or parallel (cost log²n) merges, returning work
+// and span — the board algebra, machine-checked.
+func MergeSortDAG(n int64, parallelMerge bool) (work, span int64, err error) {
+	g := dag.New()
+	var build func(n int64) dag.Fragment
+	build = func(n int64) dag.Fragment {
+		if n <= 1 {
+			return dag.Leaf(g, 1, "base")
+		}
+		l := build(n / 2)
+		r := build(n - n/2)
+		mergeCost := n
+		if parallelMerge {
+			lg := int64(1)
+			for v := n; v > 1; v >>= 1 {
+				lg++
+			}
+			mergeCost = lg * lg
+		}
+		return dag.Seq(dag.Par(g, l, r), dag.Leaf(g, mergeCost, "merge"))
+	}
+	build(n)
+	span, _, err = g.Span()
+	if err != nil {
+		return 0, 0, err
+	}
+	return g.Work(), span, nil
+}
+
+// Counters aggregates swap/comparison telemetry for instrumented runs.
+type Counters struct {
+	Comparisons atomic.Int64
+}

@@ -1,0 +1,118 @@
+package pthread
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Detector maintains the wait-for graph of threads and mutexes: thread T
+// waits for mutex M, mutex M is held by thread U. A cycle in this graph
+// is a deadlock. Mutexes attached via WithDetector report their events;
+// LockAs refuses (with ErrDeadlockDetected) to begin a wait that would
+// close a cycle — the deadlock-avoidance flavour covered alongside the
+// four Coffman conditions in lecture.
+type Detector struct {
+	mu      *Mutex
+	holds   map[*Mutex]ID          // mutex -> holding thread
+	waits   map[ID]*Mutex          // thread -> mutex it is blocked on
+	heldSet map[ID]map[*Mutex]bool // thread -> mutexes it holds
+	history []string
+}
+
+// ErrDeadlockDetected is returned by LockAs when blocking would create a
+// wait-for cycle.
+var ErrDeadlockDetected = errors.New("pthread: deadlock detected (wait-for cycle)")
+
+// NewDetector creates an empty detector.
+func NewDetector() *Detector {
+	return &Detector{
+		mu:      NewMutex(MutexNormal),
+		holds:   make(map[*Mutex]ID),
+		waits:   make(map[ID]*Mutex),
+		heldSet: make(map[ID]map[*Mutex]bool),
+	}
+}
+
+// beforeWait records that thread self is about to block on m, first
+// checking whether doing so closes a cycle.
+func (d *Detector) beforeWait(self ID, m *Mutex) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Walk holder -> its wanted mutex -> that mutex's holder ... looking
+	// for self.
+	seen := map[ID]bool{}
+	cur, held := d.holds[m], true
+	for held && !seen[cur] {
+		if cur == self {
+			d.history = append(d.history, fmt.Sprintf("DEADLOCK: thread %d requesting mutex held (transitively) by itself", self))
+			return ErrDeadlockDetected
+		}
+		seen[cur] = true
+		next, waiting := d.waits[cur]
+		if !waiting {
+			break
+		}
+		cur, held = d.holds[next], true
+		if _, ok := d.holds[next]; !ok {
+			held = false
+		}
+	}
+	d.waits[self] = m
+	return nil
+}
+
+// acquired records that self now holds m.
+func (d *Detector) acquired(self ID, m *Mutex) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.waits, self)
+	d.holds[m] = self
+	if d.heldSet[self] == nil {
+		d.heldSet[self] = make(map[*Mutex]bool)
+	}
+	d.heldSet[self][m] = true
+}
+
+// released records that self no longer holds m.
+func (d *Detector) released(self ID, m *Mutex) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.holds[m] == self {
+		delete(d.holds, m)
+	}
+	if hs := d.heldSet[self]; hs != nil {
+		delete(hs, m)
+	}
+}
+
+// Snapshot renders the current wait-for graph for debugging, with threads
+// sorted for deterministic output.
+func (d *Detector) Snapshot() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var ids []int
+	for id := range d.waits {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		m := d.waits[ID(id)]
+		holder, ok := d.holds[m]
+		if ok {
+			fmt.Fprintf(&b, "thread %d waits for mutex held by thread %d\n", id, holder)
+		} else {
+			fmt.Fprintf(&b, "thread %d waits for a free mutex\n", id)
+		}
+	}
+	return b.String()
+}
+
+// History returns diagnostic lines recorded at detection time.
+func (d *Detector) History() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.history...)
+}

@@ -1,0 +1,67 @@
+package pthread_test
+
+import (
+	"fmt"
+
+	"repro/internal/pthread"
+)
+
+// The structure of every CS31 parallel lab: spawn workers, protect the
+// shared accumulator with a mutex, join.
+func Example() {
+	mu := pthread.NewMutex(pthread.MutexNormal)
+	sum := 0
+	threads := pthread.Spawn(4, func(_ pthread.ID, i int) {
+		for j := 0; j < 100; j++ {
+			mu.Lock()
+			sum++
+			mu.Unlock()
+		}
+	})
+	if err := pthread.JoinAll(threads); err != nil {
+		fmt.Println("join failed:", err)
+		return
+	}
+	fmt.Println(sum)
+	// Output: 400
+}
+
+// A cyclic barrier coordinates phased computation; exactly one thread per
+// phase is told it is the serial thread.
+func ExampleBarrier() {
+	barrier, err := pthread.NewBarrier(3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	serials := make(chan int, 6)
+	threads := pthread.Spawn(3, func(_ pthread.ID, i int) {
+		for phase := 0; phase < 2; phase++ {
+			if barrier.Wait() == pthread.BarrierSerial {
+				serials <- phase
+			}
+		}
+	})
+	pthread.JoinAll(threads)
+	close(serials)
+	count := 0
+	for range serials {
+		count++
+	}
+	fmt.Println(count)
+	// Output: 2
+}
+
+// A counting semaphore bounds concurrent entry — the lecture's sleeping
+// pool of permits.
+func ExampleSemaphore() {
+	sem := pthread.NewSemaphore(2)
+	sem.Wait()
+	sem.Wait()
+	fmt.Println(sem.TryWait()) // pool exhausted
+	sem.Post()
+	fmt.Println(sem.TryWait()) // a permit came back
+	// Output:
+	// false
+	// true
+}

@@ -1,0 +1,206 @@
+package pthread
+
+import (
+	"errors"
+)
+
+// MutexKind selects the POSIX mutex behaviour.
+type MutexKind int
+
+// The mutex kinds (PTHREAD_MUTEX_NORMAL, _ERRORCHECK, _RECURSIVE).
+const (
+	MutexNormal MutexKind = iota
+	MutexErrorCheck
+	MutexRecursive
+)
+
+// Errors returned by the owner-aware mutex operations, matching the POSIX
+// error conditions (EDEADLK, EPERM).
+var (
+	ErrDeadlk   = errors.New("pthread: relocking a held errorcheck mutex (EDEADLK)")
+	ErrNotOwner = errors.New("pthread: unlock by non-owner (EPERM)")
+	ErrUnlocked = errors.New("pthread: unlock of unlocked mutex (EPERM)")
+)
+
+// Mutex is a mutual-exclusion lock built on a one-slot channel (the
+// channel *is* the lock cell: a successful send is an acquired lock).
+// The zero value is unusable; call NewMutex.
+type Mutex struct {
+	kind MutexKind
+	slot chan struct{}
+	// meta guards owner/depth for the owner-aware kinds.
+	meta     chan struct{}
+	owner    ID
+	depth    int
+	detector *Detector
+}
+
+// NewMutex creates a mutex of the given kind.
+func NewMutex(kind MutexKind) *Mutex {
+	m := &Mutex{kind: kind, slot: make(chan struct{}, 1), meta: make(chan struct{}, 1)}
+	m.meta <- struct{}{}
+	return m
+}
+
+// WithDetector attaches a deadlock detector; LockAs/UnlockAs report their
+// wait-for edges to it.
+func (m *Mutex) WithDetector(d *Detector) *Mutex {
+	m.detector = d
+	return m
+}
+
+// Lock acquires the mutex without an owner identity (usable from code
+// that has no thread ID; error-checking kinds require LockAs).
+func (m *Mutex) Lock() { m.slot <- struct{}{} }
+
+// Unlock releases an anonymously held mutex.
+func (m *Mutex) Unlock() {
+	select {
+	case <-m.slot:
+	default:
+		panic("pthread: unlock of unlocked mutex")
+	}
+}
+
+// TryLock attempts the lock without blocking, reporting success
+// (pthread_mutex_trylock).
+func (m *Mutex) TryLock() bool {
+	select {
+	case m.slot <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// LockAs acquires the mutex as the given thread, enforcing the kind's
+// semantics: an error-checking mutex returns ErrDeadlk on self-relock; a
+// recursive mutex counts depth; a normal mutex self-deadlocks (here
+// detected and returned as an error if a Detector is attached, otherwise
+// it blocks forever, exactly like the real thing).
+func (m *Mutex) LockAs(self ID) error {
+	<-m.meta
+	if m.depth > 0 && m.owner == self {
+		switch m.kind {
+		case MutexRecursive:
+			m.depth++
+			m.meta <- struct{}{}
+			return nil
+		case MutexErrorCheck:
+			m.meta <- struct{}{}
+			return ErrDeadlk
+		default:
+			// Normal mutex self-relock: POSIX says deadlock. Report through
+			// the detector when present; otherwise block forever below.
+			if m.detector != nil {
+				m.meta <- struct{}{}
+				return ErrDeadlk
+			}
+		}
+	}
+	m.meta <- struct{}{}
+
+	if m.detector != nil {
+		if err := m.detector.beforeWait(self, m); err != nil {
+			return err
+		}
+	}
+	m.slot <- struct{}{} // block until acquired
+	<-m.meta
+	m.owner = self
+	m.depth = 1
+	m.meta <- struct{}{}
+	if m.detector != nil {
+		m.detector.acquired(self, m)
+	}
+	return nil
+}
+
+// UnlockAs releases the mutex as the given thread, enforcing ownership.
+func (m *Mutex) UnlockAs(self ID) error {
+	<-m.meta
+	if m.depth == 0 {
+		m.meta <- struct{}{}
+		return ErrUnlocked
+	}
+	if m.owner != self {
+		m.meta <- struct{}{}
+		return ErrNotOwner
+	}
+	if m.kind == MutexRecursive && m.depth > 1 {
+		m.depth--
+		m.meta <- struct{}{}
+		return nil
+	}
+	m.depth = 0
+	m.owner = 0
+	m.meta <- struct{}{}
+	<-m.slot
+	if m.detector != nil {
+		m.detector.released(self, m)
+	}
+	return nil
+}
+
+// Cond is a condition variable used with a Mutex (pthread_cond_t). The
+// implementation hands each waiter its own channel; Signal closes one,
+// Broadcast closes all — the classic "wait queue of parked threads".
+type Cond struct {
+	mu      *Mutex
+	meta    chan struct{}
+	waiters []chan struct{}
+}
+
+// NewCond creates a condition variable bound to mu.
+func NewCond(mu *Mutex) *Cond {
+	c := &Cond{mu: mu, meta: make(chan struct{}, 1)}
+	c.meta <- struct{}{}
+	return c
+}
+
+// Wait atomically releases the mutex and blocks until signalled, then
+// reacquires the mutex before returning (pthread_cond_wait). The caller
+// must hold the mutex. As with POSIX, spurious-wakeup-safe use requires
+// the enclosing while loop.
+func (c *Cond) Wait() {
+	park := make(chan struct{})
+	<-c.meta
+	c.waiters = append(c.waiters, park)
+	c.meta <- struct{}{}
+	c.mu.Unlock()
+	<-park
+	c.mu.Lock()
+}
+
+// WaitAs is Wait for owner-aware locking.
+func (c *Cond) WaitAs(self ID) error {
+	park := make(chan struct{})
+	<-c.meta
+	c.waiters = append(c.waiters, park)
+	c.meta <- struct{}{}
+	if err := c.mu.UnlockAs(self); err != nil {
+		return err
+	}
+	<-park
+	return c.mu.LockAs(self)
+}
+
+// Signal wakes one waiter if any (pthread_cond_signal).
+func (c *Cond) Signal() {
+	<-c.meta
+	if len(c.waiters) > 0 {
+		close(c.waiters[0])
+		c.waiters = c.waiters[1:]
+	}
+	c.meta <- struct{}{}
+}
+
+// Broadcast wakes every waiter (pthread_cond_broadcast).
+func (c *Cond) Broadcast() {
+	<-c.meta
+	for _, w := range c.waiters {
+		close(w)
+	}
+	c.waiters = nil
+	c.meta <- struct{}{}
+}

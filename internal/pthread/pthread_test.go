@@ -1,0 +1,477 @@
+package pthread
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCreateJoin(t *testing.T) {
+	var ran atomic.Bool
+	th := Create(func(self ID) {
+		if self == 0 {
+			t.Error("thread ID must be nonzero")
+		}
+		ran.Store(true)
+	})
+	if err := th.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() {
+		t.Error("thread body did not run")
+	}
+	if err := th.Join(); !errors.Is(err, ErrJoined) {
+		t.Errorf("double join: %v", err)
+	}
+}
+
+func TestJoinSurfacesPanic(t *testing.T) {
+	th := Create(func(ID) { panic("lab bug") })
+	err := th.Join()
+	if err == nil || !contains(err.Error(), "lab bug") {
+		t.Errorf("Join should surface panic, got %v", err)
+	}
+}
+
+func TestDetach(t *testing.T) {
+	th := Create(func(ID) {})
+	th.Detach()
+	if err := th.Join(); !errors.Is(err, ErrJoined) {
+		t.Errorf("join after detach: %v", err)
+	}
+}
+
+func TestSpawnIndexes(t *testing.T) {
+	const n = 8
+	var mask atomic.Int64
+	ts := Spawn(n, func(_ ID, i int) {
+		mask.Add(1 << uint(i))
+	})
+	if err := JoinAll(ts); err != nil {
+		t.Fatal(err)
+	}
+	if mask.Load() != (1<<n)-1 {
+		t.Errorf("worker indexes mask = %b", mask.Load())
+	}
+}
+
+func TestMutexExcludes(t *testing.T) {
+	m := NewMutex(MutexNormal)
+	counter := 0
+	ts := Spawn(4, func(ID, int) {
+		for i := 0; i < 1000; i++ {
+			m.Lock()
+			counter++
+			m.Unlock()
+		}
+	})
+	if err := JoinAll(ts); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 4000 {
+		t.Errorf("counter = %d, want 4000 (mutex failed to exclude)", counter)
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	m := NewMutex(MutexNormal)
+	if !m.TryLock() {
+		t.Fatal("uncontended TryLock failed")
+	}
+	if m.TryLock() {
+		t.Fatal("second TryLock should fail")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock after unlock failed")
+	}
+	m.Unlock()
+}
+
+func TestMutexUnlockUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMutex(MutexNormal).Unlock()
+}
+
+func TestErrorCheckMutex(t *testing.T) {
+	m := NewMutex(MutexErrorCheck)
+	if err := m.LockAs(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LockAs(1); !errors.Is(err, ErrDeadlk) {
+		t.Errorf("self-relock: %v, want EDEADLK", err)
+	}
+	if err := m.UnlockAs(2); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("foreign unlock: %v, want EPERM", err)
+	}
+	if err := m.UnlockAs(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UnlockAs(1); !errors.Is(err, ErrUnlocked) {
+		t.Errorf("unlock of unlocked: %v", err)
+	}
+}
+
+func TestRecursiveMutex(t *testing.T) {
+	m := NewMutex(MutexRecursive)
+	for i := 0; i < 3; i++ {
+		if err := m.LockAs(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Another thread cannot take it until fully released.
+	acquired := make(chan struct{})
+	go func() {
+		if err := m.LockAs(8); err != nil {
+			t.Error(err)
+		}
+		close(acquired)
+	}()
+	for i := 0; i < 3; i++ {
+		select {
+		case <-acquired:
+			t.Fatal("recursive mutex released early")
+		default:
+		}
+		if err := m.UnlockAs(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never acquired after full release")
+	}
+	if err := m.UnlockAs(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondProducerConsumer(t *testing.T) {
+	mu := NewMutex(MutexNormal)
+	cond := NewCond(mu)
+	queue := 0
+	consumed := make(chan int, 100)
+	cons := Create(func(ID) {
+		for got := 0; got < 100; got++ {
+			mu.Lock()
+			for queue == 0 {
+				cond.Wait()
+			}
+			queue--
+			mu.Unlock()
+			consumed <- 1
+		}
+	})
+	prod := Create(func(ID) {
+		for i := 0; i < 100; i++ {
+			mu.Lock()
+			queue++
+			cond.Signal()
+			mu.Unlock()
+		}
+	})
+	if err := prod.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if len(consumed) != 100 {
+		t.Errorf("consumed %d items", len(consumed))
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	mu := NewMutex(MutexNormal)
+	cond := NewCond(mu)
+	ready := false
+	var woke atomic.Int32
+	ts := Spawn(5, func(ID, int) {
+		mu.Lock()
+		for !ready {
+			cond.Wait()
+		}
+		mu.Unlock()
+		woke.Add(1)
+	})
+	time.Sleep(50 * time.Millisecond) // let them park
+	mu.Lock()
+	ready = true
+	cond.Broadcast()
+	mu.Unlock()
+	if err := JoinAll(ts); err != nil {
+		t.Fatal(err)
+	}
+	if woke.Load() != 5 {
+		t.Errorf("woke %d of 5", woke.Load())
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	s := NewSemaphore(2)
+	s.Wait()
+	s.Wait()
+	if s.TryWait() {
+		t.Error("third TryWait should fail at count 0")
+	}
+	s.Post()
+	if !s.TryWait() {
+		t.Error("TryWait after Post should succeed")
+	}
+	if s.Value() != 0 {
+		t.Errorf("value = %d", s.Value())
+	}
+	// Semaphore as a rendezvous: consumer blocks until producer posts.
+	done := make(chan struct{})
+	go func() {
+		s.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Wait should block at zero")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Post()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Post did not wake waiter")
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	const parties, phases = 4, 5
+	b, err := NewBarrier(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serials atomic.Int32
+	phase := make([]atomic.Int32, phases)
+	ts := Spawn(parties, func(ID, int) {
+		for p := 0; p < phases; p++ {
+			phase[p].Add(1)
+			if err := b.Wait(); errors.Is(err, BarrierSerial) {
+				serials.Add(1)
+			}
+			// After the barrier, every thread must have bumped this phase.
+			if got := phase[p].Load(); got != parties {
+				t.Errorf("phase %d: saw %d arrivals after barrier", p, got)
+			}
+		}
+	})
+	if err := JoinAll(ts); err != nil {
+		t.Fatal(err)
+	}
+	if serials.Load() != phases {
+		t.Errorf("serial threads = %d, want one per phase (%d)", serials.Load(), phases)
+	}
+}
+
+func TestBarrierRejectsNonPositive(t *testing.T) {
+	if _, err := NewBarrier(0); err == nil {
+		t.Error("NewBarrier(0) should error")
+	}
+}
+
+func TestRWLockConcurrentReaders(t *testing.T) {
+	l := NewRWLock(PreferWriters)
+	var concurrent, peak atomic.Int32
+	ts := Spawn(8, func(ID, int) {
+		for i := 0; i < 50; i++ {
+			l.RLock()
+			c := concurrent.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			concurrent.Add(-1)
+			l.RUnlock()
+		}
+	})
+	if err := JoinAll(ts); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() < 2 {
+		t.Logf("peak concurrent readers = %d (scheduling-dependent on 1 CPU)", peak.Load())
+	}
+}
+
+func TestRWLockWriterExcludes(t *testing.T) {
+	l := NewRWLock(PreferWriters)
+	shared := 0
+	ts := Spawn(4, func(ID, int) {
+		for i := 0; i < 500; i++ {
+			l.Lock()
+			shared++
+			l.Unlock()
+			l.RLock()
+			_ = shared
+			l.RUnlock()
+		}
+	})
+	if err := JoinAll(ts); err != nil {
+		t.Fatal(err)
+	}
+	if shared != 2000 {
+		t.Errorf("shared = %d, want 2000", shared)
+	}
+}
+
+func TestOnce(t *testing.T) {
+	var o Once
+	var runs atomic.Int32
+	ts := Spawn(8, func(ID, int) {
+		o.Do(func() {
+			time.Sleep(10 * time.Millisecond)
+			runs.Add(1)
+		})
+		// After Do returns, the init must be complete for everyone.
+		if runs.Load() != 1 {
+			t.Error("Do returned before init completed")
+		}
+	})
+	if err := JoinAll(ts); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("init ran %d times", runs.Load())
+	}
+}
+
+func TestSpinLock(t *testing.T) {
+	var s SpinLock
+	counter := 0
+	ts := Spawn(4, func(ID, int) {
+		for i := 0; i < 500; i++ {
+			s.Lock()
+			counter++
+			s.Unlock()
+		}
+	})
+	if err := JoinAll(ts); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 2000 {
+		t.Errorf("counter = %d", counter)
+	}
+	if !s.TryLock() {
+		t.Error("TryLock on free lock")
+	}
+	if s.TryLock() {
+		t.Error("TryLock on held lock")
+	}
+	s.Unlock()
+}
+
+func TestSpinUnlockUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	var s SpinLock
+	s.Unlock()
+}
+
+func TestDeadlockDetectorCatchesABBA(t *testing.T) {
+	d := NewDetector()
+	a := NewMutex(MutexNormal).WithDetector(d)
+	b := NewMutex(MutexNormal).WithDetector(d)
+
+	// Thread 1 takes A, thread 2 takes B; a rendezvous guarantees both
+	// hold their first lock before requesting the other, forcing the cycle.
+	got := make(chan error, 2)
+	ready := make(chan struct{}, 2)
+	step := make(chan struct{})
+	t1 := Create(func(self ID) {
+		if err := a.LockAs(self); err != nil {
+			got <- err
+			return
+		}
+		ready <- struct{}{}
+		<-step
+		err := b.LockAs(self)
+		got <- err
+		if err == nil {
+			b.UnlockAs(self)
+		}
+		a.UnlockAs(self)
+	})
+	t2 := Create(func(self ID) {
+		if err := b.LockAs(self); err != nil {
+			got <- err
+			return
+		}
+		ready <- struct{}{}
+		<-step
+		err := a.LockAs(self)
+		got <- err
+		if err == nil {
+			a.UnlockAs(self)
+		}
+		b.UnlockAs(self)
+	})
+	<-ready
+	<-ready
+	close(step)
+	var sawDeadlock bool
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-got:
+			if errors.Is(err, ErrDeadlockDetected) {
+				sawDeadlock = true
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("threads hung: detector failed\n" + d.Snapshot())
+		}
+	}
+	if !sawDeadlock {
+		t.Error("ABBA pattern should trip the detector at least once")
+	}
+	t1.Join()
+	t2.Join()
+	if len(d.History()) == 0 {
+		t.Error("detector history empty after detection")
+	}
+}
+
+func TestDetectorSelfRelock(t *testing.T) {
+	d := NewDetector()
+	m := NewMutex(MutexNormal).WithDetector(d)
+	errc := make(chan error, 1)
+	th := Create(func(self ID) {
+		if err := m.LockAs(self); err != nil {
+			errc <- err
+			return
+		}
+		errc <- m.LockAs(self) // self-deadlock, detected
+		m.UnlockAs(self)
+	})
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrDeadlk) {
+			t.Errorf("self-relock: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("self-relock hung despite detector")
+	}
+	th.Join()
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+package pthread
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Semaphore is a counting semaphore (sem_t) built from a mutex and a
+// condition variable — the construction proved equivalent in lecture.
+type Semaphore struct {
+	mu    *Mutex
+	cond  *Cond
+	count int
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(initial int) *Semaphore {
+	if initial < 0 {
+		initial = 0
+	}
+	mu := NewMutex(MutexNormal)
+	return &Semaphore{mu: mu, cond: NewCond(mu), count: initial}
+}
+
+// Wait decrements the semaphore, blocking while the count is zero
+// (sem_wait, P).
+func (s *Semaphore) Wait() {
+	s.mu.Lock()
+	for s.count == 0 {
+		s.cond.Wait()
+	}
+	s.count--
+	s.mu.Unlock()
+}
+
+// TryWait decrements without blocking, reporting success (sem_trywait).
+func (s *Semaphore) TryWait() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Post increments the semaphore and wakes a waiter (sem_post, V).
+func (s *Semaphore) Post() {
+	s.mu.Lock()
+	s.count++
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// Value returns the current count (sem_getvalue).
+func (s *Semaphore) Value() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// BarrierSerial is returned to exactly one thread per barrier cycle
+// (PTHREAD_BARRIER_SERIAL_THREAD), letting labs designate a coordinator.
+var BarrierSerial = errors.New("pthread: barrier serial thread")
+
+// Barrier is a cyclic barrier for a fixed party count
+// (pthread_barrier_t). It is reusable across generations, which is what
+// the parallel Game of Life needs between steps.
+type Barrier struct {
+	mu      *Mutex
+	cond    *Cond
+	parties int
+	waiting int
+	gen     uint64
+}
+
+// NewBarrier creates a barrier for n parties. n must be positive.
+func NewBarrier(n int) (*Barrier, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pthread: barrier count %d must be positive", n)
+	}
+	mu := NewMutex(MutexNormal)
+	return &Barrier{mu: mu, cond: NewCond(mu), parties: n}, nil
+}
+
+// Wait blocks until all parties arrive. The last arriver gets
+// BarrierSerial; the rest get nil (pthread_barrier_wait).
+func (b *Barrier) Wait() error {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return BarrierSerial
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// RWPreference selects reader- or writer-preference for RWLock — the
+// starvation trade-off the readers/writers lecture analyzes.
+type RWPreference int
+
+// The preferences.
+const (
+	PreferReaders RWPreference = iota
+	PreferWriters
+)
+
+// RWLock is a readers-writer lock (pthread_rwlock_t) with selectable
+// preference, built from one mutex and two condition variables.
+type RWLock struct {
+	mu             *Mutex
+	readOK         *Cond
+	writeOK        *Cond
+	pref           RWPreference
+	readers        int // active readers
+	writer         bool
+	waitingWriters int
+}
+
+// NewRWLock creates an RWLock with the given preference.
+func NewRWLock(pref RWPreference) *RWLock {
+	mu := NewMutex(MutexNormal)
+	return &RWLock{mu: mu, readOK: NewCond(mu), writeOK: NewCond(mu), pref: pref}
+}
+
+// RLock acquires the lock for reading.
+func (l *RWLock) RLock() {
+	l.mu.Lock()
+	for l.writer || (l.pref == PreferWriters && l.waitingWriters > 0) {
+		l.readOK.Wait()
+	}
+	l.readers++
+	l.mu.Unlock()
+}
+
+// RUnlock releases a read hold.
+func (l *RWLock) RUnlock() {
+	l.mu.Lock()
+	l.readers--
+	if l.readers < 0 {
+		l.mu.Unlock()
+		panic("pthread: RUnlock without RLock")
+	}
+	if l.readers == 0 {
+		l.writeOK.Signal()
+	}
+	l.mu.Unlock()
+}
+
+// Lock acquires the lock for writing (exclusive).
+func (l *RWLock) Lock() {
+	l.mu.Lock()
+	l.waitingWriters++
+	for l.writer || l.readers > 0 {
+		l.writeOK.Wait()
+	}
+	l.waitingWriters--
+	l.writer = true
+	l.mu.Unlock()
+}
+
+// Unlock releases the write hold.
+func (l *RWLock) Unlock() {
+	l.mu.Lock()
+	if !l.writer {
+		l.mu.Unlock()
+		panic("pthread: Unlock without Lock")
+	}
+	l.writer = false
+	if l.pref == PreferWriters && l.waitingWriters > 0 {
+		l.writeOK.Signal()
+	} else {
+		l.readOK.Broadcast()
+		l.writeOK.Signal()
+	}
+	l.mu.Unlock()
+}
+
+// Once runs its function exactly once across threads (pthread_once),
+// implemented with an atomic state machine and a completion channel so
+// latecomers block until the first caller finishes.
+type Once struct {
+	state atomic.Int32 // 0 new, 1 running, 2 done
+	done  atomic.Pointer[chan struct{}]
+}
+
+func (o *Once) doneCh() chan struct{} {
+	if p := o.done.Load(); p != nil {
+		return *p
+	}
+	ch := make(chan struct{})
+	if o.done.CompareAndSwap(nil, &ch) {
+		return ch
+	}
+	return *o.done.Load()
+}
+
+// Do invokes fn on the first call; concurrent callers wait until fn has
+// completed.
+func (o *Once) Do(fn func()) {
+	ch := o.doneCh()
+	if o.state.CompareAndSwap(0, 1) {
+		defer close(ch)
+		defer o.state.Store(2)
+		fn()
+		return
+	}
+	<-ch
+}
+
+// SpinLock is a test-and-set spinlock built on atomic CAS — shown in
+// lecture as the hardware foundation beneath mutexes. It burns CPU while
+// contended; the mutex comparison benchmark quantifies that.
+type SpinLock struct {
+	state atomic.Int32
+}
+
+// Lock spins until the lock is acquired.
+func (s *SpinLock) Lock() {
+	for !s.state.CompareAndSwap(0, 1) {
+	}
+}
+
+// TryLock attempts one CAS.
+func (s *SpinLock) TryLock() bool { return s.state.CompareAndSwap(0, 1) }
+
+// Unlock releases the lock.
+func (s *SpinLock) Unlock() {
+	if !s.state.CompareAndSwap(1, 0) {
+		panic("pthread: unlock of unlocked spinlock")
+	}
+}

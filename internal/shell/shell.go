@@ -1,0 +1,474 @@
+// Package shell implements the CS31 Unix-shell lab on the simulated
+// kernel from internal/proc: a command-line parser (pipes, redirection,
+// background jobs, sequencing), builtins (cd, pwd, exit, jobs, fg,
+// history), fork/exec/waitpid process management, and the zombie/reaping
+// behaviour the lab exists to teach — a background job's process stays a
+// zombie until the shell reaps it at the next prompt.
+package shell
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/proc"
+)
+
+// Program is a simulated executable: it maps stdin and argv to stdout and
+// an exit status.
+type Program func(args []string, stdin string) (stdout string, exit int)
+
+// Shell is the interpreter state.
+type Shell struct {
+	Kernel  *proc.Kernel
+	Self    proc.PID
+	cwd     string
+	history []string
+	// fs is the simulated filesystem for redirections.
+	fs map[string]string
+	// jobs tracks background pipelines: job id -> pids + command line.
+	jobs     map[int]*job
+	nextJob  int
+	programs map[string]Program
+	exited   bool
+}
+
+type job struct {
+	id   int
+	pids []proc.PID
+	line string
+	done bool
+}
+
+// New creates a shell running as a child of init on a fresh kernel.
+func New() (*Shell, error) {
+	k := proc.NewKernel()
+	self, err := k.Fork(proc.InitPID)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Exec(self, "swatsh"); err != nil {
+		return nil, err
+	}
+	sh := &Shell{
+		Kernel: k, Self: self, cwd: "/home/student",
+		fs:   make(map[string]string),
+		jobs: make(map[int]*job),
+	}
+	sh.programs = builtinPrograms()
+	return sh, nil
+}
+
+// Exited reports whether the shell has seen the exit builtin.
+func (s *Shell) Exited() bool { return s.exited }
+
+// WriteFile seeds the simulated filesystem.
+func (s *Shell) WriteFile(name, content string) { s.fs[name] = content }
+
+// ReadFile reads from the simulated filesystem.
+func (s *Shell) ReadFile(name string) (string, bool) {
+	v, ok := s.fs[name]
+	return v, ok
+}
+
+func builtinPrograms() map[string]Program {
+	return map[string]Program{
+		"echo": func(args []string, _ string) (string, int) {
+			return strings.Join(args, " ") + "\n", 0
+		},
+		"true":  func([]string, string) (string, int) { return "", 0 },
+		"false": func([]string, string) (string, int) { return "", 1 },
+		"cat": func(args []string, stdin string) (string, int) {
+			return stdin, 0
+		},
+		"wc": func(_ []string, stdin string) (string, int) {
+			lines := 0
+			for _, c := range stdin {
+				if c == '\n' {
+					lines++
+				}
+			}
+			words := len(strings.Fields(stdin))
+			return fmt.Sprintf("%d %d %d\n", lines, words, len(stdin)), 0
+		},
+		"rev": func(_ []string, stdin string) (string, int) {
+			var out strings.Builder
+			for _, line := range strings.Split(strings.TrimSuffix(stdin, "\n"), "\n") {
+				r := []rune(line)
+				for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+					r[i], r[j] = r[j], r[i]
+				}
+				out.WriteString(string(r))
+				out.WriteByte('\n')
+			}
+			return out.String(), 0
+		},
+		"upper": func(_ []string, stdin string) (string, int) {
+			return strings.ToUpper(stdin), 0
+		},
+		"seq": func(args []string, _ string) (string, int) {
+			if len(args) != 1 {
+				return "seq: usage: seq N\n", 1
+			}
+			n, err := strconv.Atoi(args[0])
+			if err != nil || n < 0 {
+				return "seq: bad count\n", 1
+			}
+			var b strings.Builder
+			for i := 1; i <= n; i++ {
+				fmt.Fprintf(&b, "%d\n", i)
+			}
+			return b.String(), 0
+		},
+		"grep": func(args []string, stdin string) (string, int) {
+			if len(args) != 1 {
+				return "grep: usage: grep PATTERN\n", 1
+			}
+			var b strings.Builder
+			found := false
+			for _, line := range strings.Split(strings.TrimSuffix(stdin, "\n"), "\n") {
+				if strings.Contains(line, args[0]) {
+					b.WriteString(line)
+					b.WriteByte('\n')
+					found = true
+				}
+			}
+			if !found {
+				return b.String(), 1
+			}
+			return b.String(), 0
+		},
+		"sort": func(_ []string, stdin string) (string, int) {
+			lines := strings.Split(strings.TrimSuffix(stdin, "\n"), "\n")
+			sort.Strings(lines)
+			return strings.Join(lines, "\n") + "\n", 0
+		},
+	}
+}
+
+// command is one parsed simple command.
+type command struct {
+	argv    []string
+	inFile  string
+	outFile string
+}
+
+// pipeline is commands joined by '|', possibly backgrounded.
+type pipeline struct {
+	cmds       []command
+	background bool
+	text       string
+}
+
+// tokenize splits a line into words and operator tokens, honouring
+// double quotes.
+func tokenize(line string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '|' || c == '<' || c == '>' || c == '&' || c == ';':
+			toks = append(toks, string(c))
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(line) && line[j] != '"' {
+				j++
+			}
+			if j == len(line) {
+				return nil, errors.New("shell: unterminated quote")
+			}
+			toks = append(toks, line[i+1:j])
+			i = j + 1
+		default:
+			j := i
+			for j < len(line) && !strings.ContainsRune(" \t|<>&;\"", rune(line[j])) {
+				j++
+			}
+			toks = append(toks, line[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+// parse converts a token stream into pipelines separated by ';'.
+func parse(line string) ([]pipeline, error) {
+	toks, err := tokenize(line)
+	if err != nil {
+		return nil, err
+	}
+	var out []pipeline
+	var cur pipeline
+	var cmd command
+	flushCmd := func() error {
+		if len(cmd.argv) == 0 && (cmd.inFile != "" || cmd.outFile != "") {
+			return errors.New("shell: redirection without a command")
+		}
+		if len(cmd.argv) > 0 {
+			cur.cmds = append(cur.cmds, cmd)
+		}
+		cmd = command{}
+		return nil
+	}
+	flushPipe := func() error {
+		if err := flushCmd(); err != nil {
+			return err
+		}
+		if len(cur.cmds) > 0 {
+			out = append(out, cur)
+		}
+		cur = pipeline{}
+		return nil
+	}
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch t {
+		case "|":
+			if err := flushCmd(); err != nil {
+				return nil, err
+			}
+			if len(cur.cmds) == 0 {
+				return nil, errors.New("shell: pipe with no left side")
+			}
+		case "<", ">":
+			if i+1 >= len(toks) {
+				return nil, fmt.Errorf("shell: %s needs a filename", t)
+			}
+			i++
+			if t == "<" {
+				cmd.inFile = toks[i]
+			} else {
+				cmd.outFile = toks[i]
+			}
+		case "&":
+			cur.background = true
+			if err := flushPipe(); err != nil {
+				return nil, err
+			}
+		case ";":
+			if err := flushPipe(); err != nil {
+				return nil, err
+			}
+		default:
+			cmd.argv = append(cmd.argv, t)
+		}
+	}
+	if err := flushPipe(); err != nil {
+		return nil, err
+	}
+	for i := range out {
+		var parts []string
+		for _, c := range out[i].cmds {
+			parts = append(parts, strings.Join(c.argv, " "))
+		}
+		out[i].text = strings.Join(parts, " | ")
+	}
+	return out, nil
+}
+
+// Run interprets one command line and returns its output.
+func (s *Shell) Run(line string) (string, error) {
+	if strings.TrimSpace(line) != "" {
+		s.history = append(s.history, line)
+	}
+	s.reapBackground() // the "check for finished jobs at the prompt" step
+	pipes, err := parse(line)
+	if err != nil {
+		return "", err
+	}
+	var out strings.Builder
+	for _, p := range pipes {
+		if s.exited {
+			break
+		}
+		o, err := s.runPipeline(p)
+		out.WriteString(o)
+		if err != nil {
+			return out.String(), err
+		}
+	}
+	return out.String(), nil
+}
+
+func (s *Shell) runPipeline(p pipeline) (string, error) {
+	// Builtins run in the shell process (no fork) when alone and in the
+	// foreground — the rule the lab makes students justify.
+	if len(p.cmds) == 1 && !p.background {
+		if out, handled, err := s.builtin(p.cmds[0]); handled {
+			return out, err
+		}
+	}
+	var pids []proc.PID
+	data := ""
+	var out strings.Builder
+	exitStatus := 0
+	for ci, c := range p.cmds {
+		prog, ok := s.programs[c.argv[0]]
+		if !ok {
+			return out.String(), fmt.Errorf("shell: %s: command not found", c.argv[0])
+		}
+		// fork + exec in the simulated kernel.
+		pid, err := s.Kernel.Fork(s.Self)
+		if err != nil {
+			return out.String(), err
+		}
+		if err := s.Kernel.Exec(pid, c.argv[0]); err != nil {
+			return out.String(), err
+		}
+		pids = append(pids, pid)
+		stdin := data
+		if c.inFile != "" {
+			content, ok := s.fs[c.inFile]
+			if !ok {
+				s.Kernel.Exit(pid, 1)
+				return out.String(), fmt.Errorf("shell: %s: no such file", c.inFile)
+			}
+			stdin = content
+		}
+		stdout, status := prog(c.argv[1:], stdin)
+		exitStatus = status
+		if c.outFile != "" {
+			s.fs[c.outFile] = stdout
+			data = ""
+		} else {
+			data = stdout
+		}
+		// The process "runs to completion" in the simulator.
+		if err := s.Kernel.Exit(pid, status); err != nil {
+			return out.String(), err
+		}
+		_ = ci
+	}
+	if p.background {
+		s.nextJob++
+		j := &job{id: s.nextJob, pids: pids, line: p.text}
+		s.jobs[j.id] = j
+		// Do NOT wait: the children stay zombies until the next prompt —
+		// the observable behaviour the lab's SIGCHLD discussion explains.
+		return fmt.Sprintf("[%d] %d\n", j.id, pids[len(pids)-1]), nil
+	}
+	// Foreground: wait for every process in the pipeline.
+	for _, pid := range pids {
+		if _, err := s.Kernel.WaitPID(s.Self, pid); err != nil {
+			return out.String(), err
+		}
+	}
+	out.WriteString(data)
+	if exitStatus != 0 {
+		return out.String(), fmt.Errorf("shell: exit status %d", exitStatus)
+	}
+	return out.String(), nil
+}
+
+// reapBackground waits on finished background jobs, marking them done —
+// the shell's zombie hygiene.
+func (s *Shell) reapBackground() []string {
+	var notes []string
+	for _, j := range sortedJobs(s.jobs) {
+		if j.done {
+			continue
+		}
+		alldone := true
+		for _, pid := range j.pids {
+			if _, err := s.Kernel.WaitPID(s.Self, pid); err != nil {
+				if errors.Is(err, proc.ErrNotZombie) {
+					alldone = false
+				}
+			}
+		}
+		if alldone {
+			j.done = true
+			notes = append(notes, fmt.Sprintf("[%d] done %s", j.id, j.line))
+		}
+	}
+	return notes
+}
+
+func sortedJobs(m map[int]*job) []*job {
+	out := make([]*job, 0, len(m))
+	for _, j := range m {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].id < out[k].id })
+	return out
+}
+
+// builtin handles shell builtins; handled=false means "not a builtin".
+func (s *Shell) builtin(c command) (string, bool, error) {
+	switch c.argv[0] {
+	case "cd":
+		if len(c.argv) != 2 {
+			return "", true, errors.New("shell: cd: usage: cd DIR")
+		}
+		dir := c.argv[1]
+		if strings.HasPrefix(dir, "/") {
+			s.cwd = dir
+		} else if dir == ".." {
+			i := strings.LastIndex(s.cwd, "/")
+			if i > 0 {
+				s.cwd = s.cwd[:i]
+			} else {
+				s.cwd = "/"
+			}
+		} else {
+			s.cwd = strings.TrimSuffix(s.cwd, "/") + "/" + dir
+		}
+		return "", true, nil
+	case "pwd":
+		return s.cwd + "\n", true, nil
+	case "exit":
+		s.exited = true
+		return "", true, nil
+	case "history":
+		var b strings.Builder
+		for i, h := range s.history {
+			fmt.Fprintf(&b, "%4d  %s\n", i+1, h)
+		}
+		return b.String(), true, nil
+	case "jobs":
+		var b strings.Builder
+		for _, j := range sortedJobs(s.jobs) {
+			state := "Running"
+			if j.done {
+				state = "Done"
+			}
+			zombie := false
+			for _, pid := range j.pids {
+				if p, err := s.Kernel.Process(pid); err == nil && p.State == proc.Zombie {
+					zombie = true
+				}
+			}
+			if zombie {
+				state = "Done (zombie)"
+			}
+			fmt.Fprintf(&b, "[%d]  %-14s %s\n", j.id, state, j.line)
+		}
+		return b.String(), true, nil
+	case "fg":
+		if len(c.argv) != 2 {
+			return "", true, errors.New("shell: fg: usage: fg JOB")
+		}
+		id, err := strconv.Atoi(strings.TrimPrefix(c.argv[1], "%"))
+		if err != nil {
+			return "", true, errors.New("shell: fg: bad job id")
+		}
+		j, ok := s.jobs[id]
+		if !ok {
+			return "", true, fmt.Errorf("shell: fg: no such job %d", id)
+		}
+		for _, pid := range j.pids {
+			s.Kernel.WaitPID(s.Self, pid) //nolint:errcheck // already reaped is fine
+		}
+		j.done = true
+		return "", true, nil
+	case "pstree":
+		return s.Kernel.Tree(), true, nil
+	}
+	return "", false, nil
+}

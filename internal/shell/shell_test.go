@@ -1,0 +1,257 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/proc"
+)
+
+func mustShell(t *testing.T) *Shell {
+	t.Helper()
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEcho(t *testing.T) {
+	s := mustShell(t)
+	out, err := s.Run(`echo hello world`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "hello world\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestQuoting(t *testing.T) {
+	s := mustShell(t)
+	out, err := s.Run(`echo "hello   there | friend"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "hello   there | friend\n" {
+		t.Errorf("out = %q", out)
+	}
+	if _, err := s.Run(`echo "unterminated`); err == nil {
+		t.Error("unterminated quote should error")
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	s := mustShell(t)
+	out, err := s.Run(`seq 5 | rev | sort`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "1\n2\n3\n4\n5\n" {
+		t.Errorf("out = %q", out)
+	}
+	out, err = s.Run(`echo swat | upper`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "SWAT\n" {
+		t.Errorf("out = %q", out)
+	}
+	out, err = s.Run(`seq 100 | grep 9 | wc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9, 19, ..., 89, 90..99: 19 lines.
+	if !strings.HasPrefix(out, "19 19 ") {
+		t.Errorf("wc out = %q", out)
+	}
+}
+
+func TestRedirection(t *testing.T) {
+	s := mustShell(t)
+	if _, err := s.Run(`seq 3 > nums.txt`); err != nil {
+		t.Fatal(err)
+	}
+	content, ok := s.ReadFile("nums.txt")
+	if !ok || content != "1\n2\n3\n" {
+		t.Errorf("file = %q ok=%v", content, ok)
+	}
+	out, err := s.Run(`rev < nums.txt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "1\n2\n3\n" {
+		t.Errorf("rev out = %q", out)
+	}
+	if _, err := s.Run(`cat < missing.txt`); err == nil {
+		t.Error("missing input file should error")
+	}
+	if _, err := s.Run(`> onlyredir`); err == nil {
+		t.Error("redirection without command should error")
+	}
+}
+
+func TestSequencing(t *testing.T) {
+	s := mustShell(t)
+	out, err := s.Run(`echo a; echo b; echo c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "a\nb\nc\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestExitStatusPropagates(t *testing.T) {
+	s := mustShell(t)
+	if _, err := s.Run(`false`); err == nil {
+		t.Error("false should report a nonzero status")
+	}
+	if _, err := s.Run(`true`); err != nil {
+		t.Errorf("true failed: %v", err)
+	}
+	if _, err := s.Run(`nosuchcmd`); err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Errorf("unknown command: %v", err)
+	}
+}
+
+func TestBuiltinsCdPwdHistory(t *testing.T) {
+	s := mustShell(t)
+	out, _ := s.Run(`pwd`)
+	if out != "/home/student\n" {
+		t.Errorf("pwd = %q", out)
+	}
+	s.Run(`cd /tmp`)
+	out, _ = s.Run(`pwd`)
+	if out != "/tmp\n" {
+		t.Errorf("after cd, pwd = %q", out)
+	}
+	s.Run(`cd sub`)
+	out, _ = s.Run(`pwd`)
+	if out != "/tmp/sub\n" {
+		t.Errorf("relative cd: %q", out)
+	}
+	s.Run(`cd ..`)
+	out, _ = s.Run(`pwd`)
+	if out != "/tmp\n" {
+		t.Errorf("cd ..: %q", out)
+	}
+	out, _ = s.Run(`history`)
+	if !strings.Contains(out, "cd /tmp") || !strings.Contains(out, "pwd") {
+		t.Errorf("history:\n%s", out)
+	}
+	if _, err := s.Run(`cd`); err == nil {
+		t.Error("cd without arg should error")
+	}
+}
+
+func TestExitBuiltin(t *testing.T) {
+	s := mustShell(t)
+	s.Run(`exit`)
+	if !s.Exited() {
+		t.Error("exit did not mark the shell")
+	}
+	out, _ := s.Run(`echo never; echo runs`)
+	if out != "" {
+		t.Errorf("commands ran after exit: %q", out)
+	}
+}
+
+func TestBackgroundJobsLeaveZombiesUntilReaped(t *testing.T) {
+	s := mustShell(t)
+	out, err := s.Run(`echo bg work &`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "[1] ") {
+		t.Errorf("job banner = %q", out)
+	}
+	// The background process has exited but is NOT reaped: a zombie.
+	if z := s.Kernel.ZombieCount(); z != 1 {
+		t.Errorf("zombies after bg job = %d, want 1", z)
+	}
+	// jobs shows it as a zombie.
+	out, _ = s.Run(`jobs`)
+	if !strings.Contains(out, "[1]") {
+		t.Errorf("jobs output:\n%s", out)
+	}
+	// The Run call for `jobs` reaped at the prompt: zombie gone.
+	if z := s.Kernel.ZombieCount(); z != 0 {
+		t.Errorf("zombies after next prompt = %d, want 0", z)
+	}
+}
+
+func TestFgJob(t *testing.T) {
+	s := mustShell(t)
+	s.Run(`seq 3 &`)
+	if _, err := s.Run(`fg %1`); err != nil {
+		t.Fatal(err)
+	}
+	if z := s.Kernel.ZombieCount(); z != 0 {
+		t.Errorf("zombies after fg = %d", z)
+	}
+	if _, err := s.Run(`fg %9`); err == nil {
+		t.Error("fg on missing job should error")
+	}
+	if _, err := s.Run(`fg`); err == nil {
+		t.Error("fg without arg should error")
+	}
+}
+
+func TestPstreeShowsShell(t *testing.T) {
+	s := mustShell(t)
+	out, err := s.Run(`pstree`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "init") || !strings.Contains(out, "swatsh") {
+		t.Errorf("pstree:\n%s", out)
+	}
+}
+
+func TestForegroundLeavesNoZombies(t *testing.T) {
+	s := mustShell(t)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Run(`seq 10 | wc`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if z := s.Kernel.ZombieCount(); z != 0 {
+		t.Errorf("zombies = %d after foreground pipelines", z)
+	}
+	// All children of the shell reaped.
+	p, _ := s.Kernel.Process(s.Self)
+	if len(p.Children) != 0 {
+		t.Errorf("shell still has %d children", len(p.Children))
+	}
+	_ = proc.InitPID
+}
+
+func TestParserErrors(t *testing.T) {
+	s := mustShell(t)
+	for _, bad := range []string{`| upper`, `echo x >`, `cat <`} {
+		if _, err := s.Run(bad); err == nil {
+			t.Errorf("Run(%q) should fail", bad)
+		}
+	}
+	// Empty line is fine.
+	if out, err := s.Run(``); err != nil || out != "" {
+		t.Errorf("empty line: %q %v", out, err)
+	}
+}
+
+func TestRedirectionInPipelineMiddle(t *testing.T) {
+	s := mustShell(t)
+	// Output redirection mid-pipeline swallows the stream (like a real
+	// shell, the next stage sees empty stdin).
+	out, err := s.Run(`seq 3 > f.txt | wc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "0 0 0") {
+		t.Errorf("out = %q", out)
+	}
+	if content, _ := s.ReadFile("f.txt"); content != "1\n2\n3\n" {
+		t.Errorf("file = %q", content)
+	}
+}

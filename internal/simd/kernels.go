@@ -1,0 +1,220 @@
+package simd
+
+import "errors"
+
+// This file implements the CS40 lab kernels: vector addition (the
+// coalescing hello-world, in coalesced and strided variants) and the
+// parallel reduction whose addressing-scheme progression (interleaved ->
+// sequential) is the classic NVIDIA optimization exercise the course
+// assigns on "parallel reductions on large arrays".
+
+// VecAdd computes c = a + b on the device: global memory is laid out as
+// [a | b | c], each of length n. Returns the launch stats.
+func VecAdd(a, b []float64, blockDim int) ([]float64, Stats, error) {
+	if len(a) != len(b) {
+		return nil, Stats{}, errors.New("simd: length mismatch")
+	}
+	n := len(a)
+	if n == 0 {
+		return nil, Stats{}, nil
+	}
+	if blockDim <= 0 {
+		blockDim = 128
+	}
+	dev := NewDevice(3 * n)
+	copy(dev.Global[:n], a)
+	copy(dev.Global[n:2*n], b)
+	grid := (n + blockDim - 1) / blockDim
+	st, err := dev.Launch(Config{GridDim: grid, BlockDim: blockDim}, func(c *Ctx) {
+		i := c.GlobalID()
+		if c.Branch(i < n) {
+			x := c.LoadGlobal(i)
+			y := c.LoadGlobal(n + i)
+			c.StoreGlobal(2*n+i, x+y)
+		}
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	out := make([]float64, n)
+	copy(out, dev.Global[2*n:])
+	return out, st, nil
+}
+
+// VecAddStrided is the cache-hostile variant: thread t touches element
+// t*stride mod n, destroying coalescing — the ablation partner of VecAdd.
+func VecAddStrided(a, b []float64, blockDim, stride int) ([]float64, Stats, error) {
+	if len(a) != len(b) {
+		return nil, Stats{}, errors.New("simd: length mismatch")
+	}
+	n := len(a)
+	if n == 0 {
+		return nil, Stats{}, nil
+	}
+	if blockDim <= 0 {
+		blockDim = 128
+	}
+	if stride <= 0 {
+		stride = 17
+	}
+	dev := NewDevice(3 * n)
+	copy(dev.Global[:n], a)
+	copy(dev.Global[n:2*n], b)
+	grid := (n + blockDim - 1) / blockDim
+	st, err := dev.Launch(Config{GridDim: grid, BlockDim: blockDim}, func(c *Ctx) {
+		t := c.GlobalID()
+		if c.Branch(t < n) {
+			i := (t * stride) % n
+			x := c.LoadGlobal(i)
+			y := c.LoadGlobal(n + i)
+			c.StoreGlobal(2*n+i, x+y)
+		}
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	out := make([]float64, n)
+	copy(out, dev.Global[2*n:])
+	return out, st, nil
+}
+
+// ReductionScheme selects the shared-memory reduction addressing pattern.
+type ReductionScheme int
+
+// The schemes, in the order the optimization deck presents them.
+const (
+	// Interleaved: stride doubles, active threads are those with
+	// tid % (2*s) == 0 — maximal divergence within warps.
+	Interleaved ReductionScheme = iota
+	// Sequential: stride halves, active threads are tid < s — a
+	// contiguous prefix, so whole warps retire together.
+	Sequential
+)
+
+// String returns the human-readable name.
+func (s ReductionScheme) String() string {
+	if s == Interleaved {
+		return "interleaved"
+	}
+	return "sequential"
+}
+
+// Reduce sums xs on the device using shared-memory tree reduction with
+// the chosen scheme: each block reduces its tile into a partial sum; the
+// host sums the partials (the standard two-phase pattern).
+func Reduce(xs []float64, blockDim int, scheme ReductionScheme) (float64, Stats, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, Stats{}, nil
+	}
+	if blockDim <= 0 || blockDim&(blockDim-1) != 0 {
+		return 0, Stats{}, errors.New("simd: blockDim must be a positive power of two")
+	}
+	grid := (n + blockDim - 1) / blockDim
+	// Layout: [input | per-block partials].
+	dev := NewDevice(n + grid)
+	copy(dev.Global[:n], xs)
+	st, err := dev.Launch(Config{GridDim: grid, BlockDim: blockDim, SharedLen: blockDim}, func(c *Ctx) {
+		tid := c.ThreadIdx
+		i := c.GlobalID()
+		if c.Branch(i < n) {
+			c.Shared[tid] = c.LoadGlobal(i)
+		} else {
+			c.Shared[tid] = 0
+		}
+		c.SyncThreads()
+		switch scheme {
+		case Interleaved:
+			for s := 1; s < c.BlockDim; s *= 2 {
+				if c.Branch(tid%(2*s) == 0) {
+					c.Shared[tid] += c.Shared[tid+s]
+				}
+				c.SyncThreads()
+			}
+		case Sequential:
+			for s := c.BlockDim / 2; s > 0; s /= 2 {
+				if c.Branch(tid < s) {
+					c.Shared[tid] += c.Shared[tid+s]
+				}
+				c.SyncThreads()
+			}
+		}
+		if tid == 0 {
+			c.StoreGlobal(n+c.BlockIdx, c.Shared[0])
+		}
+	})
+	if err != nil {
+		return 0, st, err
+	}
+	var total float64
+	for _, p := range dev.Global[n:] {
+		total += p
+	}
+	return total, st, nil
+}
+
+// MatMulNaive computes C = A·B (n×n, row-major) with one thread per
+// output element reading A's row and B's column straight from global
+// memory — 2n global loads per element. Global layout: [A | B | C].
+func MatMulNaive(a, b []float64, n, tile int) ([]float64, Stats, error) {
+	return matMul(a, b, n, tile, false)
+}
+
+// MatMulTiled is the canonical CUDA optimization: the block stages T×T
+// tiles of A and B in shared memory, cutting global loads per element
+// from 2n to 2n/T — the "data layout / shared memory" exercise of CS40.
+func MatMulTiled(a, b []float64, n, tile int) ([]float64, Stats, error) {
+	return matMul(a, b, n, tile, true)
+}
+
+func matMul(a, b []float64, n, tile int, useShared bool) ([]float64, Stats, error) {
+	if len(a) != n*n || len(b) != n*n {
+		return nil, Stats{}, errors.New("simd: matrix size mismatch")
+	}
+	if tile <= 0 || n%tile != 0 {
+		return nil, Stats{}, errors.New("simd: tile must divide n")
+	}
+	dev := NewDevice(3 * n * n)
+	copy(dev.Global[:n*n], a)
+	copy(dev.Global[n*n:2*n*n], b)
+	blocksPerDim := n / tile
+	grid := blocksPerDim * blocksPerDim
+	blockDim := tile * tile
+	sharedLen := 0
+	if useShared {
+		sharedLen = 2 * tile * tile
+	}
+	st, err := dev.Launch(Config{GridDim: grid, BlockDim: blockDim, SharedLen: sharedLen}, func(c *Ctx) {
+		bx := c.BlockIdx % blocksPerDim
+		by := c.BlockIdx / blocksPerDim
+		tx := c.ThreadIdx % tile
+		ty := c.ThreadIdx / tile
+		row := by*tile + ty
+		col := bx*tile + tx
+		acc := 0.0
+		if !useShared {
+			for k := 0; k < n; k++ {
+				acc += c.LoadGlobal(row*n+k) * c.LoadGlobal(n*n+k*n+col)
+			}
+		} else {
+			aS := c.Shared[:tile*tile]
+			bS := c.Shared[tile*tile:]
+			for t := 0; t < blocksPerDim; t++ {
+				aS[ty*tile+tx] = c.LoadGlobal(row*n + t*tile + tx)
+				bS[ty*tile+tx] = c.LoadGlobal(n*n + (t*tile+ty)*n + col)
+				c.SyncThreads()
+				for k := 0; k < tile; k++ {
+					acc += aS[ty*tile+k] * bS[k*tile+tx]
+				}
+				c.SyncThreads()
+			}
+		}
+		c.StoreGlobal(2*n*n+row*n+col, acc)
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	out := make([]float64, n*n)
+	copy(out, dev.Global[2*n*n:])
+	return out, st, nil
+}

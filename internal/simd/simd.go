@@ -1,0 +1,224 @@
+// Package simd implements the SIMT execution model behind the CS40 CUDA
+// unit: kernels launched over a grid of thread blocks, warps of lockstep
+// lanes, per-block shared memory with barrier synchronization, and the
+// two cost mechanisms the course's GPU lectures drill — memory coalescing
+// (a warp's simultaneous global accesses merge into segment transactions)
+// and branch divergence (a warp whose lanes disagree executes both paths).
+//
+// The simulator substitutes for physical CUDA hardware per DESIGN.md: the
+// CS40 exercises (parallel reductions on large arrays, data layout,
+// shared vs global memory) are about the SIMT *model*, which is
+// implemented here with exact transaction and divergence accounting.
+package simd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/pthread"
+)
+
+// WarpSize is the number of lanes per warp.
+const WarpSize = 32
+
+// SegmentBytes is the size of one coalesced memory transaction.
+const SegmentBytes = 128
+
+// elemBytes is the size of one global-memory element (float64).
+const elemBytes = 8
+
+// Config parameterizes a launch.
+type Config struct {
+	GridDim   int // blocks
+	BlockDim  int // threads per block
+	SharedLen int // shared-memory floats per block
+}
+
+// Stats aggregates the cost accounting of one launch.
+type Stats struct {
+	Threads            int
+	GlobalAccesses     int64 // individual lane loads+stores
+	GlobalTransactions int64 // coalesced segment transactions
+	Branches           int64 // warp-level branch decisions
+	DivergentBranches  int64 // warps whose lanes disagreed
+	Barriers           int64 // __syncthreads() calls (per block)
+}
+
+// CoalescingEfficiency returns accesses per transaction, normalized so
+// 1.0 is perfect (a full warp served by the minimum segments).
+func (s Stats) CoalescingEfficiency() float64 {
+	if s.GlobalTransactions == 0 {
+		return 1
+	}
+	ideal := float64(s.GlobalAccesses) / (SegmentBytes / elemBytes)
+	if ideal < 1 {
+		ideal = 1
+	}
+	return ideal / float64(s.GlobalTransactions)
+}
+
+// DivergenceRate returns the fraction of warp branches that diverged.
+func (s Stats) DivergenceRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.DivergentBranches) / float64(s.Branches)
+}
+
+// Device owns global memory and collects stats.
+type Device struct {
+	Global []float64
+
+	mu       sync.Mutex
+	accesses map[accessKey][]int // (warp, seq) -> element indices
+	branches map[accessKey][]bool
+	stats    Stats
+}
+
+type accessKey struct {
+	block, warp, seq int
+}
+
+// NewDevice creates a device with n floats of global memory.
+func NewDevice(n int) *Device {
+	return &Device{
+		Global:   make([]float64, n),
+		accesses: make(map[accessKey][]int),
+		branches: make(map[accessKey][]bool),
+	}
+}
+
+// Ctx is one thread's view during kernel execution.
+type Ctx struct {
+	dev       *Device
+	BlockIdx  int
+	ThreadIdx int
+	BlockDim  int
+	GridDim   int
+	Shared    []float64 // the block's shared memory
+	barrier   *pthread.Barrier
+
+	globalSeq int
+	branchSeq int
+}
+
+// GlobalID returns blockIdx*blockDim + threadIdx.
+func (c *Ctx) GlobalID() int { return c.BlockIdx*c.BlockDim + c.ThreadIdx }
+
+func (c *Ctx) warp() int { return c.ThreadIdx / WarpSize }
+
+// LoadGlobal reads global memory, recording the access for coalescing
+// analysis.
+func (c *Ctx) LoadGlobal(i int) float64 {
+	c.record(i)
+	return c.dev.Global[i]
+}
+
+// StoreGlobal writes global memory, recording the access.
+func (c *Ctx) StoreGlobal(i int, v float64) {
+	c.record(i)
+	c.dev.Global[i] = v
+}
+
+func (c *Ctx) record(i int) {
+	key := accessKey{block: c.BlockIdx, warp: c.warp(), seq: c.globalSeq}
+	c.globalSeq++
+	c.dev.mu.Lock()
+	c.dev.accesses[key] = append(c.dev.accesses[key], i)
+	c.dev.stats.GlobalAccesses++
+	c.dev.mu.Unlock()
+}
+
+// Branch records a data-dependent branch decision; warps whose lanes
+// disagree on the same (per-thread sequence numbered) branch count as
+// divergent. It returns cond unchanged so it wraps naturally:
+//
+//	if ctx.Branch(tid%2 == 0) { ... }
+func (c *Ctx) Branch(cond bool) bool {
+	key := accessKey{block: c.BlockIdx, warp: c.warp(), seq: c.branchSeq}
+	c.branchSeq++
+	c.dev.mu.Lock()
+	c.dev.branches[key] = append(c.dev.branches[key], cond)
+	c.dev.mu.Unlock()
+	return cond
+}
+
+// SyncThreads is the block-wide barrier (__syncthreads). Every thread of
+// the block must call it the same number of times.
+func (c *Ctx) SyncThreads() {
+	c.dev.mu.Lock()
+	c.dev.stats.Barriers++
+	c.dev.mu.Unlock()
+	c.barrier.Wait()
+}
+
+// Launch runs the kernel over the configured grid. Blocks execute one
+// after another (a 1-SM device); threads within a block run concurrently
+// and may synchronize with SyncThreads.
+func (d *Device) Launch(cfg Config, kernel func(c *Ctx)) (Stats, error) {
+	if cfg.GridDim <= 0 || cfg.BlockDim <= 0 {
+		return Stats{}, errors.New("simd: grid and block dims must be positive")
+	}
+	if cfg.SharedLen < 0 {
+		return Stats{}, errors.New("simd: negative shared memory")
+	}
+	d.stats = Stats{Threads: cfg.GridDim * cfg.BlockDim}
+	d.accesses = make(map[accessKey][]int)
+	d.branches = make(map[accessKey][]bool)
+
+	for b := 0; b < cfg.GridDim; b++ {
+		shared := make([]float64, cfg.SharedLen)
+		bar, err := pthread.NewBarrier(cfg.BlockDim)
+		if err != nil {
+			return Stats{}, err
+		}
+		var panicErr error
+		var mu sync.Mutex
+		ths := pthread.Spawn(cfg.BlockDim, func(_ pthread.ID, t int) {
+			ctx := &Ctx{
+				dev: d, BlockIdx: b, ThreadIdx: t,
+				BlockDim: cfg.BlockDim, GridDim: cfg.GridDim,
+				Shared: shared, barrier: bar,
+			}
+			kernel(ctx)
+		})
+		if err := pthread.JoinAll(ths); err != nil {
+			mu.Lock()
+			panicErr = err
+			mu.Unlock()
+		}
+		if panicErr != nil {
+			return Stats{}, fmt.Errorf("simd: kernel failed in block %d: %w", b, panicErr)
+		}
+	}
+	d.reduceStats()
+	return d.stats, nil
+}
+
+// reduceStats folds the recorded access groups into transaction and
+// divergence counts.
+func (d *Device) reduceStats() {
+	elemsPerSeg := SegmentBytes / elemBytes
+	for _, idxs := range d.accesses {
+		segs := map[int]bool{}
+		for _, i := range idxs {
+			segs[i/elemsPerSeg] = true
+		}
+		d.stats.GlobalTransactions += int64(len(segs))
+	}
+	for _, conds := range d.branches {
+		d.stats.Branches++
+		anyTrue, anyFalse := false, false
+		for _, c := range conds {
+			if c {
+				anyTrue = true
+			} else {
+				anyFalse = true
+			}
+		}
+		if anyTrue && anyFalse {
+			d.stats.DivergentBranches++
+		}
+	}
+}

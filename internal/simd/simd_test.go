@@ -1,0 +1,261 @@
+package simd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func seqFloats(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i%19) - 9
+	}
+	return xs
+}
+
+func TestVecAddCorrect(t *testing.T) {
+	a, b := seqFloats(1000), seqFloats(1000)
+	for i := range b {
+		b[i] *= 2
+	}
+	got, st, err := VecAdd(a, b, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != a[i]+b[i] {
+			t.Fatalf("c[%d] = %f, want %f", i, got[i], a[i]+b[i])
+		}
+	}
+	if st.Threads != 1024 { // 8 blocks of 128
+		t.Errorf("threads = %d", st.Threads)
+	}
+	if st.GlobalAccesses != 3000 { // 2 loads + 1 store per active thread
+		t.Errorf("accesses = %d", st.GlobalAccesses)
+	}
+}
+
+func TestVecAddCoalescingNearPerfect(t *testing.T) {
+	a, b := seqFloats(4096), seqFloats(4096)
+	_, coal, err := VecAdd(a, b, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff := coal.CoalescingEfficiency(); eff < 0.9 {
+		t.Errorf("coalesced efficiency = %.3f, want ~1", eff)
+	}
+	_, strided, err := VecAddStrided(a, b, 128, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strided.GlobalTransactions <= 4*coal.GlobalTransactions {
+		t.Errorf("strided transactions %d should dwarf coalesced %d",
+			strided.GlobalTransactions, coal.GlobalTransactions)
+	}
+	if eff := strided.CoalescingEfficiency(); eff > 0.2 {
+		t.Errorf("strided efficiency = %.3f, want small", eff)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	dev := NewDevice(10)
+	if _, err := dev.Launch(Config{GridDim: 0, BlockDim: 1}, func(*Ctx) {}); err == nil {
+		t.Error("grid 0 should error")
+	}
+	if _, err := dev.Launch(Config{GridDim: 1, BlockDim: 0}, func(*Ctx) {}); err == nil {
+		t.Error("block 0 should error")
+	}
+	if _, err := dev.Launch(Config{GridDim: 1, BlockDim: 1, SharedLen: -1}, func(*Ctx) {}); err == nil {
+		t.Error("negative shared should error")
+	}
+}
+
+func TestKernelPanicReported(t *testing.T) {
+	dev := NewDevice(1)
+	_, err := dev.Launch(Config{GridDim: 1, BlockDim: 1}, func(c *Ctx) {
+		panic("kernel bug")
+	})
+	if err == nil {
+		t.Error("panic should surface as error")
+	}
+}
+
+func TestSharedMemoryAndSync(t *testing.T) {
+	// Block-wide reversal through shared memory: needs the barrier.
+	const n = 64
+	dev := NewDevice(2 * n)
+	for i := 0; i < n; i++ {
+		dev.Global[i] = float64(i)
+	}
+	_, err := dev.Launch(Config{GridDim: 1, BlockDim: n, SharedLen: n}, func(c *Ctx) {
+		t := c.ThreadIdx
+		c.Shared[t] = c.LoadGlobal(t)
+		c.SyncThreads()
+		c.StoreGlobal(n+t, c.Shared[n-1-t])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if dev.Global[n+i] != float64(n-1-i) {
+			t.Fatalf("reversed[%d] = %f", i, dev.Global[n+i])
+		}
+	}
+}
+
+func TestReduceCorrectBothSchemes(t *testing.T) {
+	xs := seqFloats(10000)
+	var want float64
+	for _, v := range xs {
+		want += v
+	}
+	for _, scheme := range []ReductionScheme{Interleaved, Sequential} {
+		got, st, err := Reduce(xs, 128, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("%v: sum = %f, want %f", scheme, got, want)
+		}
+		if st.Branches == 0 {
+			t.Errorf("%v: no branches recorded", scheme)
+		}
+	}
+}
+
+func TestReducePropertyMatchesSerial(t *testing.T) {
+	f := func(raw []float32) bool {
+		xs := make([]float64, len(raw))
+		var want float64
+		for i, r := range raw {
+			v := float64(int(r) % 1000) // keep exact in float64
+			xs[i] = v
+			want += v
+		}
+		got, _, err := Reduce(xs, 64, Sequential)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedDivergesSequentialDoesNot(t *testing.T) {
+	// The deck's punchline: interleaved addressing diverges in nearly
+	// every warp-stride round; sequential addressing retires whole warps.
+	xs := seqFloats(8192)
+	_, inter, err := Reduce(xs, 256, Interleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, seq, err := Reduce(xs, 256, Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.DivergentBranches <= 2*seq.DivergentBranches {
+		t.Errorf("interleaved divergence %d should dwarf sequential %d",
+			inter.DivergentBranches, seq.DivergentBranches)
+	}
+	if inter.DivergenceRate() <= seq.DivergenceRate() {
+		t.Errorf("divergence rate: interleaved %.3f vs sequential %.3f",
+			inter.DivergenceRate(), seq.DivergenceRate())
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	if _, _, err := Reduce(seqFloats(10), 100, Sequential); err == nil {
+		t.Error("non-power-of-two blockDim should error")
+	}
+	if _, _, err := Reduce(seqFloats(10), 0, Sequential); err == nil {
+		t.Error("blockDim 0 should error")
+	}
+	got, _, err := Reduce(nil, 64, Sequential)
+	if err != nil || got != 0 {
+		t.Errorf("empty reduce: %f %v", got, err)
+	}
+}
+
+func TestVecAddEdge(t *testing.T) {
+	if _, _, err := VecAdd([]float64{1}, []float64{1, 2}, 32); err == nil {
+		t.Error("length mismatch should error")
+	}
+	out, _, err := VecAdd(nil, nil, 32)
+	if err != nil || out != nil {
+		t.Error("empty vec add")
+	}
+	// Non-multiple of blockDim: tail threads masked by the bounds branch.
+	a, b := seqFloats(100), seqFloats(100)
+	got, st, err := VecAdd(a, b, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 || got[99] != a[99]+b[99] {
+		t.Error("masked tail wrong")
+	}
+	// The bounds branch diverges only in the warp straddling n.
+	if st.DivergentBranches != 1 {
+		t.Errorf("boundary divergence = %d, want 1", st.DivergentBranches)
+	}
+}
+
+func TestMatMulKernelsAgree(t *testing.T) {
+	const n, tile = 16, 4
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) - 3
+		b[i] = float64((i*5)%11) - 5
+	}
+	naive, stNaive, err := MatMulNaive(a, b, n, tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, stTiled, err := MatMulTiled(a, b, n, tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host-side reference.
+	want := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*n+j]
+			}
+			want[i*n+j] = s
+		}
+	}
+	for i := range want {
+		if naive[i] != want[i] {
+			t.Fatalf("naive C[%d] = %f, want %f", i, naive[i], want[i])
+		}
+		if tiled[i] != want[i] {
+			t.Fatalf("tiled C[%d] = %f, want %f", i, tiled[i], want[i])
+		}
+	}
+	// The optimization claim: tiling cuts global accesses by ~tile factor.
+	ratio := float64(stNaive.GlobalAccesses) / float64(stTiled.GlobalAccesses)
+	if ratio < float64(tile)/2 {
+		t.Errorf("tiling reduced accesses only %.1fx (naive %d, tiled %d), want ~%dx",
+			ratio, stNaive.GlobalAccesses, stTiled.GlobalAccesses, tile)
+	}
+	if stTiled.Barriers == 0 {
+		t.Error("tiled kernel must use __syncthreads")
+	}
+}
+
+func TestMatMulValidation(t *testing.T) {
+	if _, _, err := MatMulNaive(make([]float64, 4), make([]float64, 9), 2, 1); err == nil {
+		t.Error("size mismatch should error")
+	}
+	if _, _, err := MatMulTiled(make([]float64, 16), make([]float64, 16), 4, 3); err == nil {
+		t.Error("non-dividing tile should error")
+	}
+	if _, _, err := MatMulTiled(make([]float64, 16), make([]float64, 16), 4, 0); err == nil {
+		t.Error("tile 0 should error")
+	}
+}

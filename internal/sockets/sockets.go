@@ -1,0 +1,285 @@
+// Package sockets implements the TCP client-server content of Table II
+// ("TCP-IP sockets") and the CS87 socket lab: a length-prefixed framing
+// protocol, a concurrent in-memory key-value server with one goroutine
+// per connection, and a client library — the request/response structure
+// students build in C, over real loopback sockets.
+package sockets
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pthread"
+)
+
+// MaxFrame bounds a single message to keep malformed peers from forcing
+// huge allocations.
+const MaxFrame = 1 << 20
+
+// WriteFrame writes one length-prefixed message.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("sockets: frame of %d exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("sockets: frame of %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Connections int64
+	Requests    int64
+}
+
+// Server is the concurrent key-value server.
+type Server struct {
+	ln    net.Listener
+	store map[string]string
+	lock  *pthread.RWLock
+
+	conns    sync.WaitGroup
+	closed   atomic.Bool
+	stats    Stats
+	connSeen atomic.Int64
+	reqSeen  atomic.Int64
+}
+
+// NewServer starts a server on addr ("127.0.0.1:0" picks a free port).
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, store: make(map[string]string), lock: pthread.NewRWLock(pthread.PreferWriters)}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{Connections: s.connSeen.Load(), Requests: s.reqSeen.Load()}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.conns.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connSeen.Add(1)
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	for {
+		req, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken pipe: client done
+		}
+		s.reqSeen.Add(1)
+		resp := s.handle(string(req))
+		if err := WriteFrame(conn, []byte(resp)); err != nil {
+			return
+		}
+	}
+}
+
+// handle interprets one request line. Protocol:
+//
+//	PING             -> "PONG"
+//	SET key value    -> "OK"
+//	GET key          -> "VALUE <v>" or "NOTFOUND"
+//	DEL key          -> "OK" or "NOTFOUND"
+//	KEYS             -> "KEYS k1 k2 ..." (sorted by insertion-agnostic order not guaranteed)
+func (s *Server) handle(req string) string {
+	parts := strings.SplitN(req, " ", 3)
+	switch strings.ToUpper(parts[0]) {
+	case "PING":
+		return "PONG"
+	case "SET":
+		if len(parts) != 3 {
+			return "ERR usage: SET key value"
+		}
+		s.lock.Lock()
+		s.store[parts[1]] = parts[2]
+		s.lock.Unlock()
+		return "OK"
+	case "GET":
+		if len(parts) != 2 {
+			return "ERR usage: GET key"
+		}
+		s.lock.RLock()
+		v, ok := s.store[parts[1]]
+		s.lock.RUnlock()
+		if !ok {
+			return "NOTFOUND"
+		}
+		return "VALUE " + v
+	case "DEL":
+		if len(parts) != 2 {
+			return "ERR usage: DEL key"
+		}
+		s.lock.Lock()
+		_, ok := s.store[parts[1]]
+		delete(s.store, parts[1])
+		s.lock.Unlock()
+		if !ok {
+			return "NOTFOUND"
+		}
+		return "OK"
+	case "COUNT":
+		s.lock.RLock()
+		n := len(s.store)
+		s.lock.RUnlock()
+		return fmt.Sprintf("COUNT %d", n)
+	default:
+		return "ERR unknown command"
+	}
+}
+
+// Client is a connection to the KV server.
+type Client struct {
+	conn net.Conn
+	mu   sync.Mutex // one request/response in flight per client
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.conn, []byte(req)); err != nil {
+		return "", err
+	}
+	resp, err := ReadFrame(c.conn)
+	if err != nil {
+		return "", err
+	}
+	return string(resp), nil
+}
+
+// ErrServer wraps protocol-level errors from the server.
+var ErrServer = errors.New("sockets: server error")
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip("PING")
+	if err != nil {
+		return err
+	}
+	if resp != "PONG" {
+		return fmt.Errorf("%w: %s", ErrServer, resp)
+	}
+	return nil
+}
+
+// Set stores key = value.
+func (c *Client) Set(key, value string) error {
+	resp, err := c.roundTrip(fmt.Sprintf("SET %s %s", key, value))
+	if err != nil {
+		return err
+	}
+	if resp != "OK" {
+		return fmt.Errorf("%w: %s", ErrServer, resp)
+	}
+	return nil
+}
+
+// Get fetches a value; found is false for missing keys.
+func (c *Client) Get(key string) (value string, found bool, err error) {
+	resp, err := c.roundTrip("GET " + key)
+	if err != nil {
+		return "", false, err
+	}
+	switch {
+	case resp == "NOTFOUND":
+		return "", false, nil
+	case strings.HasPrefix(resp, "VALUE "):
+		return strings.TrimPrefix(resp, "VALUE "), true, nil
+	}
+	return "", false, fmt.Errorf("%w: %s", ErrServer, resp)
+}
+
+// Del removes a key, reporting whether it existed.
+func (c *Client) Del(key string) (bool, error) {
+	resp, err := c.roundTrip("DEL " + key)
+	if err != nil {
+		return false, err
+	}
+	switch resp {
+	case "OK":
+		return true, nil
+	case "NOTFOUND":
+		return false, nil
+	}
+	return false, fmt.Errorf("%w: %s", ErrServer, resp)
+}
+
+// Count returns the number of stored keys.
+func (c *Client) Count() (int, error) {
+	resp, err := c.roundTrip("COUNT")
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(resp, "COUNT %d", &n); err != nil {
+		return 0, fmt.Errorf("%w: %s", ErrServer, resp)
+	}
+	return n, nil
+}

@@ -1,0 +1,205 @@
+package sockets
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []string{"", "a", "hello world", strings.Repeat("x", 10000)}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, []byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Errorf("frame = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrame+1)); err == nil {
+		t.Error("oversized write should error")
+	}
+	// Forged oversized header.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized header should error")
+	}
+	// Truncated payload.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 10, 'h', 'i'})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("truncated frame should error")
+	}
+}
+
+func TestKVBasics(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("course", "cs31"); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.Get("course")
+	if err != nil || !found || v != "cs31" {
+		t.Errorf("Get = %q %v %v", v, found, err)
+	}
+	if _, found, _ := c.Get("missing"); found {
+		t.Error("missing key reported found")
+	}
+	if err := c.Set("spaces", "value with spaces"); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = c.Get("spaces")
+	if v != "value with spaces" {
+		t.Errorf("spaces value = %q", v)
+	}
+	n, err := c.Count()
+	if err != nil || n != 2 {
+		t.Errorf("Count = %d %v", n, err)
+	}
+	ok, err := c.Del("course")
+	if err != nil || !ok {
+		t.Errorf("Del = %v %v", ok, err)
+	}
+	ok, _ = c.Del("course")
+	if ok {
+		t.Error("second delete should report missing")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := startServer(t)
+	const clients, perClient = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				key := fmt.Sprintf("k-%d-%d", i, j)
+				if err := c.Set(key, fmt.Sprintf("v%d", j)); err != nil {
+					errs <- err
+					return
+				}
+				v, found, err := c.Get(key)
+				if err != nil || !found || v != fmt.Sprintf("v%d", j) {
+					errs <- fmt.Errorf("get %s = %q %v %v", key, v, found, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	c, _ := Dial(s.Addr())
+	defer c.Close()
+	n, err := c.Count()
+	if err != nil || n != clients*perClient {
+		t.Errorf("Count = %d, want %d (%v)", n, clients*perClient, err)
+	}
+	st := s.Stats()
+	if st.Connections < clients {
+		t.Errorf("connections = %d", st.Connections)
+	}
+	if st.Requests < clients*perClient*2 {
+		t.Errorf("requests = %d", st.Requests)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.roundTrip("BOGUS stuff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp, "ERR") {
+		t.Errorf("resp = %q", resp)
+	}
+	resp, _ = c.roundTrip("SET onlykey")
+	if !strings.HasPrefix(resp, "ERR") {
+		t.Errorf("malformed SET resp = %q", resp)
+	}
+	resp, _ = c.roundTrip("GET")
+	if !strings.HasPrefix(resp, "ERR") {
+		t.Errorf("malformed GET resp = %q", resp)
+	}
+}
+
+func TestVisibilityAcrossConnections(t *testing.T) {
+	s := startServer(t)
+	a, _ := Dial(s.Addr())
+	defer a.Close()
+	b, _ := Dial(s.Addr())
+	defer b.Close()
+	if err := a.Set("shared", "42"); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := b.Get("shared")
+	if err != nil || !found || v != "42" {
+		t.Errorf("cross-connection read = %q %v %v", v, found, err)
+	}
+}
+
+func TestServerCloseStopsAccepting(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if err := s.Close(); err != nil {
+		t.Logf("close: %v", err)
+	}
+	if c, err := Dial(addr); err == nil {
+		// Connection may be accepted by the OS backlog; a request must fail.
+		if err := c.Ping(); err == nil {
+			t.Error("ping succeeded after Close")
+		}
+		c.Close()
+	}
+}
