@@ -8,6 +8,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/bits"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/pthread"
 	"repro/internal/shell"
 	"repro/internal/simd"
+	"repro/internal/sockets"
 )
 
 // --- Table I: the CS31 labs ---
@@ -452,6 +454,61 @@ func BenchmarkCS87_MapReduce(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCS87_KVServerSharding drives the single-lock and sharded KV
+// servers end-to-end with 8 concurrent clients over real loopback
+// sockets. On few-core hosts the wire cost dominates and flattens the
+// gap; BenchmarkShardedStoreVsSingleLock in internal/sockets isolates
+// the store itself, where striping beats the global lock even on one
+// core.
+func BenchmarkCS87_KVServerSharding(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{{"single-lock", 1}, {"sharded-16", 16}} {
+		b.Run(tc.name, func(b *testing.B) {
+			s, err := sockets.NewServerConfig("127.0.0.1:0", sockets.ServerConfig{Shards: tc.shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			const clients = 8
+			conns := make([]*sockets.Client, clients)
+			for i := range conns {
+				c, err := sockets.Dial(s.Addr())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				conns[i] = c
+			}
+			per := b.N/clients + 1
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i, c := range conns {
+				wg.Add(1)
+				go func(i int, c *sockets.Client) {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						key := fmt.Sprintf("k%d-%d", i, j%64)
+						if j%2 == 0 {
+							if err := c.Set(key, "v"); err != nil {
+								b.Error(err)
+								return
+							}
+						} else if _, _, err := c.Get(key); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(i, c)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(clients*per)/b.Elapsed().Seconds(), "ops/sec")
+		})
 	}
 }
 

@@ -1,0 +1,124 @@
+// Command kvbench runs the CS87 socket lab's scalability study against
+// the hardened KV server: for each concurrent-client count it drives a
+// fixed total number of SET/GET pairs through a pooled client, then
+// reduces the timings to the same speedup/efficiency/Karp-Flatt table
+// lifebench prints, plus throughput per run and the server-side latency
+// histogram of the largest run.
+//
+// Usage:
+//
+//	kvbench -clients 1,2,4,8 -shards 16 -ops 2000
+//	kvbench -clients 1,8 -shards 1        # the single-lock baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sockets"
+)
+
+func main() {
+	clientsFlag := flag.String("clients", "1,2,4,8", "comma-separated concurrent client counts (must include 1)")
+	shards := flag.Int("shards", 16, "store shards (1 = the single-lock server)")
+	ops := flag.Int("ops", 2000, "total SET/GET pairs per run, split across clients")
+	flag.Parse()
+
+	var clients []int
+	hasBaseline := false
+	for _, part := range strings.Split(*clientsFlag, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c < 1 {
+			fmt.Fprintf(os.Stderr, "kvbench: bad client count %q\n", part)
+			os.Exit(2)
+		}
+		if c == 1 {
+			hasBaseline = true
+		}
+		clients = append(clients, c)
+	}
+	if !hasBaseline {
+		fmt.Fprintln(os.Stderr, "kvbench: client counts must include 1 (the speedup baseline)")
+		os.Exit(2)
+	}
+
+	fmt.Printf("KV server scalability study: %d shards, %d SET/GET pairs per run\n\n", *shards, *ops)
+	var ms []metrics.Measurement
+	var lastHist *metrics.Histogram
+	for _, nc := range clients {
+		elapsed, hist, retries, err := run(*shards, nc, *ops)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvbench:", err)
+			os.Exit(1)
+		}
+		ms = append(ms, metrics.Measurement{Workers: nc, Elapsed: elapsed})
+		lastHist = hist
+		opsSec := float64(2*(*ops)) / elapsed.Seconds()
+		fmt.Printf("%3d clients: %12v  %10.0f ops/sec  (%d retries)\n",
+			nc, elapsed.Round(time.Microsecond), opsSec, retries)
+	}
+	tbl, err := metrics.BuildTable(ms)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(tbl)
+	fmt.Printf("\nAmdahl fit from largest run: serial fraction f = %.4f (limit %.1fx)\n",
+		tbl.FitF, metrics.AmdahlLimit(tbl.FitF))
+	fmt.Println("\nServer request latency, largest run:")
+	fmt.Print(lastHist)
+}
+
+// run drives one measurement: nclients workers sharing a pool of the
+// same size, splitting ops SET/GET pairs against a fresh server.
+func run(shards, nclients, ops int) (time.Duration, *metrics.Histogram, int64, error) {
+	s, err := sockets.NewServerConfig("127.0.0.1:0", sockets.ServerConfig{Shards: shards})
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	defer s.Close()
+	p, err := sockets.NewPool(s.Addr(), sockets.PoolConfig{Size: nclients})
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	defer p.Close()
+
+	per := ops / nclients
+	if per == 0 {
+		per = 1
+	}
+	errs := make(chan error, nclients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < nclients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("key-%d-%d", c, i%128)
+				if err := p.Set(key, "value"); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := p.Get(key); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return 0, nil, 0, err
+	}
+	return elapsed, s.Latency(), p.Stats().Retries, nil
+}

@@ -7,7 +7,10 @@
 package repro
 
 import (
+	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/bomb"
@@ -19,6 +22,7 @@ import (
 	"repro/internal/mp"
 	"repro/internal/pram"
 	"repro/internal/psort"
+	"repro/internal/sockets"
 )
 
 // TestCompilerToPipelineFlow drives MiniC -> SWAT32 -> CPU -> pipeline,
@@ -306,4 +310,84 @@ func TestBombSolvableByDisassembly(t *testing.T) {
 
 func newBombForIntegration() (*bomb.Bomb, error) {
 	return bomb.New(3)
+}
+
+// TestKVSubstrateFaultTolerance threads the hardened sockets layer with
+// the metrics instrumentation the way kvbench does: a sharded server
+// serves a pooled client whose connections are killed mid-flight by the
+// fault-injection hook (the socket-lab cousin of the MapReduce
+// worker-crash experiment). Every request must still complete via
+// retry, the retry count must be observable in Stats, and the
+// server-side latency histogram must have seen every request.
+func TestKVSubstrateFaultTolerance(t *testing.T) {
+	s, err := sockets.NewServerConfig("127.0.0.1:0", sockets.ServerConfig{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	pool, err := sockets.NewPool(s.Addr(), sockets.PoolConfig{
+		Size:        4,
+		MaxAttempts: 4,
+		// Kill the connection on the first attempt of every third
+		// request; retry over a fresh dial must recover each one.
+		FailConn: func(req, attempt int) bool { return req%3 == 0 && attempt == 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const workers, perWorker = 6, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("w%d-i%d", w, i)
+				if err := pool.Set(key, fmt.Sprintf("v%d", i)); err != nil {
+					errs <- fmt.Errorf("set %s: %w", key, err)
+					return
+				}
+				v, found, err := pool.Get(key)
+				if err != nil || !found || v != fmt.Sprintf("v%d", i) {
+					errs <- fmt.Errorf("get %s = %q %v %v", key, v, found, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := pool.Stats()
+	if st.Requests != workers*perWorker*2 {
+		t.Errorf("pool requests = %d, want %d", st.Requests, workers*perWorker*2)
+	}
+	if st.Retries == 0 {
+		t.Error("fault injection produced no observable retries")
+	}
+	// KEYS sees every write, sorted, across all shards.
+	keys, err := pool.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != workers*perWorker {
+		t.Errorf("KEYS returned %d keys, want %d", len(keys), workers*perWorker)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Error("KEYS output is not sorted")
+	}
+	// The latency histogram observed exactly the served requests.
+	srv := s.Stats()
+	if got := s.Latency().Count(); got != srv.Requests {
+		t.Errorf("latency histogram saw %d requests, server served %d", got, srv.Requests)
+	}
+	if srv.Errors != 0 {
+		t.Errorf("server counted %d protocol errors on a clean workload", srv.Errors)
+	}
 }

@@ -336,8 +336,34 @@ type StudyResult struct {
 // ScalabilityStudy runs the parallel lab's experiment: an n×n torus
 // seeded at 30% density, advanced `gens` generations at each thread
 // count, timed, and reduced to the speedup/efficiency table. Thread
-// counts must include 1.
+// counts must include 1 (the sequential baseline) — validated up front
+// rather than surfacing later as an opaque table error. Every run's
+// final grid is also checked against an untimed sequential reference,
+// so a decomposition bug fails the study instead of silently skewing
+// the table.
 func ScalabilityStudy(n, gens int, threadCounts []int) (StudyResult, error) {
+	if len(threadCounts) == 0 {
+		return StudyResult{}, errors.New("life: no thread counts")
+	}
+	hasBaseline := false
+	for _, tc := range threadCounts {
+		if tc < 1 {
+			return StudyResult{}, fmt.Errorf("life: invalid thread count %d", tc)
+		}
+		if tc == 1 {
+			hasBaseline = true
+		}
+	}
+	if !hasBaseline {
+		return StudyResult{}, errors.New("life: thread counts must include 1 (the sequential baseline)")
+	}
+	ref, err := NewGrid(n, n, Torus)
+	if err != nil {
+		return StudyResult{}, err
+	}
+	ref.Seed(0.3, 42)
+	ref.StepN(gens)
+
 	var ms []metrics.Measurement
 	for _, tc := range threadCounts {
 		g, err := NewGrid(n, n, Torus)
@@ -352,6 +378,9 @@ func ScalabilityStudy(n, gens int, threadCounts []int) (StudyResult, error) {
 			return StudyResult{}, err
 		}
 		ms = append(ms, metrics.Measurement{Workers: tc, Elapsed: time.Since(start)})
+		if !g.Equal(ref) {
+			return StudyResult{}, fmt.Errorf("life: %d-thread run diverged from the sequential baseline", tc)
+		}
 	}
 	tbl, err := metrics.BuildTable(ms)
 	if err != nil {

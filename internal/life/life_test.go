@@ -268,3 +268,19 @@ func TestStridedPartitioningMatchesSequential(t *testing.T) {
 		t.Error("0 threads should error")
 	}
 }
+
+func TestScalabilityStudyValidation(t *testing.T) {
+	if _, err := ScalabilityStudy(16, 2, nil); err == nil {
+		t.Error("empty thread counts should error")
+	}
+	if _, err := ScalabilityStudy(16, 2, []int{2, 4}); err == nil ||
+		!strings.Contains(err.Error(), "include 1") {
+		t.Errorf("missing baseline should error up front, got %v", err)
+	}
+	if _, err := ScalabilityStudy(16, 2, []int{1, 0}); err == nil {
+		t.Error("non-positive thread count should error")
+	}
+	if _, err := ScalabilityStudy(16, 2, []int{1, -3}); err == nil {
+		t.Error("negative thread count should error")
+	}
+}

@@ -50,8 +50,13 @@ type Stats struct {
 // ErrTaskFailed is returned when a task exhausts its attempts.
 var ErrTaskFailed = errors.New("mapreduce: task exceeded retry budget")
 
-// Partition returns the reduce bucket for a key (deterministic FNV hash).
+// Partition returns the reduce bucket for a key (deterministic FNV
+// hash). Non-positive reducer counts clamp to one bucket instead of
+// panicking on the modulo.
 func Partition(key string, reducers int) int {
+	if reducers < 1 {
+		reducers = 1
+	}
 	h := fnv.New32a()
 	h.Write([]byte(key))
 	return int(h.Sum32() % uint32(reducers))

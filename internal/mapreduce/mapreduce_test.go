@@ -210,3 +210,28 @@ func TestValidation(t *testing.T) {
 		t.Errorf("empty input: %v %v", res, err)
 	}
 }
+
+func TestPartitionClampsReducers(t *testing.T) {
+	// Non-positive reducer counts clamp to a single bucket instead of
+	// panicking on the modulo by zero.
+	for _, r := range []int{0, -1, -100} {
+		if got := Partition("any-key", r); got != 0 {
+			t.Errorf("Partition with %d reducers = %d, want 0", r, got)
+		}
+	}
+	if got := Partition("key", 1); got != 0 {
+		t.Errorf("Partition with 1 reducer = %d", got)
+	}
+	// Sanity: with several reducers the hash still spreads keys.
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		b := Partition(fmt.Sprintf("key-%d", i), 8)
+		if b < 0 || b >= 8 {
+			t.Fatalf("bucket %d out of range", b)
+		}
+		seen[b] = true
+	}
+	if len(seen) < 2 {
+		t.Error("FNV partitioning stopped spreading keys")
+	}
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+)
+
+// histBuckets is the number of exponential latency buckets: bucket i
+// covers durations up to 1µs << i, so the range runs 1µs .. ~8.4s with
+// the last bucket absorbing everything larger.
+const histBuckets = 24
+
+// Histogram is a concurrency-safe latency histogram with exponentially
+// sized buckets — the instrument a server attaches to its request path
+// so a scalability study can report tail latency alongside throughput.
+// The zero value is ready to use.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [histBuckets]int64
+	n      int64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// histBucket returns the bucket index for one observation.
+func histBucket(d time.Duration) int {
+	b := 0
+	for bound := time.Microsecond; b < histBuckets-1 && d > bound; bound <<= 1 {
+		b++
+	}
+	return b
+}
+
+// histBound returns the inclusive upper bound of bucket i.
+func histBound(i int) time.Duration { return time.Microsecond << i }
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.counts[histBucket(d)]++
+	h.n++
+	h.sum += d
+	if h.n == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]) at
+// bucket resolution, clamped to the observed maximum.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return quantile(h.counts, h.n, h.max, q)
+}
+
+func quantile(counts [histBuckets]int64, n int64, max time.Duration, q float64) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	q = math.Min(1, math.Max(0, q))
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += counts[i]
+		if cum >= target {
+			// The last bucket is unbounded; its honest bound is the max.
+			if b := histBound(i); i < histBuckets-1 && b < max {
+				return b
+			}
+			return max
+		}
+	}
+	return max
+}
+
+// String renders the summary line and a bar per occupied bucket.
+func (h *Histogram) String() string {
+	h.mu.Lock()
+	counts, n, sum, min, max := h.counts, h.n, h.sum, h.min, h.max
+	h.mu.Unlock()
+	if n == 0 {
+		return "latency: no observations\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency: n=%d min=%v mean=%v p50=%v p95=%v p99=%v max=%v\n",
+		n, min, (sum / time.Duration(n)).Round(time.Nanosecond),
+		quantile(counts, n, max, 0.50), quantile(counts, n, max, 0.95),
+		quantile(counts, n, max, 0.99), max)
+	lo, hi, peak := histBuckets, 0, int64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if i < lo {
+			lo = i
+		}
+		if i > hi {
+			hi = i
+		}
+		if c > peak {
+			peak = c
+		}
+	}
+	for i := lo; i <= hi; i++ {
+		bar := strings.Repeat("#", int(40*counts[i]/peak))
+		fmt.Fprintf(&b, "%10s %8d |%s\n", "<="+histBound(i).String(), counts[i], bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	if !strings.Contains(h.String(), "no observations") {
+		t.Errorf("empty String = %q", h.String())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	wantMean := (90*10*time.Microsecond + 10*5*time.Millisecond) / 100
+	if h.Mean() != wantMean {
+		t.Errorf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+	if h.Min() != 10*time.Microsecond || h.Max() != 5*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	// p50 lands in the 10µs bucket (bound 16µs); p99 in the 5ms bucket.
+	if p50 := h.Quantile(0.5); p50 < 10*time.Microsecond || p50 > 16*time.Microsecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 5*time.Millisecond {
+		t.Errorf("p99 = %v, want the clamped max", p99)
+	}
+	// Quantiles must be monotone in q.
+	prev := time.Duration(0)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+	s := h.String()
+	if !strings.Contains(s, "n=100") || !strings.Contains(s, "p99=") || !strings.Contains(s, "|") {
+		t.Errorf("String missing fields:\n%s", s)
+	}
+}
+
+func TestHistogramEdgeObservations(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second) // counted as zero
+	h.Observe(0)
+	h.Observe(time.Hour) // beyond the last bound: absorbed, max exact
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != time.Hour {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if h.Quantile(1) != time.Hour {
+		t.Errorf("p100 = %v, want observed max", h.Quantile(1))
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("Count = %d, want 4000", h.Count())
+	}
+}

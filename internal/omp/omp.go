@@ -29,9 +29,15 @@ const (
 	Guided
 )
 
-// String returns the human-readable name.
+// String returns the human-readable name, or "unknown" for values
+// outside the defined schedules (For rejects those with an error; the
+// name must not panic on them either).
 func (s Schedule) String() string {
-	return [...]string{"static", "static-chunk", "dynamic", "guided"}[s]
+	names := [...]string{"static", "static-chunk", "dynamic", "guided"}
+	if s < 0 || int(s) >= len(names) {
+		return "unknown"
+	}
+	return names[s]
 }
 
 // Config parameterizes a parallel-for.

@@ -254,3 +254,16 @@ func TestImbalanceMetric(t *testing.T) {
 		t.Errorf("zero-work imbalance = %f", got)
 	}
 }
+
+func TestScheduleStringUnknown(t *testing.T) {
+	// Out-of-range schedules must name themselves, not panic — For
+	// already returns a proper error for them.
+	for _, s := range []Schedule{Schedule(-1), Schedule(4), Schedule(99)} {
+		if got := s.String(); got != "unknown" {
+			t.Errorf("Schedule(%d).String() = %q, want \"unknown\"", int(s), got)
+		}
+	}
+	if got := Guided.String(); got != "guided" {
+		t.Errorf("Guided.String() = %q", got)
+	}
+}

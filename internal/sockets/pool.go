@@ -1,0 +1,217 @@
+package sockets
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PoolConfig parameterizes a Pool.
+type PoolConfig struct {
+	// Size is the number of pooled connections (default 4). Requests
+	// borrow one connection each; excess callers block until one frees.
+	Size int
+	// MaxAttempts bounds tries per request, dialing included (default 3).
+	MaxAttempts int
+	// Timeout is the per-attempt deadline covering dial, write, and
+	// read (default 2s).
+	Timeout time.Duration
+	// BackoffBase is the sleep before the first retry; each further
+	// retry doubles it up to BackoffMax, with jitter in [d/2, d]
+	// (defaults 2ms and 250ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed makes the jitter deterministic for tests (default 1).
+	Seed uint64
+	// FailConn, when non-nil, reports whether the borrowed connection
+	// should be killed before attempt `attempt` of request `req`
+	// (both 1-based) — the fault-injection hook mirroring
+	// mapreduce.Config.FailTask. Killed attempts fail with a transport
+	// error and take the retry path.
+	FailConn func(req, attempt int) bool
+}
+
+// ErrPoolClosed is returned for requests issued after Close.
+var ErrPoolClosed = errors.New("sockets: pool closed")
+
+// poolConn is one slot of the pool; conn is nil until dialed (or after
+// a transport error discards it).
+type poolConn struct {
+	conn net.Conn
+}
+
+// Pool is a fixed-size pool of KV-server connections with per-request
+// deadlines and bounded retry with exponential backoff plus jitter on
+// dial and transport errors — the production-shaped client the lab's
+// single-connection Client grows into. Safe for concurrent use.
+type Pool struct {
+	addr string
+	cfg  PoolConfig
+	free chan *poolConn
+
+	closed    atomic.Bool
+	reqSeen   atomic.Int64
+	errSeen   atomic.Int64
+	retrySeen atomic.Int64
+	reqSeq    atomic.Int64
+
+	rngMu sync.Mutex
+	rng   uint64
+}
+
+// NewPool connects a pool to a server, dialing one connection eagerly
+// (to fail fast on a bad address) and the rest on demand.
+func NewPool(addr string, cfg PoolConfig) (*Pool, error) {
+	if cfg.Size <= 0 {
+		cfg.Size = 4
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 2 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 250 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	p := &Pool{addr: addr, cfg: cfg, free: make(chan *poolConn, cfg.Size), rng: cfg.Seed}
+	conn, err := net.DialTimeout("tcp", addr, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	p.free <- &poolConn{conn: conn}
+	for i := 1; i < cfg.Size; i++ {
+		p.free <- &poolConn{}
+	}
+	return p, nil
+}
+
+// Stats returns a snapshot of the request/error/retry counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Requests: p.reqSeen.Load(),
+		Errors:   p.errSeen.Load(),
+		Retries:  p.retrySeen.Load(),
+	}
+}
+
+// Close releases the pooled connections. In-flight requests finish;
+// their connections are closed on return.
+func (p *Pool) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	for {
+		select {
+		case pc := <-p.free:
+			if pc.conn != nil {
+				pc.conn.Close()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// do runs one request through the borrow/deadline/retry machinery.
+func (p *Pool) do(req string) (string, error) {
+	if p.closed.Load() {
+		return "", ErrPoolClosed
+	}
+	p.reqSeen.Add(1)
+	id := int(p.reqSeq.Add(1))
+	var lastErr error
+	for attempt := 1; attempt <= p.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			p.retrySeen.Add(1)
+			p.backoff(attempt)
+		}
+		pc := <-p.free
+		resp, err := p.try(pc, req, id, attempt)
+		if p.closed.Load() {
+			if pc.conn != nil {
+				pc.conn.Close()
+				pc.conn = nil
+			}
+		}
+		p.free <- pc
+		if err == nil {
+			return resp, nil
+		}
+		p.errSeen.Add(1)
+		lastErr = err
+	}
+	return "", fmt.Errorf("sockets: request failed after %d attempts: %w", p.cfg.MaxAttempts, lastErr)
+}
+
+// try performs one attempt on one pooled connection, discarding the
+// connection on any transport error so the next attempt redials.
+func (p *Pool) try(pc *poolConn, req string, id, attempt int) (string, error) {
+	if pc.conn == nil {
+		conn, err := net.DialTimeout("tcp", p.addr, p.cfg.Timeout)
+		if err != nil {
+			return "", err
+		}
+		pc.conn = conn
+	}
+	if p.cfg.FailConn != nil && p.cfg.FailConn(id, attempt) {
+		pc.conn.Close() // the injected mid-flight connection kill
+	}
+	pc.conn.SetDeadline(time.Now().Add(p.cfg.Timeout))
+	if err := WriteFrame(pc.conn, []byte(req)); err != nil {
+		pc.conn.Close()
+		pc.conn = nil
+		return "", err
+	}
+	resp, err := ReadFrame(pc.conn)
+	if err != nil {
+		pc.conn.Close()
+		pc.conn = nil
+		return "", err
+	}
+	return string(resp), nil
+}
+
+// backoff sleeps the exponential, jittered delay before a retry
+// (attempt >= 2).
+func (p *Pool) backoff(attempt int) {
+	d := p.cfg.BackoffBase << (attempt - 2)
+	if d > p.cfg.BackoffMax || d <= 0 {
+		d = p.cfg.BackoffMax
+	}
+	p.rngMu.Lock()
+	p.rng ^= p.rng << 13
+	p.rng ^= p.rng >> 7
+	p.rng ^= p.rng << 17
+	r := p.rng
+	p.rngMu.Unlock()
+	half := d / 2
+	time.Sleep(half + time.Duration(r%uint64(half+1)))
+}
+
+// Ping checks liveness.
+func (p *Pool) Ping() error { return doPing(p.do) }
+
+// Set stores key = value (keys with whitespace rejected via ErrBadKey).
+func (p *Pool) Set(key, value string) error { return doSet(p.do, key, value) }
+
+// Get fetches a value; found is false for missing keys.
+func (p *Pool) Get(key string) (value string, found bool, err error) { return doGet(p.do, key) }
+
+// Del removes a key, reporting whether it existed.
+func (p *Pool) Del(key string) (bool, error) { return doDel(p.do, key) }
+
+// Count returns the number of stored keys.
+func (p *Pool) Count() (int, error) { return doCount(p.do) }
+
+// Keys returns all stored keys in sorted order.
+func (p *Pool) Keys() ([]string, error) { return doKeys(p.do) }

@@ -1,0 +1,184 @@
+package sockets
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolBasics(t *testing.T) {
+	s := startServer(t)
+	p, err := NewPool(s.Addr(), PoolConfig{Size: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("k", "v with spaces"); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := p.Get("k")
+	if err != nil || !found || v != "v with spaces" {
+		t.Errorf("Get = %q %v %v", v, found, err)
+	}
+	if ok, err := p.Del("k"); err != nil || !ok {
+		t.Errorf("Del = %v %v", ok, err)
+	}
+	if err := p.Set("bad key", "v"); !errors.Is(err, ErrBadKey) {
+		t.Errorf("Set with space = %v, want ErrBadKey", err)
+	}
+	st := p.Stats()
+	if st.Requests != 4 { // the rejected key never became a request
+		t.Errorf("Requests = %d, want 4", st.Requests)
+	}
+	if st.Retries != 0 || st.Errors != 0 {
+		t.Errorf("clean run recorded retries=%d errors=%d", st.Retries, st.Errors)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	s := startServer(t)
+	p, err := NewPool(s.Addr(), PoolConfig{Size: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("w%d-i%d", w, i)
+				if err := p.Set(key, "v"); err != nil {
+					errs <- err
+					return
+				}
+				if _, found, err := p.Get(key); err != nil || !found {
+					errs <- fmt.Errorf("get %s: found=%v err=%v", key, found, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n, err := p.Count(); err != nil || n != workers*perWorker {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+}
+
+func TestPoolRetriesThroughInjectedFaults(t *testing.T) {
+	s := startServer(t)
+	// Kill the connection on the first attempt of every request: each
+	// request must succeed on attempt 2 over a fresh dial.
+	p, err := NewPool(s.Addr(), PoolConfig{
+		Size:        2,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		FailConn:    func(req, attempt int) bool { return attempt == 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const n = 20
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := p.Set(key, "v"); err != nil {
+			t.Fatalf("Set %s: %v", key, err)
+		}
+		if _, found, err := p.Get(key); err != nil || !found {
+			t.Fatalf("Get %s: found=%v err=%v", key, found, err)
+		}
+	}
+	st := p.Stats()
+	if st.Requests != 2*n {
+		t.Errorf("Requests = %d, want %d", st.Requests, 2*n)
+	}
+	if st.Retries != 2*n {
+		t.Errorf("Retries = %d, want %d (one per request)", st.Retries, 2*n)
+	}
+	if st.Errors != 2*n {
+		t.Errorf("Errors = %d, want %d", st.Errors, 2*n)
+	}
+}
+
+func TestPoolExhaustsRetryBudget(t *testing.T) {
+	s := startServer(t)
+	p, err := NewPool(s.Addr(), PoolConfig{
+		Size:        1,
+		MaxAttempts: 2,
+		BackoffBase: time.Millisecond,
+		FailConn:    func(req, attempt int) bool { return true }, // every attempt dies
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Set("k", "v"); err == nil {
+		t.Fatal("Set should fail when every attempt is killed")
+	}
+	st := p.Stats()
+	if st.Retries != 1 || st.Errors != 2 {
+		t.Errorf("retries=%d errors=%d, want 1 and 2", st.Retries, st.Errors)
+	}
+}
+
+func TestPoolDeadline(t *testing.T) {
+	s, err := NewServerConfig("127.0.0.1:0", ServerConfig{DrainTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.preHandle = func(string) { time.Sleep(300 * time.Millisecond) }
+	p, err := NewPool(s.Addr(), PoolConfig{
+		Size:        1,
+		MaxAttempts: 2,
+		Timeout:     50 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	start := time.Now()
+	if err := p.Ping(); err == nil {
+		t.Error("ping should exceed the per-request deadline")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("deadline took %v to fire", elapsed)
+	}
+}
+
+func TestPoolClosed(t *testing.T) {
+	s := startServer(t)
+	p, err := NewPool(s.Addr(), PoolConfig{Size: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+	if err := p.Ping(); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("request after close = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolDialFailure(t *testing.T) {
+	if _, err := NewPool("127.0.0.1:1", PoolConfig{Timeout: 200 * time.Millisecond}); err == nil {
+		t.Error("NewPool to a dead address should fail fast")
+	}
+}

@@ -1,20 +1,33 @@
 // Package sockets implements the TCP client-server content of Table II
 // ("TCP-IP sockets") and the CS87 socket lab: a length-prefixed framing
 // protocol, a concurrent in-memory key-value server with one goroutine
-// per connection, and a client library — the request/response structure
+// per connection, and client libraries — the request/response structure
 // students build in C, over real loopback sockets.
+//
+// The server has grown from the lab's single-map toy into a hardened
+// serving layer: the store is sharded across N stripes each guarded by
+// its own readers-writer lock (keyed by the same FNV-1a hash as
+// mapreduce.Partition), Close drains in-flight requests before hard-
+// closing connections, and per-server counters plus a latency histogram
+// (metrics.Histogram) make throughput studies measurable. Pool adds a
+// production-shaped client: a fixed-size connection pool with
+// per-request deadlines and bounded, jittered retry.
 package sockets
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/pthread"
 )
 
@@ -53,32 +66,91 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return buf, nil
 }
 
-// Stats counts server activity.
+// Stats counts activity. A Server fills Connections, Requests, and
+// Errors; a Pool fills Requests, Errors, and Retries.
 type Stats struct {
-	Connections int64
-	Requests    int64
+	Connections int64 // connections accepted (server)
+	Requests    int64 // requests handled (server) or issued (pool)
+	Errors      int64 // ERR responses sent (server) or failed attempts (pool)
+	Retries     int64 // attempts re-sent after transport errors (pool)
+}
+
+// ServerConfig parameterizes a server.
+type ServerConfig struct {
+	// Shards is the number of store stripes, each guarded by its own
+	// readers-writer lock so concurrent traffic on different keys does
+	// not serialize on one global lock. 1 reproduces the original
+	// single-lock server. Default 16.
+	Shards int
+	// DrainTimeout bounds how long Close waits for in-flight requests
+	// before hard-closing their connections. Default 5s.
+	DrainTimeout time.Duration
+}
+
+// shard is one stripe of the store.
+type shard struct {
+	lock  *pthread.RWLock
+	store map[string]string
+}
+
+// connState tracks one accepted connection so Close can distinguish
+// idle connections (safe to cut immediately) from in-flight requests
+// (drained until DrainTimeout).
+type connState struct {
+	conn     net.Conn
+	mu       sync.Mutex
+	inflight bool
+	closing  bool
 }
 
 // Server is the concurrent key-value server.
 type Server struct {
-	ln    net.Listener
-	store map[string]string
-	lock  *pthread.RWLock
+	ln     net.Listener
+	shards []shard
+	drain  time.Duration
 
 	conns    sync.WaitGroup
 	closed   atomic.Bool
-	stats    Stats
+	mu       sync.Mutex
+	active   map[*connState]struct{}
 	connSeen atomic.Int64
 	reqSeen  atomic.Int64
+	errSeen  atomic.Int64
+	latency  *metrics.Histogram
+
+	// preHandle, when non-nil, runs before each request is interpreted —
+	// a test hook for making requests observably in-flight.
+	preHandle func(req string)
 }
 
-// NewServer starts a server on addr ("127.0.0.1:0" picks a free port).
+// NewServer starts a server with the default configuration on addr
+// ("127.0.0.1:0" picks a free port).
 func NewServer(addr string) (*Server, error) {
+	return NewServerConfig(addr, ServerConfig{})
+}
+
+// NewServerConfig starts a server with an explicit configuration.
+func NewServerConfig(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, store: make(map[string]string), lock: pthread.NewRWLock(pthread.PreferWriters)}
+	s := &Server{
+		ln:      ln,
+		shards:  make([]shard, cfg.Shards),
+		drain:   cfg.DrainTimeout,
+		active:  make(map[*connState]struct{}),
+		latency: metrics.NewHistogram(),
+	}
+	for i := range s.shards {
+		s.shards[i] = shard{lock: pthread.NewRWLock(pthread.PreferWriters), store: make(map[string]string)}
+	}
 	go s.acceptLoop()
 	return s, nil
 }
@@ -88,14 +160,55 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
-	return Stats{Connections: s.connSeen.Load(), Requests: s.reqSeen.Load()}
+	return Stats{
+		Connections: s.connSeen.Load(),
+		Requests:    s.reqSeen.Load(),
+		Errors:      s.errSeen.Load(),
+	}
 }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Latency returns the per-request latency histogram (read-complete to
+// response-written).
+func (s *Server) Latency() *metrics.Histogram { return s.latency }
+
+// shardFor maps a key to its stripe with the same FNV-1a hash
+// mapreduce.Partition uses for reduce buckets.
+func (s *Server) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Close stops accepting, drains in-flight requests for up to the
+// configured DrainTimeout, then hard-closes whatever remains. Idle
+// connections are cut immediately.
 func (s *Server) Close() error {
-	s.closed.Store(true)
+	if s.closed.Swap(true) {
+		return nil
+	}
 	err := s.ln.Close()
-	s.conns.Wait()
+	s.mu.Lock()
+	for cs := range s.active {
+		cs.mu.Lock()
+		cs.closing = true
+		if !cs.inflight {
+			cs.conn.Close()
+		}
+		cs.mu.Unlock()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() { s.conns.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(s.drain):
+		s.mu.Lock()
+		for cs := range s.active {
+			cs.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	return err
 }
 
@@ -106,36 +219,63 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		s.connSeen.Add(1)
+		cs := &connState{conn: conn}
+		s.mu.Lock()
+		s.active[cs] = struct{}{}
+		s.mu.Unlock()
 		s.conns.Add(1)
 		go func() {
 			defer s.conns.Done()
-			defer conn.Close()
-			s.serve(conn)
+			defer func() {
+				s.mu.Lock()
+				delete(s.active, cs)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.serve(cs)
 		}()
 	}
 }
 
-func (s *Server) serve(conn net.Conn) {
+func (s *Server) serve(cs *connState) {
 	for {
-		req, err := ReadFrame(conn)
+		req, err := ReadFrame(cs.conn)
 		if err != nil {
-			return // EOF or broken pipe: client done
+			return // EOF, broken pipe, or cut by Close: client done
 		}
+		cs.mu.Lock()
+		cs.inflight = true
+		cs.mu.Unlock()
 		s.reqSeen.Add(1)
+		start := time.Now()
+		if s.preHandle != nil {
+			s.preHandle(string(req))
+		}
 		resp := s.handle(string(req))
-		if err := WriteFrame(conn, []byte(resp)); err != nil {
+		if strings.HasPrefix(resp, "ERR") {
+			s.errSeen.Add(1)
+		}
+		werr := WriteFrame(cs.conn, []byte(resp))
+		s.latency.Observe(time.Since(start))
+		cs.mu.Lock()
+		cs.inflight = false
+		closing := cs.closing
+		cs.mu.Unlock()
+		if werr != nil || closing || s.closed.Load() {
 			return
 		}
 	}
 }
 
-// handle interprets one request line. Protocol:
+// handle interprets one request. Protocol (space-delimited within one
+// frame; values may contain spaces, keys may not):
 //
 //	PING             -> "PONG"
 //	SET key value    -> "OK"
 //	GET key          -> "VALUE <v>" or "NOTFOUND"
 //	DEL key          -> "OK" or "NOTFOUND"
-//	KEYS             -> "KEYS k1 k2 ..." (sorted by insertion-agnostic order not guaranteed)
+//	COUNT            -> "COUNT <n>"
+//	KEYS             -> "KEYS <k1> <k2> ..." (sorted; bare "KEYS" when empty)
 func (s *Server) handle(req string) string {
 	parts := strings.SplitN(req, " ", 3)
 	switch strings.ToUpper(parts[0]) {
@@ -145,17 +285,19 @@ func (s *Server) handle(req string) string {
 		if len(parts) != 3 {
 			return "ERR usage: SET key value"
 		}
-		s.lock.Lock()
-		s.store[parts[1]] = parts[2]
-		s.lock.Unlock()
+		sh := s.shardFor(parts[1])
+		sh.lock.Lock()
+		sh.store[parts[1]] = parts[2]
+		sh.lock.Unlock()
 		return "OK"
 	case "GET":
 		if len(parts) != 2 {
 			return "ERR usage: GET key"
 		}
-		s.lock.RLock()
-		v, ok := s.store[parts[1]]
-		s.lock.RUnlock()
+		sh := s.shardFor(parts[1])
+		sh.lock.RLock()
+		v, ok := sh.store[parts[1]]
+		sh.lock.RUnlock()
 		if !ok {
 			return "NOTFOUND"
 		}
@@ -164,25 +306,147 @@ func (s *Server) handle(req string) string {
 		if len(parts) != 2 {
 			return "ERR usage: DEL key"
 		}
-		s.lock.Lock()
-		_, ok := s.store[parts[1]]
-		delete(s.store, parts[1])
-		s.lock.Unlock()
+		sh := s.shardFor(parts[1])
+		sh.lock.Lock()
+		_, ok := sh.store[parts[1]]
+		delete(sh.store, parts[1])
+		sh.lock.Unlock()
 		if !ok {
 			return "NOTFOUND"
 		}
 		return "OK"
 	case "COUNT":
-		s.lock.RLock()
-		n := len(s.store)
-		s.lock.RUnlock()
+		// Shards are read-locked one at a time, so the count is a
+		// point-in-time sum per stripe, not an atomic global snapshot.
+		n := 0
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.lock.RLock()
+			n += len(sh.store)
+			sh.lock.RUnlock()
+		}
 		return fmt.Sprintf("COUNT %d", n)
+	case "KEYS":
+		var keys []string
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.lock.RLock()
+			for k := range sh.store {
+				keys = append(keys, k)
+			}
+			sh.lock.RUnlock()
+		}
+		sort.Strings(keys)
+		if len(keys) == 0 {
+			return "KEYS"
+		}
+		return "KEYS " + strings.Join(keys, " ")
 	default:
 		return "ERR unknown command"
 	}
 }
 
-// Client is a connection to the KV server.
+// ErrServer wraps protocol-level errors from the server.
+var ErrServer = errors.New("sockets: server error")
+
+// ErrBadKey rejects keys that would corrupt the space-delimited command
+// syntax (empty keys or keys containing whitespace).
+var ErrBadKey = errors.New("sockets: key must be non-empty and contain no whitespace")
+
+func validateKey(key string) error {
+	if key == "" || strings.ContainsAny(key, " \t\n\r") {
+		return fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	return nil
+}
+
+// roundTripper issues one request and returns the raw response; Client
+// and Pool both satisfy it, sharing the command parsers below.
+type roundTripper func(req string) (string, error)
+
+func doPing(rt roundTripper) error {
+	resp, err := rt("PING")
+	if err != nil {
+		return err
+	}
+	if resp != "PONG" {
+		return fmt.Errorf("%w: %s", ErrServer, resp)
+	}
+	return nil
+}
+
+func doSet(rt roundTripper, key, value string) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	resp, err := rt("SET " + key + " " + value)
+	if err != nil {
+		return err
+	}
+	if resp != "OK" {
+		return fmt.Errorf("%w: %s", ErrServer, resp)
+	}
+	return nil
+}
+
+func doGet(rt roundTripper, key string) (value string, found bool, err error) {
+	if err := validateKey(key); err != nil {
+		return "", false, err
+	}
+	resp, err := rt("GET " + key)
+	if err != nil {
+		return "", false, err
+	}
+	switch {
+	case resp == "NOTFOUND":
+		return "", false, nil
+	case strings.HasPrefix(resp, "VALUE "):
+		return strings.TrimPrefix(resp, "VALUE "), true, nil
+	}
+	return "", false, fmt.Errorf("%w: %s", ErrServer, resp)
+}
+
+func doDel(rt roundTripper, key string) (bool, error) {
+	if err := validateKey(key); err != nil {
+		return false, err
+	}
+	resp, err := rt("DEL " + key)
+	if err != nil {
+		return false, err
+	}
+	switch resp {
+	case "OK":
+		return true, nil
+	case "NOTFOUND":
+		return false, nil
+	}
+	return false, fmt.Errorf("%w: %s", ErrServer, resp)
+}
+
+func doCount(rt roundTripper) (int, error) {
+	resp, err := rt("COUNT")
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(resp, "COUNT %d", &n); err != nil {
+		return 0, fmt.Errorf("%w: %s", ErrServer, resp)
+	}
+	return n, nil
+}
+
+func doKeys(rt roundTripper) ([]string, error) {
+	resp, err := rt("KEYS")
+	if err != nil {
+		return nil, err
+	}
+	if resp != "KEYS" && !strings.HasPrefix(resp, "KEYS ") {
+		return nil, fmt.Errorf("%w: %s", ErrServer, resp)
+	}
+	return strings.Fields(resp)[1:], nil
+}
+
+// Client is a single connection to the KV server.
 type Client struct {
 	conn net.Conn
 	mu   sync.Mutex // one request/response in flight per client
@@ -214,72 +478,23 @@ func (c *Client) roundTrip(req string) (string, error) {
 	return string(resp), nil
 }
 
-// ErrServer wraps protocol-level errors from the server.
-var ErrServer = errors.New("sockets: server error")
-
 // Ping checks liveness.
-func (c *Client) Ping() error {
-	resp, err := c.roundTrip("PING")
-	if err != nil {
-		return err
-	}
-	if resp != "PONG" {
-		return fmt.Errorf("%w: %s", ErrServer, resp)
-	}
-	return nil
-}
+func (c *Client) Ping() error { return doPing(c.roundTrip) }
 
-// Set stores key = value.
-func (c *Client) Set(key, value string) error {
-	resp, err := c.roundTrip(fmt.Sprintf("SET %s %s", key, value))
-	if err != nil {
-		return err
-	}
-	if resp != "OK" {
-		return fmt.Errorf("%w: %s", ErrServer, resp)
-	}
-	return nil
-}
+// Set stores key = value. Keys containing whitespace are rejected with
+// ErrBadKey before touching the wire.
+func (c *Client) Set(key, value string) error { return doSet(c.roundTrip, key, value) }
 
 // Get fetches a value; found is false for missing keys.
 func (c *Client) Get(key string) (value string, found bool, err error) {
-	resp, err := c.roundTrip("GET " + key)
-	if err != nil {
-		return "", false, err
-	}
-	switch {
-	case resp == "NOTFOUND":
-		return "", false, nil
-	case strings.HasPrefix(resp, "VALUE "):
-		return strings.TrimPrefix(resp, "VALUE "), true, nil
-	}
-	return "", false, fmt.Errorf("%w: %s", ErrServer, resp)
+	return doGet(c.roundTrip, key)
 }
 
 // Del removes a key, reporting whether it existed.
-func (c *Client) Del(key string) (bool, error) {
-	resp, err := c.roundTrip("DEL " + key)
-	if err != nil {
-		return false, err
-	}
-	switch resp {
-	case "OK":
-		return true, nil
-	case "NOTFOUND":
-		return false, nil
-	}
-	return false, fmt.Errorf("%w: %s", ErrServer, resp)
-}
+func (c *Client) Del(key string) (bool, error) { return doDel(c.roundTrip, key) }
 
 // Count returns the number of stored keys.
-func (c *Client) Count() (int, error) {
-	resp, err := c.roundTrip("COUNT")
-	if err != nil {
-		return 0, err
-	}
-	var n int
-	if _, err := fmt.Sscanf(resp, "COUNT %d", &n); err != nil {
-		return 0, fmt.Errorf("%w: %s", ErrServer, resp)
-	}
-	return n, nil
-}
+func (c *Client) Count() (int, error) { return doCount(c.roundTrip) }
+
+// Keys returns all stored keys in sorted order.
+func (c *Client) Keys() ([]string, error) { return doKeys(c.roundTrip) }

@@ -2,10 +2,12 @@ package sockets
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func startServer(t *testing.T) *Server {
@@ -183,6 +185,223 @@ func TestVisibilityAcrossConnections(t *testing.T) {
 	v, found, err := b.Get("shared")
 	if err != nil || !found || v != "42" {
 		t.Errorf("cross-connection read = %q %v %v", v, found, err)
+	}
+}
+
+func TestFrameBoundaries(t *testing.T) {
+	var buf bytes.Buffer
+	// Zero-length frame round-trips.
+	if err := WriteFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("zero-length frame = %q, %v", got, err)
+	}
+	// A frame of exactly MaxFrame is legal on both sides.
+	buf.Reset()
+	big := bytes.Repeat([]byte{'x'}, MaxFrame)
+	if err := WriteFrame(&buf, big); err != nil {
+		t.Fatalf("MaxFrame write: %v", err)
+	}
+	got, err = ReadFrame(&buf)
+	if err != nil || len(got) != MaxFrame {
+		t.Errorf("MaxFrame read = %d bytes, %v", len(got), err)
+	}
+	// MaxFrame+1 is rejected by the reader even when forged.
+	buf.Reset()
+	var hdr [4]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0x00, 0x10, 0x00, 0x01 // 1<<20 + 1
+	buf.Write(hdr[:])
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("MaxFrame+1 header should error")
+	}
+	// Truncated header: fewer than 4 bytes then EOF.
+	buf.Reset()
+	buf.Write([]byte{0, 0})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("truncated header should error")
+	}
+}
+
+func TestKeysCommand(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys, err := c.Keys()
+	if err != nil || len(keys) != 0 {
+		t.Errorf("empty Keys = %v, %v", keys, err)
+	}
+	for _, k := range []string{"cherry", "apple", "banana"} {
+		if err := c.Set(k, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err = c.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"apple", "banana", "cherry"}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v (sorted)", keys, want)
+		}
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, bad := range []string{"", "two words", "tab\tkey", "line\nbreak"} {
+		if err := c.Set(bad, "v"); !errors.Is(err, ErrBadKey) {
+			t.Errorf("Set(%q) = %v, want ErrBadKey", bad, err)
+		}
+		if _, _, err := c.Get(bad); !errors.Is(err, ErrBadKey) {
+			t.Errorf("Get(%q) = %v, want ErrBadKey", bad, err)
+		}
+		if _, err := c.Del(bad); !errors.Is(err, ErrBadKey) {
+			t.Errorf("Del(%q) = %v, want ErrBadKey", bad, err)
+		}
+	}
+	// The rejection happens client-side: no store corruption.
+	if n, err := c.Count(); err != nil || n != 0 {
+		t.Errorf("Count after rejected sets = %d, %v", n, err)
+	}
+}
+
+func TestShardedStoreSpreadsKeys(t *testing.T) {
+	s, err := NewServerConfig("127.0.0.1:0", ServerConfig{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 64; i++ {
+		if err := c.Set(fmt.Sprintf("key-%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	occupied, total := 0, 0
+	for i := range s.shards {
+		if n := len(s.shards[i].store); n > 0 {
+			occupied++
+			total += n
+		}
+	}
+	if total != 64 {
+		t.Errorf("shards hold %d keys, want 64", total)
+	}
+	if occupied < 2 {
+		t.Errorf("only %d of 8 shards occupied — FNV striping is broken", occupied)
+	}
+	// COUNT and KEYS must agree across stripes.
+	if n, err := c.Count(); err != nil || n != 64 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+	keys, err := c.Keys()
+	if err != nil || len(keys) != 64 {
+		t.Errorf("Keys len = %d, %v", len(keys), err)
+	}
+}
+
+func TestServerDrainsInFlightOnClose(t *testing.T) {
+	s, err := NewServerConfig("127.0.0.1:0", ServerConfig{Shards: 4, DrainTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delay = 150 * time.Millisecond
+	started := make(chan struct{}, 1)
+	s.preHandle = func(req string) {
+		if strings.HasPrefix(req, "SET") {
+			started <- struct{}{}
+			time.Sleep(delay)
+		}
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	setDone := make(chan error, 1)
+	go func() { setDone <- c.Set("slow", "request") }()
+	<-started // the request is observably in-flight
+	closeStart := time.Now()
+	if err := s.Close(); err != nil {
+		t.Logf("close: %v", err)
+	}
+	closeElapsed := time.Since(closeStart)
+	// Close must have waited for the in-flight request...
+	if err := <-setDone; err != nil {
+		t.Errorf("in-flight Set was cut instead of drained: %v", err)
+	}
+	if closeElapsed < delay/2 {
+		t.Errorf("Close returned in %v, before the in-flight request could finish", closeElapsed)
+	}
+	// ...and the connection is shut afterwards.
+	if err := c.Ping(); err == nil {
+		t.Error("ping succeeded after drain-close")
+	}
+}
+
+func TestServerCloseCutsIdleConnectionsQuickly(t *testing.T) {
+	s, err := NewServerConfig("127.0.0.1:0", ServerConfig{DrainTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	s.Close()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Close with only an idle connection took %v — idle conns should be cut, not drained", elapsed)
+	}
+}
+
+func TestServerErrorCounter(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.roundTrip("BOGUS"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.roundTrip("SET onlykey"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Errors != 2 {
+		t.Errorf("Errors = %d, want 2", st.Errors)
+	}
+	if st.Requests != 3 {
+		t.Errorf("Requests = %d, want 3", st.Requests)
+	}
+	if s.Latency().Count() != st.Requests {
+		t.Errorf("latency histogram has %d observations, want %d", s.Latency().Count(), st.Requests)
 	}
 }
 
