@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bits"
 	"repro/internal/bomb"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/proc"
 	"repro/internal/psort"
 	"repro/internal/pthread"
+	"repro/internal/sched"
 	"repro/internal/shell"
 	"repro/internal/simd"
 	"repro/internal/sockets"
@@ -568,6 +570,68 @@ func BenchmarkAblation_ParallelMerge(b *testing.B) {
 		_, span, _ := psort.MergeSortDAG(1<<16, true)
 		b.ReportMetric(float64(span), "span")
 	})
+}
+
+// BenchmarkSortbench is the scheduler ablation behind cmd/sortbench:
+// the same merge sort through the old goroutine-per-fork runtime and
+// through an 8-worker work-stealing pool, identical fork depth. The
+// pool variant also reports its steal/task counters — the whole point
+// of the shared runtime is that load balance becomes measurable.
+func BenchmarkSortbench(b *testing.B) {
+	xs := make([]int64, 1<<17)
+	for i := range xs {
+		xs[i] = int64((i * 2654435761) % 1000003)
+	}
+	const depth = 4
+	b.Run("spawn-per-fork", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			psort.ParallelMergeSortSpawn(xs, depth)
+		}
+	})
+	b.Run("sched-8workers", func(b *testing.B) {
+		pool := sched.New(8)
+		defer pool.Close()
+		before := pool.Stats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			psort.ParallelMergeSortOn(pool, xs, depth)
+		}
+		b.StopTimer()
+		st := pool.Stats().Sub(before)
+		b.ReportMetric(float64(st.Tasks)/float64(b.N), "tasks/op")
+		b.ReportMetric(float64(st.Steals)/float64(b.N), "steals/op")
+		b.ReportMetric(st.StealRate(), "steal-rate")
+	})
+}
+
+// BenchmarkDAGExecute runs Brent's theorem as an experiment: a depth-8
+// fork-join DAG executed on 1 and 4 workers, reporting achieved vs
+// ideal speedup from the same run.
+func BenchmarkDAGExecute(b *testing.B) {
+	g := dag.New()
+	var build func(d int) dag.Fragment
+	build = func(d int) dag.Fragment {
+		if d == 0 {
+			return dag.Leaf(g, 1, "leaf")
+		}
+		return dag.Seq(dag.Par(g, build(d-1), build(d-1)), dag.Leaf(g, int64(d), "join"))
+	}
+	build(8)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var rep dag.ExecReport
+			for i := 0; i < b.N; i++ {
+				r, err := dag.Execute(g, workers, time.Microsecond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = r
+			}
+			b.ReportMetric(rep.AchievedSpeedup, "achieved-speedup")
+			b.ReportMetric(rep.IdealSpeedup, "ideal-speedup")
+			b.ReportMetric(float64(rep.Sched.Steals), "steals")
+		})
+	}
 }
 
 // BenchmarkAblation_ReductionAddressing is the CS40 divergence ablation

@@ -1,0 +1,174 @@
+// Command sortbench runs the CS41 fork-join lab's scalability study on
+// the work-stealing scheduler: for each worker count it sorts the same
+// input on a pool of that size, then reduces the timings to the
+// speedup/efficiency/Karp-Flatt table kvbench and lifebench print —
+// with the scheduler's steal/task counters alongside, so load balance
+// is read off the runtime instead of guessed.
+//
+// Usage:
+//
+//	sortbench -n 1048576 -workers 1,2,4,8 -algo pmsort
+//	sortbench -algo samplesort              # bucket-parallel variant
+//	sortbench -algo pmsort -spawn           # also time the old
+//	                                        # goroutine-per-fork baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/psort"
+	"repro/internal/sched"
+)
+
+func main() {
+	n := flag.Int("n", 1<<20, "elements to sort (power of two required for -algo bitonic)")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts (must include 1)")
+	algo := flag.String("algo", "pmsort", "pmsort | pmsortpm | samplesort | bitonic")
+	reps := flag.Int("reps", 3, "repetitions per worker count (minimum is reported)")
+	spawn := flag.Bool("spawn", false, "also time the pre-scheduler goroutine-per-fork merge sort")
+	flag.Parse()
+
+	var workers []int
+	hasBaseline := false
+	for _, part := range strings.Split(*workersFlag, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			fmt.Fprintf(os.Stderr, "sortbench: bad worker count %q\n", part)
+			os.Exit(2)
+		}
+		if w == 1 {
+			hasBaseline = true
+		}
+		workers = append(workers, w)
+	}
+	if !hasBaseline {
+		fmt.Fprintln(os.Stderr, "sortbench: worker counts must include 1 (the speedup baseline)")
+		os.Exit(2)
+	}
+
+	xs := randomInts(*n, 42)
+	want, _ := psort.MergeSort(xs)
+
+	run, name := sorter(*algo)
+	if run == nil {
+		fmt.Fprintf(os.Stderr, "sortbench: unknown algo %q\n", *algo)
+		os.Exit(2)
+	}
+	fmt.Printf("%s scalability study: n=%d, best of %d reps per worker count\n\n", name, *n, *reps)
+
+	var ms []metrics.Measurement
+	var lastStats sched.Stats
+	for _, w := range workers {
+		pool := sched.New(w)
+		best := time.Duration(0)
+		var stats sched.Stats
+		for r := 0; r < *reps; r++ {
+			before := pool.Stats()
+			start := time.Now()
+			out, err := run(pool, xs)
+			elapsed := time.Since(start)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sortbench:", err)
+				os.Exit(1)
+			}
+			if r == 0 {
+				verify(out, want)
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+				stats = pool.Stats().Sub(before)
+			}
+		}
+		pool.Close()
+		ms = append(ms, metrics.Measurement{Workers: w, Elapsed: best})
+		lastStats = stats
+		fmt.Printf("%3d workers: %12v   tasks %6d  steals %5d  steal-rate %.3f\n",
+			w, best.Round(time.Microsecond), stats.Tasks, stats.Steals, stats.StealRate())
+	}
+
+	if *spawn {
+		best := time.Duration(0)
+		for r := 0; r < *reps; r++ {
+			start := time.Now()
+			out := psort.ParallelMergeSortSpawn(xs, 0)
+			elapsed := time.Since(start)
+			if r == 0 {
+				verify(out, want)
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		fmt.Printf("\nspawn-per-fork baseline (unbounded goroutines): %v\n", best.Round(time.Microsecond))
+	}
+
+	tbl, err := metrics.BuildTable(ms)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sortbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(tbl)
+	fmt.Printf("\nAmdahl fit from largest run: serial fraction f = %.4f (limit %.1fx)\n",
+		tbl.FitF, metrics.AmdahlLimit(tbl.FitF))
+	fmt.Println("\nScheduler counters, largest run:")
+	fmt.Print(lastStats.Counters())
+}
+
+// sorter maps an -algo name to a pool-parameterized sort.
+func sorter(algo string) (func(*sched.Pool, []int64) ([]int64, error), string) {
+	switch algo {
+	case "pmsort":
+		return func(p *sched.Pool, xs []int64) ([]int64, error) {
+			return psort.ParallelMergeSortOn(p, xs, 0), nil
+		}, "parallel merge sort (serial merge)"
+	case "pmsortpm":
+		return func(p *sched.Pool, xs []int64) ([]int64, error) {
+			return psort.ParallelMergeSortPMOn(p, xs, 0), nil
+		}, "parallel merge sort (parallel merge)"
+	case "samplesort":
+		return func(p *sched.Pool, xs []int64) ([]int64, error) {
+			return psort.SampleSortOn(p, xs, 8*p.Workers())
+		}, "sample sort"
+	case "bitonic":
+		return func(p *sched.Pool, xs []int64) ([]int64, error) {
+			return psort.BitonicSortOn(p, xs)
+		}, "bitonic sorting network"
+	}
+	return nil, ""
+}
+
+func verify(got, want []int64) {
+	if len(got) != len(want) {
+		fmt.Fprintln(os.Stderr, "sortbench: output length wrong")
+		os.Exit(1)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			fmt.Fprintf(os.Stderr, "sortbench: output differs from MergeSort at %d\n", i)
+			os.Exit(1)
+		}
+	}
+}
+
+// randomInts is the xorshift generator the psort tests use.
+func randomInts(n int, seed uint64) []int64 {
+	if seed == 0 {
+		seed = 1
+	}
+	xs := make([]int64, n)
+	s := seed
+	for i := range xs {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		xs[i] = int64(s % 1000003)
+	}
+	return xs
+}

@@ -1,0 +1,125 @@
+package dag
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// ExecReport is the result of actually running a task graph on the
+// work-stealing scheduler — the lecture's Brent's-theorem board algebra
+// turned into a measurement.
+type ExecReport struct {
+	Workers int
+	Elapsed time.Duration
+	Work    int64 // T1 in cost units
+	Span    int64 // T∞ in cost units
+	Tasks   int64 // tasks executed (== g.Size())
+
+	// Parallelism is T1/T∞, the maximum useful worker count.
+	Parallelism float64
+	// IdealSpeedup is the greedy-scheduling ideal on this worker count:
+	// T1 / max(T1/P, T∞), i.e. min(P, parallelism).
+	IdealSpeedup float64
+	// AchievedSpeedup is predicted-serial-time / measured wall time,
+	// where predicted serial time is Work * unit.
+	AchievedSpeedup float64
+
+	// Sched holds the pool's counters for the run (steals, busy/idle).
+	Sched sched.Stats
+}
+
+// Execute runs g on a fresh pool of `workers` workers. Each task
+// busy-spins for cost*unit (the simulated grain), tasks become ready
+// when their last predecessor finishes, and ready tasks are forked onto
+// the scheduler — so the measured makespan includes real stealing and
+// load-balancing effects. Returns ErrCycle for cyclic graphs.
+func Execute(g *Graph, workers int, unit time.Duration) (ExecReport, error) {
+	if workers <= 0 {
+		return ExecReport{}, errors.New("dag: workers must be positive")
+	}
+	if unit < 0 {
+		return ExecReport{}, errors.New("dag: unit must be non-negative")
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return ExecReport{}, err
+	}
+	span, _, err := g.Span()
+	if err != nil {
+		return ExecReport{}, err
+	}
+	rep := ExecReport{
+		Workers: workers,
+		Work:    g.Work(),
+		Span:    span,
+	}
+	n := g.Size()
+	if n == 0 {
+		return rep, nil
+	}
+
+	pool := sched.New(workers)
+	defer pool.Close()
+
+	remaining := make([]atomic.Int32, n)
+	for t := 0; t < n; t++ {
+		remaining[t].Store(int32(len(g.pred[t])))
+	}
+	finished := make([]atomic.Bool, n)
+	var tasksRun atomic.Int64
+
+	var runTask func(c *sched.Task, grp *sched.Group, t Task)
+	runTask = func(c *sched.Task, grp *sched.Group, t Task) {
+		spin(time.Duration(g.cost[t]) * unit)
+		finished[t].Store(true)
+		tasksRun.Add(1)
+		for _, s := range g.succ[t] {
+			if remaining[s].Add(-1) == 0 {
+				s := s
+				grp.Fork(c, func(c2 *sched.Task) { runTask(c2, grp, s) })
+			}
+		}
+	}
+
+	start := time.Now()
+	pool.Do(func(c *sched.Task) { //nolint:errcheck
+		var grp sched.Group
+		for t := 0; t < n; t++ {
+			if remaining[t].Load() == 0 {
+				t := Task(t)
+				grp.Fork(c, func(c2 *sched.Task) { runTask(c2, &grp, t) })
+			}
+		}
+		grp.Wait(c)
+	})
+	rep.Elapsed = time.Since(start)
+	rep.Tasks = tasksRun.Load()
+	rep.Sched = pool.Stats()
+
+	if span > 0 {
+		rep.Parallelism = float64(rep.Work) / float64(span)
+		rep.IdealSpeedup = math.Min(float64(workers), rep.Parallelism)
+	}
+	if unit > 0 && rep.Elapsed > 0 {
+		serial := time.Duration(rep.Work) * unit
+		rep.AchievedSpeedup = float64(serial) / float64(rep.Elapsed)
+	}
+	return rep, nil
+}
+
+// spin burns CPU for d — simulated work must occupy a worker, not
+// sleep, or the makespan would not exercise the scheduler at all.
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+		for i := 0; i < 64; i++ {
+			_ = i * i
+		}
+	}
+}

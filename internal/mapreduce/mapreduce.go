@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/sched"
 )
 
 // KV is one intermediate key/value pair.
@@ -101,15 +103,16 @@ func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[str
 		}
 	}
 
+	// Both phases fan out on a work-stealing pool of exactly
+	// cfg.Workers workers — task concurrency is bounded by the pool
+	// size instead of one goroutine per split racing a semaphore.
+	pool := sched.New(cfg.Workers)
+	defer pool.Close()
+
 	mapErrs := make([]error, len(inputs))
-	sem := make(chan struct{}, cfg.Workers)
-	var wg sync.WaitGroup
-	for i, split := range inputs {
-		wg.Add(1)
-		go func(i int, split string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	pool.ParallelFor(len(inputs), 1, func(lo, hi int) { //nolint:errcheck
+		for i := lo; i < hi; i++ {
+			split := inputs[i]
 			out, err := runTask("map", i, func() ([]KV, error) {
 				var local []KV
 				mapf(split, func(k, v string) { local = append(local, KV{k, v}) })
@@ -120,7 +123,7 @@ func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[str
 			})
 			if err != nil {
 				mapErrs[i] = err
-				return
+				continue
 			}
 			bucketMu.Lock()
 			for _, kv := range out {
@@ -128,9 +131,8 @@ func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[str
 				buckets[r] = append(buckets[r], kv)
 			}
 			bucketMu.Unlock()
-		}(i, split)
-	}
-	wg.Wait()
+		}
+	})
 	for _, err := range mapErrs {
 		if err != nil {
 			return nil, st, err
@@ -144,12 +146,8 @@ func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[str
 	results := make(map[string]string)
 	var resMu sync.Mutex
 	redErrs := make([]error, cfg.Reducers)
-	for r := 0; r < cfg.Reducers; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	pool.ParallelFor(cfg.Reducers, 1, func(lo, hi int) { //nolint:errcheck
+		for r := lo; r < hi; r++ {
 			out, err := runTask("reduce", r, func() ([]KV, error) {
 				grouped := groupByKey(buckets[r])
 				var local []KV
@@ -160,16 +158,15 @@ func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[str
 			})
 			if err != nil {
 				redErrs[r] = err
-				return
+				continue
 			}
 			resMu.Lock()
 			for _, kv := range out {
 				results[kv.Key] = kv.Value
 			}
 			resMu.Unlock()
-		}(r)
-	}
-	wg.Wait()
+		}
+	})
 	for _, err := range redErrs {
 		if err != nil {
 			return nil, st, err

@@ -3,9 +3,12 @@ package mapreduce
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 var docs = []string{
@@ -233,5 +236,54 @@ func TestPartitionClampsReducers(t *testing.T) {
 	}
 	if len(seen) < 2 {
 		t.Error("FNV partitioning stopped spreading keys")
+	}
+}
+
+// TestMapperConcurrencyBounded is the regression test for the
+// scheduler migration: under load, concurrent mapper invocations (and
+// live goroutines) must never exceed Config.Workers (+ O(1) runtime
+// overhead) — the old spawn-per-split code held one goroutine per
+// split alive for the whole phase.
+func TestMapperConcurrencyBounded(t *testing.T) {
+	const workers = 3
+	const splits = 64
+	inputs := make([]string, splits)
+	for i := range inputs {
+		inputs[i] = "alpha beta gamma delta epsilon zeta"
+	}
+	baseGoroutines := runtime.NumGoroutine()
+	var live, peak, peakGoroutines atomic.Int64
+	mapf := func(split string, emit func(k, v string)) {
+		now := live.Add(1)
+		for {
+			p := peak.Load()
+			if now <= p || peak.CompareAndSwap(p, now) {
+				break
+			}
+		}
+		if g := int64(runtime.NumGoroutine()); g > peakGoroutines.Load() {
+			peakGoroutines.Store(g)
+		}
+		time.Sleep(time.Millisecond) // hold the slot so overlap is visible
+		WordCountMap(split, emit)
+		live.Add(-1)
+	}
+	res, st, err := Run(Config{Workers: workers, Reducers: 4}, inputs, mapf, WordCountReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MapTasks != splits || res["alpha"] != fmt.Sprintf("%d", splits) {
+		t.Fatalf("job wrong: %+v res=%v", st, res["alpha"])
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("mapper concurrency peaked at %d, bound %d", p, workers)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Errorf("mapper concurrency peaked at %d — load never overlapped, test is vacuous", p)
+	}
+	// workers pool goroutines + the caller + slack for runtime helpers.
+	if g := peakGoroutines.Load(); g > int64(baseGoroutines+workers+3) {
+		t.Errorf("live goroutines peaked at %d (baseline %d, workers %d)",
+			g, baseGoroutines, workers)
 	}
 }

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// CounterSet is an ordered name -> value table for runtime counters
+// (scheduler steals, task counts, utilization) so benchmark drivers can
+// print them next to the speedup tables without inventing a format each
+// time.
+type CounterSet struct {
+	names  []string
+	values map[string]float64
+}
+
+// Add appends (or overwrites) a counter, preserving first-add order.
+func (c *CounterSet) Add(name string, value float64) {
+	if c.values == nil {
+		c.values = make(map[string]float64)
+	}
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] = value
+}
+
+// Get returns a counter's value and whether it exists.
+func (c *CounterSet) Get(name string) (float64, bool) {
+	v, ok := c.values[name]
+	return v, ok
+}
+
+// Names returns the counters in insertion order.
+func (c *CounterSet) Names() []string {
+	return append([]string(nil), c.names...)
+}
+
+// String renders the counters as an aligned two-column table. Integral
+// values print without a fraction.
+func (c *CounterSet) String() string {
+	width := 0
+	for _, n := range c.names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	var b strings.Builder
+	for _, n := range c.names {
+		v := c.values[n]
+		if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+			fmt.Fprintf(&b, "%-*s %12d\n", width, n, int64(v))
+		} else {
+			fmt.Fprintf(&b, "%-*s %12.3f\n", width, n, v)
+		}
+	}
+	return b.String()
+}

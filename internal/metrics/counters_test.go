@@ -1,0 +1,31 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterSet(t *testing.T) {
+	var cs CounterSet
+	cs.Add("tasks", 1024)
+	cs.Add("steals", 37)
+	cs.Add("steal-rate", 0.0361)
+	cs.Add("tasks", 2048) // overwrite keeps position
+	if got := cs.Names(); len(got) != 3 || got[0] != "tasks" || got[2] != "steal-rate" {
+		t.Fatalf("names = %v", got)
+	}
+	if v, ok := cs.Get("tasks"); !ok || v != 2048 {
+		t.Fatalf("tasks = %v, %v", v, ok)
+	}
+	if _, ok := cs.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	s := cs.String()
+	if !strings.Contains(s, "2048") || !strings.Contains(s, "0.036") {
+		t.Fatalf("render: %q", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d: %q", len(lines), s)
+	}
+}

@@ -1,0 +1,155 @@
+package psort
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// TestMigratedSortsDeterministic: every scheduler-backed sort must
+// produce MergeSort's exact output, across worker counts, including the
+// retained spawn-per-fork baseline.
+func TestMigratedSortsDeterministic(t *testing.T) {
+	xs := randomInts(1<<14, 29)
+	want, _ := MergeSort(xs)
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := sched.New(workers)
+		check := func(name string, got []int64, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, name, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d %s: length %d", workers, name, len(got))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d %s: mismatch at %d", workers, name, i)
+				}
+			}
+		}
+		check("pmsort", ParallelMergeSortOn(p, xs, 0), nil)
+		check("pmsort-deep", ParallelMergeSortOn(p, xs, 9), nil)
+		check("pmsortPM", ParallelMergeSortPMOn(p, xs, 0), nil)
+		ss, err := SampleSortOn(p, xs, 8)
+		check("samplesort", ss, err)
+		bs, err := BitonicSortOn(p, xs)
+		check("bitonic", bs, err)
+		check("spawn-baseline", ParallelMergeSortSpawn(xs, 4), nil)
+		p.Close()
+	}
+}
+
+// TestSampleSortDuplicateSkew is the splitter-skew regression: with 90%
+// of the input equal to one value, the heavy value must land in an
+// equal bucket (already sorted), so no range bucket degenerates into a
+// near-full sort.
+func TestSampleSortDuplicateSkew(t *testing.T) {
+	const n = 100000
+	xs := make([]int64, n)
+	for i := range xs {
+		if i%10 == 0 {
+			xs[i] = int64(i % 997) // 10% varied
+		} else {
+			xs[i] = 7 // 90% duplicates
+		}
+	}
+	want, _ := MergeSort(xs)
+	got, err := SampleSort(xs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	// White-box: the partition must isolate the heavy value.
+	splitters := sampleSplitters(xs, 8)
+	for i := 1; i < len(splitters); i++ {
+		if splitters[i] <= splitters[i-1] {
+			t.Fatalf("splitters not strictly increasing: %v", splitters)
+		}
+	}
+	buckets := partitionBySplitters(xs, splitters)
+	if len(buckets) != 2*len(splitters)+1 {
+		t.Fatalf("bucket count %d for %d splitters", len(buckets), len(splitters))
+	}
+	maxRange := 0
+	for i := 0; i < len(buckets); i += 2 {
+		if len(buckets[i]) > maxRange {
+			maxRange = len(buckets[i])
+		}
+	}
+	if maxRange > n/2 {
+		t.Errorf("largest range bucket holds %d of %d — duplicate skew not defused", maxRange, n)
+	}
+	// Equal buckets must already be sorted runs of one value.
+	for i := 1; i < len(buckets); i += 2 {
+		for j := 1; j < len(buckets[i]); j++ {
+			if buckets[i][j] != buckets[i][0] {
+				t.Fatalf("equal bucket %d holds distinct values", i)
+			}
+		}
+	}
+}
+
+// TestSampleSortAllEqual: fully degenerate input still sorts, with the
+// heavy value folded into an equal bucket.
+func TestSampleSortAllEqual(t *testing.T) {
+	xs := make([]int64, 50000)
+	for i := range xs {
+		xs[i] = 42
+	}
+	out, err := SampleSort(xs, 8)
+	if err != nil || len(out) != len(xs) {
+		t.Fatalf("err=%v len=%d", err, len(out))
+	}
+	for _, v := range out {
+		if v != 42 {
+			t.Fatal("corrupted value")
+		}
+	}
+}
+
+// TestParallelMergeSortBoundedGoroutines is the acceptance check: live
+// goroutines stay <= workers + O(1) while sorting 10^6 int64s on a
+// 4-worker pool.
+func TestParallelMergeSortBoundedGoroutines(t *testing.T) {
+	const n = 1_000_000
+	xs := randomInts(n, 71)
+	base := runtime.NumGoroutine()
+	p := sched.New(4)
+	defer p.Close()
+
+	done := make(chan []int64)
+	go func() { done <- ParallelMergeSortOn(p, xs, 9) }()
+
+	peak := 0
+	var out []int64
+sample:
+	for {
+		select {
+		case out = <-done:
+			break sample
+		default:
+			if g := runtime.NumGoroutine(); g > peak {
+				peak = g
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	// base + 4 workers + the sorter goroutine + slack of 2.
+	if limit := base + 4 + 1 + 2; peak > limit {
+		t.Errorf("goroutines peaked at %d, limit %d (baseline %d)", peak, limit, base)
+	}
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+		t.Fatal("output not sorted")
+	}
+	if !sameMultiset(out, xs) {
+		t.Fatal("output lost elements")
+	}
+}

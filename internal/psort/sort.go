@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dag"
+	"repro/internal/sched"
 )
 
 // serialCutoff is the subproblem size below which parallel variants run
@@ -68,21 +69,69 @@ func mergeInto(dst, x, y []int64, comps *int64) {
 	}
 }
 
-// ParallelMergeSort sorts a copy of xs with fork-join parallel merge sort
-// using goroutines (serial merge: span Θ(n)). maxDepth bounds the fork
-// tree; 0 picks a sensible default.
+// defaultForkDepth sizes the fork tree for a pool: enough leaves for
+// ~8 steals of headroom per worker, floored at the old default of 4.
+func defaultForkDepth(p *sched.Pool) int {
+	depth := 0
+	for 1<<depth < 8*p.Workers() {
+		depth++
+	}
+	if depth < 4 {
+		depth = 4
+	}
+	return depth
+}
+
+// ParallelMergeSort sorts a copy of xs with fork-join parallel merge
+// sort on the shared work-stealing pool (serial merge: span Θ(n)).
+// maxDepth bounds the fork tree; 0 picks a sensible default.
 func ParallelMergeSort(xs []int64, maxDepth int) []int64 {
+	return ParallelMergeSortOn(sched.Default(), xs, maxDepth)
+}
+
+// ParallelMergeSortOn is ParallelMergeSort on an explicit pool — the
+// worker count is the pool's, so scalability studies sweep it directly.
+func ParallelMergeSortOn(pool *sched.Pool, xs []int64, maxDepth int) []int64 {
+	if maxDepth <= 0 {
+		maxDepth = defaultForkDepth(pool)
+	}
+	out := append([]int64(nil), xs...)
+	buf := make([]int64, len(xs))
+	pool.Do(func(c *sched.Task) { //nolint:errcheck
+		pmsort(c, out, buf, maxDepth)
+	})
+	return out
+}
+
+func pmsort(c *sched.Task, a, buf []int64, depth int) {
+	if len(a) <= serialCutoff || depth == 0 {
+		msort(a, buf, nil)
+		return
+	}
+	mid := len(a) / 2
+	h := c.Fork(func(c2 *sched.Task) {
+		pmsort(c2, a[:mid], buf[:mid], depth-1)
+	})
+	pmsort(c, a[mid:], buf[mid:], depth-1)
+	c.Join(h)
+	mergeInto(buf, a[:mid], a[mid:], nil)
+	copy(a, buf[:len(a)])
+}
+
+// ParallelMergeSortSpawn is the pre-scheduler baseline kept for the
+// runtime ablation: one goroutine per fork, unbounded. cmd/sortbench
+// and BenchmarkSortbench race it against the pool-backed variant.
+func ParallelMergeSortSpawn(xs []int64, maxDepth int) []int64 {
 	if maxDepth <= 0 {
 		maxDepth = 4
 	}
 	out := append([]int64(nil), xs...)
 	buf := make([]int64, len(xs))
-	var comps int64 // unused in parallel path; avoids separate merge code
-	pmsort(out, buf, maxDepth, &comps)
+	pmsortSpawn(out, buf, maxDepth)
 	return out
 }
 
-func pmsort(a, buf []int64, depth int, comps *int64) {
+func pmsortSpawn(a, buf []int64, depth int) {
 	if len(a) <= serialCutoff || depth == 0 {
 		msort(a, buf, nil)
 		return
@@ -92,9 +141,9 @@ func pmsort(a, buf []int64, depth int, comps *int64) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		pmsort(a[:mid], buf[:mid], depth-1, comps)
+		pmsortSpawn(a[:mid], buf[:mid], depth-1)
 	}()
-	pmsort(a[mid:], buf[mid:], depth-1, comps)
+	pmsortSpawn(a[mid:], buf[mid:], depth-1)
 	wg.Wait()
 	mergeInto(buf, a[:mid], a[mid:], nil)
 	copy(a, buf[:len(a)])
@@ -102,38 +151,43 @@ func pmsort(a, buf []int64, depth int, comps *int64) {
 
 // ParallelMergeSortPM is merge sort with a *parallel merge* (recursive
 // binary-search splitting), the variant whose span drops from Θ(n) to
-// Θ(log²n) — the ablation CS41 analyzes with work/span algebra.
+// Θ(log²n) — the ablation CS41 analyzes with work/span algebra. Runs on
+// the shared work-stealing pool.
 func ParallelMergeSortPM(xs []int64, maxDepth int) []int64 {
+	return ParallelMergeSortPMOn(sched.Default(), xs, maxDepth)
+}
+
+// ParallelMergeSortPMOn is ParallelMergeSortPM on an explicit pool.
+func ParallelMergeSortPMOn(pool *sched.Pool, xs []int64, maxDepth int) []int64 {
 	if maxDepth <= 0 {
-		maxDepth = 4
+		maxDepth = defaultForkDepth(pool)
 	}
 	out := append([]int64(nil), xs...)
 	buf := make([]int64, len(xs))
-	pmsortPM(out, buf, maxDepth)
+	pool.Do(func(c *sched.Task) { //nolint:errcheck
+		pmsortPM(c, out, buf, maxDepth)
+	})
 	return out
 }
 
-func pmsortPM(a, buf []int64, depth int) {
+func pmsortPM(c *sched.Task, a, buf []int64, depth int) {
 	if len(a) <= serialCutoff || depth == 0 {
 		msort(a, buf, nil)
 		return
 	}
 	mid := len(a) / 2
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		pmsortPM(a[:mid], buf[:mid], depth-1)
-	}()
-	pmsortPM(a[mid:], buf[mid:], depth-1)
-	wg.Wait()
-	parallelMerge(a[:mid], a[mid:], buf[:len(a)], depth-1)
+	h := c.Fork(func(c2 *sched.Task) {
+		pmsortPM(c2, a[:mid], buf[:mid], depth-1)
+	})
+	pmsortPM(c, a[mid:], buf[mid:], depth-1)
+	c.Join(h)
+	parallelMerge(c, a[:mid], a[mid:], buf[:len(a)], depth-1)
 	copy(a, buf[:len(a)])
 }
 
 // parallelMerge merges sorted x and y into dst by splitting on the median
 // of the larger run and binary-searching its rank in the other.
-func parallelMerge(x, y, dst []int64, depth int) {
+func parallelMerge(c *sched.Task, x, y, dst []int64, depth int) {
 	if len(x) < len(y) {
 		x, y = y, x
 	}
@@ -148,14 +202,11 @@ func parallelMerge(x, y, dst []int64, depth int) {
 	pivot := x[mx]
 	my := sort.Search(len(y), func(i int) bool { return y[i] > pivot })
 	dst[mx+my] = pivot
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		parallelMerge(x[:mx], y[:my], dst[:mx+my], depth-1)
-	}()
-	parallelMerge(x[mx+1:], y[my:], dst[mx+my+1:], depth-1)
-	wg.Wait()
+	h := c.Fork(func(c2 *sched.Task) {
+		parallelMerge(c2, x[:mx], y[:my], dst[:mx+my], depth-1)
+	})
+	parallelMerge(c, x[mx+1:], y[my:], dst[mx+my+1:], depth-1)
+	c.Join(h)
 }
 
 // QuickSort sorts a copy of xs with median-of-three quicksort, counting
@@ -231,9 +282,17 @@ func qsort(a []int64, comps *int64) {
 }
 
 // SampleSort sorts a copy of xs with parallel sample sort: sample
-// splitters, partition into p buckets, sort buckets concurrently — the
-// bucket-parallel pattern CS87's short labs use.
+// splitters, partition into buckets, sort buckets concurrently on the
+// shared work-stealing pool — the bucket-parallel pattern CS87's short
+// labs use. Splitters are deduplicated and every distinct splitter
+// value gets its own already-sorted "equal" bucket, so duplicate-heavy
+// inputs can't collapse the partition into one giant bucket.
 func SampleSort(xs []int64, p int) ([]int64, error) {
+	return SampleSortOn(sched.Default(), xs, p)
+}
+
+// SampleSortOn is SampleSort on an explicit pool.
+func SampleSortOn(pool *sched.Pool, xs []int64, p int) ([]int64, error) {
 	if p <= 0 {
 		return nil, errors.New("psort: bucket count must be positive")
 	}
@@ -245,7 +304,33 @@ func SampleSort(xs []int64, p int) ([]int64, error) {
 		out, _ := MergeSort(xs)
 		return out, nil
 	}
-	// Oversample for splitter quality.
+	splitters := sampleSplitters(xs, p)
+	buckets := partitionBySplitters(xs, splitters)
+	// Sort the range buckets (odd indices are equal-value buckets and
+	// need no work); empty buckets are folded out of the task list.
+	var work []int
+	for i := 0; i < len(buckets); i += 2 {
+		if len(buckets[i]) > 1 {
+			work = append(work, i)
+		}
+	}
+	pool.ParallelFor(len(work), 1, func(lo, hi int) { //nolint:errcheck
+		for w := lo; w < hi; w++ {
+			b := buckets[work[w]]
+			sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
+		}
+	})
+	out := make([]int64, 0, n)
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// sampleSplitters oversamples xs and returns strictly increasing
+// (deduplicated) splitters — at most p-1 of them.
+func sampleSplitters(xs []int64, p int) []int64 {
+	n := len(xs)
 	const oversample = 8
 	sample := make([]int64, 0, p*oversample)
 	step := n / (p * oversample)
@@ -256,39 +341,53 @@ func SampleSort(xs []int64, p int) ([]int64, error) {
 		sample = append(sample, xs[i])
 	}
 	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
-	splitters := make([]int64, p-1)
-	for i := range splitters {
-		splitters[i] = sample[(i+1)*len(sample)/p]
+	splitters := make([]int64, 0, p-1)
+	for i := 1; i < p; i++ {
+		s := sample[i*len(sample)/p]
+		if len(splitters) == 0 || s > splitters[len(splitters)-1] {
+			splitters = append(splitters, s)
+		}
 	}
-	// Partition.
-	buckets := make([][]int64, p)
+	return splitters
+}
+
+// partitionBySplitters splits xs into 2m+1 buckets around m strictly
+// increasing splitters u_0 < ... < u_{m-1}: even index 2i holds the
+// open range (u_{i-1}, u_i), odd index 2i+1 holds values equal to u_i,
+// and the last even index holds values above u_{m-1}. Equal buckets
+// are sorted by construction — that is the duplicate-skew defense.
+func partitionBySplitters(xs, splitters []int64) [][]int64 {
+	m := len(splitters)
+	buckets := make([][]int64, 2*m+1)
 	for _, v := range xs {
-		b := sort.Search(len(splitters), func(i int) bool { return splitters[i] >= v })
-		buckets[b] = append(buckets[b], v)
+		i := sort.Search(m, func(j int) bool { return splitters[j] >= v })
+		if i < m && splitters[i] == v {
+			buckets[2*i+1] = append(buckets[2*i+1], v)
+		} else {
+			buckets[2*i] = append(buckets[2*i], v)
+		}
 	}
-	// Sort buckets in parallel.
-	var wg sync.WaitGroup
-	for i := range buckets {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			b := buckets[i]
-			sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
-		}(i)
-	}
-	wg.Wait()
-	out := make([]int64, 0, n)
-	for _, b := range buckets {
-		out = append(out, b...)
-	}
-	return out, nil
+	return buckets
 }
 
 // BitonicSort sorts a copy of xs with a bitonic sorting network. The
 // input length must be a power of two (the network's structural
-// requirement the lecture highlights); comparators at the same depth run
-// concurrently in `parallel` mode.
+// requirement the lecture highlights); comparators at the same depth
+// run concurrently in `parallel` mode, chunked over the shared
+// work-stealing pool rather than one goroutine per compare-exchange.
 func BitonicSort(xs []int64, parallel bool) ([]int64, error) {
+	if !parallel {
+		return bitonicSort(xs, nil)
+	}
+	return BitonicSortOn(sched.Default(), xs)
+}
+
+// BitonicSortOn runs the parallel bitonic network on an explicit pool.
+func BitonicSortOn(pool *sched.Pool, xs []int64) ([]int64, error) {
+	return bitonicSort(xs, pool)
+}
+
+func bitonicSort(xs []int64, pool *sched.Pool) ([]int64, error) {
 	n := len(xs)
 	if n == 0 {
 		return nil, nil
@@ -299,13 +398,18 @@ func BitonicSort(xs []int64, parallel bool) ([]int64, error) {
 	a := append([]int64(nil), xs...)
 	for k := 2; k <= n; k *= 2 {
 		for j := k / 2; j > 0; j /= 2 {
-			compareStage(a, j, k, parallel)
+			compareStage(a, j, k, pool)
 		}
 	}
 	return a, nil
 }
 
-func compareStage(a []int64, j, k int, parallel bool) {
+// compareStage applies one depth of the network. In parallel mode the
+// index space is chunked with ParallelFor — a stage is one bounded
+// worksharing loop, not n/2 goroutines. Any chunk boundary is
+// race-free: i <-> i^j is a disjoint perfect matching and each pair is
+// swapped only from its lower index, so no element is touched twice.
+func compareStage(a []int64, j, k int, pool *sched.Pool) {
 	n := len(a)
 	body := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -318,20 +422,15 @@ func compareStage(a []int64, j, k int, parallel bool) {
 			}
 		}
 	}
-	if !parallel || n < serialCutoff {
+	if pool == nil || n < serialCutoff {
 		body(0, n)
 		return
 	}
-	const shards = 4
-	var wg sync.WaitGroup
-	for s := 0; s < shards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			body(s*n/shards, (s+1)*n/shards)
-		}(s)
+	grain := serialCutoff
+	for grain*8*pool.Workers() < n {
+		grain *= 2
 	}
-	wg.Wait()
+	pool.ParallelFor(n, grain, body) //nolint:errcheck
 }
 
 // BitonicStats returns the comparator count and depth of the n-input

@@ -1,0 +1,49 @@
+// ParallelFor: the worksharing entry point — recursive binary range
+// splitting down to a grain, the same divide-and-conquer shape the
+// work/span lectures analyze (span O(log(n/grain) + grain)).
+package sched
+
+// DefaultGrain picks the grain ParallelFor uses when given grain <= 0:
+// enough splits to give each worker ~8 tasks for stealing headroom,
+// floored at 1.
+func (p *Pool) DefaultGrain(n int) int {
+	g := n / (8 * len(p.workers))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// ParallelFor runs body over [0, n) in chunks of at least grain
+// elements, submitted from outside the pool. body must be safe to call
+// concurrently on disjoint ranges.
+func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if grain <= 0 {
+		grain = p.DefaultGrain(n)
+	}
+	return p.Do(func(c *Task) {
+		For(c, 0, n, grain, body)
+	})
+}
+
+// For is ParallelFor from inside a task body: it splits [lo, hi) on the
+// current worker so nested parallel loops compose without extra pool
+// round-trips.
+func For(c *Task, lo, hi, grain int, body func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi-lo <= grain {
+		if hi > lo {
+			body(lo, hi)
+		}
+		return
+	}
+	mid := lo + (hi-lo)/2
+	right := c.Fork(func(c2 *Task) { For(c2, mid, hi, grain, body) })
+	For(c, lo, mid, grain, body)
+	c.Join(right)
+}

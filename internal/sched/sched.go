@@ -1,0 +1,474 @@
+// Package sched is the shared fork-join runtime under every parallel
+// lab: a work-stealing scheduler with a fixed worker pool, per-worker
+// LIFO deques with random-victim FIFO stealing, a Fork/Join task API,
+// ParallelFor with grain-size control, and Group for irregular task
+// graphs. It exists so the CS41 work/span analyses are measured against
+// a bounded runtime instead of one goroutine per fork — speedups then
+// reflect the algorithm's DAG, not goroutine-scheduler churn.
+//
+// Counters (tasks executed, steals, steal failures, per-worker
+// busy/idle time) are exported through Stats and metrics.CounterSet so
+// benchmarks can report steal rates alongside speedups.
+package sched
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// task is one unit of fork-join work. done flips exactly once, after fn
+// (and any panic capture) has finished.
+type task struct {
+	fn       func(*Task)
+	done     atomic.Bool
+	panicVal any
+}
+
+// Handle names a forked task so it can be joined.
+type Handle struct{ t *task }
+
+// Task is the execution context passed to every task body. Fork pushes
+// onto the current worker's deque; Join helps (runs other tasks)
+// instead of blocking, so the pool never needs more goroutines than
+// workers.
+type Task struct {
+	w *worker
+}
+
+// Pool is a fixed set of worker goroutines sharing work by stealing.
+type Pool struct {
+	workers []*worker
+
+	// inject is the external-submission queue (Do from non-worker
+	// goroutines); workers drain it when their deque and steals come up
+	// empty.
+	injectMu sync.Mutex
+	inject   []*task
+
+	// pending counts queued-but-unstarted tasks; it gates parking so a
+	// push can never be missed by a worker about to sleep.
+	pending atomic.Int64
+
+	// idleMu guards the stack of parked workers.
+	idleMu sync.Mutex
+	idle   []*worker
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+type worker struct {
+	pool *Pool
+	id   int
+
+	mu    sync.Mutex
+	deque []*task // push/pop at tail (LIFO owner end); steal at head (FIFO)
+
+	park chan struct{}
+	rng  uint64
+
+	// counters (atomic: read concurrently by Stats)
+	tasks      atomic.Int64
+	steals     atomic.Int64
+	stealFails atomic.Int64
+	busyNanos  atomic.Int64
+	idleNanos  atomic.Int64
+}
+
+// New creates a pool of n workers; n <= 0 picks runtime.NumCPU().
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		w := &worker{
+			pool: p,
+			id:   i,
+			park: make(chan struct{}, 1),
+			rng:  uint64(i)*0x9e3779b97f4a7c15 + 1,
+		}
+		p.workers = append(p.workers, w)
+	}
+	p.wg.Add(n)
+	for _, w := range p.workers {
+		go w.loop()
+	}
+	return p
+}
+
+var defaultPool struct {
+	once sync.Once
+	p    *Pool
+}
+
+// Default returns the process-wide pool (runtime.NumCPU() workers),
+// created on first use and never closed — the runtime the exported
+// psort/mapreduce entry points run on.
+func Default() *Pool {
+	defaultPool.once.Do(func() { defaultPool.p = New(0) })
+	return defaultPool.p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// ErrClosed is returned by Do on a closed pool.
+var ErrClosed = errors.New("sched: pool is closed")
+
+// Close stops the workers and waits for them to exit. Tasks already
+// queued are drained first; Do after Close returns ErrClosed.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.wakeAll()
+	p.wg.Wait()
+}
+
+// Do submits a root task from outside the pool and blocks until it (and
+// everything it joined) completes. If the task body panics, Do
+// re-panics in the caller.
+func (p *Pool) Do(fn func(*Task)) error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	done := make(chan struct{})
+	var pv any
+	t := &task{fn: func(c *Task) {
+		// Recover here (not in the worker) so pv is written before done
+		// is closed — the channel gives the caller the happens-before.
+		defer func() {
+			pv = recover()
+			close(done)
+		}()
+		fn(c)
+	}}
+	p.injectMu.Lock()
+	p.inject = append(p.inject, t)
+	p.injectMu.Unlock()
+	p.pending.Add(1)
+	p.wakeOne()
+	<-done
+	if pv != nil {
+		panic(pv)
+	}
+	return nil
+}
+
+// Fork queues fn onto the current worker's deque (LIFO end) and returns
+// a Handle to join. The depth-first order this produces is the standard
+// work-first fork-join discipline: own work runs newest-first, thieves
+// take the oldest (largest) subproblems.
+func (c *Task) Fork(fn func(*Task)) Handle {
+	t := &task{fn: fn}
+	w := c.w
+	w.mu.Lock()
+	w.deque = append(w.deque, t)
+	w.mu.Unlock()
+	w.pool.pending.Add(1)
+	w.pool.wakeOne()
+	return Handle{t: t}
+}
+
+// Join waits for h, helping: while h is unfinished the worker pops its
+// own deque, then steals, then yields — it never blocks, so live
+// goroutines stay at the pool size. Panics from the joined task
+// propagate to the joiner.
+func (c *Task) Join(h Handle) {
+	w := c.w
+	for !h.t.done.Load() {
+		if t := w.pop(); t != nil {
+			w.run(t)
+			continue
+		}
+		if t := w.stealOnce(); t != nil {
+			w.run(t)
+			continue
+		}
+		runtime.Gosched()
+	}
+	if h.t.panicVal != nil {
+		panic(h.t.panicVal)
+	}
+}
+
+// Group tracks a dynamic set of forked tasks — fork-join for irregular
+// graphs (DAG execution) where a single Handle per child is awkward.
+type Group struct {
+	pending atomic.Int64
+	mu      sync.Mutex
+	pv      any
+}
+
+// Fork adds fn to the group and queues it on the current worker.
+func (g *Group) Fork(c *Task, fn func(*Task)) {
+	g.pending.Add(1)
+	c.Fork(func(c2 *Task) {
+		defer func() {
+			if r := recover(); r != nil {
+				g.mu.Lock()
+				if g.pv == nil {
+					g.pv = r
+				}
+				g.mu.Unlock()
+			}
+			g.pending.Add(-1)
+		}()
+		fn(c2)
+	})
+}
+
+// Wait helps until every task forked into the group (including tasks
+// other group members forked after Wait began) has finished. The first
+// panic raised by a group task re-panics here.
+func (g *Group) Wait(c *Task) {
+	w := c.w
+	for g.pending.Load() > 0 {
+		if t := w.pop(); t != nil {
+			w.run(t)
+			continue
+		}
+		if t := w.stealOnce(); t != nil {
+			w.run(t)
+			continue
+		}
+		runtime.Gosched()
+	}
+	g.mu.Lock()
+	pv := g.pv
+	g.mu.Unlock()
+	if pv != nil {
+		panic(pv)
+	}
+}
+
+// --- worker internals ---
+
+func (w *worker) loop() {
+	defer w.pool.wg.Done()
+	for {
+		t := w.pop()
+		if t == nil {
+			t = w.stealOnce()
+		}
+		if t == nil {
+			t = w.pool.popInject()
+		}
+		if t != nil {
+			w.run(t)
+			continue
+		}
+		if w.pool.closed.Load() && w.pool.pending.Load() == 0 {
+			return
+		}
+		w.parkSelf()
+	}
+}
+
+// run executes t on this worker, charging busy time and capturing
+// panics so a failing task body can't kill the pool.
+func (w *worker) run(t *task) {
+	start := time.Now()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.panicVal = r
+			}
+		}()
+		t.fn(&Task{w: w})
+	}()
+	t.done.Store(true)
+	w.busyNanos.Add(time.Since(start).Nanoseconds())
+	w.tasks.Add(1)
+}
+
+// pop takes from the LIFO (tail) end of the worker's own deque.
+func (w *worker) pop() *task {
+	w.mu.Lock()
+	n := len(w.deque)
+	if n == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	t := w.deque[n-1]
+	w.deque[n-1] = nil
+	w.deque = w.deque[:n-1]
+	w.mu.Unlock()
+	w.pool.pending.Add(-1)
+	return t
+}
+
+// stealFrom takes from the FIFO (head) end of a victim's deque.
+func (w *worker) stealFrom(v *worker) *task {
+	v.mu.Lock()
+	if len(v.deque) == 0 {
+		v.mu.Unlock()
+		return nil
+	}
+	t := v.deque[0]
+	copy(v.deque, v.deque[1:])
+	v.deque[len(v.deque)-1] = nil
+	v.deque = v.deque[:len(v.deque)-1]
+	v.mu.Unlock()
+	w.pool.pending.Add(-1)
+	return t
+}
+
+// stealOnce sweeps the other workers once in random-victim order,
+// falling back to the inject queue; one full empty sweep counts as a
+// steal failure.
+func (w *worker) stealOnce() *task {
+	ws := w.pool.workers
+	n := len(ws)
+	if n > 1 {
+		// xorshift64 victim order
+		w.rng ^= w.rng << 13
+		w.rng ^= w.rng >> 7
+		w.rng ^= w.rng << 17
+		off := int(w.rng % uint64(n))
+		for i := 0; i < n; i++ {
+			v := ws[(off+i)%n]
+			if v == w {
+				continue
+			}
+			if t := w.stealFrom(v); t != nil {
+				w.steals.Add(1)
+				return t
+			}
+		}
+	}
+	if t := w.pool.popInject(); t != nil {
+		return t
+	}
+	w.stealFails.Add(1)
+	return nil
+}
+
+func (p *Pool) popInject() *task {
+	p.injectMu.Lock()
+	if len(p.inject) == 0 {
+		p.injectMu.Unlock()
+		return nil
+	}
+	t := p.inject[0]
+	copy(p.inject, p.inject[1:])
+	p.inject[len(p.inject)-1] = nil
+	p.inject = p.inject[:len(p.inject)-1]
+	p.injectMu.Unlock()
+	p.pending.Add(-1)
+	return t
+}
+
+// parkSelf registers on the idle stack and sleeps until woken. The
+// pending re-check after registration closes the lost-wakeup race:
+// pushers increment pending before scanning the idle stack, so either
+// the pusher sees us parked, or we see its task.
+func (w *worker) parkSelf() {
+	p := w.pool
+	p.idleMu.Lock()
+	if p.pending.Load() > 0 || p.closed.Load() {
+		p.idleMu.Unlock()
+		return
+	}
+	p.idle = append(p.idle, w)
+	p.idleMu.Unlock()
+	start := time.Now()
+	<-w.park
+	w.idleNanos.Add(time.Since(start).Nanoseconds())
+}
+
+func (p *Pool) wakeOne() {
+	p.idleMu.Lock()
+	var w *worker
+	if n := len(p.idle); n > 0 {
+		w = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+	}
+	p.idleMu.Unlock()
+	if w != nil {
+		select {
+		case w.park <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (p *Pool) wakeAll() {
+	p.idleMu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.idleMu.Unlock()
+	for _, w := range idle {
+		select {
+		case w.park <- struct{}{}:
+		default:
+		}
+	}
+	// Workers that were mid-scan (not yet parked) re-check closed on
+	// their next loop; waking parked ones is enough for shutdown.
+}
+
+// --- counters ---
+
+// Stats is a snapshot of the pool's counters, summed across workers.
+type Stats struct {
+	Workers    int
+	Tasks      int64 // task bodies executed
+	Steals     int64 // successful steals
+	StealFails int64 // full empty sweeps
+	Busy       time.Duration
+	Idle       time.Duration
+}
+
+// Stats sums the per-worker counters.
+func (p *Pool) Stats() Stats {
+	s := Stats{Workers: len(p.workers)}
+	for _, w := range p.workers {
+		s.Tasks += w.tasks.Load()
+		s.Steals += w.steals.Load()
+		s.StealFails += w.stealFails.Load()
+		s.Busy += time.Duration(w.busyNanos.Load())
+		s.Idle += time.Duration(w.idleNanos.Load())
+	}
+	return s
+}
+
+// Sub returns s - prev, for per-run deltas against a cumulative pool.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Workers:    s.Workers,
+		Tasks:      s.Tasks - prev.Tasks,
+		Steals:     s.Steals - prev.Steals,
+		StealFails: s.StealFails - prev.StealFails,
+		Busy:       s.Busy - prev.Busy,
+		Idle:       s.Idle - prev.Idle,
+	}
+}
+
+// StealRate is steals per executed task — the load-imbalance signal the
+// lecture reads off the runtime.
+func (s Stats) StealRate() float64 {
+	if s.Tasks == 0 {
+		return 0
+	}
+	return float64(s.Steals) / float64(s.Tasks)
+}
+
+// Counters exports the snapshot as a metrics counter table.
+func (s Stats) Counters() *metrics.CounterSet {
+	cs := &metrics.CounterSet{}
+	cs.Add("workers", float64(s.Workers))
+	cs.Add("tasks", float64(s.Tasks))
+	cs.Add("steals", float64(s.Steals))
+	cs.Add("steal-fails", float64(s.StealFails))
+	cs.Add("steal-rate", s.StealRate())
+	cs.Add("busy-ms", float64(s.Busy)/float64(time.Millisecond))
+	cs.Add("idle-ms", float64(s.Idle)/float64(time.Millisecond))
+	return cs
+}

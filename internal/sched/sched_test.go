@@ -1,0 +1,302 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fib computes Fibonacci with genuine fork-join recursion — the
+// canonical work-stealing smoke test.
+func fib(c *Task, n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	if n < 10 {
+		// serial cutoff
+		a, b := int64(0), int64(1)
+		for i := 2; i <= n; i++ {
+			a, b = b, a+b
+		}
+		return b
+	}
+	var left int64
+	h := c.Fork(func(c2 *Task) { left = fib(c2, n-1) })
+	right := fib(c, n-2)
+	c.Join(h)
+	return left + right
+}
+
+func TestForkJoinFib(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var got int64
+	if err := p.Do(func(c *Task) { got = fib(c, 25) }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 75025 {
+		t.Fatalf("fib(25) = %d, want 75025", got)
+	}
+	st := p.Stats()
+	if st.Tasks == 0 {
+		t.Error("no tasks counted")
+	}
+	if st.Workers != 4 {
+		t.Errorf("workers = %d", st.Workers)
+	}
+}
+
+func TestParallelForSum(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 100000
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	for _, grain := range []int{0, 1, 7, 1024, n, 10 * n} {
+		var sum atomic.Int64
+		if err := p.ParallelFor(n, grain, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += xs[i]
+			}
+			sum.Add(local)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(n) * (n - 1) / 2; sum.Load() != want {
+			t.Errorf("grain %d: sum = %d, want %d", grain, sum.Load(), want)
+		}
+	}
+	if err := p.ParallelFor(0, 1, func(lo, hi int) { t.Error("body called for n=0") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelForCoverage asserts every index is visited exactly once.
+func TestParallelForCoverage(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	const n = 4097
+	visits := make([]atomic.Int32, n)
+	if err := p.ParallelFor(n, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			visits[i].Add(1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range visits {
+		if v := visits[i].Load(); v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestGroupIrregularGraph(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	// A diamond of forks where children fork grandchildren after Wait
+	// has started — Group must account for late arrivals.
+	var total atomic.Int64
+	if err := p.Do(func(c *Task) {
+		var g Group
+		for i := 0; i < 8; i++ {
+			g.Fork(c, func(c2 *Task) {
+				total.Add(1)
+				for j := 0; j < 4; j++ {
+					g.Fork(c2, func(*Task) { total.Add(1) })
+				}
+			})
+		}
+		g.Wait(c)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 8+8*4 {
+		t.Fatalf("ran %d tasks, want %d", total.Load(), 8+8*4)
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	check := func(name string, f func()) {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Errorf("%s: recovered %v, want boom", name, r)
+			}
+		}()
+		f()
+	}
+	check("do", func() {
+		p.Do(func(c *Task) { panic("boom") }) //nolint:errcheck
+	})
+	check("join", func() {
+		p.Do(func(c *Task) { //nolint:errcheck
+			h := c.Fork(func(*Task) { panic("boom") })
+			c.Join(h)
+		})
+	})
+	check("group", func() {
+		p.Do(func(c *Task) { //nolint:errcheck
+			var g Group
+			g.Fork(c, func(*Task) { panic("boom") })
+			g.Wait(c)
+		})
+	})
+	// The pool must still work after all that.
+	var ok atomic.Bool
+	if err := p.Do(func(*Task) { ok.Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+	if !ok.Load() {
+		t.Error("pool dead after panics")
+	}
+}
+
+// TestCloseNoGoroutineLeak is the satellite leak check: after Close,
+// the goroutine count returns to its pre-New baseline.
+func TestCloseNoGoroutineLeak(t *testing.T) {
+	settle := func() int {
+		n := runtime.NumGoroutine()
+		for i := 0; i < 100; i++ {
+			time.Sleep(time.Millisecond)
+			m := runtime.NumGoroutine()
+			if m == n {
+				return n
+			}
+			n = m
+		}
+		return n
+	}
+	base := settle()
+	for round := 0; round < 3; round++ {
+		p := New(8)
+		var sum atomic.Int64
+		if err := p.ParallelFor(10000, 16, func(lo, hi int) {
+			sum.Add(int64(hi - lo))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		p.Close()
+	}
+	after := settle()
+	if after > base+1 {
+		t.Fatalf("goroutines grew from %d to %d after Close", base, after)
+	}
+}
+
+func TestBoundedWorkersDuringRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := New(4)
+	defer p.Close()
+	stop := make(chan struct{})
+	peak := make(chan int, 1)
+	go func() {
+		max := 0
+		for {
+			select {
+			case <-stop:
+				peak <- max
+				return
+			default:
+			}
+			if n := runtime.NumGoroutine(); n > max {
+				max = n
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if err := p.Do(func(c *Task) { fib(c, 24) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	// base + 4 workers + sampler + slack for runtime helpers.
+	if max := <-peak; max > base+4+3 {
+		t.Errorf("goroutines peaked at %d (baseline %d, 4 workers)", max, base)
+	}
+}
+
+func TestDoAfterClose(t *testing.T) {
+	p := New(1)
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Do(func(*Task) {}); err != ErrClosed {
+		t.Fatalf("Do after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestStealsHappen(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	// Plenty of grain-1 tasks from one root: with 4 workers, the other
+	// three can only get work by stealing (or draining inject).
+	var n atomic.Int64
+	for round := 0; round < 4; round++ {
+		if err := p.ParallelFor(2048, 1, func(lo, hi int) {
+			// Make tasks slow enough that thieves wake before the owner
+			// finishes everything itself.
+			for i := lo; i < hi; i++ {
+				n.Add(1)
+			}
+			time.Sleep(10 * time.Microsecond)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Tasks == 0 {
+		t.Fatal("no tasks recorded")
+	}
+	if st.Steals == 0 {
+		t.Error("no steals recorded under a steal-heavy workload")
+	}
+	if st.Busy <= 0 {
+		t.Error("busy time not recorded")
+	}
+}
+
+func TestDefaultPool(t *testing.T) {
+	p := Default()
+	if p != Default() {
+		t.Fatal("Default not a singleton")
+	}
+	if p.Workers() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+	var x atomic.Int64
+	if err := p.Do(func(c *Task) { x.Store(7) }); err != nil {
+		t.Fatal(err)
+	}
+	if x.Load() != 7 {
+		t.Fatal("default pool did not run the task")
+	}
+}
+
+func TestStatsSubAndCounters(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	before := p.Stats()
+	if err := p.ParallelFor(1000, 10, func(lo, hi int) {}); err != nil {
+		t.Fatal(err)
+	}
+	delta := p.Stats().Sub(before)
+	if delta.Tasks <= 0 {
+		t.Fatalf("delta tasks = %d", delta.Tasks)
+	}
+	cs := delta.Counters()
+	if v, ok := cs.Get("tasks"); !ok || v != float64(delta.Tasks) {
+		t.Errorf("counter tasks = %v (%v)", v, ok)
+	}
+	if _, ok := cs.Get("steal-rate"); !ok {
+		t.Error("steal-rate missing")
+	}
+	if delta.StealRate() < 0 {
+		t.Error("negative steal rate")
+	}
+}
