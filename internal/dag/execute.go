@@ -68,13 +68,11 @@ func Execute(g *Graph, workers int, unit time.Duration) (ExecReport, error) {
 	for t := 0; t < n; t++ {
 		remaining[t].Store(int32(len(g.pred[t])))
 	}
-	finished := make([]atomic.Bool, n)
 	var tasksRun atomic.Int64
 
 	var runTask func(c *sched.Task, grp *sched.Group, t Task)
 	runTask = func(c *sched.Task, grp *sched.Group, t Task) {
 		spin(time.Duration(g.cost[t]) * unit)
-		finished[t].Store(true)
 		tasksRun.Add(1)
 		for _, s := range g.succ[t] {
 			if remaining[s].Add(-1) == 0 {
@@ -85,16 +83,24 @@ func Execute(g *Graph, workers int, unit time.Duration) (ExecReport, error) {
 	}
 
 	start := time.Now()
-	pool.Do(func(c *sched.Task) { //nolint:errcheck
+	err = pool.Do(func(c *sched.Task) {
 		var grp sched.Group
+		// Seed only the true roots (initial indegree zero). Checking
+		// remaining==0 here instead would race with running tasks: a
+		// task whose predecessors finish mid-loop reaches zero and gets
+		// forked both here and by runTask's Add(-1)==0 path, running
+		// twice and releasing its successors early.
 		for t := 0; t < n; t++ {
-			if remaining[t].Load() == 0 {
+			if len(g.pred[t]) == 0 {
 				t := Task(t)
 				grp.Fork(c, func(c2 *sched.Task) { runTask(c2, &grp, t) })
 			}
 		}
 		grp.Wait(c)
 	})
+	if err != nil {
+		return rep, err
+	}
 	rep.Elapsed = time.Since(start)
 	rep.Tasks = tasksRun.Load()
 	rep.Sched = pool.Stats()

@@ -71,6 +71,35 @@ func TestExecuteRespectsDependencies(t *testing.T) {
 	}
 }
 
+// TestExecuteWideLayersExactlyOnce is the double-fork regression: with
+// zero-cost tasks, layer-1 tasks finish while the seed loop is still
+// scanning, so a seed condition of remaining==0 (instead of initial
+// indegree zero) forked layer-2 tasks twice — a 60k-node graph executed
+// ~80k task bodies and released successors before all predecessors ran.
+func TestExecuteWideLayersExactlyOnce(t *testing.T) {
+	g := New()
+	const width = 20000
+	top := make([]Task, width)
+	for i := range top {
+		top[i] = g.AddTask(1, "top")
+	}
+	for i := 0; i < width; i++ {
+		b := g.AddTask(1, "bot")
+		g.AddEdge(top[i], b) //nolint:errcheck
+	}
+	// The double-fork is a race; several rounds make a regression
+	// reliably visible (the racy seed lost >1 in 5 runs of a round).
+	for round := 0; round < 6; round++ {
+		rep, err := Execute(g, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Tasks != int64(g.Size()) {
+			t.Fatalf("round %d: ran %d tasks for graph of %d", round, rep.Tasks, g.Size())
+		}
+	}
+}
+
 func TestExecuteSpeedupReport(t *testing.T) {
 	g := forkJoinGraph(5)
 	rep, err := Execute(g, 4, 50*time.Microsecond)

@@ -110,7 +110,7 @@ func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[str
 	defer pool.Close()
 
 	mapErrs := make([]error, len(inputs))
-	pool.ParallelFor(len(inputs), 1, func(lo, hi int) { //nolint:errcheck
+	if err := pool.ParallelFor(len(inputs), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			split := inputs[i]
 			out, err := runTask("map", i, func() ([]KV, error) {
@@ -132,7 +132,9 @@ func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[str
 			}
 			bucketMu.Unlock()
 		}
-	})
+	}); err != nil {
+		return nil, st, err
+	}
 	for _, err := range mapErrs {
 		if err != nil {
 			return nil, st, err
@@ -146,7 +148,7 @@ func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[str
 	results := make(map[string]string)
 	var resMu sync.Mutex
 	redErrs := make([]error, cfg.Reducers)
-	pool.ParallelFor(cfg.Reducers, 1, func(lo, hi int) { //nolint:errcheck
+	if err := pool.ParallelFor(cfg.Reducers, 1, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			out, err := runTask("reduce", r, func() ([]KV, error) {
 				grouped := groupByKey(buckets[r])
@@ -166,7 +168,9 @@ func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[str
 			}
 			resMu.Unlock()
 		}
-	})
+	}); err != nil {
+		return nil, st, err
+	}
 	for _, err := range redErrs {
 		if err != nil {
 			return nil, st, err

@@ -43,6 +43,32 @@ func TestMigratedSortsDeterministic(t *testing.T) {
 	}
 }
 
+// TestClosedPoolSurfacesError: a closed pool must never silently yield
+// unsorted output — error-returning sorts surface ErrClosed, and the
+// []int64-returning merge sorts panic.
+func TestClosedPoolSurfacesError(t *testing.T) {
+	p := sched.New(2)
+	p.Close()
+	xs := randomInts(1<<12, 13)
+	if _, err := SampleSortOn(p, xs, 8); err == nil {
+		t.Error("SampleSortOn on closed pool: want error, got nil")
+	}
+	if _, err := BitonicSortOn(p, xs); err == nil {
+		t.Error("BitonicSortOn on closed pool: want error, got nil")
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on closed pool: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ParallelMergeSortOn", func() { ParallelMergeSortOn(p, xs, 0) })
+	mustPanic("ParallelMergeSortPMOn", func() { ParallelMergeSortPMOn(p, xs, 0) })
+}
+
 // TestSampleSortDuplicateSkew is the splitter-skew regression: with 90%
 // of the input equal to one value, the heavy value must land in an
 // equal bucket (already sorted), so no range bucket degenerates into a

@@ -91,15 +91,18 @@ func ParallelMergeSort(xs []int64, maxDepth int) []int64 {
 
 // ParallelMergeSortOn is ParallelMergeSort on an explicit pool — the
 // worker count is the pool's, so scalability studies sweep it directly.
+// Panics on a closed pool rather than silently returning unsorted data.
 func ParallelMergeSortOn(pool *sched.Pool, xs []int64, maxDepth int) []int64 {
 	if maxDepth <= 0 {
 		maxDepth = defaultForkDepth(pool)
 	}
 	out := append([]int64(nil), xs...)
 	buf := make([]int64, len(xs))
-	pool.Do(func(c *sched.Task) { //nolint:errcheck
+	if err := pool.Do(func(c *sched.Task) {
 		pmsort(c, out, buf, maxDepth)
-	})
+	}); err != nil {
+		panic(err)
+	}
 	return out
 }
 
@@ -158,15 +161,18 @@ func ParallelMergeSortPM(xs []int64, maxDepth int) []int64 {
 }
 
 // ParallelMergeSortPMOn is ParallelMergeSortPM on an explicit pool.
+// Panics on a closed pool rather than silently returning unsorted data.
 func ParallelMergeSortPMOn(pool *sched.Pool, xs []int64, maxDepth int) []int64 {
 	if maxDepth <= 0 {
 		maxDepth = defaultForkDepth(pool)
 	}
 	out := append([]int64(nil), xs...)
 	buf := make([]int64, len(xs))
-	pool.Do(func(c *sched.Task) { //nolint:errcheck
+	if err := pool.Do(func(c *sched.Task) {
 		pmsortPM(c, out, buf, maxDepth)
-	})
+	}); err != nil {
+		panic(err)
+	}
 	return out
 }
 
@@ -314,12 +320,14 @@ func SampleSortOn(pool *sched.Pool, xs []int64, p int) ([]int64, error) {
 			work = append(work, i)
 		}
 	}
-	pool.ParallelFor(len(work), 1, func(lo, hi int) { //nolint:errcheck
+	if err := pool.ParallelFor(len(work), 1, func(lo, hi int) {
 		for w := lo; w < hi; w++ {
 			b := buckets[work[w]]
 			sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	out := make([]int64, 0, n)
 	for _, b := range buckets {
 		out = append(out, b...)
@@ -398,7 +406,9 @@ func bitonicSort(xs []int64, pool *sched.Pool) ([]int64, error) {
 	a := append([]int64(nil), xs...)
 	for k := 2; k <= n; k *= 2 {
 		for j := k / 2; j > 0; j /= 2 {
-			compareStage(a, j, k, pool)
+			if err := compareStage(a, j, k, pool); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return a, nil
@@ -409,7 +419,7 @@ func bitonicSort(xs []int64, pool *sched.Pool) ([]int64, error) {
 // worksharing loop, not n/2 goroutines. Any chunk boundary is
 // race-free: i <-> i^j is a disjoint perfect matching and each pair is
 // swapped only from its lower index, so no element is touched twice.
-func compareStage(a []int64, j, k int, pool *sched.Pool) {
+func compareStage(a []int64, j, k int, pool *sched.Pool) error {
 	n := len(a)
 	body := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -424,13 +434,13 @@ func compareStage(a []int64, j, k int, pool *sched.Pool) {
 	}
 	if pool == nil || n < serialCutoff {
 		body(0, n)
-		return
+		return nil
 	}
 	grain := serialCutoff
 	for grain*8*pool.Workers() < n {
 		grain *= 2
 	}
-	pool.ParallelFor(n, grain, body) //nolint:errcheck
+	return pool.ParallelFor(n, grain, body)
 }
 
 // BitonicStats returns the comparator count and depth of the n-input

@@ -27,6 +27,30 @@ type task struct {
 	fn       func(*Task)
 	done     atomic.Bool
 	panicVal any
+
+	// waitMu guards waitCh, installed lazily by a parked joiner and
+	// closed by run once done has flipped.
+	waitMu sync.Mutex
+	waitCh chan struct{}
+}
+
+// await blocks until t completes, charging the wait to w's idle time.
+// The done re-check after installing the channel pairs with run's
+// read-after-store: either run sees our channel and closes it, or we
+// see done already set and return without blocking.
+func (t *task) await(w *worker) {
+	t.waitMu.Lock()
+	if t.waitCh == nil {
+		t.waitCh = make(chan struct{})
+	}
+	ch := t.waitCh
+	t.waitMu.Unlock()
+	if t.done.Load() {
+		return
+	}
+	start := time.Now()
+	<-ch
+	w.idleNanos.Add(time.Since(start).Nanoseconds())
 }
 
 // Handle names a forked task so it can be joined.
@@ -150,15 +174,42 @@ func (p *Pool) Do(fn func(*Task)) error {
 		fn(c)
 	}}
 	p.injectMu.Lock()
+	if p.closed.Load() {
+		p.injectMu.Unlock()
+		return ErrClosed
+	}
+	p.pending.Add(1)
 	p.inject = append(p.inject, t)
 	p.injectMu.Unlock()
-	p.pending.Add(1)
 	p.wakeOne()
+	// Close may have flipped closed between the check above and our
+	// append becoming visible, in which case the workers could all have
+	// observed pending==0 and exited without ever seeing the task. Pull
+	// it back out; if it is gone, a worker got there first and will run
+	// it to completion (workers cannot exit while pending > 0).
+	if p.closed.Load() && p.removeInjected(t) {
+		return ErrClosed
+	}
 	<-done
 	if pv != nil {
 		panic(pv)
 	}
 	return nil
+}
+
+// removeInjected pulls t out of the inject queue if still present,
+// reporting whether it was removed.
+func (p *Pool) removeInjected(t *task) bool {
+	p.injectMu.Lock()
+	defer p.injectMu.Unlock()
+	for i, q := range p.inject {
+		if q == t {
+			p.inject = append(p.inject[:i], p.inject[i+1:]...)
+			p.pending.Add(-1)
+			return true
+		}
+	}
+	return false
 }
 
 // Fork queues fn onto the current worker's deque (LIFO end) and returns
@@ -176,22 +227,43 @@ func (c *Task) Fork(fn func(*Task)) Handle {
 	return Handle{t: t}
 }
 
+// joinSpinSweeps is how many consecutive empty pop/steal sweeps a
+// joiner tolerates before parking on the awaited completion instead of
+// burning a core on runtime.Gosched.
+const joinSpinSweeps = 4
+
 // Join waits for h, helping: while h is unfinished the worker pops its
-// own deque, then steals, then yields — it never blocks, so live
-// goroutines stay at the pool size. Panics from the joined task
+// own deque, then steals; when no work exists anywhere it parks on the
+// task's completion notification rather than spinning — live goroutines
+// stay at the pool size either way. Panics from the joined task
 // propagate to the joiner.
+//
+// Parking cannot strand the joined task: by the time a joiner parks its
+// own deque is empty, and a task in any other worker's deque belongs to
+// a worker that is live (workers drain their deque before parking or
+// blocking in a Join of their own), so every queued task is eventually
+// run and every running task closes its channel when done.
 func (c *Task) Join(h Handle) {
 	w := c.w
+	sweeps := 0
 	for !h.t.done.Load() {
 		if t := w.pop(); t != nil {
 			w.run(t)
+			sweeps = 0
 			continue
 		}
 		if t := w.stealOnce(); t != nil {
 			w.run(t)
+			sweeps = 0
 			continue
 		}
-		runtime.Gosched()
+		sweeps++
+		if sweeps < joinSpinSweeps {
+			runtime.Gosched()
+			continue
+		}
+		h.t.await(w)
+		sweeps = 0
 	}
 	if h.t.panicVal != nil {
 		panic(h.t.panicVal)
@@ -204,6 +276,9 @@ type Group struct {
 	pending atomic.Int64
 	mu      sync.Mutex
 	pv      any
+	// waitCh is installed lazily by a parked Wait and closed by the
+	// decrement that takes pending to zero.
+	waitCh chan struct{}
 }
 
 // Fork adds fn to the group and queues it on the current worker.
@@ -218,27 +293,46 @@ func (g *Group) Fork(c *Task, fn func(*Task)) {
 				}
 				g.mu.Unlock()
 			}
-			g.pending.Add(-1)
+			if g.pending.Add(-1) == 0 {
+				g.mu.Lock()
+				ch := g.waitCh
+				g.waitCh = nil
+				g.mu.Unlock()
+				if ch != nil {
+					close(ch)
+				}
+			}
 		}()
 		fn(c2)
 	})
 }
 
 // Wait helps until every task forked into the group (including tasks
-// other group members forked after Wait began) has finished. The first
+// other group members forked after Wait began) has finished, parking on
+// a completion notification once no work is available anywhere (see
+// Join for why parking cannot strand queued group tasks). The first
 // panic raised by a group task re-panics here.
 func (g *Group) Wait(c *Task) {
 	w := c.w
+	sweeps := 0
 	for g.pending.Load() > 0 {
 		if t := w.pop(); t != nil {
 			w.run(t)
+			sweeps = 0
 			continue
 		}
 		if t := w.stealOnce(); t != nil {
 			w.run(t)
+			sweeps = 0
 			continue
 		}
-		runtime.Gosched()
+		sweeps++
+		if sweeps < joinSpinSweeps {
+			runtime.Gosched()
+			continue
+		}
+		g.await(w)
+		sweeps = 0
 	}
 	g.mu.Lock()
 	pv := g.pv
@@ -246,6 +340,26 @@ func (g *Group) Wait(c *Task) {
 	if pv != nil {
 		panic(pv)
 	}
+}
+
+// await parks until the group's pending count reaches zero; the
+// pending re-check after installing the channel mirrors task.await. A
+// transient zero (seeding forks racing early completions) at worst
+// closes an uninstalled channel slot early — Wait's loop condition
+// re-checks pending after every wake.
+func (g *Group) await(w *worker) {
+	g.mu.Lock()
+	if g.waitCh == nil {
+		g.waitCh = make(chan struct{})
+	}
+	ch := g.waitCh
+	g.mu.Unlock()
+	if g.pending.Load() <= 0 {
+		return
+	}
+	start := time.Now()
+	<-ch
+	w.idleNanos.Add(time.Since(start).Nanoseconds())
 }
 
 // --- worker internals ---
@@ -284,6 +398,15 @@ func (w *worker) run(t *task) {
 		t.fn(&Task{w: w})
 	}()
 	t.done.Store(true)
+	// Wake a joiner parked in task.await. Reading waitCh after storing
+	// done means either we see the joiner's channel, or the joiner's
+	// done re-check (after installing it) sees true.
+	t.waitMu.Lock()
+	ch := t.waitCh
+	t.waitMu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
 	w.busyNanos.Add(time.Since(start).Nanoseconds())
 	w.tasks.Add(1)
 }

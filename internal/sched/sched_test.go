@@ -231,6 +231,60 @@ func TestDoAfterClose(t *testing.T) {
 	}
 }
 
+// TestDoRacingClose is the lost-task regression: a Do that passed the
+// closed check while Close was shutting down could enqueue a task no
+// worker would ever pop, blocking forever. It must now either run the
+// task (nil error) or return ErrClosed — never hang.
+func TestDoRacingClose(t *testing.T) {
+	for round := 0; round < 300; round++ {
+		p := New(2)
+		var ran atomic.Bool
+		errc := make(chan error, 1)
+		go func() {
+			errc <- p.Do(func(*Task) { ran.Store(true) })
+		}()
+		runtime.Gosched()
+		p.Close()
+		select {
+		case err := <-errc:
+			if err == nil && !ran.Load() {
+				t.Fatal("Do returned nil without running the task")
+			}
+			if err != nil && err != ErrClosed {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Do hung against Close")
+		}
+	}
+}
+
+// TestJoinParksOnStolenTask: a joiner with no other work must park on
+// the awaited task's completion (charged to idle time) instead of
+// busy-spinning for the whole wait.
+func TestJoinParksOnStolenTask(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	before := p.Stats()
+	if err := p.Do(func(c *Task) {
+		started := make(chan struct{})
+		h := c.Fork(func(*Task) {
+			close(started)
+			time.Sleep(50 * time.Millisecond)
+		})
+		// Wait until the other worker has stolen and started the child,
+		// so the join below cannot run it inline.
+		<-started
+		c.Join(h)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	delta := p.Stats().Sub(before)
+	if delta.Idle < 20*time.Millisecond {
+		t.Errorf("joiner idle = %v, want most of the 50ms wait parked", delta.Idle)
+	}
+}
+
 func TestStealsHappen(t *testing.T) {
 	p := New(4)
 	defer p.Close()
