@@ -1,0 +1,209 @@
+// Command clusterbench measures the replicated KV cluster three ways:
+//
+//  1. Throughput scaling: quorum SET/GET pairs through rising client
+//     counts, reduced to the speedup/efficiency/Karp-Flatt table every
+//     other bench in this repo prints.
+//  2. Availability: a node is killed mid-run; the bench reports the
+//     fraction of quorum reads and writes that still succeed, the
+//     hinted-handoff volume, and the hint replay on restart.
+//  3. Elasticity: a node joins a loaded cluster; the ring-metadata
+//     Moves() counter certifies that only ~K/n keys relocated.
+//
+// It ends with the cluster health report: per-node latency percentiles
+// plus the handoff/quorum counter set, and a sample of the per-node
+// pool's client-side counters.
+//
+// Usage:
+//
+//	clusterbench -nodes 4 -replicas 3 -clients 1,2,4,8 -ops 2000 -keys 400
+//	clusterbench -quick        # the CI smoke configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "initial node count")
+	replicas := flag.Int("replicas", 3, "replicas per key")
+	clientsFlag := flag.String("clients", "1,2,4,8", "comma-separated concurrent client counts (must include 1)")
+	ops := flag.Int("ops", 2000, "total SET/GET pairs per throughput run")
+	keys := flag.Int("keys", 400, "distinct keys loaded for the availability and join phases")
+	quick := flag.Bool("quick", false, "CI smoke: small ops/keys and clients 1,2")
+	flag.Parse()
+	if *quick {
+		*ops, *keys = 300, 120
+		*clientsFlag = "1,2"
+	}
+
+	clients, err := parseClients(*clientsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("cluster scalability study: %d nodes, %d replicas, quorum W=R=%d, %d SET/GET pairs per run\n\n",
+		*nodes, *replicas, *replicas/2+1, *ops)
+	var ms []metrics.Measurement
+	for _, nc := range clients {
+		elapsed, err := throughputRun(*nodes, *replicas, nc, *ops)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clusterbench:", err)
+			os.Exit(1)
+		}
+		ms = append(ms, metrics.Measurement{Workers: nc, Elapsed: elapsed})
+		fmt.Printf("%3d clients: %12v  %10.0f quorum ops/sec\n",
+			nc, elapsed.Round(time.Microsecond), float64(2*(*ops))/elapsed.Seconds())
+	}
+	tbl, err := metrics.BuildTable(ms)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(tbl)
+
+	fmt.Println()
+	if err := availabilityAndJoin(*nodes, *replicas, *keys); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseClients(s string) ([]int, error) {
+	var out []int
+	baseline := false
+	for _, part := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad client count %q", part)
+		}
+		if c == 1 {
+			baseline = true
+		}
+		out = append(out, c)
+	}
+	if !baseline {
+		return nil, fmt.Errorf("client counts must include 1 (the speedup baseline)")
+	}
+	return out, nil
+}
+
+func newCluster(nodes, replicas int) (*cluster.Cluster, error) {
+	return cluster.New(cluster.Config{
+		Nodes:             nodes,
+		Replicas:          replicas,
+		HeartbeatInterval: 25 * time.Millisecond,
+		HeartbeatTimeout:  150 * time.Millisecond,
+		PoolSize:          4,
+		PoolTimeout:       500 * time.Millisecond,
+	})
+}
+
+// throughputRun drives one measurement: nclients goroutines splitting
+// ops quorum SET/GET pairs against a fresh cluster.
+func throughputRun(nodes, replicas, nclients, ops int) (time.Duration, error) {
+	c, err := newCluster(nodes, replicas)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	per := ops / nclients
+	if per == 0 {
+		per = 1
+	}
+	errs := make(chan error, nclients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < nclients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("key-%d-%d", w, i%128)
+				if err := c.Put(key, "value"); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := c.Get(key); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// availabilityAndJoin runs the failure and elasticity phases on one
+// loaded cluster and prints the health report.
+func availabilityAndJoin(nodes, replicas, keys int) error {
+	c, err := newCluster(nodes, replicas)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for i := 0; i < keys; i++ {
+		if err := c.Put(fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)); err != nil {
+			return err
+		}
+	}
+
+	victim := c.Nodes()[1]
+	fmt.Printf("availability: killing %s with %d keys loaded (%d replicas, quorum reads need %d)\n",
+		victim, keys, replicas, replicas/2+1)
+	if err := c.Kill(victim); err != nil {
+		return err
+	}
+	c.Probe()
+	var readOK, writeOK atomic.Int64
+	for i := 0; i < keys; i++ {
+		if v, ok, err := c.Get(fmt.Sprintf("key-%d", i)); err == nil && ok && v == fmt.Sprintf("val-%d", i) {
+			readOK.Add(1)
+		}
+		if err := c.Put(fmt.Sprintf("key-%d", i), fmt.Sprintf("val2-%d", i)); err == nil {
+			writeOK.Add(1)
+		}
+	}
+	fmt.Printf("  quorum reads  with 1 of %d replicas down: %d/%d (%.1f%%)\n",
+		replicas, readOK.Load(), keys, 100*float64(readOK.Load())/float64(keys))
+	fmt.Printf("  quorum writes with 1 of %d replicas down: %d/%d (%.1f%%)\n",
+		replicas, writeOK.Load(), keys, 100*float64(writeOK.Load())/float64(keys))
+	hinted, _ := c.Counters().Get("cluster.hinted-writes")
+	fmt.Printf("  hinted handoffs parked for %s: %.0f\n", victim, hinted)
+	if err := c.Restart(victim); err != nil {
+		return err
+	}
+	replayed, _ := c.Counters().Get("cluster.hints-replayed")
+	fmt.Printf("  hints replayed on restart: %.0f\n\n", replayed)
+
+	before := c.Moves()
+	if err := c.Join("joiner"); err != nil {
+		return err
+	}
+	moved := c.Moves() - before
+	fmt.Printf("elasticity: joining a %dth node moved %d of %d keys (~K/n = %d expected)\n\n",
+		nodes+1, moved, keys, keys/(nodes+1))
+
+	fmt.Println("cluster health report:")
+	fmt.Print(c.Report())
+	fmt.Println("\nclient pool counters (summed across nodes):")
+	fmt.Print(c.PoolCounters())
+	return nil
+}

@@ -51,16 +51,18 @@ func main() {
 	fmt.Printf("KV server scalability study: %d shards, %d SET/GET pairs per run\n\n", *shards, *ops)
 	var ms []metrics.Measurement
 	var lastHist *metrics.Histogram
+	var lastPool *metrics.CounterSet
 	for _, nc := range clients {
-		elapsed, hist, retries, err := run(*shards, nc, *ops)
+		elapsed, hist, pool, err := run(*shards, nc, *ops)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kvbench:", err)
 			os.Exit(1)
 		}
 		ms = append(ms, metrics.Measurement{Workers: nc, Elapsed: elapsed})
-		lastHist = hist
+		lastHist, lastPool = hist, pool
+		retries, _ := pool.Get("pool.retries")
 		opsSec := float64(2*(*ops)) / elapsed.Seconds()
-		fmt.Printf("%3d clients: %12v  %10.0f ops/sec  (%d retries)\n",
+		fmt.Printf("%3d clients: %12v  %10.0f ops/sec  (%.0f retries)\n",
 			nc, elapsed.Round(time.Microsecond), opsSec, retries)
 	}
 	tbl, err := metrics.BuildTable(ms)
@@ -74,19 +76,21 @@ func main() {
 		tbl.FitF, metrics.AmdahlLimit(tbl.FitF))
 	fmt.Println("\nServer request latency, largest run:")
 	fmt.Print(lastHist)
+	fmt.Println("\nClient pool counters, largest run:")
+	fmt.Print(lastPool)
 }
 
 // run drives one measurement: nclients workers sharing a pool of the
 // same size, splitting ops SET/GET pairs against a fresh server.
-func run(shards, nclients, ops int) (time.Duration, *metrics.Histogram, int64, error) {
+func run(shards, nclients, ops int) (time.Duration, *metrics.Histogram, *metrics.CounterSet, error) {
 	s, err := sockets.NewServerConfig("127.0.0.1:0", sockets.ServerConfig{Shards: shards})
 	if err != nil {
-		return 0, nil, 0, err
+		return 0, nil, nil, err
 	}
 	defer s.Close()
 	p, err := sockets.NewPool(s.Addr(), sockets.PoolConfig{Size: nclients})
 	if err != nil {
-		return 0, nil, 0, err
+		return 0, nil, nil, err
 	}
 	defer p.Close()
 
@@ -118,7 +122,7 @@ func run(shards, nclients, ops int) (time.Duration, *metrics.Histogram, int64, e
 	elapsed := time.Since(start)
 	close(errs)
 	for err := range errs {
-		return 0, nil, 0, err
+		return 0, nil, nil, err
 	}
-	return elapsed, s.Latency(), p.Stats().Retries, nil
+	return elapsed, s.Latency(), p.Counters(), nil
 }

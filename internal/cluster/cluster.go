@@ -1,0 +1,525 @@
+// Package cluster is the distributed-storage capstone made real: a
+// replicated key-value cluster of N live sockets.Server nodes on real
+// TCP ports, routed by a smart client. It composes the layers the
+// courses build one by one — the consistent-hash ring with virtual
+// nodes (db.DHT.NodesFor) picks R replicas per key, writes and reads go
+// through per-node sockets.Pool clients under W/R quorums (W+R > N so
+// read and write sets intersect), heartbeat probes mark silent nodes
+// down and route around them, writes that miss a dead replica leave
+// hinted handoffs on the next live node and replay them on recovery,
+// and node join/leave migrates only the ~K/n keys whose arcs moved,
+// fanned out in parallel on a sched.Pool.
+//
+// Values carry a per-cluster write sequence number so quorum reads
+// resolve divergent replicas by last-write-wins; the db.DHT doubles as
+// the ring metadata, so its Moves() counter certifies the minimal-
+// movement property on every topology change.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/sched"
+	"repro/internal/sockets"
+)
+
+// Config parameterizes a Cluster. The zero value gets the defaults
+// noted per field.
+type Config struct {
+	// Nodes is the initial node count (default 3).
+	Nodes int
+	// Replicas is how many distinct nodes hold each key (default
+	// min(3, Nodes)).
+	Replicas int
+	// WriteQuorum (W) and ReadQuorum (R) are how many replica acks a
+	// write/read needs. Defaults are majorities (Replicas/2 + 1); New
+	// rejects configurations without W+R > Replicas, the overlap that
+	// makes a quorum read see the newest quorum write.
+	WriteQuorum int
+	ReadQuorum  int
+	// VNodes is the virtual-node count per node on the ring (default 64).
+	VNodes int
+	// HeartbeatInterval is the probe period of the failure detector;
+	// HeartbeatTimeout is the per-probe deadline after which a node is
+	// declared down (defaults 50ms and 250ms).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// Workers sizes the sched.Pool that fans out key migration on
+	// join/leave (default: runtime.NumCPU()).
+	Workers int
+	// PoolSize, PoolTimeout, and PoolAttempts parameterize each node's
+	// sockets.Pool client (defaults 2 connections, 500ms, 2 attempts).
+	PoolSize     int
+	PoolTimeout  time.Duration
+	PoolAttempts int
+	// ServerShards is each node's store-stripe count (default 8).
+	ServerShards int
+}
+
+// Errors the cluster operations return.
+var (
+	ErrClosed      = errors.New("cluster: closed")
+	ErrNoQuorum    = errors.New("cluster: quorum not reached")
+	ErrUnknownNode = errors.New("cluster: unknown node")
+	ErrReservedKey = errors.New("cluster: keys must not start with the hint prefix")
+)
+
+// hintMark prefixes hinted-handoff keys: hint~<destNode>~<origKey>.
+const hintMark = "hint~"
+
+func hintKey(dest, key string) string { return hintMark + dest + "~" + key }
+
+// node is one cluster member: a live server plus the pooled client the
+// router uses to reach it. srv/pool/addr swap on Kill/Restart under mu;
+// down is owned by the failure detector.
+type node struct {
+	name string
+
+	mu   sync.Mutex
+	srv  *sockets.Server
+	pool *sockets.Pool
+	addr string
+
+	down   atomic.Bool
+	killed atomic.Bool
+}
+
+// client returns the node's current pooled client.
+func (n *node) client() *sockets.Pool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pool
+}
+
+// address returns the node's current listen address.
+func (n *node) address() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.addr
+}
+
+// server returns the node's current server (still readable for stats
+// after a kill).
+func (n *node) server() *sockets.Server {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.srv
+}
+
+// Cluster runs the nodes and routes requests to them.
+type Cluster struct {
+	cfg Config
+
+	// topoMu guards the ring, the tracked key set, and the membership
+	// tables. Request paths hold it only to compute placement; all
+	// network traffic happens outside it.
+	topoMu sync.RWMutex
+	ring   *db.DHT
+	keys   map[string]struct{}
+	nodes  map[string]*node
+	order  []string // join order, for stable iteration and reports
+
+	sched  *sched.Pool
+	seq    atomic.Int64 // write sequence for last-write-wins resolution
+	stop   chan struct{}
+	hbWG   sync.WaitGroup
+	closed atomic.Bool
+
+	puts           atomic.Int64
+	gets           atomic.Int64
+	quorumFailures atomic.Int64
+	hintedWrites   atomic.Int64
+	hintsReplayed  atomic.Int64
+	downEvents     atomic.Int64
+	upEvents       atomic.Int64
+	keysMigrated   atomic.Int64
+}
+
+// New starts a cluster of cfg.Nodes servers named node0..nodeN-1 and
+// its background failure detector.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+		if cfg.Replicas > cfg.Nodes {
+			cfg.Replicas = cfg.Nodes
+		}
+	}
+	if cfg.WriteQuorum <= 0 {
+		cfg.WriteQuorum = cfg.Replicas/2 + 1
+	}
+	if cfg.ReadQuorum <= 0 {
+		cfg.ReadQuorum = cfg.Replicas/2 + 1
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 64
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 250 * time.Millisecond
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 2
+	}
+	if cfg.PoolTimeout <= 0 {
+		cfg.PoolTimeout = 500 * time.Millisecond
+	}
+	if cfg.PoolAttempts <= 0 {
+		cfg.PoolAttempts = 2
+	}
+	if cfg.ServerShards <= 0 {
+		cfg.ServerShards = 8
+	}
+	if cfg.Replicas > cfg.Nodes {
+		return nil, fmt.Errorf("cluster: %d replicas need at least that many nodes (have %d)", cfg.Replicas, cfg.Nodes)
+	}
+	if cfg.WriteQuorum > cfg.Replicas || cfg.ReadQuorum > cfg.Replicas {
+		return nil, fmt.Errorf("cluster: quorums W=%d R=%d cannot exceed %d replicas", cfg.WriteQuorum, cfg.ReadQuorum, cfg.Replicas)
+	}
+	if cfg.WriteQuorum+cfg.ReadQuorum <= cfg.Replicas {
+		return nil, fmt.Errorf("cluster: W=%d + R=%d must exceed %d replicas for read/write overlap", cfg.WriteQuorum, cfg.ReadQuorum, cfg.Replicas)
+	}
+
+	ring, err := db.NewDHT(cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		ring:  ring,
+		keys:  make(map[string]struct{}),
+		nodes: make(map[string]*node),
+		sched: sched.New(cfg.Workers),
+		stop:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		name := fmt.Sprintf("node%d", i)
+		n, err := c.startNode(name)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.ring.AddNode(name) //nolint:errcheck // names are unique by construction
+		c.nodes[name] = n
+		c.order = append(c.order, name)
+	}
+	c.hbWG.Add(1)
+	go c.heartbeatLoop()
+	return c, nil
+}
+
+// startNode boots one server plus its pooled client.
+func (c *Cluster) startNode(name string) (*node, error) {
+	srv, err := sockets.NewServerConfig("127.0.0.1:0", sockets.ServerConfig{
+		Shards:       c.cfg.ServerShards,
+		DrainTimeout: time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool, err := sockets.NewPool(srv.Addr(), c.poolConfig())
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &node{name: name, srv: srv, pool: pool, addr: srv.Addr()}, nil
+}
+
+func (c *Cluster) poolConfig() sockets.PoolConfig {
+	return sockets.PoolConfig{
+		Size:        c.cfg.PoolSize,
+		MaxAttempts: c.cfg.PoolAttempts,
+		Timeout:     c.cfg.PoolTimeout,
+	}
+}
+
+// Close stops the failure detector, the node servers and clients, and
+// the migration pool.
+func (c *Cluster) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	if c.stop != nil {
+		close(c.stop)
+	}
+	c.hbWG.Wait()
+	c.topoMu.Lock()
+	nodes := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.topoMu.Unlock()
+	for _, n := range nodes {
+		n.client().Close()
+		n.server().Close()
+	}
+	c.sched.Close()
+}
+
+// Nodes returns the member names in join order.
+func (c *Cluster) Nodes() []string {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return append([]string(nil), c.order...)
+}
+
+// Moves reports how many keys topology changes have migrated so far —
+// the ring-metadata counter that certifies the ~K/n movement property.
+func (c *Cluster) Moves() int64 {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return c.ring.Moves()
+}
+
+func (c *Cluster) validateKey(key string) error {
+	if strings.HasPrefix(key, hintMark) {
+		return fmt.Errorf("%w: %q", ErrReservedKey, key)
+	}
+	// Apply the wire protocol's key rules before the key reaches the
+	// ring metadata, so a rejected key can't leave placement state.
+	if key == "" || strings.ContainsAny(key, " \t\n\r") {
+		return fmt.Errorf("%w: %q", sockets.ErrBadKey, key)
+	}
+	return nil
+}
+
+// encode stamps a value with its write sequence: "<seq> <value>".
+func encode(seq int64, value string) string {
+	return strconv.FormatInt(seq, 10) + " " + value
+}
+
+// decode splits a stored value back into sequence and payload.
+func decode(raw string) (seq int64, value string, err error) {
+	i := strings.IndexByte(raw, ' ')
+	if i < 0 {
+		return 0, "", fmt.Errorf("cluster: unversioned value %q", raw)
+	}
+	seq, err = strconv.ParseInt(raw[:i], 10, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("cluster: bad version in %q", raw)
+	}
+	return seq, raw[i+1:], nil
+}
+
+// placement is the routing decision for one key: its replica set and
+// the fallback nodes hints can land on.
+type placement struct {
+	replicas  []*node
+	fallbacks []*node
+}
+
+// place computes a key's replicas and fallbacks under the topology lock.
+func (c *Cluster) place(key string) placement {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return c.placeLocked(key)
+}
+
+func (c *Cluster) placeLocked(key string) placement {
+	prefs := c.ring.NodesFor(key, len(c.order))
+	var p placement
+	for i, name := range prefs {
+		n := c.nodes[name]
+		if i < c.cfg.Replicas {
+			p.replicas = append(p.replicas, n)
+		} else {
+			p.fallbacks = append(p.fallbacks, n)
+		}
+	}
+	return p
+}
+
+// Put stores key = value on a write quorum of its replicas. Replicas
+// that are down (or fail mid-write) receive hinted handoffs on the next
+// live fallback node; a hinted write counts toward the (sloppy) quorum.
+// ErrNoQuorum reports a write that fewer than W replicas acknowledged.
+func (c *Cluster) Put(key, value string) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if err := c.validateKey(key); err != nil {
+		return err
+	}
+	seq := c.seq.Add(1)
+	enc := encode(seq, value)
+
+	c.topoMu.Lock()
+	if err := c.ring.Put(key, ""); err != nil {
+		c.topoMu.Unlock()
+		return err
+	}
+	c.keys[key] = struct{}{}
+	p := c.placeLocked(key)
+	c.topoMu.Unlock()
+	c.puts.Add(1)
+
+	var acks atomic.Int64
+	var wg sync.WaitGroup
+	for _, target := range p.replicas {
+		wg.Add(1)
+		go func(target *node) {
+			defer wg.Done()
+			if c.writeReplica(key, enc, target, p.fallbacks) {
+				acks.Add(1)
+			}
+		}(target)
+	}
+	wg.Wait()
+	if int(acks.Load()) < c.cfg.WriteQuorum {
+		c.quorumFailures.Add(1)
+		return fmt.Errorf("%w: %d/%d write acks for %q", ErrNoQuorum, acks.Load(), c.cfg.WriteQuorum, key)
+	}
+	return nil
+}
+
+// writeReplica lands one replica's copy: directly when the node is
+// healthy, as a hinted handoff on the first live fallback when not.
+func (c *Cluster) writeReplica(key, enc string, target *node, fallbacks []*node) bool {
+	if !target.down.Load() {
+		if err := target.client().Set(key, enc); err == nil {
+			return true
+		}
+	}
+	hk := hintKey(target.name, key)
+	for _, f := range fallbacks {
+		if f.down.Load() {
+			continue
+		}
+		if err := f.client().Set(hk, enc); err == nil {
+			c.hintedWrites.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Get reads key from a read quorum of its replicas and returns the
+// newest version (last-write-wins by sequence number). found is false
+// when a quorum agrees the key does not exist; ErrNoQuorum reports
+// fewer than R reachable replicas.
+func (c *Cluster) Get(key string) (value string, found bool, err error) {
+	if c.closed.Load() {
+		return "", false, ErrClosed
+	}
+	if err := c.validateKey(key); err != nil {
+		return "", false, err
+	}
+	p := c.place(key)
+	c.gets.Add(1)
+
+	type resp struct {
+		seq   int64
+		value string
+		found bool
+		err   error
+	}
+	resps := make([]resp, len(p.replicas))
+	var wg sync.WaitGroup
+	for i, n := range p.replicas {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			if n.down.Load() {
+				resps[i].err = fmt.Errorf("cluster: node %s is down", n.name)
+				return
+			}
+			raw, ok, err := n.client().Get(key)
+			if err != nil {
+				resps[i].err = err
+				return
+			}
+			if !ok {
+				return // a valid "not here" answer
+			}
+			seq, v, err := decode(raw)
+			if err != nil {
+				resps[i].err = err
+				return
+			}
+			resps[i] = resp{seq: seq, value: v, found: true}
+		}(i, n)
+	}
+	wg.Wait()
+
+	answered := 0
+	var best resp
+	for _, r := range resps {
+		if r.err != nil {
+			continue
+		}
+		answered++
+		if r.found && (!best.found || r.seq > best.seq) {
+			best = r
+		}
+	}
+	if answered < c.cfg.ReadQuorum {
+		c.quorumFailures.Add(1)
+		return "", false, fmt.Errorf("%w: %d/%d read answers for %q", ErrNoQuorum, answered, c.cfg.ReadQuorum, key)
+	}
+	return best.value, best.found, nil
+}
+
+// lookup resolves a node by name.
+func (c *Cluster) lookup(name string) (*node, error) {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	n, ok := c.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	return n, nil
+}
+
+// Kill crash-stops a node's server and client — the fault-injection
+// hook. The ring is unchanged; the failure detector (or an explicit
+// Probe) notices the silence and routes around it.
+func (c *Cluster) Kill(name string) error {
+	n, err := c.lookup(name)
+	if err != nil {
+		return err
+	}
+	if n.killed.Swap(true) {
+		return fmt.Errorf("cluster: node %q already killed", name)
+	}
+	n.client().Close()
+	n.server().Close()
+	return nil
+}
+
+// Restart brings a killed node back empty (the process model: in-memory
+// state dies with the process) on a fresh port, then probes it so
+// hinted handoffs replay before Restart returns.
+func (c *Cluster) Restart(name string) error {
+	n, err := c.lookup(name)
+	if err != nil {
+		return err
+	}
+	if !n.killed.Load() {
+		return fmt.Errorf("cluster: node %q is not killed", name)
+	}
+	fresh, err := c.startNode(name)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.srv, n.pool, n.addr = fresh.srv, fresh.pool, fresh.addr
+	n.mu.Unlock()
+	n.killed.Store(false)
+	c.probeNode(n)
+	// The node may never have been marked down (killed and restarted
+	// between probes) yet still have hints parked from failed direct
+	// writes; replay is idempotent, so sweep again unconditionally.
+	c.replayHints(n)
+	return nil
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sockets"
+)
+
+// heartbeatLoop is the failure detector: every HeartbeatInterval it
+// probes all members and flips their up/down state.
+func (c *Cluster) heartbeatLoop() {
+	defer c.hbWG.Done()
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.Probe()
+		}
+	}
+}
+
+// Probe runs one synchronous failure-detection sweep over every node —
+// what the heartbeat loop does on each tick, exposed so tests and
+// benches can make detection deterministic instead of sleeping.
+func (c *Cluster) Probe() {
+	c.topoMu.RLock()
+	nodes := make([]*node, 0, len(c.order))
+	for _, name := range c.order {
+		nodes = append(nodes, c.nodes[name])
+	}
+	c.topoMu.RUnlock()
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			c.probeNode(n)
+		}(n)
+	}
+	wg.Wait()
+}
+
+// probeNode pings one node and applies the state transition: silence
+// marks it down (writes start hinting, reads route around it); a
+// successful probe of a down node marks it up again and replays any
+// hinted handoffs parked for it. Reports whether the node answered.
+func (c *Cluster) probeNode(n *node) bool {
+	err := probeAddr(n.address(), c.cfg.HeartbeatTimeout)
+	if err != nil {
+		if !n.down.Swap(true) {
+			c.downEvents.Add(1)
+		}
+		return false
+	}
+	if n.down.Load() {
+		// Replay before flipping up so a write racing the transition
+		// still hints (hints are deduplicated by sequence on replay).
+		c.replayHints(n)
+		n.down.Store(false)
+		c.upEvents.Add(1)
+	}
+	return true
+}
+
+// probeAddr round-trips one PING on a dedicated connection, off to the
+// side of the request pools, so a wedged pool cannot mask a live node
+// (or vice versa).
+func probeAddr(addr string, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck // best effort
+	if err := sockets.WriteFrame(conn, []byte("PING")); err != nil {
+		return err
+	}
+	resp, err := sockets.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	if string(resp) != "PONG" {
+		return fmt.Errorf("cluster: probe reply %q", resp)
+	}
+	return nil
+}
+
+// replayHints scans the other members for hinted handoffs parked for
+// dest, applies every hint that is newer than what dest holds, and
+// deletes the consumed hints. Returns how many hints were applied.
+func (c *Cluster) replayHints(dest *node) int {
+	prefix := hintMark + dest.name + "~"
+	c.topoMu.RLock()
+	holders := make([]*node, 0, len(c.order))
+	for _, name := range c.order {
+		if n := c.nodes[name]; n != dest {
+			holders = append(holders, n)
+		}
+	}
+	c.topoMu.RUnlock()
+
+	applied := 0
+	for _, holder := range holders {
+		if holder.down.Load() {
+			continue
+		}
+		keys, err := holder.client().Keys()
+		if err != nil {
+			continue
+		}
+		var consumed []string
+		for _, hk := range keys {
+			if !strings.HasPrefix(hk, prefix) {
+				continue
+			}
+			raw, ok, err := holder.client().Get(hk)
+			if err != nil || !ok {
+				continue
+			}
+			key := strings.TrimPrefix(hk, prefix)
+			if c.applyHint(dest, key, raw) {
+				applied++
+			}
+			// Consumed either way: a stale hint (older than what dest
+			// already holds) is dead weight too.
+			consumed = append(consumed, hk)
+		}
+		if len(consumed) > 0 {
+			holder.client().MDel(consumed...) //nolint:errcheck // best effort cleanup
+		}
+	}
+	c.hintsReplayed.Add(int64(applied))
+	return applied
+}
+
+// applyHint writes one hinted value to its home node unless the node
+// already holds something at least as new (last-write-wins).
+func (c *Cluster) applyHint(dest *node, key, raw string) bool {
+	hintSeq, _, err := decode(raw)
+	if err != nil {
+		return false
+	}
+	if cur, ok, err := dest.client().Get(key); err == nil && ok {
+		if curSeq, _, err := decode(cur); err == nil && curSeq >= hintSeq {
+			return false
+		}
+	}
+	return dest.client().Set(key, raw) == nil
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// move is one key whose replica set changed on a topology change.
+type move struct {
+	key      string
+	old, new []string
+}
+
+// Join adds a fresh node to the ring and migrates the keys whose
+// replica sets now include it — the ~K/n arc move, fanned out on the
+// sched pool. The name must be unique, non-empty, and free of
+// whitespace and '~' (it appears inside hint keys).
+func (c *Cluster) Join(name string) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if name == "" || strings.ContainsAny(name, " \t\n\r~") {
+		return fmt.Errorf("cluster: bad node name %q", name)
+	}
+	fresh, err := c.startNode(name)
+	if err != nil {
+		return err
+	}
+	c.topoMu.Lock()
+	if _, exists := c.nodes[name]; exists {
+		c.topoMu.Unlock()
+		fresh.client().Close()
+		fresh.server().Close()
+		return fmt.Errorf("cluster: node %q already present", name)
+	}
+	before := c.replicaSetsLocked()
+	c.ring.AddNode(name) //nolint:errcheck // uniqueness checked above
+	c.nodes[name] = fresh
+	c.order = append(c.order, name)
+	moves := c.movesSinceLocked(before)
+	byName := c.nodeSnapshotLocked()
+	c.topoMu.Unlock()
+	return c.migrate(moves, byName)
+}
+
+// Leave removes a node gracefully: the ring shrinks first, the keys it
+// owned migrate to their new replicas (the leaving node itself is still
+// serving as a copy source), then its server shuts down.
+func (c *Cluster) Leave(name string) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	c.topoMu.Lock()
+	leaving, ok := c.nodes[name]
+	if !ok {
+		c.topoMu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	if len(c.order)-1 < c.cfg.Replicas {
+		c.topoMu.Unlock()
+		return fmt.Errorf("cluster: cannot drop below %d nodes (%d replicas per key)", c.cfg.Replicas, c.cfg.Replicas)
+	}
+	before := c.replicaSetsLocked()
+	byName := c.nodeSnapshotLocked() // includes the leaving node as a source
+	if err := c.ring.RemoveNode(name); err != nil {
+		c.topoMu.Unlock()
+		return err
+	}
+	delete(c.nodes, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	moves := c.movesSinceLocked(before)
+	c.topoMu.Unlock()
+	err := c.migrate(moves, byName)
+	leaving.client().Close()
+	leaving.server().Close()
+	return err
+}
+
+// replicaSetsLocked snapshots every tracked key's replica set.
+func (c *Cluster) replicaSetsLocked() map[string][]string {
+	out := make(map[string][]string, len(c.keys))
+	for key := range c.keys {
+		out[key] = c.ring.NodesFor(key, c.cfg.Replicas)
+	}
+	return out
+}
+
+// movesSinceLocked diffs the current placement against a snapshot.
+func (c *Cluster) movesSinceLocked(before map[string][]string) []move {
+	var out []move
+	for key, old := range before {
+		now := c.ring.NodesFor(key, c.cfg.Replicas)
+		if !sameNodes(old, now) {
+			out = append(out, move{key: key, old: old, new: now})
+		}
+	}
+	return out
+}
+
+// nodeSnapshotLocked captures the name -> node table for use off-lock.
+func (c *Cluster) nodeSnapshotLocked() map[string]*node {
+	out := make(map[string]*node, len(c.nodes))
+	for name, n := range c.nodes {
+		out[name] = n
+	}
+	return out
+}
+
+func sameNodes(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// subtract returns the names in a but not in b.
+func subtract(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// migrate copies each moved key from a live old replica to its new
+// homes, one sched task per key so big migrations use every worker,
+// then bulk-deletes the vacated copies per node in one MDEL each.
+func (c *Cluster) migrate(moves []move, byName map[string]*node) error {
+	if len(moves) == 0 {
+		return nil
+	}
+	var delMu sync.Mutex
+	dels := make(map[string][]string) // node -> keys to clear
+
+	err := c.sched.ParallelFor(len(moves), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := moves[i]
+			var raw string
+			var ok bool
+			for _, src := range m.old {
+				n := byName[src]
+				if n == nil || n.down.Load() {
+					continue
+				}
+				if v, found, err := n.client().Get(m.key); err == nil {
+					raw, ok = v, found
+					break
+				}
+			}
+			if !ok {
+				continue // never written, or no live source: nothing to move
+			}
+			for _, dst := range subtract(m.new, m.old) {
+				n := byName[dst]
+				if n == nil || n.down.Load() {
+					continue
+				}
+				if n.client().Set(m.key, raw) == nil {
+					c.keysMigrated.Add(1)
+				}
+			}
+			if gone := subtract(m.old, m.new); len(gone) > 0 {
+				delMu.Lock()
+				for _, g := range gone {
+					dels[g] = append(dels[g], m.key)
+				}
+				delMu.Unlock()
+			}
+		}
+	})
+	for name, keys := range dels {
+		if n := byName[name]; n != nil && !n.down.Load() {
+			n.client().MDel(keys...) //nolint:errcheck // vacated copies; best effort
+		}
+	}
+	return err
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Counters exports the cluster-wide counters as a metrics.CounterSet:
+// request totals, quorum failures, hinted-handoff traffic, failure-
+// detector transitions, and migration volume.
+func (c *Cluster) Counters() *metrics.CounterSet {
+	cs := &metrics.CounterSet{}
+	cs.Add("cluster.puts", float64(c.puts.Load()))
+	cs.Add("cluster.gets", float64(c.gets.Load()))
+	cs.Add("cluster.quorum-failures", float64(c.quorumFailures.Load()))
+	cs.Add("cluster.hinted-writes", float64(c.hintedWrites.Load()))
+	cs.Add("cluster.hints-replayed", float64(c.hintsReplayed.Load()))
+	cs.Add("cluster.down-events", float64(c.downEvents.Load()))
+	cs.Add("cluster.up-events", float64(c.upEvents.Load()))
+	cs.Add("cluster.keys-migrated", float64(c.keysMigrated.Load()))
+	cs.Add("cluster.ring-moves", float64(c.Moves()))
+	return cs
+}
+
+// PoolCounters sums the client-side sockets.Pool counters across every
+// node's pool: requests, attempts, retries, failed attempts, and
+// injected FailConn faults. Reading is safe even for dead nodes — the
+// counters are plain atomics that survive pool Close.
+func (c *Cluster) PoolCounters() *metrics.CounterSet {
+	c.topoMu.RLock()
+	nodes := make([]*node, 0, len(c.order))
+	for _, name := range c.order {
+		nodes = append(nodes, c.nodes[name])
+	}
+	c.topoMu.RUnlock()
+
+	sum := &metrics.CounterSet{}
+	for _, n := range nodes {
+		per := n.client().Counters()
+		for _, name := range per.Names() {
+			v, _ := per.Get(name)
+			prev, _ := sum.Get(name)
+			sum.Add(name, prev+v)
+		}
+	}
+	return sum
+}
+
+// Report renders the cluster health table: one row per node (state,
+// server-side request/error counts, latency percentiles, stored keys —
+// replicas and parked hints included) followed by the cluster counters.
+func (c *Cluster) Report() string {
+	c.topoMu.RLock()
+	nodes := make([]*node, 0, len(c.order))
+	for _, name := range c.order {
+		nodes = append(nodes, c.nodes[name])
+	}
+	c.topoMu.RUnlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-21s %-5s %9s %7s %10s %10s %6s\n",
+		"node", "addr", "state", "requests", "errors", "p50", "p99", "keys")
+	for _, n := range nodes {
+		state := "up"
+		if n.killed.Load() {
+			state = "dead"
+		} else if n.down.Load() {
+			state = "down"
+		}
+		srv := n.server()
+		st := srv.Stats()
+		h := srv.Latency()
+		keys := "-"
+		if state == "up" {
+			if k, err := n.client().Count(); err == nil {
+				keys = fmt.Sprintf("%d", k)
+			}
+		}
+		fmt.Fprintf(&b, "%-8s %-21s %-5s %9d %7d %10v %10v %6s\n",
+			n.name, n.address(), state, st.Requests, st.Errors,
+			h.Quantile(0.50).Round(time.Microsecond), h.Quantile(0.99).Round(time.Microsecond), keys)
+	}
+	b.WriteString("\n")
+	b.WriteString(c.Counters().String())
+	return b.String()
+}

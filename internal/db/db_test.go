@@ -327,3 +327,90 @@ func TestTPCValidation(t *testing.T) {
 		t.Errorf("committed: %v", res.Committed)
 	}
 }
+
+func TestDHTNodesFor(t *testing.T) {
+	d, _ := NewDHT(32)
+	nodes := []string{"a", "b", "c", "d"}
+	for _, n := range nodes {
+		if err := d.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		prefs := d.NodesFor(key, 3)
+		if len(prefs) != 3 {
+			t.Fatalf("NodesFor(%q, 3) = %v", key, prefs)
+		}
+		// The first preference is the owner.
+		if prefs[0] != d.Owner(key) {
+			t.Fatalf("NodesFor(%q)[0] = %q, Owner = %q", key, prefs[0], d.Owner(key))
+		}
+		// Entries are distinct physical nodes, not duplicate vnodes.
+		seen := map[string]bool{}
+		for _, n := range prefs {
+			if seen[n] {
+				t.Fatalf("NodesFor(%q) repeats node %q: %v", key, n, prefs)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestDHTNodesForClamps(t *testing.T) {
+	d, _ := NewDHT(16)
+	if got := d.NodesFor("k", 2); got != nil {
+		t.Errorf("empty ring: NodesFor = %v", got)
+	}
+	d.AddNode("only")
+	if got := d.NodesFor("k", 0); got != nil {
+		t.Errorf("n=0: NodesFor = %v", got)
+	}
+	// Asking for more replicas than physical nodes returns all of them,
+	// each exactly once.
+	d.AddNode("other")
+	got := d.NodesFor("k", 5)
+	if len(got) != 2 || got[0] == got[1] {
+		t.Errorf("NodesFor(5) over 2 nodes = %v", got)
+	}
+}
+
+func TestDHTNodesForDeterministic(t *testing.T) {
+	f := func(key string) bool {
+		d, _ := NewDHT(16)
+		d.AddNode("x")
+		d.AddNode("y")
+		d.AddNode("z")
+		a, b := d.NodesFor(key, 2), d.NodesFor(key, 2)
+		if len(a) != 2 || len(b) != 2 {
+			return false
+		}
+		return a[0] == b[0] && a[1] == b[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDHTMovesAccessor(t *testing.T) {
+	d, _ := NewDHT(32)
+	d.AddNode("a")
+	if d.Moves() != 0 {
+		t.Errorf("moves before any data = %d", d.Moves())
+	}
+	for i := 0; i < 100; i++ {
+		d.Put(fmt.Sprintf("key-%d", i), "v")
+	}
+	if d.Moves() != 0 {
+		t.Errorf("plain puts must not count as moves, got %d", d.Moves())
+	}
+	d.AddNode("b")
+	afterJoin := d.Moves()
+	if afterJoin == 0 {
+		t.Error("a join that takes over arcs must move keys")
+	}
+	d.RemoveNode("b")
+	if d.Moves() <= afterJoin {
+		t.Errorf("a leave must move the orphaned keys back (moves %d -> %d)", afterJoin, d.Moves())
+	}
+}

@@ -41,7 +41,19 @@ func NewDHT(vnodes int) (*DHT, error) {
 func hashString(s string) uint32 {
 	h := fnv.New32a()
 	h.Write([]byte(s))
-	return h.Sum32()
+	x := h.Sum32()
+	// Raw FNV-1a of short strings with a shared prefix lands in tight
+	// clusters: inputs differing only in the last digit differ by
+	// exactly one multiple of the FNV prime, so a node's virtual nodes
+	// ("n#0", "n#1", ...) bunch on one arc instead of spreading around
+	// the ring. Finish with a murmur3-style avalanche so every input
+	// bit flips about half the output bits.
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
 }
 
 // AddNode joins a node, migrating the keys that now belong to it.
@@ -112,6 +124,33 @@ func (d *DHT) Owner(key string) string {
 		i = 0 // wrap around the ring
 	}
 	return d.ring[i].node
+}
+
+// NodesFor returns up to n distinct physical nodes whose arcs follow
+// key's hash clockwise — the replica preference list of consistent-
+// hashing stores: the first entry is the key's owner, the rest are the
+// successors a cluster replicates to (duplicate virtual nodes of the
+// same physical node are skipped). Fewer than n names come back when
+// the ring has fewer than n physical nodes.
+func (d *DHT) NodesFor(key string, n int) []string {
+	if n <= 0 || len(d.ring) == 0 {
+		return nil
+	}
+	pos := hashString(key)
+	start := sort.Search(len(d.ring), func(i int) bool { return d.ring[i].pos >= pos })
+	if start == len(d.ring) {
+		start = 0 // wrap around the ring
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for scanned := 0; scanned < len(d.ring) && len(out) < n; scanned++ {
+		e := d.ring[(start+scanned)%len(d.ring)]
+		if !seen[e.node] {
+			seen[e.node] = true
+			out = append(out, e.node)
+		}
+	}
+	return out
 }
 
 // Put stores key = value at its owner.

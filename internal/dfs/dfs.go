@@ -35,10 +35,24 @@ const (
 // "PROMOTE", "STOP". Replies: "OK", "VALUE v", "NOTFOUND", "PONG",
 // "NOTPRIMARY".
 
+// DefaultHeartbeat is the failure-detection timeout used when a Cluster
+// does not set one — the same knob internal/cluster exposes for its TCP
+// nodes, kept here so both layers tune failover speed the same way.
+const DefaultHeartbeat = 250 * time.Millisecond
+
 // Cluster drives a replicated store inside an mp world.
 type Cluster struct {
-	Replicas  int
-	Heartbeat time.Duration // failure-detection timeout
+	Replicas int
+	// Heartbeat is the failure-detection timeout: how long the client
+	// waits for a primary's reply before declaring it dead and
+	// promoting a backup. Defaults to DefaultHeartbeat.
+	Heartbeat time.Duration
+	// AckTimeout bounds how long the primary waits for a backup's
+	// replication ack before treating that backup as crashed and moving
+	// on. Defaults to Heartbeat, but tests (and latency-sensitive
+	// callers) can set it lower: a dead backup then delays writes by
+	// AckTimeout instead of a full Heartbeat.
+	AckTimeout time.Duration
 }
 
 // Result summarizes a scenario run.
@@ -66,7 +80,10 @@ func (c Cluster) Run(scenario Scenario) (Result, error) {
 		return Result{}, errors.New("dfs: need at least one replica")
 	}
 	if c.Heartbeat <= 0 {
-		c.Heartbeat = 250 * time.Millisecond
+		c.Heartbeat = DefaultHeartbeat
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = c.Heartbeat
 	}
 	res := Result{}
 	world := c.Replicas + 1
@@ -331,7 +348,7 @@ func (c Cluster) applyRequest(comm *mp.Comm, cmd string, store map[string]string
 			}
 			// A crashed backup never acks; time out and drop it from the
 			// peer set (the client reconfigures authoritative membership).
-			if _, ok, _ := comm.RecvTimeout(b, tagRepAck, c.Heartbeat); !ok {
+			if _, ok, _ := comm.RecvTimeout(b, tagRepAck, c.AckTimeout); !ok {
 				continue
 			}
 		}

@@ -1,13 +1,63 @@
 package dfs
 
 import (
+	"repro/internal/mp"
 	"strings"
 	"testing"
 	"time"
 )
 
 func fastCluster(replicas int) Cluster {
-	return Cluster{Replicas: replicas, Heartbeat: 150 * time.Millisecond}
+	// A short AckTimeout keeps writes through a dead backup fast without
+	// making failure detection (Heartbeat) hair-trigger.
+	return Cluster{Replicas: replicas, Heartbeat: 150 * time.Millisecond, AckTimeout: 50 * time.Millisecond}
+}
+
+func TestTimeoutDefaults(t *testing.T) {
+	// Zero-valued knobs fill in: Heartbeat from DefaultHeartbeat,
+	// AckTimeout from Heartbeat. Observable as a plain run succeeding.
+	res, err := Cluster{Replicas: 2}.Run(Scenario{
+		"put k v",
+		"get k v",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2 {
+		t.Errorf("ops = %d", res.Ops)
+	}
+}
+
+func TestAckTimeoutBoundsDeadBackupWait(t *testing.T) {
+	// Drive a primary's PUT directly against a backup that never acks:
+	// the wait must be bounded by AckTimeout, not the (much larger)
+	// failure-detection Heartbeat.
+	c := Cluster{Replicas: 2, Heartbeat: 5 * time.Second, AckTimeout: 50 * time.Millisecond}
+	var elapsed time.Duration
+	var reply string
+	err := mp.Run(2, func(comm *mp.Comm) error {
+		if comm.Rank() == 1 {
+			return nil // the dead backup: never acks a replicate
+		}
+		store := map[string]string{}
+		backups := []int{1}
+		start := time.Now()
+		reply, _ = c.applyRequest(comm, "PUT k v", store, &backups)
+		elapsed = time.Since(start)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != "OK" {
+		t.Fatalf("PUT through a dead backup replied %q", reply)
+	}
+	if elapsed < c.AckTimeout {
+		t.Errorf("PUT returned in %v, before the %v ack timeout elapsed", elapsed, c.AckTimeout)
+	}
+	if elapsed > c.Heartbeat/2 {
+		t.Errorf("PUT took %v: dead-backup wait not bounded by AckTimeout %v", elapsed, c.AckTimeout)
+	}
 }
 
 func TestBasicPutGet(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"repro/internal/metrics"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,11 +53,13 @@ type Pool struct {
 	cfg  PoolConfig
 	free chan *poolConn
 
-	closed    atomic.Bool
-	reqSeen   atomic.Int64
-	errSeen   atomic.Int64
-	retrySeen atomic.Int64
-	reqSeq    atomic.Int64
+	closed      atomic.Bool
+	reqSeen     atomic.Int64
+	errSeen     atomic.Int64
+	retrySeen   atomic.Int64
+	attemptSeen atomic.Int64
+	failInjSeen atomic.Int64
+	reqSeq      atomic.Int64
 
 	rngMu sync.Mutex
 	rng   uint64
@@ -104,6 +107,21 @@ func (p *Pool) Stats() Stats {
 	}
 }
 
+// Counters exports the pool's client-side counters as a
+// metrics.CounterSet so benchmark drivers (kvbench, clusterbench) can
+// print them next to latency tables: requests issued, wire attempts
+// (first tries + retries), retries, failed attempts, and FailConn
+// fault injections.
+func (p *Pool) Counters() *metrics.CounterSet {
+	cs := &metrics.CounterSet{}
+	cs.Add("pool.requests", float64(p.reqSeen.Load()))
+	cs.Add("pool.attempts", float64(p.attemptSeen.Load()))
+	cs.Add("pool.retries", float64(p.retrySeen.Load()))
+	cs.Add("pool.failed-attempts", float64(p.errSeen.Load()))
+	cs.Add("pool.failconn-injections", float64(p.failInjSeen.Load()))
+	return cs
+}
+
 // Close releases the pooled connections. In-flight requests finish;
 // their connections are closed on return.
 func (p *Pool) Close() error {
@@ -135,6 +153,7 @@ func (p *Pool) do(req string) (string, error) {
 			p.retrySeen.Add(1)
 			p.backoff(attempt)
 		}
+		p.attemptSeen.Add(1)
 		pc := <-p.free
 		resp, err := p.try(pc, req, id, attempt)
 		if p.closed.Load() {
@@ -164,6 +183,7 @@ func (p *Pool) try(pc *poolConn, req string, id, attempt int) (string, error) {
 		pc.conn = conn
 	}
 	if p.cfg.FailConn != nil && p.cfg.FailConn(id, attempt) {
+		p.failInjSeen.Add(1)
 		pc.conn.Close() // the injected mid-flight connection kill
 	}
 	pc.conn.SetDeadline(time.Now().Add(p.cfg.Timeout))
@@ -209,6 +229,10 @@ func (p *Pool) Get(key string) (value string, found bool, err error) { return do
 
 // Del removes a key, reporting whether it existed.
 func (p *Pool) Del(key string) (bool, error) { return doDel(p.do, key) }
+
+// MDel bulk-deletes keys (chunked under the frame limit), returning how
+// many existed.
+func (p *Pool) MDel(keys ...string) (int, error) { return doMDel(p.do, keys) }
 
 // Count returns the number of stored keys.
 func (p *Pool) Count() (int, error) { return doCount(p.do) }

@@ -3,6 +3,7 @@ package sockets
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -180,5 +181,48 @@ func TestPoolClosed(t *testing.T) {
 func TestPoolDialFailure(t *testing.T) {
 	if _, err := NewPool("127.0.0.1:1", PoolConfig{Timeout: 200 * time.Millisecond}); err == nil {
 		t.Error("NewPool to a dead address should fail fast")
+	}
+}
+
+func TestPoolCounterSet(t *testing.T) {
+	s := startServer(t)
+	// One injected kill on the first attempt of every request: each
+	// request costs 2 attempts, 1 retry, 1 failed attempt, 1 injection.
+	p, err := NewPool(s.Addr(), PoolConfig{
+		Size:        2,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		FailConn:    func(req, attempt int) bool { return attempt == 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := p.Set(fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := p.Counters()
+	want := map[string]float64{
+		"pool.requests":            n,
+		"pool.attempts":            2 * n,
+		"pool.retries":             n,
+		"pool.failed-attempts":     n,
+		"pool.failconn-injections": n,
+	}
+	for name, v := range want {
+		got, ok := cs.Get(name)
+		if !ok || got != v {
+			t.Errorf("%s = %v (present %v), want %v", name, got, ok, v)
+		}
+	}
+	// The rendered table carries every counter for benchmark output.
+	str := cs.String()
+	for name := range want {
+		if !strings.Contains(str, name) {
+			t.Errorf("CounterSet.String() missing %s:\n%s", name, str)
+		}
 	}
 }

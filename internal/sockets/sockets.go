@@ -274,6 +274,7 @@ func (s *Server) serve(cs *connState) {
 //	SET key value    -> "OK"
 //	GET key          -> "VALUE <v>" or "NOTFOUND"
 //	DEL key          -> "OK" or "NOTFOUND"
+//	MDEL k1 k2 ...   -> "DELETED <n>" (n = how many existed; missing keys ignored)
 //	COUNT            -> "COUNT <n>"
 //	KEYS             -> "KEYS <k1> <k2> ..." (sorted; bare "KEYS" when empty)
 func (s *Server) handle(req string) string {
@@ -315,6 +316,24 @@ func (s *Server) handle(req string) string {
 			return "NOTFOUND"
 		}
 		return "OK"
+	case "MDEL":
+		// Bulk delete, one frame for many keys — what cluster migration
+		// uses to clear moved arcs without a round trip per key.
+		keys := strings.Fields(req)[1:]
+		if len(keys) == 0 {
+			return "ERR usage: MDEL key [key ...]"
+		}
+		n := 0
+		for _, k := range keys {
+			sh := s.shardFor(k)
+			sh.lock.Lock()
+			if _, ok := sh.store[k]; ok {
+				delete(sh.store, k)
+				n++
+			}
+			sh.lock.Unlock()
+		}
+		return fmt.Sprintf("DELETED %d", n)
 	case "COUNT":
 		// Shards are read-locked one at a time, so the count is a
 		// point-in-time sum per stripe, not an atomic global snapshot.
@@ -423,6 +442,38 @@ func doDel(rt roundTripper, key string) (bool, error) {
 	return false, fmt.Errorf("%w: %s", ErrServer, resp)
 }
 
+// mdelChunkBytes bounds one MDEL request's payload so bulk deletes of
+// arbitrarily many keys never hit the MaxFrame limit.
+const mdelChunkBytes = 64 << 10
+
+func doMDel(rt roundTripper, keys []string) (int, error) {
+	for _, k := range keys {
+		if err := validateKey(k); err != nil {
+			return 0, err
+		}
+	}
+	deleted := 0
+	for len(keys) > 0 {
+		// Take the longest prefix of keys that fits one chunk.
+		n, bytes := 0, len("MDEL")
+		for n < len(keys) && (n == 0 || bytes+1+len(keys[n]) <= mdelChunkBytes) {
+			bytes += 1 + len(keys[n])
+			n++
+		}
+		resp, err := rt("MDEL " + strings.Join(keys[:n], " "))
+		if err != nil {
+			return deleted, err
+		}
+		var d int
+		if _, err := fmt.Sscanf(resp, "DELETED %d", &d); err != nil {
+			return deleted, fmt.Errorf("%w: %s", ErrServer, resp)
+		}
+		deleted += d
+		keys = keys[n:]
+	}
+	return deleted, nil
+}
+
 func doCount(rt roundTripper) (int, error) {
 	resp, err := rt("COUNT")
 	if err != nil {
@@ -492,6 +543,11 @@ func (c *Client) Get(key string) (value string, found bool, err error) {
 
 // Del removes a key, reporting whether it existed.
 func (c *Client) Del(key string) (bool, error) { return doDel(c.roundTrip, key) }
+
+// MDel bulk-deletes keys, returning how many existed. Requests are
+// chunked so any number of keys stays under the frame limit; zero keys
+// is a no-op.
+func (c *Client) MDel(keys ...string) (int, error) { return doMDel(c.roundTrip, keys) }
 
 // Count returns the number of stored keys.
 func (c *Client) Count() (int, error) { return doCount(c.roundTrip) }

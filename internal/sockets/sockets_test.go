@@ -422,3 +422,90 @@ func TestServerCloseStopsAccepting(t *testing.T) {
 		c.Close()
 	}
 }
+
+func TestMDelCommand(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		if err := c.Set(fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a mix of present and missing keys: only present ones count.
+	n, err := c.MDel("k0", "k1", "k2", "missing", "k3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("MDel deleted %d, want 4", n)
+	}
+	left, err := c.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left != 6 {
+		t.Errorf("count after MDel = %d, want 6", left)
+	}
+	// Zero keys is a client-side no-op.
+	if n, err := c.MDel(); err != nil || n != 0 {
+		t.Errorf("empty MDel = (%d, %v)", n, err)
+	}
+	// Bad keys are rejected before touching the wire.
+	if _, err := c.MDel("ok", "bad key"); !errors.Is(err, ErrBadKey) {
+		t.Errorf("whitespace key error = %v, want ErrBadKey", err)
+	}
+	// Bare MDEL on the wire is a usage error.
+	resp := rawRequest(t, s.Addr(), "MDEL")
+	if !strings.HasPrefix(resp, "ERR") {
+		t.Errorf("bare MDEL = %q, want ERR", resp)
+	}
+}
+
+func TestMDelChunksLargeBatches(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Enough long keys that one MDEL frame would blow mdelChunkBytes
+	// many times over; the client must split transparently.
+	const n = 4000
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d-%s", i, strings.Repeat("x", 60))
+		if err := c.Set(keys[i], "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deleted, err := c.MDel(keys...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != n {
+		t.Errorf("MDel deleted %d, want %d", deleted, n)
+	}
+	if left, _ := c.Count(); left != 0 {
+		t.Errorf("count after chunked MDel = %d", left)
+	}
+}
+
+// rawRequest opens a bare connection and round-trips one frame, for
+// protocol cases the typed clients refuse to send.
+func rawRequest(t *testing.T, addr, req string) string {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
