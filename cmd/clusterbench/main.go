@@ -20,13 +20,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -52,18 +56,36 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Ctrl-C cancels the sweep: quorum ops in flight abort (laggard
+	// replica requests are canceled), the cluster drains through Close,
+	// and the tables cover whatever completed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("cluster scalability study: %d nodes, %d replicas, quorum W=R=%d, %d SET/GET pairs per run\n\n",
 		*nodes, *replicas, *replicas/2+1, *ops)
 	var ms []metrics.Measurement
+	interrupted := false
 	for _, nc := range clients {
-		elapsed, err := throughputRun(*nodes, *replicas, nc, *ops)
+		elapsed, err := throughputRun(ctx, *nodes, *replicas, nc, *ops)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				interrupted = true
+				break
+			}
 			fmt.Fprintln(os.Stderr, "clusterbench:", err)
 			os.Exit(1)
 		}
 		ms = append(ms, metrics.Measurement{Workers: nc, Elapsed: elapsed})
 		fmt.Printf("%3d clients: %12v  %10.0f quorum ops/sec\n",
 			nc, elapsed.Round(time.Microsecond), float64(2*(*ops))/elapsed.Seconds())
+	}
+	if interrupted {
+		fmt.Println("\ninterrupted: reporting the runs that completed")
+	}
+	if len(ms) == 0 {
+		fmt.Fprintln(os.Stderr, "clusterbench: interrupted before any run completed")
+		os.Exit(1)
 	}
 	tbl, err := metrics.BuildTable(ms)
 	if err != nil {
@@ -73,8 +95,11 @@ func main() {
 	fmt.Println()
 	fmt.Print(tbl)
 
+	if interrupted {
+		return // the failure/elasticity phases need an uninterrupted cluster
+	}
 	fmt.Println()
-	if err := availabilityAndJoin(*nodes, *replicas, *keys); err != nil {
+	if err := availabilityAndJoin(ctx, *nodes, *replicas, *keys); err != nil {
 		fmt.Fprintln(os.Stderr, "clusterbench:", err)
 		os.Exit(1)
 	}
@@ -111,8 +136,10 @@ func newCluster(nodes, replicas int) (*cluster.Cluster, error) {
 }
 
 // throughputRun drives one measurement: nclients goroutines splitting
-// ops quorum SET/GET pairs against a fresh cluster.
-func throughputRun(nodes, replicas, nclients, ops int) (time.Duration, error) {
+// ops quorum SET/GET pairs against a fresh cluster. Cancellation drains
+// the workers at the next quorum-op boundary and surfaces the wrapped
+// ctx error.
+func throughputRun(ctx context.Context, nodes, replicas, nclients, ops int) (time.Duration, error) {
 	c, err := newCluster(nodes, replicas)
 	if err != nil {
 		return 0, err
@@ -131,11 +158,11 @@ func throughputRun(nodes, replicas, nclients, ops int) (time.Duration, error) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
 				key := fmt.Sprintf("key-%d-%d", w, i%128)
-				if err := c.Put(key, "value"); err != nil {
+				if err := c.PutCtx(ctx, key, "value"); err != nil {
 					errs <- err
 					return
 				}
-				if _, _, err := c.Get(key); err != nil {
+				if _, _, err := c.GetCtx(ctx, key); err != nil {
 					errs <- err
 					return
 				}
@@ -152,15 +179,32 @@ func throughputRun(nodes, replicas, nclients, ops int) (time.Duration, error) {
 }
 
 // availabilityAndJoin runs the failure and elasticity phases on one
-// loaded cluster and prints the health report.
-func availabilityAndJoin(nodes, replicas, keys int) error {
+// loaded cluster and prints the health report. An interrupt mid-phase
+// drains the phase in flight and still prints the report, so the
+// counters accumulated before Ctrl-C are not lost.
+func availabilityAndJoin(ctx context.Context, nodes, replicas, keys int) error {
 	c, err := newCluster(nodes, replicas)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
+	phaseErr := failureAndElasticityPhases(ctx, c, nodes, replicas, keys)
+	if phaseErr != nil && !errors.Is(phaseErr, context.Canceled) {
+		return phaseErr
+	}
+	if phaseErr != nil {
+		fmt.Println("\ninterrupted: the health report covers the phases that completed")
+	}
+	fmt.Println("cluster health report:")
+	fmt.Print(c.Report())
+	fmt.Println("\nclient pool counters (summed across nodes):")
+	fmt.Print(c.PoolCounters())
+	return nil
+}
+
+func failureAndElasticityPhases(ctx context.Context, c *cluster.Cluster, nodes, replicas, keys int) error {
 	for i := 0; i < keys; i++ {
-		if err := c.Put(fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)); err != nil {
+		if err := c.PutCtx(ctx, fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)); err != nil {
 			return err
 		}
 	}
@@ -174,10 +218,13 @@ func availabilityAndJoin(nodes, replicas, keys int) error {
 	c.Probe()
 	var readOK, writeOK atomic.Int64
 	for i := 0; i < keys; i++ {
-		if v, ok, err := c.Get(fmt.Sprintf("key-%d", i)); err == nil && ok && v == fmt.Sprintf("val-%d", i) {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("clusterbench: availability phase canceled: %w", err)
+		}
+		if v, ok, err := c.GetCtx(ctx, fmt.Sprintf("key-%d", i)); err == nil && ok && v == fmt.Sprintf("val-%d", i) {
 			readOK.Add(1)
 		}
-		if err := c.Put(fmt.Sprintf("key-%d", i), fmt.Sprintf("val2-%d", i)); err == nil {
+		if err := c.PutCtx(ctx, fmt.Sprintf("key-%d", i), fmt.Sprintf("val2-%d", i)); err == nil {
 			writeOK.Add(1)
 		}
 	}
@@ -193,6 +240,9 @@ func availabilityAndJoin(nodes, replicas, keys int) error {
 	replayed, _ := c.Counters().Get("cluster.hints-replayed")
 	fmt.Printf("  hints replayed on restart: %.0f\n\n", replayed)
 
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("clusterbench: canceled before the elasticity phase: %w", err)
+	}
 	before := c.Moves()
 	if err := c.Join("joiner"); err != nil {
 		return err
@@ -200,10 +250,5 @@ func availabilityAndJoin(nodes, replicas, keys int) error {
 	moved := c.Moves() - before
 	fmt.Printf("elasticity: joining a %dth node moved %d of %d keys (~K/n = %d expected)\n\n",
 		nodes+1, moved, keys, keys/(nodes+1))
-
-	fmt.Println("cluster health report:")
-	fmt.Print(c.Report())
-	fmt.Println("\nclient pool counters (summed across nodes):")
-	fmt.Print(c.PoolCounters())
 	return nil
 }

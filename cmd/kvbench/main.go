@@ -12,12 +12,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/metrics"
@@ -48,13 +52,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Ctrl-C cancels the sweep: the in-flight run drains (workers stop at
+	// the next request boundary) and the table covers the finished runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("KV server scalability study: %d shards, %d SET/GET pairs per run\n\n", *shards, *ops)
 	var ms []metrics.Measurement
 	var lastHist *metrics.Histogram
 	var lastPool *metrics.CounterSet
+	interrupted := false
 	for _, nc := range clients {
-		elapsed, hist, pool, err := run(*shards, nc, *ops)
+		elapsed, hist, pool, err := run(ctx, *shards, nc, *ops)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				interrupted = true
+				break
+			}
 			fmt.Fprintln(os.Stderr, "kvbench:", err)
 			os.Exit(1)
 		}
@@ -64,6 +78,13 @@ func main() {
 		opsSec := float64(2*(*ops)) / elapsed.Seconds()
 		fmt.Printf("%3d clients: %12v  %10.0f ops/sec  (%.0f retries)\n",
 			nc, elapsed.Round(time.Microsecond), opsSec, retries)
+	}
+	if interrupted {
+		fmt.Println("\ninterrupted: reporting the runs that completed")
+	}
+	if len(ms) == 0 {
+		fmt.Fprintln(os.Stderr, "kvbench: interrupted before any run completed")
+		os.Exit(1)
 	}
 	tbl, err := metrics.BuildTable(ms)
 	if err != nil {
@@ -81,8 +102,10 @@ func main() {
 }
 
 // run drives one measurement: nclients workers sharing a pool of the
-// same size, splitting ops SET/GET pairs against a fresh server.
-func run(shards, nclients, ops int) (time.Duration, *metrics.Histogram, *metrics.CounterSet, error) {
+// same size, splitting ops SET/GET pairs against a fresh server. The
+// context bounds every request; cancellation drains the workers at the
+// next request boundary and surfaces the wrapped ctx error.
+func run(ctx context.Context, shards, nclients, ops int) (time.Duration, *metrics.Histogram, *metrics.CounterSet, error) {
 	s, err := sockets.NewServerConfig("127.0.0.1:0", sockets.ServerConfig{Shards: shards})
 	if err != nil {
 		return 0, nil, nil, err
@@ -107,11 +130,11 @@ func run(shards, nclients, ops int) (time.Duration, *metrics.Histogram, *metrics
 			defer wg.Done()
 			for i := 0; i < per; i++ {
 				key := fmt.Sprintf("key-%d-%d", c, i%128)
-				if err := p.Set(key, "value"); err != nil {
+				if err := p.SetCtx(ctx, key, "value"); err != nil {
 					errs <- err
 					return
 				}
-				if _, _, err := p.Get(key); err != nil {
+				if _, _, err := p.GetCtx(ctx, key); err != nil {
 					errs <- err
 					return
 				}

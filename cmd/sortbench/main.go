@@ -14,11 +14,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/metrics"
@@ -62,18 +66,33 @@ func main() {
 	}
 	fmt.Printf("%s scalability study: n=%d, best of %d reps per worker count\n\n", name, *n, *reps)
 
+	// Ctrl-C cancels the sweep between reps (and mid-run for the
+	// ctx-aware sample sort): the rep in flight drains and the table
+	// covers the worker counts that finished.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var ms []metrics.Measurement
 	var lastStats sched.Stats
+	interrupted := false
 	for _, w := range workers {
 		pool := sched.New(w)
 		best := time.Duration(0)
 		var stats sched.Stats
 		for r := 0; r < *reps; r++ {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			before := pool.Stats()
 			start := time.Now()
-			out, err := run(pool, xs)
+			out, err := run(ctx, pool, xs)
 			elapsed := time.Since(start)
 			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					interrupted = true
+					break
+				}
 				fmt.Fprintln(os.Stderr, "sortbench:", err)
 				os.Exit(1)
 			}
@@ -86,13 +105,25 @@ func main() {
 			}
 		}
 		pool.Close()
-		ms = append(ms, metrics.Measurement{Workers: w, Elapsed: best})
-		lastStats = stats
-		fmt.Printf("%3d workers: %12v   tasks %6d  steals %5d  steal-rate %.3f\n",
-			w, best.Round(time.Microsecond), stats.Tasks, stats.Steals, stats.StealRate())
+		if best > 0 {
+			ms = append(ms, metrics.Measurement{Workers: w, Elapsed: best})
+			lastStats = stats
+			fmt.Printf("%3d workers: %12v   tasks %6d  steals %5d  steal-rate %.3f\n",
+				w, best.Round(time.Microsecond), stats.Tasks, stats.Steals, stats.StealRate())
+		}
+		if interrupted {
+			break
+		}
+	}
+	if interrupted {
+		fmt.Println("\ninterrupted: reporting the runs that completed")
+	}
+	if len(ms) == 0 {
+		fmt.Fprintln(os.Stderr, "sortbench: interrupted before any run completed")
+		os.Exit(1)
 	}
 
-	if *spawn {
+	if *spawn && !interrupted {
 		best := time.Duration(0)
 		for r := 0; r < *reps; r++ {
 			start := time.Now()
@@ -121,23 +152,25 @@ func main() {
 	fmt.Print(lastStats.Counters())
 }
 
-// sorter maps an -algo name to a pool-parameterized sort.
-func sorter(algo string) (func(*sched.Pool, []int64) ([]int64, error), string) {
+// sorter maps an -algo name to a pool-parameterized sort. The context
+// reaches the ctx-aware variants (sample sort); the fork-join merge
+// sorts are atomic per rep and honor cancellation between reps instead.
+func sorter(algo string) (func(context.Context, *sched.Pool, []int64) ([]int64, error), string) {
 	switch algo {
 	case "pmsort":
-		return func(p *sched.Pool, xs []int64) ([]int64, error) {
+		return func(_ context.Context, p *sched.Pool, xs []int64) ([]int64, error) {
 			return psort.ParallelMergeSortOn(p, xs, 0), nil
 		}, "parallel merge sort (serial merge)"
 	case "pmsortpm":
-		return func(p *sched.Pool, xs []int64) ([]int64, error) {
+		return func(_ context.Context, p *sched.Pool, xs []int64) ([]int64, error) {
 			return psort.ParallelMergeSortPMOn(p, xs, 0), nil
 		}, "parallel merge sort (parallel merge)"
 	case "samplesort":
-		return func(p *sched.Pool, xs []int64) ([]int64, error) {
-			return psort.SampleSortOn(p, xs, 8*p.Workers())
+		return func(ctx context.Context, p *sched.Pool, xs []int64) ([]int64, error) {
+			return psort.SampleSortOnCtx(ctx, p, xs, 8*p.Workers())
 		}, "sample sort"
 	case "bitonic":
-		return func(p *sched.Pool, xs []int64) ([]int64, error) {
+		return func(_ context.Context, p *sched.Pool, xs []int64) ([]int64, error) {
 			return psort.BitonicSortOn(p, xs)
 		}, "bitonic sorting network"
 	}

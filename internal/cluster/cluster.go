@@ -17,6 +17,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -61,6 +62,11 @@ type Config struct {
 	PoolAttempts int
 	// ServerShards is each node's store-stripe count (default 8).
 	ServerShards int
+
+	// serverPreHandle is a test hook: when non-nil it supplies each
+	// named node's sockets.ServerConfig.PreHandle, letting tests make a
+	// replica deliberately slow (the quorum-abort laggard).
+	serverPreHandle func(name string) func(req string)
 }
 
 // Errors the cluster operations return.
@@ -126,15 +132,21 @@ type Cluster struct {
 	nodes  map[string]*node
 	order  []string // join order, for stable iteration and reports
 
-	sched  *sched.Pool
-	seq    atomic.Int64 // write sequence for last-write-wins resolution
-	stop   chan struct{}
+	sched *sched.Pool
+	seq   atomic.Int64 // write sequence for last-write-wins resolution
+
+	// ctx is the cluster lifetime: canceled by Close, it interrupts the
+	// heartbeat loop mid-probe, aborts hint replay and key migration,
+	// and bounds every background network wait.
+	ctx    context.Context
+	cancel context.CancelFunc
 	hbWG   sync.WaitGroup
 	closed atomic.Bool
 
 	puts           atomic.Int64
 	gets           atomic.Int64
 	quorumFailures atomic.Int64
+	opsCanceled    atomic.Int64
 	hintedWrites   atomic.Int64
 	hintsReplayed  atomic.Int64
 	downEvents     atomic.Int64
@@ -201,8 +213,8 @@ func New(cfg Config) (*Cluster, error) {
 		keys:  make(map[string]struct{}),
 		nodes: make(map[string]*node),
 		sched: sched.New(cfg.Workers),
-		stop:  make(chan struct{}),
 	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Nodes; i++ {
 		name := fmt.Sprintf("node%d", i)
 		n, err := c.startNode(name)
@@ -221,10 +233,14 @@ func New(cfg Config) (*Cluster, error) {
 
 // startNode boots one server plus its pooled client.
 func (c *Cluster) startNode(name string) (*node, error) {
-	srv, err := sockets.NewServerConfig("127.0.0.1:0", sockets.ServerConfig{
+	scfg := sockets.ServerConfig{
 		Shards:       c.cfg.ServerShards,
 		DrainTimeout: time.Second,
-	})
+	}
+	if c.cfg.serverPreHandle != nil {
+		scfg.PreHandle = c.cfg.serverPreHandle(name)
+	}
+	srv, err := sockets.NewServerConfig("127.0.0.1:0", scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -244,15 +260,15 @@ func (c *Cluster) poolConfig() sockets.PoolConfig {
 	}
 }
 
-// Close stops the failure detector, the node servers and clients, and
-// the migration pool.
+// Close cancels the cluster context — interrupting an in-progress
+// heartbeat probe, hint replay, or migration instead of waiting out
+// their timeouts — then stops the node servers and clients and the
+// migration pool.
 func (c *Cluster) Close() {
 	if c.closed.Swap(true) {
 		return
 	}
-	if c.stop != nil {
-		close(c.stop)
-	}
+	c.cancel()
 	c.hbWG.Wait()
 	c.topoMu.Lock()
 	nodes := make([]*node, 0, len(c.nodes))
@@ -340,16 +356,31 @@ func (c *Cluster) placeLocked(key string) placement {
 	return p
 }
 
-// Put stores key = value on a write quorum of its replicas. Replicas
-// that are down (or fail mid-write) receive hinted handoffs on the next
-// live fallback node; a hinted write counts toward the (sloppy) quorum.
-// ErrNoQuorum reports a write that fewer than W replicas acknowledged.
+// Put stores key = value on a write quorum of its replicas with no
+// caller deadline. It wraps PutCtx with context.Background().
 func (c *Cluster) Put(key, value string) error {
+	return c.PutCtx(context.Background(), key, value)
+}
+
+// PutCtx stores key = value on a write quorum of its replicas under
+// ctx. Replicas that are down (or fail mid-write) receive hinted
+// handoffs on the next live fallback node; a hinted write counts toward
+// the (sloppy) quorum. The replica fan-out runs under a per-op context
+// that is canceled the moment W acks arrive, so a slow replica costs
+// the write nothing beyond quorum time — its in-flight request is
+// abandoned, not waited out. ErrNoQuorum reports a write that fewer
+// than W replicas acknowledged; a canceled or expired ctx surfaces as
+// an error wrapping ctx.Err().
+func (c *Cluster) PutCtx(ctx context.Context, key, value string) error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
 	if err := c.validateKey(key); err != nil {
 		return err
+	}
+	if err := ctx.Err(); err != nil {
+		c.opsCanceled.Add(1)
+		return fmt.Errorf("cluster: put %q aborted: %w", key, err)
 	}
 	seq := c.seq.Add(1)
 	enc := encode(seq, value)
@@ -364,56 +395,87 @@ func (c *Cluster) Put(key, value string) error {
 	c.topoMu.Unlock()
 	c.puts.Add(1)
 
-	var acks atomic.Int64
-	var wg sync.WaitGroup
+	opCtx, cancel := context.WithCancel(ctx)
+	defer cancel() // reached with quorum: the laggards' requests abort now
+	acks := make(chan bool, len(p.replicas))
 	for _, target := range p.replicas {
-		wg.Add(1)
 		go func(target *node) {
-			defer wg.Done()
-			if c.writeReplica(key, enc, target, p.fallbacks) {
-				acks.Add(1)
-			}
+			acks <- c.writeReplica(opCtx, key, enc, target, p.fallbacks)
 		}(target)
 	}
-	wg.Wait()
-	if int(acks.Load()) < c.cfg.WriteQuorum {
-		c.quorumFailures.Add(1)
-		return fmt.Errorf("%w: %d/%d write acks for %q", ErrNoQuorum, acks.Load(), c.cfg.WriteQuorum, key)
+	got := 0
+	for pending := len(p.replicas); pending > 0; pending-- {
+		select {
+		case ok := <-acks:
+			if ok {
+				got++
+			}
+		case <-ctx.Done():
+			c.opsCanceled.Add(1)
+			return fmt.Errorf("cluster: put %q canceled at %d/%d write acks: %w",
+				key, got, c.cfg.WriteQuorum, ctx.Err())
+		}
+		if got >= c.cfg.WriteQuorum {
+			return nil
+		}
 	}
-	return nil
+	c.quorumFailures.Add(1)
+	return fmt.Errorf("%w: %d/%d write acks for %q", ErrNoQuorum, got, c.cfg.WriteQuorum, key)
 }
 
 // writeReplica lands one replica's copy: directly when the node is
 // healthy, as a hinted handoff on the first live fallback when not.
-func (c *Cluster) writeReplica(key, enc string, target *node, fallbacks []*node) bool {
+// ctx is the per-op fan-out context; once it is canceled (quorum
+// reached or caller gone) the remaining network attempts abort.
+func (c *Cluster) writeReplica(ctx context.Context, key, enc string, target *node, fallbacks []*node) bool {
 	if !target.down.Load() {
-		if err := target.client().Set(key, enc); err == nil {
+		if err := target.client().SetCtx(ctx, key, enc); err == nil {
 			return true
 		}
+	}
+	if ctx.Err() != nil {
+		return false // canceled: don't burn fallbacks on a dead op
 	}
 	hk := hintKey(target.name, key)
 	for _, f := range fallbacks {
 		if f.down.Load() {
 			continue
 		}
-		if err := f.client().Set(hk, enc); err == nil {
+		if err := f.client().SetCtx(ctx, hk, enc); err == nil {
 			c.hintedWrites.Add(1)
 			return true
+		}
+		if ctx.Err() != nil {
+			return false
 		}
 	}
 	return false
 }
 
-// Get reads key from a read quorum of its replicas and returns the
-// newest version (last-write-wins by sequence number). found is false
-// when a quorum agrees the key does not exist; ErrNoQuorum reports
-// fewer than R reachable replicas.
+// Get reads key from a read quorum of its replicas with no caller
+// deadline. It wraps GetCtx with context.Background().
 func (c *Cluster) Get(key string) (value string, found bool, err error) {
+	return c.GetCtx(context.Background(), key)
+}
+
+// GetCtx reads key from a read quorum of its replicas under ctx and
+// returns the newest version seen (last-write-wins by sequence number).
+// Replies are consumed as they arrive; the R-th answer resolves the
+// read and cancels the stragglers — quorum intersection (W+R >
+// Replicas) already guarantees the newest quorum write is among any R
+// distinct replica answers. found is false when a quorum agrees the key
+// does not exist; ErrNoQuorum reports fewer than R reachable replicas;
+// a canceled or expired ctx surfaces as an error wrapping ctx.Err().
+func (c *Cluster) GetCtx(ctx context.Context, key string) (value string, found bool, err error) {
 	if c.closed.Load() {
 		return "", false, ErrClosed
 	}
 	if err := c.validateKey(key); err != nil {
 		return "", false, err
+	}
+	if err := ctx.Err(); err != nil {
+		c.opsCanceled.Add(1)
+		return "", false, fmt.Errorf("cluster: get %q aborted: %w", key, err)
 	}
 	p := c.place(key)
 	c.gets.Add(1)
@@ -424,50 +486,56 @@ func (c *Cluster) Get(key string) (value string, found bool, err error) {
 		found bool
 		err   error
 	}
-	resps := make([]resp, len(p.replicas))
-	var wg sync.WaitGroup
-	for i, n := range p.replicas {
-		wg.Add(1)
-		go func(i int, n *node) {
-			defer wg.Done()
+	opCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resps := make(chan resp, len(p.replicas))
+	for _, n := range p.replicas {
+		go func(n *node) {
 			if n.down.Load() {
-				resps[i].err = fmt.Errorf("cluster: node %s is down", n.name)
+				resps <- resp{err: fmt.Errorf("cluster: node %s is down", n.name)}
 				return
 			}
-			raw, ok, err := n.client().Get(key)
+			raw, ok, err := n.client().GetCtx(opCtx, key)
 			if err != nil {
-				resps[i].err = err
+				resps <- resp{err: err}
 				return
 			}
 			if !ok {
-				return // a valid "not here" answer
+				resps <- resp{} // a valid "not here" answer
+				return
 			}
 			seq, v, err := decode(raw)
 			if err != nil {
-				resps[i].err = err
+				resps <- resp{err: err}
 				return
 			}
-			resps[i] = resp{seq: seq, value: v, found: true}
-		}(i, n)
+			resps <- resp{seq: seq, value: v, found: true}
+		}(n)
 	}
-	wg.Wait()
 
 	answered := 0
 	var best resp
-	for _, r := range resps {
-		if r.err != nil {
-			continue
+	for pending := len(p.replicas); pending > 0; pending-- {
+		select {
+		case r := <-resps:
+			if r.err != nil {
+				continue
+			}
+			answered++
+			if r.found && (!best.found || r.seq > best.seq) {
+				best = r
+			}
+		case <-ctx.Done():
+			c.opsCanceled.Add(1)
+			return "", false, fmt.Errorf("cluster: get %q canceled at %d/%d read answers: %w",
+				key, answered, c.cfg.ReadQuorum, ctx.Err())
 		}
-		answered++
-		if r.found && (!best.found || r.seq > best.seq) {
-			best = r
+		if answered >= c.cfg.ReadQuorum {
+			return best.value, best.found, nil
 		}
 	}
-	if answered < c.cfg.ReadQuorum {
-		c.quorumFailures.Add(1)
-		return "", false, fmt.Errorf("%w: %d/%d read answers for %q", ErrNoQuorum, answered, c.cfg.ReadQuorum, key)
-	}
-	return best.value, best.found, nil
+	c.quorumFailures.Add(1)
+	return "", false, fmt.Errorf("%w: %d/%d read answers for %q", ErrNoQuorum, answered, c.cfg.ReadQuorum, key)
 }
 
 // lookup resolves a node by name.
@@ -520,6 +588,6 @@ func (c *Cluster) Restart(name string) error {
 	// The node may never have been marked down (killed and restarted
 	// between probes) yet still have hints parked from failed direct
 	// writes; replay is idempotent, so sweep again unconditionally.
-	c.replayHints(n)
+	c.replayHints(c.ctx, n)
 	return nil
 }

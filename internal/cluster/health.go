@@ -1,8 +1,7 @@
 package cluster
 
 import (
-	"fmt"
-	"net"
+	"context"
 	"strings"
 	"sync"
 	"time"
@@ -11,14 +10,17 @@ import (
 )
 
 // heartbeatLoop is the failure detector: every HeartbeatInterval it
-// probes all members and flips their up/down state.
+// probes all members and flips their up/down state. The cluster context
+// ends the loop — and, because every probe runs under that context,
+// Close interrupts an in-progress heartbeat wait instead of sitting out
+// the rest of the current HeartbeatTimeout.
 func (c *Cluster) heartbeatLoop() {
 	defer c.hbWG.Done()
 	t := time.NewTicker(c.cfg.HeartbeatInterval)
 	defer t.Stop()
 	for {
 		select {
-		case <-c.stop:
+		case <-c.ctx.Done():
 			return
 		case <-t.C:
 			c.Probe()
@@ -50,9 +52,13 @@ func (c *Cluster) Probe() {
 // probeNode pings one node and applies the state transition: silence
 // marks it down (writes start hinting, reads route around it); a
 // successful probe of a down node marks it up again and replays any
-// hinted handoffs parked for it. Reports whether the node answered.
+// hinted handoffs parked for it. Reports whether the node answered. A
+// probe cut short by cluster shutdown changes no state.
 func (c *Cluster) probeNode(n *node) bool {
-	err := probeAddr(n.address(), c.cfg.HeartbeatTimeout)
+	err := probeAddr(c.ctx, n.address(), c.cfg.HeartbeatTimeout)
+	if c.ctx.Err() != nil {
+		return false // shutting down: an interrupted probe proves nothing
+	}
 	if err != nil {
 		if !n.down.Swap(true) {
 			c.downEvents.Add(1)
@@ -62,7 +68,7 @@ func (c *Cluster) probeNode(n *node) bool {
 	if n.down.Load() {
 		// Replay before flipping up so a write racing the transition
 		// still hints (hints are deduplicated by sequence on replay).
-		c.replayHints(n)
+		c.replayHints(c.ctx, n)
 		n.down.Store(false)
 		c.upEvents.Add(1)
 	}
@@ -71,31 +77,24 @@ func (c *Cluster) probeNode(n *node) bool {
 
 // probeAddr round-trips one PING on a dedicated connection, off to the
 // side of the request pools, so a wedged pool cannot mask a live node
-// (or vice versa).
-func probeAddr(addr string, timeout time.Duration) error {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+// (or vice versa). The wait is min(timeout, ctx): cluster shutdown
+// interrupts a probe mid-dial or mid-read.
+func probeAddr(ctx context.Context, addr string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	cl, err := sockets.DialCtx(ctx, addr)
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck // best effort
-	if err := sockets.WriteFrame(conn, []byte("PING")); err != nil {
-		return err
-	}
-	resp, err := sockets.ReadFrame(conn)
-	if err != nil {
-		return err
-	}
-	if string(resp) != "PONG" {
-		return fmt.Errorf("cluster: probe reply %q", resp)
-	}
-	return nil
+	defer cl.Close()
+	return cl.PingCtx(ctx)
 }
 
 // replayHints scans the other members for hinted handoffs parked for
 // dest, applies every hint that is newer than what dest holds, and
-// deletes the consumed hints. Returns how many hints were applied.
-func (c *Cluster) replayHints(dest *node) int {
+// deletes the consumed hints. Returns how many hints were applied. The
+// sweep aborts between (and inside) per-node scans once ctx is done.
+func (c *Cluster) replayHints(ctx context.Context, dest *node) int {
 	prefix := hintMark + dest.name + "~"
 	c.topoMu.RLock()
 	holders := make([]*node, 0, len(c.order))
@@ -108,10 +107,13 @@ func (c *Cluster) replayHints(dest *node) int {
 
 	applied := 0
 	for _, holder := range holders {
+		if ctx.Err() != nil {
+			break
+		}
 		if holder.down.Load() {
 			continue
 		}
-		keys, err := holder.client().Keys()
+		keys, err := holder.client().KeysCtx(ctx)
 		if err != nil {
 			continue
 		}
@@ -120,12 +122,12 @@ func (c *Cluster) replayHints(dest *node) int {
 			if !strings.HasPrefix(hk, prefix) {
 				continue
 			}
-			raw, ok, err := holder.client().Get(hk)
+			raw, ok, err := holder.client().GetCtx(ctx, hk)
 			if err != nil || !ok {
 				continue
 			}
 			key := strings.TrimPrefix(hk, prefix)
-			if c.applyHint(dest, key, raw) {
+			if c.applyHint(ctx, dest, key, raw) {
 				applied++
 			}
 			// Consumed either way: a stale hint (older than what dest
@@ -133,7 +135,7 @@ func (c *Cluster) replayHints(dest *node) int {
 			consumed = append(consumed, hk)
 		}
 		if len(consumed) > 0 {
-			holder.client().MDel(consumed...) //nolint:errcheck // best effort cleanup
+			holder.client().MDelCtx(ctx, consumed...) //nolint:errcheck // best effort cleanup
 		}
 	}
 	c.hintsReplayed.Add(int64(applied))
@@ -142,15 +144,15 @@ func (c *Cluster) replayHints(dest *node) int {
 
 // applyHint writes one hinted value to its home node unless the node
 // already holds something at least as new (last-write-wins).
-func (c *Cluster) applyHint(dest *node, key, raw string) bool {
+func (c *Cluster) applyHint(ctx context.Context, dest *node, key, raw string) bool {
 	hintSeq, _, err := decode(raw)
 	if err != nil {
 		return false
 	}
-	if cur, ok, err := dest.client().Get(key); err == nil && ok {
+	if cur, ok, err := dest.client().GetCtx(ctx, key); err == nil && ok {
 		if curSeq, _, err := decode(cur); err == nil && curSeq >= hintSeq {
 			return false
 		}
 	}
-	return dest.client().Set(key, raw) == nil
+	return dest.client().SetCtx(ctx, key, raw) == nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -41,7 +42,7 @@ func (c *Cluster) Join(name string) error {
 	moves := c.movesSinceLocked(before)
 	byName := c.nodeSnapshotLocked()
 	c.topoMu.Unlock()
-	return c.migrate(moves, byName)
+	return c.migrate(c.ctx, moves, byName)
 }
 
 // Leave removes a node gracefully: the ring shrinks first, the keys it
@@ -76,7 +77,7 @@ func (c *Cluster) Leave(name string) error {
 	}
 	moves := c.movesSinceLocked(before)
 	c.topoMu.Unlock()
-	err := c.migrate(moves, byName)
+	err := c.migrate(c.ctx, moves, byName)
 	leaving.client().Close()
 	leaving.server().Close()
 	return err
@@ -144,16 +145,22 @@ func subtract(a, b []string) []string {
 
 // migrate copies each moved key from a live old replica to its new
 // homes, one sched task per key so big migrations use every worker,
-// then bulk-deletes the vacated copies per node in one MDEL each.
-func (c *Cluster) migrate(moves []move, byName map[string]*node) error {
+// then bulk-deletes the vacated copies per node in one MDEL each. The
+// fan-out rides ParallelForCtx on the cluster context: Close stops
+// seeding per-key tasks and aborts the in-flight copies, so a shutdown
+// never waits out a large migration.
+func (c *Cluster) migrate(ctx context.Context, moves []move, byName map[string]*node) error {
 	if len(moves) == 0 {
 		return nil
 	}
 	var delMu sync.Mutex
 	dels := make(map[string][]string) // node -> keys to clear
 
-	err := c.sched.ParallelFor(len(moves), 1, func(lo, hi int) {
+	err := c.sched.ParallelForCtx(ctx, len(moves), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			m := moves[i]
 			var raw string
 			var ok bool
@@ -162,7 +169,7 @@ func (c *Cluster) migrate(moves []move, byName map[string]*node) error {
 				if n == nil || n.down.Load() {
 					continue
 				}
-				if v, found, err := n.client().Get(m.key); err == nil {
+				if v, found, err := n.client().GetCtx(ctx, m.key); err == nil {
 					raw, ok = v, found
 					break
 				}
@@ -175,7 +182,7 @@ func (c *Cluster) migrate(moves []move, byName map[string]*node) error {
 				if n == nil || n.down.Load() {
 					continue
 				}
-				if n.client().Set(m.key, raw) == nil {
+				if n.client().SetCtx(ctx, m.key, raw) == nil {
 					c.keysMigrated.Add(1)
 				}
 			}
@@ -190,7 +197,7 @@ func (c *Cluster) migrate(moves []move, byName map[string]*node) error {
 	})
 	for name, keys := range dels {
 		if n := byName[name]; n != nil && !n.down.Load() {
-			n.client().MDel(keys...) //nolint:errcheck // vacated copies; best effort
+			n.client().MDelCtx(ctx, keys...) //nolint:errcheck // vacated copies; best effort
 		}
 	}
 	return err

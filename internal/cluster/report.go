@@ -16,6 +16,7 @@ func (c *Cluster) Counters() *metrics.CounterSet {
 	cs.Add("cluster.puts", float64(c.puts.Load()))
 	cs.Add("cluster.gets", float64(c.gets.Load()))
 	cs.Add("cluster.quorum-failures", float64(c.quorumFailures.Load()))
+	cs.Add("cluster.ops-canceled", float64(c.opsCanceled.Load()))
 	cs.Add("cluster.hinted-writes", float64(c.hintedWrites.Load()))
 	cs.Add("cluster.hints-replayed", float64(c.hintsReplayed.Load()))
 	cs.Add("cluster.down-events", float64(c.downEvents.Load()))

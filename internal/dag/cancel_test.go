@@ -1,0 +1,55 @@
+package dag
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestExecuteCtxCanceledMidGraph: canceling a running graph execution
+// stops successors from being released; the run drains, reports the
+// wrapped ctx error, and the partial report shows a strict prefix of
+// the graph executed.
+func TestExecuteCtxCanceledMidGraph(t *testing.T) {
+	g := New()
+	// A 200-task chain at 2ms per task: ~400ms serial makespan, so a
+	// 50ms cancel must land mid-graph with wide margins on both sides.
+	const chain = 200
+	prev := g.AddTask(1, "t0")
+	for i := 1; i < chain; i++ {
+		n := g.AddTask(1, "t")
+		g.AddEdge(prev, n)
+		prev = n
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	rep, err := ExecuteCtx(ctx, g, 2, 2*time.Millisecond)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecuteCtx = %v, want wrapped context.Canceled", err)
+	}
+	if rep.Tasks == 0 || rep.Tasks >= chain {
+		t.Errorf("partial report ran %d of %d tasks, want a strict non-empty prefix", rep.Tasks, chain)
+	}
+}
+
+// TestExecuteCtxPreCanceled: a context that is already done aborts
+// before any task runs.
+func TestExecuteCtxPreCanceled(t *testing.T) {
+	g := New()
+	g.AddTask(1, "only")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := ExecuteCtx(ctx, g, 2, time.Millisecond)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecuteCtx on canceled ctx = %v, want wrapped context.Canceled", err)
+	}
+	if rep.Tasks != 0 {
+		t.Errorf("pre-canceled run executed %d tasks", rep.Tasks)
+	}
+}

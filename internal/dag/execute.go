@@ -1,6 +1,7 @@
 package dag
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync/atomic"
@@ -36,8 +37,17 @@ type ExecReport struct {
 // busy-spins for cost*unit (the simulated grain), tasks become ready
 // when their last predecessor finishes, and ready tasks are forked onto
 // the scheduler — so the measured makespan includes real stealing and
-// load-balancing effects. Returns ErrCycle for cyclic graphs.
+// load-balancing effects. Returns ErrCycle for cyclic graphs. It wraps
+// ExecuteCtx with context.Background().
 func Execute(g *Graph, workers int, unit time.Duration) (ExecReport, error) {
+	return ExecuteCtx(context.Background(), g, workers, unit)
+}
+
+// ExecuteCtx is Execute under a caller lifetime: once ctx is done, no
+// newly-ready task is forked (tasks already running finish their spin),
+// the graph drains, and the wrapped ctx.Err() comes back alongside a
+// partial report — Tasks says how deep into the graph the run got.
+func ExecuteCtx(ctx context.Context, g *Graph, workers int, unit time.Duration) (ExecReport, error) {
 	if workers <= 0 {
 		return ExecReport{}, errors.New("dag: workers must be positive")
 	}
@@ -76,6 +86,9 @@ func Execute(g *Graph, workers int, unit time.Duration) (ExecReport, error) {
 		tasksRun.Add(1)
 		for _, s := range g.succ[t] {
 			if remaining[s].Add(-1) == 0 {
+				if ctx.Err() != nil {
+					continue // canceled: stop releasing successors
+				}
 				s := s
 				grp.Fork(c, func(c2 *sched.Task) { runTask(c2, grp, s) })
 			}
@@ -83,7 +96,7 @@ func Execute(g *Graph, workers int, unit time.Duration) (ExecReport, error) {
 	}
 
 	start := time.Now()
-	err = pool.Do(func(c *sched.Task) {
+	err = pool.DoCtx(ctx, func(c *sched.Task) {
 		var grp sched.Group
 		// Seed only the true roots (initial indegree zero). Checking
 		// remaining==0 here instead would race with running tasks: a
@@ -91,6 +104,9 @@ func Execute(g *Graph, workers int, unit time.Duration) (ExecReport, error) {
 		// forked both here and by runTask's Add(-1)==0 path, running
 		// twice and releasing its successors early.
 		for t := 0; t < n; t++ {
+			if ctx.Err() != nil {
+				break
+			}
 			if len(g.pred[t]) == 0 {
 				t := Task(t)
 				grp.Fork(c, func(c2 *sched.Task) { runTask(c2, &grp, t) })
@@ -98,12 +114,12 @@ func Execute(g *Graph, workers int, unit time.Duration) (ExecReport, error) {
 		}
 		grp.Wait(c)
 	})
-	if err != nil {
-		return rep, err
-	}
 	rep.Elapsed = time.Since(start)
 	rep.Tasks = tasksRun.Load()
 	rep.Sched = pool.Stats()
+	if err != nil {
+		return rep, err
+	}
 
 	if span > 0 {
 		rep.Parallelism = float64(rep.Work) / float64(span)

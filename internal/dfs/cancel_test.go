@@ -1,0 +1,60 @@
+package dfs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunCtxPreCanceled: an already-canceled context aborts the
+// scenario before any operation runs, the replicas are still released
+// (mp.Run returns), and the error wraps context.Canceled.
+func TestRunCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := fastCluster(2)
+	res, err := c.RunCtx(ctx, Scenario{"put k v", "get k v"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx on canceled ctx = %v, want wrapped context.Canceled", err)
+	}
+	if res.Ops != 0 {
+		t.Errorf("pre-canceled scenario ran %d ops", res.Ops)
+	}
+}
+
+// TestRunCtxDeadlineBoundsFailoverWait: with the primary crashed and a
+// context deadline far shorter than the heartbeat, the client's reply
+// wait is truncated to the context budget — the run ends with a wrapped
+// DeadlineExceeded instead of sitting out a multi-second heartbeat and
+// declaring a spurious failover.
+func TestRunCtxDeadlineBoundsFailoverWait(t *testing.T) {
+	c := Cluster{Replicas: 2, Heartbeat: 5 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := c.RunCtx(ctx, Scenario{"put k v", "crash", "get k v"})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunCtx = %v, want wrapped DeadlineExceeded", err)
+	}
+	if elapsed >= c.Heartbeat {
+		t.Errorf("run took %v: the reply wait was not bounded by the ctx deadline", elapsed)
+	}
+	if res.Failovers != 0 {
+		t.Errorf("context-truncated wait triggered %d spurious failovers", res.Failovers)
+	}
+}
+
+// TestRunCtxBackgroundUnchanged: the ctx-less Run wrapper still drives
+// whole scenarios, failover included.
+func TestRunCtxBackgroundUnchanged(t *testing.T) {
+	c := fastCluster(3)
+	res, err := c.Run(Scenario{"put k v", "crash", "get k v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failovers != 1 {
+		t.Errorf("failovers = %d, want 1", res.Failovers)
+	}
+}

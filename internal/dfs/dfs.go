@@ -14,6 +14,7 @@
 package dfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -74,8 +75,20 @@ type Result struct {
 type Scenario []string
 
 // Run executes the scenario. It returns an error if any expectation
-// fails or the cluster loses data it acknowledged.
+// fails or the cluster loses data it acknowledged. It wraps RunCtx
+// with context.Background().
 func (c Cluster) Run(scenario Scenario) (Result, error) {
+	return c.RunCtx(context.Background(), scenario)
+}
+
+// RunCtx is Run under a caller lifetime. The client checks ctx between
+// scripted operations and before every retry of a round trip, and every
+// timed wait in the protocol — the client's reply wait and the primary's
+// replication-ack wait — is bounded by min(its configured timeout, the
+// context's remaining budget). On cancellation the run drains (replicas
+// are always released with STOP), the partial Result accumulated so far
+// is returned, and the error wraps ctx.Err().
+func (c Cluster) RunCtx(ctx context.Context, scenario Scenario) (Result, error) {
 	if c.Replicas < 1 {
 		return Result{}, errors.New("dfs: need at least one replica")
 	}
@@ -91,7 +104,7 @@ func (c Cluster) Run(scenario Scenario) (Result, error) {
 
 	err := mp.Run(world, func(comm *mp.Comm) error {
 		if comm.Rank() == 0 {
-			err := c.client(comm, scenario, &res)
+			err := c.client(ctx, comm, scenario, &res)
 			// Always release the replicas.
 			for r := 1; r < world; r++ {
 				comm.Send(r, tagRequest, "STOP") //nolint:errcheck // shutdown best effort
@@ -99,7 +112,7 @@ func (c Cluster) Run(scenario Scenario) (Result, error) {
 			runErr = err
 			return nil
 		}
-		return c.replica(comm)
+		return c.replica(ctx, comm)
 	})
 	if err != nil {
 		return res, err
@@ -107,9 +120,22 @@ func (c Cluster) Run(scenario Scenario) (Result, error) {
 	return res, runErr
 }
 
+// boundTimeout caps a protocol timeout by the context's remaining
+// budget, so no timed wait can outlive the caller's deadline. A done
+// context yields a non-positive duration, which RecvTimeout treats as
+// an immediate poll.
+func boundTimeout(ctx context.Context, d time.Duration) time.Duration {
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < d {
+			return rem
+		}
+	}
+	return d
+}
+
 // client is the driver: it tracks the current primary and live set,
 // performs scripted operations, and fails over on heartbeat timeout.
-func (c Cluster) client(comm *mp.Comm, scenario Scenario, res *Result) error {
+func (c Cluster) client(ctx context.Context, comm *mp.Comm, scenario Scenario, res *Result) error {
 	primary := 1
 	live := make([]int, c.Replicas)
 	for i := range live {
@@ -132,12 +158,32 @@ func (c Cluster) client(comm *mp.Comm, scenario Scenario, res *Result) error {
 	var roundTrip func(cmd string) (string, error)
 	roundTrip = func(cmd string) (string, error) {
 		for {
+			if err := ctx.Err(); err != nil {
+				return "", fmt.Errorf("dfs: %s aborted: %w", strings.Fields(cmd)[0], err)
+			}
 			if err := comm.Send(primary, tagRequest, cmd); err != nil {
 				return "", err
 			}
-			m, ok, err := comm.RecvTimeout(primary, tagReply, c.Heartbeat)
+			wait := boundTimeout(ctx, c.Heartbeat)
+			m, ok, err := comm.RecvTimeout(primary, tagReply, wait)
 			if err != nil {
 				return "", err
+			}
+			if !ok {
+				// Silence is only a death verdict when the full heartbeat
+				// elapsed; a context-truncated wait proves nothing about
+				// the primary and must not trigger a spurious failover.
+				if cerr := ctx.Err(); cerr != nil {
+					return "", fmt.Errorf("dfs: %s canceled awaiting primary %d: %w",
+						strings.Fields(cmd)[0], primary, cerr)
+				}
+				if wait < c.Heartbeat {
+					// The wait was cut short by the ctx deadline, which is
+					// now at most scheduling jitter away even if Err() has
+					// not flipped yet.
+					return "", fmt.Errorf("dfs: %s canceled awaiting primary %d: %w",
+						strings.Fields(cmd)[0], primary, context.DeadlineExceeded)
+				}
 			}
 			if ok {
 				return m.Data.(string), nil
@@ -170,6 +216,9 @@ func (c Cluster) client(comm *mp.Comm, scenario Scenario, res *Result) error {
 	}
 
 	for _, op := range scenario {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("dfs: scenario canceled after %d ops: %w", res.Ops, err)
+		}
 		res.Ops++
 		fields := strings.Fields(op)
 		if len(fields) == 0 {
@@ -272,7 +321,7 @@ func promoteCmd(backups []int) string {
 
 // replica is the server loop: it applies PUTs (replicating when primary),
 // answers GETs, and plays dead after CRASH.
-func (c Cluster) replica(comm *mp.Comm) error {
+func (c Cluster) replica(ctx context.Context, comm *mp.Comm) error {
 	store := map[string]string{}
 	var backups []int
 	crashed := false
@@ -298,7 +347,7 @@ func (c Cluster) replica(comm *mp.Comm) error {
 				return err
 			}
 		case tagRequest:
-			reply, die := c.applyRequest(comm, cmd, store, &backups)
+			reply, die := c.applyRequest(ctx, comm, cmd, store, &backups)
 			if die {
 				crashed = true
 				continue
@@ -314,7 +363,7 @@ func (c Cluster) replica(comm *mp.Comm) error {
 
 // applyRequest handles one client command at a replica; die=true means
 // the replica should play dead from now on.
-func (c Cluster) applyRequest(comm *mp.Comm, cmd string, store map[string]string, backups *[]int) (string, bool) {
+func (c Cluster) applyRequest(ctx context.Context, comm *mp.Comm, cmd string, store map[string]string, backups *[]int) (string, bool) {
 	fields := strings.SplitN(cmd, " ", 3)
 	switch fields[0] {
 	case "PING":
@@ -348,7 +397,10 @@ func (c Cluster) applyRequest(comm *mp.Comm, cmd string, store map[string]string
 			}
 			// A crashed backup never acks; time out and drop it from the
 			// peer set (the client reconfigures authoritative membership).
-			if _, ok, _ := comm.RecvTimeout(b, tagRepAck, c.AckTimeout); !ok {
+			// The wait is also bounded by the run's context, so a primary
+			// mid-replication can't hold a canceled run hostage for a
+			// full AckTimeout per dead backup.
+			if _, ok, _ := comm.RecvTimeout(b, tagRepAck, boundTimeout(ctx, c.AckTimeout)); !ok {
 				continue
 			}
 		}

@@ -1,6 +1,7 @@
 package dfs
 
 import (
+	"context"
 	"repro/internal/mp"
 	"strings"
 	"testing"
@@ -42,7 +43,7 @@ func TestAckTimeoutBoundsDeadBackupWait(t *testing.T) {
 		store := map[string]string{}
 		backups := []int{1}
 		start := time.Now()
-		reply, _ = c.applyRequest(comm, "PUT k v", store, &backups)
+		reply, _ = c.applyRequest(context.Background(), comm, "PUT k v", store, &backups)
 		elapsed = time.Since(start)
 		return nil
 	})

@@ -1,0 +1,99 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestRunCtxCanceledBetweenMapAndReduce: a cancellation that lands as
+// the map phase finishes must stop the job before any reduce task runs,
+// return a wrapped context.Canceled, and still report the partial Stats
+// — the intermediate pairs the map phase produced.
+func TestRunCtxCanceledBetweenMapAndReduce(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	inputs := []string{"a a", "b b", "c c", "d d"}
+	seen := 0
+	mapf := func(split string, emit func(k, v string)) {
+		WordCountMap(split, emit)
+		seen++
+		if seen == len(inputs) {
+			cancel() // the last map task pulls the plug
+		}
+	}
+	reduceRan := false
+	reducef := func(k string, vs []string) string {
+		reduceRan = true
+		return WordCountReduce(k, vs)
+	}
+
+	// One worker makes the map order (and therefore the cancel point)
+	// deterministic: every split maps before the cancel fires.
+	res, st, err := RunCtx(ctx, Config{Workers: 1, Reducers: 4}, inputs, mapf, reducef)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want wrapped context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("canceled job returned results %v", res)
+	}
+	if reduceRan {
+		t.Error("a reduce task ran after cancellation")
+	}
+	if st.Intermediate != 8 {
+		t.Errorf("partial Stats.Intermediate = %d, want all 8 mapped pairs", st.Intermediate)
+	}
+	if st.MapTasks != len(inputs) || st.ReduceTasks != 4 {
+		t.Errorf("partial Stats shape = %+v", st)
+	}
+}
+
+// TestRunCtxCanceledMidMapReportsPartial: cancellation partway through
+// the map fan-out abandons the unseeded splits but keeps the pairs the
+// finished tasks produced in the partial Stats.
+func TestRunCtxCanceledMidMapReportsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const splits = 64
+	inputs := make([]string, splits)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("w%d w%d", i, i)
+	}
+	seen := 0
+	mapf := func(split string, emit func(k, v string)) {
+		WordCountMap(split, emit)
+		seen++
+		if seen == 3 {
+			cancel()
+		}
+	}
+
+	res, st, err := RunCtx(ctx, Config{Workers: 1, Reducers: 2}, inputs, mapf, WordCountReduce)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want wrapped context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("canceled job returned results %v", res)
+	}
+	if st.Intermediate == 0 || st.Intermediate >= splits {
+		t.Errorf("partial Stats.Intermediate = %d, want 0 < n < %d (the finished prefix)", st.Intermediate, splits)
+	}
+}
+
+// TestRunCtxBackgroundUnchanged: the ctx-less Run wrapper still runs
+// whole jobs — the refactor must not change the happy path.
+func TestRunCtxBackgroundUnchanged(t *testing.T) {
+	res, st, err := Run(Config{Workers: 4, Reducers: 4}, []string{"a b a", "b a"}, WordCountMap, WordCountReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["a"] != "3" || res["b"] != "2" {
+		t.Errorf("results = %v", res)
+	}
+	if st.Retries != 0 {
+		t.Errorf("clean run retried %d times", st.Retries)
+	}
+}

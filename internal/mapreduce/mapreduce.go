@@ -6,6 +6,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -65,8 +66,19 @@ func Partition(key string, reducers int) int {
 }
 
 // Run executes a job over the input splits and returns the final
-// key->value results.
+// key->value results. It wraps RunCtx with context.Background().
 func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[string]string, Stats, error) {
+	return RunCtx(context.Background(), cfg, inputs, mapf, reducef)
+}
+
+// RunCtx is Run under a caller lifetime. Cancellation aborts the job
+// mid-flight: the map and reduce fan-outs stop seeding tasks (in-flight
+// tasks finish their current split), the retry ladder stops retrying,
+// and the returned error wraps ctx.Err(). The Stats returned alongside
+// a cancellation are the partial truth — tasks retried and intermediate
+// pairs produced before the abort — so drivers can report how far the
+// job got.
+func RunCtx(ctx context.Context, cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[string]string, Stats, error) {
 	if mapf == nil || reducef == nil {
 		return nil, Stats{}, errors.New("mapreduce: map and reduce functions required")
 	}
@@ -90,6 +102,9 @@ func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[str
 
 	runTask := func(phase string, id int, attemptable func() ([]KV, error)) ([]KV, error) {
 		for attempt := 1; ; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("mapreduce: %s task %d abandoned: %w", phase, id, err)
+			}
 			if attempt > cfg.MaxAttempts {
 				return nil, fmt.Errorf("%w: %s task %d", ErrTaskFailed, phase, id)
 			}
@@ -109,8 +124,22 @@ func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[str
 	pool := sched.New(cfg.Workers)
 	defer pool.Close()
 
+	// partialStats folds the counters accumulated so far into st, so
+	// every return — canceled included — carries the partial truth.
+	partialStats := func() {
+		retryMu.Lock()
+		st.Retries = retries
+		retryMu.Unlock()
+		bucketMu.Lock()
+		st.Intermediate = 0
+		for _, b := range buckets {
+			st.Intermediate += len(b)
+		}
+		bucketMu.Unlock()
+	}
+
 	mapErrs := make([]error, len(inputs))
-	if err := pool.ParallelFor(len(inputs), 1, func(lo, hi int) {
+	if err := pool.ParallelForCtx(ctx, len(inputs), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			split := inputs[i]
 			out, err := runTask("map", i, func() ([]KV, error) {
@@ -133,22 +162,27 @@ func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[str
 			bucketMu.Unlock()
 		}
 	}); err != nil {
+		partialStats()
 		return nil, st, err
 	}
+	partialStats()
 	for _, err := range mapErrs {
 		if err != nil {
 			return nil, st, err
 		}
 	}
-	for _, b := range buckets {
-		st.Intermediate += len(b)
+
+	// The barrier between phases is a natural abort point: nothing has
+	// been reduced yet, so a cancellation here costs no wasted reducers.
+	if err := ctx.Err(); err != nil {
+		return nil, st, fmt.Errorf("mapreduce: job canceled between map and reduce: %w", err)
 	}
 
 	// --- reduce phase ---
 	results := make(map[string]string)
 	var resMu sync.Mutex
 	redErrs := make([]error, cfg.Reducers)
-	if err := pool.ParallelFor(cfg.Reducers, 1, func(lo, hi int) {
+	if err := pool.ParallelForCtx(ctx, cfg.Reducers, 1, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			out, err := runTask("reduce", r, func() ([]KV, error) {
 				grouped := groupByKey(buckets[r])
@@ -169,16 +203,15 @@ func Run(cfg Config, inputs []string, mapf MapFunc, reducef ReduceFunc) (map[str
 			resMu.Unlock()
 		}
 	}); err != nil {
+		partialStats()
 		return nil, st, err
 	}
+	partialStats()
 	for _, err := range redErrs {
 		if err != nil {
 			return nil, st, err
 		}
 	}
-	retryMu.Lock()
-	st.Retries = retries
-	retryMu.Unlock()
 	return results, st, nil
 }
 

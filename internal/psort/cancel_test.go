@@ -1,0 +1,45 @@
+package psort
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestSampleSortOnCtxPreCanceled: an already-done context aborts the
+// bucket fan-out and surfaces the wrapped ctx error instead of a
+// partially sorted slice.
+func TestSampleSortOnCtxPreCanceled(t *testing.T) {
+	pool := sched.New(2)
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	xs := randomInts(1<<14, 7)
+	out, err := SampleSortOnCtx(ctx, pool, xs, 8)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SampleSortOnCtx on canceled ctx = %v, want wrapped context.Canceled", err)
+	}
+	if out != nil {
+		t.Errorf("canceled sort returned a slice of %d elements", len(out))
+	}
+}
+
+// TestSampleSortOnCtxBackgroundUnchanged: with a live context the ctx
+// variant sorts exactly like SampleSortOn.
+func TestSampleSortOnCtxBackgroundUnchanged(t *testing.T) {
+	pool := sched.New(4)
+	defer pool.Close()
+	xs := randomInts(1<<14, 7)
+	got, err := SampleSortOnCtx(context.Background(), pool, xs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := MergeSort(xs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("differs from MergeSort at %d", i)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package psort
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"sync"
@@ -297,8 +298,17 @@ func SampleSort(xs []int64, p int) ([]int64, error) {
 	return SampleSortOn(sched.Default(), xs, p)
 }
 
-// SampleSortOn is SampleSort on an explicit pool.
+// SampleSortOn is SampleSort on an explicit pool. It wraps
+// SampleSortOnCtx with context.Background().
 func SampleSortOn(pool *sched.Pool, xs []int64, p int) ([]int64, error) {
+	return SampleSortOnCtx(context.Background(), pool, xs, p)
+}
+
+// SampleSortOnCtx is SampleSortOn under a caller lifetime: the bucket
+// fan-out rides ParallelForCtx, so cancellation stops seeding bucket
+// sorts (buckets already being sorted finish) and the wrapped ctx.Err()
+// comes back instead of a partially sorted slice.
+func SampleSortOnCtx(ctx context.Context, pool *sched.Pool, xs []int64, p int) ([]int64, error) {
 	if p <= 0 {
 		return nil, errors.New("psort: bucket count must be positive")
 	}
@@ -320,7 +330,7 @@ func SampleSortOn(pool *sched.Pool, xs []int64, p int) ([]int64, error) {
 			work = append(work, i)
 		}
 	}
-	if err := pool.ParallelFor(len(work), 1, func(lo, hi int) {
+	if err := pool.ParallelForCtx(ctx, len(work), 1, func(lo, hi int) {
 		for w := lo; w < hi; w++ {
 			b := buckets[work[w]]
 			sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })

@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoCtxFailFast: an already-done context is rejected before the
+// task is ever submitted to the pool.
+func TestDoCtxFailFast(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := p.DoCtx(ctx, func(*Task) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoCtx on canceled ctx = %v, want wrapped context.Canceled", err)
+	}
+	if ran {
+		t.Error("task ran despite pre-canceled context")
+	}
+}
+
+// TestParallelForCtxStopsSeeding: cancellation partway through a
+// ParallelForCtx stops new range splits from being seeded — the loop
+// covers a strict prefix of the index space and reports the wrapped
+// ctx error — while iterations already running finish normally.
+func TestParallelForCtxStopsSeeding(t *testing.T) {
+	p := New(1) // one worker: a deterministic cancel point
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const n = 1024
+	var visited atomic.Int64
+	err := p.ParallelForCtx(ctx, n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if visited.Add(1) == 5 {
+				cancel()
+			}
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParallelForCtx = %v, want wrapped context.Canceled", err)
+	}
+	got := visited.Load()
+	if got == 0 || got >= n {
+		t.Errorf("visited %d of %d iterations, want a strict non-empty prefix", got, n)
+	}
+}
+
+// TestParallelForCtxBackgroundUnchanged: with a live context the ctx
+// variant visits every index exactly once, like ParallelFor.
+func TestParallelForCtxBackgroundUnchanged(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 4096
+	marks := make([]atomic.Int32, n)
+	if err := p.ParallelForCtx(context.Background(), n, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			marks[i].Add(1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range marks {
+		if got := marks[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}

@@ -3,6 +3,8 @@
 // work/span lectures analyze (span O(log(n/grain) + grain)).
 package sched
 
+import "context"
+
 // DefaultGrain picks the grain ParallelFor uses when given grain <= 0:
 // enough splits to give each worker ~8 tasks for stealing headroom,
 // floored at 1.
@@ -29,6 +31,23 @@ func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int)) error {
 	})
 }
 
+// ParallelForCtx is ParallelFor under a caller lifetime: once ctx is
+// done, no further range splits fork and no unstarted chunks run — the
+// loop drains whatever bodies are already executing and returns the
+// wrapped ctx.Err(). Ranges are dropped, not interrupted: body is never
+// killed mid-chunk, so partial results stay chunk-consistent.
+func (p *Pool) ParallelForCtx(ctx context.Context, n, grain int, body func(lo, hi int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if grain <= 0 {
+		grain = p.DefaultGrain(n)
+	}
+	return p.DoCtx(ctx, func(c *Task) {
+		ForCtx(ctx, c, 0, n, grain, body)
+	})
+}
+
 // For is ParallelFor from inside a task body: it splits [lo, hi) on the
 // current worker so nested parallel loops compose without extra pool
 // round-trips.
@@ -45,5 +64,28 @@ func For(c *Task, lo, hi, grain int, body func(lo, hi int)) {
 	mid := lo + (hi-lo)/2
 	right := c.Fork(func(c2 *Task) { For(c2, mid, hi, grain, body) })
 	For(c, lo, mid, grain, body)
+	c.Join(right)
+}
+
+// ForCtx is For with a cancellation check at every split and leaf: a
+// done ctx stops the recursion before forking or running anything
+// further, so a canceled parallel loop stops seeding new chunks while
+// chunks already running finish normally.
+func ForCtx(ctx context.Context, c *Task, lo, hi, grain int, body func(lo, hi int)) {
+	if ctx.Err() != nil {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if hi-lo <= grain {
+		if hi > lo {
+			body(lo, hi)
+		}
+		return
+	}
+	mid := lo + (hi-lo)/2
+	right := c.Fork(func(c2 *Task) { ForCtx(ctx, c2, mid, hi, grain, body) })
+	ForCtx(ctx, c, lo, mid, grain, body)
 	c.Join(right)
 }

@@ -12,7 +12,9 @@
 package sched
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -193,6 +195,26 @@ func (p *Pool) Do(fn func(*Task)) error {
 	<-done
 	if pv != nil {
 		panic(pv)
+	}
+	return nil
+}
+
+// DoCtx is Do with a caller lifetime attached. A context that is
+// already done fails fast without submitting anything. Otherwise the
+// root task runs — in-flight fork-join work is never abandoned, because
+// task bodies own shared state — and a cancellation that happened along
+// the way surfaces as a wrapped ctx.Err() once the task (and everything
+// it joined) has finished. Bodies that should stop seeding work early
+// observe the same ctx through ForCtx or their own checks.
+func (p *Pool) DoCtx(ctx context.Context, fn func(*Task)) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sched: task aborted before submission: %w", err)
+	}
+	if err := p.Do(fn); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sched: task interrupted: %w", err)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package sockets
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -18,11 +19,14 @@ type PoolConfig struct {
 	// MaxAttempts bounds tries per request, dialing included (default 3).
 	MaxAttempts int
 	// Timeout is the per-attempt deadline covering dial, write, and
-	// read (default 2s).
+	// read (default 2s). A context deadline that expires sooner tightens
+	// each attempt further: the effective deadline is
+	// min(ctx deadline, now + Timeout).
 	Timeout time.Duration
 	// BackoffBase is the sleep before the first retry; each further
 	// retry doubles it up to BackoffMax, with jitter in [d/2, d]
-	// (defaults 2ms and 250ms).
+	// (defaults 2ms and 250ms). The wait is cancelable: a done context
+	// aborts it immediately.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
 	// Seed makes the jitter deterministic for tests (default 1).
@@ -48,18 +52,27 @@ type poolConn struct {
 // deadlines and bounded retry with exponential backoff plus jitter on
 // dial and transport errors — the production-shaped client the lab's
 // single-connection Client grows into. Safe for concurrent use.
+//
+// Every operation has a context-first core (GetCtx, SetCtx, ...): the
+// context bounds the whole request — borrow wait, dial, write, read,
+// and retry backoff — and a canceled or expired context surfaces as an
+// error wrapping context.Canceled or context.DeadlineExceeded, distinct
+// from ErrPoolClosed and from peer/transport failures. The ctx-less
+// methods are context.Background() wrappers kept for call sites that
+// have no lifetime to attach.
 type Pool struct {
 	addr string
 	cfg  PoolConfig
 	free chan *poolConn
 
-	closed      atomic.Bool
-	reqSeen     atomic.Int64
-	errSeen     atomic.Int64
-	retrySeen   atomic.Int64
-	attemptSeen atomic.Int64
-	failInjSeen atomic.Int64
-	reqSeq      atomic.Int64
+	closed       atomic.Bool
+	reqSeen      atomic.Int64
+	errSeen      atomic.Int64
+	retrySeen    atomic.Int64
+	attemptSeen  atomic.Int64
+	failInjSeen  atomic.Int64
+	canceledSeen atomic.Int64
+	reqSeq       atomic.Int64
 
 	rngMu sync.Mutex
 	rng   uint64
@@ -87,7 +100,7 @@ func NewPool(addr string, cfg PoolConfig) (*Pool, error) {
 		cfg.Seed = 1
 	}
 	p := &Pool{addr: addr, cfg: cfg, free: make(chan *poolConn, cfg.Size), rng: cfg.Seed}
-	conn, err := net.DialTimeout("tcp", addr, cfg.Timeout)
+	conn, err := dialCtx(context.Background(), addr, cfg.Timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -110,8 +123,9 @@ func (p *Pool) Stats() Stats {
 // Counters exports the pool's client-side counters as a
 // metrics.CounterSet so benchmark drivers (kvbench, clusterbench) can
 // print them next to latency tables: requests issued, wire attempts
-// (first tries + retries), retries, failed attempts, and FailConn
-// fault injections.
+// (first tries + retries), retries, failed attempts, FailConn fault
+// injections, and requests abandoned because the caller's context was
+// canceled or its deadline expired.
 func (p *Pool) Counters() *metrics.CounterSet {
 	cs := &metrics.CounterSet{}
 	cs.Add("pool.requests", float64(p.reqSeen.Load()))
@@ -119,6 +133,7 @@ func (p *Pool) Counters() *metrics.CounterSet {
 	cs.Add("pool.retries", float64(p.retrySeen.Load()))
 	cs.Add("pool.failed-attempts", float64(p.errSeen.Load()))
 	cs.Add("pool.failconn-injections", float64(p.failInjSeen.Load()))
+	cs.Add("pool.canceled", float64(p.canceledSeen.Load()))
 	return cs
 }
 
@@ -140,10 +155,29 @@ func (p *Pool) Close() error {
 	}
 }
 
-// do runs one request through the borrow/deadline/retry machinery.
+// do is the ctx-less core kept for the Background wrappers.
 func (p *Pool) do(req string) (string, error) {
+	return p.doCtx(context.Background(), req)
+}
+
+// rt adapts the ctx core to the shared command parsers.
+func (p *Pool) rt(ctx context.Context) roundTripper {
+	return func(req string) (string, error) { return p.doCtx(ctx, req) }
+}
+
+// doCtx runs one request through the borrow/deadline/retry machinery
+// under ctx. A context that is already done fails fast — before any
+// borrow, dial, or write. Cancellation mid-attempt wakes the blocked
+// read; cancellation between attempts skips the remaining backoff and
+// retries. The returned error wraps ctx.Err() so callers can
+// errors.Is it against context.Canceled / context.DeadlineExceeded.
+func (p *Pool) doCtx(ctx context.Context, req string) (string, error) {
 	if p.closed.Load() {
 		return "", ErrPoolClosed
+	}
+	if err := ctx.Err(); err != nil {
+		p.canceledSeen.Add(1)
+		return "", fmt.Errorf("sockets: request aborted before first attempt: %w", err)
 	}
 	p.reqSeen.Add(1)
 	id := int(p.reqSeq.Add(1))
@@ -151,11 +185,20 @@ func (p *Pool) do(req string) (string, error) {
 	for attempt := 1; attempt <= p.cfg.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			p.retrySeen.Add(1)
-			p.backoff(attempt)
+			if err := p.backoff(ctx, attempt); err != nil {
+				p.canceledSeen.Add(1)
+				return "", fmt.Errorf("sockets: request canceled in retry backoff after %d attempts: %w", attempt-1, err)
+			}
 		}
 		p.attemptSeen.Add(1)
-		pc := <-p.free
-		resp, err := p.try(pc, req, id, attempt)
+		var pc *poolConn
+		select {
+		case pc = <-p.free:
+		case <-ctx.Done():
+			p.canceledSeen.Add(1)
+			return "", fmt.Errorf("sockets: request canceled waiting for a pooled connection: %w", ctx.Err())
+		}
+		resp, err := p.try(ctx, pc, req, id, attempt)
 		if p.closed.Load() {
 			if pc.conn != nil {
 				pc.conn.Close()
@@ -168,17 +211,50 @@ func (p *Pool) do(req string) (string, error) {
 		}
 		p.errSeen.Add(1)
 		lastErr = err
+		if cerr := ctx.Err(); cerr != nil {
+			p.canceledSeen.Add(1)
+			return "", fmt.Errorf("sockets: request canceled after %d attempts: %w", attempt, cerr)
+		}
 	}
 	return "", fmt.Errorf("sockets: request failed after %d attempts: %w", p.cfg.MaxAttempts, lastErr)
 }
 
+// attemptTimeout derives one attempt's deadline budget:
+// min(cfg.Timeout, time left until the ctx deadline).
+func (p *Pool) attemptTimeout(ctx context.Context) time.Duration {
+	d := p.cfg.Timeout
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < d {
+			d = rem
+		}
+	}
+	return d
+}
+
 // try performs one attempt on one pooled connection, discarding the
-// connection on any transport error so the next attempt redials.
-func (p *Pool) try(pc *poolConn, req string, id, attempt int) (string, error) {
+// connection on any transport error so the next attempt redials. A
+// cancellation while the attempt is blocked in write/read rewinds the
+// connection deadline to wake it immediately.
+func (p *Pool) try(ctx context.Context, pc *poolConn, req string, id, attempt int) (string, error) {
+	timeout := p.attemptTimeout(ctx)
+	if timeout <= 0 {
+		return "", context.DeadlineExceeded
+	}
+	// When the ctx deadline (not cfg.Timeout) set this attempt's budget,
+	// an I/O timeout IS the ctx deadline expiring — attribute it, since
+	// the read can wake a hair before ctx.Err() flips.
+	ctxBounded := timeout < p.cfg.Timeout
+	wrap := func(err error) error {
+		var nerr net.Error
+		if ctxBounded && errors.As(err, &nerr) && nerr.Timeout() {
+			return fmt.Errorf("sockets: attempt stopped by ctx deadline: %w", context.DeadlineExceeded)
+		}
+		return err
+	}
 	if pc.conn == nil {
-		conn, err := net.DialTimeout("tcp", p.addr, p.cfg.Timeout)
+		conn, err := dialCtx(ctx, p.addr, timeout)
 		if err != nil {
-			return "", err
+			return "", wrap(err)
 		}
 		pc.conn = conn
 	}
@@ -186,24 +262,42 @@ func (p *Pool) try(pc *poolConn, req string, id, attempt int) (string, error) {
 		p.failInjSeen.Add(1)
 		pc.conn.Close() // the injected mid-flight connection kill
 	}
-	pc.conn.SetDeadline(time.Now().Add(p.cfg.Timeout))
+	pc.conn.SetDeadline(time.Now().Add(timeout))
+	if done := ctx.Done(); done != nil {
+		conn := pc.conn
+		watch := make(chan struct{})
+		exited := make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-done:
+				conn.SetDeadline(aLongTimeAgo) // wake the blocked read
+			case <-watch:
+			}
+		}()
+		// Join the watchdog before returning: a stray SetDeadline after
+		// the connection goes back to the pool would clobber the next
+		// request's deadline.
+		defer func() { close(watch); <-exited }()
+	}
 	if err := WriteFrame(pc.conn, []byte(req)); err != nil {
 		pc.conn.Close()
 		pc.conn = nil
-		return "", err
+		return "", wrap(err)
 	}
 	resp, err := ReadFrame(pc.conn)
 	if err != nil {
 		pc.conn.Close()
 		pc.conn = nil
-		return "", err
+		return "", wrap(err)
 	}
 	return string(resp), nil
 }
 
-// backoff sleeps the exponential, jittered delay before a retry
-// (attempt >= 2).
-func (p *Pool) backoff(attempt int) {
+// backoff waits out the exponential, jittered delay before a retry
+// (attempt >= 2), returning early with ctx.Err() when the caller gives
+// up — a canceled request must not sit out the backoff ladder.
+func (p *Pool) backoff(ctx context.Context, attempt int) error {
 	d := p.cfg.BackoffBase << (attempt - 2)
 	if d > p.cfg.BackoffMax || d <= 0 {
 		d = p.cfg.BackoffMax
@@ -215,27 +309,64 @@ func (p *Pool) backoff(attempt int) {
 	r := p.rng
 	p.rngMu.Unlock()
 	half := d / 2
-	time.Sleep(half + time.Duration(r%uint64(half+1)))
+	t := time.NewTimer(half + time.Duration(r%uint64(half+1)))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Ping checks liveness.
 func (p *Pool) Ping() error { return doPing(p.do) }
 
+// PingCtx checks liveness under ctx.
+func (p *Pool) PingCtx(ctx context.Context) error { return doPing(p.rt(ctx)) }
+
 // Set stores key = value (keys with whitespace rejected via ErrBadKey).
 func (p *Pool) Set(key, value string) error { return doSet(p.do, key, value) }
+
+// SetCtx stores key = value under ctx.
+func (p *Pool) SetCtx(ctx context.Context, key, value string) error {
+	return doSet(p.rt(ctx), key, value)
+}
 
 // Get fetches a value; found is false for missing keys.
 func (p *Pool) Get(key string) (value string, found bool, err error) { return doGet(p.do, key) }
 
+// GetCtx fetches a value under ctx; found is false for missing keys.
+func (p *Pool) GetCtx(ctx context.Context, key string) (value string, found bool, err error) {
+	return doGet(p.rt(ctx), key)
+}
+
 // Del removes a key, reporting whether it existed.
 func (p *Pool) Del(key string) (bool, error) { return doDel(p.do, key) }
+
+// DelCtx removes a key under ctx, reporting whether it existed.
+func (p *Pool) DelCtx(ctx context.Context, key string) (bool, error) {
+	return doDel(p.rt(ctx), key)
+}
 
 // MDel bulk-deletes keys (chunked under the frame limit), returning how
 // many existed.
 func (p *Pool) MDel(keys ...string) (int, error) { return doMDel(p.do, keys) }
 
+// MDelCtx bulk-deletes keys under ctx; a cancellation between chunks
+// returns the deletions applied so far alongside the wrapped ctx error.
+func (p *Pool) MDelCtx(ctx context.Context, keys ...string) (int, error) {
+	return doMDel(p.rt(ctx), keys)
+}
+
 // Count returns the number of stored keys.
 func (p *Pool) Count() (int, error) { return doCount(p.do) }
 
+// CountCtx returns the number of stored keys under ctx.
+func (p *Pool) CountCtx(ctx context.Context) (int, error) { return doCount(p.rt(ctx)) }
+
 // Keys returns all stored keys in sorted order.
 func (p *Pool) Keys() ([]string, error) { return doKeys(p.do) }
+
+// KeysCtx returns all stored keys in sorted order under ctx.
+func (p *Pool) KeysCtx(ctx context.Context) ([]string, error) { return doKeys(p.rt(ctx)) }

@@ -15,6 +15,7 @@
 package sockets
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -85,6 +86,11 @@ type ServerConfig struct {
 	// DrainTimeout bounds how long Close waits for in-flight requests
 	// before hard-closing their connections. Default 5s.
 	DrainTimeout time.Duration
+	// PreHandle, when non-nil, runs before each request is interpreted —
+	// the hook tests and benches use to make requests observably
+	// in-flight or a node deliberately slow (the laggard in the
+	// quorum-abort experiments).
+	PreHandle func(req string)
 }
 
 // shard is one stripe of the store.
@@ -142,11 +148,12 @@ func NewServerConfig(addr string, cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		ln:      ln,
-		shards:  make([]shard, cfg.Shards),
-		drain:   cfg.DrainTimeout,
-		active:  make(map[*connState]struct{}),
-		latency: metrics.NewHistogram(),
+		ln:        ln,
+		shards:    make([]shard, cfg.Shards),
+		drain:     cfg.DrainTimeout,
+		active:    make(map[*connState]struct{}),
+		latency:   metrics.NewHistogram(),
+		preHandle: cfg.PreHandle,
 	}
 	for i := range s.shards {
 		s.shards[i] = shard{lock: pthread.NewRWLock(pthread.PreferWriters), store: make(map[string]string)}
@@ -497,7 +504,9 @@ func doKeys(rt roundTripper) ([]string, error) {
 	return strings.Fields(resp)[1:], nil
 }
 
-// Client is a single connection to the KV server.
+// Client is a single connection to the KV server. Like Pool, every
+// operation has a context-first core; the ctx-less methods wrap
+// context.Background().
 type Client struct {
 	conn net.Conn
 	mu   sync.Mutex // one request/response in flight per client
@@ -505,7 +514,14 @@ type Client struct {
 
 // Dial connects to a server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialCtx(context.Background(), addr)
+}
+
+// DialCtx connects to a server under ctx, so a caller that gives up
+// mid-dial gets its wrapped ctx error instead of waiting out the
+// transport.
+func DialCtx(ctx context.Context, addr string) (*Client, error) {
+	conn, err := dialCtx(ctx, addr, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -517,14 +533,64 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // roundTrip sends one request and reads one response.
 func (c *Client) roundTrip(req string) (string, error) {
+	return c.roundTripCtx(context.Background(), req)
+}
+
+// rt adapts the ctx core to the shared command parsers.
+func (c *Client) rt(ctx context.Context) roundTripper {
+	return func(req string) (string, error) { return c.roundTripCtx(ctx, req) }
+}
+
+// roundTripCtx sends one request and reads one response under ctx: the
+// connection deadline tracks the ctx deadline, and a cancellation wakes
+// a blocked write/read immediately. After an interrupted round trip the
+// connection is in an unknown framing state, so a ctx-failed Client is
+// only good for Close — the Pool, which discards broken connections, is
+// the client to use when requests outlive their callers routinely.
+func (c *Client) roundTripCtx(ctx context.Context, req string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("sockets: request aborted before writing: %w", err)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(dl)
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if done := ctx.Done(); done != nil {
+		watch := make(chan struct{})
+		exited := make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-done:
+				c.conn.SetDeadline(aLongTimeAgo)
+			case <-watch:
+			}
+		}()
+		// Join the watchdog before returning so a late cancellation
+		// cannot rewind the deadline under the next round trip.
+		defer func() { close(watch); <-exited }()
+	}
+	wrap := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("sockets: request interrupted: %w", cerr)
+		}
+		// The only deadline on this connection is the ctx's, so an I/O
+		// timeout IS the ctx deadline expiring — the read can wake a
+		// hair before ctx.Err() flips.
+		var nerr net.Error
+		if _, hasDL := ctx.Deadline(); hasDL && errors.As(err, &nerr) && nerr.Timeout() {
+			return fmt.Errorf("sockets: request stopped by ctx deadline: %w", context.DeadlineExceeded)
+		}
+		return err
+	}
 	if err := WriteFrame(c.conn, []byte(req)); err != nil {
-		return "", err
+		return "", wrap(err)
 	}
 	resp, err := ReadFrame(c.conn)
 	if err != nil {
-		return "", err
+		return "", wrap(err)
 	}
 	return string(resp), nil
 }
@@ -532,25 +598,54 @@ func (c *Client) roundTrip(req string) (string, error) {
 // Ping checks liveness.
 func (c *Client) Ping() error { return doPing(c.roundTrip) }
 
+// PingCtx checks liveness under ctx.
+func (c *Client) PingCtx(ctx context.Context) error { return doPing(c.rt(ctx)) }
+
 // Set stores key = value. Keys containing whitespace are rejected with
 // ErrBadKey before touching the wire.
 func (c *Client) Set(key, value string) error { return doSet(c.roundTrip, key, value) }
+
+// SetCtx stores key = value under ctx.
+func (c *Client) SetCtx(ctx context.Context, key, value string) error {
+	return doSet(c.rt(ctx), key, value)
+}
 
 // Get fetches a value; found is false for missing keys.
 func (c *Client) Get(key string) (value string, found bool, err error) {
 	return doGet(c.roundTrip, key)
 }
 
+// GetCtx fetches a value under ctx; found is false for missing keys.
+func (c *Client) GetCtx(ctx context.Context, key string) (value string, found bool, err error) {
+	return doGet(c.rt(ctx), key)
+}
+
 // Del removes a key, reporting whether it existed.
 func (c *Client) Del(key string) (bool, error) { return doDel(c.roundTrip, key) }
+
+// DelCtx removes a key under ctx, reporting whether it existed.
+func (c *Client) DelCtx(ctx context.Context, key string) (bool, error) {
+	return doDel(c.rt(ctx), key)
+}
 
 // MDel bulk-deletes keys, returning how many existed. Requests are
 // chunked so any number of keys stays under the frame limit; zero keys
 // is a no-op.
 func (c *Client) MDel(keys ...string) (int, error) { return doMDel(c.roundTrip, keys) }
 
+// MDelCtx bulk-deletes keys under ctx.
+func (c *Client) MDelCtx(ctx context.Context, keys ...string) (int, error) {
+	return doMDel(c.rt(ctx), keys)
+}
+
 // Count returns the number of stored keys.
 func (c *Client) Count() (int, error) { return doCount(c.roundTrip) }
 
+// CountCtx returns the number of stored keys under ctx.
+func (c *Client) CountCtx(ctx context.Context) (int, error) { return doCount(c.rt(ctx)) }
+
 // Keys returns all stored keys in sorted order.
 func (c *Client) Keys() ([]string, error) { return doKeys(c.roundTrip) }
+
+// KeysCtx returns all stored keys in sorted order under ctx.
+func (c *Client) KeysCtx(ctx context.Context) ([]string, error) { return doKeys(c.rt(ctx)) }

@@ -1,0 +1,44 @@
+#!/bin/sh
+# lint-blocking.sh — fail the build when an uncancelable blocking call
+# sneaks back into the network layers.
+#
+# The context refactor holds only as long as every wait in
+# internal/sockets and internal/cluster can be interrupted: a bare
+# time.Sleep ignores cancellation entirely (the retry-backoff bug this
+# repo already fixed once), and a bare net.DialTimeout blocks through a
+# dead ctx. Both have sanctioned replacements in this tree:
+#
+#   time.Sleep       -> a time.Timer raced against ctx.Done()
+#   net.DialTimeout  -> dialCtx (internal/sockets/dial.go), which feeds
+#                       net.Dialer.DialContext
+#
+# Test files are exempt (tests sleep to arrange timing on purpose), and
+# dial.go is the one allowlisted home for the dialer.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for pkg in internal/sockets internal/cluster; do
+    for f in "$pkg"/*.go; do
+        case "$f" in
+        *_test.go) continue ;;
+        internal/sockets/dial.go) continue ;;
+        esac
+        # Strip line comments before matching so prose about the banned
+        # calls (like the comments in dial.go's callers) doesn't trip it.
+        hits=$(sed 's|//.*||' "$f" | grep -nE 'time\.Sleep\(|net\.DialTimeout\(' || true)
+        if [ -n "$hits" ]; then
+            echo "lint-blocking: $f uses an uncancelable blocking call:" >&2
+            echo "$hits" | sed 's/^/    /' >&2
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "lint-blocking: race the wait against ctx.Done() (or dial via internal/sockets/dial.go)" >&2
+else
+    echo "lint-blocking: ok"
+fi
+exit "$status"
