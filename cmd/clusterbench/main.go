@@ -13,10 +13,16 @@
 // plus the handoff/quorum counter set, and a sample of the per-node
 // pool's client-side counters.
 //
+// With -chaos it instead runs the seeded fault-injection scenarios from
+// internal/chaos and checks the recorded history for consistency
+// anomalies; any failure prints the offending seed and exits nonzero.
+//
 // Usage:
 //
 //	clusterbench -nodes 4 -replicas 3 -clients 1,2,4,8 -ops 2000 -keys 400
 //	clusterbench -quick        # the CI smoke configuration
+//	clusterbench -chaos -seed 7              # all scenarios under seed 7
+//	clusterbench -chaos -scenario deadline-storm -seed 42
 package main
 
 import (
@@ -44,7 +50,13 @@ func main() {
 	ops := flag.Int("ops", 2000, "total SET/GET pairs per throughput run")
 	keys := flag.Int("keys", 400, "distinct keys loaded for the availability and join phases")
 	quick := flag.Bool("quick", false, "CI smoke: small ops/keys and clients 1,2")
+	chaosMode := flag.Bool("chaos", false, "run the seeded chaos scenarios instead of the benches")
+	scenario := flag.String("scenario", "", "with -chaos: run only this scenario (default: all)")
+	seed := flag.Int64("seed", 1, "with -chaos: schedule seed; a failing run prints the seed to replay")
 	flag.Parse()
+	if *chaosMode {
+		os.Exit(runChaos(*scenario, *seed))
+	}
 	if *quick {
 		*ops, *keys = 300, 120
 		*clientsFlag = "1,2"

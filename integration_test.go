@@ -23,6 +23,7 @@ import (
 	"repro/internal/pram"
 	"repro/internal/psort"
 	"repro/internal/sockets"
+	"repro/internal/testutil"
 )
 
 // TestCompilerToPipelineFlow drives MiniC -> SWAT32 -> CPU -> pipeline,
@@ -320,11 +321,8 @@ func newBombForIntegration() (*bomb.Bomb, error) {
 // retry, the retry count must be observable in Stats, and the
 // server-side latency histogram must have seen every request.
 func TestKVSubstrateFaultTolerance(t *testing.T) {
-	s, err := sockets.NewServerConfig("127.0.0.1:0", sockets.ServerConfig{Shards: 8})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s.Close()
+	leakBase := testutil.SettleGoroutines()
+	s := testutil.StartKV(t, sockets.ServerConfig{Shards: 8})
 	pool, err := sockets.NewPool(s.Addr(), sockets.PoolConfig{
 		Size:        4,
 		MaxAttempts: 4,
@@ -390,4 +388,7 @@ func TestKVSubstrateFaultTolerance(t *testing.T) {
 	if srv.Errors != 0 {
 		t.Errorf("server counted %d protocol errors on a clean workload", srv.Errors)
 	}
+	pool.Close()
+	s.Close()
+	testutil.CheckNoGoroutineLeak(t, leakBase, 2)
 }

@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// syn builds synthetic ops on an integer timeline (1 unit = 1ms from a
+// fixed base) so the checker's rules can be pinned down exactly.
+var base = time.Unix(1_700_000_000, 0)
+
+func at(t int) time.Time { return base.Add(time.Duration(t) * time.Millisecond) }
+
+func put(key, val string, start, end int) Op {
+	return Op{Kind: OpPut, Key: key, Value: val, Start: at(start), End: at(end)}
+}
+func del(key string, start, end int) Op {
+	return Op{Kind: OpDel, Key: key, Start: at(start), End: at(end)}
+}
+func get(key, val string, start, end int) Op {
+	return Op{Kind: OpGet, Key: key, Value: val, Found: true, Start: at(start), End: at(end)}
+}
+func getMissing(key string, start, end int) Op {
+	return Op{Kind: OpGet, Key: key, Start: at(start), End: at(end)}
+}
+func failed(op Op) Op {
+	op.Err = errors.New("injected")
+	return op
+}
+
+func anomalies(t *testing.T, ops ...Op) []Anomaly {
+	t.Helper()
+	return Check(ops, nil).Anomalies
+}
+
+func TestCheckCleanSequentialHistory(t *testing.T) {
+	got := anomalies(t,
+		put("k", "v1", 0, 1),
+		get("k", "v1", 2, 3),
+		put("k", "v2", 4, 5),
+		get("k", "v2", 6, 7),
+		del("k", 8, 9),
+		getMissing("k", 10, 11),
+		put("k", "v3", 12, 13),
+		get("k", "v3", 14, 15),
+	)
+	if len(got) != 0 {
+		t.Fatalf("clean history flagged: %v", got)
+	}
+}
+
+func TestCheckStaleReadDetected(t *testing.T) {
+	got := anomalies(t,
+		put("k", "v1", 0, 1),
+		put("k", "v2", 2, 3),
+		get("k", "v1", 4, 5), // v2 finished before this read began
+	)
+	if len(got) != 1 || got[0].Kind != AnomalyStale {
+		t.Fatalf("want one stale-read, got %v", got)
+	}
+	if got[0].Invalidator == nil || got[0].Invalidator.Value != "v2" {
+		t.Fatalf("stale-read should name v2 as invalidator: %v", got[0])
+	}
+}
+
+func TestCheckConcurrentWriteReadLegal(t *testing.T) {
+	// v2's write overlaps the read: returning either value is legal.
+	for _, val := range []string{"v1", "v2"} {
+		got := anomalies(t,
+			put("k", "v1", 0, 1),
+			put("k", "v2", 2, 8),
+			get("k", val, 3, 5),
+		)
+		if len(got) != 0 {
+			t.Fatalf("concurrent read of %s flagged: %v", val, got)
+		}
+	}
+}
+
+func TestCheckPhantomAndFutureReads(t *testing.T) {
+	got := anomalies(t,
+		put("k", "v1", 0, 1),
+		get("k", "never-written", 2, 3),
+	)
+	if len(got) != 1 || got[0].Kind != AnomalyPhantom {
+		t.Fatalf("want phantom-read, got %v", got)
+	}
+	got = anomalies(t,
+		get("k", "v1", 0, 1),
+		put("k", "v1", 2, 3), // write starts after the read returned
+	)
+	if len(got) != 1 || got[0].Kind != AnomalyFuture {
+		t.Fatalf("want future-read, got %v", got)
+	}
+}
+
+func TestCheckStaleNotFound(t *testing.T) {
+	// A put completed before the read began and no del can explain the
+	// missing key: the acknowledged write was lost.
+	got := anomalies(t,
+		put("k", "v1", 0, 1),
+		getMissing("k", 2, 3),
+	)
+	if len(got) != 1 || got[0].Kind != AnomalyStale {
+		t.Fatalf("want stale-read for lost write, got %v", got)
+	}
+	// With an overlapping del the not-found is legal.
+	got = anomalies(t,
+		put("k", "v1", 0, 1),
+		del("k", 2, 6),
+		getMissing("k", 3, 5),
+	)
+	if len(got) != 0 {
+		t.Fatalf("del-explained not-found flagged: %v", got)
+	}
+}
+
+func TestCheckErroredOpsAreIndeterminate(t *testing.T) {
+	// An errored put may have taken effect: reading its value is legal...
+	got := anomalies(t,
+		put("k", "v1", 0, 1),
+		failed(put("k", "v2", 2, 3)),
+		get("k", "v2", 4, 5),
+	)
+	if len(got) != 0 {
+		t.Fatalf("read of indeterminate write flagged: %v", got)
+	}
+	// ...but it never invalidates: a later read of v1 is legal too.
+	got = anomalies(t,
+		put("k", "v1", 0, 1),
+		failed(put("k", "v2", 2, 3)),
+		get("k", "v1", 4, 5),
+	)
+	if len(got) != 0 {
+		t.Fatalf("errored write used as invalidator: %v", got)
+	}
+	// An errored del can explain a not-found.
+	got = anomalies(t,
+		put("k", "v1", 0, 1),
+		failed(del("k", 2, 3)),
+		getMissing("k", 4, 5),
+	)
+	if len(got) != 0 {
+		t.Fatalf("errored del not accepted as not-found candidate: %v", got)
+	}
+}
+
+func TestCheckErrorBuckets(t *testing.T) {
+	ctxErr := failed(get("k", "", 0, 1))
+	ctxErr.Err = fmt.Errorf("cluster: get %q canceled: %w", "k", context.DeadlineExceeded)
+	inFault := failed(put("k", "x", 10, 11))
+	quiet := failed(put("k", "y", 30, 31))
+	res := Check([]Op{ctxErr, inFault, quiet}, func(op Op) bool {
+		return op.Start.Before(at(20)) // only the first two overlap "fault activity"
+	})
+	if res.Errors.Canceled != 1 || res.Errors.Excused != 1 || res.Errors.Unexcused != 1 {
+		t.Fatalf("buckets = %+v, want 1/1/1", res.Errors)
+	}
+}

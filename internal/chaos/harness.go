@@ -1,0 +1,557 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// Spec describes one chaos scenario: the cluster shape, the workload,
+// and the fault plan. Zero fields take the defaults noted inline.
+type Spec struct {
+	Name string
+
+	// Cluster shape (cluster.Config mirrors).
+	Nodes              int // default 5
+	Replicas           int // default 3
+	WriteQuorum        int // default Replicas/2+1
+	ReadQuorum         int // default Replicas/2+1
+	AllowUnsafeQuorums bool
+
+	HeartbeatInterval time.Duration // default 20ms
+	HeartbeatTimeout  time.Duration // default 100ms
+	PoolTimeout       time.Duration // default 250ms
+	PoolAttempts      int           // default 2
+	DrainTimeout      time.Duration // default 50ms
+
+	// Workload.
+	Workers   int           // concurrent client workers (default 4)
+	Keys      int           // key-space size (default 24)
+	Duration  time.Duration // workload window (default 1.2s)
+	OpTimeout time.Duration // per-op ctx deadline outside storms (default 1s)
+	OpGapMin  time.Duration // pacing between ops (defaults 2ms..8ms)
+	OpGapMax  time.Duration
+
+	// Plan builds the fault schedule from the seeded rng and the
+	// initial node names. nil means a fault-free run.
+	Plan func(rng *rand.Rand, nodes []string) []Fault
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Nodes <= 0 {
+		s.Nodes = 5
+	}
+	if s.Replicas <= 0 {
+		s.Replicas = 3
+	}
+	if s.HeartbeatInterval <= 0 {
+		s.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if s.HeartbeatTimeout <= 0 {
+		s.HeartbeatTimeout = 100 * time.Millisecond
+	}
+	if s.PoolTimeout <= 0 {
+		s.PoolTimeout = 250 * time.Millisecond
+	}
+	if s.PoolAttempts <= 0 {
+		s.PoolAttempts = 2
+	}
+	if s.DrainTimeout <= 0 {
+		s.DrainTimeout = 50 * time.Millisecond
+	}
+	if s.Workers <= 0 {
+		s.Workers = 4
+	}
+	if s.Keys <= 0 {
+		s.Keys = 24
+	}
+	if s.Duration <= 0 {
+		s.Duration = 1200 * time.Millisecond
+	}
+	if s.OpTimeout <= 0 {
+		s.OpTimeout = time.Second
+	}
+	if s.OpGapMin <= 0 {
+		s.OpGapMin = 2 * time.Millisecond
+	}
+	if s.OpGapMax < s.OpGapMin {
+		s.OpGapMax = s.OpGapMin + 6*time.Millisecond
+	}
+	return s
+}
+
+// Report is the outcome of one harness run.
+type Report struct {
+	Scenario string
+	Seed     int64
+	Plan     []Fault
+	Result   CheckResult
+	Events   []cluster.Event
+	// FaultErrors records fault applications the cluster rejected
+	// (e.g. restarting a node that was not killed) — a scenario-design
+	// bug, not a cluster bug.
+	FaultErrors []string
+	// Recovery is how long after the last fault cleared the cluster
+	// took to serve a clean full-key sweep again.
+	Recovery time.Duration
+	Wall     time.Duration
+	Counters *metrics.CounterSet
+}
+
+// Failed reports whether the run violated the contract: any anomaly,
+// any unexcused error, or a fault the scenario could not apply.
+func (r *Report) Failed() bool {
+	return len(r.Result.Anomalies) > 0 || r.Result.Errors.Unexcused > 0 || len(r.FaultErrors) > 0
+}
+
+// String renders the report, including the replay line a failing run
+// should be reproduced with.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos %s seed=%d: %s\n", r.Scenario, r.Seed, r.Result.Summary())
+	fmt.Fprintf(&b, "recovery %s, wall %s, %d cluster events\n",
+		r.Recovery.Round(time.Millisecond), r.Wall.Round(time.Millisecond), len(r.Events))
+	for i, a := range r.Result.Anomalies {
+		if i >= 10 {
+			fmt.Fprintf(&b, "  ... %d more anomalies\n", len(r.Result.Anomalies)-10)
+			break
+		}
+		fmt.Fprintf(&b, "  anomaly: %s\n", a)
+	}
+	for _, fe := range r.FaultErrors {
+		fmt.Fprintf(&b, "  fault error: %s\n", fe)
+	}
+	if r.Failed() {
+		fmt.Fprintf(&b, "replay: go test ./internal/chaos -run 'TestChaos_Scenarios/%s' -chaos.seed=%d\n", r.Scenario, r.Seed)
+		fmt.Fprintf(&b, "        (or: clusterbench -chaos -scenario %s -seed %d)\n", r.Scenario, r.Seed)
+	}
+	return b.String()
+}
+
+// nodeFaults is the live fault state one node's hooks consult. Windows
+// are absolute expiry times written by the executor and read on every
+// request; an expired window is simply inert, so windowed faults need
+// no tear-down step.
+type nodeFaults struct {
+	mu            sync.Mutex
+	slowVerb      string
+	slowDelay     time.Duration
+	slowUntil     time.Time
+	blackoutUntil time.Time
+	dropEvery     int
+	dropUntil     time.Time
+	latencyDelay  time.Duration
+	latencyUntil  time.Time
+	dropSeen      int64
+}
+
+// harness is one run's shared state.
+type harness struct {
+	spec  Spec
+	seed  int64
+	start time.Time
+
+	c    *cluster.Cluster
+	hist History
+
+	stateMu sync.Mutex
+	states  map[string]*nodeFaults
+
+	eventMu sync.Mutex
+	events  []cluster.Event
+
+	// deadline storms are global, not per node.
+	stormUntil atomic.Int64 // unix nanos
+	stormDelay atomic.Int64 // nanos
+
+	// disturbed spans: while any of these covers an op's window the op's
+	// failure is excused. Kill spans stay open until the matching
+	// restart completes.
+	distMu    sync.Mutex
+	disturbed []span
+	openKill  map[string]int // node -> index of its open span
+
+	faultErrMu  sync.Mutex
+	faultErrors []string
+}
+
+type span struct{ from, to time.Time }
+
+func (h *harness) state(node string) *nodeFaults {
+	h.stateMu.Lock()
+	defer h.stateMu.Unlock()
+	st := h.states[node]
+	if st == nil {
+		st = &nodeFaults{}
+		h.states[node] = st
+	}
+	return st
+}
+
+func (h *harness) faultErr(f Fault, err error) {
+	h.faultErrMu.Lock()
+	h.faultErrors = append(h.faultErrors, fmt.Sprintf("%s: %v", f, err))
+	h.faultErrMu.Unlock()
+}
+
+// disturb records a closed disturbance span.
+func (h *harness) disturb(from, to time.Time) {
+	h.distMu.Lock()
+	h.disturbed = append(h.disturbed, span{from, to})
+	h.distMu.Unlock()
+}
+
+// openDisturbance starts a kill span that closeDisturbance later seals.
+func (h *harness) openDisturbance(node string, from time.Time) {
+	h.distMu.Lock()
+	h.disturbed = append(h.disturbed, span{from, time.Time{}})
+	h.openKill[node] = len(h.disturbed) - 1
+	h.distMu.Unlock()
+}
+
+func (h *harness) closeDisturbance(node string, to time.Time) {
+	h.distMu.Lock()
+	if i, ok := h.openKill[node]; ok {
+		h.disturbed[i].to = to
+		delete(h.openKill, node)
+	}
+	h.distMu.Unlock()
+}
+
+// excused reports whether op's window overlaps any disturbance span,
+// padded by the recovery slack the failure detector and pools need.
+func (h *harness) excused(op Op) bool {
+	slack := h.spec.HeartbeatInterval + h.spec.HeartbeatTimeout + h.spec.PoolTimeout
+	h.distMu.Lock()
+	defer h.distMu.Unlock()
+	for _, s := range h.disturbed {
+		to := s.to
+		if to.IsZero() { // still open: disturbance never ended
+			to = op.End
+		}
+		if op.Start.Before(to.Add(slack)) && s.from.Add(-slack).Before(op.End) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes one scenario under one seed and checks the history.
+func Run(spec Spec, seed int64) (*Report, error) {
+	spec = spec.withDefaults()
+	h := &harness{
+		spec:     spec,
+		seed:     seed,
+		states:   map[string]*nodeFaults{},
+		openKill: map[string]int{},
+	}
+
+	cfg := cluster.Config{
+		Nodes:              spec.Nodes,
+		Replicas:           spec.Replicas,
+		WriteQuorum:        spec.WriteQuorum,
+		ReadQuorum:         spec.ReadQuorum,
+		HeartbeatInterval:  spec.HeartbeatInterval,
+		HeartbeatTimeout:   spec.HeartbeatTimeout,
+		PoolTimeout:        spec.PoolTimeout,
+		PoolAttempts:       spec.PoolAttempts,
+		DrainTimeout:       spec.DrainTimeout,
+		AllowUnsafeQuorums: spec.AllowUnsafeQuorums,
+		ServerPreHandle:    h.serverPreHandle,
+		PoolFailConn:       h.poolFailConn,
+		PoolPreAttempt:     h.poolPreAttempt,
+		EventTap: func(e cluster.Event) {
+			h.eventMu.Lock()
+			h.events = append(h.events, e)
+			h.eventMu.Unlock()
+		},
+	}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: cluster start: %w", err)
+	}
+	defer c.Close()
+	h.c = c
+
+	plan := FaultPlan(spec, seed)
+	h.start = time.Now()
+
+	// Fault executor: every fault fires at its offset in its own
+	// goroutine, so lifecycle faults can overlap in-flight recovery work
+	// (that overlap is much of what the scenarios are probing).
+	var faultWG sync.WaitGroup
+	for _, f := range plan {
+		faultWG.Add(1)
+		go func(f Fault) {
+			defer faultWG.Done()
+			time.Sleep(time.Until(h.start.Add(f.At)))
+			h.apply(f)
+		}(f)
+	}
+
+	// Workload: spec.Workers client workers fanned out on a sched.Pool,
+	// each executing its deterministic op stream until the window ends.
+	pool := sched.New(spec.Workers)
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := pool.ParallelForCtx(ctx, spec.Workers, 1, func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			h.runWorker(ctx, w)
+		}
+	})
+	cancel()
+	pool.Close()
+	faultWG.Wait()
+	if runErr != nil {
+		return nil, fmt.Errorf("chaos: workload fan-out: %w", runErr)
+	}
+
+	// Recovery: restart anything the plan left dead, then wait until a
+	// full-key sweep succeeds.
+	h.restartLeftovers()
+	faultsDone := time.Now()
+	if err := h.awaitRecovery(10 * time.Second); err != nil {
+		return nil, err
+	}
+	recovery := time.Since(faultsDone)
+	h.verifySweep()
+
+	res := Check(h.hist.Ops(), h.excused)
+
+	cs := c.Counters()
+	cs.Add("chaos.ops", float64(res.Ops))
+	cs.Add("chaos.anomalies", float64(len(res.Anomalies)))
+	cs.Add("chaos.errors-canceled", float64(res.Errors.Canceled))
+	cs.Add("chaos.errors-excused", float64(res.Errors.Excused))
+	cs.Add("chaos.errors-unexcused", float64(res.Errors.Unexcused))
+
+	h.eventMu.Lock()
+	events := append([]cluster.Event(nil), h.events...)
+	h.eventMu.Unlock()
+	return &Report{
+		Scenario:    spec.Name,
+		Seed:        seed,
+		Plan:        plan,
+		Result:      res,
+		Events:      events,
+		FaultErrors: h.faultErrors,
+		Recovery:    recovery,
+		Wall:        time.Since(h.start),
+		Counters:    cs,
+	}, nil
+}
+
+// apply executes one fault at its scheduled time.
+func (h *harness) apply(f Fault) {
+	now := time.Now()
+	switch f.Kind {
+	case FaultKill:
+		h.openDisturbance(f.Node, now)
+		if err := h.c.Kill(f.Node); err != nil {
+			h.faultErr(f, err)
+		}
+	case FaultRestart:
+		err := h.c.Restart(f.Node)
+		h.closeDisturbance(f.Node, time.Now())
+		if err != nil {
+			h.faultErr(f, err)
+		}
+	case FaultJoin:
+		err := h.c.Join(f.Node)
+		h.disturb(now, time.Now())
+		if err != nil {
+			h.faultErr(f, err)
+		}
+	case FaultSlow:
+		st := h.state(f.Node)
+		st.mu.Lock()
+		st.slowVerb, st.slowDelay, st.slowUntil = f.Verb, f.Delay, now.Add(f.For)
+		st.mu.Unlock()
+		h.disturb(now, now.Add(f.For))
+	case FaultBlackout:
+		st := h.state(f.Node)
+		st.mu.Lock()
+		st.blackoutUntil = now.Add(f.For)
+		st.mu.Unlock()
+		h.disturb(now, now.Add(f.For))
+	case FaultConnDrop:
+		st := h.state(f.Node)
+		st.mu.Lock()
+		st.dropEvery, st.dropUntil = f.DropEvery, now.Add(f.For)
+		st.mu.Unlock()
+		h.disturb(now, now.Add(f.For))
+	case FaultLatency:
+		st := h.state(f.Node)
+		st.mu.Lock()
+		st.latencyDelay, st.latencyUntil = f.Delay, now.Add(f.For)
+		st.mu.Unlock()
+		h.disturb(now, now.Add(f.For))
+	case FaultDeadlineStorm:
+		h.stormDelay.Store(int64(f.Delay))
+		h.stormUntil.Store(now.Add(f.For).UnixNano())
+		h.disturb(now, now.Add(f.For))
+	default:
+		h.faultErr(f, fmt.Errorf("unknown fault kind"))
+	}
+}
+
+// serverPreHandle is the per-node server-side hook: heartbeat blackouts
+// stall PING, slow windows stall matching verbs.
+func (h *harness) serverPreHandle(name string) func(req string) {
+	return func(req string) {
+		st := h.state(name)
+		st.mu.Lock()
+		blackout := st.blackoutUntil
+		verb, delay, slow := st.slowVerb, st.slowDelay, st.slowUntil
+		st.mu.Unlock()
+		now := time.Now()
+		if strings.HasPrefix(req, "PING") && now.Before(blackout) {
+			time.Sleep(time.Until(blackout))
+			return
+		}
+		if verb != "" && now.Before(slow) && strings.HasPrefix(req, verb) {
+			time.Sleep(delay)
+		}
+	}
+}
+
+// poolFailConn drops the first wire attempt of every dropEvery-th
+// request to the node during a conn-drop window. Later attempts always
+// pass: the drop exercises the retry path without ever forcing a write
+// onto the hinted-handoff path (hints parked for a node that is up are
+// only replayed on its next down/up transition, so dropping every
+// attempt would open a staleness window the scenario does not intend).
+func (h *harness) poolFailConn(name string) func(req, attempt int) bool {
+	return func(req, attempt int) bool {
+		if attempt != 1 {
+			return false
+		}
+		st := h.state(name)
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.dropEvery == 0 || !time.Now().Before(st.dropUntil) {
+			return false
+		}
+		st.dropSeen++
+		return st.dropSeen%int64(st.dropEvery) == 0
+	}
+}
+
+// poolPreAttempt injects client-side latency spikes during a latency
+// window; the sleep eats the attempt's deadline budget like real
+// network delay.
+func (h *harness) poolPreAttempt(name string) func(req string, attempt int) {
+	return func(req string, attempt int) {
+		st := h.state(name)
+		st.mu.Lock()
+		delay, until := st.latencyDelay, st.latencyUntil
+		st.mu.Unlock()
+		if time.Now().Before(until) {
+			time.Sleep(delay)
+		}
+	}
+}
+
+// runWorker executes one worker's deterministic op stream until the
+// workload window closes, recording every operation.
+func (h *harness) runWorker(ctx context.Context, w int) {
+	next := opStream(h.spec, h.seed, w)
+	end := h.start.Add(h.spec.Duration)
+	for {
+		p := next()
+		time.Sleep(p.Gap)
+		if !time.Now().Before(end) || ctx.Err() != nil {
+			return
+		}
+		deadline := h.spec.OpTimeout
+		if time.Now().UnixNano() < h.stormUntil.Load() {
+			deadline = time.Duration(h.stormDelay.Load())
+		}
+		opCtx, cancel := context.WithTimeout(ctx, deadline)
+		op := Op{Worker: w, Kind: p.Kind, Key: p.Key, Value: p.Value, Start: time.Now()}
+		switch p.Kind {
+		case OpPut:
+			op.Err = h.c.PutCtx(opCtx, p.Key, p.Value)
+		case OpDel:
+			op.Err = h.c.DelCtx(opCtx, p.Key)
+		case OpGet:
+			op.Value, op.Found, op.Err = h.c.GetCtx(opCtx, p.Key)
+		}
+		op.End = time.Now()
+		cancel()
+		h.hist.Record(op)
+	}
+}
+
+// restartLeftovers restarts any node the plan killed and never brought
+// back, using the event stream as ground truth.
+func (h *harness) restartLeftovers() {
+	h.eventMu.Lock()
+	alive := map[string]bool{}
+	for _, e := range h.events {
+		switch e.Type {
+		case cluster.EventKill:
+			alive[e.Node] = false
+		case cluster.EventRestart:
+			alive[e.Node] = true
+		}
+	}
+	h.eventMu.Unlock()
+	for node, up := range alive {
+		if up {
+			continue
+		}
+		if err := h.c.Restart(node); err != nil {
+			h.faultErr(Fault{Kind: FaultRestart, Node: node}, err)
+		}
+		h.closeDisturbance(node, time.Now())
+	}
+}
+
+// awaitRecovery probes and sweeps until every key reads cleanly (these
+// probing reads are not recorded; the recorded verification sweep runs
+// after the cluster is stable).
+func (h *harness) awaitRecovery(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		h.c.Probe()
+		clean := true
+		for i := 0; i < h.spec.Keys; i++ {
+			if _, _, err := h.c.Get(fmt.Sprintf("k%02d", i)); err != nil {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos %s seed=%d: cluster did not recover within %s of the last fault",
+				h.spec.Name, h.seed, timeout)
+		}
+		time.Sleep(h.spec.HeartbeatInterval)
+	}
+}
+
+// verifySweep records one sequential read of every key after recovery;
+// the checker validates these reads against the whole history, so a
+// write the cluster acknowledged and then lost surfaces here as a
+// stale-read anomaly even if no workload read caught it live.
+func (h *harness) verifySweep() {
+	for i := 0; i < h.spec.Keys; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		ctx, cancel := context.WithTimeout(context.Background(), h.spec.OpTimeout)
+		op := Op{Worker: -1, Kind: OpGet, Key: key, Start: time.Now()}
+		op.Value, op.Found, op.Err = h.c.GetCtx(ctx, key)
+		op.End = time.Now()
+		cancel()
+		h.hist.Record(op)
+	}
+}

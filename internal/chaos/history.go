@@ -1,0 +1,69 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// OpKind labels one client operation in a recorded history.
+type OpKind string
+
+// The operation kinds a chaos workload issues.
+const (
+	OpPut OpKind = "put"
+	OpGet OpKind = "get"
+	OpDel OpKind = "del"
+)
+
+// Op is one invocation-to-response interval observed by a client
+// worker. Start is taken immediately before the cluster call and End
+// immediately after, so [Start, End] brackets the operation's real-time
+// window — the only ordering the checker relies on.
+//
+// For a put, Value is the value written (unique per run, so a read can
+// be matched to exactly one write). For a get, Value and Found carry
+// the response. For a del, Value is empty. A non-nil Err marks the
+// outcome indeterminate: the operation may or may not have taken
+// effect, and the checker treats it accordingly.
+type Op struct {
+	Worker int
+	Kind   OpKind
+	Key    string
+	Value  string
+	Found  bool
+	Err    error
+	Start  time.Time
+	End    time.Time
+}
+
+// History is a concurrent-append log of operations. Workers record into
+// it during the run; the checker consumes the sorted snapshot after.
+type History struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+// Record appends one completed operation.
+func (h *History) Record(op Op) {
+	h.mu.Lock()
+	h.ops = append(h.ops, op)
+	h.mu.Unlock()
+}
+
+// Ops returns the history sorted by invocation time.
+func (h *History) Ops() []Op {
+	h.mu.Lock()
+	out := make([]Op, len(h.ops))
+	copy(out, h.ops)
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Len reports how many operations have been recorded so far.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.ops)
+}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // slowConfig returns a test config whose named nodes stall `verb`
@@ -14,7 +16,7 @@ import (
 // stall models a slow replica, not a dead one.
 func slowConfig(nodes int, slow map[string]bool, verb string, delay time.Duration) Config {
 	cfg := testConfig(nodes)
-	cfg.serverPreHandle = func(name string) func(req string) {
+	cfg.ServerPreHandle = func(name string) func(req string) {
 		if !slow[name] {
 			return nil
 		}
@@ -33,7 +35,7 @@ func slowConfig(nodes int, slow map[string]bool, verb string, delay time.Duratio
 // and tearing the cluster down afterwards must leak no goroutines —
 // the laggard replica reads were woken and joined, not abandoned.
 func TestGetCancelMidQuorumPromptNoLeak(t *testing.T) {
-	base := settleGoroutines()
+	base := testutil.SettleGoroutines()
 
 	const stall = 2 * time.Second
 	cfg := slowConfig(3, map[string]bool{"node0": true, "node1": true, "node2": true}, "GET", stall)
@@ -68,7 +70,7 @@ func TestGetCancelMidQuorumPromptNoLeak(t *testing.T) {
 	}
 
 	c.Close()
-	if after := settleGoroutines(); after > base {
+	if after := testutil.SettleGoroutines(); after > base {
 		t.Errorf("goroutines grew %d -> %d after canceled Get and Close", base, after)
 	}
 }

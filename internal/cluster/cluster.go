@@ -62,11 +62,62 @@ type Config struct {
 	PoolAttempts int
 	// ServerShards is each node's store-stripe count (default 8).
 	ServerShards int
+	// DrainTimeout bounds how long a killed or closed node's server
+	// waits for in-flight requests before hard-closing them (default 1s;
+	// chaos tests shrink it so Kill is near-instant).
+	DrainTimeout time.Duration
 
-	// serverPreHandle is a test hook: when non-nil it supplies each
-	// named node's sockets.ServerConfig.PreHandle, letting tests make a
-	// replica deliberately slow (the quorum-abort laggard).
-	serverPreHandle func(name string) func(req string)
+	// ServerPreHandle, when non-nil, supplies each named node's
+	// sockets.ServerConfig.PreHandle — the fault-injection surface that
+	// makes a replica deliberately slow (the quorum-abort laggard) or
+	// stalls its PING responses (a heartbeat blackout). It is consulted
+	// again on Restart, so an injected fault can outlive one server
+	// incarnation.
+	ServerPreHandle func(name string) func(req string)
+	// PoolFailConn, when non-nil, supplies each named node's client-pool
+	// FailConn hook: connection drops injected on the request path.
+	PoolFailConn func(name string) func(req, attempt int) bool
+	// PoolPreAttempt, when non-nil, supplies each named node's client-
+	// pool PreAttempt hook: client-side latency spikes.
+	PoolPreAttempt func(name string) func(req string, attempt int)
+	// EventTap, when non-nil, observes lifecycle events (kills,
+	// restarts, failure-detector transitions, hint replays, topology
+	// changes) with timestamps. Chaos checkers use the stream to excuse
+	// unavailability the fault schedule itself caused. The tap is called
+	// synchronously from cluster internals: keep it fast and never call
+	// back into the cluster from it.
+	EventTap func(Event)
+
+	// AllowUnsafeQuorums skips the W+R > Replicas validation. A cluster
+	// built this way loses the read-your-quorum-writes overlap and WILL
+	// serve stale reads under concurrency — that is its only purpose:
+	// the chaos linearizability checker's self-test runs one to prove
+	// the checker catches the anomalies. Never set it otherwise.
+	AllowUnsafeQuorums bool
+}
+
+// EventType labels a cluster lifecycle event.
+type EventType string
+
+// The lifecycle events delivered to Config.EventTap.
+const (
+	EventKill       EventType = "kill"        // Kill crash-stopped the node
+	EventRestart    EventType = "restart"     // Restart brought it back (empty, fresh port)
+	EventDown       EventType = "down"        // failure detector marked it down
+	EventUp         EventType = "up"          // failure detector marked it up again
+	EventHintReplay EventType = "hint-replay" // hinted handoffs replayed onto the node
+	EventJoin       EventType = "join"        // node joined the ring
+	EventLeave      EventType = "leave"       // node left the ring
+)
+
+// Event is one timestamped cluster lifecycle transition.
+type Event struct {
+	Time time.Time
+	Type EventType
+	Node string
+	// Detail carries event-specific context (e.g. the hint count on a
+	// replay, the moved-key count on a join).
+	Detail string
 }
 
 // Errors the cluster operations return.
@@ -95,6 +146,14 @@ type node struct {
 
 	down   atomic.Bool
 	killed atomic.Bool
+
+	// epoch counts the node's lifetime transitions: Kill and Restart
+	// each bump it. A heartbeat probe records the epoch it started
+	// under and discards its verdict if the epoch moved while it was in
+	// flight — a probe of the previous incarnation (its connection cut
+	// by Kill, or its port already re-assigned by Restart) must not
+	// overwrite the fresh incarnation's up/down state.
+	epoch atomic.Int64
 }
 
 // client returns the node's current pooled client.
@@ -132,6 +191,25 @@ type Cluster struct {
 	nodes  map[string]*node
 	order  []string // join order, for stable iteration and reports
 
+	// Migration-window state, guarded by topoMu. While prevRing is
+	// non-nil a topology change is copying keys: quorum placement stays
+	// on the pre-change topology (prevRing/prevOrder), so every quorum
+	// keeps intersecting the quorums of earlier writes; writes
+	// additionally double-write (best effort) to the next ring's new
+	// replicas and land their key in dirty. The locked cutover re-copies
+	// the dirty keys and drops the window — only then does placement see
+	// the new ring. Without this, a read placed on the new ring could
+	// miss a write the old ring's quorum acknowledged moments earlier.
+	prevRing  *db.DHT
+	prevOrder []string
+	dirty     map[string]struct{}
+	// inflight counts ops that have taken their placement and are still
+	// fanning out; the cutover waits for them so its re-copy reads
+	// final, not mid-write, state.
+	inflight sync.WaitGroup
+	// topoChange serializes Join/Leave end to end.
+	topoChange sync.Mutex
+
 	sched *sched.Pool
 	seq   atomic.Int64 // write sequence for last-write-wins resolution
 
@@ -145,6 +223,7 @@ type Cluster struct {
 
 	puts           atomic.Int64
 	gets           atomic.Int64
+	dels           atomic.Int64
 	quorumFailures atomic.Int64
 	opsCanceled    atomic.Int64
 	hintedWrites   atomic.Int64
@@ -193,13 +272,16 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.ServerShards <= 0 {
 		cfg.ServerShards = 8
 	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = time.Second
+	}
 	if cfg.Replicas > cfg.Nodes {
 		return nil, fmt.Errorf("cluster: %d replicas need at least that many nodes (have %d)", cfg.Replicas, cfg.Nodes)
 	}
 	if cfg.WriteQuorum > cfg.Replicas || cfg.ReadQuorum > cfg.Replicas {
 		return nil, fmt.Errorf("cluster: quorums W=%d R=%d cannot exceed %d replicas", cfg.WriteQuorum, cfg.ReadQuorum, cfg.Replicas)
 	}
-	if cfg.WriteQuorum+cfg.ReadQuorum <= cfg.Replicas {
+	if cfg.WriteQuorum+cfg.ReadQuorum <= cfg.Replicas && !cfg.AllowUnsafeQuorums {
 		return nil, fmt.Errorf("cluster: W=%d + R=%d must exceed %d replicas for read/write overlap", cfg.WriteQuorum, cfg.ReadQuorum, cfg.Replicas)
 	}
 
@@ -231,20 +313,21 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// startNode boots one server plus its pooled client.
+// startNode boots one server plus its pooled client, consulting the
+// per-node fault hooks so an injected fault persists across Restart.
 func (c *Cluster) startNode(name string) (*node, error) {
 	scfg := sockets.ServerConfig{
 		Shards:       c.cfg.ServerShards,
-		DrainTimeout: time.Second,
+		DrainTimeout: c.cfg.DrainTimeout,
 	}
-	if c.cfg.serverPreHandle != nil {
-		scfg.PreHandle = c.cfg.serverPreHandle(name)
+	if c.cfg.ServerPreHandle != nil {
+		scfg.PreHandle = c.cfg.ServerPreHandle(name)
 	}
 	srv, err := sockets.NewServerConfig("127.0.0.1:0", scfg)
 	if err != nil {
 		return nil, err
 	}
-	pool, err := sockets.NewPool(srv.Addr(), c.poolConfig())
+	pool, err := sockets.NewPool(srv.Addr(), c.poolConfig(name))
 	if err != nil {
 		srv.Close()
 		return nil, err
@@ -252,11 +335,25 @@ func (c *Cluster) startNode(name string) (*node, error) {
 	return &node{name: name, srv: srv, pool: pool, addr: srv.Addr()}, nil
 }
 
-func (c *Cluster) poolConfig() sockets.PoolConfig {
-	return sockets.PoolConfig{
+func (c *Cluster) poolConfig(name string) sockets.PoolConfig {
+	pcfg := sockets.PoolConfig{
 		Size:        c.cfg.PoolSize,
 		MaxAttempts: c.cfg.PoolAttempts,
 		Timeout:     c.cfg.PoolTimeout,
+	}
+	if c.cfg.PoolFailConn != nil {
+		pcfg.FailConn = c.cfg.PoolFailConn(name)
+	}
+	if c.cfg.PoolPreAttempt != nil {
+		pcfg.PreAttempt = c.cfg.PoolPreAttempt(name)
+	}
+	return pcfg
+}
+
+// emit delivers one lifecycle event to the configured tap.
+func (c *Cluster) emit(t EventType, node, detail string) {
+	if c.cfg.EventTap != nil {
+		c.cfg.EventTap(Event{Time: time.Now(), Type: t, Node: node, Detail: detail})
 	}
 }
 
@@ -310,47 +407,97 @@ func (c *Cluster) validateKey(key string) error {
 	return nil
 }
 
-// encode stamps a value with its write sequence: "<seq> <value>".
+// Stored values carry a write sequence and a kind marker:
+// "<seq> v <value>" for live values, "<seq> t" for delete tombstones.
+// Tombstones ride the same quorum/hint/migration machinery as writes,
+// so a delete wins or loses against concurrent puts by last-write-wins
+// sequence exactly like an overwrite — without them, a replica that
+// missed the DEL would resurrect the key on the next quorum read.
 func encode(seq int64, value string) string {
-	return strconv.FormatInt(seq, 10) + " " + value
+	return strconv.FormatInt(seq, 10) + " v " + value
 }
 
-// decode splits a stored value back into sequence and payload.
-func decode(raw string) (seq int64, value string, err error) {
-	i := strings.IndexByte(raw, ' ')
-	if i < 0 {
-		return 0, "", fmt.Errorf("cluster: unversioned value %q", raw)
-	}
-	seq, err = strconv.ParseInt(raw[:i], 10, 64)
+// encodeTombstone stamps a delete marker with its write sequence.
+func encodeTombstone(seq int64) string {
+	return strconv.FormatInt(seq, 10) + " t"
+}
+
+// decode splits a stored value back into sequence, payload, and whether
+// it is a delete tombstone.
+func decode(raw string) (seq int64, value string, deleted bool, err error) {
+	parts := strings.SplitN(raw, " ", 3)
+	seq, err = strconv.ParseInt(parts[0], 10, 64)
 	if err != nil {
-		return 0, "", fmt.Errorf("cluster: bad version in %q", raw)
+		return 0, "", false, fmt.Errorf("cluster: bad version in %q", raw)
 	}
-	return seq, raw[i+1:], nil
+	if len(parts) < 2 {
+		return 0, "", false, fmt.Errorf("cluster: unversioned value %q", raw)
+	}
+	switch parts[1] {
+	case "t":
+		return seq, "", true, nil
+	case "v":
+		if len(parts) == 3 {
+			return seq, parts[2], false, nil
+		}
+		return seq, "", false, nil
+	}
+	return 0, "", false, fmt.Errorf("cluster: bad kind marker in %q", raw)
 }
 
-// placement is the routing decision for one key: its replica set and
-// the fallback nodes hints can land on.
+// placement is the routing decision for one key: its replica set, the
+// fallback nodes hints can land on, and — during a migration window —
+// the next topology's new replicas that writes double-write to.
 type placement struct {
 	replicas  []*node
 	fallbacks []*node
+	extras    []*node
 }
 
-// place computes a key's replicas and fallbacks under the topology lock.
+// place computes a key's placement under the topology lock and
+// registers the operation as in flight; the caller must Done
+// c.inflight when the fan-out finishes.
 func (c *Cluster) place(key string) placement {
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
+	c.inflight.Add(1)
 	return c.placeLocked(key)
 }
 
 func (c *Cluster) placeLocked(key string) placement {
-	prefs := c.ring.NodesFor(key, len(c.order))
+	ring, order := c.ring, c.order
+	if c.prevRing != nil {
+		ring, order = c.prevRing, c.prevOrder
+	}
+	prefs := ring.NodesFor(key, len(order))
 	var p placement
 	for i, name := range prefs {
 		n := c.nodes[name]
+		if n == nil {
+			continue
+		}
 		if i < c.cfg.Replicas {
 			p.replicas = append(p.replicas, n)
 		} else {
 			p.fallbacks = append(p.fallbacks, n)
+		}
+	}
+	if c.prevRing != nil {
+		for _, name := range c.ring.NodesFor(key, c.cfg.Replicas) {
+			n := c.nodes[name]
+			if n == nil {
+				continue
+			}
+			isOld := false
+			for _, r := range p.replicas {
+				if r == n {
+					isOld = true
+					break
+				}
+			}
+			if !isOld {
+				p.extras = append(p.extras, n)
+			}
 		}
 	}
 	return p
@@ -372,6 +519,36 @@ func (c *Cluster) Put(key, value string) error {
 // than W replicas acknowledged; a canceled or expired ctx surfaces as
 // an error wrapping ctx.Err().
 func (c *Cluster) PutCtx(ctx context.Context, key, value string) error {
+	err := c.writeQuorum(ctx, "put", key, func(seq int64) string { return encode(seq, value) })
+	if err == nil {
+		c.puts.Add(1)
+	}
+	return err
+}
+
+// Del removes key with no caller deadline. It wraps DelCtx with
+// context.Background().
+func (c *Cluster) Del(key string) error {
+	return c.DelCtx(context.Background(), key)
+}
+
+// DelCtx removes key by writing a delete tombstone to a write quorum of
+// its replicas — the same fan-out, hinting, and last-write-wins rules
+// as PutCtx, so a delete racing a put resolves by sequence instead of
+// resurrecting on the next read. Deleting a missing key is not an
+// error (the tombstone simply becomes the newest version).
+func (c *Cluster) DelCtx(ctx context.Context, key string) error {
+	err := c.writeQuorum(ctx, "del", key, encodeTombstone)
+	if err == nil {
+		c.dels.Add(1)
+	}
+	return err
+}
+
+// writeQuorum is the shared quorum-write core under PutCtx and DelCtx:
+// it stamps a fresh write sequence, encodes the payload, and fans out
+// to the key's replicas until W acks arrive.
+func (c *Cluster) writeQuorum(ctx context.Context, op, key string, payload func(seq int64) string) error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
@@ -380,10 +557,10 @@ func (c *Cluster) PutCtx(ctx context.Context, key, value string) error {
 	}
 	if err := ctx.Err(); err != nil {
 		c.opsCanceled.Add(1)
-		return fmt.Errorf("cluster: put %q aborted: %w", key, err)
+		return fmt.Errorf("cluster: %s %q aborted: %w", op, key, err)
 	}
 	seq := c.seq.Add(1)
-	enc := encode(seq, value)
+	enc := payload(seq)
 
 	c.topoMu.Lock()
 	if err := c.ring.Put(key, ""); err != nil {
@@ -392,8 +569,24 @@ func (c *Cluster) PutCtx(ctx context.Context, key, value string) error {
 	}
 	c.keys[key] = struct{}{}
 	p := c.placeLocked(key)
+	if c.prevRing != nil {
+		c.dirty[key] = struct{}{}
+	}
+	c.inflight.Add(1)
 	c.topoMu.Unlock()
-	c.puts.Add(1)
+	defer c.inflight.Done()
+
+	// During a migration window, also land the write on the next
+	// topology's new replicas. Best effort on the cluster lifetime (the
+	// per-op context cancels at quorum, which would starve these): a
+	// miss here is repaired by the cutover's dirty-key re-copy.
+	for _, extra := range p.extras {
+		go func(n *node) {
+			ectx, ecancel := context.WithTimeout(c.ctx, c.cfg.PoolTimeout)
+			defer ecancel()
+			n.client().SetCtx(ectx, key, enc) //nolint:errcheck // see above
+		}(extra)
+	}
 
 	opCtx, cancel := context.WithCancel(ctx)
 	defer cancel() // reached with quorum: the laggards' requests abort now
@@ -412,8 +605,8 @@ func (c *Cluster) PutCtx(ctx context.Context, key, value string) error {
 			}
 		case <-ctx.Done():
 			c.opsCanceled.Add(1)
-			return fmt.Errorf("cluster: put %q canceled at %d/%d write acks: %w",
-				key, got, c.cfg.WriteQuorum, ctx.Err())
+			return fmt.Errorf("cluster: %s %q canceled at %d/%d write acks: %w",
+				op, key, got, c.cfg.WriteQuorum, ctx.Err())
 		}
 		if got >= c.cfg.WriteQuorum {
 			return nil
@@ -478,13 +671,15 @@ func (c *Cluster) GetCtx(ctx context.Context, key string) (value string, found b
 		return "", false, fmt.Errorf("cluster: get %q aborted: %w", key, err)
 	}
 	p := c.place(key)
+	defer c.inflight.Done()
 	c.gets.Add(1)
 
 	type resp struct {
-		seq   int64
-		value string
-		found bool
-		err   error
+		seq     int64
+		value   string
+		found   bool // some version (value or tombstone) exists
+		deleted bool // that version is a tombstone
+		err     error
 	}
 	opCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -504,12 +699,12 @@ func (c *Cluster) GetCtx(ctx context.Context, key string) (value string, found b
 				resps <- resp{} // a valid "not here" answer
 				return
 			}
-			seq, v, err := decode(raw)
+			seq, v, deleted, err := decode(raw)
 			if err != nil {
 				resps <- resp{err: err}
 				return
 			}
-			resps <- resp{seq: seq, value: v, found: true}
+			resps <- resp{seq: seq, value: v, found: true, deleted: deleted}
 		}(n)
 	}
 
@@ -531,6 +726,11 @@ func (c *Cluster) GetCtx(ctx context.Context, key string) (value string, found b
 				key, answered, c.cfg.ReadQuorum, ctx.Err())
 		}
 		if answered >= c.cfg.ReadQuorum {
+			// A newest-version tombstone means the key is deleted: the
+			// quorum agrees it existed, and that its last write removed it.
+			if best.deleted {
+				return "", false, nil
+			}
 			return best.value, best.found, nil
 		}
 	}
@@ -551,7 +751,9 @@ func (c *Cluster) lookup(name string) (*node, error) {
 
 // Kill crash-stops a node's server and client — the fault-injection
 // hook. The ring is unchanged; the failure detector (or an explicit
-// Probe) notices the silence and routes around it.
+// Probe) notices the silence and routes around it. Bumping the node
+// epoch first invalidates any probe already in flight against the dying
+// incarnation, so its verdict cannot race the kill.
 func (c *Cluster) Kill(name string) error {
 	n, err := c.lookup(name)
 	if err != nil {
@@ -560,14 +762,19 @@ func (c *Cluster) Kill(name string) error {
 	if n.killed.Swap(true) {
 		return fmt.Errorf("cluster: node %q already killed", name)
 	}
+	n.epoch.Add(1)
 	n.client().Close()
 	n.server().Close()
+	c.emit(EventKill, name, "")
 	return nil
 }
 
 // Restart brings a killed node back empty (the process model: in-memory
 // state dies with the process) on a fresh port, then probes it so
-// hinted handoffs replay before Restart returns.
+// hinted handoffs replay before Restart returns. The epoch bump after
+// the swap discards any straggling probe of the dead incarnation: the
+// old probe's failure verdict, arriving after the restart, would
+// otherwise mark the fresh node down until the next heartbeat.
 func (c *Cluster) Restart(name string) error {
 	n, err := c.lookup(name)
 	if err != nil {
@@ -583,7 +790,9 @@ func (c *Cluster) Restart(name string) error {
 	n.mu.Lock()
 	n.srv, n.pool, n.addr = fresh.srv, fresh.pool, fresh.addr
 	n.mu.Unlock()
+	n.epoch.Add(1)
 	n.killed.Store(false)
+	c.emit(EventRestart, name, "")
 	c.probeNode(n)
 	// The node may never have been marked down (killed and restarted
 	// between probes) yet still have hints parked from failed direct

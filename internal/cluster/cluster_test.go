@@ -206,7 +206,7 @@ func TestClusterHintedHandoffReplaysOnRestart(t *testing.T) {
 		if err != nil || !ok {
 			t.Fatalf("restarted node2 missing replicated %s (%v, %v)", key, ok, err)
 		}
-		if _, v, _ := decode(raw); v != fmt.Sprintf("val-%d", i) {
+		if _, v, _, _ := decode(raw); v != fmt.Sprintf("val-%d", i) {
 			t.Fatalf("restarted node2 has %s = %q", key, raw)
 		}
 	}

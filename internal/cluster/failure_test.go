@@ -2,34 +2,19 @@ package cluster
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
-	"time"
-)
 
-// settleGoroutines waits for the goroutine count to stop moving — the
-// same leak-check pattern internal/sched uses.
-func settleGoroutines() int {
-	n := runtime.NumGoroutine()
-	for i := 0; i < 100; i++ {
-		time.Sleep(time.Millisecond)
-		m := runtime.NumGoroutine()
-		if m == n {
-			return n
-		}
-		n = m
-	}
-	return n
-}
+	"repro/internal/testutil"
+)
 
 // TestClusterKillMidLoadIntegration is the failure-path integration
 // test: a node dies in the middle of concurrent load, quorum traffic
 // keeps succeeding, the node restarts and catches up via hinted
 // handoff, and tearing the whole cluster down leaks no goroutines.
 func TestClusterKillMidLoadIntegration(t *testing.T) {
-	base := settleGoroutines()
+	base := testutil.SettleGoroutines()
 
 	cfg := testConfig(4)
 	cfg.Replicas = 3
@@ -108,7 +93,7 @@ func TestClusterKillMidLoadIntegration(t *testing.T) {
 	}
 
 	c.Close()
-	after := settleGoroutines()
+	after := testutil.SettleGoroutines()
 	if after > base+2 {
 		t.Fatalf("goroutines grew from %d to %d after Close (leak)", base, after)
 	}

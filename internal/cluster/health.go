@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -54,14 +55,27 @@ func (c *Cluster) Probe() {
 // successful probe of a down node marks it up again and replays any
 // hinted handoffs parked for it. Reports whether the node answered. A
 // probe cut short by cluster shutdown changes no state.
+//
+// The verdict only applies if the node is still the incarnation the
+// probe started against: Kill and Restart bump the node epoch, and a
+// stale probe — its connection cut mid-ping by Kill, or its target port
+// already replaced by Restart — must not overwrite the fresh
+// incarnation's state. Without the guard, a Restart racing an in-flight
+// probe left the recovered node spuriously marked down until the next
+// heartbeat swept by.
 func (c *Cluster) probeNode(n *node) bool {
+	epoch := n.epoch.Load()
 	err := probeAddr(c.ctx, n.address(), c.cfg.HeartbeatTimeout)
 	if c.ctx.Err() != nil {
 		return false // shutting down: an interrupted probe proves nothing
 	}
+	if n.epoch.Load() != epoch {
+		return false // killed or restarted mid-probe: verdict is about a dead incarnation
+	}
 	if err != nil {
 		if !n.down.Swap(true) {
 			c.downEvents.Add(1)
+			c.emit(EventDown, n.name, "")
 		}
 		return false
 	}
@@ -69,8 +83,12 @@ func (c *Cluster) probeNode(n *node) bool {
 		// Replay before flipping up so a write racing the transition
 		// still hints (hints are deduplicated by sequence on replay).
 		c.replayHints(c.ctx, n)
+		if n.epoch.Load() != epoch {
+			return false // node churned during the replay sweep
+		}
 		n.down.Store(false)
 		c.upEvents.Add(1)
+		c.emit(EventUp, n.name, "")
 	}
 	return true
 }
@@ -127,32 +145,56 @@ func (c *Cluster) replayHints(ctx context.Context, dest *node) int {
 				continue
 			}
 			key := strings.TrimPrefix(hk, prefix)
-			if c.applyHint(ctx, dest, key, raw) {
+			switch c.applyHint(ctx, dest, key, raw) {
+			case hintApplied:
 				applied++
+				consumed = append(consumed, hk)
+			case hintStale:
+				// Older than what dest already holds: dead weight,
+				// delete without applying.
+				consumed = append(consumed, hk)
+			case hintFailed:
+				// Transport failure (dest may have died again mid-
+				// replay): the hint still counts toward a past write's
+				// sloppy quorum, so it MUST survive for the next sweep —
+				// consuming it here would silently drop an acknowledged
+				// write.
 			}
-			// Consumed either way: a stale hint (older than what dest
-			// already holds) is dead weight too.
-			consumed = append(consumed, hk)
 		}
 		if len(consumed) > 0 {
 			holder.client().MDelCtx(ctx, consumed...) //nolint:errcheck // best effort cleanup
 		}
 	}
 	c.hintsReplayed.Add(int64(applied))
+	if applied > 0 {
+		c.emit(EventHintReplay, dest.name, strconv.Itoa(applied)+" hints")
+	}
 	return applied
 }
 
+// hintOutcome classifies one hint's replay attempt.
+type hintOutcome int
+
+const (
+	hintApplied hintOutcome = iota // written to the home node
+	hintStale                      // home node already holds a newer version
+	hintFailed                     // malformed or transport failure: keep the hint
+)
+
 // applyHint writes one hinted value to its home node unless the node
 // already holds something at least as new (last-write-wins).
-func (c *Cluster) applyHint(ctx context.Context, dest *node, key, raw string) bool {
-	hintSeq, _, err := decode(raw)
+func (c *Cluster) applyHint(ctx context.Context, dest *node, key, raw string) hintOutcome {
+	hintSeq, _, _, err := decode(raw)
 	if err != nil {
-		return false
+		return hintFailed
 	}
 	if cur, ok, err := dest.client().GetCtx(ctx, key); err == nil && ok {
-		if curSeq, _, err := decode(cur); err == nil && curSeq >= hintSeq {
-			return false
+		if curSeq, _, _, err := decode(cur); err == nil && curSeq >= hintSeq {
+			return hintStale
 		}
 	}
-	return dest.client().SetCtx(ctx, key, raw) == nil
+	if dest.client().SetCtx(ctx, key, raw) == nil {
+		return hintApplied
+	}
+	return hintFailed
 }

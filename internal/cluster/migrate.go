@@ -4,8 +4,28 @@ import (
 	"context"
 	"fmt"
 	"strings"
-	"sync"
+
+	"repro/internal/db"
 )
+
+// Topology changes run in three phases so quorum intersection never
+// breaks across the change:
+//
+//  1. Window open (under topoMu): the pre-change ring is snapshotted
+//     into prevRing and placement keeps quorums on it; concurrent
+//     writes double-write to the new ring's replicas and mark their
+//     keys dirty.
+//  2. Copy (concurrent with traffic): every moved key's newest version
+//     — max write sequence across all live old replicas, so a
+//     quorum-aborted laggard can never be mistaken for the truth — is
+//     copied to its new homes.
+//  3. Cutover (under topoMu, in-flight ops drained): keys written
+//     during the copy are re-copied, then the window drops and
+//     placement flips to the new ring atomically. Only now are vacated
+//     copies deleted and (for Leave) the departing node shut down.
+//
+// The write pause in phase 3 lasts only as long as the dirty re-copy —
+// the price of reads staying quorum-consistent through the change.
 
 // move is one key whose replica set changed on a topology change.
 type move struct {
@@ -24,6 +44,8 @@ func (c *Cluster) Join(name string) error {
 	if name == "" || strings.ContainsAny(name, " \t\n\r~") {
 		return fmt.Errorf("cluster: bad node name %q", name)
 	}
+	c.topoChange.Lock()
+	defer c.topoChange.Unlock()
 	fresh, err := c.startNode(name)
 	if err != nil {
 		return err
@@ -35,23 +57,40 @@ func (c *Cluster) Join(name string) error {
 		fresh.server().Close()
 		return fmt.Errorf("cluster: node %q already present", name)
 	}
+	prev, err := c.snapshotRingLocked()
+	if err != nil {
+		c.topoMu.Unlock()
+		fresh.client().Close()
+		fresh.server().Close()
+		return err
+	}
+	prevOrder := append([]string(nil), c.order...)
 	before := c.replicaSetsLocked()
 	c.ring.AddNode(name) //nolint:errcheck // uniqueness checked above
 	c.nodes[name] = fresh
 	c.order = append(c.order, name)
+	c.prevRing, c.prevOrder, c.dirty = prev, prevOrder, make(map[string]struct{})
 	moves := c.movesSinceLocked(before)
 	byName := c.nodeSnapshotLocked()
 	c.topoMu.Unlock()
-	return c.migrate(c.ctx, moves, byName)
+
+	err = c.migrate(c.ctx, moves, byName)
+	c.cutover(moves, byName, "")
+	c.cleanupVacated(moves, byName)
+	c.emit(EventJoin, name, fmt.Sprintf("%d keys moved", len(moves)))
+	return err
 }
 
-// Leave removes a node gracefully: the ring shrinks first, the keys it
-// owned migrate to their new replicas (the leaving node itself is still
-// serving as a copy source), then its server shuts down.
+// Leave removes a node gracefully: the ring shrinks, the keys it owned
+// migrate to their new replicas, and through the whole window the
+// leaving node keeps serving — it is still a quorum member of the old
+// placement and a copy source — until the cutover drops it.
 func (c *Cluster) Leave(name string) error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
+	c.topoChange.Lock()
+	defer c.topoChange.Unlock()
 	c.topoMu.Lock()
 	leaving, ok := c.nodes[name]
 	if !ok {
@@ -62,25 +101,114 @@ func (c *Cluster) Leave(name string) error {
 		c.topoMu.Unlock()
 		return fmt.Errorf("cluster: cannot drop below %d nodes (%d replicas per key)", c.cfg.Replicas, c.cfg.Replicas)
 	}
+	prev, err := c.snapshotRingLocked()
+	if err != nil {
+		c.topoMu.Unlock()
+		return err
+	}
+	prevOrder := append([]string(nil), c.order...)
 	before := c.replicaSetsLocked()
-	byName := c.nodeSnapshotLocked() // includes the leaving node as a source
 	if err := c.ring.RemoveNode(name); err != nil {
 		c.topoMu.Unlock()
 		return err
 	}
-	delete(c.nodes, name)
+	// c.nodes keeps the leaving member through the window (the old
+	// placement still routes to it); only order — the new topology —
+	// drops it now.
 	for i, n := range c.order {
 		if n == name {
 			c.order = append(c.order[:i], c.order[i+1:]...)
 			break
 		}
 	}
+	c.prevRing, c.prevOrder, c.dirty = prev, prevOrder, make(map[string]struct{})
 	moves := c.movesSinceLocked(before)
+	byName := c.nodeSnapshotLocked() // includes the leaving node as a source
 	c.topoMu.Unlock()
-	err := c.migrate(c.ctx, moves, byName)
+
+	err = c.migrate(c.ctx, moves, byName)
+	c.cutover(moves, byName, name)
+	c.cleanupVacated(moves, byName)
 	leaving.client().Close()
 	leaving.server().Close()
+	c.emit(EventLeave, name, fmt.Sprintf("%d keys moved", len(moves)))
 	return err
+}
+
+// snapshotRingLocked clones the current topology into a fresh ring for
+// use as the migration window's placement authority.
+func (c *Cluster) snapshotRingLocked() (*db.DHT, error) {
+	prev, err := db.NewDHT(c.cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range c.order {
+		if err := prev.AddNode(name); err != nil {
+			return nil, err
+		}
+	}
+	return prev, nil
+}
+
+// cutover closes the migration window. Under the exclusive topology
+// lock new operations block; the in-flight ones are drained, the keys
+// written during the copy phase are re-copied from their old replicas
+// (newest version across all live sources), and placement flips to the
+// new ring. dropNode, when non-empty, is the leaving member to remove
+// from the node table inside the same critical section.
+func (c *Cluster) cutover(moves []move, byName map[string]*node, dropNode string) {
+	moved := make(map[string]move, len(moves))
+	for _, m := range moves {
+		moved[m.key] = m
+	}
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	c.inflight.Wait()
+	for key := range c.dirty {
+		m, ok := moved[key]
+		if !ok {
+			continue // placement unchanged: the normal write path covered it
+		}
+		raw, ok := c.newestCopy(c.ctx, key, m.old, byName)
+		if !ok {
+			continue
+		}
+		for _, dst := range subtract(m.new, m.old) {
+			if n := byName[dst]; n != nil && !n.down.Load() {
+				n.client().SetCtx(c.ctx, key, raw) //nolint:errcheck // repaired again on the node's next down/up cycle at worst
+			}
+		}
+	}
+	c.prevRing, c.prevOrder, c.dirty = nil, nil, nil
+	if dropNode != "" {
+		delete(c.nodes, dropNode)
+	}
+}
+
+// newestCopy reads key from every live source replica and returns the
+// raw stored value with the highest write sequence. Reading one replica
+// would risk trusting a copy a quorum-abort cancellation left behind.
+func (c *Cluster) newestCopy(ctx context.Context, key string, srcs []string, byName map[string]*node) (string, bool) {
+	bestSeq := int64(-1)
+	var bestRaw string
+	for _, src := range srcs {
+		n := byName[src]
+		if n == nil || n.down.Load() {
+			continue
+		}
+		raw, found, err := n.client().GetCtx(ctx, key)
+		if err != nil || !found {
+			continue
+		}
+		seq, _, _, err := decode(raw)
+		if err != nil {
+			continue
+		}
+		if seq > bestSeq {
+			bestSeq, bestRaw = seq, raw
+		}
+	}
+	return bestRaw, bestSeq >= 0
 }
 
 // replicaSetsLocked snapshots every tracked key's replica set.
@@ -143,37 +271,24 @@ func subtract(a, b []string) []string {
 	return out
 }
 
-// migrate copies each moved key from a live old replica to its new
-// homes, one sched task per key so big migrations use every worker,
-// then bulk-deletes the vacated copies per node in one MDEL each. The
-// fan-out rides ParallelForCtx on the cluster context: Close stops
-// seeding per-key tasks and aborts the in-flight copies, so a shutdown
-// never waits out a large migration.
+// migrate copies each moved key to its new homes, one sched task per
+// key so big migrations use every worker. Each copy carries the newest
+// version across all live old replicas. The fan-out rides
+// ParallelForCtx on the cluster context: Close stops seeding per-key
+// tasks and aborts the in-flight copies, so a shutdown never waits out
+// a large migration. Vacated copies are NOT deleted here — reads still
+// quorum on the old placement until the cutover.
 func (c *Cluster) migrate(ctx context.Context, moves []move, byName map[string]*node) error {
 	if len(moves) == 0 {
 		return nil
 	}
-	var delMu sync.Mutex
-	dels := make(map[string][]string) // node -> keys to clear
-
-	err := c.sched.ParallelForCtx(ctx, len(moves), 1, func(lo, hi int) {
+	return c.sched.ParallelForCtx(ctx, len(moves), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if ctx.Err() != nil {
 				return
 			}
 			m := moves[i]
-			var raw string
-			var ok bool
-			for _, src := range m.old {
-				n := byName[src]
-				if n == nil || n.down.Load() {
-					continue
-				}
-				if v, found, err := n.client().GetCtx(ctx, m.key); err == nil {
-					raw, ok = v, found
-					break
-				}
-			}
+			raw, ok := c.newestCopy(ctx, m.key, m.old, byName)
 			if !ok {
 				continue // never written, or no live source: nothing to move
 			}
@@ -186,19 +301,22 @@ func (c *Cluster) migrate(ctx context.Context, moves []move, byName map[string]*
 					c.keysMigrated.Add(1)
 				}
 			}
-			if gone := subtract(m.old, m.new); len(gone) > 0 {
-				delMu.Lock()
-				for _, g := range gone {
-					dels[g] = append(dels[g], m.key)
-				}
-				delMu.Unlock()
-			}
 		}
 	})
-	for name, keys := range dels {
-		if n := byName[name]; n != nil && !n.down.Load() {
-			n.client().MDelCtx(ctx, keys...) //nolint:errcheck // vacated copies; best effort
+}
+
+// cleanupVacated bulk-deletes the copies the cutover left behind on
+// nodes that no longer replicate a key, one MDEL per node.
+func (c *Cluster) cleanupVacated(moves []move, byName map[string]*node) {
+	dels := make(map[string][]string)
+	for _, m := range moves {
+		for _, g := range subtract(m.old, m.new) {
+			dels[g] = append(dels[g], m.key)
 		}
 	}
-	return err
+	for name, keys := range dels {
+		if n := byName[name]; n != nil && !n.down.Load() {
+			n.client().MDelCtx(c.ctx, keys...) //nolint:errcheck // vacated copies; best effort
+		}
+	}
 }

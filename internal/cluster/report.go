@@ -15,6 +15,7 @@ func (c *Cluster) Counters() *metrics.CounterSet {
 	cs := &metrics.CounterSet{}
 	cs.Add("cluster.puts", float64(c.puts.Load()))
 	cs.Add("cluster.gets", float64(c.gets.Load()))
+	cs.Add("cluster.dels", float64(c.dels.Load()))
 	cs.Add("cluster.quorum-failures", float64(c.quorumFailures.Load()))
 	cs.Add("cluster.ops-canceled", float64(c.opsCanceled.Load()))
 	cs.Add("cluster.hinted-writes", float64(c.hintedWrites.Load()))
@@ -40,12 +41,7 @@ func (c *Cluster) PoolCounters() *metrics.CounterSet {
 
 	sum := &metrics.CounterSet{}
 	for _, n := range nodes {
-		per := n.client().Counters()
-		for _, name := range per.Names() {
-			v, _ := per.Get(name)
-			prev, _ := sum.Get(name)
-			sum.Add(name, prev+v)
-		}
+		sum.Merge(n.client().Counters())
 	}
 	return sum
 }

@@ -414,3 +414,74 @@ func TestDHTMovesAccessor(t *testing.T) {
 		t.Errorf("a leave must move the orphaned keys back (moves %d -> %d)", afterJoin, d.Moves())
 	}
 }
+
+// TestDHTReplicaPlacementProperty is the randomized contract check the
+// replicated cluster leans on: for random node populations and 10k
+// keys, NodesFor must always return the requested number of distinct
+// live nodes (clamped to the population), placement must be stable
+// between calls, and a join must move fewer than 2·K/n keys. Each trial
+// logs its seed so a failure replays exactly.
+func TestDHTReplicaPlacementProperty(t *testing.T) {
+	const keys = 10_000
+	for trial := 0; trial < 8; trial++ {
+		seed := uint64(0x9e3779b9 + trial)
+		s := seed
+		next := func(n int) int { // xorshift, same generator as randomRelation
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(n))
+		}
+		d, err := NewDHT(64 + next(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		population := 3 + next(8) // 3..10 nodes
+		live := map[string]bool{}
+		for i := 0; i < population; i++ {
+			name := fmt.Sprintf("n%d-%d", trial, i)
+			if err := d.AddNode(name); err != nil {
+				t.Fatal(err)
+			}
+			live[name] = true
+		}
+		replicas := 1 + next(population+1) // 1..population+1: may exceed the ring
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("pk-%d-%d", next(1<<30), i)
+			got := d.NodesFor(key, replicas)
+			want := replicas
+			if want > population {
+				want = population
+			}
+			if len(got) != want {
+				t.Fatalf("seed=%#x: NodesFor(%q, %d) returned %d nodes, want %d", seed, key, replicas, len(got), want)
+			}
+			distinct := map[string]bool{}
+			for _, n := range got {
+				if !live[n] {
+					t.Fatalf("seed=%#x: NodesFor returned unknown node %q", seed, n)
+				}
+				if distinct[n] {
+					t.Fatalf("seed=%#x: NodesFor(%q, %d) repeated node %q: %v", seed, key, replicas, n, got)
+				}
+				distinct[n] = true
+			}
+			if again := d.NodesFor(key, replicas); len(again) != len(got) || again[0] != got[0] {
+				t.Fatalf("seed=%#x: NodesFor(%q) not stable: %v then %v", seed, key, got, again)
+			}
+			d.Put(key, "v") //nolint:errcheck // ring is non-empty by construction
+		}
+		before := d.Moves()
+		if err := d.AddNode(fmt.Sprintf("joiner-%d", trial)); err != nil {
+			t.Fatal(err)
+		}
+		moved := d.Moves() - before
+		bound := int64(2 * keys / (population + 1))
+		if moved >= bound {
+			t.Errorf("seed=%#x: join of node %d moved %d keys, bound 2K/n = %d", seed, population+1, moved, bound)
+		}
+		if moved == 0 {
+			t.Errorf("seed=%#x: join moved no keys", seed)
+		}
+	}
+}

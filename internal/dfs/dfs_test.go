@@ -2,10 +2,12 @@ package dfs
 
 import (
 	"context"
-	"repro/internal/mp"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/mp"
+	"repro/internal/testutil"
 )
 
 func fastCluster(replicas int) Cluster {
@@ -94,6 +96,10 @@ func TestSingleReplica(t *testing.T) {
 }
 
 func TestPrimaryFailover(t *testing.T) {
+	// Crashed ranks must unwind their goroutines, not park forever —
+	// checked against a settled baseline after the run.
+	leakBase := testutil.SettleGoroutines()
+	defer testutil.CheckNoGoroutineLeak(t, leakBase, 2)
 	res, err := fastCluster(3).Run(Scenario{
 		"put a 1",
 		"put b 2",

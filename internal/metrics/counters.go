@@ -32,6 +32,17 @@ func (c *CounterSet) Get(name string) (float64, bool) {
 	return v, ok
 }
 
+// Merge sums other's counters into c: names already present add their
+// values, new names append in other's order. Aggregators (per-node pool
+// counters, per-scenario chaos counters) fold many sets into one total
+// with it instead of re-implementing the loop.
+func (c *CounterSet) Merge(other *CounterSet) {
+	for _, name := range other.names {
+		prev := c.values[name] // zero when absent
+		c.Add(name, prev+other.values[name])
+	}
+}
+
 // Names returns the counters in insertion order.
 func (c *CounterSet) Names() []string {
 	return append([]string(nil), c.names...)

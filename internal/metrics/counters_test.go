@@ -29,3 +29,27 @@ func TestCounterSet(t *testing.T) {
 		t.Fatalf("want 3 lines, got %d: %q", len(lines), s)
 	}
 }
+
+func TestCounterSetMerge(t *testing.T) {
+	var a, b CounterSet
+	a.Add("shared", 10)
+	a.Add("only-a", 1)
+	b.Add("shared", 32)
+	b.Add("only-b", 5)
+	a.Merge(&b)
+	if v, _ := a.Get("shared"); v != 42 {
+		t.Errorf("shared = %v, want 42", v)
+	}
+	if v, _ := a.Get("only-b"); v != 5 {
+		t.Errorf("only-b = %v, want 5", v)
+	}
+	if got := a.Names(); len(got) != 3 || got[0] != "shared" || got[2] != "only-b" {
+		t.Errorf("names after merge = %v", got)
+	}
+	// Merging into an empty set copies.
+	var c CounterSet
+	c.Merge(&a)
+	if v, _ := c.Get("shared"); v != 42 {
+		t.Errorf("copy-merge shared = %v", v)
+	}
+}

@@ -1,0 +1,211 @@
+// Edge-case tests for the wire protocol, written against the public
+// surface (package sockets_test) so they can share testutil.StartKV —
+// the in-package test files cannot import testutil without a cycle.
+package sockets_test
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sockets"
+	"repro/internal/testutil"
+)
+
+// rawConn dials the server with no client library in the way, for
+// writing deliberately broken bytes.
+func rawConn(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func roundTrip(t *testing.T, conn net.Conn, req string) string {
+	t.Helper()
+	if err := sockets.WriteFrame(conn, []byte(req)); err != nil {
+		t.Fatalf("write %q: %v", req, err)
+	}
+	resp, err := sockets.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("read response to %q: %v", req, err)
+	}
+	return string(resp)
+}
+
+// TestFramingOversizedValue: a SET whose value pushes the request past
+// MaxFrame is rejected client-side before any bytes hit the wire, and
+// the connection stays usable for correctly-sized requests — including
+// one sized exactly at the limit.
+func TestFramingOversizedValue(t *testing.T) {
+	s := testutil.StartKV(t, sockets.ServerConfig{})
+	c, err := sockets.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	huge := strings.Repeat("v", sockets.MaxFrame)
+	if err := c.Set("k", huge); err == nil {
+		t.Fatal("SET with an over-limit value succeeded")
+	}
+	// "SET k " + value == exactly MaxFrame must still work.
+	exact := strings.Repeat("v", sockets.MaxFrame-len("SET k "))
+	if err := c.Set("k", exact); err != nil {
+		t.Fatalf("SET at exactly the frame limit: %v", err)
+	}
+	got, found, err := c.Get("k")
+	if err != nil || !found || got != exact {
+		t.Fatalf("limit-sized value did not round-trip (found=%v err=%v len=%d)", found, err, len(got))
+	}
+}
+
+// TestFramingHugeLengthHeader: a peer announcing a frame bigger than
+// MaxFrame is disconnected without the server attempting the
+// allocation, and the server keeps serving other connections.
+func TestFramingHugeLengthHeader(t *testing.T) {
+	s := testutil.StartKV(t, sockets.ServerConfig{})
+	evil := rawConn(t, s.Addr())
+
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], sockets.MaxFrame+1)
+	if _, err := evil.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	evil.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := sockets.ReadFrame(evil); err == nil {
+		t.Fatal("server answered a frame it should have rejected")
+	}
+
+	c, err := sockets.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("server unhealthy after oversized header: %v", err)
+	}
+}
+
+// TestFramingEmbeddedCRLF: values are length-delimited, not
+// line-delimited — embedded \r\n, bare \n, and leading/trailing spaces
+// must survive a SET/GET round trip byte-for-byte.
+func TestFramingEmbeddedCRLF(t *testing.T) {
+	s := testutil.StartKV(t, sockets.ServerConfig{})
+	c, err := sockets.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i, val := range []string{
+		"line1\r\nline2",
+		"\r\n",
+		"trailing newline\n",
+		"  padded  with  spaces  ",
+		"tabs\tand\x00nul",
+	} {
+		key := string(rune('a' + i))
+		if err := c.Set(key, val); err != nil {
+			t.Fatalf("SET %q: %v", val, err)
+		}
+		got, found, err := c.Get(key)
+		if err != nil || !found {
+			t.Fatalf("GET after SET %q: found=%v err=%v", val, found, err)
+		}
+		if got != val {
+			t.Errorf("value corrupted in transit: sent %q, got %q", val, got)
+		}
+	}
+}
+
+// TestFramingTruncatedMDel: a client that dies mid-frame (the header
+// promises more bytes than ever arrive) must not wedge the server or
+// corrupt the store visible to other clients.
+func TestFramingTruncatedMDel(t *testing.T) {
+	s := testutil.StartKV(t, sockets.ServerConfig{})
+	c, err := sockets.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, k := range []string{"alpha", "beta"} {
+		if err := c.Set(k, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dead := rawConn(t, s.Addr())
+	payload := []byte("MDEL alpha beta")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload))+64) // promise more than we send
+	if _, err := dead.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dead.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	dead.Close() // die mid-frame
+
+	// The half-frame must have had no effect; the server keeps serving.
+	for _, k := range []string{"alpha", "beta"} {
+		got, found, err := c.Get(k)
+		if err != nil || !found || got != "v" {
+			t.Fatalf("key %q damaged by truncated MDEL: found=%v err=%v got=%q", k, found, err, got)
+		}
+	}
+}
+
+// TestFramingMalformedCommandsConnectionSurvives: protocol errors are
+// answered with ERR on the same connection — one bad command must not
+// poison the session for the requests after it.
+func TestFramingMalformedCommandsConnectionSurvives(t *testing.T) {
+	s := testutil.StartKV(t, sockets.ServerConfig{})
+	conn := rawConn(t, s.Addr())
+
+	for _, bad := range []string{
+		"",
+		"BOGUS",
+		"SET onlykey",
+		"GET",
+		"GET too many args",
+		"MDEL",
+		"set lower case works? SplitN says the verb is \"set\"",
+	} {
+		resp := roundTrip(t, conn, bad)
+		if bad == "set lower case works? SplitN says the verb is \"set\"" {
+			// ToUpper on the verb makes lowercase legal; it's a valid SET.
+			if resp != "OK" {
+				t.Errorf("lowercase set: got %q, want OK", resp)
+			}
+			continue
+		}
+		if !strings.HasPrefix(resp, "ERR") {
+			t.Errorf("malformed %q: got %q, want ERR...", bad, resp)
+		}
+	}
+	if resp := roundTrip(t, conn, "PING"); resp != "PONG" {
+		t.Fatalf("connection dead after malformed commands: got %q", resp)
+	}
+	if got := s.Stats().Errors; got < 5 {
+		t.Errorf("server error counter = %d, want >= 5", got)
+	}
+}
+
+// TestFramingZeroLengthFrame: an empty frame is a legal frame carrying
+// an empty (hence unknown) command, not a connection-killer.
+func TestFramingZeroLengthFrame(t *testing.T) {
+	s := testutil.StartKV(t, sockets.ServerConfig{})
+	conn := rawConn(t, s.Addr())
+	if resp := roundTrip(t, conn, ""); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("empty frame: got %q, want ERR...", resp)
+	}
+	if resp := roundTrip(t, conn, "PING"); resp != "PONG" {
+		t.Fatalf("connection dead after empty frame: got %q", resp)
+	}
+}

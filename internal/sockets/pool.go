@@ -37,6 +37,15 @@ type PoolConfig struct {
 	// mapreduce.Config.FailTask. Killed attempts fail with a transport
 	// error and take the retry path.
 	FailConn func(req, attempt int) bool
+	// PreAttempt, when non-nil, runs before each wire attempt with the
+	// raw request text and the 1-based attempt number — the client-side
+	// counterpart of ServerConfig.PreHandle. Chaos harnesses use it to
+	// inject latency spikes on the request path (a sleep here delays the
+	// attempt but still counts against its deadline budget, so a spike
+	// longer than the remaining budget surfaces as a timeout, exactly
+	// like real network delay). Keep it bounded: it runs on the request
+	// path and is not interrupted by cancellation.
+	PreAttempt func(req string, attempt int)
 }
 
 // ErrPoolClosed is returned for requests issued after Close.
@@ -236,6 +245,12 @@ func (p *Pool) attemptTimeout(ctx context.Context) time.Duration {
 // cancellation while the attempt is blocked in write/read rewinds the
 // connection deadline to wake it immediately.
 func (p *Pool) try(ctx context.Context, pc *poolConn, req string, id, attempt int) (string, error) {
+	// The injected latency runs before the deadline budget is computed,
+	// so under a ctx deadline a spike eats the attempt's remaining time
+	// the way real network delay would.
+	if p.cfg.PreAttempt != nil {
+		p.cfg.PreAttempt(req, attempt)
+	}
 	timeout := p.attemptTimeout(ctx)
 	if timeout <= 0 {
 		return "", context.DeadlineExceeded

@@ -1,6 +1,7 @@
 package sockets
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -224,5 +225,62 @@ func TestPoolCounterSet(t *testing.T) {
 		if !strings.Contains(str, name) {
 			t.Errorf("CounterSet.String() missing %s:\n%s", name, str)
 		}
+	}
+}
+
+func TestPoolPreAttemptHook(t *testing.T) {
+	s := startServer(t)
+	var mu sync.Mutex
+	var seen []string
+	var attempts []int
+	p, err := NewPool(s.Addr(), PoolConfig{
+		Size:        1,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		// Kill the first attempt of every request so the hook is seen
+		// on the retry too.
+		FailConn: func(req, attempt int) bool { return attempt == 1 },
+		PreAttempt: func(req string, attempt int) {
+			mu.Lock()
+			seen = append(seen, req)
+			attempts = append(attempts, attempt)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Set("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0] != "SET k v" || seen[1] != "SET k v" {
+		t.Errorf("PreAttempt saw %q, want the SET twice", seen)
+	}
+	if len(attempts) != 2 || attempts[0] != 1 || attempts[1] != 2 {
+		t.Errorf("PreAttempt attempts = %v, want [1 2]", attempts)
+	}
+}
+
+func TestPoolPreAttemptLatencyEatsCtxBudget(t *testing.T) {
+	s := startServer(t)
+	p, err := NewPool(s.Addr(), PoolConfig{
+		Size:        1,
+		MaxAttempts: 1,
+		Timeout:     2 * time.Second,
+		// A spike longer than the caller's deadline: the attempt must
+		// surface DeadlineExceeded instead of succeeding late.
+		PreAttempt: func(req string, attempt int) { time.Sleep(80 * time.Millisecond) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	if err := p.SetCtx(ctx, "k", "v"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("SetCtx under a spiked attempt = %v, want wrapped DeadlineExceeded", err)
 	}
 }

@@ -1,0 +1,61 @@
+// Package testutil holds the test helpers that had been copy-pasted
+// across the networked packages' test suites: goroutine-leak detection
+// (settle the count, compare against a baseline) and KV test-server
+// bring-up on an ephemeral loopback port with cleanup registered.
+//
+// It deliberately imports only internal/sockets, so every package above
+// sockets (cluster, chaos, dfs, the root integration tests) can use it.
+// The sockets package's own in-package tests cannot — importing
+// testutil from `package sockets` test files would be an import cycle —
+// which is why sockets keeps a local startServer and its external-
+// package tests (package sockets_test) use testutil instead.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/sockets"
+)
+
+// SettleGoroutines waits for the goroutine count to stop moving and
+// returns it — the leak-check baseline pattern. Background goroutines
+// from a just-closed server or pool need a few scheduler ticks to
+// unwind; sampling until two consecutive readings agree filters that
+// shutdown transient out of the measurement.
+func SettleGoroutines() int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		time.Sleep(time.Millisecond)
+		m := runtime.NumGoroutine()
+		if m == n {
+			return n
+		}
+		n = m
+	}
+	return n
+}
+
+// CheckNoGoroutineLeak fails tb when the settled goroutine count has
+// grown more than slack above base (a SettleGoroutines reading taken
+// before the code under test ran).
+func CheckNoGoroutineLeak(tb testing.TB, base, slack int) {
+	tb.Helper()
+	if after := SettleGoroutines(); after > base+slack {
+		tb.Errorf("goroutines grew from %d to %d (leak; slack %d)", base, after, slack)
+	}
+}
+
+// StartKV boots a sockets KV server on an ephemeral loopback port
+// ("127.0.0.1:0", so parallel test runs never collide on a port) and
+// registers its shutdown with tb.Cleanup.
+func StartKV(tb testing.TB, cfg sockets.ServerConfig) *sockets.Server {
+	tb.Helper()
+	s, err := sockets.NewServerConfig("127.0.0.1:0", cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { s.Close() })
+	return s
+}
