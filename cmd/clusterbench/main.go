@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/sockets"
 )
 
 func main() {
@@ -53,9 +54,15 @@ func main() {
 	chaosMode := flag.Bool("chaos", false, "run the seeded chaos scenarios instead of the benches")
 	scenario := flag.String("scenario", "", "with -chaos: run only this scenario (default: all)")
 	seed := flag.Int64("seed", 1, "with -chaos: schedule seed; a failing run prints the seed to replay")
+	protoFlag := flag.String("proto", "text", "inter-node wire protocol: text or binary (pipelined PDUs, batched migration)")
 	flag.Parse()
+	proto, err := sockets.ParseProto(*protoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench:", err)
+		os.Exit(2)
+	}
 	if *chaosMode {
-		os.Exit(runChaos(*scenario, *seed))
+		os.Exit(runChaos(*scenario, *seed, proto))
 	}
 	if *quick {
 		*ops, *keys = 300, 120
@@ -74,12 +81,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("cluster scalability study: %d nodes, %d replicas, quorum W=R=%d, %d SET/GET pairs per run\n\n",
-		*nodes, *replicas, *replicas/2+1, *ops)
+	fmt.Printf("cluster scalability study: %d nodes, %d replicas, quorum W=R=%d, %d SET/GET pairs per run, %s protocol\n\n",
+		*nodes, *replicas, *replicas/2+1, *ops, proto)
 	var ms []metrics.Measurement
 	interrupted := false
 	for _, nc := range clients {
-		elapsed, err := throughputRun(ctx, *nodes, *replicas, nc, *ops)
+		elapsed, err := throughputRun(ctx, *nodes, *replicas, nc, *ops, proto)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				interrupted = true
@@ -111,7 +118,7 @@ func main() {
 		return // the failure/elasticity phases need an uninterrupted cluster
 	}
 	fmt.Println()
-	if err := availabilityAndJoin(ctx, *nodes, *replicas, *keys); err != nil {
+	if err := availabilityAndJoin(ctx, *nodes, *replicas, *keys, proto); err != nil {
 		fmt.Fprintln(os.Stderr, "clusterbench:", err)
 		os.Exit(1)
 	}
@@ -136,7 +143,7 @@ func parseClients(s string) ([]int, error) {
 	return out, nil
 }
 
-func newCluster(nodes, replicas int) (*cluster.Cluster, error) {
+func newCluster(nodes, replicas int, proto sockets.Proto) (*cluster.Cluster, error) {
 	return cluster.New(cluster.Config{
 		Nodes:             nodes,
 		Replicas:          replicas,
@@ -144,6 +151,7 @@ func newCluster(nodes, replicas int) (*cluster.Cluster, error) {
 		HeartbeatTimeout:  150 * time.Millisecond,
 		PoolSize:          4,
 		PoolTimeout:       500 * time.Millisecond,
+		Proto:             proto,
 	})
 }
 
@@ -151,8 +159,8 @@ func newCluster(nodes, replicas int) (*cluster.Cluster, error) {
 // ops quorum SET/GET pairs against a fresh cluster. Cancellation drains
 // the workers at the next quorum-op boundary and surfaces the wrapped
 // ctx error.
-func throughputRun(ctx context.Context, nodes, replicas, nclients, ops int) (time.Duration, error) {
-	c, err := newCluster(nodes, replicas)
+func throughputRun(ctx context.Context, nodes, replicas, nclients, ops int, proto sockets.Proto) (time.Duration, error) {
+	c, err := newCluster(nodes, replicas, proto)
 	if err != nil {
 		return 0, err
 	}
@@ -194,8 +202,8 @@ func throughputRun(ctx context.Context, nodes, replicas, nclients, ops int) (tim
 // loaded cluster and prints the health report. An interrupt mid-phase
 // drains the phase in flight and still prints the report, so the
 // counters accumulated before Ctrl-C are not lost.
-func availabilityAndJoin(ctx context.Context, nodes, replicas, keys int) error {
-	c, err := newCluster(nodes, replicas)
+func availabilityAndJoin(ctx context.Context, nodes, replicas, keys int, proto sockets.Proto) error {
+	c, err := newCluster(nodes, replicas, proto)
 	if err != nil {
 		return err
 	}

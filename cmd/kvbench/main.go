@@ -32,7 +32,14 @@ func main() {
 	clientsFlag := flag.String("clients", "1,2,4,8", "comma-separated concurrent client counts (must include 1)")
 	shards := flag.Int("shards", 16, "store shards (1 = the single-lock server)")
 	ops := flag.Int("ops", 2000, "total SET/GET pairs per run, split across clients")
+	protoFlag := flag.String("proto", "text", "wire protocol: text (one request per connection turn) or binary (pipelined PDUs)")
 	flag.Parse()
+
+	proto, err := sockets.ParseProto(*protoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvbench:", err)
+		os.Exit(2)
+	}
 
 	var clients []int
 	hasBaseline := false
@@ -57,13 +64,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("KV server scalability study: %d shards, %d SET/GET pairs per run\n\n", *shards, *ops)
+	fmt.Printf("KV server scalability study: %d shards, %d SET/GET pairs per run, %s protocol\n\n", *shards, *ops, proto)
 	var ms []metrics.Measurement
 	var lastHist *metrics.Histogram
 	var lastPool *metrics.CounterSet
 	interrupted := false
 	for _, nc := range clients {
-		elapsed, hist, pool, err := run(ctx, *shards, nc, *ops)
+		elapsed, hist, pool, err := run(ctx, *shards, nc, *ops, proto)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				interrupted = true
@@ -105,13 +112,13 @@ func main() {
 // same size, splitting ops SET/GET pairs against a fresh server. The
 // context bounds every request; cancellation drains the workers at the
 // next request boundary and surfaces the wrapped ctx error.
-func run(ctx context.Context, shards, nclients, ops int) (time.Duration, *metrics.Histogram, *metrics.CounterSet, error) {
+func run(ctx context.Context, shards, nclients, ops int, proto sockets.Proto) (time.Duration, *metrics.Histogram, *metrics.CounterSet, error) {
 	s, err := sockets.NewServerConfig("127.0.0.1:0", sockets.ServerConfig{Shards: shards})
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	defer s.Close()
-	p, err := sockets.NewPool(s.Addr(), sockets.PoolConfig{Size: nclients})
+	p, err := sockets.NewPool(s.Addr(), sockets.PoolConfig{Size: nclients, Proto: proto})
 	if err != nil {
 		return 0, nil, nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/sockets"
 )
 
 // Spec describes one chaos scenario: the cluster shape, the workload,
@@ -31,6 +32,12 @@ type Spec struct {
 	PoolTimeout       time.Duration // default 250ms
 	PoolAttempts      int           // default 2
 	DrainTimeout      time.Duration // default 50ms
+
+	// Proto selects the inter-node wire protocol (text or binary). The
+	// fault surface is protocol-independent: PreHandle and PreAttempt
+	// hooks see the text rendering of binary PDUs, so every scenario
+	// runs unchanged on either transport.
+	Proto sockets.Proto
 
 	// Workload.
 	Workers   int           // concurrent client workers (default 4)
@@ -264,6 +271,7 @@ func Run(spec Spec, seed int64) (*Report, error) {
 		PoolTimeout:        spec.PoolTimeout,
 		PoolAttempts:       spec.PoolAttempts,
 		DrainTimeout:       spec.DrainTimeout,
+		Proto:              spec.Proto,
 		AllowUnsafeQuorums: spec.AllowUnsafeQuorums,
 		ServerPreHandle:    h.serverPreHandle,
 		PoolFailConn:       h.poolFailConn,

@@ -143,7 +143,7 @@ func Scenarios() []Spec {
 			// attempts and another adds latency spikes: key migration
 			// must push through the flaky network without losing or
 			// duplicating anything the workload can observe.
-			Name: "partition-during-migration",
+			Name:  "partition-during-migration",
 			Nodes: 5,
 			Plan: func(rng *rand.Rand, nodes []string) []Fault {
 				a, b := pick2(rng, nodes)

@@ -60,6 +60,11 @@ type Config struct {
 	PoolSize     int
 	PoolTimeout  time.Duration
 	PoolAttempts int
+	// Proto selects the inter-node client protocol: sockets.ProtoText
+	// (the zero value, line-oriented) or sockets.ProtoBinary (pipelined
+	// PDUs with batched MGET/MPUT for migration and hint replay).
+	// Servers always speak both; this only switches what the pools dial.
+	Proto sockets.Proto
 	// ServerShards is each node's store-stripe count (default 8).
 	ServerShards int
 	// DrainTimeout bounds how long a killed or closed node's server
@@ -340,6 +345,7 @@ func (c *Cluster) poolConfig(name string) sockets.PoolConfig {
 		Size:        c.cfg.PoolSize,
 		MaxAttempts: c.cfg.PoolAttempts,
 		Timeout:     c.cfg.PoolTimeout,
+		Proto:       c.cfg.Proto,
 	}
 	if c.cfg.PoolFailConn != nil {
 		pcfg.FailConn = c.cfg.PoolFailConn(name)

@@ -352,3 +352,54 @@ func TestClusterClosedOps(t *testing.T) {
 		t.Errorf("Join after close = %v", err)
 	}
 }
+
+// TestClusterBinaryProto runs the topology lifecycle — replicated
+// writes, a dead replica parking hints, restart replaying them (a
+// batched MGET sweep), and a join migrating arcs (batched MPUTs) —
+// with every inter-node pool speaking the binary protocol. Servers
+// negotiate per connection, so heartbeat probes (still text) coexist
+// with the binary request pools on the same listeners.
+func TestClusterBinaryProto(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Replicas = 3
+	cfg.Proto = sockets.ProtoBinary
+	c := startCluster(t, cfg)
+
+	const keys = 120
+	for i := 0; i < keys; i++ {
+		if err := c.Put(fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Kill("node2"); err != nil {
+		t.Fatal(err)
+	}
+	c.Probe()
+	for i := 0; i < keys; i++ {
+		if err := c.Put(fmt.Sprintf("key-%d", i), fmt.Sprintf("v2-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hinted, _ := c.Counters().Get("cluster.hinted-writes"); hinted == 0 {
+		t.Fatal("no hints parked while node2 was dead")
+	}
+	if err := c.Restart("node2"); err != nil {
+		t.Fatal(err)
+	}
+	if replayed, _ := c.Counters().Get("cluster.hints-replayed"); replayed == 0 {
+		t.Error("restart replayed no hints over the binary protocol")
+	}
+
+	if err := c.Join("node4"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Counters().Get("cluster.keys-migrated"); v == 0 {
+		t.Error("no replica copies migrated over the binary protocol")
+	}
+	for i := 0; i < keys; i++ {
+		v, ok, err := c.Get(fmt.Sprintf("key-%d", i))
+		if err != nil || !ok || v != fmt.Sprintf("v2-%d", i) {
+			t.Fatalf("Get key-%d after lifecycle = (%q, %v, %v)", i, v, ok, err)
+		}
+	}
+}

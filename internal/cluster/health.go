@@ -135,17 +135,30 @@ func (c *Cluster) replayHints(ctx context.Context, dest *node) int {
 		if err != nil {
 			continue
 		}
-		var consumed []string
+		hintKeys := keys[:0]
 		for _, hk := range keys {
-			if !strings.HasPrefix(hk, prefix) {
-				continue
+			if strings.HasPrefix(hk, prefix) {
+				hintKeys = append(hintKeys, hk)
 			}
-			raw, ok, err := holder.client().GetCtx(ctx, hk)
-			if err != nil || !ok {
-				continue
+		}
+		if len(hintKeys) == 0 {
+			continue
+		}
+		// One batched fetch for the whole parked set. On the binary
+		// protocol this is a single MGET PDU per chunk; on text it
+		// degrades to sequential GETs inside the pool, so the sweep's
+		// behavior is identical either way.
+		vals, found, err := holder.client().MGetCtx(ctx, hintKeys...)
+		if err != nil {
+			continue
+		}
+		var consumed []string
+		for i, hk := range hintKeys {
+			if !found[i] {
+				continue // consumed by a concurrent sweep
 			}
 			key := strings.TrimPrefix(hk, prefix)
-			switch c.applyHint(ctx, dest, key, raw) {
+			switch c.applyHint(ctx, dest, key, vals[i]) {
 			case hintApplied:
 				applied++
 				consumed = append(consumed, hk)

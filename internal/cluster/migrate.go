@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/db"
+	"repro/internal/sockets"
 )
 
 // Topology changes run in three phases so quorum intersection never
@@ -271,18 +272,28 @@ func subtract(a, b []string) []string {
 	return out
 }
 
-// migrate copies each moved key to its new homes, one sched task per
-// key so big migrations use every worker. Each copy carries the newest
-// version across all live old replicas. The fan-out rides
-// ParallelForCtx on the cluster context: Close stops seeding per-key
-// tasks and aborts the in-flight copies, so a shutdown never waits out
-// a large migration. Vacated copies are NOT deleted here — reads still
-// quorum on the old placement until the cutover.
+// migrateChunk is how many moved keys one sched task gathers before
+// flushing: large enough that a destination receives a meaty MPUT
+// batch, small enough that big migrations still spread across workers.
+const migrateChunk = 32
+
+// migrate copies each moved key to its new homes, in chunks fanned out
+// on the sched pool. Each copy carries the newest version across all
+// live old replicas. Within a chunk the copies are gathered per
+// destination and shipped as one MPUT batch — on the binary protocol a
+// single pipelined PDU per destination instead of a SET round-trip per
+// key; on text the pool degrades it to sequential SETs, so behavior is
+// unchanged. The fan-out rides ParallelForCtx on the cluster context:
+// Close stops seeding chunks and aborts the in-flight copies, so a
+// shutdown never waits out a large migration. Vacated copies are NOT
+// deleted here — reads still quorum on the old placement until the
+// cutover.
 func (c *Cluster) migrate(ctx context.Context, moves []move, byName map[string]*node) error {
 	if len(moves) == 0 {
 		return nil
 	}
-	return c.sched.ParallelForCtx(ctx, len(moves), 1, func(lo, hi int) {
+	return c.sched.ParallelForCtx(ctx, len(moves), migrateChunk, func(lo, hi int) {
+		batches := make(map[string][]sockets.KV)
 		for i := lo; i < hi; i++ {
 			if ctx.Err() != nil {
 				return
@@ -293,13 +304,17 @@ func (c *Cluster) migrate(ctx context.Context, moves []move, byName map[string]*
 				continue // never written, or no live source: nothing to move
 			}
 			for _, dst := range subtract(m.new, m.old) {
-				n := byName[dst]
-				if n == nil || n.down.Load() {
-					continue
+				if n := byName[dst]; n != nil && !n.down.Load() {
+					batches[dst] = append(batches[dst], sockets.KV{Key: m.key, Value: raw})
 				}
-				if n.client().SetCtx(ctx, m.key, raw) == nil {
-					c.keysMigrated.Add(1)
-				}
+			}
+		}
+		for dst, pairs := range batches {
+			if ctx.Err() != nil {
+				return
+			}
+			if byName[dst].client().MPutCtx(ctx, pairs) == nil {
+				c.keysMigrated.Add(int64(len(pairs)))
 			}
 		}
 	})

@@ -1,0 +1,111 @@
+package sockets
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+)
+
+// errWriterClosed reports an enqueue on a frameWriter that has already
+// been stopped (its connection incarnation is being retired).
+var errWriterClosed = errors.New("sockets: frame writer closed")
+
+// frameWriter is the writing half of a pipelined connection: callers
+// enqueue encoded frames and return immediately; a dedicated writer
+// goroutine drains whatever has accumulated and ships the whole batch
+// with one conn.Write. The batching is self-clocking — while one flush
+// syscall is in flight, every frame that arrives queues behind it and
+// rides the next flush — so under N in-flight operations up to N write
+// syscalls collapse into one. That amortization (and its mirror on the
+// read side, one buffered reader draining responses) is where the
+// binary protocol's throughput edge over write-read-per-turn text
+// comes from on low-latency links.
+//
+// Write errors surface asynchronously on the onErr callback (once); by
+// then earlier write() calls have already returned nil, which is fine —
+// a broken connection fails the whole incarnation and the per-request
+// retry machinery takes over. A wedged peer is handled the same way:
+// nobody arms write deadlines here, the owner just closes the conn
+// (dead-conn heuristic, pool Close, server drain cutoff), which breaks
+// a blocked Write with an error.
+type frameWriter struct {
+	conn  net.Conn
+	onErr func(error) // called once, from the writer goroutine
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	err    error // latched first failure
+	closed bool
+}
+
+func newFrameWriter(conn net.Conn, onErr func(error)) *frameWriter {
+	w := &frameWriter{conn: conn, onErr: onErr}
+	w.cond = sync.NewCond(&w.mu)
+	go w.loop()
+	return w
+}
+
+// write enqueues one encoded frame payload (the writer adds the length
+// header). It fails fast only if the writer already died or stopped.
+func (w *frameWriter) write(frame []byte) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return errWriterClosed
+	}
+	w.queue = append(w.queue, frame)
+	w.mu.Unlock()
+	w.cond.Signal()
+	return nil
+}
+
+// stop shuts the writer down after draining anything already queued.
+// Safe to call more than once; concurrent write() calls after stop get
+// errWriterClosed.
+func (w *frameWriter) stop() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+func (w *frameWriter) loop() {
+	buf := make([]byte, 0, 64<<10)
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed && w.err == nil {
+			w.cond.Wait()
+		}
+		if w.err != nil || (w.closed && len(w.queue) == 0) {
+			w.mu.Unlock()
+			return
+		}
+		batch := w.queue
+		w.queue = nil
+		w.mu.Unlock()
+
+		buf = buf[:0]
+		for _, f := range batch {
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(f)))
+			buf = append(buf, hdr[:]...)
+			buf = append(buf, f...)
+		}
+		if _, err := w.conn.Write(buf); err != nil {
+			w.mu.Lock()
+			w.err = err
+			w.mu.Unlock()
+			if w.onErr != nil {
+				w.onErr(err)
+			}
+			return
+		}
+	}
+}

@@ -5,6 +5,7 @@ package sockets_test
 
 import (
 	"encoding/binary"
+	"errors"
 	"net"
 	"strings"
 	"testing"
@@ -92,9 +93,12 @@ func TestFramingHugeLengthHeader(t *testing.T) {
 	}
 }
 
-// TestFramingEmbeddedCRLF: values are length-delimited, not
-// line-delimited — embedded \r\n, bare \n, and leading/trailing spaces
-// must survive a SET/GET round trip byte-for-byte.
+// TestFramingEmbeddedCRLF is the regression test for the value rules on
+// both protocols. The text path rejects CR/LF values client-side with a
+// typed ErrBadValue — the line-oriented protocol cannot carry them
+// safely — and the rejection must not poison the connection. The binary
+// path has no such restriction: values are length-prefixed opaque
+// bytes, and every payload round-trips byte-for-byte.
 func TestFramingEmbeddedCRLF(t *testing.T) {
 	s := testutil.StartKV(t, sockets.ServerConfig{})
 	c, err := sockets.Dial(s.Addr())
@@ -103,23 +107,46 @@ func TestFramingEmbeddedCRLF(t *testing.T) {
 	}
 	defer c.Close()
 
-	for i, val := range []string{
-		"line1\r\nline2",
-		"\r\n",
-		"trailing newline\n",
-		"  padded  with  spaces  ",
-		"tabs\tand\x00nul",
-	} {
+	crlfValues := []string{"line1\r\nline2", "\r\n", "trailing newline\n", "bare\rcr"}
+	for _, val := range crlfValues {
+		if err := c.Set("k", val); err == nil {
+			t.Fatalf("text SET %q succeeded, want ErrBadValue", val)
+		} else if !errors.Is(err, sockets.ErrBadValue) {
+			t.Fatalf("text SET %q: got %v, want ErrBadValue", val, err)
+		}
+	}
+	// The rejection happens before the wire: the connection stays good.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection dead after rejected values: %v", err)
+	}
+
+	// Values without CR/LF — spaces, tabs, NULs — still round-trip on
+	// the text path (they always did; frames are length-delimited).
+	for i, val := range []string{"  padded  with  spaces  ", "tabs\tand\x00nul"} {
 		key := string(rune('a' + i))
 		if err := c.Set(key, val); err != nil {
-			t.Fatalf("SET %q: %v", val, err)
+			t.Fatalf("text SET %q: %v", val, err)
 		}
 		got, found, err := c.Get(key)
-		if err != nil || !found {
-			t.Fatalf("GET after SET %q: found=%v err=%v", val, found, err)
+		if err != nil || !found || got != val {
+			t.Errorf("text value corrupted: sent %q, got %q (found=%v err=%v)", val, got, found, err)
 		}
-		if got != val {
-			t.Errorf("value corrupted in transit: sent %q, got %q", val, got)
+	}
+
+	// The binary protocol lifts the restriction entirely.
+	p, err := sockets.NewPool(s.Addr(), sockets.PoolConfig{Proto: sockets.ProtoBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i, val := range append(crlfValues, "  spaces  ", "nul\x00s", "") {
+		key := "bin-" + string(rune('a'+i))
+		if err := p.Set(key, val); err != nil {
+			t.Fatalf("binary SET %q: %v", val, err)
+		}
+		got, found, err := p.Get(key)
+		if err != nil || !found || got != val {
+			t.Errorf("binary value corrupted: sent %q, got %q (found=%v err=%v)", val, got, found, err)
 		}
 	}
 }

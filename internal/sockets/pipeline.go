@@ -1,0 +1,480 @@
+package sockets
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sockets/wire"
+)
+
+// pipeClientSeq hands every pipe a process-unique client ID for the
+// binary handshake; the server keys its retry-dedupe table on it.
+var pipeClientSeq atomic.Uint64
+
+// pipeResult is one settled response future.
+type pipeResult struct {
+	resp *wire.Response
+	err  error
+}
+
+// pipeFuture is a registered in-flight request: gen ties it to the
+// connection incarnation it was written on, so a dying connection fails
+// exactly the futures that were riding it.
+type pipeFuture struct {
+	gen uint64
+	ch  chan pipeResult
+}
+
+// pipe is the pipelining round-tripper behind a binary-protocol Pool:
+// one shared connection, a writer side serialized by writeMu, and a
+// reader goroutine that settles response futures by correlation ID —
+// so responses return in whatever order the server finishes them and
+// one connection carries any number of in-flight operations. It
+// replaces the text path's checkout-per-request entirely.
+type pipe struct {
+	p        *Pool
+	clientID uint64
+
+	mu       sync.Mutex // guards conn, fw, gen, pending
+	conn     net.Conn
+	fw       *frameWriter // coalesced request writes on conn
+	gen      uint64
+	pending  map[uint64]*pipeFuture
+	lastRecv atomic.Int64 // UnixNano of the last frame read; dead-conn heuristic
+}
+
+func newPipe(p *Pool) *pipe {
+	return &pipe{
+		p:        p,
+		clientID: pipeClientSeq.Add(1),
+		pending:  make(map[uint64]*pipeFuture),
+	}
+}
+
+// ensure returns the live connection (and its generation), dialing and
+// handshaking a fresh one if the previous died. The dial respects both
+// ctx and the pool's per-attempt timeout.
+func (pp *pipe) ensure(ctx context.Context) (net.Conn, *frameWriter, uint64, error) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if pp.conn != nil {
+		return pp.conn, pp.fw, pp.gen, nil
+	}
+	timeout, _ := pp.p.attemptTimeout(ctx)
+	conn, err := dialCtx(ctx, pp.p.addr, timeout)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// Handshake: magic byte, then the 8-byte client ID.
+	var hs [9]byte
+	hs[0] = wire.Magic
+	putUint64BE(hs[1:], pp.clientID)
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(hs[:]); err != nil {
+		conn.Close()
+		return nil, nil, 0, err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	pp.conn = conn
+	// A write error closes the conn, which wakes readLoop, which retires
+	// the incarnation (fail settles the futures and stops the writer).
+	pp.fw = newFrameWriter(conn, func(error) { conn.Close() })
+	pp.gen++
+	pp.lastRecv.Store(time.Now().UnixNano())
+	go pp.readLoop(conn, pp.fw, pp.gen)
+	return conn, pp.fw, pp.gen, nil
+}
+
+func putUint64BE(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// readLoop drains response frames off one connection incarnation and
+// settles the matching futures. Any read or decode error is terminal
+// for the incarnation: the conn is discarded and every future written
+// on it fails (the callers' retry machinery takes over from there).
+func (pp *pipe) readLoop(conn net.Conn, fw *frameWriter, gen uint64) {
+	br := bufio.NewReader(conn)
+	for {
+		payload, err := ReadFrame(br)
+		if err != nil {
+			pp.fail(conn, fw, gen, err)
+			return
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			pp.fail(conn, fw, gen, fmt.Errorf("sockets: undecodable response: %w", err))
+			return
+		}
+		pp.lastRecv.Store(time.Now().UnixNano())
+		pp.mu.Lock()
+		f := pp.pending[resp.ID]
+		if f != nil && f.gen == gen {
+			delete(pp.pending, resp.ID)
+		} else {
+			f = nil // late response to an abandoned or re-issued ID: drop
+		}
+		pp.mu.Unlock()
+		if f != nil {
+			f.ch <- pipeResult{resp: resp}
+		}
+	}
+}
+
+// fail retires one connection incarnation: closes it, stops its frame
+// writer, clears it (if still current), and settles every future riding
+// it with err.
+func (pp *pipe) fail(conn net.Conn, fw *frameWriter, gen uint64, err error) {
+	conn.Close()
+	fw.stop()
+	pp.mu.Lock()
+	if pp.gen == gen && pp.conn == conn {
+		pp.conn = nil
+	}
+	var settled []*pipeFuture
+	for id, f := range pp.pending {
+		if f.gen == gen {
+			delete(pp.pending, id)
+			settled = append(settled, f)
+		}
+	}
+	pp.mu.Unlock()
+	for _, f := range settled {
+		f.ch <- pipeResult{err: err}
+	}
+}
+
+// shutdown closes the live connection; its readLoop then fails the
+// in-flight futures with the connection error, which doCtx's closed
+// check converts to ErrPoolClosed for new requests.
+func (pp *pipe) shutdown() {
+	pp.mu.Lock()
+	conn := pp.conn
+	pp.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// register installs a future for id on generation gen. Any stale
+// future under the same ID (an abandoned earlier attempt) is dropped —
+// its reply, if it ever comes, no longer has an audience.
+func (pp *pipe) register(id, gen uint64) *pipeFuture {
+	f := &pipeFuture{gen: gen, ch: make(chan pipeResult, 1)}
+	pp.mu.Lock()
+	pp.pending[id] = f
+	pp.mu.Unlock()
+	return f
+}
+
+// unregister abandons a future (ctx cancellation or attempt timeout).
+func (pp *pipe) unregister(id uint64, f *pipeFuture) {
+	pp.mu.Lock()
+	if pp.pending[id] == f {
+		delete(pp.pending, id)
+	}
+	pp.mu.Unlock()
+}
+
+// binDo runs one PDU through the pipelined transport under the same
+// borrow-free retry/deadline/cancellation contract as the text path's
+// doCtx. The correlation ID is assigned once per logical request and
+// reused across retries — that reuse is what lets the server dedupe a
+// retried mutation whose first response was lost in transit.
+func (p *Pool) binDo(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	if err := ctx.Err(); err != nil {
+		p.canceledSeen.Add(1)
+		return nil, fmt.Errorf("sockets: request aborted before first attempt: %w", err)
+	}
+	p.reqSeen.Add(1)
+	req.ID = uint64(p.reqSeq.Add(1))
+	enc := wire.AppendRequest(make([]byte, 0, 64), req)
+	var lastErr error
+	for attempt := 1; attempt <= p.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			p.retrySeen.Add(1)
+			if err := p.backoff(ctx, attempt); err != nil {
+				p.canceledSeen.Add(1)
+				return nil, fmt.Errorf("sockets: request canceled in retry backoff after %d attempts: %w", attempt-1, err)
+			}
+		}
+		p.attemptSeen.Add(1)
+		resp, err := p.pipe.try(ctx, req, enc, attempt)
+		if err == nil {
+			return resp, nil
+		}
+		p.errSeen.Add(1)
+		lastErr = err
+		if cerr := ctx.Err(); cerr != nil {
+			p.canceledSeen.Add(1)
+			return nil, fmt.Errorf("sockets: request canceled after %d attempts: %w", attempt, cerr)
+		}
+		if p.closed.Load() {
+			return nil, ErrPoolClosed
+		}
+	}
+	return nil, fmt.Errorf("sockets: request failed after %d attempts: %w", p.cfg.MaxAttempts, lastErr)
+}
+
+// try performs one pipelined attempt: ensure the shared conn, register
+// the future, write the frame, wait for the response / ctx / deadline.
+func (pp *pipe) try(ctx context.Context, req *wire.Request, enc []byte, attempt int) (*wire.Response, error) {
+	p := pp.p
+	if p.cfg.PreAttempt != nil {
+		p.cfg.PreAttempt(preHandleText(req), attempt)
+	}
+	timeout, ctxBounded := p.attemptTimeout(ctx)
+	if timeout <= 0 {
+		return nil, context.DeadlineExceeded
+	}
+	conn, fw, gen, err := pp.ensure(ctx)
+	if err != nil {
+		return nil, wrapCtxTimeout(ctx, ctxBounded, err)
+	}
+	if p.cfg.FailConn != nil && p.cfg.FailConn(int(req.ID), attempt) {
+		p.failInjSeen.Add(1)
+		conn.Close() // the injected mid-flight connection kill
+	}
+	f := pp.register(req.ID, gen)
+	werr := fw.write(enc)
+	if werr != nil {
+		pp.unregister(req.ID, f)
+		// The writer for this incarnation already died; retire the whole
+		// incarnation so the retry redials.
+		pp.fail(conn, fw, gen, werr)
+		return nil, wrapCtxTimeout(ctx, ctxBounded, werr)
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case r := <-f.ch:
+		if r.err != nil {
+			return nil, wrapCtxTimeout(ctx, ctxBounded, r.err)
+		}
+		return r.resp, nil
+	case <-ctx.Done():
+		pp.unregister(req.ID, f)
+		return nil, fmt.Errorf("sockets: request interrupted: %w", ctx.Err())
+	case <-t.C:
+		pp.unregister(req.ID, f)
+		// No response within the attempt budget. If the connection has
+		// been silent for the whole window the peer is likely gone
+		// without a FIN (the reader can't tell); retire the incarnation
+		// so the retry redials. If frames are still flowing, the server
+		// is just slow on this op — leave the shared conn alone rather
+		// than nuking everyone else's in-flight requests.
+		if time.Since(time.Unix(0, pp.lastRecv.Load())) >= timeout {
+			pp.fail(conn, fw, gen, errPipeStalled)
+		}
+		if ctxBounded {
+			return nil, fmt.Errorf("sockets: attempt stopped by ctx deadline: %w", context.DeadlineExceeded)
+		}
+		return nil, fmt.Errorf("sockets: no response within %v: %w", timeout, errAttemptTimeout)
+	}
+}
+
+var (
+	errAttemptTimeout = errors.New("sockets: attempt timed out")
+	errPipeStalled    = errors.New("sockets: pipelined connection stalled")
+)
+
+// wrapCtxTimeout mirrors the text path's deadline attribution: when the
+// ctx deadline set the attempt budget, an I/O timeout IS the ctx
+// deadline expiring.
+func wrapCtxTimeout(ctx context.Context, ctxBounded bool, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("sockets: request interrupted: %w", cerr)
+	}
+	var nerr net.Error
+	if ctxBounded && errors.As(err, &nerr) && nerr.Timeout() {
+		return fmt.Errorf("sockets: attempt stopped by ctx deadline: %w", context.DeadlineExceeded)
+	}
+	return err
+}
+
+// --- binary op implementations (the typed layer over binDo) ---
+
+// binErr converts a RespErr into the same ErrServer-wrapped error the
+// text parsers produce, so callers are protocol-agnostic.
+func binErr(resp *wire.Response) error {
+	if resp.Tag == wire.RespErr {
+		return fmt.Errorf("%w: %s", ErrServer, resp.Err)
+	}
+	return fmt.Errorf("%w: unexpected response tag 0x%02x", ErrServer, resp.Tag)
+}
+
+func (p *Pool) binPing(ctx context.Context) error {
+	resp, err := p.binDo(ctx, &wire.Request{Verb: wire.VerbPing})
+	if err != nil {
+		return err
+	}
+	if resp.Tag != wire.RespOK {
+		return binErr(resp)
+	}
+	return nil
+}
+
+func (p *Pool) binSet(ctx context.Context, key, value string) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	resp, err := p.binDo(ctx, &wire.Request{Verb: wire.VerbSet, Key: key, Value: []byte(value)})
+	if err != nil {
+		return err
+	}
+	if resp.Tag != wire.RespOK {
+		return binErr(resp)
+	}
+	return nil
+}
+
+func (p *Pool) binGet(ctx context.Context, key string) (string, bool, error) {
+	if err := validateKey(key); err != nil {
+		return "", false, err
+	}
+	resp, err := p.binDo(ctx, &wire.Request{Verb: wire.VerbGet, Key: key})
+	if err != nil {
+		return "", false, err
+	}
+	switch resp.Tag {
+	case wire.RespValue:
+		return string(resp.Value), true, nil
+	case wire.RespNotFound:
+		return "", false, nil
+	}
+	return "", false, binErr(resp)
+}
+
+func (p *Pool) binDel(ctx context.Context, key string) (bool, error) {
+	if err := validateKey(key); err != nil {
+		return false, err
+	}
+	resp, err := p.binDo(ctx, &wire.Request{Verb: wire.VerbDel, Key: key})
+	if err != nil {
+		return false, err
+	}
+	switch resp.Tag {
+	case wire.RespOK:
+		return true, nil
+	case wire.RespNotFound:
+		return false, nil
+	}
+	return false, binErr(resp)
+}
+
+func (p *Pool) binCount(ctx context.Context) (int, error) {
+	resp, err := p.binDo(ctx, &wire.Request{Verb: wire.VerbCount})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Tag != wire.RespCount {
+		return 0, binErr(resp)
+	}
+	return int(resp.N), nil
+}
+
+func (p *Pool) binKeys(ctx context.Context) ([]string, error) {
+	resp, err := p.binDo(ctx, &wire.Request{Verb: wire.VerbKeys})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Tag != wire.RespKeys {
+		return nil, binErr(resp)
+	}
+	return resp.Keys, nil
+}
+
+func (p *Pool) binMDel(ctx context.Context, keys []string) (int, error) {
+	deleted := 0
+	for _, chunk := range chunkKeys(keys) {
+		resp, err := p.binDo(ctx, &wire.Request{Verb: wire.VerbMDel, Keys: chunk})
+		if err != nil {
+			return deleted, err
+		}
+		if resp.Tag != wire.RespCount {
+			return deleted, binErr(resp)
+		}
+		deleted += int(resp.N)
+	}
+	return deleted, nil
+}
+
+func (p *Pool) binMGet(ctx context.Context, keys []string) ([]string, []bool, error) {
+	values := make([]string, 0, len(keys))
+	found := make([]bool, 0, len(keys))
+	for _, chunk := range chunkKeys(keys) {
+		resp, err := p.binDo(ctx, &wire.Request{Verb: wire.VerbMGet, Keys: chunk})
+		if err != nil {
+			return nil, nil, err
+		}
+		if resp.Tag != wire.RespMulti || len(resp.Values) != len(chunk) {
+			return nil, nil, binErr(resp)
+		}
+		for i := range chunk {
+			values = append(values, string(resp.Values[i]))
+			found = append(found, resp.Found[i])
+		}
+	}
+	return values, found, nil
+}
+
+func (p *Pool) binMPut(ctx context.Context, pairs []wire.KV) error {
+	for _, chunk := range chunkPairs(pairs) {
+		resp, err := p.binDo(ctx, &wire.Request{Verb: wire.VerbMPut, Pairs: chunk})
+		if err != nil {
+			return err
+		}
+		if resp.Tag != wire.RespCount {
+			return binErr(resp)
+		}
+	}
+	return nil
+}
+
+// chunkKeys splits a key list so each batch PDU stays well under the
+// frame limit (same budget as the text path's MDEL chunking).
+func chunkKeys(keys []string) [][]string {
+	var out [][]string
+	for len(keys) > 0 {
+		n, bytes := 0, 0
+		for n < len(keys) && (n == 0 || bytes+len(keys[n])+10 <= mdelChunkBytes) {
+			bytes += len(keys[n]) + 10
+			n++
+		}
+		out = append(out, keys[:n])
+		keys = keys[n:]
+	}
+	return out
+}
+
+// chunkPairs splits an MPUT batch by payload bytes, keys and values
+// both counted.
+func chunkPairs(pairs []wire.KV) [][]wire.KV {
+	var out [][]wire.KV
+	for len(pairs) > 0 {
+		n, bytes := 0, 0
+		for n < len(pairs) && (n == 0 || bytes+len(pairs[n].Key)+len(pairs[n].Value)+20 <= mputChunkBytes) {
+			bytes += len(pairs[n].Key) + len(pairs[n].Value) + 20
+			n++
+		}
+		out = append(out, pairs[:n])
+		pairs = pairs[n:]
+	}
+	return out
+}
+
+// mputChunkBytes bounds one MPUT request's payload; values can be big,
+// so the budget is larger than the key-only chunks but still far under
+// MaxFrame.
+const mputChunkBytes = 256 << 10

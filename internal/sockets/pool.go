@@ -5,14 +5,57 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"repro/internal/metrics"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sockets/wire"
 )
+
+// KV is one key/value pair of an MPut batch.
+type KV struct {
+	Key, Value string
+}
+
+// Proto selects a Pool's wire protocol.
+type Proto int
+
+const (
+	// ProtoText is the legacy line-oriented protocol: one request in
+	// flight per pooled connection, checkout-per-request.
+	ProtoText Proto = iota
+	// ProtoBinary is the pipelined binary protocol (internal/sockets/
+	// wire): one shared connection multiplexes many in-flight requests,
+	// matched to responses by correlation ID.
+	ProtoBinary
+)
+
+func (p Proto) String() string {
+	if p == ProtoBinary {
+		return "binary"
+	}
+	return "text"
+}
+
+// ParseProto maps the -proto flag values of kvbench and clusterbench.
+func ParseProto(s string) (Proto, error) {
+	switch s {
+	case "text":
+		return ProtoText, nil
+	case "binary":
+		return ProtoBinary, nil
+	}
+	return ProtoText, fmt.Errorf("sockets: unknown protocol %q (want text or binary)", s)
+}
 
 // PoolConfig parameterizes a Pool.
 type PoolConfig struct {
+	// Proto selects the wire protocol (default ProtoText). With
+	// ProtoBinary the pool replaces checkout-per-request with one shared
+	// pipelined connection; Size then caps nothing but is kept for
+	// config compatibility.
+	Proto Proto
 	// Size is the number of pooled connections (default 4). Requests
 	// borrow one connection each; excess callers block until one frees.
 	Size int
@@ -73,6 +116,7 @@ type Pool struct {
 	addr string
 	cfg  PoolConfig
 	free chan *poolConn
+	pipe *pipe // the shared pipelined transport; nil on ProtoText
 
 	closed       atomic.Bool
 	reqSeen      atomic.Int64
@@ -97,7 +141,7 @@ func NewPool(addr string, cfg PoolConfig) (*Pool, error) {
 		cfg.MaxAttempts = 3
 	}
 	if cfg.Timeout <= 0 {
-		cfg.Timeout = 2 * time.Second
+		cfg.Timeout = defaultAttemptTimeout
 	}
 	if cfg.BackoffBase <= 0 {
 		cfg.BackoffBase = 2 * time.Millisecond
@@ -109,6 +153,15 @@ func NewPool(addr string, cfg PoolConfig) (*Pool, error) {
 		cfg.Seed = 1
 	}
 	p := &Pool{addr: addr, cfg: cfg, free: make(chan *poolConn, cfg.Size), rng: cfg.Seed}
+	if cfg.Proto == ProtoBinary {
+		p.pipe = newPipe(p)
+		// Establish the shared connection eagerly to fail fast on a bad
+		// address, like the text path's eager first dial.
+		if _, _, _, err := p.pipe.ensure(context.Background()); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
 	conn, err := dialCtx(context.Background(), addr, cfg.Timeout)
 	if err != nil {
 		return nil, err
@@ -152,6 +205,9 @@ func (p *Pool) Close() error {
 	if p.closed.Swap(true) {
 		return nil
 	}
+	if p.pipe != nil {
+		p.pipe.shutdown()
+	}
 	for {
 		select {
 		case pc := <-p.free:
@@ -162,11 +218,6 @@ func (p *Pool) Close() error {
 			return nil
 		}
 	}
-}
-
-// do is the ctx-less core kept for the Background wrappers.
-func (p *Pool) do(req string) (string, error) {
-	return p.doCtx(context.Background(), req)
 }
 
 // rt adapts the ctx core to the shared command parsers.
@@ -228,16 +279,30 @@ func (p *Pool) doCtx(ctx context.Context, req string) (string, error) {
 	return "", fmt.Errorf("sockets: request failed after %d attempts: %w", p.cfg.MaxAttempts, lastErr)
 }
 
+// defaultAttemptTimeout backs a zero cfg.Timeout. NewPool normalizes
+// the config, but attemptTimeout clamps again on its own: a Pool whose
+// Timeout reached zero any other way (direct construction in tests,
+// a future config path that skips normalization) must never turn a
+// missing ctx deadline into an unbounded attempt — that would evade
+// the cancellation guarantees the whole stack is built on.
+const defaultAttemptTimeout = 2 * time.Second
+
 // attemptTimeout derives one attempt's deadline budget:
-// min(cfg.Timeout, time left until the ctx deadline).
-func (p *Pool) attemptTimeout(ctx context.Context) time.Duration {
-	d := p.cfg.Timeout
+// min(cfg.Timeout, time left until the ctx deadline), with cfg.Timeout
+// clamped to defaultAttemptTimeout when unset. ctxBounded reports that
+// the ctx deadline (not the config) set the budget, so an I/O timeout
+// can be attributed to the context.
+func (p *Pool) attemptTimeout(ctx context.Context) (d time.Duration, ctxBounded bool) {
+	d = p.cfg.Timeout
+	if d <= 0 {
+		d = defaultAttemptTimeout
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		if rem := time.Until(dl); rem < d {
-			d = rem
+			d, ctxBounded = rem, true
 		}
 	}
-	return d
+	return d, ctxBounded
 }
 
 // try performs one attempt on one pooled connection, discarding the
@@ -251,14 +316,13 @@ func (p *Pool) try(ctx context.Context, pc *poolConn, req string, id, attempt in
 	if p.cfg.PreAttempt != nil {
 		p.cfg.PreAttempt(req, attempt)
 	}
-	timeout := p.attemptTimeout(ctx)
+	timeout, ctxBounded := p.attemptTimeout(ctx)
 	if timeout <= 0 {
 		return "", context.DeadlineExceeded
 	}
 	// When the ctx deadline (not cfg.Timeout) set this attempt's budget,
 	// an I/O timeout IS the ctx deadline expiring — attribute it, since
 	// the read can wake a hair before ctx.Err() flips.
-	ctxBounded := timeout < p.cfg.Timeout
 	wrap := func(err error) error {
 		var nerr net.Error
 		if ctxBounded && errors.As(err, &nerr) && nerr.Timeout() {
@@ -334,54 +398,154 @@ func (p *Pool) backoff(ctx context.Context, attempt int) error {
 	}
 }
 
+// binary reports whether this pool speaks the pipelined binary
+// protocol; each public operation branches here, so callers are
+// protocol-agnostic.
+func (p *Pool) binary() bool { return p.cfg.Proto == ProtoBinary }
+
 // Ping checks liveness.
-func (p *Pool) Ping() error { return doPing(p.do) }
+func (p *Pool) Ping() error { return p.PingCtx(context.Background()) }
 
 // PingCtx checks liveness under ctx.
-func (p *Pool) PingCtx(ctx context.Context) error { return doPing(p.rt(ctx)) }
+func (p *Pool) PingCtx(ctx context.Context) error {
+	if p.binary() {
+		return p.binPing(ctx)
+	}
+	return doPing(p.rt(ctx))
+}
 
-// Set stores key = value (keys with whitespace rejected via ErrBadKey).
-func (p *Pool) Set(key, value string) error { return doSet(p.do, key, value) }
+// Set stores key = value (keys with whitespace rejected via ErrBadKey;
+// on the text protocol, values containing CR/LF rejected via
+// ErrBadValue — the binary protocol carries opaque bytes).
+func (p *Pool) Set(key, value string) error { return p.SetCtx(context.Background(), key, value) }
 
 // SetCtx stores key = value under ctx.
 func (p *Pool) SetCtx(ctx context.Context, key, value string) error {
+	if p.binary() {
+		return p.binSet(ctx, key, value)
+	}
 	return doSet(p.rt(ctx), key, value)
 }
 
 // Get fetches a value; found is false for missing keys.
-func (p *Pool) Get(key string) (value string, found bool, err error) { return doGet(p.do, key) }
+func (p *Pool) Get(key string) (value string, found bool, err error) {
+	return p.GetCtx(context.Background(), key)
+}
 
 // GetCtx fetches a value under ctx; found is false for missing keys.
 func (p *Pool) GetCtx(ctx context.Context, key string) (value string, found bool, err error) {
+	if p.binary() {
+		return p.binGet(ctx, key)
+	}
 	return doGet(p.rt(ctx), key)
 }
 
 // Del removes a key, reporting whether it existed.
-func (p *Pool) Del(key string) (bool, error) { return doDel(p.do, key) }
+func (p *Pool) Del(key string) (bool, error) { return p.DelCtx(context.Background(), key) }
 
 // DelCtx removes a key under ctx, reporting whether it existed.
 func (p *Pool) DelCtx(ctx context.Context, key string) (bool, error) {
+	if p.binary() {
+		return p.binDel(ctx, key)
+	}
 	return doDel(p.rt(ctx), key)
 }
 
 // MDel bulk-deletes keys (chunked under the frame limit), returning how
 // many existed.
-func (p *Pool) MDel(keys ...string) (int, error) { return doMDel(p.do, keys) }
+func (p *Pool) MDel(keys ...string) (int, error) { return p.MDelCtx(context.Background(), keys...) }
 
 // MDelCtx bulk-deletes keys under ctx; a cancellation between chunks
 // returns the deletions applied so far alongside the wrapped ctx error.
 func (p *Pool) MDelCtx(ctx context.Context, keys ...string) (int, error) {
+	for _, k := range keys {
+		if err := validateKey(k); err != nil {
+			return 0, err
+		}
+	}
+	if p.binary() {
+		return p.binMDel(ctx, keys)
+	}
 	return doMDel(p.rt(ctx), keys)
 }
 
+// MGet fetches many keys at once. See MGetCtx.
+func (p *Pool) MGet(keys ...string) ([]string, []bool, error) {
+	return p.MGetCtx(context.Background(), keys...)
+}
+
+// MGetCtx fetches many keys, returning values and found flags parallel
+// to keys. On the binary protocol the whole batch rides one MGET PDU
+// per chunk — one syscall amortized over the batch, the fan-in path
+// cluster hint replay uses; on the text protocol it degrades to
+// sequential GETs (stopping at the first transport error).
+func (p *Pool) MGetCtx(ctx context.Context, keys ...string) ([]string, []bool, error) {
+	for _, k := range keys {
+		if err := validateKey(k); err != nil {
+			return nil, nil, err
+		}
+	}
+	if p.binary() {
+		return p.binMGet(ctx, keys)
+	}
+	values := make([]string, len(keys))
+	found := make([]bool, len(keys))
+	for i, k := range keys {
+		v, ok, err := doGet(p.rt(ctx), k)
+		if err != nil {
+			return nil, nil, err
+		}
+		values[i], found[i] = v, ok
+	}
+	return values, found, nil
+}
+
+// MPut stores many pairs at once. See MPutCtx.
+func (p *Pool) MPut(pairs []KV) error { return p.MPutCtx(context.Background(), pairs) }
+
+// MPutCtx stores many pairs. On the binary protocol the batch rides
+// one MPUT PDU per chunk — what cluster migration uses to land a moved
+// arc's keys without a round trip per key; on the text protocol it
+// degrades to sequential SETs (with the text path's value rules).
+func (p *Pool) MPutCtx(ctx context.Context, pairs []KV) error {
+	for _, kv := range pairs {
+		if err := validateKey(kv.Key); err != nil {
+			return err
+		}
+	}
+	if p.binary() {
+		wkv := make([]wire.KV, len(pairs))
+		for i, kv := range pairs {
+			wkv[i] = wire.KV{Key: kv.Key, Value: []byte(kv.Value)}
+		}
+		return p.binMPut(ctx, wkv)
+	}
+	for _, kv := range pairs {
+		if err := doSet(p.rt(ctx), kv.Key, kv.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Count returns the number of stored keys.
-func (p *Pool) Count() (int, error) { return doCount(p.do) }
+func (p *Pool) Count() (int, error) { return p.CountCtx(context.Background()) }
 
 // CountCtx returns the number of stored keys under ctx.
-func (p *Pool) CountCtx(ctx context.Context) (int, error) { return doCount(p.rt(ctx)) }
+func (p *Pool) CountCtx(ctx context.Context) (int, error) {
+	if p.binary() {
+		return p.binCount(ctx)
+	}
+	return doCount(p.rt(ctx))
+}
 
 // Keys returns all stored keys in sorted order.
-func (p *Pool) Keys() ([]string, error) { return doKeys(p.do) }
+func (p *Pool) Keys() ([]string, error) { return p.KeysCtx(context.Background()) }
 
 // KeysCtx returns all stored keys in sorted order under ctx.
-func (p *Pool) KeysCtx(ctx context.Context) ([]string, error) { return doKeys(p.rt(ctx)) }
+func (p *Pool) KeysCtx(ctx context.Context) ([]string, error) {
+	if p.binary() {
+		return p.binKeys(ctx)
+	}
+	return doKeys(p.rt(ctx))
+}

@@ -284,3 +284,77 @@ func TestPoolPreAttemptLatencyEatsCtxBudget(t *testing.T) {
 		t.Errorf("SetCtx under a spiked attempt = %v, want wrapped DeadlineExceeded", err)
 	}
 }
+
+// TestPoolAttemptTimeoutClamp covers the defense-in-depth clamp in
+// attemptTimeout: even a Pool whose Timeout is zero or negative (direct
+// construction, bypassing NewPool's normalization) must derive a finite
+// per-attempt budget, and a ctx deadline tighter than the config must
+// win and be attributed to the context.
+func TestPoolAttemptTimeoutClamp(t *testing.T) {
+	bg := context.Background()
+	near, cancel := context.WithTimeout(bg, 50*time.Millisecond)
+	defer cancel()
+	far, cancel2 := context.WithTimeout(bg, time.Hour)
+	defer cancel2()
+
+	cases := []struct {
+		name       string
+		cfgTimeout time.Duration
+		ctx        context.Context
+		wantMax    time.Duration
+		wantMin    time.Duration
+		ctxBounded bool
+	}{
+		{"zero timeout, no deadline", 0, bg, defaultAttemptTimeout, defaultAttemptTimeout, false},
+		{"negative timeout, no deadline", -time.Second, bg, defaultAttemptTimeout, defaultAttemptTimeout, false},
+		{"zero timeout, near deadline", 0, near, 50 * time.Millisecond, time.Millisecond, true},
+		{"set timeout, far deadline", 300 * time.Millisecond, far, 300 * time.Millisecond, 300 * time.Millisecond, false},
+		{"set timeout, near deadline wins", 300 * time.Millisecond, near, 50 * time.Millisecond, time.Millisecond, true},
+	}
+	for _, tc := range cases {
+		p := &Pool{cfg: PoolConfig{Timeout: tc.cfgTimeout}}
+		d, ctxBounded := p.attemptTimeout(tc.ctx)
+		if d <= 0 || d > tc.wantMax || d < tc.wantMin {
+			t.Errorf("%s: attemptTimeout = %v, want in (%v, %v]", tc.name, d, tc.wantMin, tc.wantMax)
+		}
+		if ctxBounded != tc.ctxBounded {
+			t.Errorf("%s: ctxBounded = %v, want %v", tc.name, ctxBounded, tc.ctxBounded)
+		}
+	}
+}
+
+// TestPoolZeroTimeoutCancel: a pool built with a zero Timeout (so the
+// clamp supplies the attempt budget) must still honor an explicit
+// cancellation promptly instead of riding out the full default window.
+func TestPoolZeroTimeoutCancel(t *testing.T) {
+	s := startServer(t)
+	release := make(chan struct{})
+	var once sync.Once
+	s.preHandle = func(req string) {
+		if strings.HasPrefix(req, "GET slow") {
+			<-release
+		}
+	}
+	defer once.Do(func() { close(release) })
+
+	p, err := NewPool(s.Addr(), PoolConfig{Size: 1, MaxAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err = p.GetCtx(ctx, "slow")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("GetCtx on stalled server = %v, want wrapped context.Canceled", err)
+	}
+	if e := time.Since(start); e > time.Second {
+		t.Errorf("cancellation took %v; the zero-Timeout default must not delay ctx cancel", e)
+	}
+	once.Do(func() { close(release) })
+}

@@ -1,0 +1,350 @@
+package sockets
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/sockets/wire"
+)
+
+// dedupeCap bounds the server-wide retry-dedupe table. Entries evict
+// FIFO; the table only needs to cover the retry window of recently
+// completed mutations, not the full history.
+const dedupeCap = 4096
+
+// dedupeStripes spreads the table over independently locked stripes so
+// concurrent mutations from many pipelined requests do not serialize on
+// one mutex (the same reason the store itself is sharded).
+const dedupeStripes = 16
+
+// dedupeKey identifies one client's logical request across retries.
+type dedupeKey struct {
+	client uint64
+	id     uint64
+}
+
+// dedupeEntry is one recorded (or in-progress) mutation. done closes
+// when resp is valid, so a retry that races the original attempt waits
+// for the first application instead of applying a second one.
+type dedupeEntry struct {
+	done chan struct{}
+	resp []byte
+}
+
+// dedupeTable makes retried non-idempotent binary PDUs (SET/DEL/MDEL/
+// MPUT) exactly-once on the server: the first arrival of a (client,
+// correlation ID) pair applies the op and records the encoded response;
+// any later arrival — the Pool retries with the same ID after an
+// ambiguous transport failure — replays the recording. The text
+// protocol has no correlation IDs and keeps its at-least-once
+// ambiguity; DESIGN.md documents the limitation. Stripes are locked
+// independently; a (client, id) pair always hashes to the same stripe,
+// so the exactly-once argument is per-stripe and unchanged.
+type dedupeTable struct {
+	stripes [dedupeStripes]dedupeStripe
+}
+
+type dedupeStripe struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[dedupeKey]*dedupeEntry
+	order   []dedupeKey // FIFO eviction ring over completed entries
+	pos     int
+}
+
+func newDedupeTable(capacity int) *dedupeTable {
+	per := capacity / dedupeStripes
+	if per < 1 {
+		per = 1
+	}
+	t := &dedupeTable{}
+	for i := range t.stripes {
+		t.stripes[i] = dedupeStripe{
+			cap:     per,
+			entries: make(map[dedupeKey]*dedupeEntry, per),
+			order:   make([]dedupeKey, 0, per),
+		}
+	}
+	return t
+}
+
+func (t *dedupeTable) stripe(k dedupeKey) *dedupeStripe {
+	// Client IDs and correlation IDs are both sequential; fold both in
+	// so neither axis alone maps every key to one stripe.
+	h := (k.client*0x9e3779b97f4a7c15 ^ k.id*0xbf58476d1ce4e5b9) >> 32
+	return &t.stripes[h%dedupeStripes]
+}
+
+// begin claims k. When the op is a duplicate it returns the prior
+// entry (wait on entry.done, then read entry.resp); otherwise it
+// returns a fresh pending entry the caller must complete with finish.
+func (t *dedupeTable) begin(k dedupeKey) (entry *dedupeEntry, duplicate bool) {
+	d := t.stripe(k)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.entries[k]; ok {
+		return e, true
+	}
+	e := &dedupeEntry{done: make(chan struct{})}
+	d.entries[k] = e
+	return e, false
+}
+
+// finish records the response for a pending entry and evicts the
+// oldest completed entry in the stripe once it is full.
+func (t *dedupeTable) finish(k dedupeKey, e *dedupeEntry, resp []byte) {
+	d := t.stripe(k)
+	d.mu.Lock()
+	e.resp = resp
+	if len(d.order) < d.cap {
+		d.order = append(d.order, k)
+	} else {
+		delete(d.entries, d.order[d.pos])
+		d.order[d.pos] = k
+		d.pos = (d.pos + 1) % d.cap
+	}
+	d.mu.Unlock()
+	close(e.done)
+}
+
+// DedupeHits reports how many retried binary mutations the server
+// answered from the dedupe table instead of re-applying.
+func (s *Server) DedupeHits() int64 { return s.dedupHit.Load() }
+
+// serveBinary is the per-connection demultiplexer: it decodes frames
+// off one reader, dispatches each PDU to its own goroutine against the
+// sharded store, and writes responses back as they complete —
+// out-of-order, matched to requests by correlation ID. One slow GET no
+// longer convoys the pipeline behind it.
+func (s *Server) serveBinary(cs *connState, br *bufio.Reader) {
+	var cid [8]byte
+	if _, err := io.ReadFull(br, cid[:]); err != nil {
+		return // died during the handshake
+	}
+	clientID := binary.BigEndian.Uint64(cid[:])
+
+	// Coalesced response writes; a broken write closes the conn, which
+	// breaks the read loop below and unwinds the whole connection.
+	fw := newFrameWriter(cs.conn, func(error) { cs.conn.Close() })
+	defer fw.stop() // after wg.Wait: late handler responses still drain
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		payload, err := ReadFrame(br)
+		if err != nil {
+			return // EOF, broken pipe, or cut by Close: client done
+		}
+		req, derr := wire.DecodeRequest(payload)
+		s.reqSeen.Add(1)
+		if derr != nil {
+			// Frame boundaries are still sound (the length prefix held),
+			// so a malformed PDU poisons only itself: answer ERR on the
+			// ID if one decoded, keep serving.
+			s.errSeen.Add(1)
+			var id uint64
+			if req != nil {
+				id = req.ID
+			}
+			out := wire.AppendResponse(nil, &wire.Response{Tag: wire.RespErr, ID: id, Err: derr.Error()})
+			if fw.write(out) != nil {
+				return
+			}
+			continue
+		}
+		// Fast path: single-key verbs and the cheap aggregates run
+		// inline, skipping a goroutine spawn per request. Reads cannot
+		// block at all (no dedupe bookkeeping, shard RLocks only). An
+		// inline SET/DEL can wait on a dedupe entry only when it is a
+		// retried duplicate racing its original — and the wait graph
+		// always points at a strictly older entry whose owner never
+		// waits in turn, so the loop can stall briefly but never
+		// deadlock. What keeps its own goroutine: batch verbs and KEYS
+		// (big enough to convoy the pipeline behind them), and every
+		// verb once a PreHandle stall hook is installed — those are the
+		// cases out-of-order completion exists for.
+		if s.preHandle == nil {
+			switch req.Verb {
+			case wire.VerbPing, wire.VerbGet, wire.VerbCount, wire.VerbSet, wire.VerbDel:
+				start := time.Now()
+				resp := s.handleBinary(clientID, req)
+				if resp.Tag == wire.RespErr {
+					s.errSeen.Add(1)
+				}
+				out := wire.AppendResponse(nil, resp)
+				werr := fw.write(out)
+				s.latency.Observe(time.Since(start))
+				if werr != nil || s.closed.Load() {
+					return
+				}
+				continue
+			}
+		}
+		cs.addInflight(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			if s.preHandle != nil {
+				// Fault-injection hooks match on the text form's verb
+				// prefix; synthesize enough of it for them.
+				s.preHandle(preHandleText(req))
+			}
+			resp := s.handleBinary(clientID, req)
+			if resp.Tag == wire.RespErr {
+				s.errSeen.Add(1)
+			}
+			out := wire.AppendResponse(nil, resp)
+			werr := fw.write(out)
+			s.latency.Observe(time.Since(start))
+			closing := cs.addInflight(-1)
+			if werr != nil || closing || s.closed.Load() {
+				// Mirror the text loop's exit conditions: closing the conn
+				// unblocks the read loop, which returns and joins us.
+				cs.conn.Close()
+			}
+		}()
+	}
+}
+
+// preHandleText renders the text-protocol shape of a binary PDU for
+// ServerConfig.PreHandle, whose consumers (the chaos harness's
+// per-verb stalls, tests asserting on request text) match on the verb
+// word and key.
+func preHandleText(r *wire.Request) string {
+	out := wire.VerbName(r.Verb)
+	if r.Key != "" {
+		out += " " + r.Key
+	}
+	if r.Verb == wire.VerbSet {
+		out += " " + string(r.Value)
+	}
+	return out
+}
+
+// handleBinary interprets one decoded PDU against the sharded store.
+// Mutating verbs run through the dedupe table so a retried correlation
+// ID is answered from the recording instead of applied twice.
+func (s *Server) handleBinary(clientID uint64, r *wire.Request) *wire.Response {
+	switch r.Verb {
+	case wire.VerbPing, wire.VerbGet, wire.VerbCount, wire.VerbKeys, wire.VerbMGet:
+		return s.applyBinary(r) // reads: idempotent, no dedupe bookkeeping
+	}
+	k := dedupeKey{client: clientID, id: r.ID}
+	e, dup := s.dedupe.begin(k)
+	if dup {
+		<-e.done
+		s.dedupHit.Add(1)
+		resp, err := wire.DecodeResponse(e.resp)
+		if err != nil {
+			// Cannot happen: we encoded it. Fall through to a fresh apply
+			// rather than wedge the connection.
+			return s.applyBinary(r)
+		}
+		return resp
+	}
+	resp := s.applyBinary(r)
+	s.dedupe.finish(k, e, wire.AppendResponse(nil, resp))
+	return resp
+}
+
+// applyBinary is the verb dispatch. Keys obey the same rules as the
+// text protocol (the store is shared across protocols and keys surface
+// in text KEYS responses); values are opaque bytes.
+func (s *Server) applyBinary(r *wire.Request) *wire.Response {
+	errResp := func(msg string) *wire.Response {
+		return &wire.Response{Tag: wire.RespErr, ID: r.ID, Err: msg}
+	}
+	switch r.Verb {
+	case wire.VerbPing:
+		return &wire.Response{Tag: wire.RespOK, ID: r.ID}
+	case wire.VerbSet:
+		if err := validateKey(r.Key); err != nil {
+			return errResp(err.Error())
+		}
+		sh := s.shardFor(r.Key)
+		sh.lock.Lock()
+		sh.store[r.Key] = string(r.Value)
+		sh.lock.Unlock()
+		return &wire.Response{Tag: wire.RespOK, ID: r.ID}
+	case wire.VerbGet:
+		sh := s.shardFor(r.Key)
+		sh.lock.RLock()
+		v, ok := sh.store[r.Key]
+		sh.lock.RUnlock()
+		if !ok {
+			return &wire.Response{Tag: wire.RespNotFound, ID: r.ID}
+		}
+		return &wire.Response{Tag: wire.RespValue, ID: r.ID, Value: []byte(v)}
+	case wire.VerbDel:
+		sh := s.shardFor(r.Key)
+		sh.lock.Lock()
+		_, ok := sh.store[r.Key]
+		delete(sh.store, r.Key)
+		sh.lock.Unlock()
+		if !ok {
+			return &wire.Response{Tag: wire.RespNotFound, ID: r.ID}
+		}
+		return &wire.Response{Tag: wire.RespOK, ID: r.ID}
+	case wire.VerbMDel:
+		n := uint64(0)
+		for _, k := range r.Keys {
+			sh := s.shardFor(k)
+			sh.lock.Lock()
+			if _, ok := sh.store[k]; ok {
+				delete(sh.store, k)
+				n++
+			}
+			sh.lock.Unlock()
+		}
+		return &wire.Response{Tag: wire.RespCount, ID: r.ID, N: n}
+	case wire.VerbMGet:
+		resp := &wire.Response{
+			Tag:    wire.RespMulti,
+			ID:     r.ID,
+			Found:  make([]bool, 0, len(r.Keys)),
+			Values: make([][]byte, 0, len(r.Keys)),
+		}
+		for _, k := range r.Keys {
+			sh := s.shardFor(k)
+			sh.lock.RLock()
+			v, ok := sh.store[k]
+			sh.lock.RUnlock()
+			resp.Found = append(resp.Found, ok)
+			if ok {
+				resp.Values = append(resp.Values, []byte(v))
+			} else {
+				resp.Values = append(resp.Values, nil)
+			}
+		}
+		return resp
+	case wire.VerbMPut:
+		for _, kv := range r.Pairs {
+			if err := validateKey(kv.Key); err != nil {
+				return errResp(err.Error())
+			}
+		}
+		for _, kv := range r.Pairs {
+			sh := s.shardFor(kv.Key)
+			sh.lock.Lock()
+			sh.store[kv.Key] = string(kv.Value)
+			sh.lock.Unlock()
+		}
+		return &wire.Response{Tag: wire.RespCount, ID: r.ID, N: uint64(len(r.Pairs))}
+	case wire.VerbCount:
+		n := uint64(0)
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.lock.RLock()
+			n += uint64(len(sh.store))
+			sh.lock.RUnlock()
+		}
+		return &wire.Response{Tag: wire.RespCount, ID: r.ID, N: n}
+	case wire.VerbKeys:
+		keys := s.sortedKeys()
+		return &wire.Response{Tag: wire.RespKeys, ID: r.ID, Keys: keys}
+	}
+	return errResp("unknown verb " + wire.VerbName(r.Verb))
+}

@@ -15,6 +15,7 @@
 package sockets
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -30,6 +31,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/pthread"
+	"repro/internal/sockets/wire"
 )
 
 // MaxFrame bounds a single message to keep malformed peers from forcing
@@ -101,12 +103,23 @@ type shard struct {
 
 // connState tracks one accepted connection so Close can distinguish
 // idle connections (safe to cut immediately) from in-flight requests
-// (drained until DrainTimeout).
+// (drained until DrainTimeout). inflight is a count, not a flag: a
+// pipelined binary connection can have many requests in flight at once.
 type connState struct {
 	conn     net.Conn
 	mu       sync.Mutex
-	inflight bool
+	inflight int
 	closing  bool
+}
+
+// addInflight adjusts the in-flight count and reports whether the
+// connection has been told to close.
+func (cs *connState) addInflight(d int) (closing bool) {
+	cs.mu.Lock()
+	cs.inflight += d
+	closing = cs.closing
+	cs.mu.Unlock()
+	return closing
 }
 
 // Server is the concurrent key-value server.
@@ -122,7 +135,13 @@ type Server struct {
 	connSeen atomic.Int64
 	reqSeen  atomic.Int64
 	errSeen  atomic.Int64
+	dedupHit atomic.Int64
 	latency  *metrics.Histogram
+
+	// dedupe remembers recent mutating binary PDUs by (client ID,
+	// correlation ID) so a retry of an op whose response was lost in
+	// transit replays the recorded answer instead of applying twice.
+	dedupe *dedupeTable
 
 	// preHandle, when non-nil, runs before each request is interpreted —
 	// a test hook for making requests observably in-flight.
@@ -153,6 +172,7 @@ func NewServerConfig(addr string, cfg ServerConfig) (*Server, error) {
 		drain:     cfg.DrainTimeout,
 		active:    make(map[*connState]struct{}),
 		latency:   metrics.NewHistogram(),
+		dedupe:    newDedupeTable(dedupeCap),
 		preHandle: cfg.PreHandle,
 	}
 	for i := range s.shards {
@@ -198,7 +218,7 @@ func (s *Server) Close() error {
 	for cs := range s.active {
 		cs.mu.Lock()
 		cs.closing = true
-		if !cs.inflight {
+		if cs.inflight == 0 {
 			cs.conn.Close()
 		}
 		cs.mu.Unlock()
@@ -227,10 +247,20 @@ func (s *Server) acceptLoop() {
 		}
 		s.connSeen.Add(1)
 		cs := &connState{conn: conn}
+		// Register under the same lock Close drains under, and check
+		// closed inside it: a connection accepted in the instant before
+		// the listener died must either be fully registered before Close
+		// starts waiting (its Add happens-before the Wait) or be dropped
+		// here — an unsynchronized Add could race a Wait already at zero.
 		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
 		s.active[cs] = struct{}{}
-		s.mu.Unlock()
 		s.conns.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.conns.Done()
 			defer func() {
@@ -244,15 +274,33 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// serve negotiates the protocol from the connection's first byte and
+// hands off to the matching loop. Text frames always open with 0x00
+// (the high byte of a u32 length far below 2^24), so wire.Magic is
+// unambiguous; see the wire package comment.
 func (s *Server) serve(cs *connState) {
+	br := bufio.NewReader(cs.conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return // closed before a single byte: nothing to serve
+	}
+	if first[0] == wire.Magic {
+		br.ReadByte() //nolint:errcheck // the peeked magic byte
+		s.serveBinary(cs, br)
+		return
+	}
+	s.serveText(cs, br)
+}
+
+// serveText is the legacy loop: one request in flight per connection,
+// strictly in-order responses.
+func (s *Server) serveText(cs *connState, br *bufio.Reader) {
 	for {
-		req, err := ReadFrame(cs.conn)
+		req, err := ReadFrame(br)
 		if err != nil {
 			return // EOF, broken pipe, or cut by Close: client done
 		}
-		cs.mu.Lock()
-		cs.inflight = true
-		cs.mu.Unlock()
+		cs.addInflight(1)
 		s.reqSeen.Add(1)
 		start := time.Now()
 		if s.preHandle != nil {
@@ -264,10 +312,7 @@ func (s *Server) serve(cs *connState) {
 		}
 		werr := WriteFrame(cs.conn, []byte(resp))
 		s.latency.Observe(time.Since(start))
-		cs.mu.Lock()
-		cs.inflight = false
-		closing := cs.closing
-		cs.mu.Unlock()
+		closing := cs.addInflight(-1)
 		if werr != nil || closing || s.closed.Load() {
 			return
 		}
@@ -353,16 +398,7 @@ func (s *Server) handle(req string) string {
 		}
 		return fmt.Sprintf("COUNT %d", n)
 	case "KEYS":
-		var keys []string
-		for i := range s.shards {
-			sh := &s.shards[i]
-			sh.lock.RLock()
-			for k := range sh.store {
-				keys = append(keys, k)
-			}
-			sh.lock.RUnlock()
-		}
-		sort.Strings(keys)
+		keys := s.sortedKeys()
 		if len(keys) == 0 {
 			return "KEYS"
 		}
@@ -372,6 +408,22 @@ func (s *Server) handle(req string) string {
 	}
 }
 
+// sortedKeys snapshots every stored key in sorted order, read-locking
+// one stripe at a time (point-in-time per stripe, like COUNT).
+func (s *Server) sortedKeys() []string {
+	var keys []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock.RLock()
+		for k := range sh.store {
+			keys = append(keys, k)
+		}
+		sh.lock.RUnlock()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // ErrServer wraps protocol-level errors from the server.
 var ErrServer = errors.New("sockets: server error")
 
@@ -379,9 +431,27 @@ var ErrServer = errors.New("sockets: server error")
 // syntax (empty keys or keys containing whitespace).
 var ErrBadKey = errors.New("sockets: key must be non-empty and contain no whitespace")
 
+// ErrBadValue rejects values the line-oriented text protocol cannot
+// carry: CR or LF would let one request masquerade as protocol text in
+// logs, multi-line tooling, and any consumer that treats the payload as
+// lines — and historically desynchronized line-based readers. The
+// binary protocol has no such restriction (values are length-prefixed
+// opaque bytes); use PoolConfig.Proto = ProtoBinary to store arbitrary
+// payloads.
+var ErrBadValue = errors.New("sockets: text-protocol value must not contain CR or LF (use the binary protocol for opaque bytes)")
+
 func validateKey(key string) error {
 	if key == "" || strings.ContainsAny(key, " \t\n\r") {
 		return fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	return nil
+}
+
+// validateTextValue applies the text path's value restriction. Only the
+// text round-trippers call it; the binary path carries opaque bytes.
+func validateTextValue(value string) error {
+	if strings.ContainsAny(value, "\r\n") {
+		return fmt.Errorf("%w: %q", ErrBadValue, value)
 	}
 	return nil
 }
@@ -403,6 +473,9 @@ func doPing(rt roundTripper) error {
 
 func doSet(rt roundTripper, key, value string) error {
 	if err := validateKey(key); err != nil {
+		return err
+	}
+	if err := validateTextValue(value); err != nil {
 		return err
 	}
 	resp, err := rt("SET " + key + " " + value)

@@ -1,0 +1,449 @@
+// Package wire is the binary KV wire protocol: tagged request/response
+// PDUs carried inside the same u32-length-prefixed frames as the text
+// protocol, layered the way the BER/COTP codecs in the IEC-61850 stacks
+// are — a pure, allocation-light encode/decode layer with no transport
+// state, so every malformed input is testable (and fuzzable) without a
+// socket in sight.
+//
+// # Negotiation
+//
+// The first byte a client sends on a fresh connection selects the
+// protocol. Text-protocol frames always begin with the high byte of a
+// u32 big-endian length, and since MaxFrame is far below 2^24 that byte
+// is always 0x00 — so any non-zero magic is unambiguous. A binary
+// client opens with Magic (0xB1), then 8 bytes of client ID (big
+// endian, used to key server-side retry dedupe), then length-prefixed
+// frames. A text client just starts writing frames; the server peeks
+// one byte and serves whichever protocol it sees.
+//
+// # Frame payload layout
+//
+// Every payload starts with a tag byte and a uvarint correlation ID;
+// what follows depends on the tag. Strings and byte fields are uvarint
+// length + raw bytes ("bytes" below); counted sequences are a uvarint
+// element count followed by that many elements.
+//
+//	request  := verb:1 id:uvarint body
+//	  VerbPing | VerbCount | VerbKeys:  (empty body)
+//	  VerbGet | VerbDel:                key:bytes
+//	  VerbSet:                          key:bytes value:bytes
+//	  VerbMDel | VerbMGet:              n:uvarint key:bytes ×n
+//	  VerbMPut:                         n:uvarint (key:bytes value:bytes) ×n
+//
+//	response := tag:1 id:uvarint body
+//	  RespOK | RespNotFound:  (empty body)
+//	  RespValue:              value:bytes
+//	  RespCount:              n:uvarint            (COUNT, and MDEL's deleted-count)
+//	  RespKeys:               n:uvarint key:bytes ×n
+//	  RespMulti:              n:uvarint (found:1 value:bytes) ×n   (MGET, in request key order)
+//	  RespErr:                message:bytes
+//
+// Values are opaque bytes — the length prefix lifts the text protocol's
+// no-CR/LF restriction entirely. Keys stay under the text protocol's
+// rules (non-empty, no whitespace) because the two protocols share one
+// store and a key written here can surface in a text KEYS response.
+// The codec itself enforces only the structural half (non-empty); the
+// server enforces the whitespace rule.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Magic is the negotiation byte a binary client sends first. It can
+// never open a text connection: text frames start 0x00 (see package
+// comment).
+const Magic byte = 0xB1
+
+// MaxFrame mirrors the transport's frame cap so the decoder can reject
+// length fields no well-formed frame could carry, before allocating.
+const MaxFrame = 1 << 20
+
+// Request verbs.
+const (
+	VerbPing  byte = 0x01
+	VerbSet   byte = 0x02
+	VerbGet   byte = 0x03
+	VerbDel   byte = 0x04
+	VerbMDel  byte = 0x05
+	VerbCount byte = 0x06
+	VerbKeys  byte = 0x07
+	VerbMGet  byte = 0x08
+	VerbMPut  byte = 0x09
+)
+
+// Response tags. The high bit distinguishes them from verbs so a
+// misdirected PDU fails decode instead of aliasing.
+const (
+	RespOK       byte = 0x81
+	RespValue    byte = 0x82
+	RespNotFound byte = 0x83
+	RespCount    byte = 0x84
+	RespKeys     byte = 0x85
+	RespMulti    byte = 0x86
+	RespErr      byte = 0xFF
+)
+
+// Decode errors, all matchable with errors.Is.
+var (
+	ErrTruncated   = errors.New("wire: truncated PDU")
+	ErrOversize    = errors.New("wire: length field exceeds payload")
+	ErrUnknownVerb = errors.New("wire: unknown verb")
+	ErrUnknownTag  = errors.New("wire: unknown response tag")
+	ErrZeroKey     = errors.New("wire: zero-length key")
+	ErrTrailing    = errors.New("wire: trailing bytes after PDU")
+	ErrMalformed   = errors.New("wire: malformed PDU")
+)
+
+// KV is one key/value pair of an MPUT batch.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Request is one decoded request PDU. Only the fields the verb uses
+// are populated.
+type Request struct {
+	Verb  byte
+	ID    uint64
+	Key   string
+	Value []byte
+	Keys  []string // MDel, MGet
+	Pairs []KV     // MPut
+}
+
+// Response is one decoded response PDU. Only the fields the tag uses
+// are populated.
+type Response struct {
+	Tag    byte
+	ID     uint64
+	Value  []byte
+	N      uint64
+	Keys   []string
+	Found  []bool   // MGET results, parallel with Values
+	Values [][]byte // MGET results, in request key order
+	Err    string
+}
+
+// verbName maps verbs to the text protocol's command words — for error
+// messages and for synthesizing the text form fault-injection hooks
+// match on.
+func verbName(v byte) string {
+	switch v {
+	case VerbPing:
+		return "PING"
+	case VerbSet:
+		return "SET"
+	case VerbGet:
+		return "GET"
+	case VerbDel:
+		return "DEL"
+	case VerbMDel:
+		return "MDEL"
+	case VerbCount:
+		return "COUNT"
+	case VerbKeys:
+		return "KEYS"
+	case VerbMGet:
+		return "MGET"
+	case VerbMPut:
+		return "MPUT"
+	}
+	return fmt.Sprintf("verb(0x%02x)", v)
+}
+
+// VerbName exposes the text command word for a verb byte.
+func VerbName(v byte) string { return verbName(v) }
+
+// --- encoding ---
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendRequest appends r's PDU encoding to dst and returns the
+// extended slice.
+func AppendRequest(dst []byte, r *Request) []byte {
+	dst = append(dst, r.Verb)
+	dst = binary.AppendUvarint(dst, r.ID)
+	switch r.Verb {
+	case VerbGet, VerbDel:
+		dst = appendString(dst, r.Key)
+	case VerbSet:
+		dst = appendString(dst, r.Key)
+		dst = appendBytes(dst, r.Value)
+	case VerbMDel, VerbMGet:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Keys)))
+		for _, k := range r.Keys {
+			dst = appendString(dst, k)
+		}
+	case VerbMPut:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Pairs)))
+		for _, kv := range r.Pairs {
+			dst = appendString(dst, kv.Key)
+			dst = appendBytes(dst, kv.Value)
+		}
+	}
+	return dst
+}
+
+// AppendResponse appends r's PDU encoding to dst and returns the
+// extended slice.
+func AppendResponse(dst []byte, r *Response) []byte {
+	dst = append(dst, r.Tag)
+	dst = binary.AppendUvarint(dst, r.ID)
+	switch r.Tag {
+	case RespValue:
+		dst = appendBytes(dst, r.Value)
+	case RespCount:
+		dst = binary.AppendUvarint(dst, r.N)
+	case RespKeys:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Keys)))
+		for _, k := range r.Keys {
+			dst = appendString(dst, k)
+		}
+	case RespMulti:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Values)))
+		for i, v := range r.Values {
+			if r.Found[i] {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+			dst = appendBytes(dst, v)
+		}
+	case RespErr:
+		dst = appendString(dst, r.Err)
+	}
+	return dst
+}
+
+// --- decoding ---
+
+// cursor walks a payload with bounds-checked reads; every failure mode
+// maps to a typed error naming the field that broke.
+type cursor struct {
+	p   []byte
+	pos int
+}
+
+func (c *cursor) rem() int { return len(c.p) - c.pos }
+
+func (c *cursor) byte(field string) (byte, error) {
+	if c.rem() < 1 {
+		return 0, fmt.Errorf("%w: %s at offset %d", ErrTruncated, field, c.pos)
+	}
+	b := c.p[c.pos]
+	c.pos++
+	return b, nil
+}
+
+func (c *cursor) uvarint(field string) (uint64, error) {
+	v, n := binary.Uvarint(c.p[c.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: %s at offset %d", ErrTruncated, field, c.pos)
+	}
+	// Reject non-minimal encodings (a trailing zero continuation group)
+	// so every value has exactly one wire form — the property the fuzz
+	// harness checks by re-encoding.
+	if n > 1 && c.p[c.pos+n-1] == 0 {
+		return 0, fmt.Errorf("%w: non-minimal varint for %s at offset %d", ErrMalformed, field, c.pos)
+	}
+	c.pos += n
+	return v, nil
+}
+
+// bytes reads a uvarint length then that many raw bytes. The length is
+// checked against both the frame cap and the bytes actually present, so
+// a hostile header can neither force a huge allocation nor read past
+// the payload.
+func (c *cursor) bytes(field string) ([]byte, error) {
+	n, err := c.uvarint(field + " length")
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %s claims %d bytes", ErrOversize, field, n)
+	}
+	if uint64(c.rem()) < n {
+		return nil, fmt.Errorf("%w: %s claims %d bytes, %d remain", ErrOversize, field, n, c.rem())
+	}
+	b := c.p[c.pos : c.pos+int(n)]
+	c.pos += int(n)
+	return b, nil
+}
+
+// count reads a sequence count and sanity-checks it against the bytes
+// left: every element costs at least minPer bytes, so a count the
+// payload cannot possibly hold is rejected before any allocation.
+func (c *cursor) count(field string, minPer int) (int, error) {
+	n, err := c.uvarint(field)
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(c.rem()/minPer) {
+		return 0, fmt.Errorf("%w: %s claims %d elements, %d bytes remain", ErrOversize, field, n, c.rem())
+	}
+	return int(n), nil
+}
+
+func (c *cursor) key(field string) (string, error) {
+	b, err := c.bytes(field)
+	if err != nil {
+		return "", err
+	}
+	if len(b) == 0 {
+		return "", fmt.Errorf("%w: %s", ErrZeroKey, field)
+	}
+	return string(b), nil
+}
+
+// DecodeRequest decodes one request PDU. On error the returned Request
+// is non-nil whenever the verb and correlation ID were readable, so a
+// server can still address its error response.
+func DecodeRequest(p []byte) (*Request, error) {
+	c := &cursor{p: p}
+	verb, err := c.byte("verb")
+	if err != nil {
+		return nil, err
+	}
+	id, err := c.uvarint("correlation ID")
+	if err != nil {
+		return nil, err
+	}
+	r := &Request{Verb: verb, ID: id}
+	switch verb {
+	case VerbPing, VerbCount, VerbKeys:
+		// empty body
+	case VerbGet, VerbDel:
+		if r.Key, err = c.key("key"); err != nil {
+			return r, err
+		}
+	case VerbSet:
+		if r.Key, err = c.key("key"); err != nil {
+			return r, err
+		}
+		if r.Value, err = c.bytes("value"); err != nil {
+			return r, err
+		}
+	case VerbMDel, VerbMGet:
+		n, err := c.count("key count", 1)
+		if err != nil {
+			return r, err
+		}
+		r.Keys = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			k, err := c.key(fmt.Sprintf("key %d", i))
+			if err != nil {
+				return r, err
+			}
+			r.Keys = append(r.Keys, k)
+		}
+	case VerbMPut:
+		n, err := c.count("pair count", 2)
+		if err != nil {
+			return r, err
+		}
+		r.Pairs = make([]KV, 0, n)
+		for i := 0; i < n; i++ {
+			k, err := c.key(fmt.Sprintf("key %d", i))
+			if err != nil {
+				return r, err
+			}
+			v, err := c.bytes(fmt.Sprintf("value %d", i))
+			if err != nil {
+				return r, err
+			}
+			r.Pairs = append(r.Pairs, KV{Key: k, Value: v})
+		}
+	default:
+		return r, fmt.Errorf("%w: 0x%02x", ErrUnknownVerb, verb)
+	}
+	if c.rem() != 0 {
+		return r, fmt.Errorf("%w: %d after %s", ErrTrailing, c.rem(), verbName(verb))
+	}
+	return r, nil
+}
+
+// DecodeResponse decodes one response PDU.
+func DecodeResponse(p []byte) (*Response, error) {
+	c := &cursor{p: p}
+	tag, err := c.byte("tag")
+	if err != nil {
+		return nil, err
+	}
+	id, err := c.uvarint("correlation ID")
+	if err != nil {
+		return nil, err
+	}
+	r := &Response{Tag: tag, ID: id}
+	switch tag {
+	case RespOK, RespNotFound:
+		// empty body
+	case RespValue:
+		if r.Value, err = c.bytes("value"); err != nil {
+			return r, err
+		}
+	case RespCount:
+		if r.N, err = c.uvarint("count"); err != nil {
+			return r, err
+		}
+	case RespKeys:
+		n, err := c.count("key count", 1)
+		if err != nil {
+			return r, err
+		}
+		r.Keys = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			// A KEYS response may legitimately carry keys the text
+			// protocol could not (defensive: reject zero-length anyway).
+			k, err := c.key(fmt.Sprintf("key %d", i))
+			if err != nil {
+				return r, err
+			}
+			r.Keys = append(r.Keys, k)
+		}
+	case RespMulti:
+		n, err := c.count("entry count", 2)
+		if err != nil {
+			return r, err
+		}
+		r.Found = make([]bool, 0, n)
+		r.Values = make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			f, err := c.byte(fmt.Sprintf("found flag %d", i))
+			if err != nil {
+				return r, err
+			}
+			if f > 1 {
+				return r, fmt.Errorf("%w: found flag %d is 0x%02x", ErrMalformed, i, f)
+			}
+			v, err := c.bytes(fmt.Sprintf("value %d", i))
+			if err != nil {
+				return r, err
+			}
+			r.Found = append(r.Found, f != 0)
+			r.Values = append(r.Values, v)
+		}
+	case RespErr:
+		msg, err := c.bytes("error message")
+		if err != nil {
+			return r, err
+		}
+		r.Err = string(msg)
+	default:
+		return r, fmt.Errorf("%w: 0x%02x", ErrUnknownTag, tag)
+	}
+	if c.rem() != 0 {
+		return r, fmt.Errorf("%w: %d after tag 0x%02x", ErrTrailing, c.rem(), tag)
+	}
+	return r, nil
+}
