@@ -38,10 +38,11 @@ type frameWriter struct {
 	queue  [][]byte
 	err    error // latched first failure
 	closed bool
+	done   chan struct{} // closed when loop exits (queue drained or conn failed)
 }
 
 func newFrameWriter(conn net.Conn, onErr func(error)) *frameWriter {
-	w := &frameWriter{conn: conn, onErr: onErr}
+	w := &frameWriter{conn: conn, onErr: onErr, done: make(chan struct{})}
 	w.cond = sync.NewCond(&w.mu)
 	go w.loop()
 	return w
@@ -66,17 +67,25 @@ func (w *frameWriter) write(frame []byte) error {
 	return nil
 }
 
-// stop shuts the writer down after draining anything already queued.
-// Safe to call more than once; concurrent write() calls after stop get
+// stop shuts the writer down and blocks until everything already
+// queued has been flushed onto the connection (or the connection has
+// failed) — when stop returns, no response is stranded in the queue, so
+// a caller tearing a connection down can stop-then-close without
+// dropping frames. A wedged flush cannot block stop forever: whoever
+// owns the conn closes it eventually (pool Close, server drain cutoff),
+// which fails the in-flight Write and releases the loop. Safe to call
+// more than once; concurrent write() calls after stop get
 // errWriterClosed.
 func (w *frameWriter) stop() {
 	w.mu.Lock()
 	w.closed = true
 	w.mu.Unlock()
 	w.cond.Signal()
+	<-w.done
 }
 
 func (w *frameWriter) loop() {
+	defer close(w.done)
 	buf := make([]byte, 0, 64<<10)
 	for {
 		w.mu.Lock()

@@ -1,0 +1,83 @@
+// White-box test for graceful-close drain on the binary fast path: it
+// needs shardFor to hold a store stripe locked mid-request, which the
+// public surface deliberately doesn't expose.
+package sockets
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/sockets/wire"
+)
+
+// TestBinaryInlineDrainOnGracefulClose: a request on the inline fast
+// path (no PreHandle hook) must count as in flight — otherwise a
+// graceful Close sees the connection as idle, cuts it under a mutation
+// being handled, and the queued response is dropped without the drain
+// grace the text and goroutine paths get. The test wedges a SET on its
+// shard's write lock, Closes the server mid-handling, then releases the
+// lock and requires the response to still arrive.
+func TestBinaryInlineDrainOnGracefulClose(t *testing.T) {
+	s, err := NewServerConfig("127.0.0.1:0", ServerConfig{DrainTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	conn, err := net.DialTimeout("tcp", s.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hs := make([]byte, 9)
+	hs[0] = wire.Magic
+	binary.BigEndian.PutUint64(hs[1:], 0xD1A1)
+	if _, err := conn.Write(hs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the shard's write lock so the inline SET blocks mid-handling.
+	lock := s.shardFor("k").lock
+	lock.Lock()
+	req := &wire.Request{Verb: wire.VerbSet, ID: 1, Key: "k", Value: []byte("v")}
+	if err := WriteFrame(conn, wire.AppendRequest(nil, req)); err != nil {
+		t.Fatal(err)
+	}
+	for start := time.Now(); s.Stats().Requests == 0; time.Sleep(time.Millisecond) {
+		if time.Since(start) > 2*time.Second {
+			lock.Unlock()
+			t.Fatal("server never read the SET frame")
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // let the handler reach the shard lock
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	time.Sleep(50 * time.Millisecond) // let Close classify the connection
+	lock.Unlock()
+
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	payload, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("response dropped by graceful Close: %v", err)
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil || resp.Tag != wire.RespOK || resp.ID != 1 {
+		t.Fatalf("bad drained response: %+v (err %v), want RespOK id 1", resp, err)
+	}
+	select {
+	case <-closed:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close did not return after the in-flight request drained")
+	}
+	// The drained mutation landed in the store.
+	sh := s.shardFor("k")
+	sh.lock.RLock()
+	v, ok := sh.store["k"]
+	sh.lock.RUnlock()
+	if !ok || v != "v" {
+		t.Fatalf("store after drain = %q/%v, want \"v\"/true", v, ok)
+	}
+}

@@ -151,6 +151,29 @@ func TestFramingEmbeddedCRLF(t *testing.T) {
 	}
 }
 
+// TestFramingServerRejectsCRLFValue: the CR/LF value rule holds on the
+// server side too — a hand-rolled text client that skips the library's
+// ErrBadValue check gets ERR back, and nothing lands in the store. The
+// client-side check alone would leave raw writers able to smuggle
+// protocol-shaped text into values other consumers read back.
+func TestFramingServerRejectsCRLFValue(t *testing.T) {
+	s := testutil.StartKV(t, sockets.ServerConfig{})
+	conn := rawConn(t, s.Addr())
+
+	for _, req := range []string{"SET k a\r\nb", "SET k \rcr", "SET k nl\n"} {
+		if resp := roundTrip(t, conn, req); !strings.HasPrefix(resp, "ERR") {
+			t.Errorf("raw %q: got %q, want ERR...", req, resp)
+		}
+	}
+	if resp := roundTrip(t, conn, "GET k"); resp != "NOTFOUND" {
+		t.Errorf("rejected SET reached the store: GET k = %q", resp)
+	}
+	// The rejection is per-request: the connection keeps serving.
+	if resp := roundTrip(t, conn, "SET k clean"); resp != "OK" {
+		t.Errorf("connection unusable after rejected values: %q", resp)
+	}
+}
+
 // TestFramingTruncatedMDel: a client that dies mid-frame (the header
 // promises more bytes than ever arrive) must not wedge the server or
 // corrupt the store visible to other clients.

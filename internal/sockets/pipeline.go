@@ -3,6 +3,8 @@ package sockets
 import (
 	"bufio"
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -13,9 +15,31 @@ import (
 	"repro/internal/sockets/wire"
 )
 
-// pipeClientSeq hands every pipe a process-unique client ID for the
-// binary handshake; the server keys its retry-dedupe table on it.
+// pipeClientSeq only disambiguates the entropy-failure fallback in
+// newClientID; the normal path never touches it.
 var pipeClientSeq atomic.Uint64
+
+// newClientID draws the 8-byte binary-handshake client ID from
+// crypto/rand. The server keys its retry-dedupe table on (client ID,
+// correlation ID), and correlation IDs restart at 1 in every pipe — a
+// sequential client ID would repeat the same (1, 1) pair in every
+// process (and in every restart of the same process), so the server
+// would mistake a fresh mutation for a retry of some other client's op
+// and replay the recorded response without applying the write. 64
+// random bits make that collision vanishingly unlikely across any
+// number of client processes. The fallback only runs if the system
+// entropy source is broken: it mixes wall time with a process-local
+// counter, which still never repeats within a process and is
+// time-separated across them.
+func newClientID() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+	return uint64(time.Now().UnixNano()) ^ pipeClientSeq.Add(1)<<56
+}
 
 // pipeResult is one settled response future.
 type pipeResult struct {
@@ -52,7 +76,7 @@ type pipe struct {
 func newPipe(p *Pool) *pipe {
 	return &pipe{
 		p:        p,
-		clientID: pipeClientSeq.Add(1),
+		clientID: newClientID(),
 		pending:  make(map[uint64]*pipeFuture),
 	}
 }
@@ -74,7 +98,7 @@ func (pp *pipe) ensure(ctx context.Context) (net.Conn, *frameWriter, uint64, err
 	// Handshake: magic byte, then the 8-byte client ID.
 	var hs [9]byte
 	hs[0] = wire.Magic
-	putUint64BE(hs[1:], pp.clientID)
+	binary.BigEndian.PutUint64(hs[1:], pp.clientID)
 	conn.SetWriteDeadline(time.Now().Add(timeout))
 	if _, err := conn.Write(hs[:]); err != nil {
 		conn.Close()
@@ -89,12 +113,6 @@ func (pp *pipe) ensure(ctx context.Context) (net.Conn, *frameWriter, uint64, err
 	pp.lastRecv.Store(time.Now().UnixNano())
 	go pp.readLoop(conn, pp.fw, pp.gen)
 	return conn, pp.fw, pp.gen, nil
-}
-
-func putUint64BE(b []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (56 - 8*i))
-	}
 }
 
 // readLoop drains response frames off one connection incarnation and

@@ -5,15 +5,27 @@ import (
 	"encoding/binary"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sockets/wire"
 )
 
-// dedupeCap bounds the server-wide retry-dedupe table. Entries evict
-// FIFO; the table only needs to cover the retry window of recently
-// completed mutations, not the full history.
-const dedupeCap = 4096
+// dedupeCap bounds the server-wide retry-dedupe table — the hard
+// memory backstop when age-based eviction alone cannot keep up with
+// the mutation rate. Completed entries are small (the key pair plus an
+// encoded OK/NOTFOUND/COUNT response), so the worst case is a few MiB.
+const dedupeCap = 1 << 16
+
+// dedupeRetryHorizon is how long a completed mutation's recorded
+// response stays replayable before age eviction may drop it. It must
+// cover the latest a Pool retry can arrive after the first application:
+// with the default config that is (MaxAttempts-1) × (attempt timeout +
+// max backoff) ≈ 2 × 2.25s, so 5s covers the defaults with margin.
+// Entries evicted older than this cannot break exactly-once — the
+// client has exhausted its attempts; entries evicted younger (capacity
+// backstop) can, and are counted in earlyEvict.
+const dedupeRetryHorizon = 5 * time.Second
 
 // dedupeStripes spreads the table over independently locked stripes so
 // concurrent mutations from many pipelined requests do not serialize on
@@ -28,10 +40,12 @@ type dedupeKey struct {
 
 // dedupeEntry is one recorded (or in-progress) mutation. done closes
 // when resp is valid, so a retry that races the original attempt waits
-// for the first application instead of applying a second one.
+// for the first application instead of applying a second one. doneAt
+// stamps completion for age-based eviction.
 type dedupeEntry struct {
-	done chan struct{}
-	resp []byte
+	done   chan struct{}
+	resp   []byte
+	doneAt time.Time
 }
 
 // dedupeTable makes retried non-idempotent binary PDUs (SET/DEL/MDEL/
@@ -43,24 +57,33 @@ type dedupeEntry struct {
 // ambiguity; DESIGN.md documents the limitation. Stripes are locked
 // independently; a (client, id) pair always hashes to the same stripe,
 // so the exactly-once argument is per-stripe and unchanged.
+//
+// Eviction is age-first: a completed entry older than horizon can no
+// longer see a retry (the client exhausted its attempts) and is dropped
+// for free. The capacity cap is only a memory backstop; when it forces
+// out an entry still inside the horizon, exactly-once degrades to
+// at-least-once for a straggling retry of that op — earlyEvict counts
+// those so the degradation is observable instead of silent.
 type dedupeTable struct {
-	stripes [dedupeStripes]dedupeStripe
+	horizon    time.Duration
+	earlyEvict atomic.Int64
+	stripes    [dedupeStripes]dedupeStripe
 }
 
 type dedupeStripe struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[dedupeKey]*dedupeEntry
-	order   []dedupeKey // FIFO eviction ring over completed entries
-	pos     int
+	order   []dedupeKey // completed entries, oldest first; head is the eviction cursor
+	head    int
 }
 
-func newDedupeTable(capacity int) *dedupeTable {
+func newDedupeTable(capacity int, horizon time.Duration) *dedupeTable {
 	per := capacity / dedupeStripes
 	if per < 1 {
 		per = 1
 	}
-	t := &dedupeTable{}
+	t := &dedupeTable{horizon: horizon}
 	for i := range t.stripes {
 		t.stripes[i] = dedupeStripe{
 			cap:     per,
@@ -72,10 +95,23 @@ func newDedupeTable(capacity int) *dedupeTable {
 }
 
 func (t *dedupeTable) stripe(k dedupeKey) *dedupeStripe {
-	// Client IDs and correlation IDs are both sequential; fold both in
+	// Correlation IDs are sequential and client IDs random; fold both in
 	// so neither axis alone maps every key to one stripe.
 	h := (k.client*0x9e3779b97f4a7c15 ^ k.id*0xbf58476d1ce4e5b9) >> 32
 	return &t.stripes[h%dedupeStripes]
+}
+
+// evictOldest drops the oldest completed entry. Caller holds d.mu.
+func (d *dedupeStripe) evictOldest() {
+	delete(d.entries, d.order[d.head])
+	d.order[d.head] = dedupeKey{}
+	d.head++
+	// Compact once the dead prefix dominates, so order doesn't grow
+	// without bound under churn.
+	if d.head > 64 && d.head > len(d.order)/2 {
+		d.order = append(d.order[:0], d.order[d.head:]...)
+		d.head = 0
+	}
 }
 
 // begin claims k. When the op is a duplicate it returns the prior
@@ -93,18 +129,22 @@ func (t *dedupeTable) begin(k dedupeKey) (entry *dedupeEntry, duplicate bool) {
 	return e, false
 }
 
-// finish records the response for a pending entry and evicts the
-// oldest completed entry in the stripe once it is full.
+// finish records the response for a pending entry, drops completed
+// entries that have aged past the retry horizon, and applies the
+// capacity backstop (counting the early evictions it forces).
 func (t *dedupeTable) finish(k dedupeKey, e *dedupeEntry, resp []byte) {
 	d := t.stripe(k)
+	now := time.Now()
 	d.mu.Lock()
 	e.resp = resp
-	if len(d.order) < d.cap {
-		d.order = append(d.order, k)
-	} else {
-		delete(d.entries, d.order[d.pos])
-		d.order[d.pos] = k
-		d.pos = (d.pos + 1) % d.cap
+	e.doneAt = now
+	d.order = append(d.order, k)
+	for d.head < len(d.order) && now.Sub(d.entries[d.order[d.head]].doneAt) >= t.horizon {
+		d.evictOldest()
+	}
+	for len(d.order)-d.head > d.cap {
+		d.evictOldest()
+		t.earlyEvict.Add(1)
 	}
 	d.mu.Unlock()
 	close(e.done)
@@ -113,6 +153,13 @@ func (t *dedupeTable) finish(k dedupeKey, e *dedupeEntry, resp []byte) {
 // DedupeHits reports how many retried binary mutations the server
 // answered from the dedupe table instead of re-applying.
 func (s *Server) DedupeHits() int64 { return s.dedupHit.Load() }
+
+// DedupeEarlyEvictions reports how many recorded mutations the dedupe
+// table's capacity backstop evicted while still inside the retry
+// horizon. Non-zero means the exactly-once guarantee for retried binary
+// mutations has degraded to at-least-once under the current load —
+// size dedupeCap up (or shorten client retry windows) if it climbs.
+func (s *Server) DedupeEarlyEvictions() int64 { return s.dedupe.earlyEvict.Load() }
 
 // serveBinary is the per-connection demultiplexer: it decodes frames
 // off one reader, dispatches each PDU to its own goroutine against the
@@ -129,6 +176,11 @@ func (s *Server) serveBinary(cs *connState, br *bufio.Reader) {
 	// Coalesced response writes; a broken write closes the conn, which
 	// breaks the read loop below and unwinds the whole connection.
 	fw := newFrameWriter(cs.conn, func(error) { cs.conn.Close() })
+	// Publish the writer so a graceful Close can flush queued responses
+	// before cutting a connection it considers idle.
+	cs.mu.Lock()
+	cs.fw = fw
+	cs.mu.Unlock()
 	defer fw.stop() // after wg.Wait: late handler responses still drain
 	var wg sync.WaitGroup
 	defer wg.Wait()
@@ -168,6 +220,11 @@ func (s *Server) serveBinary(cs *connState, br *bufio.Reader) {
 		if s.preHandle == nil {
 			switch req.Verb {
 			case wire.VerbPing, wire.VerbGet, wire.VerbCount, wire.VerbSet, wire.VerbDel:
+				// The inline path still counts as in flight: a graceful
+				// Close must see the request and grant it the same drain
+				// grace as the text and goroutine paths instead of cutting
+				// the conn under a mutation whose response isn't out yet.
+				cs.addInflight(1)
 				start := time.Now()
 				resp := s.handleBinary(clientID, req)
 				if resp.Tag == wire.RespErr {
@@ -176,7 +233,10 @@ func (s *Server) serveBinary(cs *connState, br *bufio.Reader) {
 				out := wire.AppendResponse(nil, resp)
 				werr := fw.write(out)
 				s.latency.Observe(time.Since(start))
-				if werr != nil || s.closed.Load() {
+				closing := cs.addInflight(-1)
+				if werr != nil || closing || s.closed.Load() {
+					// Unwinding runs fw.stop, which flushes the queued
+					// response before the conn is torn down.
 					return
 				}
 				continue
@@ -201,8 +261,12 @@ func (s *Server) serveBinary(cs *connState, br *bufio.Reader) {
 			s.latency.Observe(time.Since(start))
 			closing := cs.addInflight(-1)
 			if werr != nil || closing || s.closed.Load() {
-				// Mirror the text loop's exit conditions: closing the conn
-				// unblocks the read loop, which returns and joins us.
+				// Mirror the text loop's exit conditions: flush queued
+				// responses (ours included), then close the conn, which
+				// unblocks the read loop, which returns and joins us. A
+				// flush wedged on a dead peer is unstuck by Close's
+				// DrainTimeout hard close.
+				fw.stop()
 				cs.conn.Close()
 			}
 		}()

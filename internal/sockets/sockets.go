@@ -108,6 +108,7 @@ type shard struct {
 type connState struct {
 	conn     net.Conn
 	mu       sync.Mutex
+	fw       *frameWriter // binary conns: response writer, flushed before Close cuts the conn
 	inflight int
 	closing  bool
 }
@@ -172,7 +173,7 @@ func NewServerConfig(addr string, cfg ServerConfig) (*Server, error) {
 		drain:     cfg.DrainTimeout,
 		active:    make(map[*connState]struct{}),
 		latency:   metrics.NewHistogram(),
-		dedupe:    newDedupeTable(dedupeCap),
+		dedupe:    newDedupeTable(dedupeCap, dedupeRetryHorizon),
 		preHandle: cfg.PreHandle,
 	}
 	for i := range s.shards {
@@ -219,7 +220,16 @@ func (s *Server) Close() error {
 		cs.mu.Lock()
 		cs.closing = true
 		if cs.inflight == 0 {
-			cs.conn.Close()
+			if cs.fw != nil {
+				// A binary conn with nothing in flight can still hold
+				// completed responses in its coalescing writer; flush them
+				// before cutting. stop blocks until drained, so it runs off
+				// this goroutine — a flush wedged on a dead peer is unstuck
+				// by the DrainTimeout hard close below.
+				go func(cs *connState) { cs.fw.stop(); cs.conn.Close() }(cs)
+			} else {
+				cs.conn.Close()
+			}
 		}
 		cs.mu.Unlock()
 	}
@@ -323,7 +333,7 @@ func (s *Server) serveText(cs *connState, br *bufio.Reader) {
 // frame; values may contain spaces, keys may not):
 //
 //	PING             -> "PONG"
-//	SET key value    -> "OK"
+//	SET key value    -> "OK" (values with CR/LF rejected with ERR; see ErrBadValue)
 //	GET key          -> "VALUE <v>" or "NOTFOUND"
 //	DEL key          -> "OK" or "NOTFOUND"
 //	MDEL k1 k2 ...   -> "DELETED <n>" (n = how many existed; missing keys ignored)
@@ -337,6 +347,11 @@ func (s *Server) handle(req string) string {
 	case "SET":
 		if len(parts) != 3 {
 			return "ERR usage: SET key value"
+		}
+		if validateTextValue(parts[2]) != nil {
+			// Mirror the client-side ErrBadValue check: a hand-rolled text
+			// client must not smuggle CR/LF into the shared store either.
+			return "ERR value must not contain CR or LF (use the binary protocol for opaque bytes)"
 		}
 		sh := s.shardFor(parts[1])
 		sh.lock.Lock()
@@ -447,8 +462,10 @@ func validateKey(key string) error {
 	return nil
 }
 
-// validateTextValue applies the text path's value restriction. Only the
-// text round-trippers call it; the binary path carries opaque bytes.
+// validateTextValue applies the text path's value restriction, on both
+// sides of the wire: the text round-trippers reject before writing, and
+// the server's SET branch rejects hand-rolled clients that skip the
+// client library. The binary path carries opaque bytes.
 func validateTextValue(value string) error {
 	if strings.ContainsAny(value, "\r\n") {
 		return fmt.Errorf("%w: %q", ErrBadValue, value)
