@@ -42,6 +42,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/sockets"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -55,6 +56,20 @@ func main() {
 	scenario := flag.String("scenario", "", "with -chaos: run only this scenario (default: all)")
 	seed := flag.Int64("seed", 1, "with -chaos: schedule seed; a failing run prints the seed to replay")
 	protoFlag := flag.String("proto", "text", "inter-node wire protocol: text or binary (pipelined PDUs, batched migration)")
+	workloadFlag := flag.String("workload", "", "run the seeded workload generator instead of the benches: uniform or zipfian")
+	qps := flag.Float64("qps", 0, "with -workload: total offered rate for the open-loop schedule (0 = closed loop)")
+	theta := flag.Float64("theta", 0.99, "with -workload zipfian: zipfian exponent in (0,1)")
+	cacheFlag := flag.Bool("cache", false, "with -workload: enable the cluster's hot-key lease cache")
+	lease := flag.Duration("lease", 50*time.Millisecond, "with -cache: cache entry lease (the bounded staleness window)")
+	maxPending := flag.Int("maxpending", 0, "with -workload: per-node admission bound (0 = no shedding)")
+	poolSize := flag.Int("poolsize", 4, "with -workload: client pool connections per node (overload cells need more than the admission bound)")
+	durationFlag := flag.Duration("duration", 4*time.Second, "with -workload: measurement window")
+	workers := flag.Int("workers", 16, "with -workload: concurrent client workers")
+	readFrac := flag.Float64("readfrac", 0.95, "with -workload: fraction of ops that are reads")
+	valueSize := flag.Int("valuesize", 64, "with -workload: value size in bytes (writes and preload)")
+	wkeys := flag.Int("wkeys", 512, "with -workload: keyspace size")
+	jsonPath := flag.String("json", "", "with -workload: append one JSON result line to this file")
+	label := flag.String("label", "", "with -json: cell label for the aggregator (default: derived from dist/proto/cache/mode)")
 	flag.Parse()
 	proto, err := sockets.ParseProto(*protoFlag)
 	if err != nil {
@@ -63,6 +78,38 @@ func main() {
 	}
 	if *chaosMode {
 		os.Exit(runChaos(*scenario, *seed, proto))
+	}
+	if *workloadFlag != "" {
+		dist, err := workload.ParseDist(*workloadFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clusterbench:", err)
+			os.Exit(2)
+		}
+		if *quick {
+			*durationFlag, *wkeys, *workers = 1200*time.Millisecond, 128, 4
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		os.Exit(runWorkload(ctx, workloadOpts{
+			dist:       dist,
+			theta:      *theta,
+			keys:       *wkeys,
+			readFrac:   *readFrac,
+			valueSize:  *valueSize,
+			duration:   *durationFlag,
+			workers:    *workers,
+			qps:        *qps,
+			cache:      *cacheFlag,
+			lease:      *lease,
+			maxPending: *maxPending,
+			poolSize:   *poolSize,
+			nodes:      *nodes,
+			replicas:   *replicas,
+			proto:      proto,
+			seed:       *seed,
+			jsonPath:   *jsonPath,
+			label:      *label,
+		}))
 	}
 	if *quick {
 		*ops, *keys = 300, 120

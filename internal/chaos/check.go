@@ -110,6 +110,18 @@ type CheckResult struct {
 // event stream); errored ops failing neither the context test nor
 // excuse are counted Unexcused.
 func Check(ops []Op, excuse func(Op) bool) CheckResult {
+	return CheckWithStaleness(ops, excuse, 0)
+}
+
+// CheckWithStaleness validates a history under a bounded-staleness
+// allowance: a read may legally observe any value that was current
+// within `staleness` before the read began. staleness=0 is the strict
+// LWW contract (Check). The hot-key lease cache runs under this
+// checker with staleness = the configured lease — the cache's whole
+// guarantee is that a cached read is never staler than its lease, so a
+// supersessor only invalidates an observation when it finished more
+// than one lease before the read started.
+func CheckWithStaleness(ops []Op, excuse func(Op) bool, staleness time.Duration) CheckResult {
 	res := CheckResult{Ops: len(ops)}
 	byKey := map[string][]int{}
 	for i, op := range ops {
@@ -126,14 +138,17 @@ func Check(ops []Op, excuse func(Op) bool) CheckResult {
 		byKey[op.Key] = append(byKey[op.Key], i)
 	}
 	for key, idxs := range byKey {
-		res.Anomalies = append(res.Anomalies, checkKey(key, ops, idxs)...)
+		res.Anomalies = append(res.Anomalies, checkKey(key, ops, idxs, staleness)...)
 	}
 	return res
 }
 
 // checkKey applies the register rules to one key's operations (idxs
-// index into ops, already sorted by Start).
-func checkKey(key string, ops []Op, idxs []int) []Anomaly {
+// index into ops, already sorted by Start). staleness pads every
+// supersession test: an invalidating write only disqualifies a
+// candidate when it finished more than `staleness` before the read
+// began.
+func checkKey(key string, ops []Op, idxs []int, staleness time.Duration) []Anomaly {
 	var anomalies []Anomaly
 	// successful writes (puts and dels) are the only invalidators.
 	var succ []int
@@ -151,7 +166,7 @@ func checkKey(key string, ops []Op, idxs []int) []Anomaly {
 				continue
 			}
 			w2 := ops[j]
-			if candEnd.Before(w2.Start) && w2.End.Before(rStart) {
+			if candEnd.Before(w2.Start) && w2.End.Add(staleness).Before(rStart) {
 				return &w2
 			}
 		}
@@ -189,7 +204,7 @@ func checkKey(key string, ops []Op, idxs []int) []Anomaly {
 		// supersession by a successful put.
 		var newestPut *Op
 		for _, j := range succ {
-			if ops[j].Kind == OpPut && ops[j].End.Before(r.Start) {
+			if ops[j].Kind == OpPut && ops[j].End.Add(staleness).Before(r.Start) {
 				if newestPut == nil || ops[j].End.After(newestPut.End) {
 					w := ops[j]
 					newestPut = &w
@@ -205,7 +220,7 @@ func checkKey(key string, ops []Op, idxs []int) []Anomaly {
 			if d.Kind != OpDel || !d.Start.Before(r.End) {
 				continue
 			}
-			if supersededByPut(d.End, r.Start, ops, succ) == nil {
+			if supersededByPut(d.End, r.Start, ops, succ, staleness) == nil {
 				legal = true
 				break
 			}
@@ -219,13 +234,13 @@ func checkKey(key string, ops []Op, idxs []int) []Anomaly {
 
 // supersededByPut is the not-found variant of the supersession rule:
 // only successful puts invalidate a delete observation.
-func supersededByPut(candEnd, rStart time.Time, ops []Op, succ []int) *Op {
+func supersededByPut(candEnd, rStart time.Time, ops []Op, succ []int, staleness time.Duration) *Op {
 	for _, j := range succ {
 		w2 := ops[j]
 		if w2.Kind != OpPut {
 			continue
 		}
-		if candEnd.Before(w2.Start) && w2.End.Before(rStart) {
+		if candEnd.Before(w2.Start) && w2.End.Add(staleness).Before(rStart) {
 			return &w2
 		}
 	}

@@ -46,6 +46,15 @@ type Spec struct {
 	OpTimeout time.Duration // per-op ctx deadline outside storms (default 1s)
 	OpGapMin  time.Duration // pacing between ops (defaults 2ms..8ms)
 	OpGapMax  time.Duration
+	// ZipfTheta > 0 skews the workers' key picks zipfian (YCSB theta in
+	// (0,1)); 0 keeps the uniform key distribution.
+	ZipfTheta float64
+
+	// HotKeyCache enables the cluster's client-side lease cache; the
+	// history is then checked with CacheLease as the bounded-staleness
+	// allowance instead of the strict LWW contract.
+	HotKeyCache bool
+	CacheLease  time.Duration // default 50ms when HotKeyCache is set
 
 	// Plan builds the fault schedule from the seeded rng and the
 	// initial node names. nil means a fault-free run.
@@ -91,6 +100,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.OpGapMax < s.OpGapMin {
 		s.OpGapMax = s.OpGapMin + 6*time.Millisecond
+	}
+	if s.HotKeyCache && s.CacheLease <= 0 {
+		s.CacheLease = 50 * time.Millisecond
 	}
 	return s
 }
@@ -273,6 +285,12 @@ func Run(spec Spec, seed int64) (*Report, error) {
 		DrainTimeout:       spec.DrainTimeout,
 		Proto:              spec.Proto,
 		AllowUnsafeQuorums: spec.AllowUnsafeQuorums,
+		HotKeyCache:        spec.HotKeyCache,
+		CacheLease:         spec.CacheLease,
+		// Chaos key spaces are tiny and the zipfian head is steep: a low
+		// threshold gets the hot keys resident within the short workload
+		// window, which is the point of the scenario.
+		CacheHotThreshold: 2,
 		ServerPreHandle:    h.serverPreHandle,
 		PoolFailConn:       h.poolFailConn,
 		PoolPreAttempt:     h.poolPreAttempt,
@@ -331,7 +349,14 @@ func Run(spec Spec, seed int64) (*Report, error) {
 	recovery := time.Since(faultsDone)
 	h.verifySweep()
 
-	res := Check(h.hist.Ops(), h.excused)
+	// With the lease cache on, the contract is bounded staleness: a
+	// cached read may trail the newest write by up to one lease, never
+	// more. The checker enforces exactly that bound.
+	var staleness time.Duration
+	if spec.HotKeyCache {
+		staleness = spec.CacheLease
+	}
+	res := CheckWithStaleness(h.hist.Ops(), h.excused, staleness)
 
 	cs := c.Counters()
 	cs.Add("chaos.ops", float64(res.Ops))

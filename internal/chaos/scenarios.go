@@ -139,6 +139,32 @@ func Scenarios() []Spec {
 			},
 		},
 		{
+			// Zipfian read traffic with the hot-key lease cache enabled
+			// while nodes die and come back: cached reads must never trail
+			// the newest acknowledged write by more than the lease. The
+			// checker runs with the lease as its staleness allowance, so
+			// any read staler than the bound — a cache entry surviving a
+			// write it should have seen, a kill resurrecting a stale
+			// version — is an anomaly.
+			Name:        "hotkey-cache",
+			HotKeyCache: true,
+			ZipfTheta:   0.99,
+			Keys:        16,
+			Plan: func(rng *rand.Rand, nodes []string) []Fault {
+				var plan []Fault
+				at := ms(130 + rng.Intn(50))
+				for cycle := 0; cycle < 2; cycle++ {
+					n := pick(rng, nodes)
+					down := ms(160 + rng.Intn(80))
+					plan = append(plan,
+						Fault{At: at, Kind: FaultKill, Node: n},
+						Fault{At: at + down, Kind: FaultRestart, Node: n})
+					at += down + ms(140+rng.Intn(60))
+				}
+				return plan
+			},
+		},
+		{
 			// A node joins mid-run while an existing node drops first
 			// attempts and another adds latency spikes: key migration
 			// must push through the flaky network without losing or

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/dfs"
+	"repro/internal/workload"
 )
 
 // FaultKind labels one fault in a schedule.
@@ -128,10 +129,25 @@ type OpPlan struct {
 // checker match any read back to the one write that produced its value.
 func opStream(spec Spec, seed int64, worker int) func() OpPlan {
 	rng := rand.New(rand.NewSource(seed*1000003 + int64(worker)*7919 + 1))
+	// ZipfTheta > 0 skews key picks: Sample is a pure function of the
+	// worker's seeded uniform draws, so the stream stays a deterministic
+	// function of (spec, seed, worker) — same property as uniform.
+	var zipf *workload.Zipf
+	if spec.ZipfTheta > 0 {
+		if z, err := workload.NewZipf(spec.Keys, spec.ZipfTheta); err == nil {
+			zipf = z
+		}
+	}
 	n := 0
 	return func() OpPlan {
+		var keyIdx int
+		if zipf != nil {
+			keyIdx = zipf.Sample(rng.Float64())
+		} else {
+			keyIdx = rng.Intn(spec.Keys)
+		}
 		p := OpPlan{
-			Key: fmt.Sprintf("k%02d", rng.Intn(spec.Keys)),
+			Key: fmt.Sprintf("k%02d", keyIdx),
 			Gap: spec.OpGapMin + time.Duration(rng.Int63n(int64(spec.OpGapMax-spec.OpGapMin)+1)),
 		}
 		switch r := rng.Float64(); {

@@ -72,6 +72,33 @@ type Config struct {
 	// chaos tests shrink it so Kill is near-instant).
 	DrainTimeout time.Duration
 
+	// HotKeyCache enables the client-side hot-key read cache: a small
+	// sharded LRU holding only keys whose observed read rate crosses
+	// CacheHotThreshold, each entry leased for CacheLease. A cache hit
+	// answers a Get without any replica round trip; the price is a
+	// bounded staleness window — a cached read can lag a concurrent
+	// write by strictly less than the lease (see cache.go and DESIGN.md
+	// §7 for why the lease bounds it). Off by default: correctness
+	// first, the flag is the experiment.
+	HotKeyCache bool
+	// CacheLease is the per-entry lease and therefore the staleness
+	// bound (default 50ms).
+	CacheLease time.Duration
+	// CacheSize is the cache's total entry budget across its shards
+	// (default 4096).
+	CacheSize int
+	// CacheHotThreshold is how many quorum reads within one CacheWindow
+	// admit a key to the cache (default 4). 1 caches on first read.
+	CacheHotThreshold int
+	// CacheWindow is the admission-rate window (default 1s).
+	CacheWindow time.Duration
+
+	// MaxPending is each node server's admission bound: past this many
+	// admitted-but-unanswered requests the node sheds new arrivals with
+	// an overload response instead of queueing (sockets.ErrOverload on
+	// the client after exhausted retries). 0 = no shedding (default).
+	MaxPending int
+
 	// ServerPreHandle, when non-nil, supplies each named node's
 	// sockets.ServerConfig.PreHandle — the fault-injection surface that
 	// makes a replica deliberately slow (the quorum-abort laggard) or
@@ -218,6 +245,10 @@ type Cluster struct {
 	sched *sched.Pool
 	seq   atomic.Int64 // write sequence for last-write-wins resolution
 
+	// cache is the hot-key read cache; nil unless Config.HotKeyCache.
+	// Every method is nil-safe, so call sites need no guard.
+	cache *hotCache
+
 	// ctx is the cluster lifetime: canceled by Close, it interrupts the
 	// heartbeat loop mid-probe, aborts hint replay and key migration,
 	// and bounds every background network wait.
@@ -280,6 +311,18 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = time.Second
 	}
+	if cfg.CacheLease <= 0 {
+		cfg.CacheLease = 50 * time.Millisecond
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 4096
+	}
+	if cfg.CacheHotThreshold <= 0 {
+		cfg.CacheHotThreshold = 4
+	}
+	if cfg.CacheWindow <= 0 {
+		cfg.CacheWindow = time.Second
+	}
 	if cfg.Replicas > cfg.Nodes {
 		return nil, fmt.Errorf("cluster: %d replicas need at least that many nodes (have %d)", cfg.Replicas, cfg.Nodes)
 	}
@@ -300,6 +343,9 @@ func New(cfg Config) (*Cluster, error) {
 		keys:  make(map[string]struct{}),
 		nodes: make(map[string]*node),
 		sched: sched.New(cfg.Workers),
+	}
+	if cfg.HotKeyCache {
+		c.cache = newHotCache(cfg.CacheSize, cfg.CacheLease, cfg.CacheHotThreshold, cfg.CacheWindow)
 	}
 	c.ctx, c.cancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Nodes; i++ {
@@ -324,6 +370,7 @@ func (c *Cluster) startNode(name string) (*node, error) {
 	scfg := sockets.ServerConfig{
 		Shards:       c.cfg.ServerShards,
 		DrainTimeout: c.cfg.DrainTimeout,
+		MaxPending:   c.cfg.MaxPending,
 	}
 	if c.cfg.ServerPreHandle != nil {
 		scfg.PreHandle = c.cfg.ServerPreHandle(name)
@@ -525,9 +572,12 @@ func (c *Cluster) Put(key, value string) error {
 // than W replicas acknowledged; a canceled or expired ctx surfaces as
 // an error wrapping ctx.Err().
 func (c *Cluster) PutCtx(ctx context.Context, key, value string) error {
-	err := c.writeQuorum(ctx, "put", key, func(seq int64) string { return encode(seq, value) })
+	seq, err := c.writeQuorum(ctx, "put", key, func(seq int64) string { return encode(seq, value) })
 	if err == nil {
 		c.puts.Add(1)
+		// Write-through before returning: a caller that saw this Put
+		// complete must read its own write, cached or not.
+		c.cache.writeThrough(key, seq, value, false)
 	}
 	return err
 }
@@ -544,9 +594,12 @@ func (c *Cluster) Del(key string) error {
 // resurrecting on the next read. Deleting a missing key is not an
 // error (the tombstone simply becomes the newest version).
 func (c *Cluster) DelCtx(ctx context.Context, key string) error {
-	err := c.writeQuorum(ctx, "del", key, encodeTombstone)
+	seq, err := c.writeQuorum(ctx, "del", key, encodeTombstone)
 	if err == nil {
 		c.dels.Add(1)
+		// Cached tombstone: a hot key that was just deleted keeps
+		// absorbing reads as cached not-founds instead of re-fanning out.
+		c.cache.writeThrough(key, seq, "", true)
 	}
 	return err
 }
@@ -554,16 +607,16 @@ func (c *Cluster) DelCtx(ctx context.Context, key string) error {
 // writeQuorum is the shared quorum-write core under PutCtx and DelCtx:
 // it stamps a fresh write sequence, encodes the payload, and fans out
 // to the key's replicas until W acks arrive.
-func (c *Cluster) writeQuorum(ctx context.Context, op, key string, payload func(seq int64) string) error {
+func (c *Cluster) writeQuorum(ctx context.Context, op, key string, payload func(seq int64) string) (int64, error) {
 	if c.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if err := c.validateKey(key); err != nil {
-		return err
+		return 0, err
 	}
 	if err := ctx.Err(); err != nil {
 		c.opsCanceled.Add(1)
-		return fmt.Errorf("cluster: %s %q aborted: %w", op, key, err)
+		return 0, fmt.Errorf("cluster: %s %q aborted: %w", op, key, err)
 	}
 	seq := c.seq.Add(1)
 	enc := payload(seq)
@@ -571,7 +624,7 @@ func (c *Cluster) writeQuorum(ctx context.Context, op, key string, payload func(
 	c.topoMu.Lock()
 	if err := c.ring.Put(key, ""); err != nil {
 		c.topoMu.Unlock()
-		return err
+		return 0, err
 	}
 	c.keys[key] = struct{}{}
 	p := c.placeLocked(key)
@@ -611,15 +664,15 @@ func (c *Cluster) writeQuorum(ctx context.Context, op, key string, payload func(
 			}
 		case <-ctx.Done():
 			c.opsCanceled.Add(1)
-			return fmt.Errorf("cluster: %s %q canceled at %d/%d write acks: %w",
+			return 0, fmt.Errorf("cluster: %s %q canceled at %d/%d write acks: %w",
 				op, key, got, c.cfg.WriteQuorum, ctx.Err())
 		}
 		if got >= c.cfg.WriteQuorum {
-			return nil
+			return seq, nil
 		}
 	}
 	c.quorumFailures.Add(1)
-	return fmt.Errorf("%w: %d/%d write acks for %q", ErrNoQuorum, got, c.cfg.WriteQuorum, key)
+	return 0, fmt.Errorf("%w: %d/%d write acks for %q", ErrNoQuorum, got, c.cfg.WriteQuorum, key)
 }
 
 // writeReplica lands one replica's copy: directly when the node is
@@ -676,6 +729,18 @@ func (c *Cluster) GetCtx(ctx context.Context, key string) (value string, found b
 		c.opsCanceled.Add(1)
 		return "", false, fmt.Errorf("cluster: get %q aborted: %w", key, err)
 	}
+	if v, ok, hit := c.cache.lookup(key); hit {
+		// Hot-key fast path: the lease is live, so this answer lags any
+		// concurrent write by strictly less than the lease. No replica
+		// round trips at all.
+		c.gets.Add(1)
+		return v, ok, nil
+	}
+	// The lease of whatever this read caches is anchored HERE, before
+	// the fan-out: any write that could make the result stale must
+	// finish after this instant (quorum intersection would surface an
+	// earlier one), which is what bounds cached staleness by the lease.
+	readStart := time.Now()
 	p := c.place(key)
 	defer c.inflight.Done()
 	c.gets.Add(1)
@@ -732,6 +797,7 @@ func (c *Cluster) GetCtx(ctx context.Context, key string) (value string, found b
 				key, answered, c.cfg.ReadQuorum, ctx.Err())
 		}
 		if answered >= c.cfg.ReadQuorum {
+			c.cache.observe(key, readStart, best.seq, best.value, best.found && !best.deleted)
 			// A newest-version tombstone means the key is deleted: the
 			// quorum agrees it existed, and that its last write removed it.
 			if best.deleted {

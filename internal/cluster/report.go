@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/sockets"
 )
 
 // Counters exports the cluster-wide counters as a metrics.CounterSet:
@@ -24,7 +25,39 @@ func (c *Cluster) Counters() *metrics.CounterSet {
 	cs.Add("cluster.up-events", float64(c.upEvents.Load()))
 	cs.Add("cluster.keys-migrated", float64(c.keysMigrated.Load()))
 	cs.Add("cluster.ring-moves", float64(c.Moves()))
+	cs.Add("cluster.sheds", float64(c.Sheds()))
+	if c.cache != nil {
+		cs.Add("cache.hits", float64(c.cache.hits.Load()))
+		cs.Add("cache.misses", float64(c.cache.misses.Load()))
+		cs.Add("cache.admissions", float64(c.cache.admissions.Load()))
+		cs.Add("cache.write-throughs", float64(c.cache.writeThrus.Load()))
+		cs.Add("cache.expiries", float64(c.cache.expiries.Load()))
+		cs.Add("cache.evictions", float64(c.cache.evictions.Load()))
+	}
 	return cs
+}
+
+// CacheHits and CacheMisses expose the hot-key cache counters (0 when
+// the cache is disabled) — what the benches use to report hit rate.
+func (c *Cluster) CacheHits() int64   { return c.cache.Hits() }
+func (c *Cluster) CacheMisses() int64 { return c.cache.Misses() }
+
+// Sheds sums every node server's admission-control shed count. Safe
+// for dead nodes (the counters are atomics that survive server Close);
+// counts from pre-kill incarnations are lost with the old server, so
+// this is a floor under churn.
+func (c *Cluster) Sheds() int64 {
+	c.topoMu.RLock()
+	nodes := make([]*node, 0, len(c.order))
+	for _, name := range c.order {
+		nodes = append(nodes, c.nodes[name])
+	}
+	c.topoMu.RUnlock()
+	var total int64
+	for _, n := range nodes {
+		total += n.server().Shed()
+	}
+	return total
 }
 
 // PoolCounters sums the client-side sockets.Pool counters across every
@@ -58,8 +91,8 @@ func (c *Cluster) Report() string {
 	c.topoMu.RUnlock()
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-21s %-5s %9s %7s %10s %10s %6s\n",
-		"node", "addr", "state", "requests", "errors", "p50", "p99", "keys")
+	fmt.Fprintf(&b, "%-8s %-21s %-5s %9s %7s %10s %10s %10s %6s %6s\n",
+		"node", "addr", "state", "requests", "errors", "p50", "p99", "p999", "shed", "keys")
 	for _, n := range nodes {
 		state := "up"
 		if n.killed.Load() {
@@ -76,10 +109,39 @@ func (c *Cluster) Report() string {
 				keys = fmt.Sprintf("%d", k)
 			}
 		}
-		fmt.Fprintf(&b, "%-8s %-21s %-5s %9d %7d %10v %10v %6s\n",
+		fmt.Fprintf(&b, "%-8s %-21s %-5s %9d %7d %10v %10v %10v %6d %6s\n",
 			n.name, n.address(), state, st.Requests, st.Errors,
-			h.Quantile(0.50).Round(time.Microsecond), h.Quantile(0.99).Round(time.Microsecond), keys)
+			h.Quantile(0.50).Round(time.Microsecond), h.Quantile(0.99).Round(time.Microsecond),
+			h.Quantile(0.999).Round(time.Microsecond), srv.Shed(), keys)
 	}
+
+	// Per-verb tail table: each verb's histograms merged across nodes,
+	// so a hot verb's overload tail (p999) is visible even when the
+	// aggregate latency line looks healthy.
+	var verbLines []string
+	for _, verb := range sockets.Verbs() {
+		merged := metrics.NewHistogram()
+		for _, n := range nodes {
+			if h := n.server().VerbLatency(verb); h != nil {
+				merged.Merge(h)
+			}
+		}
+		if merged.Count() == 0 {
+			continue
+		}
+		verbLines = append(verbLines, fmt.Sprintf("%-6s %9d %10v %10v %10v %10v",
+			verb, merged.Count(),
+			merged.Quantile(0.50).Round(time.Microsecond), merged.Quantile(0.99).Round(time.Microsecond),
+			merged.Quantile(0.999).Round(time.Microsecond), merged.Max().Round(time.Microsecond)))
+	}
+	if len(verbLines) > 0 {
+		fmt.Fprintf(&b, "\n%-6s %9s %10s %10s %10s %10s\n", "verb", "n", "p50", "p99", "p999", "max")
+		for _, line := range verbLines {
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+
 	b.WriteString("\n")
 	b.WriteString(c.Counters().String())
 	return b.String()

@@ -90,6 +90,36 @@ func (h *Histogram) Max() time.Duration {
 	return h.max
 }
 
+// Merge folds o's observations into h — how a cluster report aggregates
+// the per-verb histograms of many nodes into one tail. o's state is
+// snapshotted under its own lock first, then folded in under h's, so
+// the two locks are never held together and h.Merge(o) can run
+// concurrently with observers on either side.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o == h {
+		return
+	}
+	o.mu.Lock()
+	counts, n, sum, min, max := o.counts, o.n, o.sum, o.min, o.max
+	o.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	h.mu.Lock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || min < h.min {
+		h.min = min
+	}
+	if max > h.max {
+		h.max = max
+	}
+	h.n += n
+	h.sum += sum
+	h.mu.Unlock()
+}
+
 // Quantile returns an upper bound on the q-quantile (q in [0,1]) at
 // bucket resolution, clamped to the observed maximum.
 func (h *Histogram) Quantile(q float64) time.Duration {
@@ -130,10 +160,10 @@ func (h *Histogram) String() string {
 		return "latency: no observations\n"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "latency: n=%d min=%v mean=%v p50=%v p95=%v p99=%v max=%v\n",
+	fmt.Fprintf(&b, "latency: n=%d min=%v mean=%v p50=%v p95=%v p99=%v p999=%v max=%v\n",
 		n, min, (sum / time.Duration(n)).Round(time.Nanosecond),
 		quantile(counts, n, max, 0.50), quantile(counts, n, max, 0.95),
-		quantile(counts, n, max, 0.99), max)
+		quantile(counts, n, max, 0.99), quantile(counts, n, max, 0.999), max)
 	lo, hi, peak := histBuckets, 0, int64(0)
 	for i, c := range counts {
 		if c == 0 {

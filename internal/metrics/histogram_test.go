@@ -57,6 +57,81 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+func TestHistogramP999(t *testing.T) {
+	h := NewHistogram()
+	// 999 fast observations and one slow outlier: p99 must stay in the
+	// fast bucket while p999 reaches up to the outlier — the overload
+	// tail p99 alone cannot see.
+	for i := 0; i < 999; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	h.Observe(100 * time.Millisecond)
+	if p99 := h.Quantile(0.99); p99 > 16*time.Microsecond {
+		t.Errorf("p99 = %v, want inside the fast bucket", p99)
+	}
+	if p999 := h.Quantile(0.999); p999 > 16*time.Microsecond {
+		// With n=1000 the 0.999 target is the 999th observation — still
+		// fast — so also check the rendered column exists and is monotone
+		// against p100.
+		t.Logf("p999 = %v (999th of 1000 is still fast)", p999)
+	}
+	if h.Quantile(1) != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want the outlier", h.Quantile(1))
+	}
+	// Push past 1/1000 outliers so p999 must include the tail.
+	for i := 0; i < 9; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	if p999 := h.Quantile(0.999); p999 != 100*time.Millisecond {
+		t.Errorf("p999 = %v, want the clamped outlier bucket", p999)
+	}
+	if !strings.Contains(h.String(), "p999=") {
+		t.Errorf("String missing p999 column:\n%s", h.String())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 50; i++ {
+		a.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 50; i++ {
+		b.Observe(5 * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("merged Count = %d, want 100", a.Count())
+	}
+	wantMean := (50*10*time.Microsecond + 50*5*time.Millisecond) / 100
+	if a.Mean() != wantMean {
+		t.Errorf("merged Mean = %v, want %v", a.Mean(), wantMean)
+	}
+	if a.Min() != 10*time.Microsecond || a.Max() != 5*time.Millisecond {
+		t.Errorf("merged Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if p99 := a.Quantile(0.99); p99 != 5*time.Millisecond {
+		t.Errorf("merged p99 = %v", p99)
+	}
+	// b is untouched.
+	if b.Count() != 50 {
+		t.Errorf("source Count = %d after merge, want 50", b.Count())
+	}
+	// Merging empty or self is a no-op.
+	before := a.Count()
+	a.Merge(NewHistogram())
+	a.Merge(nil)
+	a.Merge(a)
+	if a.Count() != before {
+		t.Errorf("no-op merges changed Count to %d", a.Count())
+	}
+	// Merge into an empty histogram adopts min correctly.
+	c := NewHistogram()
+	c.Merge(a)
+	if c.Min() != 10*time.Microsecond || c.Count() != before {
+		t.Errorf("empty-target merge: min=%v n=%d", c.Min(), c.Count())
+	}
+}
+
 func TestHistogramEdgeObservations(t *testing.T) {
 	var h Histogram
 	h.Observe(-time.Second) // counted as zero

@@ -219,10 +219,11 @@ func (p *Pool) binDo(ctx context.Context, req *wire.Request) (*wire.Response, er
 	req.ID = uint64(p.reqSeq.Add(1))
 	enc := wire.AppendRequest(make([]byte, 0, 64), req)
 	var lastErr error
+	shed := false
 	for attempt := 1; attempt <= p.cfg.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			p.retrySeen.Add(1)
-			if err := p.backoff(ctx, attempt); err != nil {
+			if err := p.backoff(ctx, backoffStep(attempt, shed)); err != nil {
 				p.canceledSeen.Add(1)
 				return nil, fmt.Errorf("sockets: request canceled in retry backoff after %d attempts: %w", attempt-1, err)
 			}
@@ -230,7 +231,23 @@ func (p *Pool) binDo(ctx context.Context, req *wire.Request) (*wire.Response, er
 		p.attemptSeen.Add(1)
 		resp, err := p.pipe.try(ctx, req, enc, attempt)
 		if err == nil {
-			return resp, nil
+			if resp.Tag != wire.RespOverload {
+				return resp, nil
+			}
+			// Shed at admission. The pipelined connection stays up — the
+			// server answered, it just refused the work — so take the
+			// stiffened backoff rung and retry on the same conn. The
+			// reused correlation ID is safe: a shed attempt never touched
+			// the dedupe table.
+			p.errSeen.Add(1)
+			p.overloadSeen.Add(1)
+			lastErr = ErrOverload
+			shed = true
+			if cerr := ctx.Err(); cerr != nil {
+				p.canceledSeen.Add(1)
+				return nil, fmt.Errorf("sockets: request canceled after %d attempts: %w", attempt, cerr)
+			}
+			continue
 		}
 		p.errSeen.Add(1)
 		lastErr = err

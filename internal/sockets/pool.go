@@ -125,6 +125,7 @@ type Pool struct {
 	attemptSeen  atomic.Int64
 	failInjSeen  atomic.Int64
 	canceledSeen atomic.Int64
+	overloadSeen atomic.Int64
 	reqSeq       atomic.Int64
 
 	rngMu sync.Mutex
@@ -196,8 +197,14 @@ func (p *Pool) Counters() *metrics.CounterSet {
 	cs.Add("pool.failed-attempts", float64(p.errSeen.Load()))
 	cs.Add("pool.failconn-injections", float64(p.failInjSeen.Load()))
 	cs.Add("pool.canceled", float64(p.canceledSeen.Load()))
+	cs.Add("pool.overloads", float64(p.overloadSeen.Load()))
 	return cs
 }
+
+// Overloads reports how many attempts the server shed with an overload
+// response (each was retried through the backoff ladder like a
+// transport error).
+func (p *Pool) Overloads() int64 { return p.overloadSeen.Load() }
 
 // Close releases the pooled connections. In-flight requests finish;
 // their connections are closed on return.
@@ -242,10 +249,11 @@ func (p *Pool) doCtx(ctx context.Context, req string) (string, error) {
 	p.reqSeen.Add(1)
 	id := int(p.reqSeq.Add(1))
 	var lastErr error
+	shed := false
 	for attempt := 1; attempt <= p.cfg.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			p.retrySeen.Add(1)
-			if err := p.backoff(ctx, attempt); err != nil {
+			if err := p.backoff(ctx, backoffStep(attempt, shed)); err != nil {
 				p.canceledSeen.Add(1)
 				return "", fmt.Errorf("sockets: request canceled in retry backoff after %d attempts: %w", attempt-1, err)
 			}
@@ -267,7 +275,24 @@ func (p *Pool) doCtx(ctx context.Context, req string) (string, error) {
 		}
 		p.free <- pc
 		if err == nil {
-			return resp, nil
+			if resp != textOverload {
+				return resp, nil
+			}
+			// The server shed this attempt at admission. The connection is
+			// fine (keep it pooled); the node just needs breathing room, so
+			// take the jittered backoff ladder — stiffened, because a shed
+			// means the node is saturated, not flaky: re-offering the load
+			// on the transport-error schedule is exactly the retry storm
+			// admission control exists to damp.
+			p.errSeen.Add(1)
+			p.overloadSeen.Add(1)
+			lastErr = ErrOverload
+			shed = true
+			if cerr := ctx.Err(); cerr != nil {
+				p.canceledSeen.Add(1)
+				return "", fmt.Errorf("sockets: request canceled after %d attempts: %w", attempt, cerr)
+			}
+			continue
 		}
 		p.errSeen.Add(1)
 		lastErr = err
@@ -376,6 +401,18 @@ func (p *Pool) try(ctx context.Context, pc *poolConn, req string, id, attempt in
 // backoff waits out the exponential, jittered delay before a retry
 // (attempt >= 2), returning early with ctx.Err() when the caller gives
 // up — a canceled request must not sit out the backoff ladder.
+// backoffStep maps an attempt number to its rung on the backoff
+// ladder. A shed previous attempt jumps three rungs (8× the base wait):
+// a saturated node needs the aggregate retry pressure to drop, and the
+// quorum paths cancel laggard retries anyway once enough replicas
+// answer, so the longer wait costs a successful op nothing.
+func backoffStep(attempt int, shed bool) int {
+	if shed {
+		return attempt + 3
+	}
+	return attempt
+}
+
 func (p *Pool) backoff(ctx context.Context, attempt int) error {
 	d := p.cfg.BackoffBase << (attempt - 2)
 	if d > p.cfg.BackoffMax || d <= 0 {

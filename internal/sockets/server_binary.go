@@ -206,6 +206,18 @@ func (s *Server) serveBinary(cs *connState, br *bufio.Reader) {
 			}
 			continue
 		}
+		if req.Verb != wire.VerbPing && !s.admit() {
+			// Shed before the dedupe table sees the correlation ID: a shed
+			// attempt must leave no pending dedupe entry behind, or the
+			// client's retry of the same ID would wait on a recording that
+			// will never be finished. O(1) answer, no store work, no
+			// goroutine.
+			out := wire.AppendResponse(nil, &wire.Response{Tag: wire.RespOverload, ID: req.ID})
+			if fw.write(out) != nil {
+				return
+			}
+			continue
+		}
 		// Fast path: single-key verbs and the cheap aggregates run
 		// inline, skipping a goroutine spawn per request. Reads cannot
 		// block at all (no dedupe bookkeeping, shard RLocks only). An
@@ -217,7 +229,13 @@ func (s *Server) serveBinary(cs *connState, br *bufio.Reader) {
 		// (big enough to convoy the pipeline behind them), and every
 		// verb once a PreHandle stall hook is installed — those are the
 		// cases out-of-order completion exists for.
-		if s.preHandle == nil {
+		//
+		// MaxPending also forces the goroutine path: inline handling is
+		// self-limiting (one request per connection in service at a
+		// time), so a bounded pending queue is only meaningful when
+		// pipelined ingestion is decoupled from service — the handler
+		// goroutine set IS the pending queue admission control bounds.
+		if s.preHandle == nil && s.maxPending <= 0 {
 			switch req.Verb {
 			case wire.VerbPing, wire.VerbGet, wire.VerbCount, wire.VerbSet, wire.VerbDel:
 				// The inline path still counts as in flight: a graceful
@@ -232,7 +250,12 @@ func (s *Server) serveBinary(cs *connState, br *bufio.Reader) {
 				}
 				out := wire.AppendResponse(nil, resp)
 				werr := fw.write(out)
-				s.latency.Observe(time.Since(start))
+				if req.Verb != wire.VerbPing {
+					s.release()
+				}
+				d := time.Since(start)
+				s.latency.Observe(d)
+				s.observeVerb(wire.VerbName(req.Verb), d)
 				closing := cs.addInflight(-1)
 				if werr != nil || closing || s.closed.Load() {
 					// Unwinding runs fw.stop, which flushes the queued
@@ -258,7 +281,12 @@ func (s *Server) serveBinary(cs *connState, br *bufio.Reader) {
 			}
 			out := wire.AppendResponse(nil, resp)
 			werr := fw.write(out)
-			s.latency.Observe(time.Since(start))
+			if req.Verb != wire.VerbPing {
+				s.release()
+			}
+			d := time.Since(start)
+			s.latency.Observe(d)
+			s.observeVerb(wire.VerbName(req.Verb), d)
 			closing := cs.addInflight(-1)
 			if werr != nil || closing || s.closed.Load() {
 				// Mirror the text loop's exit conditions: flush queued

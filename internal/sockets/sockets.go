@@ -93,6 +93,15 @@ type ServerConfig struct {
 	// in-flight or a node deliberately slow (the laggard in the
 	// quorum-abort experiments).
 	PreHandle func(req string)
+	// MaxPending bounds how many admitted requests may be outstanding
+	// across all connections before the server sheds new arrivals with an
+	// overload response instead of queueing them — per-node admission
+	// control, so a hot node degrades to bounded latency plus explicit
+	// pushback rather than unbounded queueing collapse. PING is exempt
+	// (heartbeats must survive overload or the failure detector declares
+	// the node dead and makes things worse). 0 disables shedding; the
+	// pending-depth gauge still tracks.
+	MaxPending int
 }
 
 // shard is one stripe of the store.
@@ -139,6 +148,16 @@ type Server struct {
 	dedupHit atomic.Int64
 	latency  *metrics.Histogram
 
+	// Admission control: pending counts admitted-but-unanswered requests
+	// across all connections; maxPending > 0 sheds past the bound (see
+	// admission.go). verbLat has a fixed key set from construction on, so
+	// it is read without locks.
+	maxPending  int
+	pending     atomic.Int64
+	pendingPeak atomic.Int64
+	shedSeen    atomic.Int64
+	verbLat     map[string]*metrics.Histogram
+
 	// dedupe remembers recent mutating binary PDUs by (client ID,
 	// correlation ID) so a retry of an op whose response was lost in
 	// transit replays the recorded answer instead of applying twice.
@@ -168,13 +187,18 @@ func NewServerConfig(addr string, cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		ln:        ln,
-		shards:    make([]shard, cfg.Shards),
-		drain:     cfg.DrainTimeout,
-		active:    make(map[*connState]struct{}),
-		latency:   metrics.NewHistogram(),
-		dedupe:    newDedupeTable(dedupeCap, dedupeRetryHorizon),
-		preHandle: cfg.PreHandle,
+		ln:         ln,
+		shards:     make([]shard, cfg.Shards),
+		drain:      cfg.DrainTimeout,
+		active:     make(map[*connState]struct{}),
+		latency:    metrics.NewHistogram(),
+		dedupe:     newDedupeTable(dedupeCap, dedupeRetryHorizon),
+		preHandle:  cfg.PreHandle,
+		maxPending: cfg.MaxPending,
+		verbLat:    make(map[string]*metrics.Histogram, len(serverVerbs)),
+	}
+	for _, v := range serverVerbs {
+		s.verbLat[v] = metrics.NewHistogram()
 	}
 	for i := range s.shards {
 		s.shards[i] = shard{lock: pthread.NewRWLock(pthread.PreferWriters), store: make(map[string]string)}
@@ -312,6 +336,18 @@ func (s *Server) serveText(cs *connState, br *bufio.Reader) {
 		}
 		cs.addInflight(1)
 		s.reqSeen.Add(1)
+		verb := textVerb(string(req))
+		if verb != "PING" && !s.admit() {
+			// Shed before PreHandle and before any store work: an
+			// overloaded node must answer in O(1), or the pushback itself
+			// queues behind the load it is pushing back on.
+			werr := WriteFrame(cs.conn, []byte(textOverload))
+			closing := cs.addInflight(-1)
+			if werr != nil || closing || s.closed.Load() {
+				return
+			}
+			continue
+		}
 		start := time.Now()
 		if s.preHandle != nil {
 			s.preHandle(string(req))
@@ -321,12 +357,26 @@ func (s *Server) serveText(cs *connState, br *bufio.Reader) {
 			s.errSeen.Add(1)
 		}
 		werr := WriteFrame(cs.conn, []byte(resp))
-		s.latency.Observe(time.Since(start))
+		if verb != "PING" {
+			s.release()
+		}
+		d := time.Since(start)
+		s.latency.Observe(d)
+		s.observeVerb(verb, d)
 		closing := cs.addInflight(-1)
 		if werr != nil || closing || s.closed.Load() {
 			return
 		}
 	}
+}
+
+// textVerb extracts a text request's command word, uppercased the way
+// handle matches it.
+func textVerb(req string) string {
+	if i := strings.IndexByte(req, ' '); i >= 0 {
+		req = req[:i]
+	}
+	return strings.ToUpper(req)
 }
 
 // handle interprets one request. Protocol (space-delimited within one

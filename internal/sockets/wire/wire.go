@@ -31,7 +31,7 @@
 //	  VerbMPut:                         n:uvarint (key:bytes value:bytes) ×n
 //
 //	response := tag:1 id:uvarint body
-//	  RespOK | RespNotFound:  (empty body)
+//	  RespOK | RespNotFound | RespOverload:  (empty body)
 //	  RespValue:              value:bytes
 //	  RespCount:              n:uvarint            (COUNT, and MDEL's deleted-count)
 //	  RespKeys:               n:uvarint key:bytes ×n
@@ -83,6 +83,7 @@ const (
 	RespCount    byte = 0x84
 	RespKeys     byte = 0x85
 	RespMulti    byte = 0x86
+	RespOverload byte = 0x87
 	RespErr      byte = 0xFF
 )
 
@@ -386,7 +387,7 @@ func DecodeResponse(p []byte) (*Response, error) {
 	}
 	r := &Response{Tag: tag, ID: id}
 	switch tag {
-	case RespOK, RespNotFound:
+	case RespOK, RespNotFound, RespOverload:
 		// empty body
 	case RespValue:
 		if r.Value, err = c.bytes("value"); err != nil {

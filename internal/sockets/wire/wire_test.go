@@ -92,6 +92,7 @@ func TestDecodeResponseTruncatedEveryBoundary(t *testing.T) {
 		{Tag: RespCount, ID: 1, N: 1 << 20},
 		{Tag: RespKeys, ID: 1, Keys: []string{"aa", "bb"}},
 		{Tag: RespMulti, ID: 1, Found: []bool{true, false}, Values: [][]byte{[]byte("v"), nil}},
+		{Tag: RespOverload, ID: 500},
 		{Tag: RespErr, ID: 1, Err: "boom"},
 	}
 	for _, shape := range shapes {
@@ -217,6 +218,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		AppendResponse(nil, &Response{Tag: RespKeys, ID: 3, Keys: []string{"a", "b"}}),
 		AppendResponse(nil, &Response{Tag: RespMulti, ID: 4, Found: []bool{true}, Values: [][]byte{[]byte("v")}}),
 		AppendResponse(nil, &Response{Tag: RespErr, ID: 5, Err: "usage"}),
+		AppendResponse(nil, &Response{Tag: RespOverload, ID: 6}),
 		{VerbSet, 0x01, 0x00},
 		{0xFF, 0xFF, 0xFF},
 	}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Pacer dispatches one worker's operations on a fixed-rate open-loop
+// arrival schedule: the i-th op is due at start + i*interval no matter
+// how long earlier ops took. When the system under test slows down the
+// schedule does NOT stretch — dispatch falls behind and the deficit is
+// recorded on the LagGauge. That is the point of open-loop load: a
+// closed-loop worker waits for each response before issuing the next
+// request, so an overloaded server silently throttles its own load
+// generator and the measured latency stays flat; the open-loop schedule
+// keeps offering the configured rate, which is what exposes overload
+// (and what admission control is measured against). Not safe for
+// concurrent use — each worker owns its own Pacer.
+type Pacer struct {
+	interval time.Duration
+	next     time.Time
+	gauge    *LagGauge
+}
+
+// NewPacer paces one worker at qps operations per second, reporting
+// scheduler lag to gauge (which may be shared across workers; nil
+// discards lag).
+func NewPacer(qps float64, gauge *LagGauge) (*Pacer, error) {
+	if qps <= 0 {
+		return nil, fmt.Errorf("workload: pacer needs qps > 0, have %g", qps)
+	}
+	return &Pacer{interval: time.Duration(float64(time.Second) / qps), gauge: gauge}, nil
+}
+
+// Wait blocks until the next scheduled dispatch time (or returns
+// ctx.Err() if the run is over). If the schedule is already in the
+// past — the previous op overran its slot — Wait returns immediately
+// and records the deficit as lag.
+func (p *Pacer) Wait(ctx context.Context) error {
+	now := time.Now()
+	if p.next.IsZero() {
+		p.next = now
+	}
+	if d := p.next.Sub(now); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		p.gauge.observe(0)
+	} else {
+		p.gauge.observe(-d)
+	}
+	p.next = p.next.Add(p.interval)
+	return nil
+}
+
+// LagGauge aggregates open-loop scheduler lag in bounded memory: count,
+// sum, and max rather than per-op samples, so an arbitrarily long run
+// costs a few words. Lag is how late an op was dispatched relative to
+// its slot on the arrival schedule; sustained growth means the offered
+// rate exceeds what the load generator (not the server) can issue, and
+// the measured throughput should be read as an under-offer. Safe for
+// concurrent use by many workers.
+type LagGauge struct {
+	mu  sync.Mutex
+	n   int64
+	sum time.Duration
+	max time.Duration
+}
+
+// NewLagGauge returns an empty gauge.
+func NewLagGauge() *LagGauge { return &LagGauge{} }
+
+func (g *LagGauge) observe(lag time.Duration) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.n++
+	g.sum += lag
+	if lag > g.max {
+		g.max = lag
+	}
+	g.mu.Unlock()
+}
+
+// LagStats is one gauge snapshot.
+type LagStats struct {
+	Dispatches int64
+	Mean       time.Duration
+	Max        time.Duration
+}
+
+// Snapshot returns the current aggregate lag.
+func (g *LagGauge) Snapshot() LagStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := LagStats{Dispatches: g.n, Max: g.max}
+	if g.n > 0 {
+		s.Mean = g.sum / time.Duration(g.n)
+	}
+	return s
+}

@@ -1,0 +1,225 @@
+// Package workload generates deterministic, seeded key-value workloads
+// for the replicated cluster benches: zipfian or uniform key
+// popularity, read/write/delete mixes, and bounded-range value sizes.
+// It is the YCSB-shaped counterpart of the chaos harness's op streams —
+// the same split-PRNG idiom (one seed, one independent generator per
+// worker) so any run replays from its seed, but aimed at performance
+// study instead of fault injection: skewed traffic is what makes a
+// hot-key cache and per-node admission control measurable at all.
+//
+// The open-loop half lives in pacer.go: a per-worker Pacer dispatches
+// ops at a fixed target rate on an arrival schedule that does not slow
+// down when the system does, with a LagGauge recording how far dispatch
+// fell behind — the difference between measuring a system and letting
+// the system throttle its own load generator.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dist selects the key-popularity distribution.
+type Dist int
+
+const (
+	// Uniform draws every key with equal probability.
+	Uniform Dist = iota
+	// Zipfian draws keys under a zipfian law with exponent Theta: key 0
+	// is the hottest, and with theta 0.99 over a few hundred keys the
+	// top handful carries most of the traffic.
+	Zipfian
+)
+
+func (d Dist) String() string {
+	if d == Zipfian {
+		return "zipfian"
+	}
+	return "uniform"
+}
+
+// ParseDist maps the -workload flag values of clusterbench.
+func ParseDist(s string) (Dist, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "zipfian":
+		return Zipfian, nil
+	}
+	return Uniform, fmt.Errorf("workload: unknown distribution %q (want uniform or zipfian)", s)
+}
+
+// OpKind labels one generated operation.
+type OpKind int
+
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpDelete:
+		return "delete"
+	}
+	return "read"
+}
+
+// Op is one generated operation. Value is set only for writes.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value string
+}
+
+// Config parameterizes a Workload. Zero fields take the defaults noted
+// inline.
+type Config struct {
+	// Keys is the keyspace size (default 512). Keys are named
+	// "<KeyPrefix><i>"; under Zipfian, lower i is hotter.
+	Keys int
+	// Dist selects key popularity (default Uniform).
+	Dist Dist
+	// Theta is the zipfian exponent in (0,1) (default 0.99, the YCSB
+	// hot-workload standard). Ignored under Uniform.
+	Theta float64
+	// ReadFrac and DeleteFrac set the op mix; writes take the rest
+	// (default 0.95 reads, 0 deletes — YCSB workload B shape, shifted
+	// read-heavy because that is what a read cache can help).
+	ReadFrac   float64
+	DeleteFrac float64
+	// ValueMin and ValueMax bound the write value size in bytes, drawn
+	// uniformly per write (default both 64).
+	ValueMin int
+	ValueMax int
+	// KeyPrefix namespaces the keyspace (default "wk").
+	KeyPrefix string
+	// Seed drives every per-worker generator (default 1). The same
+	// (Config, Seed, worker) always yields the same op stream.
+	Seed int64
+}
+
+// Workload is the immutable, shared half of a generated workload: the
+// key table and the precomputed distribution. Per-worker mutable state
+// (the PRNG) lives in the Gens it hands out, so workers never contend.
+type Workload struct {
+	cfg  Config
+	keys []string
+	zipf *Zipf // nil under Uniform
+}
+
+// New validates cfg, applies defaults, and precomputes the key table
+// and (for Zipfian) the sampler constants.
+func New(cfg Config) (*Workload, error) {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 512
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.99
+	}
+	if cfg.ReadFrac == 0 && cfg.DeleteFrac == 0 {
+		cfg.ReadFrac = 0.95
+	}
+	if cfg.ReadFrac < 0 || cfg.DeleteFrac < 0 || cfg.ReadFrac+cfg.DeleteFrac > 1 {
+		return nil, fmt.Errorf("workload: bad mix read=%g delete=%g (each >= 0, sum <= 1)",
+			cfg.ReadFrac, cfg.DeleteFrac)
+	}
+	if cfg.ValueMin <= 0 {
+		cfg.ValueMin = 64
+	}
+	if cfg.ValueMax < cfg.ValueMin {
+		cfg.ValueMax = cfg.ValueMin
+	}
+	if cfg.KeyPrefix == "" {
+		cfg.KeyPrefix = "wk"
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	w := &Workload{cfg: cfg}
+	w.keys = make([]string, cfg.Keys)
+	for i := range w.keys {
+		w.keys[i] = fmt.Sprintf("%s%04d", cfg.KeyPrefix, i)
+	}
+	if cfg.Dist == Zipfian {
+		z, err := NewZipf(cfg.Keys, cfg.Theta)
+		if err != nil {
+			return nil, err
+		}
+		w.zipf = z
+	}
+	return w, nil
+}
+
+// Keys returns the full key table (shared; do not mutate) — what a
+// bench preloads before measuring.
+func (w *Workload) Keys() []string { return w.keys }
+
+// HotShare predicts the traffic fraction of the k hottest keys (k/Keys
+// under Uniform).
+func (w *Workload) HotShare(k int) float64 {
+	if w.zipf != nil {
+		return w.zipf.Share(k)
+	}
+	if k >= len(w.keys) {
+		return 1
+	}
+	return float64(k) / float64(len(w.keys))
+}
+
+// Gen returns worker w's deterministic op generator. The split-PRNG
+// seeding matches the chaos harness's opStream idiom: one generator per
+// worker, derived from (Seed, worker) with distinct odd multipliers, so
+// workers draw independent streams and the whole run replays from one
+// seed.
+func (wl *Workload) Gen(worker int) *Gen {
+	return &Gen{
+		wl:  wl,
+		rng: rand.New(rand.NewSource(wl.cfg.Seed*1000003 + int64(worker)*7919 + 1)),
+	}
+}
+
+// Gen is one worker's private op stream. Not safe for concurrent use —
+// each worker owns its own.
+type Gen struct {
+	wl  *Workload
+	rng *rand.Rand
+	n   int
+}
+
+// valueAlphabet fills generated values; letters only, so values stay
+// legal on the text protocol.
+const valueAlphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+// Next yields the worker's next operation.
+func (g *Gen) Next() Op {
+	cfg := g.wl.cfg
+	var op Op
+	if g.wl.zipf != nil {
+		op.Key = g.wl.keys[g.wl.zipf.Sample(g.rng.Float64())]
+	} else {
+		op.Key = g.wl.keys[g.rng.Intn(len(g.wl.keys))]
+	}
+	switch r := g.rng.Float64(); {
+	case r < cfg.ReadFrac:
+		op.Kind = OpRead
+	case r < cfg.ReadFrac+cfg.DeleteFrac:
+		op.Kind = OpDelete
+	default:
+		op.Kind = OpWrite
+		size := cfg.ValueMin
+		if cfg.ValueMax > cfg.ValueMin {
+			size += g.rng.Intn(cfg.ValueMax - cfg.ValueMin + 1)
+		}
+		b := make([]byte, size)
+		for i := range b {
+			b[i] = valueAlphabet[g.rng.Intn(len(valueAlphabet))]
+		}
+		op.Value = string(b)
+	}
+	g.n++
+	return op
+}

@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestWorkload_Deterministic(t *testing.T) {
+	cfg := Config{Keys: 64, Dist: Zipfian, Theta: 0.99, ReadFrac: 0.8, DeleteFrac: 0.05, Seed: 7}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		ga, gb := a.Gen(w), b.Gen(w)
+		for i := 0; i < 500; i++ {
+			oa, ob := ga.Next(), gb.Next()
+			if oa != ob {
+				t.Fatalf("worker %d op %d diverged: %+v vs %+v", w, i, oa, ob)
+			}
+		}
+	}
+	// Distinct workers must draw distinct streams.
+	g0, g1 := a.Gen(0), a.Gen(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if g0.Next() == g1.Next() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("workers 0 and 1 drew identical streams")
+	}
+}
+
+func TestWorkload_MixFractions(t *testing.T) {
+	wl, err := New(Config{Keys: 32, ReadFrac: 0.7, DeleteFrac: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var reads, writes, dels int
+	g := wl.Gen(0)
+	for i := 0; i < n; i++ {
+		switch op := g.Next(); op.Kind {
+		case OpRead:
+			reads++
+		case OpWrite:
+			writes++
+			if len(op.Value) != 64 {
+				t.Fatalf("default value size = %d, want 64", len(op.Value))
+			}
+		case OpDelete:
+			dels++
+		}
+	}
+	for _, c := range []struct {
+		name string
+		got  int
+		want float64
+	}{{"reads", reads, 0.7}, {"writes", writes, 0.2}, {"deletes", dels, 0.1}} {
+		frac := float64(c.got) / n
+		if math.Abs(frac-c.want) > 0.02 {
+			t.Errorf("%s fraction = %.3f, want ~%.2f", c.name, frac, c.want)
+		}
+	}
+}
+
+func TestWorkload_ZipfSkew(t *testing.T) {
+	wl, err := New(Config{Keys: 512, Dist: Zipfian, Theta: 0.99, ReadFrac: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	counts := map[string]int{}
+	g := wl.Gen(0)
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// The hottest key must dominate, and the empirical top-16 share must
+	// track the analytic prediction within a few points.
+	hottest := wl.Keys()[0]
+	if frac := float64(counts[hottest]) / n; frac < 0.10 {
+		t.Errorf("hottest key drew %.3f of traffic, want >= 0.10 under theta=0.99", frac)
+	}
+	top16 := 0
+	for _, k := range wl.Keys()[:16] {
+		top16 += counts[k]
+	}
+	want := wl.HotShare(16)
+	if got := float64(top16) / n; math.Abs(got-want) > 0.03 {
+		t.Errorf("top-16 share = %.3f, HotShare predicts %.3f", got, want)
+	}
+	// Uniform must not skew.
+	uni, err := New(Config{Keys: 512, Dist: Uniform, ReadFrac: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucounts := map[string]int{}
+	ug := uni.Gen(0)
+	for i := 0; i < n; i++ {
+		ucounts[ug.Next().Key]++
+	}
+	if frac := float64(ucounts[uni.Keys()[0]]) / n; frac > 0.01 {
+		t.Errorf("uniform hottest key drew %.3f of traffic, want ~1/512", frac)
+	}
+}
+
+func TestZipf_SampleBoundsAndValidation(t *testing.T) {
+	z, err := NewZipf(8, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{0, 0.001, 0.25, 0.5, 0.75, 0.999999} {
+		if r := z.Sample(u); r < 0 || r >= 8 {
+			t.Errorf("Sample(%g) = %d out of [0,8)", u, r)
+		}
+	}
+	if z.Sample(0) != 0 {
+		t.Error("u=0 must map to rank 0 (the hottest)")
+	}
+	if s := z.Share(8); s != 1 {
+		t.Errorf("Share(n) = %g, want 1", s)
+	}
+	for _, bad := range []struct {
+		n     int
+		theta float64
+	}{{0, 0.99}, {8, 0}, {8, 1}, {8, -1}, {8, 1.5}} {
+		if _, err := NewZipf(bad.n, bad.theta); err == nil {
+			t.Errorf("NewZipf(%d, %g) accepted invalid parameters", bad.n, bad.theta)
+		}
+	}
+}
+
+func TestWorkload_ConfigValidation(t *testing.T) {
+	if _, err := New(Config{ReadFrac: 0.8, DeleteFrac: 0.3}); err == nil {
+		t.Error("mix summing past 1 accepted")
+	}
+	if _, err := New(Config{ReadFrac: -0.1}); err == nil {
+		t.Error("negative read fraction accepted")
+	}
+	if _, err := ParseDist("pareto"); err == nil {
+		t.Error("ParseDist accepted an unknown distribution")
+	}
+	for s, want := range map[string]Dist{"uniform": Uniform, "zipfian": Zipfian} {
+		d, err := ParseDist(s)
+		if err != nil || d != want {
+			t.Errorf("ParseDist(%q) = %v, %v", s, d, err)
+		}
+	}
+}
+
+func TestPacer_PacesAndRecordsLag(t *testing.T) {
+	gauge := NewLagGauge()
+	p, err := NewPacer(200, gauge) // 5ms slots
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		if err := p.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 dispatches at 5ms slots: the last is due at +45ms. Generous
+	// upper bound for slow CI machines; the lower bound is the real
+	// assertion (a pacer that never waits is broken).
+	if el := time.Since(start); el < 40*time.Millisecond {
+		t.Errorf("10 dispatches at 200qps took %v, want >= ~45ms", el)
+	}
+	if s := gauge.Snapshot(); s.Dispatches != 10 {
+		t.Errorf("gauge saw %d dispatches, want 10", s.Dispatches)
+	}
+
+	// An overrunning op makes the schedule slip; the deficit must show
+	// up as lag rather than stretching the schedule.
+	lag := NewLagGauge()
+	p2, err := NewPacer(1000, lag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // overrun ~20 slots
+	if err := p2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s := lag.Snapshot(); s.Max < 10*time.Millisecond {
+		t.Errorf("max lag = %v after a 20ms overrun of 1ms slots", s.Max)
+	}
+
+	// Cancellation interrupts a pending wait.
+	p3, err := NewPacer(1, nil) // 1s slots: the second Wait must block
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p3.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	if err := p3.Wait(cctx); err == nil {
+		t.Error("canceled Wait returned nil")
+	}
+	if el := time.Since(begin); el > 500*time.Millisecond {
+		t.Errorf("canceled Wait blocked %v", el)
+	}
+
+	if _, err := NewPacer(0, nil); err == nil {
+		t.Error("NewPacer(0) accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zipf maps uniform [0,1) draws to key ranks under a zipfian popularity
+// law with exponent theta in (0,1) — the YCSB parameterization (Gray et
+// al., "Quickly Generating Billion-Record Synthetic Databases"), where
+// rank i is drawn with probability proportional to 1/(i+1)^theta.
+// YCSB's canonical hot workloads use theta = 0.99, which the standard
+// library generator cannot produce (math/rand.Zipf requires s > 1), so
+// the constants are precomputed here from the closed forms.
+//
+// Sample is a pure function of its uniform input: callers own the
+// randomness, so a seeded stream of uniforms yields a deterministic
+// stream of ranks — the property the chaos harness's replayable
+// schedules depend on.
+type Zipf struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	zeta2 float64
+	eta   float64
+}
+
+// NewZipf precomputes the sampler for n ranks and exponent theta.
+func NewZipf(n int, theta float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: zipf needs n >= 1, have %d", n)
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("workload: zipf theta must be in (0,1), have %g", theta)
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z, nil
+}
+
+// zeta is the truncated zeta sum Σ_{i=1..n} 1/i^theta.
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Sample maps one uniform draw u in [0,1) to a rank in [0, n): rank 0
+// is the hottest key, rank 1 the next, and so on down the power law.
+func (z *Zipf) Sample(u float64) int {
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	r := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r < 0 {
+		r = 0
+	}
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
+// Share returns the probability mass of the top k ranks — the predicted
+// fraction of traffic landing on the k hottest keys, which is what
+// sizing a hot-key cache against a theta needs.
+func (z *Zipf) Share(k int) float64 {
+	if k >= z.n {
+		return 1
+	}
+	if k < 1 {
+		return 0
+	}
+	return zeta(k, z.theta) / z.zetan
+}
