@@ -70,6 +70,10 @@ func main() {
 	wkeys := flag.Int("wkeys", 512, "with -workload: keyspace size")
 	jsonPath := flag.String("json", "", "with -workload: append one JSON result line to this file")
 	label := flag.String("label", "", "with -json: cell label for the aggregator (default: derived from dist/proto/cache/mode)")
+	durable := flag.Bool("durable", false, "with -workload: give every node a write-ahead log (writes fsync before ack)")
+	walBench := flag.Bool("walbench", false, "run the WAL group-commit microbench instead of the benches")
+	walWriters := flag.Int("walwriters", 64, "with -walbench: concurrent append writers")
+	walDur := flag.Duration("waldur", 2*time.Second, "with -walbench: measurement window per configuration")
 	flag.Parse()
 	proto, err := sockets.ParseProto(*protoFlag)
 	if err != nil {
@@ -78,6 +82,12 @@ func main() {
 	}
 	if *chaosMode {
 		os.Exit(runChaos(*scenario, *seed, proto))
+	}
+	if *walBench {
+		if *quick {
+			*walDur = 500 * time.Millisecond
+		}
+		os.Exit(runWALBench(*walWriters, *walDur, *jsonPath))
 	}
 	if *workloadFlag != "" {
 		dist, err := workload.ParseDist(*workloadFlag)
@@ -107,6 +117,7 @@ func main() {
 			replicas:   *replicas,
 			proto:      proto,
 			seed:       *seed,
+			durable:    *durable,
 			jsonPath:   *jsonPath,
 			label:      *label,
 		}))

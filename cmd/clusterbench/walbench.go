@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// walResult is the JSON line one WAL microbench configuration appends
+// with -json — same file and cell convention as the workload rows.
+type walResult struct {
+	Label          string  `json:"label"`
+	Writers        int     `json:"workers"`
+	DurationS      float64 `json:"duration_s"`
+	Appends        int64   `json:"ops"`
+	Syncs          int64   `json:"syncs"`
+	Throughput     float64 `json:"throughput_ops_s"`
+	AppendsPerSync float64 `json:"appends_per_sync"`
+}
+
+// runWALBench measures the group-commit win directly: the same closed
+// loop of `writers` concurrent AppendSync callers, first serialized so
+// every record pays its own fsync, then free-running so the commit loop
+// batches whatever queued during the previous sync. Both rows land in
+// the -json file; the printed ratio is the acceptance number (≥5× at 64
+// writers per EXPERIMENTS E16).
+func runWALBench(writers int, dur time.Duration, jsonPath string) int {
+	fmt.Printf("wal group-commit bench: %d writers, %s per configuration\n\n", writers, dur)
+	configs := []struct {
+		label     string
+		serialize bool
+	}{
+		{"wal-fsync-per-write", true},
+		{"wal-group-commit", false},
+	}
+	results := make([]walResult, 0, len(configs))
+	for _, cfg := range configs {
+		dir, err := os.MkdirTemp("", "walbench-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clusterbench:", err)
+			return 1
+		}
+		r, err := wal.RunGroupCommitBench(dir, writers, dur, cfg.serialize)
+		os.RemoveAll(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clusterbench: walbench:", err)
+			return 1
+		}
+		perSync := float64(r.Appends)
+		if r.Syncs > 0 {
+			perSync = float64(r.Appends) / float64(r.Syncs)
+		}
+		res := walResult{
+			Label:          cfg.label,
+			Writers:        r.Writers,
+			DurationS:      r.Duration.Seconds(),
+			Appends:        r.Appends,
+			Syncs:          r.Syncs,
+			Throughput:     r.OpsPerSec(),
+			AppendsPerSync: perSync,
+		}
+		results = append(results, res)
+		fmt.Printf("%-20s %8.0f appends/s  (%d appends, %d fsyncs, %.1f appends/fsync)\n",
+			cfg.label+":", res.Throughput, res.Appends, res.Syncs, res.AppendsPerSync)
+		if jsonPath != "" {
+			if err := appendJSON(jsonPath, res); err != nil {
+				fmt.Fprintln(os.Stderr, "clusterbench:", err)
+				return 1
+			}
+		}
+	}
+	if results[0].Throughput > 0 {
+		fmt.Printf("\ngroup commit speedup at %d writers: %.1fx\n",
+			writers, results[1].Throughput/results[0].Throughput)
+	}
+	return 0
+}

@@ -39,6 +39,7 @@ type workloadOpts struct {
 	replicas   int
 	proto      sockets.Proto
 	seed       int64
+	durable    bool
 	jsonPath   string
 	label      string
 }
@@ -50,6 +51,7 @@ type workloadResult struct {
 	Dist       string  `json:"dist"`
 	Proto      string  `json:"proto"`
 	Cache      bool    `json:"cache"`
+	Durable    bool    `json:"durable,omitempty"`
 	Mode       string  `json:"mode"` // "closed" or "open"
 	OfferedQPS float64 `json:"offered_qps,omitempty"`
 	Theta      float64 `json:"theta"`
@@ -124,6 +126,7 @@ func runWorkload(ctx context.Context, o workloadOpts) int {
 		HotKeyCache:       o.cache,
 		CacheLease:        o.lease,
 		MaxPending:        o.maxPending,
+		Durable:           o.durable,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clusterbench:", err)
@@ -156,7 +159,7 @@ func runWorkload(ctx context.Context, o workloadOpts) int {
 	if o.qps > 0 {
 		fmt.Printf(" @ %.0f qps offered", o.qps)
 	}
-	fmt.Printf(", cache=%v", o.cache)
+	fmt.Printf(", cache=%v, durable=%v", o.cache, o.durable)
 	if o.cache {
 		fmt.Printf(" (lease %s)", o.lease)
 	}
@@ -240,6 +243,7 @@ func runWorkload(ctx context.Context, o workloadOpts) int {
 		Dist:       o.dist.String(),
 		Proto:      o.proto.String(),
 		Cache:      o.cache,
+		Durable:    o.durable,
 		Mode:       mode,
 		OfferedQPS: o.qps,
 		Theta:      o.theta,
@@ -307,7 +311,7 @@ func durMs(d time.Duration) float64 { return float64(d) / float64(time.Milliseco
 
 // appendJSON appends one result as a JSON line (the file accumulates a
 // run per line; the aggregator groups them by cell).
-func appendJSON(path string, res workloadResult) error {
+func appendJSON(path string, res any) error {
 	b, err := json.Marshal(res)
 	if err != nil {
 		return err

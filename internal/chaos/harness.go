@@ -56,6 +56,14 @@ type Spec struct {
 	HotKeyCache bool
 	CacheLease  time.Duration // default 50ms when HotKeyCache is set
 
+	// Durable gives every node a write-ahead log: Kill becomes kill -9
+	// (Server.Crash — no drain, unsynced suffix discarded) and Restart
+	// recovers the node's acked writes from its own log. This is what
+	// lets a scenario kill ALL replicas of a key and still demand
+	// nothing acked is lost — without it, hints on surviving nodes are
+	// the only safety net, and a total outage has none.
+	Durable bool
+
 	// Plan builds the fault schedule from the seeded rng and the
 	// initial node names. nil means a fault-free run.
 	Plan func(rng *rand.Rand, nodes []string) []Fault
@@ -287,13 +295,14 @@ func Run(spec Spec, seed int64) (*Report, error) {
 		AllowUnsafeQuorums: spec.AllowUnsafeQuorums,
 		HotKeyCache:        spec.HotKeyCache,
 		CacheLease:         spec.CacheLease,
+		Durable:            spec.Durable, // WAL root is a cluster-owned temp dir, removed on Close
 		// Chaos key spaces are tiny and the zipfian head is steep: a low
 		// threshold gets the hot keys resident within the short workload
 		// window, which is the point of the scenario.
 		CacheHotThreshold: 2,
-		ServerPreHandle:    h.serverPreHandle,
-		PoolFailConn:       h.poolFailConn,
-		PoolPreAttempt:     h.poolPreAttempt,
+		ServerPreHandle:   h.serverPreHandle,
+		PoolFailConn:      h.poolFailConn,
+		PoolPreAttempt:    h.poolPreAttempt,
 		EventTap: func(e cluster.Event) {
 			h.eventMu.Lock()
 			h.events = append(h.events, e)

@@ -165,6 +165,40 @@ func Scenarios() []Spec {
 			},
 		},
 		{
+			// Crash-stop faults against durable nodes: every Kill is a
+			// kill -9 (no drain — the WAL's synced prefix is all that
+			// survives) and every Restart recovers from snapshot + log
+			// tail. Two staggered single-node crashes exercise recovery
+			// racing live traffic and hint top-up; then ALL nodes die at
+			// once and restart. The total outage is the part only a WAL
+			// can pass — hints die with their holders, so every acked
+			// write that comes back was replayed from disk.
+			Name:    "crash-stop",
+			Durable: true,
+			Plan: func(rng *rand.Rand, nodes []string) []Fault {
+				a, b := pick2(rng, nodes)
+				var plan []Fault
+				at := ms(130 + rng.Intn(50))
+				for _, n := range []string{a, b} {
+					down := ms(180 + rng.Intn(80))
+					plan = append(plan,
+						Fault{At: at, Kind: FaultKill, Node: n},
+						Fault{At: at + down, Kind: FaultRestart, Node: n})
+					at += down + ms(150+rng.Intn(60)) // let recovery + replay settle
+				}
+				// Total outage: no survivors, no hints, only the logs.
+				at += ms(100)
+				for _, n := range nodes {
+					plan = append(plan, Fault{At: at, Kind: FaultKill, Node: n})
+				}
+				back := at + ms(150)
+				for i, n := range nodes {
+					plan = append(plan, Fault{At: back + ms(30*i), Kind: FaultRestart, Node: n})
+				}
+				return plan
+			},
+		},
+		{
 			// A node joins mid-run while an existing node drops first
 			// attempts and another adds latency spikes: key migration
 			// must push through the flaky network without losing or

@@ -20,6 +20,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -99,6 +101,27 @@ type Config struct {
 	// the client after exhausted retries). 0 = no shedding (default).
 	MaxPending int
 
+	// Durable gives every node a write-ahead log (internal/wal): each
+	// node fsyncs mutations — batched by the group committer — before
+	// acking, Kill takes kill -9 semantics (Server.Crash: acked writes
+	// survive on disk, unacked ones may vanish), and Restart recovers
+	// the node's pre-crash state from its own log instead of coming
+	// back empty. Off by default: the memory-only cluster is the
+	// availability baseline the durability overhead is measured against.
+	Durable bool
+	// WALRoot is where durable nodes keep their logs, one subdirectory
+	// per node name, reused across Restart. Empty with Durable set uses
+	// a temporary directory that Close removes.
+	WALRoot string
+	// WALSnapshotEvery passes through to each node's
+	// sockets.ServerConfig (default 10000 mutations per snapshot).
+	WALSnapshotEvery int
+	// HintTTL bounds how long a hinted handoff stays parked before the
+	// age sweep drops it (counted in hints.expired) — the cap on hint~
+	// keyspace growth when a destination never comes back. Default 30s;
+	// negative disables expiry.
+	HintTTL time.Duration
+
 	// ServerPreHandle, when non-nil, supplies each named node's
 	// sockets.ServerConfig.PreHandle — the fault-injection surface that
 	// makes a replica deliberately slow (the quorum-abort laggard) or
@@ -134,7 +157,7 @@ type EventType string
 // The lifecycle events delivered to Config.EventTap.
 const (
 	EventKill       EventType = "kill"        // Kill crash-stopped the node
-	EventRestart    EventType = "restart"     // Restart brought it back (empty, fresh port)
+	EventRestart    EventType = "restart"     // Restart brought it back on a fresh port; Detail reports "recovered N keys" (N > 0 only for durable nodes, which replay their WAL)
 	EventDown       EventType = "down"        // failure detector marked it down
 	EventUp         EventType = "up"          // failure detector marked it up again
 	EventHintReplay EventType = "hint-replay" // hinted handoffs replayed onto the node
@@ -264,9 +287,15 @@ type Cluster struct {
 	opsCanceled    atomic.Int64
 	hintedWrites   atomic.Int64
 	hintsReplayed  atomic.Int64
+	hintsExpired   atomic.Int64
 	downEvents     atomic.Int64
 	upEvents       atomic.Int64
 	keysMigrated   atomic.Int64
+
+	// walRoot is the durable cluster's log directory; walTemp marks it
+	// cluster-owned (created by New, removed by Close).
+	walRoot string
+	walTemp bool
 }
 
 // New starts a cluster of cfg.Nodes servers named node0..nodeN-1 and
@@ -323,6 +352,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.CacheWindow <= 0 {
 		cfg.CacheWindow = time.Second
 	}
+	if cfg.HintTTL == 0 {
+		cfg.HintTTL = 30 * time.Second
+	}
 	if cfg.Replicas > cfg.Nodes {
 		return nil, fmt.Errorf("cluster: %d replicas need at least that many nodes (have %d)", cfg.Replicas, cfg.Nodes)
 	}
@@ -346,6 +378,16 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.HotKeyCache {
 		c.cache = newHotCache(cfg.CacheSize, cfg.CacheLease, cfg.CacheHotThreshold, cfg.CacheWindow)
+	}
+	if cfg.Durable {
+		c.walRoot = cfg.WALRoot
+		if c.walRoot == "" {
+			dir, err := os.MkdirTemp("", "cluster-wal-")
+			if err != nil {
+				return nil, err
+			}
+			c.walRoot, c.walTemp = dir, true
+		}
 	}
 	c.ctx, c.cancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Nodes; i++ {
@@ -371,6 +413,12 @@ func (c *Cluster) startNode(name string) (*node, error) {
 		Shards:       c.cfg.ServerShards,
 		DrainTimeout: c.cfg.DrainTimeout,
 		MaxPending:   c.cfg.MaxPending,
+	}
+	if c.cfg.Durable {
+		// Per-node directory, stable across Restart: recovery replays
+		// whatever this node's previous incarnation logged there.
+		scfg.WALDir = filepath.Join(c.walRoot, name)
+		scfg.WALSnapshotEvery = c.cfg.WALSnapshotEvery
 	}
 	if c.cfg.ServerPreHandle != nil {
 		scfg.PreHandle = c.cfg.ServerPreHandle(name)
@@ -431,6 +479,9 @@ func (c *Cluster) Close() {
 		n.server().Close()
 	}
 	c.sched.Close()
+	if c.walTemp {
+		os.RemoveAll(c.walRoot)
+	}
 }
 
 // Nodes returns the member names in join order.
@@ -689,11 +740,14 @@ func (c *Cluster) writeReplica(ctx context.Context, key, enc string, target *nod
 		return false // canceled: don't burn fallbacks on a dead op
 	}
 	hk := hintKey(target.name, key)
+	// Hints carry their birth time so the TTL sweep can age them out;
+	// replay unwraps before applying.
+	henc := hintEncode(enc)
 	for _, f := range fallbacks {
 		if f.down.Load() {
 			continue
 		}
-		if err := f.client().SetCtx(ctx, hk, enc); err == nil {
+		if err := f.client().SetCtx(ctx, hk, henc); err == nil {
 			c.hintedWrites.Add(1)
 			return true
 		}
@@ -825,7 +879,10 @@ func (c *Cluster) lookup(name string) (*node, error) {
 // hook. The ring is unchanged; the failure detector (or an explicit
 // Probe) notices the silence and routes around it. Bumping the node
 // epoch first invalidates any probe already in flight against the dying
-// incarnation, so its verdict cannot race the kill.
+// incarnation, so its verdict cannot race the kill. On a durable
+// cluster Kill is kill -9: Server.Crash cuts every connection with no
+// drain and truncates the node's log to its last fsynced byte, so
+// exactly the acked writes survive into the next Restart.
 func (c *Cluster) Kill(name string) error {
 	n, err := c.lookup(name)
 	if err != nil {
@@ -836,17 +893,27 @@ func (c *Cluster) Kill(name string) error {
 	}
 	n.epoch.Add(1)
 	n.client().Close()
-	n.server().Close()
+	if c.cfg.Durable {
+		n.server().Crash() //nolint:errcheck // the node is being killed; the listener error is noise
+	} else {
+		n.server().Close()
+	}
 	c.emit(EventKill, name, "")
 	return nil
 }
 
-// Restart brings a killed node back empty (the process model: in-memory
-// state dies with the process) on a fresh port, then probes it so
-// hinted handoffs replay before Restart returns. The epoch bump after
-// the swap discards any straggling probe of the dead incarnation: the
-// old probe's failure verdict, arriving after the restart, would
-// otherwise mark the fresh node down until the next heartbeat.
+// Restart brings a killed node back on a fresh port, then probes it so
+// hinted handoffs replay before Restart returns. A memory-only node
+// returns empty (the process model: in-memory state dies with the
+// process) and leans on hint replay and re-replication for everything;
+// a durable node first replays its own WAL — snapshot plus log tail —
+// so every write it acked before the kill is already served locally,
+// and hint replay only tops up the post-crash suffix it missed while
+// dead. The EventRestart payload records the recovered key count. The
+// epoch bump after the swap discards any straggling probe of the dead
+// incarnation: the old probe's failure verdict, arriving after the
+// restart, would otherwise mark the fresh node down until the next
+// heartbeat.
 func (c *Cluster) Restart(name string) error {
 	n, err := c.lookup(name)
 	if err != nil {
@@ -864,7 +931,7 @@ func (c *Cluster) Restart(name string) error {
 	n.mu.Unlock()
 	n.epoch.Add(1)
 	n.killed.Store(false)
-	c.emit(EventRestart, name, "")
+	c.emit(EventRestart, name, fmt.Sprintf("recovered %d keys", fresh.srv.RecoveredKeys()))
 	c.probeNode(n)
 	// The node may never have been marked down (killed and restarted
 	// between probes) yet still have hints parked from failed direct

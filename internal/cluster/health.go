@@ -19,12 +19,27 @@ func (c *Cluster) heartbeatLoop() {
 	defer c.hbWG.Done()
 	t := time.NewTicker(c.cfg.HeartbeatInterval)
 	defer t.Stop()
+	// The hint-TTL sweep rides the same loop on a slower ticker: often
+	// enough that an expired hint outlives its TTL by at most ~TTL/4,
+	// rare enough that the KEYS scans cost the steady state nothing.
+	var sweep <-chan time.Time
+	if c.cfg.HintTTL > 0 {
+		ivl := c.cfg.HintTTL / 4
+		if ivl < c.cfg.HeartbeatInterval {
+			ivl = c.cfg.HeartbeatInterval
+		}
+		st := time.NewTicker(ivl)
+		defer st.Stop()
+		sweep = st.C
+	}
 	for {
 		select {
 		case <-c.ctx.Done():
 			return
 		case <-t.C:
 			c.Probe()
+		case <-sweep:
+			c.sweepExpiredHints()
 		}
 	}
 }
@@ -153,12 +168,25 @@ func (c *Cluster) replayHints(ctx context.Context, dest *node) int {
 			continue
 		}
 		var consumed []string
+		expired := 0
 		for i, hk := range hintKeys {
 			if !found[i] {
 				continue // consumed by a concurrent sweep
 			}
 			key := strings.TrimPrefix(hk, prefix)
-			switch c.applyHint(ctx, dest, key, vals[i]) {
+			born, raw, ok := hintParse(vals[i])
+			if !ok {
+				consumed = append(consumed, hk) // unparseable: can never replay
+				continue
+			}
+			if c.hintExpired(born) {
+				// Past the TTL: the sweep would have dropped it; finding it
+				// here first changes nothing.
+				expired++
+				consumed = append(consumed, hk)
+				continue
+			}
+			switch c.applyHint(ctx, dest, key, raw) {
 			case hintApplied:
 				applied++
 				consumed = append(consumed, hk)
@@ -177,6 +205,7 @@ func (c *Cluster) replayHints(ctx context.Context, dest *node) int {
 		if len(consumed) > 0 {
 			holder.client().MDelCtx(ctx, consumed...) //nolint:errcheck // best effort cleanup
 		}
+		c.hintsExpired.Add(int64(expired))
 	}
 	c.hintsReplayed.Add(int64(applied))
 	if applied > 0 {

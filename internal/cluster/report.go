@@ -21,6 +21,7 @@ func (c *Cluster) Counters() *metrics.CounterSet {
 	cs.Add("cluster.ops-canceled", float64(c.opsCanceled.Load()))
 	cs.Add("cluster.hinted-writes", float64(c.hintedWrites.Load()))
 	cs.Add("cluster.hints-replayed", float64(c.hintsReplayed.Load()))
+	cs.Add("hints.expired", float64(c.hintsExpired.Load()))
 	cs.Add("cluster.down-events", float64(c.downEvents.Load()))
 	cs.Add("cluster.up-events", float64(c.upEvents.Load()))
 	cs.Add("cluster.keys-migrated", float64(c.keysMigrated.Load()))

@@ -235,9 +235,21 @@ func (s *Server) serveBinary(cs *connState, br *bufio.Reader) {
 		// time), so a bounded pending queue is only meaningful when
 		// pipelined ingestion is decoupled from service — the handler
 		// goroutine set IS the pending queue admission control bounds.
+		// A durable server routes mutations to the goroutine path even
+		// when they would qualify for the fast path: an inline SET/DEL
+		// would hold the connection's read loop through its fsync wait,
+		// serializing the group commit to one record per connection per
+		// flush — the goroutine path is what lets pipelined mutations
+		// from one connection share a batch.
 		if s.preHandle == nil && s.maxPending <= 0 {
+			inline := false
 			switch req.Verb {
-			case wire.VerbPing, wire.VerbGet, wire.VerbCount, wire.VerbSet, wire.VerbDel:
+			case wire.VerbPing, wire.VerbGet, wire.VerbCount:
+				inline = true
+			case wire.VerbSet, wire.VerbDel:
+				inline = s.wal == nil
+			}
+			if inline {
 				// The inline path still counts as in flight: a graceful
 				// Close must see the request and grant it the same drain
 				// grace as the text and goroutine paths instead of cutting
@@ -338,6 +350,16 @@ func (s *Server) handleBinary(clientID uint64, r *wire.Request) *wire.Response {
 		return resp
 	}
 	resp := s.applyBinary(r)
+	if resp.Tag != wire.RespErr {
+		// Durable before acked: the mutation is applied, now it must
+		// survive a crash before the client may be told it happened.
+		// apply-then-log is load-bearing for snapshots — see
+		// (*Server).walAppend. Failed validations (RespErr) changed
+		// nothing and are not logged.
+		if err := s.walAppend(clientID, r); err != nil {
+			resp = &wire.Response{Tag: wire.RespErr, ID: r.ID, Err: "durability: " + err.Error()}
+		}
+	}
 	s.dedupe.finish(k, e, wire.AppendResponse(nil, resp))
 	return resp
 }

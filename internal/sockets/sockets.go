@@ -32,6 +32,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pthread"
 	"repro/internal/sockets/wire"
+	"repro/internal/wal"
 )
 
 // MaxFrame bounds a single message to keep malformed peers from forcing
@@ -102,6 +103,19 @@ type ServerConfig struct {
 	// the node dead and makes things worse). 0 disables shedding; the
 	// pending-depth gauge still tracks.
 	MaxPending int
+	// WALDir, when non-empty, makes the server durable: every mutation
+	// is appended to a write-ahead log in this directory — and fsynced,
+	// through the group committer — before its response is released, and
+	// startup replays whatever a previous incarnation logged there
+	// (snapshot plus log tail, retry-dedupe recordings included). Empty
+	// keeps the original memory-only server.
+	WALDir string
+	// WALSegmentBytes overrides the log's segment size (wal.Config).
+	WALSegmentBytes int64
+	// WALSnapshotEvery is how many logged mutations accumulate before
+	// the server compacts a snapshot and truncates old segments.
+	// Default 10000.
+	WALSnapshotEvery int
 }
 
 // shard is one stripe of the store.
@@ -163,6 +177,16 @@ type Server struct {
 	// transit replays the recorded answer instead of applying twice.
 	dedupe *dedupeTable
 
+	// Durability (nil wal = memory-only). walSince counts mutations
+	// logged since the last snapshot; snapInFlight single-flights the
+	// compaction goroutine, which walWG joins on shutdown.
+	wal           *wal.Log
+	walEvery      int64
+	walSince      atomic.Int64
+	snapInFlight  atomic.Bool
+	walWG         sync.WaitGroup
+	recoveredKeys int
+
 	// preHandle, when non-nil, runs before each request is interpreted —
 	// a test hook for making requests observably in-flight.
 	preHandle func(req string)
@@ -202,6 +226,14 @@ func NewServerConfig(addr string, cfg ServerConfig) (*Server, error) {
 	}
 	for i := range s.shards {
 		s.shards[i] = shard{lock: pthread.NewRWLock(pthread.PreferWriters), store: make(map[string]string)}
+	}
+	if cfg.WALDir != "" {
+		// Recovery runs to completion before the accept loop starts:
+		// no live request can observe a half-replayed store.
+		if err := s.openWAL(cfg); err != nil {
+			ln.Close()
+			return nil, err
+		}
 	}
 	go s.acceptLoop()
 	return s, nil
@@ -269,6 +301,15 @@ func (s *Server) Close() error {
 		}
 		s.mu.Unlock()
 		<-done
+	}
+	if s.wal != nil {
+		// After the drain no handler can append; join any in-flight
+		// snapshot, then stop the committer. A Restart that reopens the
+		// same directory must not race a straggling compaction.
+		s.walWG.Wait()
+		if werr := s.wal.Close(); err == nil {
+			err = werr
+		}
 	}
 	return err
 }
@@ -407,6 +448,11 @@ func (s *Server) handle(req string) string {
 		sh.lock.Lock()
 		sh.store[parts[1]] = parts[2]
 		sh.lock.Unlock()
+		// Log (and fsync) before the ack leaves; Client 0 marks a
+		// text-protocol mutation, which carries no dedupe identity.
+		if err := s.walAppend(0, &wire.Request{Verb: wire.VerbSet, Key: parts[1], Value: []byte(parts[2])}); err != nil {
+			return "ERR durability: " + err.Error()
+		}
 		return "OK"
 	case "GET":
 		if len(parts) != 2 {
@@ -429,6 +475,12 @@ func (s *Server) handle(req string) string {
 		_, ok := sh.store[parts[1]]
 		delete(sh.store, parts[1])
 		sh.lock.Unlock()
+		// NOTFOUND deletes are logged too: replay must walk the same
+		// state sequence the live run did, not a guess at which deletes
+		// mattered.
+		if err := s.walAppend(0, &wire.Request{Verb: wire.VerbDel, Key: parts[1]}); err != nil {
+			return "ERR durability: " + err.Error()
+		}
 		if !ok {
 			return "NOTFOUND"
 		}
@@ -449,6 +501,9 @@ func (s *Server) handle(req string) string {
 				n++
 			}
 			sh.lock.Unlock()
+		}
+		if err := s.walAppend(0, &wire.Request{Verb: wire.VerbMDel, Keys: keys}); err != nil {
+			return "ERR durability: " + err.Error()
 		}
 		return fmt.Sprintf("DELETED %d", n)
 	case "COUNT":

@@ -1,0 +1,32 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkAppendSync(b *testing.B) {
+	for _, writers := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			l, err := Open(Config{Dir: b.TempDir()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetParallelism(writers) // RunParallel spawns writers*GOMAXPROCS goroutines
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				r := &Record{Kind: KindSet, Key: "bench", Value: "0123456789abcdef"}
+				for pb.Next() {
+					if err := l.AppendSync(r); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			if s := l.Syncs(); s > 0 {
+				b.ReportMetric(float64(l.Appends())/float64(s), "appends/sync")
+			}
+		})
+	}
+}

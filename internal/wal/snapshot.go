@@ -1,0 +1,145 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+const (
+	snapName    = "snapshot"
+	snapTmpName = "snapshot.tmp"
+	snapMagic   = "walsnp01"
+)
+
+// DedupeEntry is one completed retry-dedupe recording carried by a
+// snapshot: the (client, correlation) identity plus the encoded
+// response to replay, so a mutation acked just before a crash stays
+// exactly-once when its retry arrives after the restart.
+type DedupeEntry struct {
+	Client uint64
+	ID     uint64
+	Resp   []byte
+}
+
+// Snapshot is the compacted state a log owner persists between
+// snapshots: the full store contents plus the dedupe recordings still
+// inside the retry horizon. Everything else is reconstructed by
+// replaying the segment tail over it.
+type Snapshot struct {
+	Pairs  []KV
+	Dedupe []DedupeEntry
+}
+
+// writeSnapshotFile persists one snapshot atomically: full payload into
+// a tmp file, fsync, rename over the live name. A crash mid-write
+// leaves the tmp (removed on the next Open) and the previous snapshot
+// intact; there is no state in which a half-written snapshot is ever
+// loaded. tail is the first segment sequence NOT covered — replay
+// starts there.
+func writeSnapshotFile(dir string, tail uint64, snap *Snapshot) error {
+	payload := binary.AppendUvarint(nil, tail)
+	payload = binary.AppendUvarint(payload, uint64(len(snap.Pairs)))
+	for _, kv := range snap.Pairs {
+		payload = appendString(payload, kv.Key)
+		payload = appendString(payload, kv.Value)
+	}
+	payload = binary.AppendUvarint(payload, uint64(len(snap.Dedupe)))
+	for _, e := range snap.Dedupe {
+		payload = binary.AppendUvarint(payload, e.Client)
+		payload = binary.AppendUvarint(payload, e.ID)
+		payload = appendString(payload, string(e.Resp))
+	}
+	buf := append([]byte(snapMagic), payload...)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, crc[:]...)
+
+	tmp := filepath.Join(dir, snapTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, snapName))
+}
+
+// loadSnapshotFile reads the snapshot back, verifying magic and CRC.
+// A missing file returns (0, nil, nil): recovery then replays every
+// segment from the beginning. Any malformed byte is ErrCorrupt — the
+// atomic write protocol means a bad snapshot is bit rot, not a tear.
+func loadSnapshotFile(path string) (tail uint64, snap *Snapshot, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil, nil
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return 0, nil, fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	payload := data[len(snapMagic) : len(data)-4]
+	want := binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return 0, nil, fmt.Errorf("%w: snapshot CRC mismatch", ErrCorrupt)
+	}
+	c := &cursor{buf: payload}
+	if tail, err = c.uvarint(); err != nil {
+		return 0, nil, err
+	}
+	snap = &Snapshot{}
+	n, err := c.count()
+	if err != nil {
+		return 0, nil, err
+	}
+	snap.Pairs = make([]KV, 0, n)
+	for i := 0; i < n; i++ {
+		var kv KV
+		if kv.Key, err = c.key(); err != nil {
+			return 0, nil, err
+		}
+		if kv.Value, err = c.str(); err != nil {
+			return 0, nil, err
+		}
+		snap.Pairs = append(snap.Pairs, kv)
+	}
+	if n, err = c.count(); err != nil {
+		return 0, nil, err
+	}
+	snap.Dedupe = make([]DedupeEntry, 0, n)
+	for i := 0; i < n; i++ {
+		var e DedupeEntry
+		if e.Client, err = c.uvarint(); err != nil {
+			return 0, nil, err
+		}
+		if e.ID, err = c.uvarint(); err != nil {
+			return 0, nil, err
+		}
+		s, err := c.str()
+		if err != nil {
+			return 0, nil, err
+		}
+		e.Resp = []byte(s)
+		snap.Dedupe = append(snap.Dedupe, e)
+	}
+	if len(c.buf) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(c.buf))
+	}
+	return tail, snap, nil
+}

@@ -38,7 +38,31 @@ done
 
 if [ "$status" -ne 0 ]; then
     echo "lint-blocking: race the wait against ctx.Done() (or dial via internal/sockets/dial.go)" >&2
-else
+fi
+
+# Durability discipline: fsync is internal/wal's job. A bare .Sync()
+# anywhere else is either a redundant flush on the WAL's critical path
+# (defeating group commit — every caller pays its own disk stall) or an
+# ad-hoc durability promise the recovery path knows nothing about. Route
+# durable writes through wal.Log.AppendSync / wal.WriteSnapshot instead.
+sync_status=0
+for f in $(find cmd internal scripts -name '*.go' ! -name '*_test.go' 2>/dev/null); do
+    case "$f" in
+    internal/wal/*) continue ;;
+    esac
+    hits=$(sed 's|//.*||' "$f" | grep -nE '\.Sync\(\)' || true)
+    if [ -n "$hits" ]; then
+        echo "lint-blocking: $f calls .Sync() outside internal/wal:" >&2
+        echo "$hits" | sed 's/^/    /' >&2
+        sync_status=1
+    fi
+done
+if [ "$sync_status" -ne 0 ]; then
+    echo "lint-blocking: fsync belongs to internal/wal (AppendSync / WriteSnapshot)" >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
     echo "lint-blocking: ok"
 fi
 exit "$status"

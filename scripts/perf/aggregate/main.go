@@ -27,6 +27,7 @@ type rawRun struct {
 	Dist       string  `json:"dist"`
 	Proto      string  `json:"proto"`
 	Cache      bool    `json:"cache"`
+	Durable    bool    `json:"durable"`
 	Mode       string  `json:"mode"`
 	OfferedQPS float64 `json:"offered_qps"`
 	Theta      float64 `json:"theta"`
@@ -38,21 +39,23 @@ type rawRun struct {
 	Seed       int64   `json:"seed"`
 	DurationS  float64 `json:"duration_s"`
 
-	Ops         int64   `json:"ops"`
-	Errors      int64   `json:"errors"`
-	Overloads   int64   `json:"overloads"`
-	Throughput  float64 `json:"throughput_ops_s"`
-	Goodput     float64 `json:"goodput_ops_s"`
-	ReadP50Ms   float64 `json:"read_p50_ms"`
-	ReadP99Ms   float64 `json:"read_p99_ms"`
-	ReadP999Ms  float64 `json:"read_p999_ms"`
-	WriteP50Ms  float64 `json:"write_p50_ms"`
-	WriteP99Ms  float64 `json:"write_p99_ms"`
-	CacheHits   int64   `json:"cache_hits"`
-	CacheMisses int64   `json:"cache_misses"`
-	Sheds       int64   `json:"sheds"`
-	LagMeanMs   float64 `json:"lag_mean_ms"`
-	LagMaxMs    float64 `json:"lag_max_ms"`
+	Ops            int64   `json:"ops"`
+	Errors         int64   `json:"errors"`
+	Overloads      int64   `json:"overloads"`
+	Throughput     float64 `json:"throughput_ops_s"`
+	Goodput        float64 `json:"goodput_ops_s"`
+	ReadP50Ms      float64 `json:"read_p50_ms"`
+	ReadP99Ms      float64 `json:"read_p99_ms"`
+	ReadP999Ms     float64 `json:"read_p999_ms"`
+	WriteP50Ms     float64 `json:"write_p50_ms"`
+	WriteP99Ms     float64 `json:"write_p99_ms"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	Syncs          int64   `json:"syncs"`
+	AppendsPerSync float64 `json:"appends_per_sync"`
+	Sheds          int64   `json:"sheds"`
+	LagMeanMs      float64 `json:"lag_mean_ms"`
+	LagMaxMs       float64 `json:"lag_max_ms"`
 }
 
 func (r rawRun) cell() string {
@@ -100,6 +103,7 @@ type cellSummary struct {
 	Dist       string  `json:"dist"`
 	Proto      string  `json:"proto"`
 	Cache      bool    `json:"cache"`
+	Durable    bool    `json:"durable,omitempty"`
 	Mode       string  `json:"mode"`
 	OfferedQPS float64 `json:"offered_qps,omitempty"`
 	Theta      float64 `json:"theta"`
@@ -121,6 +125,8 @@ type cellSummary struct {
 	OverloadMean float64 `json:"overloads_mean"`
 	ShedsMean    float64 `json:"sheds_mean"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// WAL microbench cells only: fsync batching factor (0 elsewhere).
+	AppendsPerSync stat `json:"appends_per_sync,omitempty"`
 }
 
 type benchFile struct {
@@ -200,7 +206,7 @@ func main() {
 		first := runs[0]
 		cs := cellSummary{
 			Cell: c, Runs: len(runs),
-			Dist: first.Dist, Proto: first.Proto, Cache: first.Cache, Mode: first.Mode,
+			Dist: first.Dist, Proto: first.Proto, Cache: first.Cache, Durable: first.Durable, Mode: first.Mode,
 			OfferedQPS: first.OfferedQPS, Theta: first.Theta, Keys: first.Keys,
 			Workers: first.Workers, ReadFrac: first.ReadFrac, ValueSize: first.ValueSize,
 			MaxPending: first.MaxPending,
@@ -213,6 +219,8 @@ func main() {
 			WriteP50Ms: pick(func(r rawRun) float64 { return r.WriteP50Ms }),
 			WriteP99Ms: pick(func(r rawRun) float64 { return r.WriteP99Ms }),
 			LagMeanMs:  pick(func(r rawRun) float64 { return r.LagMeanMs }),
+
+			AppendsPerSync: pick(func(r rawRun) float64 { return r.AppendsPerSync }),
 		}
 		var hits, lookups int64
 		for _, r := range runs {

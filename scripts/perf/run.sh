@@ -4,9 +4,10 @@
 # Runs clusterbench -workload over the full cell grid
 # (uniform/zipfian x text/binary x cache on/off, closed loop) plus the
 # overload trio (capacity probe, then 2x-capacity open loop with and
-# without admission control), N repeats per cell with varying seeds,
-# and aggregates the raw JSON lines into bench/BENCH_<date>.json with
-# mean/stddev per cell.
+# without admission control), the durability pair (WAL group-commit
+# microbench and the durable-cluster capacity cell), N repeats per cell
+# with varying seeds, and aggregates the raw JSON lines into
+# bench/BENCH_<date>.json with mean/stddev per cell.
 #
 # Usage:
 #   ./scripts/perf/run.sh            # full grid -> bench/BENCH_<date>.json
@@ -18,12 +19,14 @@ cd "$(dirname "$0")/../.."
 REPEATS=3
 DURATION=2s
 OVER_DURATION=3s
+WAL_DURATION=2s
 QUICK=0
 if [[ "${1:-}" == "-quick" ]]; then
     QUICK=1
     REPEATS=1
     DURATION=800ms
     OVER_DURATION=800ms
+    WAL_DURATION=500ms
 fi
 
 # Fewer, bigger GC cycles: on a small shared host the default GOGC makes
@@ -92,6 +95,25 @@ for rep in $(seq 1 "$REPEATS"); do
     "$BIN" -seed $((42 + rep * 1000)) -json "$RAW" -duration "$OVER_DURATION" \
         -workload zipfian -proto binary -wkeys 128 -valuesize 4096 \
         -workers 128 -qps "$OFFERED" -maxpending 64 -label "overload-open-2x-shed"
+    echo
+done
+
+echo "== durability: wal group commit + durable capacity =="
+# The group-commit microbench isolates the fsync batching win from the
+# cluster stack: the same 64 concurrent writers, first paying one fsync
+# per record (serialized), then batched by the commit loop. Both land as
+# labeled cells; EXPERIMENTS E16 requires >=5x at 64 writers.
+for rep in $(seq 1 "$REPEATS"); do
+    "$BIN" -walbench -walwriters 64 -waldur "$WAL_DURATION" -json "$RAW"
+    echo
+done
+# The durable capacity cell is the honest overhead number: the async
+# capacity probe rerun with every write fsynced (group-committed) before
+# its ack, judged against CAP_ASYNC above.
+for rep in $(seq 1 "$REPEATS"); do
+    "$BIN" -seed $((42 + rep * 1000)) -json "$RAW" -duration "$OVER_DURATION" \
+        -workload zipfian -proto binary -wkeys 128 -valuesize 4096 -workers 32 \
+        -maxpending 1024 -durable -label "capacity-durable-closed-4k"
     echo
 done
 
