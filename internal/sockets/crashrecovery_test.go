@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -166,5 +168,135 @@ func TestCrashRecovery_DedupeSurvivesRestart(t *testing.T) {
 	}
 	if s2.DedupeHits() == 0 {
 		t.Fatal("retry not answered from the recovered dedupe table")
+	}
+}
+
+// TestCrashRecovery_LogOrderMatchesApplyOrder: concurrent writers
+// hammering one key must recover to exactly the value the live server
+// last served. The WAL enqueue is reserved under the same shard lock as
+// the store write — were it enqueued after unlock, two racing SETs
+// could apply in one order and log in the other, and replay would
+// resurrect the stale value (an acked write silently lost).
+func TestCrashRecovery_LogOrderMatchesApplyOrder(t *testing.T) {
+	const rounds, writers = 12, 8
+	for round := 0; round < rounds; round++ {
+		dir := t.TempDir()
+		s := startDurable(t, dir, sockets.ServerConfig{})
+		p, err := sockets.NewPool(s.Addr(), sockets.PoolConfig{Proto: sockets.ProtoBinary})
+		if err != nil {
+			t.Fatalf("NewPool: %v", err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if err := p.Set("contested", fmt.Sprintf("writer-%d-round-%d", w, round)); err != nil {
+					t.Errorf("Set: %v", err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		live, found, err := p.Get("contested")
+		if err != nil || !found {
+			t.Fatalf("Get live = %q, %v, %v", live, found, err)
+		}
+		p.Close()
+		if err := s.Crash(); err != nil {
+			t.Fatalf("Crash: %v", err)
+		}
+		s2 := startDurable(t, dir, sockets.ServerConfig{})
+		c, err := sockets.Dial(s2.Addr())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		recovered, found, err := c.Get("contested")
+		if err != nil || !found {
+			t.Fatalf("Get recovered = %q, %v, %v", recovered, found, err)
+		}
+		c.Close()
+		s2.Close()
+		if recovered != live {
+			t.Fatalf("round %d: recovered %q but the live server last served %q — log order diverged from apply order", round, recovered, live)
+		}
+	}
+}
+
+// TestCrashRecovery_DedupeSurvivesSnapshotPrune: with a snapshot after
+// every mutation, each record's segment is pruned almost immediately —
+// the recorded response must already be in the snapshot when its record
+// is. (The recording is published before the WAL enqueue, under the
+// shard lock; were it published only after the fsync wait, a rotation
+// racing in between would prune the record while the snapshot misses
+// the recording, and the retried DEL below would re-apply and answer
+// NOTFOUND.)
+func TestCrashRecovery_DedupeSurvivesSnapshotPrune(t *testing.T) {
+	dir := t.TempDir()
+	s := startDurable(t, dir, sockets.ServerConfig{WALSnapshotEvery: 1})
+	conn := rawBinaryConn(t, s.Addr(), 77)
+	const n = 60
+	for i := uint64(0); i < n; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		if resp := sendPDU(t, conn, &wire.Request{Verb: wire.VerbSet, ID: 2 * i, Key: k, Value: []byte("v")}); resp.Tag != wire.RespOK {
+			t.Fatalf("SET %s tag = %d", k, resp.Tag)
+		}
+		if resp := sendPDU(t, conn, &wire.Request{Verb: wire.VerbDel, ID: 2*i + 1, Key: k}); resp.Tag != wire.RespOK {
+			t.Fatalf("DEL %s tag = %d, want OK", k, resp.Tag)
+		}
+	}
+	conn.Close()
+	if err := s.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	s2 := startDurable(t, dir, sockets.ServerConfig{WALSnapshotEvery: 1})
+	defer s2.Close()
+	conn2 := rawBinaryConn(t, s2.Addr(), 77)
+	defer conn2.Close()
+	for i := uint64(0); i < n; i++ {
+		if resp := sendPDU(t, conn2, &wire.Request{Verb: wire.VerbDel, ID: 2*i + 1, Key: fmt.Sprintf("k%02d", i)}); resp.Tag != wire.RespOK {
+			t.Fatalf("retried DEL id %d tag = %d: recording lost across snapshot prune — exactly-once broken", 2*i+1, resp.Tag)
+		}
+	}
+}
+
+// TestCrashRecovery_TextRejectsUnloggableKeys: the text protocol can
+// frame keys the WAL's replay decoder refuses (an empty key in "SET  v"
+// or "DEL "). Those must be rejected before they reach the log — a
+// single such record would make every subsequent Open fail, bricking
+// the node.
+func TestCrashRecovery_TextRejectsUnloggableKeys(t *testing.T) {
+	dir := t.TempDir()
+	s := startDurable(t, dir, sockets.ServerConfig{})
+	conn := rawConn(t, s.Addr())
+	sendText := func(req string) string {
+		t.Helper()
+		if err := sockets.WriteFrame(conn, []byte(req)); err != nil {
+			t.Fatalf("write %q: %v", req, err)
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		resp, err := sockets.ReadFrame(conn)
+		if err != nil {
+			t.Fatalf("read response to %q: %v", req, err)
+		}
+		return string(resp)
+	}
+	if got := sendText("SET  empty-key-value"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("SET with empty key = %q, want ERR", got)
+	}
+	if got := sendText("DEL "); got != "NOTFOUND" {
+		t.Fatalf("DEL with empty key = %q, want NOTFOUND (nothing logged)", got)
+	}
+	if got := sendText("SET k v"); got != "OK" {
+		t.Fatalf("SET k v = %q", got)
+	}
+	conn.Close()
+	if err := s.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	// The proof: recovery replays cleanly and serves the one valid write.
+	s2 := startDurable(t, dir, sockets.ServerConfig{})
+	defer s2.Close()
+	if got := s2.RecoveredKeys(); got != 1 {
+		t.Fatalf("RecoveredKeys = %d, want 1", got)
 	}
 }

@@ -78,17 +78,19 @@ func (s *Server) WALStats() (appends, syncs int64) {
 	return s.wal.Appends(), s.wal.Syncs()
 }
 
-// walAppend makes one applied mutation durable before its response is
-// released: encode, enqueue on the group committer, block until the
-// covering fsync lands. The caller has already applied the mutation to
-// the store — apply-then-log is what makes the snapshot protocol sound
-// (state captured after a rotation covers every record logged before
-// it; see maybeSnapshot). On a memory-only server it is a no-op.
-func (s *Server) walAppend(client uint64, req *wire.Request) error {
-	if s.wal == nil {
+// walWait rides out one reserved append's covering fsync before the
+// caller releases its response, then bumps the snapshot trigger. The
+// reservation itself (wal.Begin) happens inside applyMutation, under
+// the shard lock(s) that ordered the mutation — log order equals apply
+// order, which is what makes replay and the snapshot protocol sound
+// (state captured after a rotation covers every record enqueued before
+// it; see maybeSnapshot). A nil ticket (memory-only server, or nothing
+// logged) is a no-op.
+func (s *Server) walWait(t *wal.Ticket) error {
+	if t == nil {
 		return nil
 	}
-	if err := s.wal.AppendSync(requestRecord(client, req)); err != nil {
+	if err := t.Wait(); err != nil {
 		return err
 	}
 	if s.walSince.Add(1) >= s.walEvery {
@@ -112,10 +114,12 @@ func (s *Server) maybeSnapshot() {
 		defer s.snapInFlight.Store(false)
 		// Rotation orders the capture: every record enqueued before this
 		// point lands in a sealed pre-tail segment, and — because every
-		// mutation is applied to the store before it is enqueued — the
-		// capture below sees all of their effects. Records that race in
-		// after the rotation land at or past tail and replay over the
-		// snapshot, which is idempotent (same values, log order).
+		// mutation is applied to the store, its dedupe recording
+		// published, and its record enqueued all under the same shard
+		// lock(s) — the capture below sees the effects AND the dedupe
+		// recording of every such record. Records that race in after the
+		// rotation land at or past tail and replay over the snapshot,
+		// which is idempotent (same values, log order).
 		tail, err := s.wal.Rotate()
 		if err != nil {
 			return // closed, crashed, or a latched I/O error: not our problem to report
@@ -226,10 +230,14 @@ func (t *dedupeTable) preload(k dedupeKey, resp []byte) {
 	d.mu.Unlock()
 }
 
-// snapshotEntries captures the completed recordings still inside the
-// retry horizon, for inclusion in a WAL snapshot. Pending entries are
-// skipped: their mutations haven't been acked, so exactly-once doesn't
-// owe them anything across a crash.
+// snapshotEntries captures the recorded responses still inside the
+// retry horizon, for inclusion in a WAL snapshot. Entries with no
+// recording yet are skipped — safely: a recording is published (under
+// the shard lock) before its WAL record is even enqueued, so any record
+// this snapshot's tail covers already has its recording visible here,
+// and a skipped entry's mutation either raced in after the rotation
+// (its record replays from the log tail, re-deriving the recording) or
+// was never applied at all.
 func (t *dedupeTable) snapshotEntries() []wal.DedupeEntry {
 	now := time.Now()
 	var out []wal.DedupeEntry

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/sockets/wire"
+	"repro/internal/wal"
 )
 
 // dedupeCap bounds the server-wide retry-dedupe table — the hard
@@ -39,12 +40,17 @@ type dedupeKey struct {
 }
 
 // dedupeEntry is one recorded (or in-progress) mutation. done closes
-// when resp is valid, so a retry that races the original attempt waits
-// for the first application instead of applying a second one. doneAt
-// stamps completion for age-based eviction.
+// when resp and tick are valid, so a retry that races the original
+// attempt waits for the first application instead of applying a second
+// one. tick is the original's durability ticket (nil on a memory-only
+// server): a retry waits it out before replaying resp, so a recording —
+// which is published before its covering fsync — can never leak a
+// response earlier than the original would have. doneAt stamps
+// completion for age-based eviction.
 type dedupeEntry struct {
 	done   chan struct{}
 	resp   []byte
+	tick   *wal.Ticket
 	doneAt time.Time
 }
 
@@ -129,25 +135,49 @@ func (t *dedupeTable) begin(k dedupeKey) (entry *dedupeEntry, duplicate bool) {
 	return e, false
 }
 
-// finish records the response for a pending entry, drops completed
-// entries that have aged past the retry horizon, and applies the
-// capacity backstop (counting the early evictions it forces).
-func (t *dedupeTable) finish(k dedupeKey, e *dedupeEntry, resp []byte) {
+// record publishes a pending entry's response without releasing its
+// waiters, drops completed entries that have aged past the retry
+// horizon, and applies the capacity backstop (counting the early
+// evictions it forces). On a durable server this runs under the shard
+// lock(s), after the mutation is applied and before its WAL position is
+// reserved: a snapshot capture that will prune the record's segment is
+// thereby guaranteed to already see the recording, which is what keeps
+// exactly-once intact across a crash that lands between an append's
+// fsync and its release (the recording can otherwise miss both the
+// snapshot and the pruned log). Idempotent — a second call for the same
+// entry is a no-op.
+func (t *dedupeTable) record(k dedupeKey, e *dedupeEntry, resp []byte) {
 	d := t.stripe(k)
 	now := time.Now()
 	d.mu.Lock()
-	e.resp = resp
-	e.doneAt = now
-	d.order = append(d.order, k)
-	for d.head < len(d.order) && now.Sub(d.entries[d.order[d.head]].doneAt) >= t.horizon {
-		d.evictOldest()
-	}
-	for len(d.order)-d.head > d.cap {
-		d.evictOldest()
-		t.earlyEvict.Add(1)
+	if e.resp == nil {
+		e.resp = resp
+		e.doneAt = now
+		d.order = append(d.order, k)
+		for d.head < len(d.order) && now.Sub(d.entries[d.order[d.head]].doneAt) >= t.horizon {
+			d.evictOldest()
+		}
+		for len(d.order)-d.head > d.cap {
+			d.evictOldest()
+			t.earlyEvict.Add(1)
+		}
 	}
 	d.mu.Unlock()
+}
+
+// complete attaches the durability ticket and releases every waiter.
+// Must follow record for the same entry; the close orders both writes
+// before any waiter's reads.
+func (e *dedupeEntry) complete(tick *wal.Ticket) {
+	e.tick = tick
 	close(e.done)
+}
+
+// finish records the response and releases waiters in one step — for
+// paths with no durability ticket to thread through.
+func (t *dedupeTable) finish(k dedupeKey, e *dedupeEntry, resp []byte) {
+	t.record(k, e, resp)
+	e.complete(nil)
 }
 
 // DedupeHits reports how many retried binary mutations the server
@@ -341,6 +371,12 @@ func (s *Server) handleBinary(clientID uint64, r *wire.Request) *wire.Response {
 	if dup {
 		<-e.done
 		s.dedupHit.Add(1)
+		// The recording was published before its covering fsync; the
+		// retry must ride out the original's durability wait before it
+		// may leak the response.
+		if err := e.tick.Wait(); err != nil {
+			return &wire.Response{Tag: wire.RespErr, ID: r.ID, Err: "durability: " + err.Error()}
+		}
 		resp, err := wire.DecodeResponse(e.resp)
 		if err != nil {
 			// Cannot happen: we encoded it. Fall through to a fresh apply
@@ -349,24 +385,142 @@ func (s *Server) handleBinary(clientID uint64, r *wire.Request) *wire.Response {
 		}
 		return resp
 	}
-	resp := s.applyBinary(r)
-	if resp.Tag != wire.RespErr {
-		// Durable before acked: the mutation is applied, now it must
-		// survive a crash before the client may be told it happened.
-		// apply-then-log is load-bearing for snapshots — see
-		// (*Server).walAppend. Failed validations (RespErr) changed
-		// nothing and are not logged.
-		if err := s.walAppend(clientID, r); err != nil {
-			resp = &wire.Response{Tag: wire.RespErr, ID: r.ID, Err: "durability: " + err.Error()}
-		}
+	// Durable before acked: applyMutation applies the mutation, publishes
+	// the dedupe recording, and reserves the WAL position — all under the
+	// shard lock(s), so log order equals apply order and a snapshot can
+	// never prune a record whose recording it missed. The fsync wait
+	// happens off-lock, below.
+	resp, tick := s.applyMutation(clientID, r, func(applied *wire.Response) {
+		s.dedupe.record(k, e, wire.AppendResponse(nil, applied))
+	})
+	if resp.Tag == wire.RespErr {
+		// Validation failure: nothing was applied or logged, so the
+		// under-lock callback never ran — record the error here.
+		s.dedupe.record(k, e, wire.AppendResponse(nil, resp))
 	}
-	s.dedupe.finish(k, e, wire.AppendResponse(nil, resp))
+	e.complete(tick)
+	if err := s.walWait(tick); err != nil {
+		return &wire.Response{Tag: wire.RespErr, ID: r.ID, Err: "durability: " + err.Error()}
+	}
 	return resp
+}
+
+// applyMutation applies one mutating request and — on a durable server —
+// reserves its WAL commit-queue position while every shard lock the
+// mutation touched is still held, so two racing mutations to the same
+// key can never be applied in one order and logged in the other (crash
+// recovery would replay the log and resurrect the stale value). record,
+// when non-nil, is invoked with the response inside the same critical
+// section, after the apply and before the reservation — see
+// dedupeTable.record for why that ordering is load-bearing. The caller
+// owns the returned ticket's Wait (nil when memory-only or when
+// validation failed and nothing was logged).
+//
+// Multi-key verbs lock every touched stripe at once, in ascending index
+// order (deadlock-free against each other; single-key verbs hold one
+// lock and nest nothing), rather than one stripe at a time: a per-key
+// locking walk would let another writer's record interleave between
+// this record's first and last key, breaking the log-order argument for
+// the earlier keys.
+func (s *Server) applyMutation(client uint64, r *wire.Request, record func(*wire.Response)) (*wire.Response, *wal.Ticket) {
+	errResp := func(msg string) *wire.Response {
+		return &wire.Response{Tag: wire.RespErr, ID: r.ID, Err: msg}
+	}
+	// seal publishes the outcome while the caller's locks are held:
+	// dedupe recording first, then the commit-queue reservation.
+	seal := func(resp *wire.Response) *wal.Ticket {
+		if record != nil {
+			record(resp)
+		}
+		if s.wal == nil {
+			return nil
+		}
+		return s.wal.Begin(requestRecord(client, r))
+	}
+	switch r.Verb {
+	case wire.VerbSet:
+		if err := validateKey(r.Key); err != nil {
+			return errResp(err.Error()), nil
+		}
+		sh := s.shardFor(r.Key)
+		sh.lock.Lock()
+		sh.store[r.Key] = string(r.Value)
+		resp := &wire.Response{Tag: wire.RespOK, ID: r.ID}
+		tick := seal(resp)
+		sh.lock.Unlock()
+		return resp, tick
+	case wire.VerbDel:
+		if validateKey(r.Key) != nil {
+			// No valid SET can have stored this key, so it cannot exist —
+			// and logging it would write a record replay refuses to decode
+			// (the text protocol can produce such keys; the wire decoder
+			// cannot). Nothing changes, so nothing is logged.
+			return &wire.Response{Tag: wire.RespNotFound, ID: r.ID}, nil
+		}
+		sh := s.shardFor(r.Key)
+		sh.lock.Lock()
+		_, ok := sh.store[r.Key]
+		delete(sh.store, r.Key)
+		resp := &wire.Response{Tag: wire.RespOK, ID: r.ID}
+		if !ok {
+			// NOTFOUND deletes are logged too: replay must walk the same
+			// state sequence the live run did, and a retried DEL must
+			// replay the same answer.
+			resp = &wire.Response{Tag: wire.RespNotFound, ID: r.ID}
+		}
+		tick := seal(resp)
+		sh.lock.Unlock()
+		return resp, tick
+	case wire.VerbMDel:
+		for _, k := range r.Keys {
+			if k == "" {
+				// A zero-length key would poison the log: replay rejects it
+				// as corruption. The wire decoder already refuses it.
+				return errResp("zero-length key"), nil
+			}
+		}
+		unlock := s.lockShardSet(r.Keys)
+		n := uint64(0)
+		for _, k := range r.Keys {
+			sh := s.shardFor(k)
+			if _, ok := sh.store[k]; ok {
+				delete(sh.store, k)
+				n++
+			}
+		}
+		resp := &wire.Response{Tag: wire.RespCount, ID: r.ID, N: n}
+		tick := seal(resp)
+		unlock()
+		return resp, tick
+	case wire.VerbMPut:
+		for _, kv := range r.Pairs {
+			if err := validateKey(kv.Key); err != nil {
+				return errResp(err.Error()), nil
+			}
+		}
+		keys := make([]string, 0, len(r.Pairs))
+		for _, kv := range r.Pairs {
+			keys = append(keys, kv.Key)
+		}
+		unlock := s.lockShardSet(keys)
+		for _, kv := range r.Pairs {
+			s.shardFor(kv.Key).store[kv.Key] = string(kv.Value)
+		}
+		resp := &wire.Response{Tag: wire.RespCount, ID: r.ID, N: uint64(len(r.Pairs))}
+		tick := seal(resp)
+		unlock()
+		return resp, tick
+	}
+	return errResp("not a mutating verb: " + wire.VerbName(r.Verb)), nil
 }
 
 // applyBinary is the verb dispatch. Keys obey the same rules as the
 // text protocol (the store is shared across protocols and keys surface
-// in text KEYS responses); values are opaque bytes.
+// in text KEYS responses); values are opaque bytes. Mutating verbs
+// delegate to applyMutation without dedupe bookkeeping — this is the
+// WAL replay path (the log is not yet live during recovery, so the
+// ticket is nil) and the dedupe decode fallback (which still waits out
+// its fsync).
 func (s *Server) applyBinary(r *wire.Request) *wire.Response {
 	errResp := func(msg string) *wire.Response {
 		return &wire.Response{Tag: wire.RespErr, ID: r.ID, Err: msg}
@@ -374,15 +528,12 @@ func (s *Server) applyBinary(r *wire.Request) *wire.Response {
 	switch r.Verb {
 	case wire.VerbPing:
 		return &wire.Response{Tag: wire.RespOK, ID: r.ID}
-	case wire.VerbSet:
-		if err := validateKey(r.Key); err != nil {
-			return errResp(err.Error())
+	case wire.VerbSet, wire.VerbDel, wire.VerbMDel, wire.VerbMPut:
+		resp, tick := s.applyMutation(0, r, nil)
+		if err := s.walWait(tick); err != nil {
+			return errResp("durability: " + err.Error())
 		}
-		sh := s.shardFor(r.Key)
-		sh.lock.Lock()
-		sh.store[r.Key] = string(r.Value)
-		sh.lock.Unlock()
-		return &wire.Response{Tag: wire.RespOK, ID: r.ID}
+		return resp
 	case wire.VerbGet:
 		sh := s.shardFor(r.Key)
 		sh.lock.RLock()
@@ -392,28 +543,6 @@ func (s *Server) applyBinary(r *wire.Request) *wire.Response {
 			return &wire.Response{Tag: wire.RespNotFound, ID: r.ID}
 		}
 		return &wire.Response{Tag: wire.RespValue, ID: r.ID, Value: []byte(v)}
-	case wire.VerbDel:
-		sh := s.shardFor(r.Key)
-		sh.lock.Lock()
-		_, ok := sh.store[r.Key]
-		delete(sh.store, r.Key)
-		sh.lock.Unlock()
-		if !ok {
-			return &wire.Response{Tag: wire.RespNotFound, ID: r.ID}
-		}
-		return &wire.Response{Tag: wire.RespOK, ID: r.ID}
-	case wire.VerbMDel:
-		n := uint64(0)
-		for _, k := range r.Keys {
-			sh := s.shardFor(k)
-			sh.lock.Lock()
-			if _, ok := sh.store[k]; ok {
-				delete(sh.store, k)
-				n++
-			}
-			sh.lock.Unlock()
-		}
-		return &wire.Response{Tag: wire.RespCount, ID: r.ID, N: n}
 	case wire.VerbMGet:
 		resp := &wire.Response{
 			Tag:    wire.RespMulti,
@@ -434,19 +563,6 @@ func (s *Server) applyBinary(r *wire.Request) *wire.Response {
 			}
 		}
 		return resp
-	case wire.VerbMPut:
-		for _, kv := range r.Pairs {
-			if err := validateKey(kv.Key); err != nil {
-				return errResp(err.Error())
-			}
-		}
-		for _, kv := range r.Pairs {
-			sh := s.shardFor(kv.Key)
-			sh.lock.Lock()
-			sh.store[kv.Key] = string(kv.Value)
-			sh.lock.Unlock()
-		}
-		return &wire.Response{Tag: wire.RespCount, ID: r.ID, N: uint64(len(r.Pairs))}
 	case wire.VerbCount:
 		n := uint64(0)
 		for i := range s.shards {

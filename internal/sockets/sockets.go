@@ -258,9 +258,42 @@ func (s *Server) Latency() *metrics.Histogram { return s.latency }
 // shardFor maps a key to its stripe with the same FNV-1a hash
 // mapreduce.Partition uses for reduce buckets.
 func (s *Server) shardFor(key string) *shard {
+	return &s.shards[s.shardIndex(key)]
+}
+
+// shardIndex is shardFor's stripe index.
+func (s *Server) shardIndex(key string) uint32 {
 	h := fnv.New32a()
 	h.Write([]byte(key))
-	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+	return h.Sum32() % uint32(len(s.shards))
+}
+
+// lockShardSet write-locks every stripe the keys hash to — each once,
+// in ascending index order, the global order that keeps concurrent
+// multi-key mutations deadlock-free against each other (single-key
+// paths hold one stripe and nest nothing) — and returns the matching
+// unlock. Multi-key mutations hold all their stripes across apply and
+// WAL enqueue so their log record cannot interleave with a competing
+// writer's on any of the touched keys; see applyMutation.
+func (s *Server) lockShardSet(keys []string) (unlock func()) {
+	hit := make([]bool, len(s.shards))
+	for _, k := range keys {
+		hit[s.shardIndex(k)] = true
+	}
+	idx := make([]int, 0, len(s.shards))
+	for i, b := range hit {
+		if b {
+			idx = append(idx, i)
+		}
+	}
+	for _, i := range idx {
+		s.shards[i].lock.Lock()
+	}
+	return func() {
+		for j := len(idx) - 1; j >= 0; j-- {
+			s.shards[idx[j]].lock.Unlock()
+		}
+	}
 }
 
 // Close stops accepting, drains in-flight requests for up to the
@@ -444,13 +477,17 @@ func (s *Server) handle(req string) string {
 			// client must not smuggle CR/LF into the shared store either.
 			return "ERR value must not contain CR or LF (use the binary protocol for opaque bytes)"
 		}
-		sh := s.shardFor(parts[1])
-		sh.lock.Lock()
-		sh.store[parts[1]] = parts[2]
-		sh.lock.Unlock()
-		// Log (and fsync) before the ack leaves; Client 0 marks a
-		// text-protocol mutation, which carries no dedupe identity.
-		if err := s.walAppend(0, &wire.Request{Verb: wire.VerbSet, Key: parts[1], Value: []byte(parts[2])}); err != nil {
+		// applyMutation applies and reserves the log position under the
+		// shard lock (log order = apply order), then the fsync wait runs
+		// here, before the ack leaves. Client 0 marks a text-protocol
+		// mutation, which carries no dedupe identity. Key validation now
+		// also guards the log: "SET  v" (empty key) used to store a key
+		// replay refuses to decode.
+		resp, tick := s.applyMutation(0, &wire.Request{Verb: wire.VerbSet, Key: parts[1], Value: []byte(parts[2])}, nil)
+		if resp.Tag == wire.RespErr {
+			return "ERR " + resp.Err
+		}
+		if err := s.walWait(tick); err != nil {
 			return "ERR durability: " + err.Error()
 		}
 		return "OK"
@@ -470,18 +507,16 @@ func (s *Server) handle(req string) string {
 		if len(parts) != 2 {
 			return "ERR usage: DEL key"
 		}
-		sh := s.shardFor(parts[1])
-		sh.lock.Lock()
-		_, ok := sh.store[parts[1]]
-		delete(sh.store, parts[1])
-		sh.lock.Unlock()
 		// NOTFOUND deletes are logged too: replay must walk the same
 		// state sequence the live run did, not a guess at which deletes
-		// mattered.
-		if err := s.walAppend(0, &wire.Request{Verb: wire.VerbDel, Key: parts[1]}); err != nil {
+		// mattered. (A DEL of an invalid key — "DEL " — changes nothing,
+		// answers NOTFOUND, and is not logged: its record would poison
+		// replay.)
+		resp, tick := s.applyMutation(0, &wire.Request{Verb: wire.VerbDel, Key: parts[1]}, nil)
+		if err := s.walWait(tick); err != nil {
 			return "ERR durability: " + err.Error()
 		}
-		if !ok {
+		if resp.Tag == wire.RespNotFound {
 			return "NOTFOUND"
 		}
 		return "OK"
@@ -492,20 +527,14 @@ func (s *Server) handle(req string) string {
 		if len(keys) == 0 {
 			return "ERR usage: MDEL key [key ...]"
 		}
-		n := 0
-		for _, k := range keys {
-			sh := s.shardFor(k)
-			sh.lock.Lock()
-			if _, ok := sh.store[k]; ok {
-				delete(sh.store, k)
-				n++
-			}
-			sh.lock.Unlock()
+		resp, tick := s.applyMutation(0, &wire.Request{Verb: wire.VerbMDel, Keys: keys}, nil)
+		if resp.Tag == wire.RespErr {
+			return "ERR " + resp.Err
 		}
-		if err := s.walAppend(0, &wire.Request{Verb: wire.VerbMDel, Keys: keys}); err != nil {
+		if err := s.walWait(tick); err != nil {
 			return "ERR durability: " + err.Error()
 		}
-		return fmt.Sprintf("DELETED %d", n)
+		return fmt.Sprintf("DELETED %d", resp.N)
 	case "COUNT":
 		// Shards are read-locked one at a time, so the count is a
 		// point-in-time sum per stripe, not an atomic global snapshot.

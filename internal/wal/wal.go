@@ -10,7 +10,9 @@
 //
 // The durability contract: when AppendSync returns nil the record is on
 // disk and fsynced, and will be replayed by the next Open of the same
-// directory. A crash (simulated by Crash, which truncates the active
+// directory. AppendSync splits into Begin (a non-blocking commit-queue
+// reservation) and Ticket.Wait (the fsync wait) for callers that must
+// establish log order under their own locks — see Begin. A crash (simulated by Crash, which truncates the active
 // segment back to its last-synced byte — the strictest reading of
 // kill -9) loses exactly the suffix whose AppendSync never returned.
 // Recovery tolerates one torn frame at the tail of the newest segment
@@ -31,8 +33,9 @@ import (
 
 // Errors returned by log operations.
 var (
-	ErrClosed  = errors.New("wal: log closed")
-	ErrCrashed = errors.New("wal: log crashed")
+	ErrClosed   = errors.New("wal: log closed")
+	ErrCrashed  = errors.New("wal: log crashed")
+	ErrTooLarge = errors.New("wal: record exceeds MaxRecord")
 )
 
 // Config parameterizes Open.
@@ -222,6 +225,62 @@ func (l *Log) syncDir() error {
 	return d.Sync()
 }
 
+// Ticket is one reserved position in the commit queue — the handle a
+// Begin caller holds between enqueueing a record and its covering
+// fsync.
+type Ticket struct{ t *ticket }
+
+// Wait blocks until the ticket's record is durable — written and
+// fsynced — and returns the append's outcome. Multiple goroutines may
+// Wait on the same ticket; a nil ticket (no reservation made) is
+// trivially done.
+func (tk *Ticket) Wait() error {
+	if tk == nil {
+		return nil
+	}
+	<-tk.t.done
+	return tk.t.err
+}
+
+// Begin reserves the record's position in the commit queue and returns
+// without waiting for durability. It never touches the disk — just a
+// mutex-guarded enqueue — which is what lets a caller reserve log order
+// while still holding the lock that ordered the corresponding state
+// change: apply, Begin, unlock, then Wait off-lock. Because apply and
+// reservation sit in one critical section, log order provably equals
+// apply order for any two records touching the same key, so replay
+// reconstructs the pre-crash state rather than a plausible reordering
+// of it.
+//
+// A record whose encoded payload exceeds MaxRecord fails with
+// ErrTooLarge before reaching the queue: writing it would fsync bytes
+// every subsequent Open must reject as corrupt, bricking the log.
+func (l *Log) Begin(rec *Record) *Ticket {
+	payload := rec.encode(nil)
+	if len(payload) > MaxRecord {
+		return failedTicket(fmt.Errorf("%w: payload of %d exceeds %d", ErrTooLarge, len(payload), MaxRecord))
+	}
+	frame := appendFrame(nil, payload)
+	t := &ticket{done: make(chan struct{})}
+	l.mu.Lock()
+	if err := l.stateErrLocked(); err != nil {
+		l.mu.Unlock()
+		return failedTicket(err)
+	}
+	l.queue = append(l.queue, entry{frame: frame, t: t})
+	l.mu.Unlock()
+	l.cond.Signal()
+	return &Ticket{t: t}
+}
+
+// failedTicket is a pre-resolved ticket for appends rejected before
+// they reach the queue.
+func failedTicket(err error) *Ticket {
+	t := &ticket{err: err, done: make(chan struct{})}
+	close(t.done)
+	return &Ticket{t: t}
+}
+
 // AppendSync logs one record and blocks until it is durable — written
 // and fsynced. Concurrency is what makes this fast: while one fsync is
 // in flight, every record that arrives queues behind it and rides the
@@ -229,18 +288,7 @@ func (l *Log) syncDir() error {
 // into one (the group commit). A lone writer degrades to one fsync per
 // record — the price of durability with nobody to share it with.
 func (l *Log) AppendSync(rec *Record) error {
-	frame := appendFrame(nil, rec.encode(nil))
-	t := &ticket{done: make(chan struct{})}
-	l.mu.Lock()
-	if err := l.stateErrLocked(); err != nil {
-		l.mu.Unlock()
-		return err
-	}
-	l.queue = append(l.queue, entry{frame: frame, t: t})
-	l.mu.Unlock()
-	l.cond.Signal()
-	<-t.done
-	return t.err
+	return l.Begin(rec).Wait()
 }
 
 // Rotate seals the active segment and opens the next, serialized with
@@ -322,6 +370,12 @@ func (l *Log) Close() error {
 	if already {
 		return nil
 	}
+	if l.active == nil {
+		// A failed rotation already closed the old segment and never got
+		// a new one open; surface the latched root cause instead of a
+		// spurious double-close error.
+		return l.latched()
+	}
 	return l.active.Close()
 }
 
@@ -342,7 +396,9 @@ func (l *Log) Crash() error {
 	l.mu.Unlock()
 	l.cond.Signal()
 	<-l.done
-	l.active.Close()
+	if l.active != nil { // nil after a failed rotation already closed it
+		l.active.Close()
+	}
 	return os.Truncate(l.segPath(l.actSeq), l.durable)
 }
 
@@ -459,7 +515,14 @@ func (l *Log) rotate() (uint64, error) {
 	if err := l.latched(); err != nil {
 		return 0, err
 	}
-	if err := l.active.Close(); err != nil {
+	// Past this point the old active file is closed either way: clear
+	// l.active so a failure below doesn't leave Close/Crash double-closing
+	// it (the "file already closed" error would mask the latched root
+	// cause). The old segment was fully flushed before this rotation ran,
+	// so durable still describes it correctly for Crash's truncate.
+	err := l.active.Close()
+	l.active = nil
+	if err != nil {
 		l.latch(err)
 		return 0, err
 	}

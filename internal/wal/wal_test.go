@@ -277,3 +277,58 @@ func TestWAL_LeftoverSnapshotTmpRemoved(t *testing.T) {
 		t.Fatalf("leftover tmp not removed: %v", err)
 	}
 }
+
+// TestWAL_OversizedRecordRejected: a record too big for replay to ever
+// accept must be refused at append time with ErrTooLarge — writing and
+// fsyncing it would make every subsequent Open fail with ErrCorrupt,
+// bricking the node's log. The log stays fully usable afterwards.
+func TestWAL_OversizedRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollecting(t, dir)
+	big := &Record{Kind: KindSet, Key: "k", Value: string(make([]byte, MaxRecord+1))}
+	if err := l.AppendSync(big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("AppendSync(oversized) = %v, want ErrTooLarge", err)
+	}
+	if err := l.AppendSync(&Record{Kind: KindSet, Key: "k", Value: "small"}); err != nil {
+		t.Fatalf("AppendSync after rejected oversize: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, _, recs := openCollecting(t, dir) // replay must not see poisoned bytes
+	defer l2.Close()
+	if len(recs) != 1 || recs[0].Value != "small" {
+		t.Fatalf("recovered %+v, want just the small record", recs)
+	}
+}
+
+// TestWAL_RotateFailureDoesNotDoubleClose: when rotation closes the old
+// active segment but cannot open the next (a directory planted at the
+// next segment path forces EISDIR), Close must surface the latched root
+// cause — not a spurious "file already closed" from re-closing the old
+// segment.
+func TestWAL_RotateFailureDoesNotDoubleClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollecting(t, dir)
+	if err := l.AppendSync(&Record{Kind: KindSet, Key: "k", Value: "v"}); err != nil {
+		t.Fatalf("AppendSync: %v", err)
+	}
+	// Fresh log: active segment is 00000001.seg, so rotation opens
+	// 00000002.seg next. A directory there makes OpenFile fail.
+	if err := os.Mkdir(filepath.Join(dir, "00000002.seg"), 0o755); err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	if _, err := l.Rotate(); err == nil {
+		t.Fatal("Rotate succeeded opening a directory as a segment")
+	}
+	if err := l.AppendSync(&Record{Kind: KindSet, Key: "k", Value: "v2"}); err == nil {
+		t.Fatal("AppendSync succeeded after latched rotation failure")
+	}
+	err := l.Close()
+	if err == nil {
+		t.Fatal("Close = nil, want the latched rotation error")
+	}
+	if errors.Is(err, os.ErrClosed) {
+		t.Fatalf("Close = %v: double-closed the old segment instead of surfacing the root cause", err)
+	}
+}
