@@ -74,6 +74,8 @@ func main() {
 	walBench := flag.Bool("walbench", false, "run the WAL group-commit microbench instead of the benches")
 	walWriters := flag.Int("walwriters", 64, "with -walbench: concurrent append writers")
 	walDur := flag.Duration("waldur", 2*time.Second, "with -walbench: measurement window per configuration")
+	aeBench := flag.Bool("antientropy", false, "run the anti-entropy convergence bench: restart a memory-only node empty and time the Merkle sync that rebuilds it")
+	aeKeys := flag.Int("aekeys", 10000, "with -antientropy: keys loaded (= the injected divergence)")
 	flag.Parse()
 	proto, err := sockets.ParseProto(*protoFlag)
 	if err != nil {
@@ -88,6 +90,12 @@ func main() {
 			*walDur = 500 * time.Millisecond
 		}
 		os.Exit(runWALBench(*walWriters, *walDur, *jsonPath))
+	}
+	if *aeBench {
+		if *quick {
+			*aeKeys = 1000
+		}
+		os.Exit(runAntiEntropy(*aeKeys, *valueSize, *seed, *jsonPath))
 	}
 	if *workloadFlag != "" {
 		dist, err := workload.ParseDist(*workloadFlag)

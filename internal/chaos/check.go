@@ -9,9 +9,15 @@ import (
 )
 
 // The checker validates a recorded history against the consistency
-// contract the cluster actually makes: a last-write-wins register per
-// key under strict quorums (W+R > Replicas), with failed operations
-// indeterminate.
+// contract the cluster actually makes: a versioned register per key
+// under strict quorums (W+R > Replicas), with failed operations
+// indeterminate. Replicas order copies by per-key version vectors, not
+// a global sequence, but the checker needs only one consequence of
+// that scheme: the coordinator bumps each write's vector past every
+// vector it has seen for the key, so a write that provably finished
+// before another began carries a vector the later write DOMINATES —
+// real-time-ordered writes are totally ordered by dominance, and a
+// quorum read returns the winning version its quorum holds.
 //
 // The rules, per key, using only real-time operation windows [Start,
 // End] and the run-unique write values:
@@ -22,8 +28,8 @@ import (
 //     — and it has not been superseded: no *successful* write W2 (put
 //     or del) exists with W.End < W2.Start and W2.End < R.Start. Such a
 //     W2 finished before the read began and began after the candidate
-//     finished, so its LWW sequence is provably newer and quorum
-//     intersection guarantees the read must have seen it.
+//     finished, so its version provably dominates the candidate's and
+//     quorum intersection guarantees the read must have seen it.
 //   - A successful read returning not-found has candidates {initial
 //     state} ∪ {dels D with D.Start < R.End}; the same supersession
 //     rule applies with puts as the invalidators.
@@ -32,15 +38,20 @@ import (
 //     invalidator (it cannot be proven to have happened).
 //
 // This is Porcupine-style single-key linearizability checking reduced
-// to the LWW register: because values are unique and writes totally
-// ordered by sequence, per-read validation against the write history is
-// sound without state-space search. One deliberate weakening: reads are
-// not chained to *other reads*, so a read that observes a partially
-// applied (errored) write does not force later reads to observe it too.
-// A store with no read-repair genuinely exhibits that non-monotonicity
-// when a canceled write lands on a minority of replicas; the contract
-// under test — reads see every write that was *acknowledged* — is
-// exactly what the rules above capture.
+// to the versioned register: because values are unique and real-time-
+// ordered writes are version-ordered, per-read validation against the
+// write history is sound without state-space search. Writes whose
+// windows OVERLAP may get causally concurrent (incomparable) vectors;
+// the store resolves those with a deterministic tiebreak, and the
+// checker is agnostic to which side wins — the supersession rule only
+// fires on real-time order, where dominance is guaranteed, so either
+// resolution of a genuine race is a legal observation. One deliberate
+// weakening: reads are not chained to *other reads*, so a read that
+// observes a partially applied (errored) write does not force later
+// reads to observe it too. Read repair narrows that window — a quorum
+// read asynchronously rewrites the replicas it caught lagging — but
+// cannot close it; the contract under test — reads see every write
+// that was *acknowledged* — is exactly what the rules above capture.
 
 // AnomalyKind labels a consistency violation.
 type AnomalyKind string

@@ -64,6 +64,22 @@ type Spec struct {
 	// the only safety net, and a total outage has none.
 	Durable bool
 
+	// DisableHints turns hinted handoff off: a write whose replica is
+	// unreachable is simply not delivered there, and nothing is parked
+	// to replay later — replicas silently diverge until read repair or
+	// anti-entropy reconciles them. Heal-converge scenarios set this to
+	// prove Merkle sync alone closes the gap.
+	DisableHints bool
+	// AntiEntropyInterval > 0 runs the cluster's background Merkle sync
+	// loop at this period for the whole scenario, so repair races live
+	// traffic and faults instead of only running in the epilogue.
+	AntiEntropyInterval time.Duration
+	// RequireConvergence adds a convergence gate after recovery: the
+	// harness drives SyncNow until a full pass repairs nothing (every
+	// live pair's Merkle trees match — replicas byte-identical) and
+	// fails the run if repeated passes never quiet down.
+	RequireConvergence bool
+
 	// Plan builds the fault schedule from the seeded rng and the
 	// initial node names. nil means a fault-free run.
 	Plan func(rng *rand.Rand, nodes []string) []Fault
@@ -129,14 +145,22 @@ type Report struct {
 	// Recovery is how long after the last fault cleared the cluster
 	// took to serve a clean full-key sweep again.
 	Recovery time.Duration
-	Wall     time.Duration
-	Counters *metrics.CounterSet
+	// SyncRepairs counts replica copies the post-recovery anti-entropy
+	// convergence gate rewrote (RequireConvergence scenarios only).
+	SyncRepairs int
+	// ConvergeFailure is set when the spec demanded convergence and
+	// repeated sync passes never reached a quiet (zero-repair) round.
+	ConvergeFailure string
+	Wall            time.Duration
+	Counters        *metrics.CounterSet
 }
 
 // Failed reports whether the run violated the contract: any anomaly,
-// any unexcused error, or a fault the scenario could not apply.
+// any unexcused error, a fault the scenario could not apply, or a
+// demanded convergence that never settled.
 func (r *Report) Failed() bool {
-	return len(r.Result.Anomalies) > 0 || r.Result.Errors.Unexcused > 0 || len(r.FaultErrors) > 0
+	return len(r.Result.Anomalies) > 0 || r.Result.Errors.Unexcused > 0 ||
+		len(r.FaultErrors) > 0 || r.ConvergeFailure != ""
 }
 
 // String renders the report, including the replay line a failing run
@@ -155,6 +179,12 @@ func (r *Report) String() string {
 	}
 	for _, fe := range r.FaultErrors {
 		fmt.Fprintf(&b, "  fault error: %s\n", fe)
+	}
+	if r.SyncRepairs > 0 {
+		fmt.Fprintf(&b, "convergence: anti-entropy rewrote %d replica copies\n", r.SyncRepairs)
+	}
+	if r.ConvergeFailure != "" {
+		fmt.Fprintf(&b, "  convergence failure: %s\n", r.ConvergeFailure)
 	}
 	if r.Failed() {
 		fmt.Fprintf(&b, "replay: go test ./internal/chaos -run 'TestChaos_Scenarios/%s' -chaos.seed=%d\n", r.Scenario, r.Seed)
@@ -282,20 +312,22 @@ func Run(spec Spec, seed int64) (*Report, error) {
 	}
 
 	cfg := cluster.Config{
-		Nodes:              spec.Nodes,
-		Replicas:           spec.Replicas,
-		WriteQuorum:        spec.WriteQuorum,
-		ReadQuorum:         spec.ReadQuorum,
-		HeartbeatInterval:  spec.HeartbeatInterval,
-		HeartbeatTimeout:   spec.HeartbeatTimeout,
-		PoolTimeout:        spec.PoolTimeout,
-		PoolAttempts:       spec.PoolAttempts,
-		DrainTimeout:       spec.DrainTimeout,
-		Proto:              spec.Proto,
-		AllowUnsafeQuorums: spec.AllowUnsafeQuorums,
-		HotKeyCache:        spec.HotKeyCache,
-		CacheLease:         spec.CacheLease,
-		Durable:            spec.Durable, // WAL root is a cluster-owned temp dir, removed on Close
+		Nodes:               spec.Nodes,
+		Replicas:            spec.Replicas,
+		WriteQuorum:         spec.WriteQuorum,
+		ReadQuorum:          spec.ReadQuorum,
+		HeartbeatInterval:   spec.HeartbeatInterval,
+		HeartbeatTimeout:    spec.HeartbeatTimeout,
+		PoolTimeout:         spec.PoolTimeout,
+		PoolAttempts:        spec.PoolAttempts,
+		DrainTimeout:        spec.DrainTimeout,
+		Proto:               spec.Proto,
+		AllowUnsafeQuorums:  spec.AllowUnsafeQuorums,
+		HotKeyCache:         spec.HotKeyCache,
+		CacheLease:          spec.CacheLease,
+		Durable:             spec.Durable, // WAL root is a cluster-owned temp dir, removed on Close
+		DisableHints:        spec.DisableHints,
+		AntiEntropyInterval: spec.AntiEntropyInterval,
 		// Chaos key spaces are tiny and the zipfian head is steep: a low
 		// threshold gets the hot keys resident within the short workload
 		// window, which is the point of the scenario.
@@ -356,6 +388,7 @@ func Run(spec Spec, seed int64) (*Report, error) {
 		return nil, err
 	}
 	recovery := time.Since(faultsDone)
+	syncRepairs, convergeFailure := h.converge()
 	h.verifySweep()
 
 	// With the lease cache on, the contract is bounded staleness: a
@@ -373,21 +406,53 @@ func Run(spec Spec, seed int64) (*Report, error) {
 	cs.Add("chaos.errors-canceled", float64(res.Errors.Canceled))
 	cs.Add("chaos.errors-excused", float64(res.Errors.Excused))
 	cs.Add("chaos.errors-unexcused", float64(res.Errors.Unexcused))
+	cs.Add("chaos.sync-repairs", float64(syncRepairs))
 
 	h.eventMu.Lock()
 	events := append([]cluster.Event(nil), h.events...)
 	h.eventMu.Unlock()
 	return &Report{
-		Scenario:    spec.Name,
-		Seed:        seed,
-		Plan:        plan,
-		Result:      res,
-		Events:      events,
-		FaultErrors: h.faultErrors,
-		Recovery:    recovery,
-		Wall:        time.Since(h.start),
-		Counters:    cs,
+		Scenario:        spec.Name,
+		Seed:            seed,
+		Plan:            plan,
+		Result:          res,
+		Events:          events,
+		FaultErrors:     h.faultErrors,
+		Recovery:        recovery,
+		SyncRepairs:     syncRepairs,
+		ConvergeFailure: convergeFailure,
+		Wall:            time.Since(h.start),
+		Counters:        cs,
 	}, nil
+}
+
+// converge is the convergence gate RequireConvergence scenarios run
+// between recovery and the verification sweep: repeated SyncNow passes
+// until one repairs nothing. A quiet pass means every live pair's
+// Merkle trees matched — all replicas hold byte-identical state — so
+// the gate is the run's proof that anti-entropy alone (hints disabled)
+// reconciled whatever the faults diverged. The pass cap turns an
+// oscillating repair (two replicas endlessly overwriting each other —
+// a tiebreak that is not a total order) into a failure, not a hang.
+func (h *harness) converge() (int, string) {
+	if !h.spec.RequireConvergence {
+		return 0, ""
+	}
+	const maxPasses = 16
+	total := 0
+	for pass := 1; pass <= maxPasses; pass++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		n, err := h.c.SyncNow(ctx)
+		cancel()
+		if err != nil {
+			return total, fmt.Sprintf("sync pass %d: %v", pass, err)
+		}
+		if n == 0 {
+			return total, ""
+		}
+		total += n
+	}
+	return total, fmt.Sprintf("replicas still diverging after %d sync passes (%d copies rewritten)", maxPasses, total)
 }
 
 // apply executes one fault at its scheduled time.

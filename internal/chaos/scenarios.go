@@ -215,6 +215,31 @@ func Scenarios() []Spec {
 				}
 			},
 		},
+		{
+			// Partition by false death, healed by anti-entropy alone. Two
+			// nodes are blacked out in overlapping windows, so the failure
+			// detector routes writes around them — and with hints disabled
+			// nothing is parked to replay on the up transition. Writes keep
+			// landing on whatever quorums remain, so the blacked-out
+			// replicas silently fall behind on different keys: a partition
+			// with traffic on both sides of it. After the heal, Merkle sync
+			// is the ONLY path back; the run drives it to quiescence and
+			// fails unless every replica converges byte-identically with
+			// zero lost acked writes (the sweep's quorum reads still check
+			// the whole history).
+			Name:                "heal-converge",
+			DisableHints:        true,
+			AntiEntropyInterval: ms(150),
+			RequireConvergence:  true,
+			Plan: func(rng *rand.Rand, nodes []string) []Fault {
+				a, b := pick2(rng, nodes)
+				at := ms(140 + rng.Intn(40))
+				return []Fault{
+					{At: at, For: ms(280 + rng.Intn(60)), Kind: FaultBlackout, Node: a},
+					{At: at + ms(80), For: ms(280 + rng.Intn(60)), Kind: FaultBlackout, Node: b},
+				}
+			},
+		},
 	}
 }
 

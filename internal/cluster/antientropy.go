@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"time"
+
+	"repro/internal/merkle"
+	"repro/internal/sockets"
+	"repro/internal/sockets/wire"
+	"repro/internal/version"
+)
+
+// Anti-entropy is the background convergence path: hinted handoff and
+// read repair fix the divergence the cluster *observes*, but a replica
+// that silently missed writes — hints disabled, hints expired, or a
+// partition nobody read across — stays wrong forever without an active
+// sweep. Each node maintains a Merkle digest over its keyspace (4096
+// buckets keyed by ring position, see internal/merkle); a sync pass
+// walks every live node pair down the mismatched subtrees with TREE
+// requests, lists only the divergent buckets' keys with SCAN, and
+// repairs each differing key with a version-conditional SETV of the
+// newer side's bytes. Matching subtrees are never descended into and
+// values only move for keys that actually differ, so the traffic
+// scales with the divergence, not the keyspace.
+
+// readRepair is the quorum read's background write-back: the winning
+// encoded value is pushed version-conditionally to the replicas the
+// read observed stale. Racing writes are safe — a replica that moved
+// on to a newer version just reports the repair stale and keeps what
+// it has.
+func (c *Cluster) readRepair(key, raw string, stale []*node) {
+	for _, n := range stale {
+		if n.down.Load() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(c.ctx, c.cfg.PoolTimeout)
+		code, err := n.client().SetVCtx(ctx, key, raw)
+		cancel()
+		if err == nil && sockets.SetVAppliedCode(code) {
+			c.readRepairs.Add(1)
+		}
+	}
+}
+
+// antiEntropyLoop runs SyncNow at the configured interval until the
+// cluster closes.
+func (c *Cluster) antiEntropyLoop() {
+	defer c.hbWG.Done()
+	t := time.NewTicker(c.cfg.AntiEntropyInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			c.SyncNow(c.ctx) //nolint:errcheck // periodic: a failed pass retries next tick
+		}
+	}
+}
+
+// SyncNow runs one synchronous anti-entropy pass over every unordered
+// pair of live nodes and returns how many key copies it repaired
+// (version-conditional writes that applied). A converged cluster
+// returns 0, which is what benches and tests loop on to measure
+// time-to-convergence deterministically instead of sleeping. The first
+// transport error is returned after the remaining pairs have been
+// tried — one unreachable node must not stop the others from
+// converging.
+func (c *Cluster) SyncNow(ctx context.Context) (int, error) {
+	if c.closed.Load() {
+		return 0, ErrClosed
+	}
+	c.topoMu.RLock()
+	live := make([]*node, 0, len(c.order))
+	for _, name := range c.order {
+		if n := c.nodes[name]; n != nil && !n.down.Load() && !n.killed.Load() {
+			live = append(live, n)
+		}
+	}
+	c.topoMu.RUnlock()
+
+	repaired := 0
+	var firstErr error
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			if err := ctx.Err(); err != nil {
+				return repaired, err
+			}
+			n, err := c.syncPair(ctx, live[i], live[j])
+			repaired += n
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return repaired, firstErr
+}
+
+// syncPair converges one node pair: Merkle diff walk, then a batched
+// scan-and-repair over the divergent bucket spans.
+func (c *Cluster) syncPair(ctx context.Context, a, b *node) (int, error) {
+	// pace throttles every request after a pass's first, so a large
+	// repair cannot monopolize the nodes it is repairing. Diff calls
+	// the fetchers sequentially from this goroutine, so the shared
+	// counter needs no lock.
+	reqs := 0
+	pace := func() error {
+		reqs++
+		if reqs == 1 || c.cfg.AntiEntropyWait <= 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.cfg.AntiEntropyWait):
+			return nil
+		}
+	}
+	fetch := func(n *node) merkle.Fetcher {
+		return func(ranges []merkle.Range) ([]uint64, error) {
+			if err := pace(); err != nil {
+				return nil, err
+			}
+			return n.client().TreeCtx(ctx, toSpans(ranges))
+		}
+	}
+	leaves, err := merkle.Diff(fetch(a), fetch(b), c.cfg.AntiEntropyBatch)
+	if err != nil {
+		return 0, err
+	}
+	c.aeSyncs.Add(1)
+	if len(leaves) == 0 {
+		return 0, nil
+	}
+	c.aeRanges.Add(int64(len(leaves)))
+
+	spans := toSpans(merkle.Coalesce(leaves))
+	repaired := 0
+	for len(spans) > 0 {
+		batch := spans
+		if len(batch) > c.cfg.AntiEntropyBatch {
+			batch = spans[:c.cfg.AntiEntropyBatch]
+		}
+		spans = spans[len(batch):]
+		if err := pace(); err != nil {
+			return repaired, err
+		}
+		n, err := c.repairSpans(ctx, a, b, batch)
+		repaired += n
+		if err != nil {
+			return repaired, err
+		}
+	}
+	return repaired, nil
+}
+
+// repairSpans scans one batch of divergent bucket spans on both nodes
+// and repairs every key that differs. The scans return (key, entry
+// hash) pairs sorted by key, so a single merge-join classifies each
+// key as missing on one side or present on both with different bytes;
+// values are then fetched only for those keys and the newer version is
+// pushed to the other side.
+func (c *Cluster) repairSpans(ctx context.Context, a, b *node, spans []wire.Span) (int, error) {
+	ea, err := a.client().ScanCtx(ctx, spans)
+	if err != nil {
+		return 0, err
+	}
+	eb, err := b.client().ScanCtx(ctx, spans)
+	if err != nil {
+		return 0, err
+	}
+
+	var toB, toA, conflict []string
+	i, j := 0, 0
+	for i < len(ea) || j < len(eb) {
+		switch {
+		case j >= len(eb) || (i < len(ea) && ea[i].Key < eb[j].Key):
+			toB = append(toB, ea[i].Key)
+			i++
+		case i >= len(ea) || eb[j].Key < ea[i].Key:
+			toA = append(toA, eb[j].Key)
+			j++
+		default:
+			if ea[i].Hash != eb[j].Hash {
+				conflict = append(conflict, ea[i].Key)
+			}
+			i++
+			j++
+		}
+	}
+	if len(toB)+len(toA)+len(conflict) == 0 {
+		return 0, nil
+	}
+
+	valsA, err := c.fetchRaw(ctx, a, append(append([]string(nil), toB...), conflict...))
+	if err != nil {
+		return 0, err
+	}
+	valsB, err := c.fetchRaw(ctx, b, append(append([]string(nil), toA...), conflict...))
+	if err != nil {
+		return 0, err
+	}
+
+	repaired := 0
+	for _, k := range toB {
+		if raw, ok := valsA[k]; ok && c.pushRepair(ctx, b, k, raw) {
+			repaired++
+		}
+	}
+	for _, k := range toA {
+		if raw, ok := valsB[k]; ok && c.pushRepair(ctx, a, k, raw) {
+			repaired++
+		}
+	}
+	for _, k := range conflict {
+		ra, okA := valsA[k]
+		rb, okB := valsB[k]
+		switch {
+		case okA && okB:
+			va, _, _, errA := version.Decode(ra)
+			vb, _, _, errB := version.Decode(rb)
+			switch {
+			case errA != nil && errB != nil:
+				// Neither side decodes: nothing trustworthy to copy.
+			case errA != nil:
+				if c.pushRepair(ctx, a, k, rb) {
+					repaired++
+				}
+			case errB != nil:
+				if c.pushRepair(ctx, b, k, ra) {
+					repaired++
+				}
+			case version.Newer(va, vb):
+				if c.pushRepair(ctx, b, k, ra) {
+					repaired++
+				}
+			case version.Newer(vb, va):
+				if c.pushRepair(ctx, a, k, rb) {
+					repaired++
+				}
+			}
+		case okA:
+			if c.pushRepair(ctx, b, k, ra) {
+				repaired++
+			}
+		case okB:
+			if c.pushRepair(ctx, a, k, rb) {
+				repaired++
+			}
+		}
+	}
+	return repaired, nil
+}
+
+// fetchRaw bulk-reads the given keys' stored bytes from one node. Keys
+// deleted between the scan and the fetch are simply absent from the
+// result — the next pass re-evaluates them.
+func (c *Cluster) fetchRaw(ctx context.Context, n *node, keys []string) (map[string]string, error) {
+	out := make(map[string]string, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	vals, found, err := n.client().MGetCtx(ctx, keys...)
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		if found[i] {
+			out[k] = vals[i]
+		}
+	}
+	return out, nil
+}
+
+// pushRepair version-conditionally writes one key's bytes to dst,
+// counting it only if dst is actually a replica of the key under the
+// current placement (a node can legitimately hold keys it no longer
+// replicates — vacated copies awaiting cleanup — and those must not be
+// spread further) and the write applied.
+func (c *Cluster) pushRepair(ctx context.Context, dst *node, key, raw string) bool {
+	if strings.HasPrefix(key, hintMark) || !c.replicaFor(key, dst.name) {
+		return false
+	}
+	code, err := dst.client().SetVCtx(ctx, key, raw)
+	if err != nil || !sockets.SetVAppliedCode(code) {
+		return false
+	}
+	c.aeKeysRepaired.Add(1)
+	c.aeBytesMoved.Add(int64(len(key) + len(raw)))
+	return true
+}
+
+// replicaFor reports whether the named node is one of key's replicas
+// under the placement every other path uses — the pre-change ring
+// while a migration window is open.
+func (c *Cluster) replicaFor(key, name string) bool {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	ring := c.ring
+	if c.prevRing != nil {
+		ring = c.prevRing
+	}
+	for _, n := range ring.NodesFor(key, c.cfg.Replicas) {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// toSpans converts merkle bucket ranges into wire spans.
+func toSpans(ranges []merkle.Range) []wire.Span {
+	spans := make([]wire.Span, len(ranges))
+	for i, r := range ranges {
+		spans[i] = wire.Span{Lo: uint32(r.Lo), Hi: uint32(r.Hi)}
+	}
+	return spans
+}
+
+// ReadRepairs reports how many stale replica copies quorum reads have
+// rewritten.
+func (c *Cluster) ReadRepairs() int64 { return c.readRepairs.Load() }
+
+// AntiEntropyRepaired reports how many key copies anti-entropy passes
+// have pushed to a diverged replica.
+func (c *Cluster) AntiEntropyRepaired() int64 { return c.aeKeysRepaired.Load() }
+
+// AntiEntropyBytes reports the approximate repair payload volume —
+// key plus encoded value bytes for every applied repair.
+func (c *Cluster) AntiEntropyBytes() int64 { return c.aeBytesMoved.Load() }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/version"
 )
 
 // cacheShards spreads the hot-key cache over independently locked
@@ -28,19 +30,20 @@ const cacheShards = 16
 //     START, not at insertion: expires = readStart + lease. Any write
 //     W2 that could make the entry stale must have finished AFTER
 //     readStart (had W2's write quorum completed before the read
-//     began, quorum intersection would have surfaced W2's seq to the
-//     read), so a cached read served before readStart+lease is stale
-//     by strictly less than lease relative to W2's completion.
+//     began, quorum intersection would have surfaced W2's version to
+//     the read), so a cached read served before readStart+lease is
+//     stale by strictly less than lease relative to W2's completion.
 //   - Writes are write-through before they return: PutCtx/DelCtx call
-//     writeThrough with the committed sequence, so a client that saw
+//     writeThrough with the committed version, so a client that saw
 //     its own write complete reads its own write from the cache
 //     (read-your-writes within one cluster handle), and the entry a
 //     newer write supersedes is replaced before any later-starting
 //     read can observe it.
-//   - Every update is guarded by the cluster-global write sequence
-//     (apply only if newSeq >= entry.seq), so racing populates and
-//     write-throughs resolve exactly like replica divergence does:
-//     last-write-wins.
+//   - Every update is guarded by the version total order (apply only
+//     if the incoming version is not beaten by the resident one), so
+//     racing populates and write-throughs resolve exactly like replica
+//     divergence does: dominance first, deterministic tiebreak for
+//     concurrent histories.
 //
 // Net guarantee: a cached read is never staler than the configured
 // lease, and the chaos checker verifies it with the lease as the
@@ -78,10 +81,18 @@ type cacheShard struct {
 // not-founds (a hot key that was deleted keeps absorbing reads).
 type cacheEntry struct {
 	key     string
-	seq     int64
+	ver     version.Version
 	value   string
 	deleted bool
 	expires time.Time
+}
+
+// supersedes reports whether an update carrying ver may overwrite an
+// entry at cur: yes unless cur strictly beats it under the version
+// total order. Equal versions refresh (same bytes, fresher lease),
+// mirroring the seed's `seq >= entry.seq` guard.
+func supersedes(ver, cur version.Version) bool {
+	return !version.Newer(cur, ver)
 }
 
 // newHotCache sizes the cache. size is the total entry budget across
@@ -144,9 +155,9 @@ func (h *hotCache) lookup(key string) (value string, found, hit bool) {
 // observe feeds one quorum read's outcome to the cache: it counts the
 // key toward hot admission and, once admitted (or already resident),
 // installs the result with the lease anchored at readStart. found=false
-// with seq 0 is a quorum-agreed "never existed"; found=false with a
-// real seq is a tombstone — both cache as not-found.
-func (h *hotCache) observe(key string, readStart time.Time, seq int64, value string, found bool) {
+// with a zero version is a quorum-agreed "never existed"; found=false
+// with a real version is a tombstone — both cache as not-found.
+func (h *hotCache) observe(key string, readStart time.Time, ver version.Version, value string, found bool) {
 	if h == nil {
 		return
 	}
@@ -159,8 +170,8 @@ func (h *hotCache) observe(key string, readStart time.Time, seq int64, value str
 	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
-		if seq >= e.seq {
-			e.seq, e.value, e.deleted, e.expires = seq, value, !found, expires
+		if supersedes(ver, e.ver) {
+			e.ver, e.value, e.deleted, e.expires = ver, value, !found, expires
 		}
 		s.lru.MoveToFront(el)
 		return
@@ -183,19 +194,19 @@ func (h *hotCache) observe(key string, readStart time.Time, seq int64, value str
 		h.evictions.Add(1)
 	}
 	s.entries[key] = s.lru.PushFront(&cacheEntry{
-		key: key, seq: seq, value: value, deleted: !found, expires: expires,
+		key: key, ver: ver, value: value, deleted: !found, expires: expires,
 	})
 	h.admissions.Add(1)
 }
 
 // writeThrough lands a committed write on the cache before PutCtx or
-// DelCtx returns: resident entries are updated in place (same seq
+// DelCtx returns: resident entries are updated in place (same version
 // guard as observe) with a fresh lease from now — the value IS the
 // newest committed version at this instant, and any write that
 // supersedes it will run its own writeThrough before returning.
 // Non-resident keys are left alone: write traffic must not flush the
 // read-hot working set.
-func (h *hotCache) writeThrough(key string, seq int64, value string, deleted bool) {
+func (h *hotCache) writeThrough(key string, ver version.Version, value string, deleted bool) {
 	if h == nil {
 		return
 	}
@@ -203,8 +214,8 @@ func (h *hotCache) writeThrough(key string, seq int64, value string, deleted boo
 	s.mu.Lock()
 	if el, ok := s.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
-		if seq >= e.seq {
-			e.seq, e.value, e.deleted, e.expires = seq, value, deleted, time.Now().Add(h.lease)
+		if supersedes(ver, e.ver) {
+			e.ver, e.value, e.deleted, e.expires = ver, value, deleted, time.Now().Add(h.lease)
 		}
 	}
 	s.mu.Unlock()

@@ -4,14 +4,27 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"repro/internal/version"
 )
+
+// vclock builds a totally ordered test version: n writes by one
+// coordinator, so vclock(a) dominates vclock(b) exactly when a > b —
+// the same shape the old integer sequence guard was tested with.
+// vclock(0) is the zero version ("never existed").
+func vclock(n uint64) version.Version {
+	if n == 0 {
+		return version.Version{}
+	}
+	return version.Version{VV: version.Vector{"n0": n}, Clock: int64(n)}
+}
 
 // admitKey drives key through the admission threshold so later observe
 // calls hit the resident-entry path. Uses a generous lease anchor (now)
 // so nothing expires mid-setup.
-func admitKey(h *hotCache, key string, seq int64, value string) {
+func admitKey(h *hotCache, key string, seq uint64, value string) {
 	for i := 0; i < h.threshold; i++ {
-		h.observe(key, time.Now(), seq, value, true)
+		h.observe(key, time.Now(), vclock(seq), value, true)
 	}
 }
 
@@ -19,13 +32,13 @@ func TestHotCache_AdmissionThreshold(t *testing.T) {
 	h := newHotCache(64, time.Minute, 3, time.Minute)
 
 	// Below threshold: no residency, lookups miss.
-	h.observe("k", time.Now(), 1, "v", true)
-	h.observe("k", time.Now(), 1, "v", true)
+	h.observe("k", time.Now(), vclock(1), "v", true)
+	h.observe("k", time.Now(), vclock(1), "v", true)
 	if _, _, hit := h.lookup("k"); hit {
 		t.Fatal("key resident after 2 observes with threshold 3")
 	}
 	// Third observe within the window admits.
-	h.observe("k", time.Now(), 1, "v", true)
+	h.observe("k", time.Now(), vclock(1), "v", true)
 	v, ok, hit := h.lookup("k")
 	if !hit || !ok || v != "v" {
 		t.Fatalf("lookup after admission = (%q, %v, %v), want (v, true, true)", v, ok, hit)
@@ -41,7 +54,7 @@ func TestHotCache_AdmissionThreshold(t *testing.T) {
 func TestHotCache_LeaseExpiry(t *testing.T) {
 	h := newHotCache(64, 20*time.Millisecond, 1, time.Minute)
 	start := time.Now()
-	h.observe("k", start, 1, "v", true)
+	h.observe("k", start, vclock(1), "v", true)
 	if _, _, hit := h.lookup("k"); !hit {
 		t.Fatal("fresh entry did not hit")
 	}
@@ -56,7 +69,7 @@ func TestHotCache_LeaseExpiry(t *testing.T) {
 	// An observe whose read started longer than a lease ago installs
 	// nothing: the result is already too old to serve.
 	h2 := newHotCache(64, 20*time.Millisecond, 1, time.Minute)
-	h2.observe("stale", time.Now().Add(-time.Second), 1, "v", true)
+	h2.observe("stale", time.Now().Add(-time.Second), vclock(1), "v", true)
 	if _, _, hit := h2.lookup("stale"); hit {
 		t.Fatal("observe installed an already-expired result")
 	}
@@ -68,22 +81,22 @@ func TestHotCache_SeqGuard(t *testing.T) {
 
 	// A straggler quorum read carrying an older seq must not regress the
 	// entry (it raced with a newer write-through or populate).
-	h.observe("k", time.Now(), 3, "v3", true)
+	h.observe("k", time.Now(), vclock(3), "v3", true)
 	if v, _, hit := h.lookup("k"); !hit || v != "v5" {
 		t.Fatalf("old-seq observe regressed entry: got %q, want v5", v)
 	}
 	// Equal or newer seq applies.
-	h.observe("k", time.Now(), 7, "v7", true)
+	h.observe("k", time.Now(), vclock(7), "v7", true)
 	if v, _, hit := h.lookup("k"); !hit || v != "v7" {
 		t.Fatalf("new-seq observe not applied: got %q, want v7", v)
 	}
 
 	// Same guard on the write-through path.
-	h.writeThrough("k", 6, "v6", false)
+	h.writeThrough("k", vclock(6), "v6", false)
 	if v, _, _ := h.lookup("k"); v != "v7" {
 		t.Fatalf("old-seq writeThrough regressed entry: got %q, want v7", v)
 	}
-	h.writeThrough("k", 9, "v9", false)
+	h.writeThrough("k", vclock(9), "v9", false)
 	if v, _, _ := h.lookup("k"); v != "v9" {
 		t.Fatalf("writeThrough not applied: got %q, want v9", v)
 	}
@@ -93,13 +106,13 @@ func TestHotCache_WriteThroughResidentOnly(t *testing.T) {
 	h := newHotCache(64, time.Minute, 3, time.Minute)
 	// Write traffic to a cold key must not admit it: a write-heavy
 	// stream would otherwise flush the read-hot working set.
-	h.writeThrough("cold", 1, "v", false)
+	h.writeThrough("cold", vclock(1), "v", false)
 	if _, _, hit := h.lookup("cold"); hit {
 		t.Fatal("writeThrough admitted a non-resident key")
 	}
 
 	admitKey(h, "hot", 1, "v1")
-	h.writeThrough("hot", 2, "v2", false)
+	h.writeThrough("hot", vclock(2), "v2", false)
 	if v, ok, hit := h.lookup("hot"); !hit || !ok || v != "v2" {
 		t.Fatalf("resident write-through = (%q, %v, %v), want (v2, true, true)", v, ok, hit)
 	}
@@ -108,7 +121,7 @@ func TestHotCache_WriteThroughResidentOnly(t *testing.T) {
 func TestHotCache_DeleteCachesTombstone(t *testing.T) {
 	h := newHotCache(64, time.Minute, 1, time.Minute)
 	admitKey(h, "k", 1, "v")
-	h.writeThrough("k", 2, "", true)
+	h.writeThrough("k", vclock(2), "", true)
 	v, ok, hit := h.lookup("k")
 	if !hit {
 		t.Fatal("deleted hot key fell out of the cache; tombstone should keep absorbing reads")
@@ -118,7 +131,7 @@ func TestHotCache_DeleteCachesTombstone(t *testing.T) {
 	}
 
 	// Quorum-agreed "never existed" (seq 0) also caches as not-found.
-	h.observe("ghost", time.Now(), 0, "", false)
+	h.observe("ghost", time.Now(), vclock(0), "", false)
 	if _, ok, hit := h.lookup("ghost"); !hit || ok {
 		t.Fatalf("never-existed key = (ok=%v, hit=%v), want cached not-found", ok, hit)
 	}
@@ -146,8 +159,8 @@ func TestHotCache_LRUEviction(t *testing.T) {
 			break
 		}
 	}
-	h.observe(a, time.Now(), 1, "va", true)
-	h.observe(b, time.Now(), 1, "vb", true)
+	h.observe(a, time.Now(), vclock(1), "va", true)
+	h.observe(b, time.Now(), vclock(1), "vb", true)
 	if _, _, hit := h.lookup(a); hit {
 		t.Fatal("LRU entry survived eviction")
 	}
@@ -161,14 +174,14 @@ func TestHotCache_LRUEviction(t *testing.T) {
 
 func TestHotCache_AdmissionWindowResets(t *testing.T) {
 	h := newHotCache(64, time.Minute, 2, 10*time.Millisecond)
-	h.observe("k", time.Now(), 1, "v", true)
+	h.observe("k", time.Now(), vclock(1), "v", true)
 	time.Sleep(20 * time.Millisecond)
 	// Window rolled: the earlier count is gone, so this is 1-of-2 again.
-	h.observe("k", time.Now(), 1, "v", true)
+	h.observe("k", time.Now(), vclock(1), "v", true)
 	if _, _, hit := h.lookup("k"); hit {
 		t.Fatal("key admitted across window reset; counts must not accumulate forever")
 	}
-	h.observe("k", time.Now(), 1, "v", true)
+	h.observe("k", time.Now(), vclock(1), "v", true)
 	if _, _, hit := h.lookup("k"); !hit {
 		t.Fatal("key not admitted after threshold reads within one window")
 	}
@@ -179,8 +192,8 @@ func TestHotCache_NilSafe(t *testing.T) {
 	if _, _, hit := h.lookup("k"); hit {
 		t.Fatal("nil cache hit")
 	}
-	h.observe("k", time.Now(), 1, "v", true)
-	h.writeThrough("k", 1, "v", false)
+	h.observe("k", time.Now(), vclock(1), "v", true)
+	h.writeThrough("k", vclock(1), "v", false)
 	if h.Hits() != 0 || h.Misses() != 0 {
 		t.Fatal("nil cache counters non-zero")
 	}

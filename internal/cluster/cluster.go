@@ -10,10 +10,16 @@
 // and node join/leave migrates only the ~K/n keys whose arcs moved,
 // fanned out in parallel on a sched.Pool.
 //
-// Values carry a per-cluster write sequence number so quorum reads
-// resolve divergent replicas by last-write-wins; the db.DHT doubles as
-// the ring metadata, so its Moves() counter certifies the minimal-
-// movement property on every topology change.
+// Values carry a per-key version vector (internal/version) stamped by
+// the write's coordinator, so quorum reads resolve divergent replicas
+// causally — a replica that merely missed writes is Dominated, and only
+// genuinely concurrent histories fall back to the deterministic
+// wall-clock tiebreak. Reads that observe stale replicas repair them in
+// the background (read repair), and a Merkle-tree anti-entropy loop
+// (antientropy.go) lets replicas that diverged silently — with hints
+// disabled or expired — find and exchange exactly the keys that differ.
+// The db.DHT doubles as the ring metadata, so its Moves() counter
+// certifies the minimal-movement property on every topology change.
 package cluster
 
 import (
@@ -22,7 +28,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -31,6 +36,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/sched"
 	"repro/internal/sockets"
+	"repro/internal/version"
 )
 
 // Config parameterizes a Cluster. The zero value gets the defaults
@@ -121,6 +127,29 @@ type Config struct {
 	// keyspace growth when a destination never comes back. Default 30s;
 	// negative disables expiry.
 	HintTTL time.Duration
+
+	// DisableHints turns hinted handoff off entirely: a write that
+	// cannot reach a replica directly simply misses it (the quorum can
+	// still succeed on the replicas it did reach), and nothing is parked
+	// for replay. With hints off, anti-entropy is the only mechanism
+	// that brings a recovered replica back in sync — which is exactly
+	// the configuration the heal-converge chaos scenario runs to prove
+	// anti-entropy converges on its own.
+	DisableHints bool
+	// AntiEntropyInterval, when positive, runs a background Merkle-tree
+	// sync pass (SyncNow) over every live node pair at this period. Zero
+	// leaves anti-entropy manual: tests and benches call SyncNow
+	// directly so convergence is deterministic instead of slept-for.
+	AntiEntropyInterval time.Duration
+	// AntiEntropyBatch caps how many Merkle spans one TREE or SCAN
+	// request carries during a sync pass (default 64): smaller batches
+	// bound per-request work on the remote node, larger ones cut round
+	// trips.
+	AntiEntropyBatch int
+	// AntiEntropyWait is an optional pause between successive batched
+	// requests inside one sync pass (default 0) — a throttle so a large
+	// repair cannot monopolize the nodes it is repairing.
+	AntiEntropyWait time.Duration
 
 	// ServerPreHandle, when non-nil, supplies each named node's
 	// sockets.ServerConfig.PreHandle — the fault-injection surface that
@@ -237,12 +266,20 @@ func (n *node) server() *sockets.Server {
 type Cluster struct {
 	cfg Config
 
-	// topoMu guards the ring, the tracked key set, and the membership
+	// topoMu guards the ring, the tracked key table, and the membership
 	// tables. Request paths hold it only to compute placement; all
 	// network traffic happens outside it.
+	//
+	// keys maps each tracked key to its last-seen version vector — the
+	// causal history this client has stamped onto the key so far. The
+	// next write bumps the coordinator's slot in that vector under the
+	// same exclusive lock that computes placement, so writes from this
+	// client to one key always dominate their predecessors; concurrent
+	// (incomparable) vectors only arise across clients or from injected
+	// divergence.
 	topoMu sync.RWMutex
 	ring   *db.DHT
-	keys   map[string]struct{}
+	keys   map[string]version.Vector
 	nodes  map[string]*node
 	order  []string // join order, for stable iteration and reports
 
@@ -266,7 +303,6 @@ type Cluster struct {
 	topoChange sync.Mutex
 
 	sched *sched.Pool
-	seq   atomic.Int64 // write sequence for last-write-wins resolution
 
 	// cache is the hot-key read cache; nil unless Config.HotKeyCache.
 	// Every method is nil-safe, so call sites need no guard.
@@ -280,17 +316,28 @@ type Cluster struct {
 	hbWG   sync.WaitGroup
 	closed atomic.Bool
 
-	puts           atomic.Int64
-	gets           atomic.Int64
-	dels           atomic.Int64
-	quorumFailures atomic.Int64
-	opsCanceled    atomic.Int64
-	hintedWrites   atomic.Int64
-	hintsReplayed  atomic.Int64
-	hintsExpired   atomic.Int64
-	downEvents     atomic.Int64
-	upEvents       atomic.Int64
-	keysMigrated   atomic.Int64
+	puts            atomic.Int64
+	gets            atomic.Int64
+	dels            atomic.Int64
+	quorumFailures  atomic.Int64
+	opsCanceled     atomic.Int64
+	hintedWrites    atomic.Int64
+	hintsReplayed   atomic.Int64
+	hintsExpired    atomic.Int64
+	hintsConcurrent atomic.Int64 // hint replays that met a concurrent stored version
+	downEvents      atomic.Int64
+	upEvents        atomic.Int64
+	keysMigrated    atomic.Int64
+	readRepairs     atomic.Int64 // stale replicas rewritten by quorum reads
+
+	// Anti-entropy accounting (see antientropy.go): pair syncs run,
+	// divergent leaf ranges walked, keys repaired, and the approximate
+	// bytes moved doing it — what proves the Merkle exchange scales with
+	// divergence, not keyspace.
+	aeSyncs        atomic.Int64
+	aeRanges       atomic.Int64
+	aeKeysRepaired atomic.Int64
+	aeBytesMoved   atomic.Int64
 
 	// walRoot is the durable cluster's log directory; walTemp marks it
 	// cluster-owned (created by New, removed by Close).
@@ -355,6 +402,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.HintTTL == 0 {
 		cfg.HintTTL = 30 * time.Second
 	}
+	if cfg.AntiEntropyBatch <= 0 {
+		cfg.AntiEntropyBatch = 64
+	}
 	if cfg.Replicas > cfg.Nodes {
 		return nil, fmt.Errorf("cluster: %d replicas need at least that many nodes (have %d)", cfg.Replicas, cfg.Nodes)
 	}
@@ -372,7 +422,7 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:   cfg,
 		ring:  ring,
-		keys:  make(map[string]struct{}),
+		keys:  make(map[string]version.Vector),
 		nodes: make(map[string]*node),
 		sched: sched.New(cfg.Workers),
 	}
@@ -403,6 +453,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.hbWG.Add(1)
 	go c.heartbeatLoop()
+	if cfg.AntiEntropyInterval > 0 {
+		c.hbWG.Add(1)
+		go c.antiEntropyLoop()
+	}
 	return c, nil
 }
 
@@ -413,6 +467,10 @@ func (c *Cluster) startNode(name string) (*node, error) {
 		Shards:       c.cfg.ServerShards,
 		DrainTimeout: c.cfg.DrainTimeout,
 		MaxPending:   c.cfg.MaxPending,
+		// Hints are per-holder state, not replicated data: leaving them
+		// in the Merkle digest would make any node holding parked hints
+		// look permanently divergent from its peers.
+		SyncExcludePrefix: hintMark,
 	}
 	if c.cfg.Durable {
 		// Per-node directory, stable across Restart: recovery replays
@@ -511,43 +569,13 @@ func (c *Cluster) validateKey(key string) error {
 	return nil
 }
 
-// Stored values carry a write sequence and a kind marker:
-// "<seq> v <value>" for live values, "<seq> t" for delete tombstones.
-// Tombstones ride the same quorum/hint/migration machinery as writes,
-// so a delete wins or loses against concurrent puts by last-write-wins
-// sequence exactly like an overwrite — without them, a replica that
-// missed the DEL would resurrect the key on the next quorum read.
-func encode(seq int64, value string) string {
-	return strconv.FormatInt(seq, 10) + " v " + value
-}
-
-// encodeTombstone stamps a delete marker with its write sequence.
-func encodeTombstone(seq int64) string {
-	return strconv.FormatInt(seq, 10) + " t"
-}
-
-// decode splits a stored value back into sequence, payload, and whether
-// it is a delete tombstone.
-func decode(raw string) (seq int64, value string, deleted bool, err error) {
-	parts := strings.SplitN(raw, " ", 3)
-	seq, err = strconv.ParseInt(parts[0], 10, 64)
-	if err != nil {
-		return 0, "", false, fmt.Errorf("cluster: bad version in %q", raw)
-	}
-	if len(parts) < 2 {
-		return 0, "", false, fmt.Errorf("cluster: unversioned value %q", raw)
-	}
-	switch parts[1] {
-	case "t":
-		return seq, "", true, nil
-	case "v":
-		if len(parts) == 3 {
-			return seq, parts[2], false, nil
-		}
-		return seq, "", false, nil
-	}
-	return 0, "", false, fmt.Errorf("cluster: bad kind marker in %q", raw)
-}
+// Stored values carry a version stamp and a kind marker — see
+// internal/version for the encoding ("<stamp> v <value>" for live
+// values, "<stamp> t" for delete tombstones). Tombstones ride the same
+// quorum/hint/migration/anti-entropy machinery as writes, so a delete
+// wins or loses against concurrent puts by the version total order
+// exactly like an overwrite — without them, a replica that missed the
+// DEL would resurrect the key on the next quorum read.
 
 // placement is the routing decision for one key: its replica set, the
 // fallback nodes hints can land on, and — during a migration window —
@@ -623,12 +651,12 @@ func (c *Cluster) Put(key, value string) error {
 // than W replicas acknowledged; a canceled or expired ctx surfaces as
 // an error wrapping ctx.Err().
 func (c *Cluster) PutCtx(ctx context.Context, key, value string) error {
-	seq, err := c.writeQuorum(ctx, "put", key, func(seq int64) string { return encode(seq, value) })
+	ver, err := c.writeQuorum(ctx, "put", key, func(v version.Version) string { return version.Encode(v, value) })
 	if err == nil {
 		c.puts.Add(1)
 		// Write-through before returning: a caller that saw this Put
 		// complete must read its own write, cached or not.
-		c.cache.writeThrough(key, seq, value, false)
+		c.cache.writeThrough(key, ver, value, false)
 	}
 	return err
 }
@@ -640,51 +668,72 @@ func (c *Cluster) Del(key string) error {
 }
 
 // DelCtx removes key by writing a delete tombstone to a write quorum of
-// its replicas — the same fan-out, hinting, and last-write-wins rules
-// as PutCtx, so a delete racing a put resolves by sequence instead of
-// resurrecting on the next read. Deleting a missing key is not an
-// error (the tombstone simply becomes the newest version).
+// its replicas — the same fan-out, hinting, and version-resolution
+// rules as PutCtx, so a delete racing a put resolves by the version
+// order instead of resurrecting on the next read. Deleting a missing
+// key is not an error (the tombstone simply becomes the newest
+// version).
 func (c *Cluster) DelCtx(ctx context.Context, key string) error {
-	seq, err := c.writeQuorum(ctx, "del", key, encodeTombstone)
+	ver, err := c.writeQuorum(ctx, "del", key, version.EncodeTombstone)
 	if err == nil {
 		c.dels.Add(1)
 		// Cached tombstone: a hot key that was just deleted keeps
 		// absorbing reads as cached not-founds instead of re-fanning out.
-		c.cache.writeThrough(key, seq, "", true)
+		c.cache.writeThrough(key, ver, "", true)
 	}
 	return err
 }
 
 // writeQuorum is the shared quorum-write core under PutCtx and DelCtx:
-// it stamps a fresh write sequence, encodes the payload, and fans out
-// to the key's replicas until W acks arrive.
-func (c *Cluster) writeQuorum(ctx context.Context, op, key string, payload func(seq int64) string) (int64, error) {
+// it stamps the write with the key's next version vector, encodes the
+// payload, and fans out to the key's replicas until W acks arrive.
+//
+// The version is assigned inside the same exclusive topology-lock
+// critical section that computes placement: the key's last-seen vector
+// is bumped in the coordinator's slot (the first live replica — the
+// node this client writes on behalf of) and written back, so every
+// write this client issues to a key causally dominates its
+// predecessors no matter how their network fan-outs interleave.
+func (c *Cluster) writeQuorum(ctx context.Context, op, key string, payload func(v version.Version) string) (version.Version, error) {
+	var zero version.Version
 	if c.closed.Load() {
-		return 0, ErrClosed
+		return zero, ErrClosed
 	}
 	if err := c.validateKey(key); err != nil {
-		return 0, err
+		return zero, err
 	}
 	if err := ctx.Err(); err != nil {
 		c.opsCanceled.Add(1)
-		return 0, fmt.Errorf("cluster: %s %q aborted: %w", op, key, err)
+		return zero, fmt.Errorf("cluster: %s %q aborted: %w", op, key, err)
 	}
-	seq := c.seq.Add(1)
-	enc := payload(seq)
 
 	c.topoMu.Lock()
 	if err := c.ring.Put(key, ""); err != nil {
 		c.topoMu.Unlock()
-		return 0, err
+		return zero, err
 	}
-	c.keys[key] = struct{}{}
 	p := c.placeLocked(key)
+	if len(p.replicas) == 0 {
+		c.topoMu.Unlock()
+		c.quorumFailures.Add(1)
+		return zero, fmt.Errorf("%w: no replicas for %q", ErrNoQuorum, key)
+	}
+	coord := p.replicas[0].name
+	for _, r := range p.replicas {
+		if !r.down.Load() {
+			coord = r.name
+			break
+		}
+	}
+	ver := version.Version{VV: c.keys[key]}.Next(coord, time.Now().UnixNano())
+	c.keys[key] = ver.VV
 	if c.prevRing != nil {
 		c.dirty[key] = struct{}{}
 	}
 	c.inflight.Add(1)
 	c.topoMu.Unlock()
 	defer c.inflight.Done()
+	enc := payload(ver)
 
 	// During a migration window, also land the write on the next
 	// topology's new replicas. Best effort on the cluster lifetime (the
@@ -694,7 +743,7 @@ func (c *Cluster) writeQuorum(ctx context.Context, op, key string, payload func(
 		go func(n *node) {
 			ectx, ecancel := context.WithTimeout(c.ctx, c.cfg.PoolTimeout)
 			defer ecancel()
-			n.client().SetCtx(ectx, key, enc) //nolint:errcheck // see above
+			n.client().SetVCtx(ectx, key, enc) //nolint:errcheck // see above
 		}(extra)
 	}
 
@@ -715,33 +764,42 @@ func (c *Cluster) writeQuorum(ctx context.Context, op, key string, payload func(
 			}
 		case <-ctx.Done():
 			c.opsCanceled.Add(1)
-			return 0, fmt.Errorf("cluster: %s %q canceled at %d/%d write acks: %w",
+			return zero, fmt.Errorf("cluster: %s %q canceled at %d/%d write acks: %w",
 				op, key, got, c.cfg.WriteQuorum, ctx.Err())
 		}
 		if got >= c.cfg.WriteQuorum {
-			return seq, nil
+			return ver, nil
 		}
 	}
 	c.quorumFailures.Add(1)
-	return 0, fmt.Errorf("%w: %d/%d write acks for %q", ErrNoQuorum, got, c.cfg.WriteQuorum, key)
+	return zero, fmt.Errorf("%w: %d/%d write acks for %q", ErrNoQuorum, got, c.cfg.WriteQuorum, key)
 }
 
 // writeReplica lands one replica's copy: directly when the node is
-// healthy, as a hinted handoff on the first live fallback when not.
-// ctx is the per-op fan-out context; once it is canceled (quorum
-// reached or caller gone) the remaining network attempts abort.
+// healthy, as a hinted handoff on the first live fallback when not
+// (unless hints are disabled). Direct writes go through SETV — the
+// version-conditional set — so a delayed or retried fan-out can never
+// regress a replica that already absorbed a newer version; any SETV
+// that round-trips counts as an ack, because afterwards the replica
+// provably stores a version at least as new as this write's. ctx is
+// the per-op fan-out context; once it is canceled (quorum reached or
+// caller gone) the remaining network attempts abort.
 func (c *Cluster) writeReplica(ctx context.Context, key, enc string, target *node, fallbacks []*node) bool {
 	if !target.down.Load() {
-		if err := target.client().SetCtx(ctx, key, enc); err == nil {
+		if _, err := target.client().SetVCtx(ctx, key, enc); err == nil {
 			return true
 		}
 	}
 	if ctx.Err() != nil {
 		return false // canceled: don't burn fallbacks on a dead op
 	}
+	if c.cfg.DisableHints {
+		return false // the miss stands until anti-entropy repairs it
+	}
 	hk := hintKey(target.name, key)
 	// Hints carry their birth time so the TTL sweep can age them out;
-	// replay unwraps before applying.
+	// replay unwraps before applying. The wrapper rides a plain SET —
+	// hint keys are per-holder scratch state, not versioned data.
 	henc := hintEncode(enc)
 	for _, f := range fallbacks {
 		if f.down.Load() {
@@ -765,13 +823,18 @@ func (c *Cluster) Get(key string) (value string, found bool, err error) {
 }
 
 // GetCtx reads key from a read quorum of its replicas under ctx and
-// returns the newest version seen (last-write-wins by sequence number).
-// Replies are consumed as they arrive; the R-th answer resolves the
-// read and cancels the stragglers — quorum intersection (W+R >
-// Replicas) already guarantees the newest quorum write is among any R
-// distinct replica answers. found is false when a quorum agrees the key
-// does not exist; ErrNoQuorum reports fewer than R reachable replicas;
-// a canceled or expired ctx surfaces as an error wrapping ctx.Err().
+// returns the newest version seen: causal dominance decides when the
+// replicas' version vectors are comparable, the deterministic
+// wall-clock tiebreak when they are concurrent. Replies are consumed
+// as they arrive; the R-th answer resolves the read and cancels the
+// stragglers — quorum intersection (W+R > Replicas) already guarantees
+// the newest quorum write is among any R distinct replica answers.
+// Replicas observed holding a missing or older version are repaired in
+// the background (read repair): the winning encoded value is written
+// back to them version-conditionally, so the next read finds them
+// converged. found is false when a quorum agrees the key does not
+// exist; ErrNoQuorum reports fewer than R reachable replicas; a
+// canceled or expired ctx surfaces as an error wrapping ctx.Err().
 func (c *Cluster) GetCtx(ctx context.Context, key string) (value string, found bool, err error) {
 	if c.closed.Load() {
 		return "", false, ErrClosed
@@ -800,7 +863,9 @@ func (c *Cluster) GetCtx(ctx context.Context, key string) (value string, found b
 	c.gets.Add(1)
 
 	type resp struct {
-		seq     int64
+		node    *node
+		ver     version.Version
+		raw     string // the stored bytes, for read repair
 		value   string
 		found   bool // some version (value or tombstone) exists
 		deleted bool // that version is a tombstone
@@ -812,29 +877,30 @@ func (c *Cluster) GetCtx(ctx context.Context, key string) (value string, found b
 	for _, n := range p.replicas {
 		go func(n *node) {
 			if n.down.Load() {
-				resps <- resp{err: fmt.Errorf("cluster: node %s is down", n.name)}
+				resps <- resp{node: n, err: fmt.Errorf("cluster: node %s is down", n.name)}
 				return
 			}
 			raw, ok, err := n.client().GetCtx(opCtx, key)
 			if err != nil {
-				resps <- resp{err: err}
+				resps <- resp{node: n, err: err}
 				return
 			}
 			if !ok {
-				resps <- resp{} // a valid "not here" answer
+				resps <- resp{node: n} // a valid "not here" answer
 				return
 			}
-			seq, v, deleted, err := decode(raw)
+			ver, v, deleted, err := version.Decode(raw)
 			if err != nil {
-				resps <- resp{err: err}
+				resps <- resp{node: n, err: err}
 				return
 			}
-			resps <- resp{seq: seq, value: v, found: true, deleted: deleted}
+			resps <- resp{node: n, ver: ver, raw: raw, value: v, found: true, deleted: deleted}
 		}(n)
 	}
 
 	answered := 0
 	var best resp
+	got := make([]resp, 0, len(p.replicas))
 	for pending := len(p.replicas); pending > 0; pending-- {
 		select {
 		case r := <-resps:
@@ -842,7 +908,8 @@ func (c *Cluster) GetCtx(ctx context.Context, key string) (value string, found b
 				continue
 			}
 			answered++
-			if r.found && (!best.found || r.seq > best.seq) {
+			got = append(got, r)
+			if r.found && (!best.found || version.Newer(r.ver, best.ver)) {
 				best = r
 			}
 		case <-ctx.Done():
@@ -851,7 +918,24 @@ func (c *Cluster) GetCtx(ctx context.Context, key string) (value string, found b
 				key, answered, c.cfg.ReadQuorum, ctx.Err())
 		}
 		if answered >= c.cfg.ReadQuorum {
-			c.cache.observe(key, readStart, best.seq, best.value, best.found && !best.deleted)
+			// Read repair: every answered replica holding something other
+			// than the winning version (nothing at all, a dominated
+			// version, or a concurrent one that lost the tiebreak) gets
+			// the winner written back asynchronously. SETV makes the
+			// write-back safe to race with anything: a replica that moved
+			// on to a newer version in the meantime just reports stale.
+			if best.found {
+				var stale []*node
+				for _, r := range got {
+					if !r.found || r.ver.Compare(best.ver) != version.Equal {
+						stale = append(stale, r.node)
+					}
+				}
+				if len(stale) > 0 {
+					go c.readRepair(key, best.raw, stale)
+				}
+			}
+			c.cache.observe(key, readStart, best.ver, best.value, best.found && !best.deleted)
 			// A newest-version tombstone means the key is deleted: the
 			// quorum agrees it existed, and that its last write removed it.
 			if best.deleted {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/sockets"
+	"repro/internal/version"
 )
 
 // testConfig returns fast-timeout settings so failure paths run in
@@ -206,7 +207,7 @@ func TestClusterHintedHandoffReplaysOnRestart(t *testing.T) {
 		if err != nil || !ok {
 			t.Fatalf("restarted node2 missing replicated %s (%v, %v)", key, ok, err)
 		}
-		if _, v, _, _ := decode(raw); v != fmt.Sprintf("val-%d", i) {
+		if _, v, _, _ := version.Decode(raw); v != fmt.Sprintf("val-%d", i) {
 			t.Fatalf("restarted node2 has %s = %q", key, raw)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/sockets"
+	"repro/internal/version"
 )
 
 // heartbeatLoop is the failure detector: every HeartbeatInterval it
@@ -96,7 +97,8 @@ func (c *Cluster) probeNode(n *node) bool {
 	}
 	if n.down.Load() {
 		// Replay before flipping up so a write racing the transition
-		// still hints (hints are deduplicated by sequence on replay).
+		// still hints (replay is version-conditional, so re-applying is
+		// harmless).
 		c.replayHints(c.ctx, n)
 		if n.epoch.Load() != epoch {
 			return false // node churned during the replay sweep
@@ -219,24 +221,38 @@ type hintOutcome int
 
 const (
 	hintApplied hintOutcome = iota // written to the home node
-	hintStale                      // home node already holds a newer version
+	hintStale                      // home node already holds a version at least as new
 	hintFailed                     // malformed or transport failure: keep the hint
 )
 
-// applyHint writes one hinted value to its home node unless the node
-// already holds something at least as new (last-write-wins).
+// applyHint replays one hinted value onto its home node with a single
+// version-conditional SETV: the node compares the hint's version vector
+// against what it stores, under its own shard lock, and applies only if
+// the hint wins. This replaces the seed's read-compare-write sequence,
+// which had two defects the vectors expose: it was a TOCTOU race (the
+// node could absorb a newer write between the GET and the SET), and its
+// integer comparison `cur >= hint` silently dropped hints whose history
+// was *concurrent* with the stored one — with vectors those compare
+// incomparable, the deterministic tiebreak picks the same winner on
+// every replica, and either way the outcome is counted
+// (hints.concurrent) instead of being misread as plain staleness.
 func (c *Cluster) applyHint(ctx context.Context, dest *node, key, raw string) hintOutcome {
-	hintSeq, _, _, err := decode(raw)
+	if _, _, _, err := version.Decode(raw); err != nil {
+		return hintFailed
+	}
+	code, err := dest.client().SetVCtx(ctx, key, raw)
 	if err != nil {
 		return hintFailed
 	}
-	if cur, ok, err := dest.client().GetCtx(ctx, key); err == nil && ok {
-		if curSeq, _, _, err := decode(cur); err == nil && curSeq >= hintSeq {
-			return hintStale
-		}
-	}
-	if dest.client().SetCtx(ctx, key, raw) == nil {
+	switch code {
+	case sockets.SetVAppliedConcurrent:
+		c.hintsConcurrent.Add(1)
+		return hintApplied
+	case sockets.SetVStaleConcurrent:
+		c.hintsConcurrent.Add(1)
+		return hintStale
+	case sockets.SetVApplied:
 		return hintApplied
 	}
-	return hintFailed
+	return hintStale
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/sockets"
+	"repro/internal/version"
 )
 
 // Topology changes run in three phases so quorum intersection never
@@ -17,7 +18,7 @@ import (
 //     writes double-write to the new ring's replicas and mark their
 //     keys dirty.
 //  2. Copy (concurrent with traffic): every moved key's newest version
-//     — max write sequence across all live old replicas, so a
+//     — the winning version vector across all live old replicas, so a
 //     quorum-aborted laggard can never be mistaken for the truth — is
 //     copied to its new homes.
 //  3. Cutover (under topoMu, in-flight ops drained): keys written
@@ -37,12 +38,14 @@ type move struct {
 // Join adds a fresh node to the ring and migrates the keys whose
 // replica sets now include it — the ~K/n arc move, fanned out on the
 // sched pool. The name must be unique, non-empty, and free of
-// whitespace and '~' (it appears inside hint keys).
+// whitespace, '~' (it appears inside hint keys), and the version
+// stamp's delimiters ':', ',' and '@' (it appears inside version
+// vectors — see internal/version).
 func (c *Cluster) Join(name string) error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
-	if name == "" || strings.ContainsAny(name, " \t\n\r~") {
+	if name == "" || strings.ContainsAny(name, " \t\n\r~:,@") {
 		return fmt.Errorf("cluster: bad node name %q", name)
 	}
 	c.topoChange.Lock()
@@ -176,7 +179,10 @@ func (c *Cluster) cutover(moves []move, byName map[string]*node, dropNode string
 		}
 		for _, dst := range subtract(m.new, m.old) {
 			if n := byName[dst]; n != nil && !n.down.Load() {
-				n.client().SetCtx(c.ctx, key, raw) //nolint:errcheck // repaired again on the node's next down/up cycle at worst
+				// Version-conditional: the bulk copy phase may have raced a
+				// double-write onto this destination, and the re-copy must
+				// never regress it to something older.
+				n.client().SetVCtx(c.ctx, key, raw) //nolint:errcheck // repaired again by anti-entropy at worst
 			}
 		}
 	}
@@ -187,29 +193,32 @@ func (c *Cluster) cutover(moves []move, byName map[string]*node, dropNode string
 }
 
 // newestCopy reads key from every live source replica and returns the
-// raw stored value with the highest write sequence. Reading one replica
-// would risk trusting a copy a quorum-abort cancellation left behind.
+// raw stored value whose version wins the total order — causal
+// dominance first, tiebreak for concurrent histories. Reading one
+// replica would risk trusting a copy a quorum-abort cancellation left
+// behind.
 func (c *Cluster) newestCopy(ctx context.Context, key string, srcs []string, byName map[string]*node) (string, bool) {
-	bestSeq := int64(-1)
+	var bestVer version.Version
 	var bestRaw string
+	found := false
 	for _, src := range srcs {
 		n := byName[src]
 		if n == nil || n.down.Load() {
 			continue
 		}
-		raw, found, err := n.client().GetCtx(ctx, key)
-		if err != nil || !found {
+		raw, ok, err := n.client().GetCtx(ctx, key)
+		if err != nil || !ok {
 			continue
 		}
-		seq, _, _, err := decode(raw)
+		ver, _, _, err := version.Decode(raw)
 		if err != nil {
 			continue
 		}
-		if seq > bestSeq {
-			bestSeq, bestRaw = seq, raw
+		if !found || version.Newer(ver, bestVer) {
+			found, bestVer, bestRaw = true, ver, raw
 		}
 	}
-	return bestRaw, bestSeq >= 0
+	return bestRaw, found
 }
 
 // replicaSetsLocked snapshots every tracked key's replica set.

@@ -22,6 +22,12 @@ func (c *Cluster) Counters() *metrics.CounterSet {
 	cs.Add("cluster.hinted-writes", float64(c.hintedWrites.Load()))
 	cs.Add("cluster.hints-replayed", float64(c.hintsReplayed.Load()))
 	cs.Add("hints.expired", float64(c.hintsExpired.Load()))
+	cs.Add("hints.concurrent", float64(c.hintsConcurrent.Load()))
+	cs.Add("readrepair.writes", float64(c.readRepairs.Load()))
+	cs.Add("antientropy.syncs", float64(c.aeSyncs.Load()))
+	cs.Add("antientropy.ranges", float64(c.aeRanges.Load()))
+	cs.Add("antientropy.keys-repaired", float64(c.aeKeysRepaired.Load()))
+	cs.Add("antientropy.bytes", float64(c.aeBytesMoved.Load()))
 	cs.Add("cluster.down-events", float64(c.downEvents.Load()))
 	cs.Add("cluster.up-events", float64(c.upEvents.Load()))
 	cs.Add("cluster.keys-migrated", float64(c.keysMigrated.Load()))

@@ -38,6 +38,12 @@ func NewDHT(vnodes int) (*DHT, error) {
 	}, nil
 }
 
+// RingPos is a key's position on the hash ring — the same position
+// NodesFor walks from, exported so anti-entropy Merkle trees can bucket
+// the keyspace by ring arc and a bucket range maps onto a contiguous
+// span of replica arcs.
+func RingPos(key string) uint32 { return hashString(key) }
+
 func hashString(s string) uint32 {
 	h := fnv.New32a()
 	h.Write([]byte(s))

@@ -1,0 +1,92 @@
+package merkle
+
+import "sort"
+
+// Range is a half-open bucket span [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Fetcher returns one range hash per requested span, in order. The
+// anti-entropy driver backs this with a TREE wire call; tests back it
+// with a local Tree.
+type Fetcher func(ranges []Range) ([]uint64, error)
+
+// Local adapts a Tree into a Fetcher for the node's own side of a
+// diff walk.
+func (t *Tree) Local() Fetcher {
+	return func(ranges []Range) ([]uint64, error) {
+		out := make([]uint64, len(ranges))
+		for i, r := range ranges {
+			out[i] = t.RangeHash(r.Lo, r.Hi)
+		}
+		return out, nil
+	}
+}
+
+// Diff walks two digests down from the full keyspace and returns the
+// single buckets where they disagree. Each round compares up to batch
+// spans in one fetch per side (the wire verb carries the whole batch in
+// one frame), splits every mismatched span in half, and recurses; a
+// mismatched span of width one is a divergent leaf. Matching spans are
+// never descended into, so the number of hashes exchanged scales with
+// the number of divergent arcs times the tree depth, not with the
+// keyspace.
+func Diff(a, b Fetcher, batch int) ([]Range, error) {
+	if batch <= 0 {
+		batch = 32
+	}
+	frontier := []Range{{0, Buckets}}
+	var leaves []Range
+	for len(frontier) > 0 {
+		n := len(frontier)
+		if n > batch {
+			n = batch
+		}
+		round := frontier[:n]
+		frontier = frontier[n:]
+		ha, err := a(round)
+		if err != nil {
+			return nil, err
+		}
+		hb, err := b(round)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range round {
+			if ha[i] == hb[i] {
+				continue
+			}
+			if r.Hi-r.Lo == 1 {
+				leaves = append(leaves, r)
+				continue
+			}
+			mid := (r.Lo + r.Hi) / 2
+			frontier = append(frontier, Range{r.Lo, mid}, Range{mid, r.Hi})
+		}
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].Lo < leaves[j].Lo })
+	return leaves, nil
+}
+
+// Coalesce merges adjacent or overlapping spans so a run of divergent
+// buckets becomes one SCAN request instead of many.
+func Coalesce(spans []Range) []Range {
+	if len(spans) == 0 {
+		return nil
+	}
+	sorted := make([]Range, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+	out := sorted[:1]
+	for _, r := range sorted[1:] {
+		if last := &out[len(out)-1]; r.Lo <= last.Hi {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}

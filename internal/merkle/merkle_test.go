@@ -1,0 +1,196 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// replica is a toy store + digest pair for driving diff walks.
+type replica struct {
+	store map[string]string
+	tree  Tree
+}
+
+func newReplica() *replica { return &replica{store: map[string]string{}} }
+
+func (r *replica) set(key, value string) {
+	old, had := r.store[key]
+	r.store[key] = value
+	r.tree.Apply(key, old, value, had, true)
+}
+
+func (r *replica) del(key string) {
+	old, had := r.store[key]
+	if had {
+		delete(r.store, key)
+		r.tree.Apply(key, old, "", true, false)
+	}
+}
+
+// keysIn lists the replica's keys whose bucket falls inside any span.
+func (r *replica) keysIn(spans []Range) map[string]bool {
+	out := map[string]bool{}
+	for k := range r.store {
+		b := BucketOf(k)
+		for _, s := range spans {
+			if b >= s.Lo && b < s.Hi {
+				out[k] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestApplyInverts(t *testing.T) {
+	r := newReplica()
+	base := r.tree.RangeHash(0, Buckets)
+	r.set("k1", "v1")
+	r.set("k2", "v2")
+	if r.tree.RangeHash(0, Buckets) == base {
+		t.Fatal("writes did not change the digest")
+	}
+	r.set("k1", "v1b")
+	r.del("k1")
+	r.del("k2")
+	if got := r.tree.RangeHash(0, Buckets); got != base {
+		t.Fatalf("digest %d after deleting everything, want the empty digest %d", got, base)
+	}
+}
+
+func TestIdenticalStoresMatchEverywhere(t *testing.T) {
+	a, b := newReplica(), newReplica()
+	for i := 0; i < 500; i++ {
+		k, v := fmt.Sprintf("key-%04d", i), fmt.Sprintf("val-%d", i)
+		a.set(k, v)
+		b.set(k, v)
+	}
+	leaves, err := Diff(a.tree.Local(), b.tree.Local(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) != 0 {
+		t.Fatalf("identical stores diverge in %d buckets: %v", len(leaves), leaves)
+	}
+}
+
+// TestDiffFindsExactlyInjectedDivergence is the property test: inject
+// random divergence into two otherwise-identical stores and assert the
+// walk surfaces exactly the divergent keys — and that the bytes moved
+// scale with the divergence, not the keyspace.
+func TestDiffFindsExactlyInjectedDivergence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			a, b := newReplica(), newReplica()
+			const keyspace = 4000
+			keys := make([]string, keyspace)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%06d", i)
+				v := fmt.Sprintf("val-%d", rng.Int63())
+				a.set(keys[i], v)
+				b.set(keys[i], v)
+			}
+
+			// Inject divergence: changed values, keys missing on one
+			// side, and keys present only on one side.
+			injected := map[string]bool{}
+			nDiverge := 5 + rng.Intn(25)
+			for len(injected) < nDiverge {
+				k := keys[rng.Intn(keyspace)]
+				if injected[k] {
+					continue
+				}
+				injected[k] = true
+				switch rng.Intn(3) {
+				case 0:
+					a.set(k, "divergent-"+k)
+				case 1:
+					b.set(k, "divergent-"+k)
+				case 2:
+					b.del(k)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				k := fmt.Sprintf("only-%d-%d", seed, i)
+				injected[k] = true
+				a.set(k, "fresh")
+			}
+
+			// Count hashes exchanged during the walk (the TREE traffic).
+			var hashesFetched int
+			counting := func(f Fetcher) Fetcher {
+				return func(ranges []Range) ([]uint64, error) {
+					hashesFetched += len(ranges)
+					return f(ranges)
+				}
+			}
+			leaves, err := Diff(counting(a.tree.Local()), counting(b.tree.Local()), 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spans := Coalesce(leaves)
+
+			// Every divergent key's bucket is surfaced, and the keys a
+			// scan of those spans would exchange are exactly the
+			// injected set plus their bucket cohabitants.
+			exchanged := a.keysIn(spans)
+			for k := range b.keysIn(spans) {
+				exchanged[k] = true
+			}
+			for k := range injected {
+				if !exchanged[k] {
+					t.Fatalf("injected divergent key %q (bucket %d) not surfaced by the walk", k, BucketOf(k))
+				}
+			}
+			// The divergent *entries* found by comparing scanned hashes
+			// must equal the injected set exactly — cohabitant keys in
+			// the same bucket compare equal and are filtered out.
+			divergent := map[string]bool{}
+			for k := range exchanged {
+				av, aok := a.store[k]
+				bv, bok := b.store[k]
+				if aok != bok || av != bv {
+					divergent[k] = true
+				}
+			}
+			if len(divergent) != len(injected) {
+				t.Fatalf("divergent set has %d keys, injected %d", len(divergent), len(injected))
+			}
+			for k := range injected {
+				if !divergent[k] {
+					t.Fatalf("injected key %q not in divergent set", k)
+				}
+			}
+
+			// Traffic scales with the divergence, not the keyspace:
+			// each divergent bucket costs at most the tree depth (12)
+			// in hash pairs per side, plus the shared prefix of the
+			// descent, and the scan touches only cohabitant keys.
+			maxHashes := 2 * (len(leaves) + 2) * 16 // generous: depth*leaves plus batch slack, both sides
+			if hashesFetched > maxHashes {
+				t.Fatalf("walk fetched %d hashes for %d divergent buckets (bound %d)", hashesFetched, len(leaves), maxHashes)
+			}
+			if len(exchanged) > 16*len(injected)+32 {
+				t.Fatalf("scan would exchange %d keys for %d injected divergences", len(exchanged), len(injected))
+			}
+			if len(exchanged) >= keyspace/4 {
+				t.Fatalf("scan touches %d of %d keys — scaling with keyspace, not divergence", len(exchanged), keyspace)
+			}
+		})
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	got := Coalesce([]Range{{5, 6}, {1, 2}, {2, 3}, {6, 7}, {10, 11}})
+	want := []Range{{1, 3}, {5, 7}, {10, 11}}
+	if len(got) != len(want) {
+		t.Fatalf("Coalesce = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Coalesce = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package sockets
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/merkle"
+	"repro/internal/sockets/wire"
+	"repro/internal/version"
+)
+
+// SETV outcome codes, carried in the RespCount body (text: "SETV <n>").
+// The verb is a version-conditional set: the server decodes the stored
+// value's stamp, compares it to the incoming one, and applies the write
+// only if the incoming version wins the cluster's total order. The
+// split between plain and concurrent outcomes is what lets hint replay
+// count conflicting histories instead of silently dropping them.
+const (
+	// SetVApplied: the incoming version strictly dominates what was
+	// stored (or nothing decodable was stored) — the write landed.
+	SetVApplied uint64 = 0
+	// SetVAppliedConcurrent: the versions were causally concurrent and
+	// the incoming one won the tiebreak — the write landed.
+	SetVAppliedConcurrent uint64 = 1
+	// SetVStale: the stored version dominates or equals the incoming
+	// one — nothing changed.
+	SetVStale uint64 = 2
+	// SetVStaleConcurrent: the versions were causally concurrent and
+	// the stored one won the tiebreak — nothing changed.
+	SetVStaleConcurrent uint64 = 3
+)
+
+// SetVAppliedCode reports whether a SETV outcome code means the write
+// was applied.
+func SetVAppliedCode(code uint64) bool {
+	return code == SetVApplied || code == SetVAppliedConcurrent
+}
+
+// setvOutcome compares an incoming encoded value against the stored one
+// and decides whether to apply. An undecodable or missing stored value
+// loses: SETV's callers always carry well-formed stamps, so whatever is
+// there predates the versioning scheme or was corrupted — either way
+// the stamped write is the one to keep.
+func setvOutcome(cur string, curOK bool, in version.Version) (apply bool, code uint64) {
+	if !curOK {
+		return true, SetVApplied
+	}
+	curV, _, _, err := version.Decode(cur)
+	if err != nil {
+		return true, SetVApplied
+	}
+	conc := in.Compare(curV) == version.Concurrent
+	switch {
+	case version.Newer(in, curV) && conc:
+		return true, SetVAppliedConcurrent
+	case version.Newer(in, curV):
+		return true, SetVApplied
+	case conc:
+		return false, SetVStaleConcurrent
+	}
+	return false, SetVStale
+}
+
+// digestApply folds one store mutation into the anti-entropy digest.
+// Runs under the shard lock that ordered the mutation; excluded keys
+// (hints) never touch the digest.
+func (s *Server) digestApply(key, oldValue, newValue string, hadOld, hasNew bool) {
+	if s.syncExclude != "" && strings.HasPrefix(key, s.syncExclude) {
+		return
+	}
+	s.digest.Apply(key, oldValue, newValue, hadOld, hasNew)
+}
+
+// clampSpan clips a wire span to the digest's bucket universe.
+func clampSpan(sp wire.Span) (lo, hi int) {
+	lo, hi = int(sp.Lo), int(sp.Hi)
+	if hi > merkle.Buckets {
+		hi = merkle.Buckets
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// parseTextSpans parses the text protocol's "lo-hi" span tokens.
+func parseTextSpans(tokens []string) ([]wire.Span, error) {
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("usage: TREE|SCAN lo-hi [lo-hi ...]")
+	}
+	spans := make([]wire.Span, 0, len(tokens))
+	for _, tok := range tokens {
+		dash := strings.IndexByte(tok, '-')
+		if dash <= 0 {
+			return nil, fmt.Errorf("bad span %q (want lo-hi)", tok)
+		}
+		lo, err := strconv.ParseUint(tok[:dash], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad span %q: %v", tok, err)
+		}
+		hi, err := strconv.ParseUint(tok[dash+1:], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad span %q: %v", tok, err)
+		}
+		if lo >= hi {
+			return nil, fmt.Errorf("empty span %q", tok)
+		}
+		spans = append(spans, wire.Span{Lo: uint32(lo), Hi: uint32(hi)})
+	}
+	return spans, nil
+}
+
+// --- text-protocol client parsers (shared by Client and Pool) ---
+
+func doSetV(rt roundTripper, key, value string) (uint64, error) {
+	if err := validateKey(key); err != nil {
+		return 0, err
+	}
+	if err := validateTextValue(value); err != nil {
+		return 0, err
+	}
+	resp, err := rt("SETV " + key + " " + value)
+	if err != nil {
+		return 0, err
+	}
+	var code uint64
+	if _, err := fmt.Sscanf(resp, "SETV %d", &code); err != nil {
+		return 0, fmt.Errorf("%w: %s", ErrServer, resp)
+	}
+	return code, nil
+}
+
+func textSpans(spans []wire.Span) string {
+	toks := make([]string, 0, len(spans))
+	for _, sp := range spans {
+		toks = append(toks, fmt.Sprintf("%d-%d", sp.Lo, sp.Hi))
+	}
+	return strings.Join(toks, " ")
+}
+
+func doTree(rt roundTripper, spans []wire.Span) ([]uint64, error) {
+	resp, err := rt("TREE " + textSpans(spans))
+	if err != nil {
+		return nil, err
+	}
+	if resp != "HASHES" && !strings.HasPrefix(resp, "HASHES ") {
+		return nil, fmt.Errorf("%w: %s", ErrServer, resp)
+	}
+	fields := strings.Fields(resp)[1:]
+	if len(fields) != len(spans) {
+		return nil, fmt.Errorf("%w: %d hashes for %d spans", ErrServer, len(fields), len(spans))
+	}
+	out := make([]uint64, 0, len(fields))
+	for _, f := range fields {
+		h, err := strconv.ParseUint(f, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad hash %q", ErrServer, f)
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+func doScan(rt roundTripper, spans []wire.Span) ([]wire.ScanEntry, error) {
+	resp, err := rt("SCAN " + textSpans(spans))
+	if err != nil {
+		return nil, err
+	}
+	if resp != "SCAN" && !strings.HasPrefix(resp, "SCAN ") {
+		return nil, fmt.Errorf("%w: %s", ErrServer, resp)
+	}
+	fields := strings.Fields(resp)[1:]
+	if len(fields)%2 != 0 {
+		return nil, fmt.Errorf("%w: odd scan field count %d", ErrServer, len(fields))
+	}
+	out := make([]wire.ScanEntry, 0, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		h, err := strconv.ParseUint(fields[i+1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad entry hash %q", ErrServer, fields[i+1])
+		}
+		out = append(out, wire.ScanEntry{Key: fields[i], Hash: h})
+	}
+	return out, nil
+}
+
+// applyTree answers TREE: one range hash per requested span.
+func (s *Server) applyTree(r *wire.Request) *wire.Response {
+	resp := &wire.Response{Tag: wire.RespHashes, ID: r.ID, Hashes: make([]uint64, 0, len(r.Spans))}
+	for _, sp := range r.Spans {
+		lo, hi := clampSpan(sp)
+		resp.Hashes = append(resp.Hashes, s.digest.RangeHash(lo, hi))
+	}
+	return resp
+}
+
+// applyScan answers SCAN: every stored (key, entry hash) whose Merkle
+// bucket falls inside any requested span, sorted by key. Values never
+// leave the node here — the driver compares entry hashes and fetches
+// only the keys that actually differ. Shards are read-locked one at a
+// time (point-in-time per stripe, like COUNT); anti-entropy tolerates
+// the skew — a transiently wrong hash just re-scans next round.
+func (s *Server) applyScan(r *wire.Request) *wire.Response {
+	resp := &wire.Response{Tag: wire.RespScan, ID: r.ID}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock.RLock()
+		for k, v := range sh.store {
+			if s.syncExclude != "" && strings.HasPrefix(k, s.syncExclude) {
+				continue
+			}
+			b := uint32(merkle.BucketOf(k))
+			for _, sp := range r.Spans {
+				if b >= sp.Lo && b < sp.Hi {
+					resp.Scan = append(resp.Scan, wire.ScanEntry{Key: k, Hash: merkle.EntryHash(k, v)})
+					break
+				}
+			}
+		}
+		sh.lock.RUnlock()
+	}
+	sort.Slice(resp.Scan, func(i, j int) bool { return resp.Scan[i].Key < resp.Scan[j].Key })
+	return resp
+}

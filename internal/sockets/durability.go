@@ -27,6 +27,10 @@ func (s *Server) openWAL(cfg ServerConfig) error {
 			for _, kv := range snap.Pairs {
 				sh := s.shardFor(kv.Key)
 				sh.store[kv.Key] = kv.Value
+				// Snapshot pairs bypass applyMutation, so fold them into
+				// the anti-entropy digest here; the log tail replays
+				// through the live path and tracks itself.
+				s.digestApply(kv.Key, "", kv.Value, false, true)
 			}
 			for _, e := range snap.Dedupe {
 				s.dedupe.preload(dedupeKey{client: e.Client, id: e.ID}, e.Resp)
@@ -173,6 +177,13 @@ func requestRecord(client uint64, r *wire.Request) *wal.Record {
 	rec := &wal.Record{Client: client, ID: r.ID, Key: r.Key}
 	switch r.Verb {
 	case wire.VerbSet:
+		rec.Kind = wal.KindSet
+		rec.Value = string(r.Value)
+	case wire.VerbSetV:
+		// An applied SETV logs as a plain set: the version compare already
+		// ran (only winners are logged), so replay just restores the bytes
+		// — the store ends byte-identical without any version logic in the
+		// replay path.
 		rec.Kind = wal.KindSet
 		rec.Value = string(r.Value)
 	case wire.VerbDel:

@@ -477,6 +477,42 @@ func (p *Pool) binMPut(ctx context.Context, pairs []wire.KV) error {
 	return nil
 }
 
+func (p *Pool) binSetV(ctx context.Context, key, value string) (uint64, error) {
+	if err := validateKey(key); err != nil {
+		return 0, err
+	}
+	resp, err := p.binDo(ctx, &wire.Request{Verb: wire.VerbSetV, Key: key, Value: []byte(value)})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Tag != wire.RespCount {
+		return 0, binErr(resp)
+	}
+	return resp.N, nil
+}
+
+func (p *Pool) binTree(ctx context.Context, spans []wire.Span) ([]uint64, error) {
+	resp, err := p.binDo(ctx, &wire.Request{Verb: wire.VerbTree, Spans: spans})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Tag != wire.RespHashes || len(resp.Hashes) != len(spans) {
+		return nil, binErr(resp)
+	}
+	return resp.Hashes, nil
+}
+
+func (p *Pool) binScan(ctx context.Context, spans []wire.Span) ([]wire.ScanEntry, error) {
+	resp, err := p.binDo(ctx, &wire.Request{Verb: wire.VerbScan, Spans: spans})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Tag != wire.RespScan {
+		return nil, binErr(resp)
+	}
+	return resp.Scan, nil
+}
+
 // chunkKeys splits a key list so each batch PDU stays well under the
 // frame limit (same budget as the text path's MDEL chunking).
 func chunkKeys(keys []string) [][]string {

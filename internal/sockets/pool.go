@@ -565,6 +565,39 @@ func (p *Pool) MPutCtx(ctx context.Context, pairs []KV) error {
 	return nil
 }
 
+// SetVCtx stores key = value only if value's embedded version stamp
+// wins the total order against whatever the node already stores,
+// returning the SetV* outcome code. This is the write the anti-entropy
+// machinery uses everywhere it copies data between replicas: unlike a
+// blind SetCtx, a delayed or retried SETV can never regress a replica
+// to an older version.
+func (p *Pool) SetVCtx(ctx context.Context, key, value string) (uint64, error) {
+	if p.binary() {
+		return p.binSetV(ctx, key, value)
+	}
+	return doSetV(p.rt(ctx), key, value)
+}
+
+// TreeCtx fetches the node's Merkle range hash for each span — the
+// descent step of an anti-entropy diff walk.
+func (p *Pool) TreeCtx(ctx context.Context, spans []wire.Span) ([]uint64, error) {
+	if p.binary() {
+		return p.binTree(ctx, spans)
+	}
+	return doTree(p.rt(ctx), spans)
+}
+
+// ScanCtx lists the node's (key, entry hash) pairs for the given Merkle
+// bucket spans — the leaf step of an anti-entropy diff walk. Values are
+// not transferred; the caller compares hashes and fetches only the keys
+// that differ.
+func (p *Pool) ScanCtx(ctx context.Context, spans []wire.Span) ([]wire.ScanEntry, error) {
+	if p.binary() {
+		return p.binScan(ctx, spans)
+	}
+	return doScan(p.rt(ctx), spans)
+}
+
 // Count returns the number of stored keys.
 func (p *Pool) Count() (int, error) { return p.CountCtx(context.Background()) }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/sockets/wire"
+	"repro/internal/version"
 	"repro/internal/wal"
 )
 
@@ -363,8 +364,16 @@ func preHandleText(r *wire.Request) string {
 // ID is answered from the recording instead of applied twice.
 func (s *Server) handleBinary(clientID uint64, r *wire.Request) *wire.Response {
 	switch r.Verb {
-	case wire.VerbPing, wire.VerbGet, wire.VerbCount, wire.VerbKeys, wire.VerbMGet:
+	case wire.VerbPing, wire.VerbGet, wire.VerbCount, wire.VerbKeys, wire.VerbMGet,
+		wire.VerbTree, wire.VerbScan:
 		return s.applyBinary(r) // reads: idempotent, no dedupe bookkeeping
+	case wire.VerbSetV:
+		// SETV mutates but skips the dedupe table on purpose: the version
+		// comparison makes it naturally idempotent (a retry of an applied
+		// SETV finds its own stamp stored, compares Equal, and changes
+		// nothing), so exactly-once needs no recording — and its WAL
+		// record is only written when the compare said apply.
+		return s.applyBinary(r)
 	}
 	k := dedupeKey{client: clientID, id: r.ID}
 	e, dup := s.dedupe.begin(k)
@@ -444,9 +453,39 @@ func (s *Server) applyMutation(client uint64, r *wire.Request, record func(*wire
 		}
 		sh := s.shardFor(r.Key)
 		sh.lock.Lock()
+		old, had := sh.store[r.Key]
 		sh.store[r.Key] = string(r.Value)
+		s.digestApply(r.Key, old, string(r.Value), had, true)
 		resp := &wire.Response{Tag: wire.RespOK, ID: r.ID}
 		tick := seal(resp)
+		sh.lock.Unlock()
+		return resp, tick
+	case wire.VerbSetV:
+		if err := validateKey(r.Key); err != nil {
+			return errResp(err.Error()), nil
+		}
+		in, _, _, err := version.Decode(string(r.Value))
+		if err != nil {
+			// An unstamped SETV payload can neither be compared nor later
+			// compete against stamped values: reject, apply nothing.
+			return errResp("setv: " + err.Error()), nil
+		}
+		sh := s.shardFor(r.Key)
+		sh.lock.Lock()
+		cur, had := sh.store[r.Key]
+		apply, code := setvOutcome(cur, had, in)
+		resp := &wire.Response{Tag: wire.RespCount, ID: r.ID, N: code}
+		var tick *wal.Ticket
+		if apply {
+			sh.store[r.Key] = string(r.Value)
+			s.digestApply(r.Key, cur, string(r.Value), had, true)
+			// Logged (as a plain set — replay needs no version logic, the
+			// compare already happened) only when something changed: a
+			// rejected SETV must not dirty the log.
+			tick = seal(resp)
+		} else if record != nil {
+			record(resp)
+		}
 		sh.lock.Unlock()
 		return resp, tick
 	case wire.VerbDel:
@@ -459,8 +498,11 @@ func (s *Server) applyMutation(client uint64, r *wire.Request, record func(*wire
 		}
 		sh := s.shardFor(r.Key)
 		sh.lock.Lock()
-		_, ok := sh.store[r.Key]
+		old, ok := sh.store[r.Key]
 		delete(sh.store, r.Key)
+		if ok {
+			s.digestApply(r.Key, old, "", true, false)
+		}
 		resp := &wire.Response{Tag: wire.RespOK, ID: r.ID}
 		if !ok {
 			// NOTFOUND deletes are logged too: replay must walk the same
@@ -483,8 +525,9 @@ func (s *Server) applyMutation(client uint64, r *wire.Request, record func(*wire
 		n := uint64(0)
 		for _, k := range r.Keys {
 			sh := s.shardFor(k)
-			if _, ok := sh.store[k]; ok {
+			if old, ok := sh.store[k]; ok {
 				delete(sh.store, k)
+				s.digestApply(k, old, "", true, false)
 				n++
 			}
 		}
@@ -504,7 +547,10 @@ func (s *Server) applyMutation(client uint64, r *wire.Request, record func(*wire
 		}
 		unlock := s.lockShardSet(keys)
 		for _, kv := range r.Pairs {
-			s.shardFor(kv.Key).store[kv.Key] = string(kv.Value)
+			st := s.shardFor(kv.Key).store
+			old, had := st[kv.Key]
+			st[kv.Key] = string(kv.Value)
+			s.digestApply(kv.Key, old, string(kv.Value), had, true)
 		}
 		resp := &wire.Response{Tag: wire.RespCount, ID: r.ID, N: uint64(len(r.Pairs))}
 		tick := seal(resp)
@@ -528,12 +574,16 @@ func (s *Server) applyBinary(r *wire.Request) *wire.Response {
 	switch r.Verb {
 	case wire.VerbPing:
 		return &wire.Response{Tag: wire.RespOK, ID: r.ID}
-	case wire.VerbSet, wire.VerbDel, wire.VerbMDel, wire.VerbMPut:
+	case wire.VerbSet, wire.VerbDel, wire.VerbMDel, wire.VerbMPut, wire.VerbSetV:
 		resp, tick := s.applyMutation(0, r, nil)
 		if err := s.walWait(tick); err != nil {
 			return errResp("durability: " + err.Error())
 		}
 		return resp
+	case wire.VerbTree:
+		return s.applyTree(r)
+	case wire.VerbScan:
+		return s.applyScan(r)
 	case wire.VerbGet:
 		sh := s.shardFor(r.Key)
 		sh.lock.RLock()

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/merkle"
 	"repro/internal/metrics"
 	"repro/internal/pthread"
 	"repro/internal/sockets/wire"
@@ -116,6 +117,12 @@ type ServerConfig struct {
 	// the server compacts a snapshot and truncates old segments.
 	// Default 10000.
 	WALSnapshotEvery int
+	// SyncExcludePrefix, when non-empty, keeps keys with this prefix out
+	// of the anti-entropy Merkle digest and SCAN responses. The cluster
+	// sets it to its hint-key prefix: parked hints are per-holder state
+	// by design, and folding them into the digest would make healthy
+	// replicas look permanently divergent.
+	SyncExcludePrefix string
 }
 
 // shard is one stripe of the store.
@@ -190,6 +197,12 @@ type Server struct {
 	// preHandle, when non-nil, runs before each request is interpreted —
 	// a test hook for making requests observably in-flight.
 	preHandle func(req string)
+
+	// digest is the anti-entropy Merkle digest, maintained incrementally
+	// under the same shard locks that order mutations; syncExclude keys
+	// (hints) stay out of it. Served by the TREE and SCAN verbs.
+	digest      merkle.Tree
+	syncExclude string
 }
 
 // NewServer starts a server with the default configuration on addr
@@ -211,15 +224,16 @@ func NewServerConfig(addr string, cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		ln:         ln,
-		shards:     make([]shard, cfg.Shards),
-		drain:      cfg.DrainTimeout,
-		active:     make(map[*connState]struct{}),
-		latency:    metrics.NewHistogram(),
-		dedupe:     newDedupeTable(dedupeCap, dedupeRetryHorizon),
-		preHandle:  cfg.PreHandle,
-		maxPending: cfg.MaxPending,
-		verbLat:    make(map[string]*metrics.Histogram, len(serverVerbs)),
+		ln:          ln,
+		shards:      make([]shard, cfg.Shards),
+		drain:       cfg.DrainTimeout,
+		active:      make(map[*connState]struct{}),
+		latency:     metrics.NewHistogram(),
+		dedupe:      newDedupeTable(dedupeCap, dedupeRetryHorizon),
+		preHandle:   cfg.PreHandle,
+		maxPending:  cfg.MaxPending,
+		syncExclude: cfg.SyncExcludePrefix,
+		verbLat:     make(map[string]*metrics.Histogram, len(serverVerbs)),
 	}
 	for _, v := range serverVerbs {
 		s.verbLat[v] = metrics.NewHistogram()
@@ -463,6 +477,9 @@ func textVerb(req string) string {
 //	MDEL k1 k2 ...   -> "DELETED <n>" (n = how many existed; missing keys ignored)
 //	COUNT            -> "COUNT <n>"
 //	KEYS             -> "KEYS <k1> <k2> ..." (sorted; bare "KEYS" when empty)
+//	SETV key value   -> "SETV <code>" (version-conditional set; see the SetV* outcome codes)
+//	TREE lo-hi ...   -> "HASHES <h> ..." (one 16-hex-digit Merkle range hash per span)
+//	SCAN lo-hi ...   -> "SCAN <key> <h> ..." (key + entry hash per stored key in the spans)
 func (s *Server) handle(req string) string {
 	parts := strings.SplitN(req, " ", 3)
 	switch strings.ToUpper(parts[0]) {
@@ -535,6 +552,42 @@ func (s *Server) handle(req string) string {
 			return "ERR durability: " + err.Error()
 		}
 		return fmt.Sprintf("DELETED %d", resp.N)
+	case "SETV":
+		if len(parts) != 3 {
+			return "ERR usage: SETV key value"
+		}
+		if validateTextValue(parts[2]) != nil {
+			return "ERR value must not contain CR or LF (use the binary protocol for opaque bytes)"
+		}
+		resp, tick := s.applyMutation(0, &wire.Request{Verb: wire.VerbSetV, Key: parts[1], Value: []byte(parts[2])}, nil)
+		if resp.Tag == wire.RespErr {
+			return "ERR " + resp.Err
+		}
+		if err := s.walWait(tick); err != nil {
+			return "ERR durability: " + err.Error()
+		}
+		return fmt.Sprintf("SETV %d", resp.N)
+	case "TREE", "SCAN":
+		spans, err := parseTextSpans(strings.Fields(req)[1:])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		if strings.ToUpper(parts[0]) == "TREE" {
+			resp := s.applyTree(&wire.Request{Verb: wire.VerbTree, Spans: spans})
+			out := make([]string, 0, len(resp.Hashes)+1)
+			out = append(out, "HASHES")
+			for _, h := range resp.Hashes {
+				out = append(out, fmt.Sprintf("%016x", h))
+			}
+			return strings.Join(out, " ")
+		}
+		resp := s.applyScan(&wire.Request{Verb: wire.VerbScan, Spans: spans})
+		out := make([]string, 0, 2*len(resp.Scan)+1)
+		out = append(out, "SCAN")
+		for _, e := range resp.Scan {
+			out = append(out, e.Key, fmt.Sprintf("%016x", e.Hash))
+		}
+		return strings.Join(out, " ")
 	case "COUNT":
 		// Shards are read-locked one at a time, so the count is a
 		// point-in-time sum per stripe, not an atomic global snapshot.

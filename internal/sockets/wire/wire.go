@@ -29,13 +29,17 @@
 //	  VerbSet:                          key:bytes value:bytes
 //	  VerbMDel | VerbMGet:              n:uvarint key:bytes ×n
 //	  VerbMPut:                         n:uvarint (key:bytes value:bytes) ×n
+//	  VerbSetV:                         key:bytes value:bytes
+//	  VerbTree | VerbScan:              n:uvarint (lo:uvarint hi:uvarint) ×n
 //
 //	response := tag:1 id:uvarint body
 //	  RespOK | RespNotFound | RespOverload:  (empty body)
 //	  RespValue:              value:bytes
-//	  RespCount:              n:uvarint            (COUNT, and MDEL's deleted-count)
+//	  RespCount:              n:uvarint            (COUNT, MDEL's deleted-count, SETV's outcome)
 //	  RespKeys:               n:uvarint key:bytes ×n
 //	  RespMulti:              n:uvarint (found:1 value:bytes) ×n   (MGET, in request key order)
+//	  RespHashes:             n:uvarint hash:8 ×n                  (TREE, one per requested span)
+//	  RespScan:               n:uvarint (key:bytes hash:8) ×n      (SCAN, sorted by key)
 //	  RespErr:                message:bytes
 //
 // Values are opaque bytes — the length prefix lifts the text protocol's
@@ -72,6 +76,13 @@ const (
 	VerbKeys  byte = 0x07
 	VerbMGet  byte = 0x08
 	VerbMPut  byte = 0x09
+	// Anti-entropy verbs: SETV is a version-conditional set (the server
+	// applies it only if the carried version wins the cluster's total
+	// order), TREE fetches Merkle range hashes, SCAN lists (key, entry
+	// hash) pairs for a span of Merkle buckets.
+	VerbSetV byte = 0x0A
+	VerbTree byte = 0x0B
+	VerbScan byte = 0x0C
 )
 
 // Response tags. The high bit distinguishes them from verbs so a
@@ -84,6 +95,8 @@ const (
 	RespKeys     byte = 0x85
 	RespMulti    byte = 0x86
 	RespOverload byte = 0x87
+	RespHashes   byte = 0x88
+	RespScan     byte = 0x89
 	RespErr      byte = 0xFF
 )
 
@@ -104,6 +117,18 @@ type KV struct {
 	Value []byte
 }
 
+// Span is one half-open Merkle bucket range [Lo, Hi) of a TREE or SCAN
+// request.
+type Span struct {
+	Lo, Hi uint32
+}
+
+// ScanEntry is one (key, entry hash) pair of a SCAN response.
+type ScanEntry struct {
+	Key  string
+	Hash uint64
+}
+
 // Request is one decoded request PDU. Only the fields the verb uses
 // are populated.
 type Request struct {
@@ -113,6 +138,7 @@ type Request struct {
 	Value []byte
 	Keys  []string // MDel, MGet
 	Pairs []KV     // MPut
+	Spans []Span   // Tree, Scan
 }
 
 // Response is one decoded response PDU. Only the fields the tag uses
@@ -123,8 +149,10 @@ type Response struct {
 	Value  []byte
 	N      uint64
 	Keys   []string
-	Found  []bool   // MGET results, parallel with Values
-	Values [][]byte // MGET results, in request key order
+	Found  []bool      // MGET results, parallel with Values
+	Values [][]byte    // MGET results, in request key order
+	Hashes []uint64    // TREE results, one per requested span
+	Scan   []ScanEntry // SCAN results
 	Err    string
 }
 
@@ -151,6 +179,12 @@ func verbName(v byte) string {
 		return "MGET"
 	case VerbMPut:
 		return "MPUT"
+	case VerbSetV:
+		return "SETV"
+	case VerbTree:
+		return "TREE"
+	case VerbScan:
+		return "SCAN"
 	}
 	return fmt.Sprintf("verb(0x%02x)", v)
 }
@@ -178,9 +212,15 @@ func AppendRequest(dst []byte, r *Request) []byte {
 	switch r.Verb {
 	case VerbGet, VerbDel:
 		dst = appendString(dst, r.Key)
-	case VerbSet:
+	case VerbSet, VerbSetV:
 		dst = appendString(dst, r.Key)
 		dst = appendBytes(dst, r.Value)
+	case VerbTree, VerbScan:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Spans)))
+		for _, s := range r.Spans {
+			dst = binary.AppendUvarint(dst, uint64(s.Lo))
+			dst = binary.AppendUvarint(dst, uint64(s.Hi))
+		}
 	case VerbMDel, VerbMGet:
 		dst = binary.AppendUvarint(dst, uint64(len(r.Keys)))
 		for _, k := range r.Keys {
@@ -220,6 +260,17 @@ func AppendResponse(dst []byte, r *Response) []byte {
 				dst = append(dst, 0)
 			}
 			dst = appendBytes(dst, v)
+		}
+	case RespHashes:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Hashes)))
+		for _, h := range r.Hashes {
+			dst = binary.BigEndian.AppendUint64(dst, h)
+		}
+	case RespScan:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Scan)))
+		for _, e := range r.Scan {
+			dst = appendString(dst, e.Key)
+			dst = binary.BigEndian.AppendUint64(dst, e.Hash)
 		}
 	case RespErr:
 		dst = appendString(dst, r.Err)
@@ -296,6 +347,35 @@ func (c *cursor) count(field string, minPer int) (int, error) {
 	return int(n), nil
 }
 
+// u64 reads a fixed 8-byte big-endian word (Merkle hashes — uniformly
+// random 64-bit values, which a uvarint would inflate to ~9.2 bytes).
+func (c *cursor) u64(field string) (uint64, error) {
+	if c.rem() < 8 {
+		return 0, fmt.Errorf("%w: %s at offset %d", ErrTruncated, field, c.pos)
+	}
+	v := binary.BigEndian.Uint64(c.p[c.pos:])
+	c.pos += 8
+	return v, nil
+}
+
+// span reads one bucket range and checks it is well-formed: bounds fit
+// in 32 bits and Lo < Hi (an empty span has no possible use and is
+// rejected as malformed).
+func (c *cursor) span(field string) (Span, error) {
+	lo, err := c.uvarint(field + " lo")
+	if err != nil {
+		return Span{}, err
+	}
+	hi, err := c.uvarint(field + " hi")
+	if err != nil {
+		return Span{}, err
+	}
+	if lo >= hi || hi >= 1<<32 {
+		return Span{}, fmt.Errorf("%w: %s is [%d, %d)", ErrMalformed, field, lo, hi)
+	}
+	return Span{Lo: uint32(lo), Hi: uint32(hi)}, nil
+}
+
 func (c *cursor) key(field string) (string, error) {
 	b, err := c.bytes(field)
 	if err != nil {
@@ -328,12 +408,25 @@ func DecodeRequest(p []byte) (*Request, error) {
 		if r.Key, err = c.key("key"); err != nil {
 			return r, err
 		}
-	case VerbSet:
+	case VerbSet, VerbSetV:
 		if r.Key, err = c.key("key"); err != nil {
 			return r, err
 		}
 		if r.Value, err = c.bytes("value"); err != nil {
 			return r, err
+		}
+	case VerbTree, VerbScan:
+		n, err := c.count("span count", 2)
+		if err != nil {
+			return r, err
+		}
+		r.Spans = make([]Span, 0, n)
+		for i := 0; i < n; i++ {
+			s, err := c.span(fmt.Sprintf("span %d", i))
+			if err != nil {
+				return r, err
+			}
+			r.Spans = append(r.Spans, s)
 		}
 	case VerbMDel, VerbMGet:
 		n, err := c.count("key count", 1)
@@ -433,6 +526,36 @@ func DecodeResponse(p []byte) (*Response, error) {
 			}
 			r.Found = append(r.Found, f != 0)
 			r.Values = append(r.Values, v)
+		}
+	case RespHashes:
+		n, err := c.count("hash count", 8)
+		if err != nil {
+			return r, err
+		}
+		r.Hashes = make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			h, err := c.u64(fmt.Sprintf("hash %d", i))
+			if err != nil {
+				return r, err
+			}
+			r.Hashes = append(r.Hashes, h)
+		}
+	case RespScan:
+		n, err := c.count("entry count", 10)
+		if err != nil {
+			return r, err
+		}
+		r.Scan = make([]ScanEntry, 0, n)
+		for i := 0; i < n; i++ {
+			k, err := c.key(fmt.Sprintf("key %d", i))
+			if err != nil {
+				return r, err
+			}
+			h, err := c.u64(fmt.Sprintf("entry hash %d", i))
+			if err != nil {
+				return r, err
+			}
+			r.Scan = append(r.Scan, ScanEntry{Key: k, Hash: h})
 		}
 	case RespErr:
 		msg, err := c.bytes("error message")

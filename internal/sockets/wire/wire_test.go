@@ -35,6 +35,9 @@ func TestDecodeRequestRoundTrip(t *testing.T) {
 		{"mdel", &Request{Verb: VerbMDel, ID: 8, Keys: []string{"a", "b", "c"}}},
 		{"mget", &Request{Verb: VerbMGet, ID: 9, Keys: []string{"x", "y"}}},
 		{"mput", &Request{Verb: VerbMPut, ID: 10, Pairs: []KV{{"a", []byte("1")}, {"b", []byte("2 2")}}}},
+		{"setv", &Request{Verb: VerbSetV, ID: 11, Key: "k", Value: []byte("n0:1@5 v x")}},
+		{"tree", &Request{Verb: VerbTree, ID: 12, Spans: []Span{{0, 4096}, {128, 256}}}},
+		{"scan", &Request{Verb: VerbScan, ID: 13, Spans: []Span{{7, 8}}}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -69,6 +72,9 @@ func TestDecodeRequestTruncatedEveryBoundary(t *testing.T) {
 		{Verb: VerbMDel, ID: 1, Keys: []string{"aa", "bb"}},
 		{Verb: VerbMGet, ID: 1, Keys: []string{"aa", "bb"}},
 		{Verb: VerbMPut, ID: 1, Pairs: []KV{{"k1", []byte("v1")}, {"k2", []byte("v2")}}},
+		{Verb: VerbSetV, ID: 1, Key: "key", Value: []byte("value")},
+		{Verb: VerbTree, ID: 1, Spans: []Span{{300, 4096}}},
+		{Verb: VerbScan, ID: 1, Spans: []Span{{0, 1}, {9, 300}}},
 	}
 	for _, shape := range shapes {
 		enc := AppendRequest(nil, shape)
@@ -93,6 +99,8 @@ func TestDecodeResponseTruncatedEveryBoundary(t *testing.T) {
 		{Tag: RespKeys, ID: 1, Keys: []string{"aa", "bb"}},
 		{Tag: RespMulti, ID: 1, Found: []bool{true, false}, Values: [][]byte{[]byte("v"), nil}},
 		{Tag: RespOverload, ID: 500},
+		{Tag: RespHashes, ID: 1, Hashes: []uint64{0xdeadbeef, 1 << 63}},
+		{Tag: RespScan, ID: 1, Scan: []ScanEntry{{"k1", 7}, {"k2", 1 << 40}}},
 		{Tag: RespErr, ID: 1, Err: "boom"},
 	}
 	for _, shape := range shapes {
@@ -153,6 +161,9 @@ func TestDecodeRequestMalformed(t *testing.T) {
 		{"overflowing uvarint ID", badVarint, ErrTruncated},
 		{"non-minimal varint ID", []byte{VerbPing, 0x80, 0x00}, ErrMalformed},
 		{"trailing bytes", append(req(t, &Request{Verb: VerbPing, ID: 1}), 0xAB), ErrTrailing},
+		{"empty span", []byte{VerbTree, 1, 1, 5, 5}, ErrMalformed},
+		{"inverted span", []byte{VerbScan, 1, 1, 9, 3}, ErrMalformed},
+		{"span count above payload", append([]byte{VerbTree, 1}, 0xFF, 0xFF, 0x03), ErrOversize},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -219,6 +230,11 @@ func FuzzDecodeFrame(f *testing.F) {
 		AppendResponse(nil, &Response{Tag: RespMulti, ID: 4, Found: []bool{true}, Values: [][]byte{[]byte("v")}}),
 		AppendResponse(nil, &Response{Tag: RespErr, ID: 5, Err: "usage"}),
 		AppendResponse(nil, &Response{Tag: RespOverload, ID: 6}),
+		AppendRequest(nil, &Request{Verb: VerbSetV, ID: 7, Key: "k", Value: []byte("n0:1@5 v x")}),
+		AppendRequest(nil, &Request{Verb: VerbTree, ID: 8, Spans: []Span{{0, 4096}}}),
+		AppendRequest(nil, &Request{Verb: VerbScan, ID: 9, Spans: []Span{{5, 6}}}),
+		AppendResponse(nil, &Response{Tag: RespHashes, ID: 10, Hashes: []uint64{42}}),
+		AppendResponse(nil, &Response{Tag: RespScan, ID: 11, Scan: []ScanEntry{{"k", 9}}}),
 		{VerbSet, 0x01, 0x00},
 		{0xFF, 0xFF, 0xFF},
 	}

@@ -1,0 +1,254 @@
+// Package version is the cluster's value-versioning unit: a per-key
+// version vector (node → counter) plus a wall-clock tiebreak, and the
+// stored-value encoding that carries it.
+//
+// The vector replaces the cluster-global LWW sequence: each write is
+// stamped by its coordinator with the key's last-seen vector bumped in
+// the coordinator's own slot, so causally ordered writes compare as
+// Dominates/Dominated and only genuinely concurrent writes (two
+// coordinators that never saw each other's stamps, e.g. across a
+// partition) compare as Concurrent. Concurrent versions are resolved
+// deterministically by Newer's total order — wall-clock
+// last-writer-wins, then a lexicographic stamp comparison so two stamps
+// assigned in the same nanosecond still order identically on every
+// replica.
+//
+// Stored values keep the seed's three-part shape so the hint wrapper
+// and WAL payloads nest unchanged, with the stamp in the old sequence
+// slot:
+//
+//	"<stamp> v <value>"  live value
+//	"<stamp> t"          tombstone
+//
+// and a stamp is the sorted vector plus the assignment wall clock:
+//
+//	"n0:3,n2:1@1754550000123456789"
+//
+// Node names therefore must not contain ':', ',', '@', or whitespace;
+// the cluster rejects such names at Join time.
+package version
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Ordering is the outcome of comparing two version vectors.
+type Ordering int
+
+const (
+	// Equal: identical vectors — same causal history.
+	Equal Ordering = iota
+	// Dominates: the left vector has seen everything the right has, and more.
+	Dominates
+	// Dominated: the right vector has seen everything the left has, and more.
+	Dominated
+	// Concurrent: each side has writes the other never saw.
+	Concurrent
+)
+
+// String names the ordering for logs and counters.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Dominates:
+		return "dominates"
+	case Dominated:
+		return "dominated"
+	case Concurrent:
+		return "concurrent"
+	}
+	return fmt.Sprintf("ordering(%d)", int(o))
+}
+
+// Vector is a per-key version vector: how many writes each coordinator
+// has stamped onto this key's causal history.
+type Vector map[string]uint64
+
+// Version is one stamped write: the vector plus the coordinator's wall
+// clock at assignment (unix nanoseconds), used only to break ties
+// between concurrent vectors.
+type Version struct {
+	VV    Vector
+	Clock int64
+}
+
+// IsZero reports whether v is the zero Version — "no write ever seen",
+// which every real version dominates.
+func (v Version) IsZero() bool { return len(v.VV) == 0 && v.Clock == 0 }
+
+// Next returns the successor version a coordinator assigns: v's vector
+// with node's slot bumped, stamped at clock. The receiver is not
+// mutated.
+func (v Version) Next(node string, clock int64) Version {
+	nv := make(Vector, len(v.VV)+1)
+	for n, c := range v.VV {
+		nv[n] = c
+	}
+	nv[node]++
+	return Version{VV: nv, Clock: clock}
+}
+
+// Compare relates two vectors causally. The clocks play no part: two
+// versions with the same vector are Equal even if stamped at different
+// times.
+func Compare(a, b Vector) Ordering {
+	var aAhead, bAhead bool
+	for n, ac := range a {
+		switch bc := b[n]; {
+		case ac > bc:
+			aAhead = true
+		case ac < bc:
+			bAhead = true
+		}
+	}
+	for n, bc := range b {
+		if bc > a[n] {
+			bAhead = true
+		}
+	}
+	switch {
+	case aAhead && bAhead:
+		return Concurrent
+	case aAhead:
+		return Dominates
+	case bAhead:
+		return Dominated
+	}
+	return Equal
+}
+
+// Compare relates v to o causally (vector comparison only).
+func (v Version) Compare(o Version) Ordering { return Compare(v.VV, o.VV) }
+
+// Newer reports whether a should replace b under the total order every
+// replica resolves conflicts with: causal dominance first, then the
+// wall clock, then a lexicographic comparison of the rendered stamps so
+// same-nanosecond concurrent writes still pick one deterministic winner
+// everywhere. Equal versions are not newer than each other.
+func Newer(a, b Version) bool {
+	switch Compare(a.VV, b.VV) {
+	case Dominates:
+		return true
+	case Dominated:
+		return false
+	case Equal:
+		return false
+	}
+	if a.Clock != b.Clock {
+		return a.Clock > b.Clock
+	}
+	return a.Stamp() > b.Stamp()
+}
+
+// Merge returns the pointwise maximum of two vectors — the smallest
+// vector that dominates (or equals) both inputs.
+func Merge(a, b Vector) Vector {
+	m := make(Vector, len(a)+len(b))
+	for n, c := range a {
+		m[n] = c
+	}
+	for n, c := range b {
+		if c > m[n] {
+			m[n] = c
+		}
+	}
+	return m
+}
+
+// Stamp renders the version as "n0:3,n2:1@<clock>", components sorted
+// by node name so the rendering is canonical: equal versions always
+// render byte-identically.
+func (v Version) Stamp() string {
+	nodes := make([]string, 0, len(v.VV))
+	for n := range v.VV {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	var b strings.Builder
+	for i, n := range nodes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(v.VV[n], 10))
+	}
+	b.WriteByte('@')
+	b.WriteString(strconv.FormatInt(v.Clock, 10))
+	return b.String()
+}
+
+// ParseStamp is the inverse of Stamp.
+func ParseStamp(s string) (Version, error) {
+	at := strings.LastIndexByte(s, '@')
+	if at < 0 {
+		return Version{}, fmt.Errorf("version: stamp %q has no clock", s)
+	}
+	clock, err := strconv.ParseInt(s[at+1:], 10, 64)
+	if err != nil {
+		return Version{}, fmt.Errorf("version: stamp %q has bad clock: %v", s, err)
+	}
+	v := Version{VV: Vector{}, Clock: clock}
+	if at == 0 {
+		return Version{}, fmt.Errorf("version: stamp %q has no components", s)
+	}
+	for _, comp := range strings.Split(s[:at], ",") {
+		colon := strings.LastIndexByte(comp, ':')
+		if colon <= 0 {
+			return Version{}, fmt.Errorf("version: stamp %q has malformed component %q", s, comp)
+		}
+		n := comp[:colon]
+		c, err := strconv.ParseUint(comp[colon+1:], 10, 64)
+		if err != nil || c == 0 {
+			return Version{}, fmt.Errorf("version: stamp %q has bad counter in %q", s, comp)
+		}
+		if _, dup := v.VV[n]; dup {
+			return Version{}, fmt.Errorf("version: stamp %q repeats node %q", s, n)
+		}
+		v.VV[n] = c
+	}
+	return v, nil
+}
+
+// Encode renders a stored live value: "<stamp> v <value>".
+func Encode(v Version, value string) string {
+	return v.Stamp() + " v " + value
+}
+
+// EncodeTombstone renders a stored deletion marker: "<stamp> t".
+func EncodeTombstone(v Version) string {
+	return v.Stamp() + " t"
+}
+
+// Decode splits a stored value into its version, payload, and
+// tombstone flag. The shape mirrors the seed's decode: three
+// space-separated parts for a live value (the payload may itself
+// contain spaces — only the first two splits count), two for a
+// tombstone.
+func Decode(raw string) (v Version, value string, deleted bool, err error) {
+	parts := strings.SplitN(raw, " ", 3)
+	if len(parts) < 2 {
+		return Version{}, "", false, fmt.Errorf("version: undecodable value %q", raw)
+	}
+	v, err = ParseStamp(parts[0])
+	if err != nil {
+		return Version{}, "", false, err
+	}
+	switch parts[1] {
+	case "t":
+		if len(parts) != 2 {
+			return Version{}, "", false, fmt.Errorf("version: tombstone %q has trailing payload", raw)
+		}
+		return v, "", true, nil
+	case "v":
+		if len(parts) != 3 {
+			return Version{}, "", false, fmt.Errorf("version: value %q has no payload", raw)
+		}
+		return v, parts[2], false, nil
+	}
+	return Version{}, "", false, fmt.Errorf("version: value %q has unknown marker %q", raw, parts[1])
+}

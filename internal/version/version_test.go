@@ -1,0 +1,265 @@
+package version
+
+import (
+	"testing"
+)
+
+func TestStampRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		v    Version
+	}{
+		{"single", Version{VV: Vector{"n0": 1}, Clock: 42}},
+		{"multi", Version{VV: Vector{"n0": 3, "n2": 1, "n10": 7}, Clock: 1754550000123456789}},
+		{"zero clock", Version{VV: Vector{"a": 9}, Clock: 0}},
+		{"negative clock", Version{VV: Vector{"a": 1}, Clock: -5}},
+		{"big counter", Version{VV: Vector{"x": 1<<63 + 11}, Clock: 1}},
+		{"dashed node names", Version{VV: Vector{"node-1": 2, "node-2": 4}, Clock: 99}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.v.Stamp()
+			got, err := ParseStamp(s)
+			if err != nil {
+				t.Fatalf("ParseStamp(%q): %v", s, err)
+			}
+			if got.Clock != tc.v.Clock || Compare(got.VV, tc.v.VV) != Equal {
+				t.Fatalf("round trip %q: got %+v want %+v", s, got, tc.v)
+			}
+			if got.Stamp() != s {
+				t.Fatalf("re-stamp of %q gave %q", s, got.Stamp())
+			}
+		})
+	}
+}
+
+func TestStampCanonical(t *testing.T) {
+	// Component order is sorted regardless of map iteration order, so
+	// equal versions always render byte-identically.
+	v := Version{VV: Vector{"b": 2, "a": 1, "c": 3}, Clock: 7}
+	want := "a:1,b:2,c:3@7"
+	for i := 0; i < 32; i++ {
+		if got := v.Stamp(); got != want {
+			t.Fatalf("Stamp() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestParseStampMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		stamp string
+	}{
+		{"empty", ""},
+		{"no clock", "n0:1"},
+		{"no components", "@5"},
+		{"bad clock", "n0:1@zebra"},
+		{"clock overflow", "n0:1@99999999999999999999999999"},
+		{"empty component", "n0:1,@5"},
+		{"component without counter", "n0@5"},
+		{"component without node", ":3@5"},
+		{"bad counter", "n0:x@5"},
+		{"zero counter", "n0:0@5"},
+		{"negative counter", "n0:-1@5"},
+		{"duplicate node", "n0:1,n0:2@5"},
+		{"just separators", ",,@@"},
+		{"trailing comma", "n0:1,@9"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if v, err := ParseStamp(tc.stamp); err == nil {
+				t.Fatalf("ParseStamp(%q) = %+v, want error", tc.stamp, v)
+			}
+		})
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Vector
+		want Ordering
+	}{
+		{"both empty", Vector{}, Vector{}, Equal},
+		{"nil vs nil", nil, nil, Equal},
+		{"equal single", Vector{"n0": 2}, Vector{"n0": 2}, Equal},
+		{"equal multi", Vector{"n0": 2, "n1": 5}, Vector{"n1": 5, "n0": 2}, Equal},
+		{"dominates by counter", Vector{"n0": 3}, Vector{"n0": 2}, Dominates},
+		{"dominated by counter", Vector{"n0": 1}, Vector{"n0": 2}, Dominated},
+		{"dominates by extra node", Vector{"n0": 2, "n1": 1}, Vector{"n0": 2}, Dominates},
+		{"dominated by extra node", Vector{"n0": 2}, Vector{"n0": 2, "n1": 1}, Dominated},
+		{"dominates empty", Vector{"n0": 1}, Vector{}, Dominates},
+		{"dominated by any", Vector{}, Vector{"n9": 1}, Dominated},
+		{"concurrent disjoint", Vector{"n0": 1}, Vector{"n1": 1}, Concurrent},
+		{"concurrent crossed counters", Vector{"n0": 2, "n1": 1}, Vector{"n0": 1, "n1": 2}, Concurrent},
+		{"concurrent extra on each side", Vector{"n0": 1, "n1": 1}, Vector{"n0": 1, "n2": 1}, Concurrent},
+		{"dominates across many slots", Vector{"a": 2, "b": 2, "c": 2}, Vector{"a": 1, "b": 2, "c": 2}, Dominates},
+	}
+	inverse := map[Ordering]Ordering{Equal: Equal, Concurrent: Concurrent, Dominates: Dominated, Dominated: Dominates}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Compare(tc.a, tc.b); got != tc.want {
+				t.Fatalf("Compare(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+			if got := Compare(tc.b, tc.a); got != inverse[tc.want] {
+				t.Fatalf("Compare(%v, %v) = %v, want %v (symmetry)", tc.b, tc.a, got, inverse[tc.want])
+			}
+		})
+	}
+}
+
+func TestNewerTotalOrder(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Version
+		want bool // Newer(a, b)
+	}{
+		{"dominates wins despite older clock",
+			Version{VV: Vector{"n0": 2}, Clock: 1}, Version{VV: Vector{"n0": 1}, Clock: 100}, true},
+		{"dominated loses despite newer clock",
+			Version{VV: Vector{"n0": 1}, Clock: 100}, Version{VV: Vector{"n0": 2}, Clock: 1}, false},
+		{"equal vectors are never newer",
+			Version{VV: Vector{"n0": 1}, Clock: 5}, Version{VV: Vector{"n0": 1}, Clock: 5}, false},
+		{"concurrent resolves by clock",
+			Version{VV: Vector{"n0": 1}, Clock: 10}, Version{VV: Vector{"n1": 1}, Clock: 5}, true},
+		{"concurrent loses by clock",
+			Version{VV: Vector{"n0": 1}, Clock: 5}, Version{VV: Vector{"n1": 1}, Clock: 10}, false},
+		{"concurrent same clock falls back to stamp order",
+			Version{VV: Vector{"n1": 1}, Clock: 7}, Version{VV: Vector{"n0": 1}, Clock: 7}, true},
+		{"anything beats zero",
+			Version{VV: Vector{"n0": 1}, Clock: 0}, Version{}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Newer(tc.a, tc.b); got != tc.want {
+				t.Fatalf("Newer(%+v, %+v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+			// Antisymmetry: at most one direction is "newer".
+			if tc.want && Newer(tc.b, tc.a) {
+				t.Fatalf("both Newer(a,b) and Newer(b,a) for %+v / %+v", tc.a, tc.b)
+			}
+		})
+	}
+	// Exactly one of Newer(a,b) / Newer(b,a) holds for distinct stamps.
+	a := Version{VV: Vector{"n0": 1}, Clock: 7}
+	b := Version{VV: Vector{"n1": 1}, Clock: 7}
+	if Newer(a, b) == Newer(b, a) {
+		t.Fatalf("total order must pick exactly one winner for distinct concurrent stamps")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Vector
+		want Vector
+	}{
+		{"empty with empty", Vector{}, Vector{}, Vector{}},
+		{"disjoint union", Vector{"n0": 1}, Vector{"n1": 2}, Vector{"n0": 1, "n1": 2}},
+		{"pointwise max", Vector{"n0": 3, "n1": 1}, Vector{"n0": 1, "n1": 4}, Vector{"n0": 3, "n1": 4}},
+		{"subset", Vector{"n0": 2}, Vector{"n0": 2, "n1": 1}, Vector{"n0": 2, "n1": 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Merge(tc.a, tc.b)
+			if Compare(got, tc.want) != Equal {
+				t.Fatalf("Merge(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+			// The merge dominates-or-equals both inputs.
+			for _, in := range []Vector{tc.a, tc.b} {
+				if o := Compare(got, in); o != Equal && o != Dominates {
+					t.Fatalf("Merge(%v, %v) = %v does not cover input %v (%v)", tc.a, tc.b, got, in, o)
+				}
+			}
+		})
+	}
+}
+
+func TestNextDominates(t *testing.T) {
+	v := Version{}
+	for i, node := range []string{"n0", "n0", "n1", "n2", "n0"} {
+		nv := v.Next(node, int64(i+1))
+		if o := nv.Compare(v); o != Dominates {
+			t.Fatalf("step %d: Next version %+v does not dominate %+v (%v)", i, nv, v, o)
+		}
+		if !Newer(nv, v) {
+			t.Fatalf("step %d: Next version not Newer than predecessor", i)
+		}
+		v = nv
+	}
+	if v.VV["n0"] != 3 || v.VV["n1"] != 1 || v.VV["n2"] != 1 {
+		t.Fatalf("accumulated vector wrong: %v", v.VV)
+	}
+	// Next does not mutate its receiver.
+	base := Version{VV: Vector{"n0": 1}, Clock: 1}
+	_ = base.Next("n0", 2)
+	if base.VV["n0"] != 1 {
+		t.Fatalf("Next mutated its receiver: %v", base.VV)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	v := Version{VV: Vector{"n0": 3, "n1": 5}, Clock: 1234}
+	cases := []struct {
+		name    string
+		raw     string
+		value   string
+		deleted bool
+	}{
+		{"plain value", Encode(v, "hello"), "hello", false},
+		{"empty value", Encode(v, ""), "", false},
+		{"value with spaces", Encode(v, "a b  c"), "a b  c", false},
+		{"value resembling a tombstone", Encode(v, "t"), "t", false},
+		{"value resembling an encoding", Encode(v, v.Stamp()+" v x"), v.Stamp() + " v x", false},
+		{"tombstone", EncodeTombstone(v), "", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gv, value, deleted, err := Decode(tc.raw)
+			if err != nil {
+				t.Fatalf("Decode(%q): %v", tc.raw, err)
+			}
+			if value != tc.value || deleted != tc.deleted {
+				t.Fatalf("Decode(%q) = (%q, %v), want (%q, %v)", tc.raw, value, deleted, tc.value, tc.deleted)
+			}
+			if gv.Compare(v) != Equal || gv.Clock != v.Clock {
+				t.Fatalf("Decode(%q) version = %+v, want %+v", tc.raw, gv, v)
+			}
+			// Byte-identical re-encode: WAL replay depends on this.
+			var re string
+			if deleted {
+				re = EncodeTombstone(gv)
+			} else {
+				re = Encode(gv, value)
+			}
+			if re != tc.raw {
+				t.Fatalf("re-encode of %q gave %q", tc.raw, re)
+			}
+		})
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"empty", ""},
+		{"one part", "oops"},
+		{"bare stamp", "n0:1@5"},
+		{"unknown marker", "n0:1@5 x payload"},
+		{"value without payload", "n0:1@5 v"},
+		{"tombstone with payload", "n0:1@5 t payload"},
+		{"bad stamp", "n0@5 v payload"},
+		{"legacy integer seq", "17 v payload"},
+		{"legacy tombstone", "17 t"},
+		{"hint wrapper", "1754550000 h n0:1@5 v payload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if v, value, deleted, err := Decode(tc.raw); err == nil {
+				t.Fatalf("Decode(%q) = (%+v, %q, %v), want error", tc.raw, v, value, deleted)
+			}
+		})
+	}
+}

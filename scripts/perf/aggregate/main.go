@@ -6,9 +6,13 @@
 //
 //	aggregate -in raw.jsonl -out bench/BENCH_2026-08-07.json -date 2026-08-07
 //	aggregate -in raw.jsonl -capacity zipfian-binary-nocache-closed
+//	aggregate -in raw.jsonl -base bench/BENCH_old.json -out bench/BENCH_new.json
 //
 // The -capacity mode prints the cell's mean goodput as a bare integer —
 // run.sh uses it to compute the 2x offered rate for the overload cells.
+// -base merges this run's cells into an existing BENCH file (replacing
+// re-measured cells, keeping the rest), so one new cell can be added
+// without rerunning the whole grid.
 package main
 
 import (
@@ -56,6 +60,12 @@ type rawRun struct {
 	Sheds          int64   `json:"sheds"`
 	LagMeanMs      float64 `json:"lag_mean_ms"`
 	LagMaxMs       float64 `json:"lag_max_ms"`
+
+	// Anti-entropy convergence cells (clusterbench -antientropy).
+	ConvergeMs   float64 `json:"converge_ms"`
+	SyncRounds   int64   `json:"sync_rounds"`
+	KeysRepaired int64   `json:"keys_repaired"`
+	RepairBytes  int64   `json:"repair_bytes"`
 }
 
 func (r rawRun) cell() string {
@@ -127,6 +137,12 @@ type cellSummary struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	// WAL microbench cells only: fsync batching factor (0 elsewhere).
 	AppendsPerSync stat `json:"appends_per_sync,omitempty"`
+	// Anti-entropy convergence cells only (0 elsewhere): time for Merkle
+	// sync to rebuild the injected divergence, and the repair volume.
+	ConvergeMs       stat    `json:"converge_ms,omitempty"`
+	SyncRoundsMean   float64 `json:"sync_rounds_mean,omitempty"`
+	KeysRepairedMean float64 `json:"keys_repaired_mean,omitempty"`
+	RepairBytesMean  float64 `json:"repair_bytes_mean,omitempty"`
 }
 
 type benchFile struct {
@@ -141,6 +157,7 @@ func main() {
 	date := flag.String("date", "", "date stamp recorded in the output")
 	note := flag.String("note", "", "free-form note recorded in the output")
 	capacity := flag.String("capacity", "", "print the mean goodput of this cell as an integer and exit")
+	base := flag.String("base", "", "existing BENCH json to merge into: its cells are kept unless this run re-measures them (for adding one cell without rerunning the grid)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "aggregate: -in required")
@@ -221,22 +238,58 @@ func main() {
 			LagMeanMs:  pick(func(r rawRun) float64 { return r.LagMeanMs }),
 
 			AppendsPerSync: pick(func(r rawRun) float64 { return r.AppendsPerSync }),
+			ConvergeMs:     pick(func(r rawRun) float64 { return r.ConvergeMs }),
 		}
 		var hits, lookups int64
 		for _, r := range runs {
 			cs.ErrorsMean += float64(r.Errors)
 			cs.OverloadMean += float64(r.Overloads)
 			cs.ShedsMean += float64(r.Sheds)
+			cs.SyncRoundsMean += float64(r.SyncRounds)
+			cs.KeysRepairedMean += float64(r.KeysRepaired)
+			cs.RepairBytesMean += float64(r.RepairBytes)
 			hits += r.CacheHits
 			lookups += r.CacheHits + r.CacheMisses
 		}
 		cs.ErrorsMean /= float64(len(runs))
 		cs.OverloadMean /= float64(len(runs))
 		cs.ShedsMean /= float64(len(runs))
+		cs.SyncRoundsMean /= float64(len(runs))
+		cs.KeysRepairedMean /= float64(len(runs))
+		cs.RepairBytesMean /= float64(len(runs))
 		if lookups > 0 {
 			cs.CacheHitRate = float64(hits) / float64(lookups)
 		}
 		bf.Cells = append(bf.Cells, cs)
+	}
+	if *base != "" {
+		raw, err := os.ReadFile(*base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aggregate:", err)
+			os.Exit(1)
+		}
+		var prev benchFile
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			fmt.Fprintf(os.Stderr, "aggregate: bad base %s: %v\n", *base, err)
+			os.Exit(1)
+		}
+		remeasured := map[string]bool{}
+		for _, cs := range bf.Cells {
+			remeasured[cs.Cell] = true
+		}
+		var merged []cellSummary
+		for _, cs := range prev.Cells {
+			if !remeasured[cs.Cell] {
+				merged = append(merged, cs)
+			}
+		}
+		bf.Cells = append(merged, bf.Cells...)
+		if bf.Date == "" {
+			bf.Date = prev.Date
+		}
+		if bf.Note == "" {
+			bf.Note = prev.Note
+		}
 	}
 	sort.SliceStable(bf.Cells, func(i, j int) bool { return bf.Cells[i].Cell < bf.Cells[j].Cell })
 

@@ -1,0 +1,170 @@
+// Command compare holds the line on the committed benchmark baseline:
+// it diffs a freshly measured BENCH json against the last committed one
+// and exits nonzero when any shared cell regressed past the threshold.
+//
+// Usage:
+//
+//	compare -old bench/BENCH_2026-08-07.json -new /tmp/BENCH_new.json
+//	compare -old ... -new ... -threshold 0.15 -cells 'antientropy.*'
+//
+// Per shared cell it checks goodput (higher is better; throughput when
+// the cell records no goodput) and, for anti-entropy cells, converge_ms
+// (lower is better). A cell only fails when the regression exceeds BOTH
+// the threshold fraction and twice the larger of the two recorded
+// stddevs — a single noisy repeat must not block CI, a real slide must.
+// Cells present on only one side are reported and skipped: the
+// comparison gates regressions, not coverage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+type stat struct {
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+}
+
+// cell is the slice of the BENCH schema the comparison reads; unknown
+// fields in the committed file are ignored, so the two tools can grow
+// independently.
+type cell struct {
+	Cell       string `json:"cell"`
+	Runs       int    `json:"runs"`
+	Throughput stat   `json:"throughput_ops_s"`
+	Goodput    stat   `json:"goodput_ops_s"`
+	ConvergeMs stat   `json:"converge_ms"`
+}
+
+type benchFile struct {
+	Date  string `json:"date"`
+	Cells []cell `json:"cells"`
+}
+
+func load(path string) (benchFile, error) {
+	var bf benchFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return bf, err
+	}
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return bf, fmt.Errorf("%s: %w", path, err)
+	}
+	return bf, nil
+}
+
+// check evaluates one metric of one cell. higherBetter flips the sign;
+// the verdict string is empty when the cell holds the line.
+func check(name, cellName string, old, nw stat, higherBetter bool, threshold float64) string {
+	if old.Mean == 0 || nw.Mean == 0 {
+		return "" // metric not recorded on one side: nothing to hold
+	}
+	delta := (nw.Mean - old.Mean) / old.Mean
+	worse := delta
+	if higherBetter {
+		worse = -delta
+	}
+	noise := 2 * old.Stddev
+	if 2*nw.Stddev > noise {
+		noise = 2 * nw.Stddev
+	}
+	gap := nw.Mean - old.Mean
+	if gap < 0 {
+		gap = -gap
+	}
+	verdict := "ok"
+	failed := ""
+	if worse > threshold && gap > noise {
+		verdict = "REGRESSION"
+		failed = fmt.Sprintf("%s %s: %.1f -> %.1f (%+.1f%%, threshold %.0f%%)",
+			cellName, name, old.Mean, nw.Mean, 100*delta, 100*threshold)
+	}
+	fmt.Printf("  %-32s %-14s %12.1f -> %12.1f  %+6.1f%%  %s\n",
+		cellName, name, old.Mean, nw.Mean, 100*delta, verdict)
+	return failed
+}
+
+func main() {
+	oldPath := flag.String("old", "", "committed baseline BENCH json")
+	newPath := flag.String("new", "", "freshly measured BENCH json")
+	threshold := flag.Float64("threshold", 0.15, "regression fraction that fails the comparison")
+	cellsRe := flag.String("cells", "", "only compare cells matching this regexp (default: all shared cells)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "compare: -old and -new required")
+		os.Exit(2)
+	}
+	filter := regexp.MustCompile(".*")
+	if *cellsRe != "" {
+		re, err := regexp.Compile(*cellsRe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(2)
+		}
+		filter = re
+	}
+
+	oldBF, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+	newBF, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+
+	oldCells := map[string]cell{}
+	for _, c := range oldBF.Cells {
+		oldCells[c.Cell] = c
+	}
+	fmt.Printf("comparing %s (%s) -> %s (%s), threshold %.0f%%\n",
+		*oldPath, oldBF.Date, *newPath, newBF.Date, 100**threshold)
+
+	var failures []string
+	compared := 0
+	for _, nw := range newBF.Cells {
+		if !filter.MatchString(nw.Cell) {
+			continue
+		}
+		old, ok := oldCells[nw.Cell]
+		if !ok {
+			fmt.Printf("  %-32s new cell, no baseline — skipped\n", nw.Cell)
+			continue
+		}
+		compared++
+		if f := check("goodput_ops_s", nw.Cell, pickRate(old), pickRate(nw), true, *threshold); f != "" {
+			failures = append(failures, f)
+		}
+		if f := check("converge_ms", nw.Cell, old.ConvergeMs, nw.ConvergeMs, false, *threshold); f != "" {
+			failures = append(failures, f)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "compare: no shared cells matched — the baseline gate compared nothing")
+		os.Exit(1)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\ncompare: %d regression(s) past the %.0f%% threshold:\n", len(failures), 100**threshold)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("%d cells compared, no regressions past the threshold\n", compared)
+}
+
+// pickRate is the cell's rate metric: goodput when recorded, otherwise
+// throughput (closed-loop cells without shedding record them equal;
+// WAL and convergence cells record neither and are skipped by check).
+func pickRate(c cell) stat {
+	if c.Goodput.Mean > 0 {
+		return c.Goodput
+	}
+	return c.Throughput
+}

@@ -5,9 +5,11 @@
 # (uniform/zipfian x text/binary x cache on/off, closed loop) plus the
 # overload trio (capacity probe, then 2x-capacity open loop with and
 # without admission control), the durability pair (WAL group-commit
-# microbench and the durable-cluster capacity cell), N repeats per cell
-# with varying seeds, and aggregates the raw JSON lines into
-# bench/BENCH_<date>.json with mean/stddev per cell.
+# microbench and the durable-cluster capacity cell), the anti-entropy
+# convergence cell (a restarted-empty replica rebuilt by Merkle sync
+# alone), N repeats per cell with varying seeds, and aggregates the raw
+# JSON lines into bench/BENCH_<date>.json with mean/stddev per cell.
+# scripts/perf/compare diffs two BENCH files and fails on regressions.
 #
 # Usage:
 #   ./scripts/perf/run.sh            # full grid -> bench/BENCH_<date>.json
@@ -114,6 +116,20 @@ for rep in $(seq 1 "$REPEATS"); do
     "$BIN" -seed $((42 + rep * 1000)) -json "$RAW" -duration "$OVER_DURATION" \
         -workload zipfian -proto binary -wkeys 128 -valuesize 4096 -workers 32 \
         -maxpending 1024 -durable -label "capacity-durable-closed-4k"
+    echo
+done
+
+echo "== anti-entropy convergence (divergence = a replica restarted empty) =="
+# Hints disabled, so Merkle sync is the only path that rebuilds the
+# node: the cell records how long SyncNow takes to reach a quiet pass
+# over 10k diverged keys, and the run itself asserts the repair volume
+# equals the divergence exactly.
+AE_KEYS=10000
+if [[ "$QUICK" == 1 ]]; then
+    AE_KEYS=1000
+fi
+for rep in $(seq 1 "$REPEATS"); do
+    "$BIN" -antientropy -aekeys "$AE_KEYS" -seed $((42 + rep * 1000)) -json "$RAW"
     echo
 done
 
