@@ -76,6 +76,9 @@ func main() {
 	walDur := flag.Duration("waldur", 2*time.Second, "with -walbench: measurement window per configuration")
 	aeBench := flag.Bool("antientropy", false, "run the anti-entropy convergence bench: restart a memory-only node empty and time the Merkle sync that rebuilds it")
 	aeKeys := flag.Int("aekeys", 10000, "with -antientropy: keys loaded (= the injected divergence)")
+	recoveryBench := flag.Bool("recoverybench", false, "run the recovery benches: serial-vs-parallel WAL replay and streaming-vs-key-by-key re-replication after a wiped disk")
+	replayRecords := flag.Int("replayrecords", 1_000_000, "with -recoverybench: records in the generated replay log")
+	rrKeys := flag.Int("rrkeys", 100_000, "with -recoverybench: keys loaded before the disk-wipe re-replication phase")
 	flag.Parse()
 	proto, err := sockets.ParseProto(*protoFlag)
 	if err != nil {
@@ -96,6 +99,12 @@ func main() {
 			*aeKeys = 1000
 		}
 		os.Exit(runAntiEntropy(*aeKeys, *valueSize, *seed, *jsonPath))
+	}
+	if *recoveryBench {
+		if *quick {
+			*replayRecords, *rrKeys = 50_000, 2_000
+		}
+		os.Exit(runRecoveryBench(*replayRecords, *rrKeys, *valueSize, *seed, *quick, *jsonPath))
 	}
 	if *workloadFlag != "" {
 		dist, err := workload.ParseDist(*workloadFlag)

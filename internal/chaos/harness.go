@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -63,6 +66,21 @@ type Spec struct {
 	// nothing acked is lost — without it, hints on surviving nodes are
 	// the only safety net, and a total outage has none.
 	Durable bool
+	// WALSegmentBytes shrinks durable nodes' log segments so sealed
+	// segments — the corruption targets and scrub units — appear within
+	// a chaos run's short window. 0 keeps the cluster default.
+	WALSegmentBytes int64
+	// WALScrubInterval > 0 runs each durable node's background segment
+	// scrub at this period for the whole scenario.
+	WALScrubInterval time.Duration
+	// SyncStreamThreshold passes through to the cluster: the divergence
+	// ratio at which anti-entropy re-replicates by WAL streaming instead
+	// of key-by-key span repair. 0 keeps the cluster default (0.25).
+	SyncStreamThreshold float64
+	// RequireScrubEvent fails the run unless some node's scrub surfaced
+	// an EventWALCorrupt — the proof that injected disk corruption was
+	// detected in the background, not discovered at the next crash.
+	RequireScrubEvent bool
 
 	// DisableHints turns hinted handoff off: a write whose replica is
 	// unreachable is simply not delivered there, and nothing is parked
@@ -326,6 +344,9 @@ func Run(spec Spec, seed int64) (*Report, error) {
 		HotKeyCache:         spec.HotKeyCache,
 		CacheLease:          spec.CacheLease,
 		Durable:             spec.Durable, // WAL root is a cluster-owned temp dir, removed on Close
+		WALSegmentBytes:     spec.WALSegmentBytes,
+		WALScrubInterval:    spec.WALScrubInterval,
+		SyncStreamThreshold: spec.SyncStreamThreshold,
 		DisableHints:        spec.DisableHints,
 		AntiEntropyInterval: spec.AntiEntropyInterval,
 		// Chaos key spaces are tiny and the zipfian head is steep: a low
@@ -411,6 +432,20 @@ func Run(spec Spec, seed int64) (*Report, error) {
 	h.eventMu.Lock()
 	events := append([]cluster.Event(nil), h.events...)
 	h.eventMu.Unlock()
+	if spec.RequireScrubEvent {
+		seen := false
+		for _, e := range events {
+			if e.Type == cluster.EventWALCorrupt {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			h.faultErrMu.Lock()
+			h.faultErrors = append(h.faultErrors, "required wal-corrupt scrub event never fired: injected corruption went undetected")
+			h.faultErrMu.Unlock()
+		}
+	}
 	return &Report{
 		Scenario:        spec.Name,
 		Seed:            seed,
@@ -476,6 +511,31 @@ func (h *harness) apply(f Fault) {
 		if err != nil {
 			h.faultErr(f, err)
 		}
+	case FaultCorrupt:
+		// Disk damage, not a lifecycle event: the node keeps serving from
+		// memory, so nothing is disturbed — the scrub finding it is the
+		// scenario's whole point.
+		if err := h.corruptWAL(f.Node); err != nil {
+			h.faultErr(f, err)
+		}
+	case FaultRestartCorrupt:
+		// The node's log carries injected corruption: recovery MUST refuse
+		// to serve rather than silently drop or mangle acked data.
+		if err := h.c.Restart(f.Node); err == nil {
+			h.closeDisturbance(f.Node, time.Now())
+			h.faultErr(f, fmt.Errorf("restart on a corrupt log succeeded; recovery must refuse unverifiable data"))
+			break
+		}
+		// Expected refusal. Operator playbook for a dead disk: wipe the
+		// log, restart empty, let re-replication rebuild from the peers.
+		if err := h.c.WipeWAL(f.Node); err != nil {
+			h.faultErr(f, err)
+		}
+		err := h.c.Restart(f.Node)
+		h.closeDisturbance(f.Node, time.Now())
+		if err != nil {
+			h.faultErr(f, err)
+		}
 	case FaultSlow:
 		st := h.state(f.Node)
 		st.mu.Lock()
@@ -506,6 +566,43 @@ func (h *harness) apply(f Fault) {
 		h.disturb(now, now.Add(f.For))
 	default:
 		h.faultErr(f, fmt.Errorf("unknown fault kind"))
+	}
+}
+
+// corruptWAL flips one byte in the middle of the node's lowest-sequence
+// sealed WAL segment. It waits (bounded) for a sealed segment to exist:
+// the fault fires at a seed-chosen offset, and enough workload writes
+// must land on the victim first to rotate its active segment at least
+// once.
+func (h *harness) corruptWAL(node string) error {
+	dir, err := h.c.WALDir(node)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+		if err != nil {
+			return err
+		}
+		sort.Strings(segs)
+		// Segment names are zero-padded sequence numbers: everything
+		// before the last (active) one is sealed.
+		if len(segs) >= 2 {
+			target := segs[0]
+			data, err := os.ReadFile(target)
+			if err != nil {
+				return err
+			}
+			if len(data) > 0 {
+				data[len(data)/2] ^= 0x40
+				return os.WriteFile(target, data, 0o600)
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no sealed WAL segment appeared in %s to corrupt", dir)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

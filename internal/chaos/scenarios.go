@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/sockets"
 )
 
 // Scenarios returns the named chaos scenarios — one per failure mode
@@ -237,6 +239,39 @@ func Scenarios() []Spec {
 				return []Fault{
 					{At: at, For: ms(280 + rng.Intn(60)), Kind: FaultBlackout, Node: a},
 					{At: at + ms(80), For: ms(280 + rng.Intn(60)), Kind: FaultBlackout, Node: b},
+				}
+			},
+		},
+		{
+			// Silent disk corruption, detected in the background and
+			// recovered by re-replication. One byte flips inside a sealed
+			// WAL segment of a live node: the scrub must surface it
+			// (RequireScrubEvent) while the node keeps serving from memory
+			// — corruption of cold log bytes is not a correctness event
+			// until something replays them. Then the node is killed and
+			// restarted: recovery MUST refuse the corrupt log, the harness
+			// wipes it (the dead-disk playbook), and the node comes back
+			// empty — with hints disabled, anti-entropy streaming the
+			// peers' WALs is what rebuilds it. The convergence gate plus
+			// the checker's full-history sweep prove no acked write was
+			// lost to either the corruption or the wipe.
+			Name:                "scrub-corrupt",
+			Durable:             true,
+			Proto:               sockets.ProtoBinary,
+			DisableHints:        true,
+			AntiEntropyInterval: ms(150),
+			RequireConvergence:  true,
+			RequireScrubEvent:   true,
+			WALSegmentBytes:     2048,
+			WALScrubInterval:    ms(25),
+			SyncStreamThreshold: 0.001, // tiny keyspace: make the wiped node's rebuild take the streaming path
+			Plan: func(rng *rand.Rand, nodes []string) []Fault {
+				n := pick(rng, nodes)
+				at := ms(300 + rng.Intn(60)) // enough writes first to seal a segment on the victim
+				return []Fault{
+					{At: at, Kind: FaultCorrupt, Node: n},
+					{At: at + ms(250), Kind: FaultKill, Node: n},
+					{At: at + ms(320), Kind: FaultRestartCorrupt, Node: n},
 				}
 			},
 		},

@@ -64,6 +64,18 @@ const (
 	// FaultJoin adds Node to the ring at At, migrating its key arcs
 	// while the workload (and any overlapping faults) keep running.
 	FaultJoin FaultKind = "join"
+	// FaultCorrupt flips one byte inside a sealed WAL segment of the
+	// (live, durable) Node at At — silent disk corruption. The node's
+	// background scrub must detect it and surface an EventWALCorrupt;
+	// the in-memory store is untouched, so the node keeps serving.
+	FaultCorrupt FaultKind = "corrupt-wal"
+	// FaultRestartCorrupt restarts a killed Node whose log was corrupted
+	// by an earlier FaultCorrupt. The restart MUST fail — recovery
+	// refusing to serve data it cannot verify is the contract — and the
+	// harness then wipes the damaged log and restarts the node empty, so
+	// re-replication rebuilds it from its peers. A restart that succeeds
+	// on a corrupt log is recorded as a fault error and fails the run.
+	FaultRestartCorrupt FaultKind = "restart-corrupt"
 )
 
 // Fault is one scheduled fault. At is the offset from harness start;

@@ -135,14 +135,32 @@ func (c *Cluster) syncPair(ctx context.Context, a, b *node) (int, error) {
 	}
 	c.aeRanges.Add(int64(len(leaves)))
 
-	spans := toSpans(merkle.Coalesce(leaves))
 	repaired := 0
-	for len(spans) > 0 {
-		batch := spans
-		if len(batch) > c.cfg.AntiEntropyBatch {
-			batch = spans[:c.cfg.AntiEntropyBatch]
+	if c.streamEligible(leaves) {
+		n, serr := c.streamSync(ctx, a, b, pace)
+		repaired += n
+		if serr == nil {
+			// Re-diff after the stream: the bulk moved as raw frames, so
+			// the span walk below covers only the remainder — keys the
+			// stream's source never had, frames the dump skipped, and
+			// writes that raced in. On a stream error the original leaves
+			// stand and the Merkle path repairs everything the slow way.
+			if fresh, derr := merkle.Diff(fetch(a), fetch(b), c.cfg.AntiEntropyBatch); derr == nil {
+				leaves = fresh
+			}
 		}
-		spans = spans[len(batch):]
+		if len(leaves) == 0 {
+			return repaired, nil
+		}
+	}
+
+	// Batch the coalesced spans by total bucket width, not span count:
+	// near-total divergence coalesces thousands of dirty leaves into a
+	// handful of giant spans, and scanning one of those in a single
+	// round trip returns every key it covers — past ~80k keys that is
+	// a larger frame than the wire allows. Width-bounded batches keep
+	// each SCAN's reply proportional to keyspace/Buckets × batch.
+	for _, batch := range batchSpansByWidth(toSpans(merkle.Coalesce(leaves)), c.cfg.AntiEntropyBatch) {
 		if err := pace(); err != nil {
 			return repaired, err
 		}
@@ -153,6 +171,38 @@ func (c *Cluster) syncPair(ctx context.Context, a, b *node) (int, error) {
 		}
 	}
 	return repaired, nil
+}
+
+// batchSpansByWidth splits spans into batches whose total bucket width
+// is at most budget, cutting spans wider than the budget. Order is
+// preserved, so the repair still walks the keyspace once, low to high.
+func batchSpansByWidth(spans []wire.Span, budget int) [][]wire.Span {
+	if budget < 1 {
+		budget = 1
+	}
+	var batches [][]wire.Span
+	var cur []wire.Span
+	width := 0
+	for _, s := range spans {
+		lo := s.Lo
+		for lo < s.Hi {
+			hi := s.Hi
+			if int(hi-lo) > budget-width {
+				hi = lo + uint32(budget-width)
+			}
+			cur = append(cur, wire.Span{Lo: lo, Hi: hi})
+			width += int(hi - lo)
+			lo = hi
+			if width == budget {
+				batches = append(batches, cur)
+				cur, width = nil, 0
+			}
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches
 }
 
 // repairSpans scans one batch of divergent bucket spans on both nodes
@@ -253,21 +303,30 @@ func (c *Cluster) repairSpans(ctx context.Context, a, b *node, spans []wire.Span
 	return repaired, nil
 }
 
+// fetchRawChunk bounds one bulk read: both the request (keys) and the
+// reply (values) must fit a wire frame whatever the span batching let
+// through, so a scan that surfaced many keys reads them in slices.
+const fetchRawChunk = 128
+
 // fetchRaw bulk-reads the given keys' stored bytes from one node. Keys
 // deleted between the scan and the fetch are simply absent from the
 // result — the next pass re-evaluates them.
 func (c *Cluster) fetchRaw(ctx context.Context, n *node, keys []string) (map[string]string, error) {
 	out := make(map[string]string, len(keys))
-	if len(keys) == 0 {
-		return out, nil
-	}
-	vals, found, err := n.client().MGetCtx(ctx, keys...)
-	if err != nil {
-		return nil, err
-	}
-	for i, k := range keys {
-		if found[i] {
-			out[k] = vals[i]
+	for len(keys) > 0 {
+		chunk := keys
+		if len(chunk) > fetchRawChunk {
+			chunk = keys[:fetchRawChunk]
+		}
+		keys = keys[len(chunk):]
+		vals, found, err := n.client().MGetCtx(ctx, chunk...)
+		if err != nil {
+			return nil, err
+		}
+		for i, k := range chunk {
+			if found[i] {
+				out[k] = vals[i]
+			}
 		}
 	}
 	return out, nil

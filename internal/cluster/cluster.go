@@ -122,6 +122,28 @@ type Config struct {
 	// WALSnapshotEvery passes through to each node's
 	// sockets.ServerConfig (default 10000 mutations per snapshot).
 	WALSnapshotEvery int
+	// WALSegmentBytes passes through to each durable node's log segment
+	// cap (default 4 MiB). Recovery and chaos tests shrink it so sealed
+	// segments — the units scrubbing checks and SYNCWAL streams — appear
+	// after a handful of writes.
+	WALSegmentBytes int64
+	// WALScrubInterval, when positive on a durable cluster, runs each
+	// node's background segment scrub at this period: sealed segments and
+	// the snapshot are re-read and CRC-checked, and the first corruption
+	// found surfaces as an EventWALCorrupt on the EventTap. Zero disables
+	// scrubbing.
+	WALScrubInterval time.Duration
+	// SyncStreamThreshold is the divergence ratio (divergent Merkle
+	// leaves / total buckets) at or above which an anti-entropy pair sync
+	// switches from key-by-key span repair to WAL streaming: the fuller
+	// node's whole log — snapshot plus segments — ships as raw CRC-framed
+	// chunks (SYNCWAL) and the receiver folds them in version-
+	// conditionally. Near-total divergence (a node restarted after disk
+	// loss) is where per-key scans are slowest and streaming shines;
+	// light divergence stays on the Merkle path, which moves only the
+	// keys that differ. 0 means the 0.25 default; negative disables
+	// streaming. Streaming needs Durable and the binary protocol.
+	SyncStreamThreshold float64
 	// HintTTL bounds how long a hinted handoff stays parked before the
 	// age sweep drops it (counted in hints.expired) — the cap on hint~
 	// keyspace growth when a destination never comes back. Default 30s;
@@ -192,6 +214,11 @@ const (
 	EventHintReplay EventType = "hint-replay" // hinted handoffs replayed onto the node
 	EventJoin       EventType = "join"        // node joined the ring
 	EventLeave      EventType = "leave"       // node left the ring
+	// EventWALCorrupt reports that a durable node's background scrub
+	// found a corrupt frame in its own log; Detail carries the error,
+	// which names the damaged file. Fired at most once per server
+	// incarnation.
+	EventWALCorrupt EventType = "wal-corrupt"
 )
 
 // Event is one timestamped cluster lifecycle transition.
@@ -338,6 +365,10 @@ type Cluster struct {
 	aeRanges       atomic.Int64
 	aeKeysRepaired atomic.Int64
 	aeBytesMoved   atomic.Int64
+	// WAL-streaming re-replication accounting (syncstream.go): full-log
+	// streams completed and the filtered frame bytes shipped doing it.
+	aeStreams     atomic.Int64
+	aeStreamBytes atomic.Int64
 
 	// walRoot is the durable cluster's log directory; walTemp marks it
 	// cluster-owned (created by New, removed by Close).
@@ -404,6 +435,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.AntiEntropyBatch <= 0 {
 		cfg.AntiEntropyBatch = 64
+	}
+	if cfg.SyncStreamThreshold == 0 {
+		cfg.SyncStreamThreshold = 0.25
 	}
 	if cfg.Replicas > cfg.Nodes {
 		return nil, fmt.Errorf("cluster: %d replicas need at least that many nodes (have %d)", cfg.Replicas, cfg.Nodes)
@@ -477,6 +511,11 @@ func (c *Cluster) startNode(name string) (*node, error) {
 		// whatever this node's previous incarnation logged there.
 		scfg.WALDir = filepath.Join(c.walRoot, name)
 		scfg.WALSnapshotEvery = c.cfg.WALSnapshotEvery
+		scfg.WALSegmentBytes = c.cfg.WALSegmentBytes
+		scfg.WALScrubInterval = c.cfg.WALScrubInterval
+		scfg.WALScrubCorrupt = func(err error) {
+			c.emit(EventWALCorrupt, name, err.Error())
+		}
 	}
 	if c.cfg.ServerPreHandle != nil {
 		scfg.PreHandle = c.cfg.ServerPreHandle(name)
@@ -984,6 +1023,37 @@ func (c *Cluster) Kill(name string) error {
 	}
 	c.emit(EventKill, name, "")
 	return nil
+}
+
+// WALDir returns the named durable node's log directory — where its
+// segments, snapshot, and any injected corruption live.
+func (c *Cluster) WALDir(name string) (string, error) {
+	if _, err := c.lookup(name); err != nil {
+		return "", err
+	}
+	if !c.cfg.Durable {
+		return "", fmt.Errorf("cluster: node %q has no WAL (cluster is not durable)", name)
+	}
+	return filepath.Join(c.walRoot, name), nil
+}
+
+// WipeWAL deletes a killed node's entire log directory — the disk-loss
+// fault: the next Restart comes back empty (or, if the log was merely
+// corrupt, no longer refuses to start) and hint replay plus
+// anti-entropy re-replication must rebuild the node from its peers.
+// Refused while the node is live, whose server owns the directory.
+func (c *Cluster) WipeWAL(name string) error {
+	n, err := c.lookup(name)
+	if err != nil {
+		return err
+	}
+	if !c.cfg.Durable {
+		return fmt.Errorf("cluster: node %q has no WAL (cluster is not durable)", name)
+	}
+	if !n.killed.Load() {
+		return fmt.Errorf("cluster: refusing to wipe live node %q's WAL", name)
+	}
+	return os.RemoveAll(filepath.Join(c.walRoot, name))
 }
 
 // Restart brings a killed node back on a fresh port, then probes it so

@@ -168,16 +168,16 @@ func (c *Cluster) cutover(moves []move, byName map[string]*node, dropNode string
 	c.topoMu.Lock()
 	defer c.topoMu.Unlock()
 	c.inflight.Wait()
+	wants := make(map[string][]string)
 	for key := range c.dirty {
-		m, ok := moved[key]
-		if !ok {
-			continue // placement unchanged: the normal write path covered it
+		if m, ok := moved[key]; ok {
+			wants[key] = m.old
 		}
-		raw, ok := c.newestCopy(c.ctx, key, m.old, byName)
-		if !ok {
-			continue
-		}
-		for _, dst := range subtract(m.new, m.old) {
+		// Keys not in moved: placement unchanged, the normal write path
+		// covered them.
+	}
+	for key, raw := range c.newestCopies(c.ctx, wants, byName) {
+		for _, dst := range subtract(moved[key].new, moved[key].old) {
 			if n := byName[dst]; n != nil && !n.down.Load() {
 				// Version-conditional: the bulk copy phase may have raced a
 				// double-write onto this destination, and the re-copy must
@@ -192,33 +192,55 @@ func (c *Cluster) cutover(moves []move, byName map[string]*node, dropNode string
 	}
 }
 
-// newestCopy reads key from every live source replica and returns the
-// raw stored value whose version wins the total order — causal
-// dominance first, tiebreak for concurrent histories. Reading one
-// replica would risk trusting a copy a quorum-abort cancellation left
-// behind.
-func (c *Cluster) newestCopy(ctx context.Context, key string, srcs []string, byName map[string]*node) (string, bool) {
-	var bestVer version.Version
-	var bestRaw string
-	found := false
-	for _, src := range srcs {
-		n := byName[src]
-		if n == nil || n.down.Load() {
-			continue
-		}
-		raw, ok, err := n.client().GetCtx(ctx, key)
-		if err != nil || !ok {
-			continue
-		}
-		ver, _, _, err := version.Decode(raw)
-		if err != nil {
-			continue
-		}
-		if !found || version.Newer(ver, bestVer) {
-			found, bestVer, bestRaw = true, ver, raw
+// newestCopies bulk-reads a set of keys (each with its own source
+// replica list) and resolves every key's winning raw value locally —
+// causal dominance first, deterministic tiebreak for concurrent
+// histories. Consulting every live source guards against trusting a
+// copy a quorum-abort cancellation left behind; doing it with one MGET
+// per source instead of one GET per (key, source) is what keeps a
+// migration's read amplification at O(sources) round trips per chunk
+// rather than O(keys × sources). Keys with no live source or no
+// decodable copy are simply absent from the result.
+func (c *Cluster) newestCopies(ctx context.Context, wants map[string][]string, byName map[string]*node) map[string]string {
+	keysBySrc := make(map[string][]string)
+	for key, srcs := range wants {
+		for _, src := range srcs {
+			if n := byName[src]; n != nil && !n.down.Load() {
+				keysBySrc[src] = append(keysBySrc[src], key)
+			}
 		}
 	}
-	return bestRaw, found
+	type candidate struct {
+		ver version.Version
+		raw string
+	}
+	best := make(map[string]candidate, len(wants))
+	for src, keys := range keysBySrc {
+		if ctx.Err() != nil {
+			break
+		}
+		vals, found, err := byName[src].client().MGetCtx(ctx, keys...)
+		if err != nil {
+			continue // a dead source just contributes nothing
+		}
+		for i, key := range keys {
+			if !found[i] {
+				continue
+			}
+			ver, _, _, err := version.Decode(vals[i])
+			if err != nil {
+				continue
+			}
+			if b, ok := best[key]; !ok || version.Newer(ver, b.ver) {
+				best[key] = candidate{ver: ver, raw: vals[i]}
+			}
+		}
+	}
+	out := make(map[string]string, len(best))
+	for key, b := range best {
+		out[key] = b.raw
+	}
+	return out
 }
 
 // replicaSetsLocked snapshots every tracked key's replica set.
@@ -302,13 +324,20 @@ func (c *Cluster) migrate(ctx context.Context, moves []move, byName map[string]*
 		return nil
 	}
 	return c.sched.ParallelForCtx(ctx, len(moves), migrateChunk, func(lo, hi int) {
+		// One bulk read per live source covers the whole chunk; the
+		// winning version per key is resolved locally from the answers.
+		wants := make(map[string][]string, hi-lo)
+		for i := lo; i < hi; i++ {
+			wants[moves[i].key] = moves[i].old
+		}
+		raws := c.newestCopies(ctx, wants, byName)
 		batches := make(map[string][]sockets.KV)
 		for i := lo; i < hi; i++ {
 			if ctx.Err() != nil {
 				return
 			}
 			m := moves[i]
-			raw, ok := c.newestCopy(ctx, m.key, m.old, byName)
+			raw, ok := raws[m.key]
 			if !ok {
 				continue // never written, or no live source: nothing to move
 			}

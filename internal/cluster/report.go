@@ -28,6 +28,8 @@ func (c *Cluster) Counters() *metrics.CounterSet {
 	cs.Add("antientropy.ranges", float64(c.aeRanges.Load()))
 	cs.Add("antientropy.keys-repaired", float64(c.aeKeysRepaired.Load()))
 	cs.Add("antientropy.bytes", float64(c.aeBytesMoved.Load()))
+	cs.Add("antientropy.streams", float64(c.aeStreams.Load()))
+	cs.Add("antientropy.stream-bytes", float64(c.aeStreamBytes.Load()))
 	cs.Add("cluster.down-events", float64(c.downEvents.Load()))
 	cs.Add("cluster.up-events", float64(c.upEvents.Load()))
 	cs.Add("cluster.keys-migrated", float64(c.keysMigrated.Load()))

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/merkle"
+	"repro/internal/sockets"
+	"repro/internal/version"
+	"repro/internal/wal"
+)
+
+// WAL-streaming re-replication: when a pair sync's Merkle diff reports
+// near-total divergence — a node restarted empty after disk loss, or a
+// fresh replica — walking the tree and repairing key by key does one
+// SCAN merge-join plus one SETV-sized payload per differing key, with
+// the coordinator decoding versions in between. Streaming skips all of
+// that: the fuller node's whole durable history (snapshot + segments,
+// already CRC-framed on disk) ships as a few big SYNCWAL chunks, the
+// coordinator filters each chunk down to the frames the receiver should
+// own, and the receiver folds them in through the same version-
+// conditional SETV apply path every repair uses. Version stamps,
+// tombstones, and dedupe recordings all ride along because they are
+// simply bytes in the log. The follow-up Merkle pass then covers
+// whatever the stream could not: keys only the thinner node had,
+// oversized frames the dump skipped, and writes that raced the stream.
+
+// streamEligible reports whether a pair sync should re-replicate by
+// streaming the WAL instead of span-repairing key by key: the
+// divergence ratio is at or past the configured threshold, and the
+// transport can carry it (durable nodes for the dump, binary pools for
+// the SYNCWAL verb).
+func (c *Cluster) streamEligible(leaves []merkle.Range) bool {
+	thr := c.cfg.SyncStreamThreshold
+	if thr < 0 || !c.cfg.Durable || c.cfg.Proto != sockets.ProtoBinary {
+		return false
+	}
+	return float64(len(leaves)) >= thr*float64(merkle.Buckets)
+}
+
+// streamSync re-replicates one diverged pair by WAL streaming: the
+// node holding more keys is the source (divergence this deep almost
+// always means the other side lost state), its log is pulled chunk by
+// chunk, filtered, and pushed to the destination. Returns how many
+// frames the destination actually applied — version-conditional, so
+// frames the destination already has (or has newer versions of) count
+// zero and convergence loops still terminate. pace is the caller's
+// per-request throttle, shared so a stream honors AntiEntropyWait like
+// any other repair traffic.
+func (c *Cluster) streamSync(ctx context.Context, a, b *node, pace func() error) (int, error) {
+	if err := pace(); err != nil {
+		return 0, err
+	}
+	na, err := a.client().CountCtx(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if err := pace(); err != nil {
+		return 0, err
+	}
+	nb, err := b.client().CountCtx(ctx)
+	if err != nil {
+		return 0, err
+	}
+	src, dst := a, b
+	if nb > na {
+		src, dst = b, a
+	}
+
+	applied := 0
+	restarted := false
+	var cur uint64
+	for {
+		if err := pace(); err != nil {
+			return applied, err
+		}
+		chunk, next, done, err := src.client().SyncWALDumpCtx(ctx, cur)
+		if err != nil {
+			// A snapshot on the source pruned a segment mid-dump: the
+			// cursor is stale and the only consistent move is to restart
+			// from zero. Re-applied frames are harmless (version-
+			// conditional); a second staleness means the source is
+			// snapshotting faster than we can stream, so fall back to the
+			// Merkle path rather than loop.
+			if strings.Contains(err.Error(), "stale dump cursor") && !restarted {
+				restarted, cur = true, 0
+				continue
+			}
+			return applied, err
+		}
+		filtered, err := c.filterStream(chunk, dst.name)
+		if err != nil {
+			return applied, err
+		}
+		if len(filtered) > 0 {
+			if err := pace(); err != nil {
+				return applied, err
+			}
+			n, err := dst.client().SyncWALApplyCtx(ctx, filtered)
+			if err != nil {
+				return applied, err
+			}
+			applied += n
+			c.aeStreamBytes.Add(int64(len(filtered)))
+		}
+		if done {
+			break
+		}
+		cur = next
+	}
+	c.aeStreams.Add(1)
+	c.aeKeysRepaired.Add(int64(applied))
+	return applied, nil
+}
+
+// filterStream decodes one dump chunk and re-frames only what the
+// destination should ingest: dedupe recordings (per-client retry
+// identities, replica-agnostic), and Set payloads — MPut pairs
+// flattened to single Sets — for keys the destination actually
+// replicates, skipping parked hints (per-holder scratch state) and
+// anything without a version stamp (the receiver applies via SETV,
+// which needs one; unstamped bytes can't be resolved against what the
+// receiver may already hold). Raw Del/MDel records are dropped too:
+// cluster deletes are versioned tombstone Sets, so a bare delete frame
+// could only have come from outside the cluster's write path, and
+// blindly erasing the receiver's copy could destroy a newer version.
+func (c *Cluster) filterStream(chunk []byte, dstName string) ([]byte, error) {
+	if len(chunk) == 0 {
+		return nil, nil
+	}
+	items, err := wal.DecodeStream(chunk)
+	if err != nil {
+		return nil, err
+	}
+	keep := func(key, value string) bool {
+		if strings.HasPrefix(key, hintMark) || !c.replicaFor(key, dstName) {
+			return false
+		}
+		_, _, _, err := version.Decode(value)
+		return err == nil
+	}
+	var out []byte
+	for _, it := range items {
+		switch {
+		case it.Dedupe != nil:
+			out = wal.AppendStreamDedupe(out, *it.Dedupe)
+		case it.Rec.Kind == wal.KindSet:
+			if keep(it.Rec.Key, it.Rec.Value) {
+				out = wal.AppendStreamRecord(out, it.Rec)
+			}
+		case it.Rec.Kind == wal.KindMPut:
+			for _, kv := range it.Rec.Pairs {
+				if keep(kv.Key, kv.Value) {
+					out = wal.AppendStreamRecord(out, &wal.Record{Kind: wal.KindSet, Key: kv.Key, Value: kv.Value})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// AntiEntropyStreams reports how many WAL-streaming re-replications
+// anti-entropy passes have completed.
+func (c *Cluster) AntiEntropyStreams() int64 { return c.aeStreams.Load() }
+
+// AntiEntropyStreamBytes reports the filtered frame bytes those
+// streams shipped.
+func (c *Cluster) AntiEntropyStreamBytes() int64 { return c.aeStreamBytes.Load() }

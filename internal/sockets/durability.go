@@ -2,6 +2,7 @@ package sockets
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/sockets/wire"
@@ -20,9 +21,14 @@ const defaultSnapshotEvery = 10000
 // its response leaves the server. Runs before the accept loop starts,
 // so recovery never races live traffic.
 func (s *Server) openWAL(cfg ServerConfig) error {
+	workers := cfg.WALReplayWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	l, err := wal.Open(wal.Config{
-		Dir:          cfg.WALDir,
-		SegmentBytes: cfg.WALSegmentBytes,
+		Dir:           cfg.WALDir,
+		SegmentBytes:  cfg.WALSegmentBytes,
+		ReplayWorkers: workers,
 		OnSnapshot: func(snap *wal.Snapshot) error {
 			for _, kv := range snap.Pairs {
 				sh := s.shardFor(kv.Key)
@@ -159,6 +165,7 @@ func (s *Server) Crash() error {
 	}
 	s.mu.Unlock()
 	if s.wal != nil {
+		s.stopScrub()
 		// Fails every blocked AppendSync with ErrCrashed, unwinding the
 		// handler goroutines conns.Wait joins below.
 		if cerr := s.wal.Crash(); err == nil {

@@ -374,6 +374,11 @@ func (s *Server) handleBinary(clientID uint64, r *wire.Request) *wire.Response {
 		// nothing), so exactly-once needs no recording — and its WAL
 		// record is only written when the compare said apply.
 		return s.applyBinary(r)
+	case wire.VerbSyncWAL:
+		// SYNCWAL also skips the dedupe table: dumps read, and applies go
+		// through the same version compare as SETV, so a retried chunk
+		// re-folds to nothing.
+		return s.applySyncWAL(r)
 	}
 	k := dedupeKey{client: clientID, id: r.ID}
 	e, dup := s.dedupe.begin(k)

@@ -117,6 +117,21 @@ type ServerConfig struct {
 	// the server compacts a snapshot and truncates old segments.
 	// Default 10000.
 	WALSnapshotEvery int
+	// WALReplayWorkers sets startup recovery's replay fan-out: 0 defaults
+	// to the machine's CPU count (records partitioned by key stripe,
+	// per-key order preserved — see wal.Config.ReplayWorkers), 1 forces
+	// the serial replay path.
+	WALReplayWorkers int
+	// WALScrubInterval, when positive on a durable server, runs a
+	// background scrub pass every interval: sealed segments and the
+	// snapshot are re-read and their CRCs re-checked, so at-rest
+	// corruption is found while healthy replicas can still repair it.
+	// Zero disables scrubbing.
+	WALScrubInterval time.Duration
+	// WALScrubCorrupt, when non-nil, is called once — from the scrub
+	// goroutine, the first time a pass finds corruption — with the
+	// failure. The cluster wires it to its event tap.
+	WALScrubCorrupt func(error)
 	// SyncExcludePrefix, when non-empty, keeps keys with this prefix out
 	// of the anti-entropy Merkle digest and SCAN responses. The cluster
 	// sets it to its hint-key prefix: parked hints are per-holder state
@@ -194,6 +209,14 @@ type Server struct {
 	walWG         sync.WaitGroup
 	recoveredKeys int
 
+	// Background scrub (syncwal.go): scrubStop ends the loop, scrubAlarm
+	// latches the one-shot corruption callback, syncSkipped counts log
+	// frames too large for a SYNCWAL dump chunk.
+	scrubStop   chan struct{}
+	scrubOnce   sync.Once
+	scrubAlarm  atomic.Bool
+	syncSkipped atomic.Int64
+
 	// preHandle, when non-nil, runs before each request is interpreted —
 	// a test hook for making requests observably in-flight.
 	preHandle func(req string)
@@ -247,6 +270,9 @@ func NewServerConfig(addr string, cfg ServerConfig) (*Server, error) {
 		if err := s.openWAL(cfg); err != nil {
 			ln.Close()
 			return nil, err
+		}
+		if cfg.WALScrubInterval > 0 {
+			s.startScrub(cfg.WALScrubInterval, cfg.WALScrubCorrupt)
 		}
 	}
 	go s.acceptLoop()
@@ -351,8 +377,9 @@ func (s *Server) Close() error {
 	}
 	if s.wal != nil {
 		// After the drain no handler can append; join any in-flight
-		// snapshot, then stop the committer. A Restart that reopens the
-		// same directory must not race a straggling compaction.
+		// snapshot or scrub pass, then stop the committer. A Restart that
+		// reopens the same directory must not race a straggling compaction.
+		s.stopScrub()
 		s.walWG.Wait()
 		if werr := s.wal.Close(); err == nil {
 			err = werr

@@ -31,6 +31,7 @@
 //	  VerbMPut:                         n:uvarint (key:bytes value:bytes) ×n
 //	  VerbSetV:                         key:bytes value:bytes
 //	  VerbTree | VerbScan:              n:uvarint (lo:uvarint hi:uvarint) ×n
+//	  VerbSyncWAL:                      mode:1 cursor:uvarint chunk:bytes
 //
 //	response := tag:1 id:uvarint body
 //	  RespOK | RespNotFound | RespOverload:  (empty body)
@@ -40,6 +41,7 @@
 //	  RespMulti:              n:uvarint (found:1 value:bytes) ×n   (MGET, in request key order)
 //	  RespHashes:             n:uvarint hash:8 ×n                  (TREE, one per requested span)
 //	  RespScan:               n:uvarint (key:bytes hash:8) ×n      (SCAN, sorted by key)
+//	  RespSyncWAL:            next:uvarint done:1 chunk:bytes      (SYNCWAL dump)
 //	  RespErr:                message:bytes
 //
 // Values are opaque bytes — the length prefix lifts the text protocol's
@@ -83,6 +85,18 @@ const (
 	VerbSetV byte = 0x0A
 	VerbTree byte = 0x0B
 	VerbScan byte = 0x0C
+	// VerbSyncWAL is the WAL-streaming re-replication verb. A dump-mode
+	// request (Mode SyncWALDump) asks the node for the next chunk of its
+	// durable history — snapshot plus segment frames — from Cursor; an
+	// apply-mode request (Mode SyncWALApply) carries a chunk of stream
+	// frames in Value for the node to apply version-conditionally.
+	VerbSyncWAL byte = 0x0D
+)
+
+// SyncWAL request modes.
+const (
+	SyncWALDump  byte = 0
+	SyncWALApply byte = 1
 )
 
 // Response tags. The high bit distinguishes them from verbs so a
@@ -97,7 +111,11 @@ const (
 	RespOverload byte = 0x87
 	RespHashes   byte = 0x88
 	RespScan     byte = 0x89
-	RespErr      byte = 0xFF
+	// RespSyncWAL answers a dump-mode SYNCWAL: the chunk bytes (Value),
+	// the cursor to pass next (N), and whether the dump is complete
+	// (Done). Apply-mode SYNCWAL answers with RespCount.
+	RespSyncWAL byte = 0x8A
+	RespErr     byte = 0xFF
 )
 
 // Decode errors, all matchable with errors.Is.
@@ -132,13 +150,15 @@ type ScanEntry struct {
 // Request is one decoded request PDU. Only the fields the verb uses
 // are populated.
 type Request struct {
-	Verb  byte
-	ID    uint64
-	Key   string
-	Value []byte
-	Keys  []string // MDel, MGet
-	Pairs []KV     // MPut
-	Spans []Span   // Tree, Scan
+	Verb   byte
+	ID     uint64
+	Key    string
+	Value  []byte
+	Keys   []string // MDel, MGet
+	Pairs  []KV     // MPut
+	Spans  []Span   // Tree, Scan
+	Mode   byte     // SyncWAL: SyncWALDump or SyncWALApply
+	Cursor uint64   // SyncWAL dump position
 }
 
 // Response is one decoded response PDU. Only the fields the tag uses
@@ -153,6 +173,7 @@ type Response struct {
 	Values [][]byte    // MGET results, in request key order
 	Hashes []uint64    // TREE results, one per requested span
 	Scan   []ScanEntry // SCAN results
+	Done   bool        // SYNCWAL dump complete
 	Err    string
 }
 
@@ -185,6 +206,8 @@ func verbName(v byte) string {
 		return "TREE"
 	case VerbScan:
 		return "SCAN"
+	case VerbSyncWAL:
+		return "SYNCWAL"
 	}
 	return fmt.Sprintf("verb(0x%02x)", v)
 }
@@ -232,6 +255,10 @@ func AppendRequest(dst []byte, r *Request) []byte {
 			dst = appendString(dst, kv.Key)
 			dst = appendBytes(dst, kv.Value)
 		}
+	case VerbSyncWAL:
+		dst = append(dst, r.Mode)
+		dst = binary.AppendUvarint(dst, r.Cursor)
+		dst = appendBytes(dst, r.Value)
 	}
 	return dst
 }
@@ -272,6 +299,14 @@ func AppendResponse(dst []byte, r *Response) []byte {
 			dst = appendString(dst, e.Key)
 			dst = binary.BigEndian.AppendUint64(dst, e.Hash)
 		}
+	case RespSyncWAL:
+		dst = binary.AppendUvarint(dst, r.N)
+		if r.Done {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendBytes(dst, r.Value)
 	case RespErr:
 		dst = appendString(dst, r.Err)
 	}
@@ -458,6 +493,19 @@ func DecodeRequest(p []byte) (*Request, error) {
 			}
 			r.Pairs = append(r.Pairs, KV{Key: k, Value: v})
 		}
+	case VerbSyncWAL:
+		if r.Mode, err = c.byte("syncwal mode"); err != nil {
+			return r, err
+		}
+		if r.Mode > SyncWALApply {
+			return r, fmt.Errorf("%w: syncwal mode 0x%02x", ErrMalformed, r.Mode)
+		}
+		if r.Cursor, err = c.uvarint("syncwal cursor"); err != nil {
+			return r, err
+		}
+		if r.Value, err = c.bytes("syncwal chunk"); err != nil {
+			return r, err
+		}
 	default:
 		return r, fmt.Errorf("%w: 0x%02x", ErrUnknownVerb, verb)
 	}
@@ -556,6 +604,21 @@ func DecodeResponse(p []byte) (*Response, error) {
 				return r, err
 			}
 			r.Scan = append(r.Scan, ScanEntry{Key: k, Hash: h})
+		}
+	case RespSyncWAL:
+		if r.N, err = c.uvarint("syncwal next cursor"); err != nil {
+			return r, err
+		}
+		d, err := c.byte("syncwal done flag")
+		if err != nil {
+			return r, err
+		}
+		if d > 1 {
+			return r, fmt.Errorf("%w: syncwal done flag is 0x%02x", ErrMalformed, d)
+		}
+		r.Done = d != 0
+		if r.Value, err = c.bytes("syncwal chunk"); err != nil {
+			return r, err
 		}
 	case RespErr:
 		msg, err := c.bytes("error message")

@@ -201,66 +201,77 @@ func (c *cursor) count() (int, error) {
 // trailing bytes so the frame length and the payload structure must
 // agree exactly.
 func decodeRecord(payload []byte) (*Record, error) {
+	r := &Record{}
+	if err := decodeRecordInto(payload, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// decodeRecordInto decodes into caller-owned storage. Parallel replay
+// decodes a whole log into one flat []Record, so the per-record header
+// allocation matters at the million-record scale.
+func decodeRecordInto(payload []byte, r *Record) error {
 	c := &cursor{buf: payload}
 	kb, err := c.byte()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r := &Record{Kind: Kind(kb)}
+	r.Kind = Kind(kb)
 	if r.Client, err = c.uvarint(); err != nil {
-		return nil, err
+		return err
 	}
 	if r.ID, err = c.uvarint(); err != nil {
-		return nil, err
+		return err
 	}
 	switch r.Kind {
 	case KindSet:
 		if r.Key, err = c.key(); err != nil {
-			return nil, err
+			return err
 		}
 		if r.Value, err = c.str(); err != nil {
-			return nil, err
+			return err
 		}
 	case KindDel:
 		if r.Key, err = c.key(); err != nil {
-			return nil, err
+			return err
 		}
 	case KindMPut:
 		n, err := c.count()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.Pairs = make([]KV, 0, n)
 		for i := 0; i < n; i++ {
 			var kv KV
 			if kv.Key, err = c.key(); err != nil {
-				return nil, err
+				return err
 			}
 			if kv.Value, err = c.str(); err != nil {
-				return nil, err
+				return err
 			}
 			r.Pairs = append(r.Pairs, kv)
 		}
 	case KindMDel:
 		n, err := c.count()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.Keys = make([]string, 0, n)
 		for i := 0; i < n; i++ {
 			k, err := c.key()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			r.Keys = append(r.Keys, k)
 		}
 	default:
-		return nil, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kb)
+		return fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kb)
 	}
 	if len(c.buf) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(c.buf))
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(c.buf))
 	}
-	return r, nil
+	return nil
 }
 
 // replaySegment decodes frames from data until the end, invoking fn per

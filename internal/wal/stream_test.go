@@ -1,0 +1,213 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestSyncWAL_DumpStreamsEverything drives DumpChunk over a live log —
+// snapshot, sealed segments, and the active segment's synced prefix —
+// with a chunk budget small enough to force many cursor round-trips,
+// and checks the decoded stream folds to exactly the log owner's state,
+// dedupe entries included.
+func TestSyncWAL_DumpStreamsEverything(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	want := map[string]string{}
+	put := func(k, v string) {
+		if err := l.AppendSync(&Record{Kind: KindSet, Client: 7, ID: uint64(len(want) + 1), Key: k, Value: v}); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	for i := 0; i < 30; i++ {
+		put(fmt.Sprintf("seg1-%d", i), fmt.Sprintf("v%d", i))
+	}
+	tail, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPairs := make([]KV, 0, len(want))
+	for k, v := range want {
+		snapPairs = append(snapPairs, KV{Key: k, Value: v})
+	}
+	wantDedupe := []DedupeEntry{{Client: 7, ID: 99, Resp: []byte("OK")}}
+	if err := l.WriteSnapshot(tail, &Snapshot{Pairs: snapPairs, Dedupe: wantDedupe}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		put(fmt.Sprintf("seg2-%d", i), fmt.Sprintf("w%d", i))
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		put(fmt.Sprintf("act-%d", i), fmt.Sprintf("a%d", i)) // stays in the active segment
+	}
+
+	got := map[string]string{}
+	var gotDedupe []DedupeEntry
+	cur, chunks := uint64(0), 0
+	for {
+		blob, next, done, skipped, err := l.DumpChunk(cur, 128)
+		if err != nil {
+			t.Fatalf("DumpChunk(%d): %v", cur, err)
+		}
+		if skipped != 0 {
+			t.Fatalf("no frame here exceeds the budget, yet %d skipped", skipped)
+		}
+		items, err := DecodeStream(blob)
+		if err != nil {
+			t.Fatalf("DecodeStream: %v", err)
+		}
+		for _, it := range items {
+			switch {
+			case it.Dedupe != nil:
+				gotDedupe = append(gotDedupe, *it.Dedupe)
+			case it.Rec.Kind == KindSet:
+				got[it.Rec.Key] = it.Rec.Value
+			default:
+				t.Fatalf("unexpected record kind %d in dump", it.Rec.Kind)
+			}
+		}
+		chunks++
+		if done {
+			break
+		}
+		cur = next
+		if chunks > 10000 {
+			t.Fatal("dump did not terminate")
+		}
+	}
+	if chunks < 5 {
+		t.Fatalf("budget of 128 bytes should force many chunks, got %d", chunks)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream folded to %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %q = %q, want %q", k, got[k], v)
+		}
+	}
+	if len(gotDedupe) != 1 || gotDedupe[0].Client != 7 || gotDedupe[0].ID != 99 || !bytes.Equal(gotDedupe[0].Resp, []byte("OK")) {
+		t.Fatalf("dedupe entries did not ride along: %+v", gotDedupe)
+	}
+}
+
+// TestSyncWAL_StaleCursorAfterPrune: a cursor pointing into a segment
+// that a snapshot has since pruned must fail with ErrStaleCursor so the
+// coordinator restarts the dump instead of shipping a hole.
+func TestSyncWAL_StaleCursorAfterPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		if err := l.AppendSync(&Record{Kind: KindSet, Key: fmt.Sprintf("k%d", i), Value: "v"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := uint64(1) << 32 // mid-dump: cursor into segment 1
+	if _, _, _, _, err := l.DumpChunk(cur, 1<<20); err != nil {
+		t.Fatalf("segment 1 should still be dumpable: %v", err)
+	}
+	if err := l.WriteSnapshot(tail, &Snapshot{}); err != nil { // prunes segment 1
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := l.DumpChunk(cur, 1<<20); !errors.Is(err, ErrStaleCursor) {
+		t.Fatalf("want ErrStaleCursor, got %v", err)
+	}
+}
+
+// TestSyncWAL_StreamCodecRejectsCorruption: every mangling of a valid
+// stream chunk must surface as ErrCorrupt, never as a short or silently
+// wrong decode.
+func TestSyncWAL_StreamCodecRejectsCorruption(t *testing.T) {
+	var blob []byte
+	blob = AppendStreamRecord(blob, &Record{Kind: KindSet, Client: 1, ID: 2, Key: "k", Value: "v"})
+	blob = AppendStreamDedupe(blob, DedupeEntry{Client: 3, ID: 4, Resp: []byte("OK 1")})
+	blob = AppendStreamRecord(blob, &Record{Kind: KindMDel, Keys: []string{"a", "b"}})
+
+	if items, err := DecodeStream(blob); err != nil || len(items) != 3 {
+		t.Fatalf("clean stream: items=%d err=%v", len(items), err)
+	}
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := DecodeStream(blob[:len(blob)-1]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+	})
+	t.Run("bitflip", func(t *testing.T) {
+		for i := 0; i < len(blob); i++ {
+			mut := append([]byte(nil), blob...)
+			mut[i] ^= 0x10
+			if _, err := DecodeStream(mut); err == nil {
+				// A flip may still parse if it lands in a length header
+				// and re-frames to valid CRCs — astronomically unlikely;
+				// a clean parse of mutated bytes here is a real bug.
+				t.Fatalf("flip at %d decoded cleanly", i)
+			}
+		}
+	})
+}
+
+// FuzzSyncWALFrame fuzzes the receiver-side stream decoder: arbitrary
+// bytes must never panic, and whatever decodes cleanly must re-encode
+// to the identical byte stream (the decoder accepts only canonical
+// encodings).
+func FuzzSyncWALFrame(f *testing.F) {
+	var seed []byte
+	seed = AppendStreamRecord(seed, &Record{Kind: KindSet, Client: 9, ID: 1, Key: "key", Value: "value"})
+	seed = AppendStreamDedupe(seed, DedupeEntry{Client: 2, ID: 7, Resp: []byte("OK 3")})
+	f.Add(seed)
+	f.Add(AppendStreamRecord(nil, &Record{Kind: KindMPut, Pairs: []KV{{Key: "a", Value: "1"}, {Key: "b", Value: "2"}}}))
+	f.Add(AppendStreamRecord(nil, &Record{Kind: KindDel, Key: "gone"}))
+	f.Add([]byte{0x00})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := DecodeStream(data)
+		if err != nil {
+			return
+		}
+		reencode := func(items []StreamItem) []byte {
+			var re []byte
+			for _, it := range items {
+				switch {
+				case it.Rec != nil:
+					re = AppendStreamRecord(re, it.Rec)
+				case it.Dedupe != nil:
+					re = AppendStreamDedupe(re, *it.Dedupe)
+				default:
+					t.Fatal("item with neither record nor dedupe entry")
+				}
+			}
+			return re
+		}
+		// The encoder's output must be a fixed point: whatever the
+		// decoder accepted, encoding it and decoding again yields the
+		// same items and the same bytes. (The input itself may be a
+		// non-minimal varint spelling, so it is not compared directly.)
+		re := reencode(items)
+		items2, err := DecodeStream(re)
+		if err != nil {
+			t.Fatalf("re-encoded stream failed to decode: %v", err)
+		}
+		if !bytes.Equal(re, reencode(items2)) {
+			t.Fatalf("codec is not a fixed point:\n in: %x\nout: %x", re, reencode(items2))
+		}
+	})
+}

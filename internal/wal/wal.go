@@ -54,6 +54,14 @@ type Config struct {
 	// OnRecord, when non-nil, receives every replayed record in log
 	// order, after OnSnapshot.
 	OnRecord func(*Record) error
+	// ReplayWorkers sets the replay fan-out for Open: 0 or 1 replays the
+	// segment tail serially; n > 1 verifies and decodes frames in
+	// parallel and applies records across n workers partitioned by key
+	// stripe (per-key apply order still equals log order — see
+	// replay.go). With n > 1, OnRecord must be safe for concurrent calls
+	// from multiple goroutines. OnSnapshot is always called once,
+	// serially, before any record.
+	ReplayWorkers int
 }
 
 // entry is one queued unit of work for the commit loop: either a
@@ -105,6 +113,8 @@ type Log struct {
 
 	appends          atomic.Int64
 	syncs            atomic.Int64
+	scrubSegs        atomic.Int64
+	scrubErrs        atomic.Int64
 	recoveredRecords int64
 	snapshotLoaded   bool
 }
@@ -151,7 +161,8 @@ func Open(cfg Config) (*Log, error) {
 		return nil, err
 	}
 	maxSeq := tail - 1
-	for i, seq := range seqs {
+	var segs []replaySeg
+	for _, seq := range seqs {
 		path := l.segPath(seq)
 		if seq < tail {
 			// Covered by the snapshot; a crash between the snapshot
@@ -163,20 +174,23 @@ func Open(cfg Config) (*Log, error) {
 		if err != nil {
 			return nil, err
 		}
-		valid, recs, err := replaySegment(data, i == len(seqs)-1, cfg.OnRecord)
-		if err != nil {
-			return nil, fmt.Errorf("wal: replay %s: %w", path, err)
-		}
-		l.recoveredRecords += int64(recs)
-		if valid < int64(len(data)) {
-			if err := os.Truncate(path, valid); err != nil {
-				return nil, err
-			}
-		}
+		segs = append(segs, replaySeg{path: path, data: data})
 		if seq > maxSeq {
 			maxSeq = seq
 		}
 		l.sealed = append(l.sealed, seq)
+	}
+	valids, recs, err := replaySegments(segs, cfg.ReplayWorkers, cfg.OnRecord)
+	if err != nil {
+		return nil, err
+	}
+	l.recoveredRecords = recs
+	for i, s := range segs {
+		if valids[i] < int64(len(s.data)) {
+			if err := os.Truncate(s.path, valids[i]); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	l.actSeq = maxSeq + 1

@@ -133,6 +133,23 @@ for rep in $(seq 1 "$REPEATS"); do
     echo
 done
 
+echo "== recovery: parallel replay + WAL-streaming re-replication =="
+# Two ratio cells hold the recovery story: recovery-replay-1m records
+# the parallel-over-serial replay speedup on a 1M-record log (pure
+# replay, no snapshot — the worst case), and rereplicate-stream-vs-keys
+# records how much faster a wiped disk rebuilds via SYNCWAL streaming
+# than via key-by-key Merkle span repair. The bench itself enforces the
+# EXPERIMENTS E18 floors (>=3x replay on a multi-core host, >=2x
+# streaming) on full runs; -quick only smoke-tests the paths.
+RECOVERY_FLAGS=()
+if [[ "$QUICK" == 1 ]]; then
+    RECOVERY_FLAGS=(-quick)
+fi
+for rep in $(seq 1 "$REPEATS"); do
+    "$BIN" -recoverybench "${RECOVERY_FLAGS[@]}" -seed $((42 + rep * 1000)) -json "$RAW"
+    echo
+done
+
 echo "== aggregate =="
 DATE=$(date +%F)
 if [[ "$QUICK" == 1 ]]; then
